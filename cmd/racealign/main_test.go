@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunDNA(t *testing.T) {
+	if err := run(io.Discard, "ACTGAGA", "GATTCGA", "AMIS", false, "", -1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDNAGated(t *testing.T) {
+	if err := run(io.Discard, "ACTG", "ACTG", "OSU", false, "", -1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDNAThresholdMiss(t *testing.T) {
+	if err := run(io.Discard, "AAAA", "TTTT", "AMIS", false, "", 5, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProtein(t *testing.T) {
+	if err := run(io.Discard, "WAR", "RAW", "AMIS", true, "BLOSUM62", -1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, "WAR", "RAW", "AMIS", true, "PAM250", -1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(io.Discard, "ACTG", "ACTG", "XFAB", false, "", -1, 0); err == nil {
+		t.Error("unknown library must error")
+	}
+	if err := run(io.Discard, "AXTG", "ACTG", "AMIS", false, "", -1, 0); err == nil {
+		t.Error("bad symbol must error")
+	}
+	if err := run(io.Discard, "WAR", "RAW", "AMIS", true, "BLOSUM80", -1, 0); err == nil {
+		t.Error("unknown matrix must error")
+	}
+}

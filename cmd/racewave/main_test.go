@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWorstCase(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "AAAA", "TTTT", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "score 8") {
+		t.Errorf("output missing worst-case score:\n%s", out)
+	}
+	// One frame per cycle 0..2N.
+	if got := strings.Count(out, "cells fire"); got != 9 {
+		t.Errorf("frames = %d, want 9", got)
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "#") {
+		t.Error("frames must render firing and fired cells")
+	}
+}
+
+func TestRunBestCase(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "ACTG", "ACTG", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "score 4") {
+		t.Errorf("output missing best-case score:\n%s", b.String())
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "AXTG", "ACTG", 0); err == nil {
+		t.Error("bad symbol must error")
+	}
+	if err := run(&b, "", "ACTG", 0); err == nil {
+		t.Error("empty string must error (zero-dimension array)")
+	}
+}

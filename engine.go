@@ -1,0 +1,190 @@
+package racelogic
+
+import (
+	"fmt"
+
+	"racelogic/internal/race"
+	"racelogic/internal/score"
+	"racelogic/internal/tech"
+	"racelogic/internal/temporal"
+)
+
+// DNAEngine is the paper's synthesized design: the Fig. 4 synchronous
+// Race Logic array for DNA global sequence alignment under the Fig. 2b
+// score matrix with mismatches promoted to ∞ (match = 1, indel = 1).
+// The score of an alignment is the number of matches plus indels on the
+// optimal path; identical strings of length N score N, completely
+// mismatched ones 2N.
+type DNAEngine struct {
+	cfg   *config
+	plain *race.Array
+	gated *race.GatedArray
+	area  float64
+	n, m  int
+}
+
+// NewDNAEngine builds an engine for strings of exactly lengths n and m
+// (hardware arrays are fixed-size; build one per problem shape).
+func NewDNAEngine(n, m int, opts ...Option) (*DNAEngine, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &DNAEngine{cfg: cfg, n: n, m: m}
+	if cfg.gateRegion > 0 {
+		e.gated, err = race.NewGatedArray(n, m, cfg.gateRegion)
+		if err != nil {
+			return nil, err
+		}
+		e.area = cfg.library.AreaUM2(e.gated.Netlist())
+	} else {
+		e.plain, err = race.NewArray(n, m)
+		if err != nil {
+			return nil, err
+		}
+		e.area = cfg.library.AreaUM2(e.plain.Netlist())
+	}
+	return e, nil
+}
+
+// Dims returns the string lengths the engine was built for.
+func (e *DNAEngine) Dims() (n, m int) { return e.n, e.m }
+
+// AreaUM2 returns the engine's placed cell area under its library.
+func (e *DNAEngine) AreaUM2() float64 { return e.area }
+
+// Align races p against q and returns the alignment score with hardware
+// metrics.  With WithThreshold set, dissimilar pairs return Found=false
+// after only threshold+1 cycles.
+func (e *DNAEngine) Align(p, q string) (*Alignment, error) {
+	var res *race.AlignResult
+	var err error
+	switch {
+	case e.gated != nil && e.cfg.threshold >= 0:
+		return nil, fmt.Errorf("racelogic: clock gating and thresholding cannot be combined yet")
+	case e.gated != nil:
+		res, err = e.gated.Align(p, q)
+	case e.cfg.threshold >= 0:
+		res, err = e.plain.AlignThreshold(p, q, temporal.Time(e.cfg.threshold))
+	default:
+		res, err = e.plain.Align(p, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return toAlignment(e.cfg.library, e.area, res, p, q, score.DNAShortestInf())
+}
+
+// ProteinEngine is the Section 5 generalized Race Logic array: it
+// executes an arbitrary score matrix (by default a race-prepared
+// BLOSUM62) using binary saturating counters, per-symbol-pair weight
+// selection and set-on-arrival latches in every cell.  Lower scores mean
+// higher similarity (the matrix is transformed for the OR-type race).
+type ProteinEngine struct {
+	cfg    *config
+	arr    *race.GeneralArray
+	matrix *score.Matrix
+	area   float64
+	n, m   int
+}
+
+// NewProteinEngine builds a generalized engine for strings of lengths n
+// and m under the named matrix: "BLOSUM62" (default) or "PAM250".
+func NewProteinEngine(n, m int, matrixName string, opts ...Option) (*ProteinEngine, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	var base *score.Matrix
+	switch matrixName {
+	case "", "BLOSUM62":
+		base = score.BLOSUM62()
+	case "PAM250":
+		base = score.PAM250()
+	default:
+		return nil, fmt.Errorf("racelogic: unknown matrix %q (have BLOSUM62, PAM250)", matrixName)
+	}
+	prepared, err := base.PrepareForRace()
+	if err != nil {
+		return nil, err
+	}
+	enc := race.BinaryCounter
+	if cfg.oneHot {
+		enc = race.OneHot
+	}
+	arr, err := race.NewGeneralArray(n, m, prepared, enc)
+	if err != nil {
+		return nil, err
+	}
+	return &ProteinEngine{
+		cfg:    cfg,
+		arr:    arr,
+		matrix: prepared,
+		area:   cfg.library.AreaUM2(arr.Netlist()),
+		n:      n,
+		m:      m,
+	}, nil
+}
+
+// Dims returns the string lengths the engine was built for.
+func (e *ProteinEngine) Dims() (n, m int) { return e.n, e.m }
+
+// AreaUM2 returns the engine's placed cell area under its library.
+func (e *ProteinEngine) AreaUM2() float64 { return e.area }
+
+// MatrixName returns the name of the prepared score matrix in use.
+func (e *ProteinEngine) MatrixName() string { return e.matrix.Name }
+
+// Align races p against q.  Lower scores mean higher similarity.
+func (e *ProteinEngine) Align(p, q string) (*Alignment, error) {
+	var res *race.AlignResult
+	var err error
+	if e.cfg.threshold >= 0 {
+		res, err = e.arr.AlignThreshold(p, q, temporal.Time(e.cfg.threshold))
+	} else {
+		res, err = e.arr.Align(p, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return toAlignment(e.cfg.library, e.area, res, p, q, e.matrix)
+}
+
+// Graph is a weighted directed acyclic graph accepted by ShortestPath and
+// LongestPath — the general Section 3 construction.
+type Graph struct {
+	g *dagGraph
+}
+
+// dagGraph aliases the internal graph so the public type stays opaque.
+type dagGraph = graphImpl
+
+// NewGraph returns an empty DAG builder.
+func NewGraph() *Graph { return &Graph{g: newGraphImpl()} }
+
+// AddNode adds a node and returns its ID.
+func (gr *Graph) AddNode(name string) int { return gr.g.addNode(name) }
+
+// AddEdge adds a directed edge with a non-negative integer weight.  Use
+// Never for an infinite weight (equivalent to omitting the edge).
+func (gr *Graph) AddEdge(from, to int, weight int64) error {
+	return gr.g.addEdge(from, to, weight)
+}
+
+// ShortestPath compiles the graph to an OR-type race circuit, injects a
+// rising edge at every source node, and returns the arrival time at dst —
+// the shortest-path weight — or Never if dst is unreachable.
+func (gr *Graph) ShortestPath(dst int) (int64, error) { return gr.g.solve(dst, race.ORType) }
+
+// LongestPath races an AND-type circuit: the arrival time at dst is the
+// longest-path weight, or Never if any of dst's ancestors can never fire.
+func (gr *Graph) LongestPath(dst int) (int64, error) { return gr.g.solve(dst, race.ANDType) }
+
+// Libraries returns the available standard-cell library names.
+func Libraries() []string {
+	names := make([]string, 0, 2)
+	for _, l := range tech.Libraries() {
+		names = append(names, l.Name)
+	}
+	return names
+}

@@ -1,0 +1,72 @@
+package racelogic_test
+
+import (
+	"fmt"
+	"log"
+
+	"racelogic"
+)
+
+// The paper's running example: racing two DNA strings through the Fig. 4
+// synchronous array.  The score is the cycle at which the rising edge
+// reaches the far corner of the edit graph.
+func ExampleDNAEngine_Align() {
+	engine, err := racelogic.NewDNAEngine(7, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := engine.Align("ACTGAGA", "GATTCGA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("score:", a.Score)
+	fmt.Println("cycles:", a.Metrics.Cycles)
+	fmt.Println(a.AlignedP)
+	fmt.Println(a.AlignedQ)
+	// Output:
+	// score: 10
+	// cycles: 10
+	// _A__CTGAGA
+	// GATTC___GA
+}
+
+// Racing a weighted DAG: min is an OR gate, so the shortest path is just
+// the arrival time of the first edge to finish.
+func ExampleGraph_ShortestPath() {
+	g := racelogic.NewGraph()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	out := g.AddNode("out")
+	for _, e := range []struct {
+		from, to int
+		w        int64
+	}{{s, a, 1}, {a, out, 1}, {s, out, 5}} {
+		if err := g.AddEdge(e.from, e.to, e.w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	d, err := g.ShortestPath(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d)
+	// Output: 2
+}
+
+// Section 6 threshold mode: a dissimilar pair is rejected after only
+// threshold+1 cycles instead of racing to completion.
+func ExampleWithThreshold() {
+	engine, err := racelogic.NewDNAEngine(8, 8, racelogic.WithThreshold(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := engine.Align("AAAAAAAA", "TTTTTTTT") // true score 16 > 10
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("found:", a.Found)
+	fmt.Println("cycles:", a.Metrics.Cycles)
+	// Output:
+	// found: false
+	// cycles: 11
+}

@@ -1,0 +1,79 @@
+// analog: the Section 6 future-work design — asynchronous Race Logic
+// with configurable (memristive) analog delay elements, no clock at all.
+//
+// "The most optimal implementation of Race Logic is asynchronous and in
+// the analog domain ... resistive switching devices can be used to
+// implement configurable edge weights (Fig. 3d)."
+//
+// This example races the paper's Fig. 1 alignment through an event-driven
+// analog edit graph, shows that the clockless energy is one device charge
+// per edge (quadratic in N, not cubic), and then sweeps memristive device
+// variation to find where analog imprecision starts corrupting scores —
+// the engineering question the paper leaves open.
+//
+// Run with:
+//
+//	go run ./examples/analog
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"racelogic/internal/align"
+	"racelogic/internal/async"
+	"racelogic/internal/score"
+)
+
+func main() {
+	p, q := "ACTGAGA", "GATTCGA"
+
+	// Build the edit graph and compile it to an asynchronous OR-type
+	// (min) race with one analog delay device per edge.
+	g, _, sink, err := align.EditGraph(p, q, score.DNAShortestInf())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, ids, err := async.FromDAG(g, async.MinNode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := c.Race()
+	fmt.Printf("asynchronous race of %s vs %s\n", p, q)
+	fmt.Printf("score: %.0f time units (same 10 the synchronous array measures in cycles)\n",
+		res.Arrival[ids[sink]])
+	fmt.Printf("devices charged: %d — the whole energy bill, %.3g J at 20 fF / 5 V\n",
+		res.FiredDevices, res.EnergyJ(20e-15, 5))
+	fmt.Println("no clock network: energy is one charge per edge, O(N²) instead of O(N³)")
+
+	// Device variation study: memristive delays are imprecise.  How much
+	// multiplicative error can the race absorb before scores drift?
+	fmt.Println("\ndevice-variation sweep (100 programmings each):")
+	fmt.Println("  variation   max |score error|   wrong-integer rate")
+	rng := rand.New(rand.NewSource(1))
+	for _, v := range []float64{0.01, 0.05, 0.10, 0.20, 0.40} {
+		var maxErr float64
+		wrong := 0
+		const trials = 100
+		for i := 0; i < trials; i++ {
+			if err := c.Program(rng, v); err != nil {
+				log.Fatal(err)
+			}
+			got := c.Race().Arrival[ids[sink]]
+			e := math.Abs(got - 10)
+			if e > maxErr {
+				maxErr = e
+			}
+			if math.Round(got) != 10 {
+				wrong++
+			}
+		}
+		fmt.Printf("  %6.0f%%     %8.3f            %3d%%\n", v*100, maxErr, 100*wrong/trials)
+	}
+	fmt.Println("\nsmall variation only jitters the arrival; past tens of percent the")
+	fmt.Println("race picks wrong paths and the rounded score itself goes bad —")
+	fmt.Println("the calibration budget for a memristive Race Logic chip.")
+}

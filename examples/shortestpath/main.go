@@ -1,0 +1,83 @@
+// shortestpath: solve a weighted-DAG shortest/longest path problem by
+// racing edges through a circuit — the general Section 3 construction.
+//
+// Every node of the DAG becomes an OR gate (min: the first edge wins) or
+// an AND gate (max: the last edge wins); every weight-w edge becomes a
+// chain of w flip-flops.  Inject a rising edge at the sources and the
+// answer is simply the cycle at which the destination fires.
+//
+// The example graph is Fig. 3a of the paper, whose shortest path is 2 —
+// "it takes two cycles for the '1' signal to propagate to the output".
+//
+// Run with:
+//
+//	go run ./examples/shortestpath
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"racelogic"
+)
+
+func main() {
+	// Rebuild the paper's Fig. 3a DAG: two input nodes, one output.
+	g := racelogic.NewGraph()
+	in0 := g.AddNode("in0")
+	in1 := g.AddNode("in1")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	out := g.AddNode("out")
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(g.AddEdge(in0, a, 1))
+	must(g.AddEdge(in0, b, 2))
+	must(g.AddEdge(in1, a, 1))
+	must(g.AddEdge(in1, b, 1))
+	must(g.AddEdge(a, b, 1))
+	must(g.AddEdge(a, out, 1))
+	must(g.AddEdge(b, out, 3))
+
+	short, err := g.ShortestPath(out)
+	must(err)
+	fmt.Printf("OR-type race (min):  the output fired at cycle %d — the shortest path\n", short)
+
+	long, err := g.LongestPath(out)
+	must(err)
+	fmt.Printf("AND-type race (max): the output fired at cycle %d — the longest path\n", long)
+
+	// A second graph: task scheduling as a longest-path (critical path)
+	// race.  Tasks are edges weighted by duration; the project's
+	// completion time is when the final AND gate fires.
+	sched := racelogic.NewGraph()
+	start := sched.AddNode("start")
+	specs := sched.AddNode("specs")
+	impl := sched.AddNode("implementation")
+	tests := sched.AddNode("tests")
+	docs := sched.AddNode("docs")
+	ship := sched.AddNode("ship")
+	must(sched.AddEdge(start, specs, 2)) // 2 days of specs
+	must(sched.AddEdge(specs, impl, 5))  // 5 days implementing
+	must(sched.AddEdge(specs, docs, 3))  // 3 days of docs, in parallel
+	must(sched.AddEdge(impl, tests, 2))  // 2 days of tests
+	must(sched.AddEdge(tests, ship, 1))  // release day
+	must(sched.AddEdge(docs, ship, 1))
+	critical, err := sched.LongestPath(ship)
+	must(err)
+	fmt.Printf("\ncritical path of the schedule: %d days (specs→impl→tests→ship)\n", critical)
+
+	// An infinite-weight edge is a missing edge: the race never takes it.
+	blocked := racelogic.NewGraph()
+	s := blocked.AddNode("s")
+	t := blocked.AddNode("t")
+	must(blocked.AddEdge(s, t, racelogic.Never))
+	d, err := blocked.ShortestPath(t)
+	must(err)
+	if d == racelogic.Never {
+		fmt.Println("\nan edge of weight ∞ behaves exactly like no edge: t is unreachable")
+	}
+}

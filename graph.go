@@ -1,0 +1,41 @@
+package racelogic
+
+import (
+	"racelogic/internal/dag"
+	"racelogic/internal/race"
+	"racelogic/internal/temporal"
+)
+
+// graphImpl adapts the internal DAG representation to the public Graph
+// API, keeping internal types out of exported signatures.
+type graphImpl struct {
+	g *dag.Graph
+}
+
+func newGraphImpl() *graphImpl { return &graphImpl{g: dag.New()} }
+
+func (gi *graphImpl) addNode(name string) int { return int(gi.g.AddNode(name)) }
+
+func (gi *graphImpl) addEdge(from, to int, weight int64) error {
+	w := temporal.Time(weight)
+	if weight == Never {
+		w = temporal.Never
+	}
+	return gi.g.AddEdge(dag.NodeID(from), dag.NodeID(to), w)
+}
+
+func (gi *graphImpl) solve(dst int, gt race.GateType) (int64, error) {
+	s, err := race.FromDAG(gi.g, gt)
+	if err != nil {
+		return Never, err
+	}
+	res, err := s.Solve(dag.NodeID(dst))
+	if err != nil {
+		return Never, err
+	}
+	t := res.Arrival[dst]
+	if t == temporal.Never {
+		return Never, nil
+	}
+	return int64(t), nil
+}

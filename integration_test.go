@@ -1,0 +1,162 @@
+package racelogic
+
+// Integration tests crossing the module's layers through the public API:
+// the race engines, the reference DP, the systolic baseline and the
+// asynchronous extension must all tell one consistent story on shared
+// workloads.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"racelogic/internal/align"
+	"racelogic/internal/async"
+	"racelogic/internal/score"
+	"racelogic/internal/seqgen"
+	"racelogic/internal/systolic"
+)
+
+// TestIntegrationFourModelsAgree runs random DNA pairs through (1) the
+// public DNAEngine (gate-level synchronous race), (2) the reference
+// software DP, (3) the asynchronous analog race, and (4) checks the
+// score identity linking the race score to the Levenshtein-flavored
+// systolic result via the match count.
+func TestIntegrationFourModelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	g := seqgen.NewDNA(82)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		p := g.Random(n)
+		q := g.Random(n)
+
+		engine, err := NewDNAEngine(n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw, err := engine.Align(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ref, err := align.Global(p, q, score.DNAShortestInf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hw.Score != int64(ref.Score) {
+			t.Fatalf("%q vs %q: engine %d != DP %v", p, q, hw.Score, ref.Score)
+		}
+
+		eg, _, sink, err := align.EditGraph(p, q, score.DNAShortestInf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ac, ids, err := async.FromDAG(eg, async.MinNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ac.Race().Arrival[ids[sink]]; math.Abs(got-float64(hw.Score)) > 1e-9 {
+			t.Fatalf("%q vs %q: async %v != engine %d", p, q, got, hw.Score)
+		}
+
+		// Score identity: under match=1/indel=1/mismatch=∞ the race
+		// score is N+M − LCS(p,q), and the traced alignment's match
+		// count is exactly that LCS.
+		lcsViaScore := int64(2*n) - hw.Score
+		matches := 0
+		for k := range hw.AlignedP {
+			if hw.AlignedP[k] != '_' && hw.AlignedP[k] == hw.AlignedQ[k] {
+				matches++
+			}
+		}
+		if int64(matches) != lcsViaScore {
+			t.Fatalf("%q vs %q: traced matches %d != N+M−score %d", p, q, matches, lcsViaScore)
+		}
+	}
+}
+
+// TestIntegrationSystolicAndEditDistance checks the baseline agrees with
+// the public EditDistance on the same workloads the race engines use.
+func TestIntegrationSystolicAndEditDistance(t *testing.T) {
+	arr, err := systolic.New(12, DNAAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := seqgen.NewDNA(83)
+	for trial := 0; trial < 20; trial++ {
+		p, q := g.RandomPair(12)
+		r, err := arr.Compare(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Distance != EditDistance(p, q) {
+			t.Fatalf("%q vs %q: systolic %d != EditDistance %d", p, q, r.Distance, EditDistance(p, q))
+		}
+	}
+}
+
+// TestIntegrationProteinRankingStable checks that the generalized engine
+// ranks a mutation ladder monotonically: each extra substitution can only
+// slow the race down (scores are non-decreasing in edit burden).
+func TestIntegrationProteinRankingStable(t *testing.T) {
+	const n = 5
+	e, err := NewProteinEngine(n, n, "BLOSUM62")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := seqgen.NewProtein(84)
+	query := g.Random(n)
+	prev := int64(-1)
+	for subs := 0; subs <= n; subs += 2 {
+		mut, err := g.Mutate(query, subs, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Align(query, mut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Score < prev {
+			// Not strictly guaranteed for arbitrary matrices, but with
+			// BLOSUM62's dominant diagonal a smaller edit burden must
+			// not lose to a larger one on the same positions.
+			t.Fatalf("score decreased with more substitutions: %d after %d subs (prev %d)",
+				a.Score, subs, prev)
+		}
+		prev = a.Score
+	}
+}
+
+// TestIntegrationGatingEndToEnd races the same worst-case pair through
+// ungated, coarsely gated and finely gated engines and checks the scores
+// agree while the measured energies order as Section 4.3 predicts at the
+// extremes of the U-curve.
+func TestIntegrationGatingEndToEnd(t *testing.T) {
+	const n = 12
+	g := seqgen.NewDNA(85)
+	p, q := g.WorstCase(n)
+	var scores []int64
+	var energies []float64
+	for _, region := range []int{0, 4, 1} { // ungated, near-optimal, finest
+		opts := []Option{}
+		if region > 0 {
+			opts = append(opts, WithClockGating(region))
+		}
+		e, err := NewDNAEngine(n, n, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Align(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores = append(scores, a.Score)
+		energies = append(energies, a.Metrics.EnergyJ)
+	}
+	if scores[0] != scores[1] || scores[1] != scores[2] {
+		t.Fatalf("gating changed scores: %v", scores)
+	}
+	if energies[1] >= energies[0] {
+		t.Errorf("near-optimal gating %g must beat ungated %g", energies[1], energies[0])
+	}
+}

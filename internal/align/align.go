@@ -1,0 +1,270 @@
+// Package align is the reference software implementation of the sequence
+// alignment algorithms Race Logic accelerates.
+//
+// It provides the classical dynamic-programming solutions — Needleman–
+// Wunsch global alignment [18], Smith–Waterman local alignment [19] and
+// Levenshtein edit distance — over arbitrary score matrices, with full DP
+// tables, traceback to the Fig. 1-style two-row alignment strings, and the
+// cumulative "alignment matrix" representation of Fig. 1b/1d.  Every
+// hardware model in this repository (the Race Logic arrays and the
+// Lipton–Lopresti systolic array) is property-tested against this package:
+// the circuits must produce exactly these scores.
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"racelogic/internal/score"
+	"racelogic/internal/temporal"
+)
+
+// Op is one edit operation in an alignment path.
+type Op uint8
+
+// The edit operations, named as in the paper's Section 2.
+const (
+	OpMatch    Op = iota // diagonal edge, equal symbols
+	OpMismatch           // diagonal edge, different symbols (substitution)
+	OpInsert             // vertical edge: symbol of Q against a gap in P
+	OpDelete             // horizontal edge: symbol of P against a gap in Q
+)
+
+// String returns a one-word name for the operation.
+func (o Op) String() string {
+	switch o {
+	case OpMatch:
+		return "match"
+	case OpMismatch:
+		return "mismatch"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Result is a completed alignment: the optimal score, the full DP table,
+// and one optimal path in several representations.
+type Result struct {
+	// Score is the optimal alignment score under the matrix's direction.
+	Score temporal.Time
+	// Table is the (len(P)+1)×(len(Q)+1) DP table; Table[i][j] is the
+	// optimal score of aligning P[:i] with Q[:j].  Unreachable cells
+	// (possible with Never-weight edges) hold temporal.Never.
+	Table [][]temporal.Time
+	// AlignedP and AlignedQ are the two rows of the Fig. 1a-style
+	// rendering, with '_' marking gaps.
+	AlignedP, AlignedQ string
+	// Ops is the operation sequence of the traceback path.
+	Ops []Op
+}
+
+// Counts returns the number of matches, mismatches and indels on the
+// traceback path.
+func (r *Result) Counts() (matches, mismatches, indels int) {
+	for _, op := range r.Ops {
+		switch op {
+		case OpMatch:
+			matches++
+		case OpMismatch:
+			mismatches++
+		default:
+			indels++
+		}
+	}
+	return
+}
+
+// AlignmentMatrix returns the Fig. 1b/1d representation: for each column
+// of the alignment, the cumulative count of consumed symbols of P (top
+// row) and Q (bottom row).  Each column is a node coordinate on the edit
+// graph path.
+func (r *Result) AlignmentMatrix() (top, bottom []int) {
+	var i, j int
+	for _, op := range r.Ops {
+		switch op {
+		case OpMatch, OpMismatch:
+			i++
+			j++
+		case OpDelete:
+			i++
+		case OpInsert:
+			j++
+		}
+		top = append(top, i)
+		bottom = append(bottom, j)
+	}
+	return top, bottom
+}
+
+// String renders the alignment in the paper's Fig. 1a two-row format.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "score=%v\nP %s\nQ %s\n", r.Score, spaceOut(r.AlignedP), spaceOut(r.AlignedQ))
+	return b.String()
+}
+
+func spaceOut(s string) string {
+	return strings.Join(strings.Split(s, ""), " ")
+}
+
+// Global computes the Needleman–Wunsch global alignment of p and q under
+// matrix m, honoring the matrix's direction (Shortest minimizes, Longest
+// maximizes) and treating Never-weight edges as absent.
+func Global(p, q string, m *score.Matrix) (*Result, error) {
+	// Validate every symbol up front so indexing below cannot fail.
+	for _, s := range []string{p, q} {
+		for k := 0; k < len(s); k++ {
+			if _, err := m.Index(s[k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sr := semiringFor(m.Dir)
+	n, mm := len(p), len(q)
+	tab := newTable(n+1, mm+1, sr.Zero)
+	// pred[i][j] encodes the winning move: 0 none, 1 diag, 2 up
+	// (insert), 3 left (delete).
+	pred := make([][]uint8, n+1)
+	for i := range pred {
+		pred[i] = make([]uint8, mm+1)
+	}
+	tab[0][0] = sr.One
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= mm; j++ {
+			if i == 0 && j == 0 {
+				continue
+			}
+			best, from := sr.Zero, uint8(0)
+			consider := func(prev temporal.Time, w temporal.Time, tag uint8) {
+				if prev == sr.Zero || w == temporal.Never {
+					return // no path through this move
+				}
+				cand := sr.Extend(prev, w)
+				// Take cand if it strictly improves on best (ties keep
+				// the earlier-considered move, so diagonals win ties).
+				if best == sr.Zero || (sr.Combine(best, cand) == cand && cand != best) {
+					best, from = cand, tag
+				}
+			}
+			if i > 0 && j > 0 {
+				consider(tab[i-1][j-1], m.MustScore(p[i-1], q[j-1]), 1)
+			}
+			if j > 0 {
+				consider(tab[i][j-1], m.Gap, 2)
+			}
+			if i > 0 {
+				consider(tab[i-1][j], m.Gap, 3)
+			}
+			tab[i][j] = best
+			pred[i][j] = from
+		}
+	}
+	res := &Result{Score: tab[n][mm], Table: tab}
+	if res.Score == sr.Zero {
+		return nil, fmt.Errorf("align: no valid global alignment of %q and %q under %s", p, q, m.Name)
+	}
+	// Traceback.
+	var ap, aq []byte
+	var ops []Op
+	for i, j := n, mm; i != 0 || j != 0; {
+		switch pred[i][j] {
+		case 1:
+			ap = append(ap, p[i-1])
+			aq = append(aq, q[j-1])
+			if p[i-1] == q[j-1] {
+				ops = append(ops, OpMatch)
+			} else {
+				ops = append(ops, OpMismatch)
+			}
+			i, j = i-1, j-1
+		case 2:
+			ap = append(ap, '_')
+			aq = append(aq, q[j-1])
+			ops = append(ops, OpInsert)
+			j--
+		case 3:
+			ap = append(ap, p[i-1])
+			aq = append(aq, '_')
+			ops = append(ops, OpDelete)
+			i--
+		default:
+			return nil, fmt.Errorf("align: traceback stuck at (%d,%d)", i, j)
+		}
+	}
+	reverseBytes(ap)
+	reverseBytes(aq)
+	reverseOps(ops)
+	res.AlignedP, res.AlignedQ = string(ap), string(aq)
+	res.Ops = ops
+	return res, nil
+}
+
+// semiringFor maps a matrix direction onto the temporal semiring the DP
+// folds over.
+func semiringFor(d score.Direction) temporal.Semiring {
+	if d == score.Shortest {
+		return temporal.MinPlus
+	}
+	return temporal.MaxPlus
+}
+
+func newTable(rows, cols int, fill temporal.Time) [][]temporal.Time {
+	t := make([][]temporal.Time, rows)
+	backing := make([]temporal.Time, rows*cols)
+	for i := range backing {
+		backing[i] = fill
+	}
+	for i := range t {
+		t[i], backing = backing[:cols], backing[cols:]
+	}
+	return t
+}
+
+func reverseBytes(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+func reverseOps(o []Op) {
+	for i, j := 0, len(o)-1; i < j; i, j = i+1, j-1 {
+		o[i], o[j] = o[j], o[i]
+	}
+}
+
+// Levenshtein returns the classic unit-cost edit distance between p and q
+// (insertions, deletions and substitutions all cost 1).  It is
+// alphabet-free and serves as the golden model for the Lipton–Lopresti
+// systolic array, which computes exactly this metric.
+func Levenshtein(p, q string) int {
+	n, m := len(p), len(q)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			sub := prev[j-1]
+			if p[i-1] != q[j-1] {
+				sub++
+			}
+			ins := cur[j-1] + 1
+			del := prev[j] + 1
+			best := sub
+			if ins < best {
+				best = ins
+			}
+			if del < best {
+				best = del
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

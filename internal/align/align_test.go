@@ -1,0 +1,514 @@
+package align
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"racelogic/internal/score"
+	"racelogic/internal/temporal"
+)
+
+// The paper's running example (Fig. 1): P = ACTGAGA, Q = GATTCGA.
+const (
+	figP = "ACTGAGA"
+	figQ = "GATTCGA"
+)
+
+func TestFig4FinalScoreIsTen(t *testing.T) {
+	// The Fig. 4c timing matrix ends at 10 for the example strings under
+	// the match=1 / indel=1 / mismatch=∞ matrix; the DP must agree.
+	r, err := Global(figP, figQ, score.DNAShortestInf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 10 {
+		t.Errorf("score = %v, want 10 (Fig. 4c output cell)", r.Score)
+	}
+}
+
+func TestFig4TableMatchesFig4cTimingMatrix(t *testing.T) {
+	// Figure 4c prints the full per-cell timing matrix for the example
+	// strings.  Under Race Logic the arrival time at a cell equals its DP
+	// score, so the reference table must reproduce the figure
+	// digit-for-digit.
+	want := [][]temporal.Time{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{1, 2, 3, 4, 4, 5, 6, 7},
+		{2, 2, 3, 4, 5, 5, 6, 7},
+		{3, 3, 4, 4, 5, 6, 7, 8},
+		{4, 4, 5, 5, 6, 7, 8, 9},
+		{5, 5, 5, 6, 7, 8, 9, 10},
+		{6, 6, 6, 7, 7, 8, 9, 10},
+		{7, 7, 7, 8, 8, 8, 9, 10},
+	}
+	r, err := Global(figP, figQ, score.DNAShortestInf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The figure's rows follow Q (vertical axis) and columns follow P,
+	// i.e. entry [row][col] is our Table[col][row].
+	for row := range want {
+		for col := range want[row] {
+			if got := r.Table[col][row]; got != want[row][col] {
+				t.Errorf("Table[%d][%d] = %v, want %v (Fig. 4c)", col, row, got, want[row][col])
+			}
+		}
+	}
+}
+
+func TestGlobalIdenticalStrings(t *testing.T) {
+	r, err := Global("ACTG", "ACTG", score.DNAShortest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 4 {
+		t.Errorf("identical strings: score = %v, want 4 (N matches at cost 1)", r.Score)
+	}
+	matches, mismatches, indels := r.Counts()
+	if matches != 4 || mismatches != 0 || indels != 0 {
+		t.Errorf("Counts = %d/%d/%d, want 4/0/0", matches, mismatches, indels)
+	}
+}
+
+func TestGlobalCompleteMismatchWorstCase(t *testing.T) {
+	// Fully disjoint strings under Fig. 4 (mismatch = ∞): the only paths
+	// are all-indel, cost N+M.
+	r, err := Global("AAAA", "TTTT", score.DNAShortestInf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 8 {
+		t.Errorf("score = %v, want 8 = N+M", r.Score)
+	}
+	m, mm, ind := r.Counts()
+	if m != 0 || mm != 0 || ind != 8 {
+		t.Errorf("Counts = %d/%d/%d, want 0/0/8", m, mm, ind)
+	}
+}
+
+func TestGlobalEmptyStrings(t *testing.T) {
+	r, err := Global("", "ACG", score.DNAShortest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != 3 {
+		t.Errorf("empty vs ACG: score = %v, want 3 indels", r.Score)
+	}
+	if r.AlignedP != "___" || r.AlignedQ != "ACG" {
+		t.Errorf("alignment = %q/%q", r.AlignedP, r.AlignedQ)
+	}
+	r2, err := Global("", "", score.DNAShortest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Score != 0 || len(r2.Ops) != 0 {
+		t.Errorf("empty vs empty: score=%v ops=%v", r2.Score, r2.Ops)
+	}
+}
+
+func TestGlobalRejectsUnknownSymbols(t *testing.T) {
+	if _, err := Global("AXG", "ACG", score.DNAShortest()); err == nil {
+		t.Error("expected error for symbol X")
+	}
+	if _, err := Global("ACG", "ACZ", score.DNAShortest()); err == nil {
+		t.Error("expected error for symbol Z")
+	}
+}
+
+func TestAlignedRowsAreConsistent(t *testing.T) {
+	r, err := Global(figP, figQ, score.DNAShortest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AlignedP) != len(r.AlignedQ) {
+		t.Fatal("aligned rows must have equal length")
+	}
+	// Stripping gaps must recover the originals.
+	if strings.ReplaceAll(r.AlignedP, "_", "") != figP {
+		t.Errorf("AlignedP %q does not spell P", r.AlignedP)
+	}
+	if strings.ReplaceAll(r.AlignedQ, "_", "") != figQ {
+		t.Errorf("AlignedQ %q does not spell Q", r.AlignedQ)
+	}
+	// No column may have gaps in both rows.
+	for i := range r.AlignedP {
+		if r.AlignedP[i] == '_' && r.AlignedQ[i] == '_' {
+			t.Error("double-gap column")
+		}
+	}
+	// Section 2: columns = matches+mismatches+indels ≤ N+M.
+	m, mm, ind := r.Counts()
+	if cols := len(r.AlignedP); m+mm+ind != cols {
+		t.Errorf("ops %d != columns %d", m+mm+ind, cols)
+	}
+	if 2*(m+mm)+ind != len(figP)+len(figQ) {
+		t.Errorf("2(match+mismatch)+indel = %d, want N+M = %d", 2*(m+mm)+ind, len(figP)+len(figQ))
+	}
+}
+
+func TestTracebackScoreMatchesTable(t *testing.T) {
+	// Recompute the path score from the ops; it must equal Score.
+	mtx := score.DNAShortest()
+	r, err := Global(figP, figQ, mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum temporal.Time
+	for i := range r.AlignedP {
+		a, b := r.AlignedP[i], r.AlignedQ[i]
+		if a == '_' || b == '_' {
+			sum = sum.Add(mtx.Gap)
+		} else {
+			sum = sum.Add(mtx.MustScore(a, b))
+		}
+	}
+	if sum != r.Score {
+		t.Errorf("path cost %v != score %v", sum, r.Score)
+	}
+}
+
+func TestAlignmentMatrixFig1Shape(t *testing.T) {
+	r, err := Global(figP, figQ, score.DNAShortest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, bottom := r.AlignmentMatrix()
+	if len(top) != len(r.Ops) || len(bottom) != len(r.Ops) {
+		t.Fatal("alignment matrix must have one column per op")
+	}
+	// Monotone non-decreasing, ends at (N, M) — the Fig. 1b invariants.
+	for k := 1; k < len(top); k++ {
+		if top[k] < top[k-1] || bottom[k] < bottom[k-1] {
+			t.Fatal("alignment matrix columns must be monotone")
+		}
+	}
+	if top[len(top)-1] != len(figP) || bottom[len(bottom)-1] != len(figQ) {
+		t.Errorf("alignment matrix must end at (N,M), got (%d,%d)", top[len(top)-1], bottom[len(bottom)-1])
+	}
+}
+
+func TestLongestVsShortestEquivalence(t *testing.T) {
+	// Section 2: "finding longest and shortest path with score matrixes
+	// on Figure 2a and 2b are equivalent problems".  Concretely:
+	// shortest(Fig2b) = N + M − longest(Fig2a), because a path with k
+	// matches has Fig2b cost (N+M) − k and Fig2a score k.
+	check := func(p, q string) bool {
+		long, err := Global(p, q, score.DNALongest())
+		if err != nil {
+			return false
+		}
+		short, err := Global(p, q, score.DNAShortest())
+		if err != nil {
+			return false
+		}
+		return short.Score == temporal.Time(len(p)+len(q))-long.Score
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		p := randDNA(rng, rng.Intn(12))
+		q := randDNA(rng, rng.Intn(12))
+		if !check(p, q) {
+			t.Fatalf("equivalence fails for %q vs %q", p, q)
+		}
+	}
+}
+
+func TestFig4MatrixEquivalentToFig2b(t *testing.T) {
+	// The paper modifies Fig. 2b by promoting mismatches to ∞ and claims
+	// "the original and modified scoring matrixes are equivalent".
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		p := randDNA(rng, 1+rng.Intn(10))
+		q := randDNA(rng, 1+rng.Intn(10))
+		a, err := Global(p, q, score.DNAShortest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Global(p, q, score.DNAShortestInf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Score != b.Score {
+			t.Fatalf("%q vs %q: Fig2b=%v Fig4=%v", p, q, a.Score, b.Score)
+		}
+	}
+}
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"ACTGAGA", "ACTGAGA", 0},
+		{"AAAA", "TTTT", 4},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.p, c.q); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error("Levenshtein not symmetric:", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error("Levenshtein(a,a) != 0:", err)
+	}
+	bounds := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		min := len(a) - len(b)
+		if min < 0 {
+			min = -min
+		}
+		return d >= min && d <= max
+	}
+	if err := quick.Check(bounds, nil); err != nil {
+		t.Error("Levenshtein bounds violated:", err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error("triangle inequality violated:", err)
+	}
+}
+
+// bruteForceGlobal enumerates every alignment of short strings and folds
+// their scores — an independent, exponential-time oracle for Global.
+func bruteForceGlobal(p, q string, m *score.Matrix) temporal.Time {
+	sr := semiringFor(m.Dir)
+	var walk func(i, j int, acc temporal.Time) temporal.Time
+	walk = func(i, j int, acc temporal.Time) temporal.Time {
+		if acc == sr.Zero {
+			return sr.Zero
+		}
+		if i == len(p) && j == len(q) {
+			return acc
+		}
+		best := sr.Zero
+		ext := func(w temporal.Time, ni, nj int) {
+			if w == temporal.Never {
+				return
+			}
+			if r := walk(ni, nj, sr.Extend(acc, w)); r != sr.Zero {
+				best = sr.Combine(best, r)
+			}
+		}
+		if i < len(p) && j < len(q) {
+			ext(m.MustScore(p[i], q[j]), i+1, j+1)
+		}
+		if i < len(p) {
+			ext(m.Gap, i+1, j)
+		}
+		if j < len(q) {
+			ext(m.Gap, i, j+1)
+		}
+		return best
+	}
+	return walk(0, 0, sr.One)
+}
+
+func TestGlobalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	mats := []*score.Matrix{
+		score.DNAShortest(), score.DNAShortestInf(), score.DNALongest(),
+	}
+	for trial := 0; trial < 150; trial++ {
+		m := mats[trial%len(mats)]
+		p := randDNA(rng, rng.Intn(7))
+		q := randDNA(rng, rng.Intn(7))
+		got, err := Global(p, q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForceGlobal(p, q, m); got.Score != want {
+			t.Fatalf("%s %q vs %q: DP=%v brute=%v", m.Name, p, q, got.Score, want)
+		}
+	}
+}
+
+func TestGlobalBLOSUMAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := score.BLOSUM62()
+	for trial := 0; trial < 60; trial++ {
+		p := randProtein(rng, rng.Intn(6))
+		q := randProtein(rng, rng.Intn(6))
+		got, err := Global(p, q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForceGlobal(p, q, m); got.Score != want {
+			t.Fatalf("%q vs %q: DP=%v brute=%v", p, q, got.Score, want)
+		}
+	}
+}
+
+func TestGlobalBLOSUMProtein(t *testing.T) {
+	// The prepared (race-ready) matrix must rank identical strings
+	// fastest: smaller score = higher similarity for the OR-type race.
+	race := score.BLOSUM62().MustPrepareForRace()
+	same, err := Global("HEAGAWGHEE", "HEAGAWGHEE", race)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Global("HEAGAWGHEE", "PAWHEAE", race)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Score >= diff.Score {
+		t.Errorf("identical strings must be faster: same=%v diff=%v", same.Score, diff.Score)
+	}
+}
+
+func TestLocalSmithWaterman(t *testing.T) {
+	// Classic textbook example: local alignment finds AWGHE vs AW_HE.
+	r, err := Local("HEAGAWGHEE", "PAWHEAE", score.BLOSUM62())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score <= 0 {
+		t.Fatalf("local score = %v, want positive", r.Score)
+	}
+	// The aligned substrings must be substrings of the inputs once gaps
+	// are stripped.
+	pSub := strings.ReplaceAll(r.AlignedP, "_", "")
+	qSub := strings.ReplaceAll(r.AlignedQ, "_", "")
+	if !strings.Contains("HEAGAWGHEE", pSub) || !strings.Contains("PAWHEAE", qSub) {
+		t.Errorf("local alignment %q/%q not substrings", r.AlignedP, r.AlignedQ)
+	}
+	if pSub != "HEAGAWGHEE"[r.PStart:r.PEnd] {
+		t.Errorf("PStart/PEnd inconsistent: %q vs %q", pSub, "HEAGAWGHEE"[r.PStart:r.PEnd])
+	}
+	if qSub != "PAWHEAE"[r.QStart:r.QEnd] {
+		t.Errorf("QStart/QEnd inconsistent")
+	}
+}
+
+func TestLocalScoreNeverNegative(t *testing.T) {
+	r, err := Local("WWW", "CCC", score.BLOSUM62())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score < 0 {
+		t.Errorf("local score = %v, must be ≥ 0", r.Score)
+	}
+}
+
+func TestLocalRejectsShortestMatrix(t *testing.T) {
+	if _, err := Local("ACG", "ACG", score.DNAShortest()); err == nil {
+		t.Error("Local must reject shortest-direction matrices")
+	}
+}
+
+func TestLocalRejectsUnknownSymbols(t *testing.T) {
+	if _, err := Local("AXC", "ARN", score.BLOSUM62()); err == nil {
+		t.Error("expected error for unknown symbol")
+	}
+}
+
+func TestLocalAtLeastGlobalScore(t *testing.T) {
+	// A local alignment can only drop unprofitable ends, so its score is
+	// ≥ the global score under the same similarity matrix.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		p := randProtein(rng, 1+rng.Intn(10))
+		q := randProtein(rng, 1+rng.Intn(10))
+		g, err := Global(p, q, score.BLOSUM62())
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Local(p, q, score.BLOSUM62())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Score < g.Score {
+			t.Fatalf("%q vs %q: local %v < global %v", p, q, l.Score, g.Score)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpMatch: "match", OpMismatch: "mismatch", OpInsert: "insert", OpDelete: "delete",
+	} {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op must render something")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r, err := Global("AC", "AC", score.DNAShortest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	if !strings.Contains(s, "score=2") || !strings.Contains(s, "A C") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func randDNA(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = score.DNAAlphabet[rng.Intn(4)]
+	}
+	return string(b)
+}
+
+func randProtein(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = score.ProteinAlphabet[rng.Intn(20)]
+	}
+	return string(b)
+}
+
+// TestGlobalAgainstLevenshtein cross-checks Global under a unit-cost
+// matrix against the independent Levenshtein implementation.
+func TestGlobalAgainstLevenshtein(t *testing.T) {
+	unit := &score.Matrix{
+		Name:     "unit-edit",
+		Alphabet: score.DNAAlphabet,
+		Sub: [][]temporal.Time{
+			{0, 1, 1, 1},
+			{1, 0, 1, 1},
+			{1, 1, 0, 1},
+			{1, 1, 1, 0},
+		},
+		Gap: 1,
+		Dir: score.Shortest,
+	}
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 300; trial++ {
+		p := randDNA(rng, rng.Intn(15))
+		q := randDNA(rng, rng.Intn(15))
+		r, err := Global(p, q, unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(r.Score) != Levenshtein(p, q) {
+			t.Fatalf("%q vs %q: DP=%v Levenshtein=%d", p, q, r.Score, Levenshtein(p, q))
+		}
+	}
+}

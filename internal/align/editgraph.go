@@ -1,0 +1,51 @@
+package align
+
+import (
+	"fmt"
+
+	"racelogic/internal/dag"
+	"racelogic/internal/score"
+)
+
+// EditGraph materializes the paper's Fig. 1e structure as an explicit
+// weighted DAG: one node per coordinate of the (len(p)+1)×(len(q)+1)
+// grid, horizontal/vertical edges weighted by the gap penalty and
+// diagonal edges by the substitution score.  Infinite (Never) weights
+// become missing edges.  It returns the graph plus the root (0,0) and
+// sink (N,M) node IDs.
+//
+// The edit graph is the bridge between the alignment world and the
+// generic DAG solvers: race.FromDAG and async.FromDAG both accept it
+// directly, and dag.SolvePaths on it reproduces the Global DP table.
+func EditGraph(p, q string, m *score.Matrix) (g *dag.Graph, root, sink dag.NodeID, err error) {
+	for _, s := range []string{p, q} {
+		for k := 0; k < len(s); k++ {
+			if _, err := m.Index(s[k]); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+	}
+	n, mm := len(p), len(q)
+	g = dag.New()
+	ids := make([][]dag.NodeID, n+1)
+	for i := range ids {
+		ids[i] = make([]dag.NodeID, mm+1)
+		for j := range ids[i] {
+			ids[i][j] = g.AddNode(fmt.Sprintf("(%d,%d)", i, j))
+		}
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= mm; j++ {
+			if i < n {
+				g.MustAddEdge(ids[i][j], ids[i+1][j], m.Gap) // delete p[i]
+			}
+			if j < mm {
+				g.MustAddEdge(ids[i][j], ids[i][j+1], m.Gap) // insert q[j]
+			}
+			if i < n && j < mm {
+				g.MustAddEdge(ids[i][j], ids[i+1][j+1], m.MustScore(p[i], q[j]))
+			}
+		}
+	}
+	return g, ids[0][0], ids[n][mm], nil
+}

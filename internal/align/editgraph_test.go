@@ -1,0 +1,103 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"racelogic/internal/score"
+	"racelogic/internal/temporal"
+)
+
+func randomDNA(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = score.DNAAlphabet[rng.Intn(4)]
+	}
+	return string(b)
+}
+
+func TestEditGraphShape(t *testing.T) {
+	g, root, sink, err := EditGraph("ACT", "GA", score.DNAShortest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4*3 {
+		t.Errorf("nodes = %d, want 12", g.NumNodes())
+	}
+	// Edges: horizontal 3·3? — n·(m+1) deletes + (n+1)·m inserts + n·m diagonals.
+	want := 3*3 + 4*2 + 3*2
+	if g.NumEdges() != want {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if len(g.In(root)) != 0 {
+		t.Error("root must be a source")
+	}
+	if len(g.Out(sink)) != 0 {
+		t.Error("sink must have no outgoing edges")
+	}
+}
+
+func TestEditGraphDPEqualsGlobalTable(t *testing.T) {
+	// The shortest-path DP on the materialized edit graph must equal the
+	// Global DP table node for node — the equivalence the whole paper
+	// rests on (Section 2: alignments ⇔ paths).
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		p := randomDNA(rng, rng.Intn(8))
+		q := randomDNA(rng, rng.Intn(8))
+		for _, mtx := range []*score.Matrix{score.DNAShortest(), score.DNAShortestInf()} {
+			g, root, _, err := EditGraph(p, q, mtx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := g.SolvePaths(temporal.MinPlus, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Global(p, q, mtx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Node (i,j) has ID i·(len(q)+1)+j by construction order.
+			cols := len(q) + 1
+			for i := 0; i <= len(p); i++ {
+				for j := 0; j <= len(q); j++ {
+					id := i*cols + j
+					if res.Score[id] != ref.Table[i][j] {
+						t.Fatalf("%s %q/%q node (%d,%d): graph DP %v != table %v",
+							mtx.Name, p, q, i, j, res.Score[id], ref.Table[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEditGraphLongestMatchesMaxPlus(t *testing.T) {
+	// Fig. 2a longest-path formulation through the same graph machinery.
+	p, q := "ACTG", "ACG"
+	g, root, sink, err := EditGraph(p, q, score.DNALongest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.SolvePaths(temporal.MaxPlus, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Global(p, q, score.DNALongest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score[sink] != ref.Score {
+		t.Errorf("graph longest %v != DP %v", res.Score[sink], ref.Score)
+	}
+	if res.Score[sink] != 3 {
+		t.Errorf("LCS(ACTG, ACG) = %v, want 3", res.Score[sink])
+	}
+}
+
+func TestEditGraphRejectsBadSymbols(t *testing.T) {
+	if _, _, _, err := EditGraph("AXC", "AC", score.DNAShortest()); err == nil {
+		t.Error("expected error for unknown symbol")
+	}
+}

@@ -1,0 +1,96 @@
+package align
+
+import (
+	"fmt"
+
+	"racelogic/internal/score"
+	"racelogic/internal/temporal"
+)
+
+// LocalResult is a completed Smith–Waterman local alignment: the best
+// scoring pair of substrings and where they lie.
+type LocalResult struct {
+	// Score is the maximal local alignment score (≥ 0 by definition).
+	Score temporal.Time
+	// PStart/PEnd and QStart/QEnd delimit the aligned substrings
+	// p[PStart:PEnd] and q[QStart:QEnd].
+	PStart, PEnd, QStart, QEnd int
+	// AlignedP and AlignedQ render the local alignment with '_' gaps.
+	AlignedP, AlignedQ string
+	// Table is the full (len(p)+1)×(len(q)+1) Smith–Waterman table.
+	Table [][]temporal.Time
+}
+
+// Local computes the Smith–Waterman local alignment [19] of p and q.  The
+// matrix must be a Longest-direction similarity matrix (positive scores
+// reward similarity); the recurrence floors every cell at zero so an
+// alignment can start anywhere.
+func Local(p, q string, m *score.Matrix) (*LocalResult, error) {
+	if m.Dir != score.Longest {
+		return nil, fmt.Errorf("align: Local needs a longest-direction similarity matrix, %s is %v", m.Name, m.Dir)
+	}
+	for _, s := range []string{p, q} {
+		for k := 0; k < len(s); k++ {
+			if _, err := m.Index(s[k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	n, mm := len(p), len(q)
+	tab := newTable(n+1, mm+1, 0)
+	pred := make([][]uint8, n+1)
+	for i := range pred {
+		pred[i] = make([]uint8, mm+1)
+	}
+	var bestI, bestJ int
+	var best temporal.Time
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= mm; j++ {
+			var v temporal.Time // floor at 0: restart the alignment here
+			var from uint8
+			if w := m.MustScore(p[i-1], q[j-1]); w != temporal.Never {
+				if c := tab[i-1][j-1].Add(w); c > v {
+					v, from = c, 1
+				}
+			}
+			if m.Gap != temporal.Never {
+				if c := tab[i][j-1].Add(m.Gap); c > v {
+					v, from = c, 2
+				}
+				if c := tab[i-1][j].Add(m.Gap); c > v {
+					v, from = c, 3
+				}
+			}
+			tab[i][j] = v
+			pred[i][j] = from
+			if v > best {
+				best, bestI, bestJ = v, i, j
+			}
+		}
+	}
+	res := &LocalResult{Score: best, Table: tab, PEnd: bestI, QEnd: bestJ}
+	// Traceback from the best cell until a zero cell.
+	var ap, aq []byte
+	i, j := bestI, bestJ
+	for tab[i][j] != 0 && pred[i][j] != 0 {
+		switch pred[i][j] {
+		case 1:
+			ap = append(ap, p[i-1])
+			aq = append(aq, q[j-1])
+			i, j = i-1, j-1
+		case 2:
+			ap = append(ap, '_')
+			aq = append(aq, q[j-1])
+			j--
+		case 3:
+			ap = append(ap, p[i-1])
+			aq = append(aq, '_')
+			i--
+		}
+	}
+	res.PStart, res.QStart = i, j
+	reverseBytes(ap)
+	reverseBytes(aq)
+	res.AlignedP, res.AlignedQ = string(ap), string(aq)
+	return res, nil
+}

@@ -1,0 +1,243 @@
+// Package async implements the paper's Section 6 extension: asynchronous
+// Race Logic in the analog (continuous-time) domain.
+//
+// "The most optimal implementation of Race Logic is asynchronous ...
+// Most importantly, the asynchronous Race Logic does not have a clock
+// network which is the reason for third order energy scaling with N.
+// Moreover, resistive switching devices can be used to implement
+// configurable edge weights (Fig. 3d)."
+//
+// Instead of flip-flop chains clocked at a fixed period, every edge is a
+// configurable analog delay element — a resistive (memristive) device
+// whose RC constant sets the delay — and nodes are the same OR (min) and
+// AND (max) gates.  This package models that design with an event-driven
+// simulator: rising edges are events on a priority queue ordered by real-
+// valued time; an OR node fires when its first input event arrives, an
+// AND node when its last one does.  Each device's delay can deviate from
+// its programmed value (memristive devices are notoriously variable),
+// letting the tests quantify when device variation starts flipping race
+// outcomes — the practical limit of the analog design.
+//
+// Energy follows directly from the clockless estimate of Section 6:
+// every edge is charged exactly once, when its delay element fires, so
+// the total energy is (number of fired edges) × (energy per RC charge) —
+// second-order in N for the edit-graph array, not third.
+package async
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"racelogic/internal/dag"
+)
+
+// NodeKind selects the firing rule of a node.
+type NodeKind uint8
+
+// The two node kinds of asynchronous Race Logic.
+const (
+	// MinNode fires on its first input edge — the OR gate.
+	MinNode NodeKind = iota
+	// MaxNode fires on its last input edge — the AND gate.
+	MaxNode
+)
+
+// Device is one configurable analog delay element (the Fig. 3d resistive
+// device) on an edge of the race graph.
+type Device struct {
+	// From and To are the node endpoints.
+	From, To int
+	// Delay is the programmed delay in arbitrary time units (the RC
+	// constant the memristance is tuned to).
+	Delay float64
+	// actual is the delay after device variation is applied; set at
+	// Program time.
+	actual float64
+}
+
+// Circuit is an asynchronous race circuit: nodes with firing rules and
+// devices with programmed delays.  Build it once, Program it (applying
+// device variation), then Race it any number of times.
+type Circuit struct {
+	kinds   []NodeKind
+	inputs  []bool
+	devices []Device
+	out     [][]int // device indices by source node
+	indeg   []int
+}
+
+// New returns an empty circuit.
+func New() *Circuit { return &Circuit{} }
+
+// AddInput adds an input node (fires at the injection time) and returns
+// its ID.
+func (c *Circuit) AddInput() int {
+	c.kinds = append(c.kinds, MinNode)
+	c.inputs = append(c.inputs, true)
+	c.out = append(c.out, nil)
+	c.indeg = append(c.indeg, 0)
+	return len(c.kinds) - 1
+}
+
+// AddNode adds an internal node with the given firing rule.
+func (c *Circuit) AddNode(kind NodeKind) int {
+	c.kinds = append(c.kinds, kind)
+	c.inputs = append(c.inputs, false)
+	c.out = append(c.out, nil)
+	c.indeg = append(c.indeg, 0)
+	return len(c.kinds) - 1
+}
+
+// Connect places a delay device between two nodes.  Delays must be
+// positive: a zero-delay analog element is a wire, which should be a
+// single node instead.
+func (c *Circuit) Connect(from, to int, delay float64) error {
+	if from < 0 || from >= len(c.kinds) || to < 0 || to >= len(c.kinds) {
+		return fmt.Errorf("async: node out of range (%d -> %d, have %d)", from, to, len(c.kinds))
+	}
+	if c.inputs[to] {
+		return fmt.Errorf("async: cannot drive input node %d", to)
+	}
+	if delay <= 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
+		return fmt.Errorf("async: delay %v must be positive and finite", delay)
+	}
+	c.devices = append(c.devices, Device{From: from, To: to, Delay: delay, actual: delay})
+	c.out[from] = append(c.out[from], len(c.devices)-1)
+	c.indeg[to]++
+	return nil
+}
+
+// Program applies multiplicative device variation: each device's actual
+// delay becomes Delay × (1 + ε) with ε drawn uniformly from
+// [−variation, +variation].  variation = 0 restores nominal delays.
+// Deterministic for a given rng.
+func (c *Circuit) Program(rng *rand.Rand, variation float64) error {
+	if variation < 0 || variation >= 1 {
+		return fmt.Errorf("async: variation %v must be in [0, 1)", variation)
+	}
+	for i := range c.devices {
+		eps := 0.0
+		if variation > 0 {
+			eps = (rng.Float64()*2 - 1) * variation
+		}
+		c.devices[i].actual = c.devices[i].Delay * (1 + eps)
+	}
+	return nil
+}
+
+// Result reports one asynchronous race.
+type Result struct {
+	// Arrival[v] is the firing time of node v, or +Inf if it never fired.
+	Arrival []float64
+	// FiredDevices counts delay elements that charged — the energy unit
+	// of the clockless design (each is charged exactly once).
+	FiredDevices int
+	// Events is the total number of edge events processed.
+	Events int
+}
+
+// event is one rising edge in flight.
+type event struct {
+	time   float64
+	node   int
+	device int // index of the device that produced it, or -1 for inputs
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].time < q[j].time }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Race injects a rising edge at every input node at time 0 and runs the
+// event-driven simulation to quiescence.
+func (c *Circuit) Race() *Result {
+	n := len(c.kinds)
+	res := &Result{Arrival: make([]float64, n)}
+	for i := range res.Arrival {
+		res.Arrival[i] = math.Inf(1)
+	}
+	pending := make([]int, n) // remaining inputs for AND nodes
+	copy(pending, c.indeg)
+	fired := make([]bool, n)
+
+	var q eventQueue
+	for i := range c.kinds {
+		if c.inputs[i] {
+			heap.Push(&q, event{time: 0, node: i, device: -1})
+		}
+	}
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		res.Events++
+		v := e.node
+		if fired[v] {
+			continue // a later edge into an already-fired min node
+		}
+		if c.kinds[v] == MaxNode && !c.inputs[v] {
+			pending[v]--
+			if pending[v] > 0 {
+				continue // AND gate still waiting for slower inputs
+			}
+		}
+		fired[v] = true
+		res.Arrival[v] = e.time
+		for _, di := range c.out[v] {
+			d := &c.devices[di]
+			res.FiredDevices++
+			heap.Push(&q, event{time: e.time + d.actual, node: d.To, device: di})
+		}
+	}
+	return res
+}
+
+// FromDAG compiles a weighted DAG into an asynchronous race circuit with
+// nominal delays equal to the edge weights (min semantics for kind ==
+// MinNode, max for MaxNode).  Infinite (temporal.Never) weights compile
+// to missing devices, exactly as in the synchronous design.  Zero-weight
+// edges are not representable in the analog domain and are rejected.
+func FromDAG(g *dag.Graph, kind NodeKind) (*Circuit, map[dag.NodeID]int, error) {
+	if _, err := g.TopoSort(); err != nil {
+		return nil, nil, fmt.Errorf("async: %w", err)
+	}
+	c := New()
+	ids := make(map[dag.NodeID]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		if len(g.In(dag.NodeID(v))) == 0 {
+			ids[dag.NodeID(v)] = c.AddInput()
+		} else {
+			ids[dag.NodeID(v)] = c.AddNode(kind)
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Out(dag.NodeID(v)) {
+			if e.Weight.IsNever() {
+				continue
+			}
+			if e.Weight <= 0 {
+				return nil, nil, fmt.Errorf("async: edge %d->%d has non-positive weight %v", e.From, e.To, e.Weight)
+			}
+			if err := c.Connect(ids[e.From], ids[e.To], float64(e.Weight)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return c, ids, nil
+}
+
+// EnergyJ prices a race under the clockless model: every fired device
+// charges its RC node once.  devCapF is the device capacitance in farads
+// and vdd the programming rail in volts.
+func (r *Result) EnergyJ(devCapF, vdd float64) float64 {
+	return float64(r.FiredDevices) * 0.5 * devCapF * vdd * vdd
+}

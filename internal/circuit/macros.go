@@ -1,0 +1,173 @@
+package circuit
+
+import "fmt"
+
+// This file contains the composite structures ("macros") the paper's
+// architectures are assembled from.  Each macro expands into primitive
+// cells so the area/energy accounting sees exactly the hardware the paper
+// describes: delay chains are literal DFF shift chains (Section 3),
+// saturating up-counters and equality decoders implement the generalized
+// cell of Section 5, and the set-on-arrival latch is the dotted box of
+// Figure 8.
+
+// DelayChain returns a net equal to a delayed by k clock cycles: a shift
+// chain of k flip-flops.  k = 0 returns a unchanged.  This is the paper's
+// realization of "+k" on an edge weight.
+func (n *Netlist) DelayChain(a Net, k int) Net {
+	if k < 0 {
+		panic(fmt.Sprintf("circuit: DelayChain with negative length %d", k))
+	}
+	for i := 0; i < k; i++ {
+		a = n.DFF(a)
+	}
+	return a
+}
+
+// DelayChainE is DelayChain built from clock-enabled flip-flops sharing
+// one enable net, used inside clock-gated multi-cell regions.
+func (n *Netlist) DelayChainE(a Net, k int, enable Net) Net {
+	if k < 0 {
+		panic(fmt.Sprintf("circuit: DelayChainE with negative length %d", k))
+	}
+	for i := 0; i < k; i++ {
+		a = n.DFFE(a, enable)
+	}
+	return a
+}
+
+// StickyLatch returns a net that goes to 1 on the first cycle trigger is 1
+// and stays 1 forever after (until the whole circuit is reset by starting
+// a new simulation).  Structurally it is a DFF whose D input is
+// OR(Q, trigger) — the "set on arrival" circuit of Figure 8, which turns
+// counter-decoder pulses into the steady Boolean "1"s Race Logic requires.
+//
+// Note the returned net switches one cycle after trigger: callers that
+// need the combinational (same-cycle) view should OR the trigger with the
+// latch output, which is exactly what the returned second value provides.
+func (n *Netlist) StickyLatch(trigger Net) (latched, immediate Net) {
+	// The feedback goes through the flip-flop, so this is not a
+	// combinational loop: build D = OR(Q, trigger) by declaring the OR
+	// after the DFF and patching the DFF input.
+	q := n.DFF(Zero) // placeholder D, patched below
+	d := n.Or(q, trigger)
+	n.gates[int(q)-2].in[0] = d
+	return q, d
+}
+
+// EqualsConst returns a net that is 1 exactly when the bus (LSB first)
+// carries the constant value v: an XNOR per bit folded by one AND — the
+// per-weight decode gates of the Figure 8 generalized cell.
+func (n *Netlist) EqualsConst(bus []Net, v uint64) Net {
+	if len(bus) == 0 {
+		panic("circuit: EqualsConst on empty bus")
+	}
+	if len(bus) < 64 && v >= 1<<uint(len(bus)) {
+		panic(fmt.Sprintf("circuit: EqualsConst value %d does not fit in %d bits", v, len(bus)))
+	}
+	terms := make([]Net, len(bus))
+	for i, b := range bus {
+		if v>>uint(i)&1 == 1 {
+			terms[i] = b
+		} else {
+			terms[i] = n.Not(b)
+		}
+	}
+	return n.And(terms...)
+}
+
+// SatCounter builds a binary saturating up-counter of the given bit width:
+// while enable is 1 the count increments each cycle until it reaches the
+// all-ones value, where it holds ("making sure that the counter doesn't
+// overflow and restart the count", Section 5).  It returns the count bus
+// (LSB first).  The ripple-carry incrementer is built from XOR/AND cells;
+// saturation is an AND over all count bits masking the carry-in.
+func (n *Netlist) SatCounter(width int, enable Net) []Net {
+	if width <= 0 {
+		panic(fmt.Sprintf("circuit: SatCounter width %d", width))
+	}
+	// Flip-flops first (with placeholder D inputs), because the
+	// increment logic feeds back from Q.
+	q := make([]Net, width)
+	for i := range q {
+		q[i] = n.DFF(Zero)
+	}
+	sat := n.And(q...) // 1 when count is all-ones
+	carry := n.And(enable, n.Not(sat))
+	for i := 0; i < width; i++ {
+		next := n.Xor(q[i], carry)
+		n.gates[int(q[i])-2].in[0] = next
+		if i+1 < width {
+			carry = n.And(carry, q[i])
+		}
+	}
+	return q
+}
+
+// SatCounterE is SatCounter with an additional clock-enable on every
+// flip-flop, for use inside gated regions.  The counting enable and the
+// clock enable are distinct: a region can be clocked while its counter
+// holds, and vice versa is impossible (an unclocked DFF cannot change).
+func (n *Netlist) SatCounterE(width int, enable, clockEnable Net) []Net {
+	if width <= 0 {
+		panic(fmt.Sprintf("circuit: SatCounterE width %d", width))
+	}
+	q := make([]Net, width)
+	for i := range q {
+		q[i] = n.DFFE(Zero, clockEnable)
+	}
+	sat := n.And(q...)
+	carry := n.And(enable, n.Not(sat))
+	for i := 0; i < width; i++ {
+		next := n.Xor(q[i], carry)
+		n.gates[int(q[i])-2].in[0] = next
+		if i+1 < width {
+			carry = n.And(carry, q[i])
+		}
+	}
+	return q
+}
+
+// MuxN returns a tree of 2:1 muxes selecting inputs[sel] where sel is the
+// little-endian select bus.  len(inputs) must be a power of two equal to
+// 1 << len(sel).  This is the weight-select MUX of the Figure 8 cell
+// ("the weight that is desired can be selected from the MUX whose inputs
+// are the encoded forms of the alphabet").
+func (n *Netlist) MuxN(sel []Net, inputs []Net) Net {
+	if len(inputs) != 1<<uint(len(sel)) {
+		panic(fmt.Sprintf("circuit: MuxN needs %d inputs for %d select bits, got %d",
+			1<<uint(len(sel)), len(sel), len(inputs)))
+	}
+	layer := append([]Net(nil), inputs...)
+	for bit := 0; bit < len(sel); bit++ {
+		next := make([]Net, len(layer)/2)
+		for i := range next {
+			next[i] = n.Mux2(sel[bit], layer[2*i], layer[2*i+1])
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+// ConstBus returns a bus of the given width whose bits spell the constant
+// v (LSB first) using the netlist's constant nets.
+func (n *Netlist) ConstBus(width int, v uint64) []Net {
+	bus := make([]Net, width)
+	for i := range bus {
+		if v>>uint(i)&1 == 1 {
+			bus[i] = One
+		} else {
+			bus[i] = Zero
+		}
+	}
+	return bus
+}
+
+// BitsFor returns the number of bits needed to represent v: the counter
+// width the Section 5 cell needs for a dynamic range of v.
+func BitsFor(v uint64) int {
+	w := 1
+	for 1<<uint(w) <= v {
+		w++
+	}
+	return w
+}

@@ -1,0 +1,149 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"racelogic/internal/temporal"
+)
+
+// randomComb builds a random combinational netlist over k inputs and
+// returns, alongside the output net, a pure-Go evaluator of the same
+// expression — an independent oracle for the simulator's settle logic.
+func randomComb(rng *rand.Rand, n *Netlist, ins []Net, depth int) (Net, func([]bool) bool) {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Zero, func([]bool) bool { return false }
+		case 1:
+			return One, func([]bool) bool { return true }
+		default:
+			i := rng.Intn(len(ins))
+			return ins[i], func(v []bool) bool { return v[i] }
+		}
+	}
+	a, fa := randomComb(rng, n, ins, depth-1)
+	b, fb := randomComb(rng, n, ins, depth-1)
+	switch rng.Intn(6) {
+	case 0:
+		return n.And(a, b), func(v []bool) bool { return fa(v) && fb(v) }
+	case 1:
+		return n.Or(a, b), func(v []bool) bool { return fa(v) || fb(v) }
+	case 2:
+		return n.Xor(a, b), func(v []bool) bool { return fa(v) != fb(v) }
+	case 3:
+		return n.Xnor(a, b), func(v []bool) bool { return fa(v) == fb(v) }
+	case 4:
+		return n.Not(a), func(v []bool) bool { return !fa(v) }
+	default:
+		c, fc := randomComb(rng, n, ins, depth-1)
+		return n.Mux2(a, b, c), func(v []bool) bool {
+			if fa(v) {
+				return fc(v)
+			}
+			return fb(v)
+		}
+	}
+}
+
+func TestPropertyRandomCombCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	const numInputs = 5
+	for trial := 0; trial < 40; trial++ {
+		n := New()
+		ins := make([]Net, numInputs)
+		for i := range ins {
+			ins[i] = n.Input(string(rune('a' + i)))
+		}
+		out, oracle := randomComb(rng, n, ins, 5)
+		sim, err := n.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exhaust all 32 input assignments.
+		for mask := 0; mask < 1<<numInputs; mask++ {
+			v := make([]bool, numInputs)
+			for i := range v {
+				v[i] = mask>>uint(i)&1 == 1
+				sim.SetInput(ins[i], v[i])
+			}
+			sim.Step()
+			if got, want := sim.Value(out), oracle(v); got != want {
+				t.Fatalf("trial %d mask %05b: sim %v != oracle %v", trial, mask, got, want)
+			}
+		}
+	}
+}
+
+func TestPropertyDelayChainAdds(t *testing.T) {
+	// arrival(DelayChain(a, k)) == arrival(a) + k, for arbitrary k and
+	// injection cycles — the "+ constant" law of Race Logic.
+	prop := func(kRaw, startRaw uint8) bool {
+		k := int(kRaw % 40)
+		start := int(startRaw % 10)
+		n := New()
+		a := n.Input("a")
+		d := n.DelayChain(a, k)
+		sim := n.MustCompile()
+		sim.Run(start)
+		sim.SetInput(a, true)
+		got := sim.RunUntil(d, start+k+5)
+		return got == temporal.Time(start+k)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySatCounterTracksEnabledCycles(t *testing.T) {
+	// After e enabled cycles (e ≤ saturation) the counter reads e.
+	prop := func(widthRaw, enRaw uint8) bool {
+		width := 1 + int(widthRaw%5)
+		maxCount := 1<<uint(width) - 1
+		enabled := int(enRaw) % (maxCount + 4)
+		n := New()
+		en := n.Input("en")
+		bus := n.SatCounter(width, en)
+		sim := n.MustCompile()
+		sim.SetInput(en, true)
+		sim.Run(enabled)
+		got := 0
+		for i, b := range bus {
+			if sim.Value(b) {
+				got |= 1 << uint(i)
+			}
+		}
+		want := enabled
+		if want > maxCount {
+			want = maxCount
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOrMonotoneArrivals(t *testing.T) {
+	// Fundamental Race Logic law: an OR gate's arrival time equals the
+	// min of its inputs' arrival times, whatever delays feed it.
+	prop := func(d1Raw, d2Raw, d3Raw uint8) bool {
+		d1, d2, d3 := int(d1Raw%20), int(d2Raw%20), int(d3Raw%20)
+		n := New()
+		a := n.Input("a")
+		or := n.Or(n.DelayChain(a, d1), n.DelayChain(a, d2), n.DelayChain(a, d3))
+		and := n.And(n.DelayChain(a, d1), n.DelayChain(a, d2), n.DelayChain(a, d3))
+		sim := n.MustCompile()
+		sim.SetInput(a, true)
+		bound := 70
+		gotOr := sim.RunUntil(or, bound)
+		gotAnd := sim.RunUntil(and, bound)
+		min := temporal.MinOf(temporal.Time(d1), temporal.Time(d2), temporal.Time(d3))
+		max := temporal.MaxOf(temporal.Time(d1), temporal.Time(d2), temporal.Time(d3))
+		return gotOr == min && gotAnd == max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

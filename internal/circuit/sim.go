@@ -1,0 +1,311 @@
+package circuit
+
+import (
+	"fmt"
+
+	"racelogic/internal/temporal"
+)
+
+// Simulator executes a compiled netlist one clock cycle at a time.  A
+// cycle consists of (1) settling the combinational logic given the current
+// external inputs and flip-flop states, then (2) clocking every enabled
+// flip-flop.  The simulator records, per net, the total number of toggles
+// and the first cycle at which the net carried a 1 — the two measurements
+// from which internal/tech derives dynamic energy (the paper's Primetime
+// methodology) and race arrival times (the paper's information
+// representation).
+type Simulator struct {
+	n *Netlist
+
+	// order lists combinational gate indices in dependency order.
+	order []int32
+
+	vals    []bool  // current value of every net
+	prev    []bool  // value at the previous cycle, for toggle detection
+	ffState []bool  // Q of every DFF, indexed by ffIndex
+	ffIndex []int32 // gate index → flip-flop slot, or -1
+	ffGates []int32 // flip-flop slots → gate index
+
+	inputs map[Net]bool
+
+	cycle int
+
+	toggles  []uint64 // per-net cumulative toggle count
+	firstOne []int32  // per-net cycle of first 1, or -1
+
+	// ffClockedCycles accumulates, over all cycles, the number of
+	// flip-flops whose clock was active that cycle (all plain DFFs plus
+	// DFFEs with enable = 1).  This is the α·Cclk term of Eq. 3/6.
+	ffClockedCycles uint64
+}
+
+// Compile levelizes the netlist and returns a ready-to-run simulator with
+// all flip-flops at their power-on values and all inputs at 0.  It fails
+// with ErrCombLoop if the combinational gates form a cycle.
+func (n *Netlist) Compile() (*Simulator, error) {
+	ng := len(n.gates)
+	s := &Simulator{
+		n:        n,
+		vals:     make([]bool, ng+2),
+		prev:     make([]bool, ng+2),
+		ffIndex:  make([]int32, ng),
+		inputs:   make(map[Net]bool),
+		toggles:  make([]uint64, ng+2),
+		firstOne: make([]int32, ng+2),
+	}
+	s.vals[One] = true
+	for i := range s.firstOne {
+		s.firstOne[i] = -1
+	}
+	for i := range s.ffIndex {
+		s.ffIndex[i] = -1
+	}
+	for i, g := range n.gates {
+		if g.kind == KindDFF {
+			s.ffIndex[i] = int32(len(s.ffGates))
+			s.ffGates = append(s.ffGates, int32(i))
+			s.ffState = append(s.ffState, g.init)
+		}
+	}
+
+	// Topologically order the combinational gates.  DFF outputs, inputs
+	// and constants are sources; an edge u→v exists when combinational
+	// gate v reads the net driven by combinational gate u.
+	indeg := make([]int32, ng)
+	for i, g := range n.gates {
+		if g.kind == KindDFF || g.kind == KindInput {
+			continue
+		}
+		for _, in := range g.in {
+			j := int(in) - 2
+			if j < 0 {
+				continue // constant
+			}
+			if gk := n.gates[j].kind; gk != KindDFF && gk != KindInput {
+				indeg[i]++
+			}
+		}
+	}
+	frontier := make([]int32, 0, ng)
+	for i, g := range n.gates {
+		if g.kind == KindDFF || g.kind == KindInput {
+			continue
+		}
+		if indeg[i] == 0 {
+			frontier = append(frontier, int32(i))
+		}
+	}
+	// fanout index for propagating the Kahn frontier without quadratic
+	// rescans.
+	fanout := make([][]int32, ng)
+	for i, g := range n.gates {
+		if g.kind == KindDFF || g.kind == KindInput {
+			continue
+		}
+		for _, in := range g.in {
+			j := int(in) - 2
+			if j < 0 {
+				continue
+			}
+			if gk := n.gates[j].kind; gk != KindDFF && gk != KindInput {
+				fanout[j] = append(fanout[j], int32(i))
+			}
+		}
+	}
+	combCount := 0
+	for _, g := range n.gates {
+		if g.kind != KindDFF && g.kind != KindInput {
+			combCount++
+		}
+	}
+	s.order = make([]int32, 0, combCount)
+	for len(frontier) > 0 {
+		u := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		s.order = append(s.order, u)
+		for _, v := range fanout[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	if len(s.order) != combCount {
+		return nil, ErrCombLoop
+	}
+	s.settle()
+	copy(s.prev, s.vals)
+	s.recordArrivals()
+	return s, nil
+}
+
+// MustCompile is Compile for circuits that are acyclic by construction.
+func (n *Netlist) MustCompile() *Simulator {
+	s, err := n.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SetInput drives an external input pin.  The change takes effect
+// immediately in the current cycle: Race Logic injects its steady "1"s at
+// the start of a computation (cycle 0) and the score of an input node is
+// by definition 0, so arrival times are counted from the cycle in which
+// the input is raised.
+func (s *Simulator) SetInput(net Net, v bool) {
+	g, ok := s.n.driver(net)
+	if !ok || g.kind != KindInput {
+		panic(fmt.Sprintf("circuit: SetInput on non-input net %d", net))
+	}
+	if s.inputs[net] == v {
+		return
+	}
+	s.inputs[net] = v
+	s.settle()
+	s.account()
+}
+
+// account updates toggle counts and first-arrival records after a settle.
+func (s *Simulator) account() {
+	for i := range s.vals {
+		if s.vals[i] != s.prev[i] {
+			s.toggles[i]++
+		}
+	}
+	copy(s.prev, s.vals)
+	s.recordArrivals()
+}
+
+// SetInputName drives an input pin by name.
+func (s *Simulator) SetInputName(name string, v bool) error {
+	net, err := s.n.InputNet(name)
+	if err != nil {
+		return err
+	}
+	s.SetInput(net, v)
+	return nil
+}
+
+// settle evaluates the combinational logic from current inputs and
+// flip-flop states.
+func (s *Simulator) settle() {
+	for net, v := range s.inputs {
+		s.vals[net] = v
+	}
+	for i, slot := range s.ffIndex {
+		if slot >= 0 {
+			s.vals[i+2] = s.ffState[slot]
+		}
+	}
+	gates := s.n.gates
+	for _, gi := range s.order {
+		g := &gates[gi]
+		var v bool
+		switch g.kind {
+		case KindConst:
+			continue
+		case KindBuf:
+			v = s.vals[g.in[0]]
+		case KindNot:
+			v = !s.vals[g.in[0]]
+		case KindAnd:
+			v = true
+			for _, in := range g.in {
+				if !s.vals[in] {
+					v = false
+					break
+				}
+			}
+		case KindOr:
+			v = false
+			for _, in := range g.in {
+				if s.vals[in] {
+					v = true
+					break
+				}
+			}
+		case KindXor:
+			v = s.vals[g.in[0]] != s.vals[g.in[1]]
+		case KindXnor:
+			v = s.vals[g.in[0]] == s.vals[g.in[1]]
+		case KindMux2:
+			if s.vals[g.in[0]] {
+				v = s.vals[g.in[2]]
+			} else {
+				v = s.vals[g.in[1]]
+			}
+		default:
+			panic(fmt.Sprintf("circuit: unexpected combinational kind %v", g.kind))
+		}
+		s.vals[int(gi)+2] = v
+	}
+}
+
+func (s *Simulator) recordArrivals() {
+	for i, v := range s.vals {
+		if v && s.firstOne[i] == -1 {
+			s.firstOne[i] = int32(s.cycle)
+		}
+	}
+}
+
+// Step advances the simulation by one clock cycle: the clock edge samples
+// D on every enabled flip-flop from the currently settled values, then the
+// combinational logic re-settles and toggle/arrival accounting runs.
+func (s *Simulator) Step() {
+	gates := s.n.gates
+	for slot, gi := range s.ffGates {
+		g := &gates[gi]
+		enabled := true
+		if len(g.in) == 2 {
+			enabled = s.vals[g.in[1]]
+		}
+		if enabled {
+			s.ffState[slot] = s.vals[g.in[0]]
+			s.ffClockedCycles++
+		}
+	}
+	s.cycle++
+	s.settle()
+	s.account()
+}
+
+// Run advances the simulation by k cycles.
+func (s *Simulator) Run(k int) {
+	for i := 0; i < k; i++ {
+		s.Step()
+	}
+}
+
+// RunUntil steps until the given net first carries a 1 and returns the
+// arrival time, or temporal.Never if it has not arrived after maxCycles.
+// The arrival time of a net already 1 in the settled state is whatever
+// cycle it first went high (possibly the current one).
+func (s *Simulator) RunUntil(net Net, maxCycles int) temporal.Time {
+	for s.firstOne[net] == -1 && s.cycle < maxCycles {
+		s.Step()
+	}
+	if s.firstOne[net] == -1 {
+		return temporal.Never
+	}
+	return temporal.Time(s.firstOne[net])
+}
+
+// Cycle returns the number of Steps taken so far.
+func (s *Simulator) Cycle() int { return s.cycle }
+
+// Value returns the current settled value of a net.
+func (s *Simulator) Value(net Net) bool { return s.vals[net] }
+
+// Arrival returns the cycle at which the net first carried a 1, or
+// temporal.Never if it has not yet.
+func (s *Simulator) Arrival(net Net) temporal.Time {
+	if s.firstOne[net] == -1 {
+		return temporal.Never
+	}
+	return temporal.Time(s.firstOne[net])
+}
+
+// Toggles returns the cumulative toggle count of a net.
+func (s *Simulator) Toggles(net Net) uint64 { return s.toggles[net] }

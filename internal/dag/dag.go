@@ -1,0 +1,234 @@
+// Package dag provides the weighted directed-acyclic-graph substrate that
+// Race Logic accelerates.
+//
+// Section 3 of the paper frames every Race Logic computation as a
+// shortest- or longest-path query on a weighted DAG: nodes become OR gates
+// (min) or AND gates (max) and edges become delay chains.  This package is
+// the software-reference half of that story: a Graph representation,
+// topological sorting, the classical dynamic-programming single-source
+// path solver over either tropical semiring, and a seeded random-DAG
+// generator used by the property tests to check the gate-level compiler
+// against the DP on thousands of graphs.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"racelogic/internal/temporal"
+)
+
+// NodeID identifies a node within one Graph; IDs are dense indices
+// assigned by AddNode in creation order.
+type NodeID int
+
+// Edge is a weighted directed edge.  A weight of temporal.Never is
+// meaningful: the paper implements truly infinite weights as missing
+// edges, and the DP treats them identically.
+type Edge struct {
+	From, To NodeID
+	Weight   temporal.Time
+}
+
+// Graph is a mutable weighted directed graph.  Acyclicity is not enforced
+// on insertion (edit graphs are built programmatically and are acyclic by
+// construction); TopoSort and the solvers report ErrCycle when asked to
+// process a cyclic graph.
+type Graph struct {
+	names []string
+	out   [][]Edge // adjacency by source node
+	in    [][]Edge // reverse adjacency, kept for longest-path and fan-in queries
+	edges int
+}
+
+// ErrCycle is returned when an operation that requires acyclicity
+// encounters a cycle.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode adds a node with an optional human-readable name and returns its
+// ID.  Names appear in String output and error messages only.
+func (g *Graph) AddNode(name string) NodeID {
+	id := NodeID(len(g.names))
+	if name == "" {
+		name = fmt.Sprintf("n%d", id)
+	}
+	g.names = append(g.names, name)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge inserts a directed edge.  Adding an edge with weight
+// temporal.Never is allowed and equivalent, for all solvers, to not adding
+// the edge at all.
+func (g *Graph) AddEdge(from, to NodeID, w temporal.Time) error {
+	if err := g.check(from); err != nil {
+		return err
+	}
+	if err := g.check(to); err != nil {
+		return err
+	}
+	e := Edge{From: from, To: to, Weight: w}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge for programmatically-constructed graphs where an
+// out-of-range node ID is a bug, not an input condition.
+func (g *Graph) MustAddEdge(from, to NodeID, w temporal.Time) {
+	if err := g.AddEdge(from, to, w); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) check(id NodeID) error {
+	if id < 0 || int(id) >= len(g.names) {
+		return fmt.Errorf("dag: node %d out of range [0,%d)", id, len(g.names))
+	}
+	return nil
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Name returns the display name of a node.
+func (g *Graph) Name(id NodeID) string { return g.names[id] }
+
+// Out returns the outgoing edges of a node.  The returned slice is owned
+// by the graph and must not be modified.
+func (g *Graph) Out(id NodeID) []Edge { return g.out[id] }
+
+// In returns the incoming edges of a node.  The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) In(id NodeID) []Edge { return g.in[id] }
+
+// Sources returns all nodes with no incoming edges, in ID order.
+func (g *Graph) Sources() []NodeID {
+	var s []NodeID
+	for id := range g.names {
+		if len(g.in[id]) == 0 {
+			s = append(s, NodeID(id))
+		}
+	}
+	return s
+}
+
+// Sinks returns all nodes with no outgoing edges, in ID order.
+func (g *Graph) Sinks() []NodeID {
+	var s []NodeID
+	for id := range g.names {
+		if len(g.out[id]) == 0 {
+			s = append(s, NodeID(id))
+		}
+	}
+	return s
+}
+
+// TopoSort returns the nodes in a topological order, or ErrCycle.  The
+// order is deterministic (Kahn's algorithm with a sorted frontier) so that
+// circuit compilation and test failures are reproducible.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	n := len(g.names)
+	indeg := make([]int, n)
+	for id := 0; id < n; id++ {
+		for range g.in[id] {
+			indeg[id]++
+		}
+	}
+	frontier := make([]NodeID, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			frontier = append(frontier, NodeID(id))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		id := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, id)
+		for _, e := range g.out[id] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				frontier = append(frontier, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// String renders the graph as one "name -> name (w)" line per edge.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("dag(%d nodes, %d edges)\n", g.NumNodes(), g.NumEdges())
+	for id := range g.names {
+		for _, e := range g.out[id] {
+			s += fmt.Sprintf("  %s -> %s (%v)\n", g.names[e.From], g.names[e.To], e.Weight)
+		}
+	}
+	return s
+}
+
+// RandomDAG generates a layered random DAG with the given number of layers
+// and width, where every edge goes from a lower layer to a strictly higher
+// layer (guaranteeing acyclicity) with the given density in (0,1], and
+// weights uniform in [minW, maxW].  Node 0 is a designated source wired to
+// the whole first layer with weight 0 and the final node is a sink fed by
+// the whole last layer with weight 0, so single-source/single-sink queries
+// are always meaningful.  The generator is deterministic for a given rng.
+func RandomDAG(rng *rand.Rand, layers, width int, density float64, minW, maxW temporal.Time) *Graph {
+	if layers < 1 || width < 1 {
+		panic("dag: RandomDAG needs layers >= 1 and width >= 1")
+	}
+	g := New()
+	src := g.AddNode("src")
+	ids := make([][]NodeID, layers)
+	for l := 0; l < layers; l++ {
+		ids[l] = make([]NodeID, width)
+		for w := 0; w < width; w++ {
+			ids[l][w] = g.AddNode(fmt.Sprintf("L%dW%d", l, w))
+		}
+	}
+	sink := g.AddNode("sink")
+	for _, id := range ids[0] {
+		g.MustAddEdge(src, id, 0)
+	}
+	for _, id := range ids[layers-1] {
+		g.MustAddEdge(id, sink, 0)
+	}
+	span := int64(maxW - minW + 1)
+	for l := 0; l < layers-1; l++ {
+		for _, from := range ids[l] {
+			connected := false
+			for l2 := l + 1; l2 < layers; l2++ {
+				for _, to := range ids[l2] {
+					if rng.Float64() < density {
+						w := minW + temporal.Time(rng.Int63n(span))
+						g.MustAddEdge(from, to, w)
+						connected = true
+					}
+				}
+			}
+			// Guarantee every node reaches the sink so the DP never
+			// returns Never purely because of generator sparsity.
+			if !connected {
+				to := ids[l+1][rng.Intn(width)]
+				w := minW + temporal.Time(rng.Int63n(span))
+				g.MustAddEdge(from, to, w)
+			}
+		}
+	}
+	return g
+}

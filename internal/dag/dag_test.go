@@ -1,0 +1,294 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"racelogic/internal/temporal"
+)
+
+// fig3Graph builds the 5-node example DAG from Figure 3a of the paper:
+// two input nodes, one output node, and weighted edges such that the
+// shortest path from the inputs to the output takes 2 cycles.
+//
+// Reconstructed topology (weights from the figure: 2, 3, 1, 1, 1, 1, 1, 1):
+//
+//	in0 --1--> a --1--> out
+//	in0 --2--> b --3--> out
+//	in1 --1--> a
+//	in1 --1--> b
+//	a   --1--> b
+func fig3Graph() (*Graph, NodeID, NodeID, NodeID) {
+	g := New()
+	in0 := g.AddNode("in0")
+	in1 := g.AddNode("in1")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	out := g.AddNode("out")
+	g.MustAddEdge(in0, a, 1)
+	g.MustAddEdge(in0, b, 2)
+	g.MustAddEdge(in1, a, 1)
+	g.MustAddEdge(in1, b, 1)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, out, 1)
+	g.MustAddEdge(b, out, 3)
+	return g, in0, in1, out
+}
+
+func TestFig3ShortestPathIsTwoCycles(t *testing.T) {
+	g, in0, in1, out := fig3Graph()
+	res, err := g.SolvePaths(temporal.MinPlus, in0, in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper, Section 3: "it takes two cycles for the '1' signal to
+	// propagate to the output node ... this corresponds to the shortest
+	// path."
+	if got := res.Score[out]; got != 2 {
+		t.Errorf("Fig. 3 shortest path = %v, want 2", got)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	a := g.AddNode("")
+	if err := g.AddEdge(a, NodeID(99), 1); err == nil {
+		t.Error("expected out-of-range error for dst")
+	}
+	if err := g.AddEdge(NodeID(-1), a, 1); err == nil {
+		t.Error("expected out-of-range error for src")
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddEdge should panic on invalid edge")
+		}
+	}()
+	g := New()
+	g.MustAddEdge(0, 1, 1)
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g, in0, in1, out := fig3Graph()
+	src := g.Sources()
+	if len(src) != 2 || src[0] != in0 || src[1] != in1 {
+		t.Errorf("Sources = %v, want [%d %d]", src, in0, in1)
+	}
+	snk := g.Sinks()
+	if len(snk) != 1 || snk[0] != out {
+		t.Errorf("Sinks = %v, want [%d]", snk, out)
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, a, 1)
+	if _, err := g.TopoSort(); err != ErrCycle {
+		t.Errorf("TopoSort on cycle: err = %v, want ErrCycle", err)
+	}
+	if _, err := g.SolvePaths(temporal.MinPlus, a); err != ErrCycle {
+		t.Errorf("SolvePaths on cycle: err = %v, want ErrCycle", err)
+	}
+}
+
+func TestTopoSortOrderRespectsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomDAG(rng, 6, 5, 0.3, 1, 9)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		for _, e := range g.Out(NodeID(id)) {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("edge %d->%d violates topological order", e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestNeverWeightEdgeEqualsMissingEdge(t *testing.T) {
+	// Two copies of a diamond; one has an extra Never-weight shortcut.
+	build := func(withNever bool) temporal.Time {
+		g := New()
+		s := g.AddNode("s")
+		a := g.AddNode("a")
+		d := g.AddNode("d")
+		g.MustAddEdge(s, a, 3)
+		g.MustAddEdge(a, d, 4)
+		if withNever {
+			g.MustAddEdge(s, d, temporal.Never)
+		}
+		got, err := g.ShortestPath(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if build(false) != build(true) {
+		t.Error("Never-weight edge must behave exactly like a missing edge")
+	}
+	if build(true) != 7 {
+		t.Errorf("shortest path = %v, want 7", build(true))
+	}
+}
+
+func TestUnreachableIsNever(t *testing.T) {
+	g := New()
+	s := g.AddNode("s")
+	x := g.AddNode("x") // disconnected
+	got, err := g.ShortestPath(s, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsNever() {
+		t.Errorf("unreachable node score = %v, want Never", got)
+	}
+	lg, err := g.LongestPath(s, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lg.IsNever() {
+		t.Errorf("unreachable longest-path score = %v, want Never", lg)
+	}
+}
+
+func TestLongestPathDiamond(t *testing.T) {
+	g := New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	d := g.AddNode("d")
+	g.MustAddEdge(s, a, 1)
+	g.MustAddEdge(s, b, 5)
+	g.MustAddEdge(a, d, 1)
+	g.MustAddEdge(b, d, 5)
+	short, _ := g.ShortestPath(s, d)
+	long, _ := g.LongestPath(s, d)
+	if short != 2 {
+		t.Errorf("shortest = %v, want 2", short)
+	}
+	if long != 10 {
+		t.Errorf("longest = %v, want 10", long)
+	}
+}
+
+func TestPathReconstruction(t *testing.T) {
+	g, in0, _, out := fig3Graph()
+	res, err := g.SolvePaths(temporal.MinPlus, in0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Path(out)
+	if len(p) == 0 || p[0] != in0 || p[len(p)-1] != out {
+		t.Fatalf("Path = %v, want in0 ... out", p)
+	}
+	// Sum of edge weights along the reconstructed path must equal the score.
+	var sum temporal.Time
+	for i := 0; i+1 < len(p); i++ {
+		found := false
+		for _, e := range g.Out(p[i]) {
+			if e.To == p[i+1] {
+				sum = sum.Add(e.Weight)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("reconstructed path uses nonexistent edge %d->%d", p[i], p[i+1])
+		}
+	}
+	if sum != res.Score[out] {
+		t.Errorf("path weight %v != score %v", sum, res.Score[out])
+	}
+}
+
+func TestPathOnUnreachableIsNil(t *testing.T) {
+	g := New()
+	s := g.AddNode("s")
+	x := g.AddNode("x")
+	res, err := g.SolvePaths(temporal.MinPlus, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.Path(x); p != nil {
+		t.Errorf("Path(unreachable) = %v, want nil", p)
+	}
+	if p := res.Path(NodeID(99)); p != nil {
+		t.Errorf("Path(out of range) = %v, want nil", p)
+	}
+}
+
+func TestRandomDAGShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := RandomDAG(rng, 4, 3, 0.5, 1, 10)
+	if g.NumNodes() != 4*3+2 {
+		t.Errorf("NumNodes = %d, want 14", g.NumNodes())
+	}
+	if _, err := g.TopoSort(); err != nil {
+		t.Errorf("RandomDAG must be acyclic: %v", err)
+	}
+	// Every node must reach the sink: generator guarantees connectivity.
+	res, err := g.SolvePaths(temporal.MinPlus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NodeID(g.NumNodes() - 1)
+	if res.Score[sink].IsNever() {
+		t.Error("sink unreachable from source in RandomDAG")
+	}
+}
+
+func TestRandomDAGDeterministic(t *testing.T) {
+	a := RandomDAG(rand.New(rand.NewSource(5)), 5, 4, 0.4, 1, 6)
+	b := RandomDAG(rand.New(rand.NewSource(5)), 5, 4, 0.4, 1, 6)
+	if a.String() != b.String() {
+		t.Error("RandomDAG with equal seeds must be identical")
+	}
+}
+
+func TestShortestLongestAgreeOnChains(t *testing.T) {
+	// On a simple chain there is exactly one path, so min == max.
+	g := New()
+	prev := g.AddNode("n0")
+	first := prev
+	var total temporal.Time
+	for i := 1; i <= 10; i++ {
+		cur := g.AddNode("")
+		w := temporal.Time(i)
+		g.MustAddEdge(prev, cur, w)
+		total = total.Add(w)
+		prev = cur
+	}
+	short, _ := g.ShortestPath(first, prev)
+	long, _ := g.LongestPath(first, prev)
+	if short != total || long != total {
+		t.Errorf("chain: short=%v long=%v want %v", short, long, total)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g, _, _, _ := fig3Graph()
+	s := g.String()
+	if !strings.Contains(s, "in0 -> a (1)") {
+		t.Errorf("String() missing expected edge line:\n%s", s)
+	}
+}
+
+func TestSolvePathsBadSource(t *testing.T) {
+	g := New()
+	g.AddNode("only")
+	if _, err := g.SolvePaths(temporal.MinPlus, NodeID(5)); err == nil {
+		t.Error("expected error for out-of-range source")
+	}
+}

@@ -1,0 +1,108 @@
+package dag
+
+import (
+	"racelogic/internal/temporal"
+)
+
+// This file is the classical dynamic-programming path solver that Race
+// Logic replaces in hardware.  It is the golden model: the circuit
+// compiler in internal/race must produce arrival times identical to these
+// scores on every graph, which the cross-model property tests verify.
+
+// PathResult holds per-node scores of a single-source path computation,
+// plus predecessor links for path reconstruction.
+type PathResult struct {
+	// Score[v] is the optimal (min or max, per the semiring) total weight
+	// of a path from any designated source to v, or the semiring Zero if
+	// v is unreachable.
+	Score []temporal.Time
+	// Pred[v] is the predecessor of v on one optimal path, or -1 for
+	// sources and unreachable nodes.
+	Pred []NodeID
+}
+
+// SolvePaths runs the DP over the given semiring from the given source
+// nodes, visiting nodes in topological order.  Sources start at
+// semiring.One (score 0); every other node folds Extend(score[u], w) over
+// its incoming edges with Combine.  Returns ErrCycle on cyclic input.
+func (g *Graph) SolvePaths(s temporal.Semiring, sources ...NodeID) (*PathResult, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	res := &PathResult{
+		Score: make([]temporal.Time, n),
+		Pred:  make([]NodeID, n),
+	}
+	for i := range res.Score {
+		res.Score[i] = s.Zero
+		res.Pred[i] = -1
+	}
+	for _, src := range sources {
+		if err := g.check(src); err != nil {
+			return nil, err
+		}
+		res.Score[src] = s.One
+	}
+	for _, v := range order {
+		for _, e := range g.in[v] {
+			if res.Score[e.From] == s.Zero {
+				continue // no path to predecessor
+			}
+			cand := s.Extend(res.Score[e.From], e.Weight)
+			if cand == s.Zero {
+				continue // e.g. Never-weight edge: equivalent to absent
+			}
+			folded := s.Combine(res.Score[v], cand)
+			if folded != res.Score[v] {
+				res.Score[v] = folded
+				res.Pred[v] = e.From
+			}
+		}
+	}
+	return res, nil
+}
+
+// ShortestPath returns the min-plus score from src to dst, or
+// temporal.Never if dst is unreachable.
+func (g *Graph) ShortestPath(src, dst NodeID) (temporal.Time, error) {
+	res, err := g.SolvePaths(temporal.MinPlus, src)
+	if err != nil {
+		return temporal.Never, err
+	}
+	return res.Score[dst], nil
+}
+
+// LongestPath returns the max-plus score from src to dst, or
+// temporal.Never ("no path") if dst is unreachable.
+func (g *Graph) LongestPath(src, dst NodeID) (temporal.Time, error) {
+	res, err := g.SolvePaths(temporal.MaxPlus, src)
+	if err != nil {
+		return temporal.Never, err
+	}
+	return res.Score[dst], nil
+}
+
+// Path reconstructs one optimal path ending at dst from a PathResult,
+// returned source-first.  Returns nil if dst was unreachable (its score is
+// the semiring Zero, which both semirings represent as Never).
+func (r *PathResult) Path(dst NodeID) []NodeID {
+	if int(dst) < 0 || int(dst) >= len(r.Score) || r.Score[dst].IsNever() {
+		return nil
+	}
+	var rev []NodeID
+	for v := dst; v != -1; v = r.Pred[v] {
+		rev = append(rev, v)
+		if len(rev) > len(r.Score) {
+			// Defensive: predecessor links cannot be longer than the
+			// node count on a DAG; breaking avoids an infinite loop if
+			// the result was corrupted by the caller.
+			return nil
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,434 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"racelogic/internal/tech"
+)
+
+func TestFig5AreaShapes(t *testing.T) {
+	lib := tech.AMIS()
+	fig, err := Fig5Area(lib, []int{10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	race, syst := fig.Series[0], fig.Series[1]
+	// Race area must scale ≈ quadratically: doubling N quadruples area.
+	r1 := race.Y[1] / race.Y[0] // N 10→20
+	r2 := race.Y[2] / race.Y[1] // N 20→40
+	if r1 < 3 || r1 > 5 || r2 < 3 || r2 > 5 {
+		t.Errorf("race area ratios %g, %g — want ≈ 4 (quadratic)", r1, r2)
+	}
+	// Systolic area must scale ≈ linearly.
+	s1 := syst.Y[1] / syst.Y[0]
+	if s1 < 1.7 || s1 > 2.3 {
+		t.Errorf("systolic area ratio %g — want ≈ 2 (linear)", s1)
+	}
+	// Shape check: the systolic array is smaller at large N.
+	if syst.Y[2] >= race.Y[2] {
+		t.Error("systolic must be smaller than race at N = 40")
+	}
+}
+
+func TestFig5LatencyShapes(t *testing.T) {
+	lib := tech.OSU()
+	fig, err := Fig5Latency(lib, []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, worst, syst := fig.Series[0], fig.Series[1], fig.Series[2]
+	for i := range best.X {
+		n := best.X[i]
+		if got := best.Y[i]; math.Abs(got-lib.LatencyNS(int(n))) > 1e-9 {
+			t.Errorf("best latency at N=%g: %g ns", n, got)
+		}
+		if got := worst.Y[i]; math.Abs(got-lib.LatencyNS(2*int(n))) > 1e-9 {
+			t.Errorf("worst latency at N=%g: %g ns", n, got)
+		}
+		// Paper: race best case is up to ~4× faster than the systolic
+		// array; our systolic runs 3N cycles → exactly 3× in cycles.
+		if syst.Y[i] <= best.Y[i]*2 {
+			t.Errorf("systolic %g ns should be ≥ 2× race best %g ns", syst.Y[i], best.Y[i])
+		}
+	}
+}
+
+func TestFig5EnergyShapes(t *testing.T) {
+	lib := tech.AMIS()
+	fig, err := Fig5Energy(lib, []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, worst, syst := fig.Series[0], fig.Series[1], fig.Series[2]
+	clockless, gBest, gWorst := fig.Series[3], fig.Series[4], fig.Series[5]
+	for i := range best.X {
+		if !(best.Y[i] < worst.Y[i]) {
+			t.Errorf("best energy must be below worst at N=%g", best.X[i])
+		}
+		if !(clockless.Y[i] < worst.Y[i]) {
+			t.Errorf("clockless estimate must undercut the clocked design at N=%g", best.X[i])
+		}
+		if !(gWorst.Y[i] < worst.Y[i]) {
+			t.Errorf("gated worst must beat ungated worst at N=%g", best.X[i])
+		}
+		if !(gBest.Y[i] < best.Y[i]) {
+			t.Errorf("gated best must beat ungated best at N=%g", best.X[i])
+		}
+	}
+	// Race energy grows ≈ cubically (×8 per N doubling), systolic ≈
+	// quadratically (×4); allow generous tolerance for the N² data term.
+	raceRatio := worst.Y[2] / worst.Y[1]
+	systRatio := syst.Y[2] / syst.Y[1]
+	if raceRatio < 5 || raceRatio > 10 {
+		t.Errorf("race worst energy doubling ratio %g, want ≈ 8 (cubic)", raceRatio)
+	}
+	if systRatio < 3 || systRatio > 6 {
+		t.Errorf("systolic energy doubling ratio %g, want ≈ 4 (quadratic)", systRatio)
+	}
+}
+
+func TestEq5FitRecoversScalingLaw(t *testing.T) {
+	lib := tech.AMIS()
+	fig, err := Eq5Fit(lib, []int{8, 16, 24, 32, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want 2 fitted series, got %d", len(fig.Series))
+	}
+	aBest := fig.Series[0].Y[0]
+	aWorst := fig.Series[1].Y[0]
+	if aBest <= 0 || aWorst <= 0 {
+		t.Fatal("cubic coefficients must be positive")
+	}
+	// Eq. 5 structure: the worst-case cubic coefficient is 2× the best
+	// case (2N−2 vs N−1 cycles over the same clocked capacitance).
+	if r := aWorst / aBest; r < 1.6 || r > 2.4 {
+		t.Errorf("worst/best cubic ratio = %g, want ≈ 2 (paper: 5.30/2.65)", r)
+	}
+}
+
+func TestFitCubicExact(t *testing.T) {
+	// y = 3x³ + 7x² must be recovered exactly.
+	xs := []float64{1, 2, 3, 5, 8}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x*x*x + 7*x*x
+	}
+	a, b, err := FitCubic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-7) > 1e-9 {
+		t.Errorf("fit = %g, %g, want 3, 7", a, b)
+	}
+}
+
+func TestFitCubicValidation(t *testing.T) {
+	if _, _, err := FitCubic([]float64{1}, []float64{1}); err == nil {
+		t.Error("short input must error")
+	}
+	if _, _, err := FitCubic([]float64{0, 0, 0}, []float64{0, 0, 0}); err == nil {
+		t.Error("degenerate input must error")
+	}
+}
+
+func TestFig9ThroughputCrossover(t *testing.T) {
+	// Paper Fig. 9a: race best-case throughput/area beats the systolic
+	// array at small N and loses at large N (paper crossover ≈ 70).
+	lib := tech.AMIS()
+	fig, err := Fig9Throughput(lib, []int{5, 10, 20, 40, 80, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, syst := fig.Series[0], fig.Series[2]
+	if best.Y[0] <= syst.Y[0] {
+		t.Error("race must win throughput/area at N = 5")
+	}
+	last := len(best.Y) - 1
+	if best.Y[last] >= syst.Y[last] {
+		t.Error("systolic must win throughput/area at N = 120 (quadratic area bites)")
+	}
+	x := CrossoverX(best, syst)
+	if math.IsNaN(x) || x < 10 || x > 120 {
+		t.Errorf("crossover at N = %g, want inside (10, 120)", x)
+	}
+}
+
+func TestFig9PowerDensity(t *testing.T) {
+	lib := tech.AMIS()
+	fig, err := Fig9PowerDensity(lib, []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("%s: non-positive power density at N=%g", s.Name, s.X[i])
+			}
+			if y > 200 {
+				t.Errorf("%s: %g W/cm² exceeds the ITRS ceiling the paper stays under", s.Name, y)
+			}
+		}
+	}
+	// Paper: ~5× lower power density than the systolic array.
+	race, syst := fig.Series[0], fig.Series[2]
+	for i := range race.Y {
+		if syst.Y[i] <= race.Y[i] {
+			t.Errorf("systolic power density must exceed race at N=%g", race.X[i])
+		}
+	}
+}
+
+func TestFig9EnergyDelayScatter(t *testing.T) {
+	lib := tech.AMIS()
+	fig, err := Fig9EnergyDelay(lib, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want energy+latency series, got %d", len(fig.Series))
+	}
+	energy, latency := fig.Series[0], fig.Series[1]
+	if len(energy.Y) != 6 || len(latency.Y) != 6 {
+		t.Fatalf("want 6 design points, got %d/%d", len(energy.Y), len(latency.Y))
+	}
+	for i := range energy.Y {
+		if energy.Y[i] <= 0 || latency.Y[i] <= 0 {
+			t.Errorf("point %d: malformed (%g, %g)", i+1, energy.Y[i], latency.Y[i])
+		}
+	}
+	// Point 3 is the systolic array: it must sit at the highest energy
+	// (the Fig. 9c picture), and the clockless estimate (4) the lowest.
+	for i := range energy.Y {
+		if i != 2 && energy.Y[i] >= energy.Y[2] {
+			t.Errorf("systolic must dominate energy: point %d = %g vs %g", i+1, energy.Y[i], energy.Y[2])
+		}
+		if i != 3 && energy.Y[i] <= energy.Y[3] {
+			t.Errorf("clockless must be the floor: point %d = %g vs %g", i+1, energy.Y[i], energy.Y[3])
+		}
+	}
+}
+
+func TestHeadlineRatios(t *testing.T) {
+	lib := tech.AMIS()
+	fig, err := Headline(lib, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := fig.Series[0].Y
+	latencyX, tputX, pdX, energyX, energyGatedX := y[0], y[1], y[2], y[3], y[4]
+	// Shape requirements from the abstract: race wins all four.
+	if latencyX <= 1 {
+		t.Errorf("latency speedup %g, want > 1 (paper: up to 4×)", latencyX)
+	}
+	if tputX <= 1 {
+		t.Errorf("throughput/area ratio %g, want > 1 (paper: ~3×)", tputX)
+	}
+	if pdX <= 1 {
+		t.Errorf("power density ratio %g, want > 1 (paper: ~5×)", pdX)
+	}
+	if energyX <= 1 {
+		t.Errorf("energy ratio %g, want > 1 (paper: ~200× incl. gating)", energyX)
+	}
+	if energyGatedX <= energyX {
+		t.Errorf("gating must widen the energy advantage: %g vs %g", energyGatedX, energyX)
+	}
+}
+
+func TestFig6Frames(t *testing.T) {
+	worst, best, err := Fig6(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: wavefront spans 2N+1 cycles (0..2N); best: N+1.
+	if len(worst) != 13 {
+		t.Errorf("worst frames = %d, want 13", len(worst))
+	}
+	if len(best) != 7 {
+		t.Errorf("best frames = %d, want 7", len(best))
+	}
+	// First frame: only the origin has fired.
+	if !strings.HasPrefix(worst[0], "+") {
+		t.Errorf("first worst frame must start with the origin firing:\n%s", worst[0])
+	}
+	// Last frame must contain no idle cells.
+	if strings.Contains(worst[len(worst)-1], ".") {
+		t.Error("final worst frame still has idle cells")
+	}
+}
+
+func TestFig6Validation(t *testing.T) {
+	if _, _, err := Fig6(0); err == nil {
+		t.Error("invalid N must error")
+	}
+}
+
+func TestGatingSweepUCurve(t *testing.T) {
+	lib := tech.AMIS()
+	fig, err := GatingSweep(lib, 16, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := fig.Series[0]
+	// Eq. 6 is a U-curve: the ends must exceed the interior minimum.
+	minY := math.Inf(1)
+	for _, y := range analytic.Y {
+		minY = math.Min(minY, y)
+	}
+	if !(analytic.Y[0] > minY) || !(analytic.Y[len(analytic.Y)-1] > minY) {
+		t.Errorf("Eq. 6 should be U-shaped over m: %v", analytic.Y)
+	}
+	// Measured energies must be positive and vary with m.
+	measured := fig.Series[1]
+	for i, y := range measured.Y {
+		if y <= 0 {
+			t.Errorf("measured energy %g at m=%g", y, measured.X[i])
+		}
+	}
+}
+
+func TestGatingSweepValidation(t *testing.T) {
+	lib := tech.AMIS()
+	if _, err := GatingSweep(lib, 0, []int{1}); err == nil {
+		t.Error("invalid N must error")
+	}
+	if _, err := GatingSweep(lib, 8, nil); err == nil {
+		t.Error("empty sweep must error")
+	}
+	if _, err := GatingSweep(lib, 8, []int{0}); err == nil {
+		t.Error("invalid m must error")
+	}
+}
+
+func TestEncodingAblation(t *testing.T) {
+	lib := tech.OSU()
+	fig, err := EncodingAblation(lib, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ohFF, binFF := fig.Series[0], fig.Series[1]
+	// At the largest dynamic range (last point) one-hot must cost more
+	// flip-flops; the gap must widen with NDR.
+	last := len(ohFF.Y) - 1
+	if ohFF.Y[last] <= binFF.Y[last] {
+		t.Error("one-hot must need more DFFs at a large dynamic range")
+	}
+	gapSmall := ohFF.Y[0] - binFF.Y[0]
+	gapLarge := ohFF.Y[last] - binFF.Y[last]
+	if gapLarge <= gapSmall {
+		t.Error("the one-hot penalty must grow with NDR (Section 5)")
+	}
+}
+
+func TestThresholdStudySpeedup(t *testing.T) {
+	lib := tech.AMIS()
+	fig, err := ThresholdStudy(lib, 16, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := fig.Series[0].Y
+	full, thr, speedup, hits := y[0], y[1], y[2], y[3]
+	if thr >= full {
+		t.Errorf("thresholded scan (%g cycles) must beat full scan (%g)", thr, full)
+	}
+	if speedup <= 1 {
+		t.Errorf("speedup %g must exceed 1", speedup)
+	}
+	if hits < 1 {
+		t.Error("the planted similar entries must be accepted")
+	}
+}
+
+func TestThresholdStudyValidation(t *testing.T) {
+	lib := tech.AMIS()
+	if _, err := ThresholdStudy(lib, 0, 4, 5); err == nil {
+		t.Error("invalid N must error")
+	}
+	if _, err := ThresholdStudy(lib, 8, 4, -1); err == nil {
+		t.Error("negative threshold must error")
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	lib := tech.AMIS()
+	fig, err := Fig5Area(lib, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, cb strings.Builder
+	if err := fig.WriteTable(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "Race Logic AMIS") {
+		t.Error("table missing series header")
+	}
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Errorf("CSV has %d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "N,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	empty := &Figure{ID: "x", Title: "t", XLabel: "N"}
+	if err := empty.WriteTable(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverX(t *testing.T) {
+	a := Series{X: []float64{1, 2, 3}, Y: []float64{10, 5, 1}}
+	b := Series{X: []float64{1, 2, 3}, Y: []float64{4, 4, 4}}
+	x := CrossoverX(a, b)
+	if math.IsNaN(x) || x < 2 || x > 3 {
+		t.Errorf("crossover = %g, want in (2,3)", x)
+	}
+	never := Series{X: []float64{1, 2}, Y: []float64{9, 9}}
+	if !math.IsNaN(CrossoverX(never, b)) {
+		t.Error("no crossover must be NaN")
+	}
+	below := Series{X: []float64{1, 2}, Y: []float64{1, 1}}
+	if CrossoverX(below, b) != 1 {
+		t.Error("already-below must return first X")
+	}
+}
+
+func TestAllFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	out, err := AllFigures(tech.AMIS(), SmallNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig5-area", "fig5-latency", "fig5-energy", "eq5",
+		"fig9a", "fig9b", "fig9c", "headline", "eq6", "encoding", "threshold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("AllFigures output missing %q", want)
+		}
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	lib := tech.AMIS()
+	if _, err := MeasureRace(lib, 0); err == nil {
+		t.Error("invalid N must error")
+	}
+	if _, err := MeasureSystolic(lib, 0); err == nil {
+		t.Error("invalid N must error")
+	}
+	if _, err := Fig5Area(lib, nil); err == nil {
+		t.Error("empty sweep must error")
+	}
+	if _, err := Fig5Area(lib, []int{-1}); err == nil {
+		t.Error("negative N must error")
+	}
+}

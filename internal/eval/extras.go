@@ -1,0 +1,234 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"racelogic/internal/race"
+	"racelogic/internal/score"
+	"racelogic/internal/seqgen"
+	"racelogic/internal/tech"
+	"racelogic/internal/temporal"
+)
+
+// Fig6 regenerates the wavefront-propagation pictures of Fig. 6: ASCII
+// frames of the worst-case (a) and best-case (b) races at string length
+// n, one frame per cycle ('#' fired earlier, '+' firing now, '.' idle).
+func Fig6(n int) (worst, best []string, err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("eval: invalid N %d", n)
+	}
+	arr, err := race.NewArray(n, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := seqgen.NewDNA(int64(n) * 1021)
+	frames := func(p, q string) ([]string, error) {
+		res, err := arr.Align(p, q)
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for t := 0; t < len(race.Wavefronts(res.Arrivals)); t++ {
+			out = append(out, race.WavefrontString(res.Arrivals, temporal.Time(t)))
+		}
+		return out, nil
+	}
+	pw, qw := g.WorstCase(n)
+	worst, err = frames(pw, qw)
+	if err != nil {
+		return nil, nil, err
+	}
+	pb, qb := g.BestCase(n)
+	best, err = frames(pb, qb)
+	if err != nil {
+		return nil, nil, err
+	}
+	return worst, best, nil
+}
+
+// GatingSweep regenerates the Eq. 6/7 study: for one string length, sweep
+// the gating granularity m and report both the analytical Eq. 6 clock
+// energy and the measured (simulated) worst-case energy of a real gated
+// array, plus the Eq. 7 optimum as a note.
+func GatingSweep(lib *tech.Library, n int, ms []int) (*Figure, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("eval: invalid N %d", n)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("eval: empty granularity sweep")
+	}
+	cCell := lib.CellClockCapPF(1) // the Fig. 4 cell has one flip-flop
+	f := &Figure{
+		ID:     fmt.Sprintf("eq6-%s-N%d", lib.Name, n),
+		Title:  fmt.Sprintf("Gated clock energy vs granularity m at N = %d (%s) — paper Eq. 6", n, lib.Name),
+		XLabel: "m",
+		YLabel: "energy (J)",
+		Series: []Series{
+			{Name: "Eq. 6 analytical clock energy"},
+			{Name: "measured gated energy (worst case)"},
+		},
+	}
+	for _, m := range ms {
+		if m < 1 {
+			return nil, fmt.Errorf("eval: invalid granularity %d", m)
+		}
+		gm, err := MeasureGated(lib, n, m)
+		if err != nil {
+			return nil, err
+		}
+		f.Series[0].X = append(f.Series[0].X, float64(m))
+		f.Series[0].Y = append(f.Series[0].Y, lib.GatedClockEnergy(n, m, cCell))
+		f.Series[1].X = append(f.Series[1].X, float64(m))
+		f.Series[1].Y = append(f.Series[1].Y, gm.WorstEnergyJ)
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("Eq. 7 optimal granularity m* = %.2f", lib.OptimalGranularity(n, cCell)),
+		fmt.Sprintf("ungated clock energy (same model): %.3e J", lib.UngatedClockEnergy(n, cCell)))
+	return f, nil
+}
+
+// EncodingAblation regenerates the Section 5 area argument: flip-flop
+// count and area of the generalized cell array under one-hot delay chains
+// versus binary saturating counters, as the dynamic range grows from the
+// DNA matrix (NDR = 2) to BLOSUM62 and PAM250.
+func EncodingAblation(lib *tech.Library, n int) (*Figure, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("eval: invalid N %d", n)
+	}
+	mats := []*score.Matrix{
+		score.DNAShortest(),
+		score.BLOSUM62().MustPrepareForRace(),
+		score.PAM250().MustPrepareForRace(),
+	}
+	f := &Figure{
+		ID:     fmt.Sprintf("encoding-%s-N%d", lib.Name, n),
+		Title:  fmt.Sprintf("One-hot vs binary-counter cell cost at N = %d (%s) — Section 5", n, lib.Name),
+		XLabel: "NDR",
+		YLabel: "value",
+		Series: []Series{
+			{Name: "one-hot DFFs"},
+			{Name: "binary DFFs"},
+			{Name: "one-hot area µm²"},
+			{Name: "binary area µm²"},
+		},
+	}
+	for _, m := range mats {
+		oh, err := race.NewGeneralArray(n, n, m, race.OneHot)
+		if err != nil {
+			return nil, err
+		}
+		bin, err := race.NewGeneralArray(n, n, m, race.BinaryCounter)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(m.NDR())
+		for i := range f.Series {
+			f.Series[i].X = append(f.Series[i].X, x)
+		}
+		f.Series[0].Y = append(f.Series[0].Y, float64(oh.Netlist().NumDFFs()))
+		f.Series[1].Y = append(f.Series[1].Y, float64(bin.Netlist().NumDFFs()))
+		f.Series[2].Y = append(f.Series[2].Y, lib.AreaUM2(oh.Netlist()))
+		f.Series[3].Y = append(f.Series[3].Y, lib.AreaUM2(bin.Netlist()))
+		f.Notes = append(f.Notes, fmt.Sprintf("NDR=%v: matrix %s (NSS=%d)", m.NDR(), m.Name, m.NSS()))
+	}
+	return f, nil
+}
+
+// ThresholdStudy regenerates the Section 6 early-termination argument:
+// scan a database of random strings against a query with and without a
+// similarity threshold and compare total cycles spent.  Most pairs are
+// dissimilar, so the thresholded scan aborts races early and the total
+// cycle count collapses.
+func ThresholdStudy(lib *tech.Library, n, dbSize int, threshold int64) (*Figure, error) {
+	if n < 1 || dbSize < 1 {
+		return nil, fmt.Errorf("eval: invalid study shape n=%d dbSize=%d", n, dbSize)
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("eval: negative threshold")
+	}
+	arr, err := race.NewArray(n, n)
+	if err != nil {
+		return nil, err
+	}
+	// The Section 6 scenario: most database entries are dissimilar noise
+	// ("aligned by chance") that should be rejected as early as possible.
+	// Draw the query and the noise from disjoint halves of the alphabet
+	// so the background races run toward the 2N worst case.
+	g := seqgen.New("TG", int64(n)*1031+threshold)
+	noise := seqgen.New("AC", int64(n)*1033+threshold)
+	query := g.Random(n)
+	db := noise.Database(dbSize, n)
+	// Plant a few similar entries so the threshold scan has hits.
+	for k := 0; k < len(db); k += 4 {
+		mut, err := g.Mutate(query, 1, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		db[k] = mut
+	}
+	var fullCycles, thrCycles float64
+	var hits int
+	for _, entry := range db {
+		full, err := arr.Align(query, entry)
+		if err != nil {
+			return nil, err
+		}
+		fullCycles += float64(full.Cycles)
+		thr, err := arr.AlignThreshold(query, entry, temporal.Time(threshold))
+		if err != nil {
+			return nil, err
+		}
+		thrCycles += float64(thr.Cycles)
+		if thr.Score != temporal.Never {
+			hits++
+		}
+	}
+	f := &Figure{
+		ID:     fmt.Sprintf("threshold-N%d-T%d", n, threshold),
+		Title:  fmt.Sprintf("Section 6 threshold scan: %d entries of length %d, threshold %d", dbSize, n, threshold),
+		XLabel: "row",
+		YLabel: "value",
+		Series: []Series{{
+			Name: "value",
+			X:    []float64{1, 2, 3, 4},
+			Y: []float64{fullCycles, thrCycles,
+				fullCycles / thrCycles, float64(hits)},
+		}},
+		Notes: []string{
+			"rows: 1 total cycles without threshold, 2 with threshold, 3 speedup ×, 4 accepted entries",
+			"the systolic baseline cannot terminate early: 'the entire computation has to complete'",
+		},
+	}
+	return f, nil
+}
+
+// AllFigures runs every generator at reduced sweeps and returns the
+// rendered tables — a smoke-test entry point used by cmd/racebench -fig
+// all and the integration tests.
+func AllFigures(lib *tech.Library, ns []int) (string, error) {
+	var b strings.Builder
+	gens := []func() (*Figure, error){
+		func() (*Figure, error) { return Fig5Area(lib, ns) },
+		func() (*Figure, error) { return Fig5Latency(lib, ns) },
+		func() (*Figure, error) { return Fig5Energy(lib, ns) },
+		func() (*Figure, error) { return Eq5Fit(lib, ns) },
+		func() (*Figure, error) { return Fig9Throughput(lib, ns) },
+		func() (*Figure, error) { return Fig9PowerDensity(lib, ns) },
+		func() (*Figure, error) { return Fig9EnergyDelay(lib, ns[len(ns)-1]) },
+		func() (*Figure, error) { return Headline(lib, 20) },
+		func() (*Figure, error) { return GatingSweep(lib, 16, []int{1, 2, 4, 8, 16}) },
+		func() (*Figure, error) { return EncodingAblation(lib, 3) },
+		func() (*Figure, error) { return ThresholdStudy(lib, 16, 8, 20) },
+	}
+	for _, gen := range gens {
+		fig, err := gen()
+		if err != nil {
+			return "", err
+		}
+		if err := fig.WriteTable(&b); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}

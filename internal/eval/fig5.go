@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"fmt"
+
+	"racelogic/internal/tech"
+)
+
+// Fig5Area regenerates Fig. 5a/5d: placed area versus string length for
+// the Race Logic array (quadratic) and the systolic baseline (linear),
+// under one library.
+func Fig5Area(lib *tech.Library, ns []int) (*Figure, error) {
+	if err := checkNs(ns); err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     "fig5-area-" + lib.Name,
+		Title:  fmt.Sprintf("Area vs string length (%s library) — paper Fig. 5a/5d", lib.Name),
+		XLabel: "N",
+		YLabel: "area (µm²)",
+		Series: []Series{
+			{Name: "Race Logic " + lib.Name},
+			{Name: "Systolic Array " + lib.Name},
+		},
+	}
+	for _, n := range ns {
+		rm, err := MeasureRace(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := MeasureSystolic(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(n)
+		f.Series[0].X = append(f.Series[0].X, x)
+		f.Series[0].Y = append(f.Series[0].Y, rm.AreaUM2)
+		f.Series[1].X = append(f.Series[1].X, x)
+		f.Series[1].Y = append(f.Series[1].Y, sm.AreaUM2)
+	}
+	f.Notes = append(f.Notes,
+		"race area scales as N² (one unit cell per edit-graph node), systolic as N (2N+1 PEs)")
+	return f, nil
+}
+
+// Fig5Latency regenerates Fig. 5b/5e: wall-clock latency versus string
+// length for the race best case, race worst case and the systolic array.
+func Fig5Latency(lib *tech.Library, ns []int) (*Figure, error) {
+	if err := checkNs(ns); err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     "fig5-latency-" + lib.Name,
+		Title:  fmt.Sprintf("Latency vs string length (%s library) — paper Fig. 5b/5e", lib.Name),
+		XLabel: "N",
+		YLabel: "latency (ns)",
+		Series: []Series{
+			{Name: "Race Logic Best " + lib.Name},
+			{Name: "Race Logic Worst " + lib.Name},
+			{Name: "Systolic Array " + lib.Name},
+		},
+	}
+	for _, n := range ns {
+		rm, err := MeasureRace(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := MeasureSystolic(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(n)
+		for i := range f.Series {
+			f.Series[i].X = append(f.Series[i].X, x)
+		}
+		f.Series[0].Y = append(f.Series[0].Y, lib.LatencyNS(rm.BestCycles))
+		f.Series[1].Y = append(f.Series[1].Y, lib.LatencyNS(rm.WorstCycles))
+		f.Series[2].Y = append(f.Series[2].Y, lib.LatencyNS(sm.Cycles))
+	}
+	f.Notes = append(f.Notes,
+		"race cycle counts are N (best) and 2N (worst) under this repo's node-(N,N) readout;",
+		"the paper quotes N−1 and 2N−2 for its cell-array I/O convention — a fixed offset (DESIGN.md §2)")
+	return f, nil
+}
+
+// Fig5Energy regenerates Fig. 5c/5f: energy per comparison versus string
+// length for the six design points the paper plots — race best/worst,
+// systolic, the clockless estimate, and the clock-gated race best/worst
+// at the Eq. 7 optimal granularity.
+func Fig5Energy(lib *tech.Library, ns []int) (*Figure, error) {
+	if err := checkNs(ns); err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     "fig5-energy-" + lib.Name,
+		Title:  fmt.Sprintf("Energy per comparison vs string length (%s library) — paper Fig. 5c/5f", lib.Name),
+		XLabel: "N",
+		YLabel: "energy (J)",
+		Series: []Series{
+			{Name: "Race Logic Best " + lib.Name},
+			{Name: "Race Logic Worst " + lib.Name},
+			{Name: "Systolic Array " + lib.Name},
+			{Name: "Clockless Estimate " + lib.Name},
+			{Name: "Race Best with gating " + lib.Name},
+			{Name: "Race Worst with gating " + lib.Name},
+		},
+	}
+	for _, n := range ns {
+		rm, err := MeasureRace(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := MeasureSystolic(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		gm, err := MeasureGated(lib, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(n)
+		for i := range f.Series {
+			f.Series[i].X = append(f.Series[i].X, x)
+		}
+		f.Series[0].Y = append(f.Series[0].Y, rm.BestEnergyJ)
+		f.Series[1].Y = append(f.Series[1].Y, rm.WorstEnergyJ)
+		f.Series[2].Y = append(f.Series[2].Y, sm.EnergyJ)
+		f.Series[3].Y = append(f.Series[3].Y, rm.WorstClocklessJ)
+		f.Series[4].Y = append(f.Series[4].Y, gm.BestEnergyJ)
+		f.Series[5].Y = append(f.Series[5].Y, gm.WorstEnergyJ)
+	}
+	f.Notes = append(f.Notes,
+		"race energy is cubic in N (N² clocked cells × O(N) cycles), systolic quadratic;",
+		"gating at the Eq. 7 optimum pushes the race toward the clockless (data-only) floor")
+	return f, nil
+}
+
+// Eq5Fit regenerates the Eq. 5 table: least-squares coefficients of
+// E ≈ a·N³ + b·N² for the race best and worst cases under one library,
+// reported in picojoules like the paper.
+func Eq5Fit(lib *tech.Library, ns []int) (*Figure, error) {
+	fig, err := Fig5Energy(lib, ns)
+	if err != nil {
+		return nil, err
+	}
+	const toPJ = 1e12
+	f := &Figure{
+		ID:     "eq5-" + lib.Name,
+		Title:  fmt.Sprintf("Fitted energy coefficients E = a·N³ + b·N² (%s, pJ) — paper Eq. 5", lib.Name),
+		XLabel: "coef", // rows: a then b
+		YLabel: "pJ",
+	}
+	for _, idx := range []int{0, 1} { // best, worst
+		s := fig.Series[idx]
+		a, b, err := FitCubic(s.X, s.Y)
+		if err != nil {
+			return nil, err
+		}
+		f.Series = append(f.Series, Series{
+			Name: s.Name,
+			X:    []float64{3, 2}, // exponent of N
+			Y:    []float64{a * toPJ, b * toPJ},
+		})
+	}
+	f.Notes = append(f.Notes,
+		"paper's fitted values: AMIS best 2.65/6.41, worst 5.30/3.76; OSU best 1.05/5.91, worst 2.10/4.86 (pJ)",
+		"rows are the N³ coefficient (x=3) then the N² coefficient (x=2)")
+	return f, nil
+}

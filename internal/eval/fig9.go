@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"fmt"
+
+	"racelogic/internal/tech"
+)
+
+// Fig9Throughput regenerates Fig. 9a: string comparisons per second per
+// cm² versus N, for race best/worst and the systolic array.  The systolic
+// baseline is pipelined — a new comparison can enter every 2N cycles even
+// though the latency is ~3N — which the throughput model honors.
+func Fig9Throughput(lib *tech.Library, ns []int) (*Figure, error) {
+	if err := checkNs(ns); err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     "fig9a-" + lib.Name,
+		Title:  fmt.Sprintf("Throughput per area vs string length (%s) — paper Fig. 9a", lib.Name),
+		XLabel: "N",
+		YLabel: "patterns/sec/cm²",
+		Series: []Series{
+			{Name: "Race Logic Best " + lib.Name},
+			{Name: "Race Logic Worst " + lib.Name},
+			{Name: "Systolic Array " + lib.Name},
+		},
+	}
+	for _, n := range ns {
+		rm, err := MeasureRace(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := MeasureSystolic(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(n)
+		for i := range f.Series {
+			f.Series[i].X = append(f.Series[i].X, x)
+		}
+		f.Series[0].Y = append(f.Series[0].Y, lib.ThroughputPerAreaCM2(rm.BestCycles, rm.AreaUM2))
+		f.Series[1].Y = append(f.Series[1].Y, lib.ThroughputPerAreaCM2(rm.WorstCycles, rm.AreaUM2))
+		// Pipelined initiation interval: one comparison per 2N cycles.
+		f.Series[2].Y = append(f.Series[2].Y, lib.ThroughputPerAreaCM2(2*n, sm.AreaUM2))
+	}
+	f.Notes = append(f.Notes,
+		"paper: race best-case throughput/area beats the systolic array for N below ~70")
+	return f, nil
+}
+
+// Fig9PowerDensity regenerates Fig. 9b: W/cm² versus N for the six design
+// points (race best/worst, systolic, clockless estimate, gated best/worst).
+func Fig9PowerDensity(lib *tech.Library, ns []int) (*Figure, error) {
+	if err := checkNs(ns); err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     "fig9b-" + lib.Name,
+		Title:  fmt.Sprintf("Power density vs string length (%s) — paper Fig. 9b", lib.Name),
+		XLabel: "N",
+		YLabel: "W/cm²",
+		Series: []Series{
+			{Name: "Race Logic Best " + lib.Name},
+			{Name: "Race Logic Worst " + lib.Name},
+			{Name: "Systolic Array " + lib.Name},
+			{Name: "Clockless Estimate " + lib.Name},
+			{Name: "Race Best with gating " + lib.Name},
+			{Name: "Race Worst with gating " + lib.Name},
+		},
+	}
+	const um2PerCM2 = 1e8
+	for _, n := range ns {
+		rm, err := MeasureRace(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := MeasureSystolic(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		gm, err := MeasureGated(lib, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(n)
+		for i := range f.Series {
+			f.Series[i].X = append(f.Series[i].X, x)
+		}
+		raceArea := rm.AreaUM2 / um2PerCM2
+		f.Series[0].Y = append(f.Series[0].Y, rm.BestPowerW/raceArea)
+		f.Series[1].Y = append(f.Series[1].Y, rm.WorstPowerW/raceArea)
+		f.Series[2].Y = append(f.Series[2].Y, sm.PowerW/(sm.AreaUM2/um2PerCM2))
+		// Clockless: data-only energy over the worst-case duration.
+		cllW := rm.WorstClocklessJ / (float64(rm.WorstCycles) * lib.ClockPeriodNS * 1e-9)
+		f.Series[3].Y = append(f.Series[3].Y, cllW/raceArea)
+		gArea := gm.AreaUM2 / um2PerCM2
+		f.Series[4].Y = append(f.Series[4].Y, gm.BestPowerW/gArea)
+		f.Series[5].Y = append(f.Series[5].Y, gm.WorstPowerW/gArea)
+	}
+	f.Notes = append(f.Notes,
+		"the ITRS ceiling the paper cites is 200 W/cm²; Race Logic stays far below it")
+	return f, nil
+}
+
+// Fig9EnergyDelay regenerates Fig. 9c: the energy–latency scatter at a
+// fixed string length (the paper uses N = 30).  Each series holds one
+// design point with a single (energy, latency) pair: X is energy in
+// joules, Y is latency in ns.
+func Fig9EnergyDelay(lib *tech.Library, n int) (*Figure, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("eval: invalid N %d", n)
+	}
+	rm, err := MeasureRace(lib, n)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := MeasureSystolic(lib, n)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := MeasureGated(lib, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{
+		"Race Logic Best " + lib.Name,
+		"Race Logic Worst " + lib.Name,
+		"Systolic Array " + lib.Name,
+		"Race Logic Clockless " + lib.Name,
+		"Race Best with gating " + lib.Name,
+		"Race Worst with gating " + lib.Name,
+	}
+	energies := []float64{rm.BestEnergyJ, rm.WorstEnergyJ, sm.EnergyJ,
+		rm.WorstClocklessJ, gm.BestEnergyJ, gm.WorstEnergyJ}
+	cycles := []int{rm.BestCycles, rm.WorstCycles, sm.Cycles,
+		rm.WorstCycles, rm.BestCycles, rm.WorstCycles}
+	f := &Figure{
+		ID:     fmt.Sprintf("fig9c-%s-N%d", lib.Name, n),
+		Title:  fmt.Sprintf("Energy–delay scatter at N = %d (%s) — paper Fig. 9c", n, lib.Name),
+		XLabel: "design point",
+		YLabel: "energy (J) / latency (ns)",
+		Series: []Series{
+			{Name: "energy (J)"},
+			{Name: "latency (ns)"},
+		},
+	}
+	for i := range names {
+		x := float64(i + 1)
+		f.Series[0].X = append(f.Series[0].X, x)
+		f.Series[0].Y = append(f.Series[0].Y, energies[i])
+		f.Series[1].X = append(f.Series[1].X, x)
+		f.Series[1].Y = append(f.Series[1].Y, lib.LatencyNS(cycles[i]))
+		f.Notes = append(f.Notes, fmt.Sprintf("point %d: %s", i+1, names[i]))
+	}
+	return f, nil
+}
+
+// Headline regenerates the abstract's comparison at N = 20: how many
+// times faster, denser and more energy-efficient the race array is than
+// the systolic baseline.
+func Headline(lib *tech.Library, n int) (*Figure, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("eval: invalid N %d", n)
+	}
+	rm, err := MeasureRace(lib, n)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := MeasureSystolic(lib, n)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := MeasureGated(lib, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	const um2PerCM2 = 1e8
+	latencyX := float64(sm.Cycles) / float64(rm.BestCycles)
+	tputX := lib.ThroughputPerAreaCM2(rm.BestCycles, rm.AreaUM2) /
+		lib.ThroughputPerAreaCM2(2*n, sm.AreaUM2)
+	pdX := (sm.PowerW / (sm.AreaUM2 / um2PerCM2)) / (rm.BestPowerW / (rm.AreaUM2 / um2PerCM2))
+	energyX := sm.EnergyJ / rm.BestEnergyJ
+	energyGatedX := sm.EnergyJ / gm.BestEnergyJ
+	f := &Figure{
+		ID:     fmt.Sprintf("headline-%s-N%d", lib.Name, n),
+		Title:  fmt.Sprintf("Headline ratios at N = %d (%s): systolic ÷ race", n, lib.Name),
+		XLabel: "row",
+		YLabel: "×",
+		Series: []Series{{
+			Name: "ratio",
+			X:    []float64{1, 2, 3, 4, 5},
+			Y:    []float64{latencyX, tputX, pdX, energyX, energyGatedX},
+		}},
+		Notes: []string{
+			"rows: 1 latency speedup (best case), 2 throughput/area, 3 power-density reduction,",
+			"      4 energy advantage (ungated), 5 energy advantage (gated)",
+			"paper claims (abstract): 4× latency, ~3× throughput/area, ~5× power density, ~200× energy",
+		},
+	}
+	return f, nil
+}

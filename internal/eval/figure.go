@@ -1,0 +1,166 @@
+// Package eval is the experiment harness: one generator per table and
+// figure of the paper's evaluation (Figs. 5, 6, 9, Eqs. 5–7 and the
+// headline comparison), each returning the same rows/series the paper
+// plots.  cmd/racebench drives these from the command line and the root
+// bench_test.go wraps each one in a testing.B benchmark.
+//
+// Absolute numbers depend on the calibrated library constants in
+// internal/tech; the shapes — who wins, the N²/N³ scaling laws, where the
+// crossovers fall — emerge from the simulated gate-level structures.
+// EXPERIMENTS.md records paper-vs-measured for every entry.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	// Name labels the curve as in the paper's legend
+	// ("Race Logic Best AMIS", "Systolic Array OSU", ...).
+	Name string
+	// X holds the abscissas (string length N, or granularity m).
+	X []float64
+	// Y holds the measured or modeled values.
+	Y []float64
+}
+
+// Figure is a regenerated paper figure: a set of series plus labels.
+type Figure struct {
+	// ID names the paper artifact ("fig5a", "eq5", "headline", ...).
+	ID string
+	// Title describes the figure.
+	Title string
+	// XLabel and YLabel name the axes including units.
+	XLabel, YLabel string
+	// Series holds the curves.
+	Series []Series
+	// Notes carries free-form caveats printed under the table.
+	Notes []string
+}
+
+// WriteTable renders the figure as an aligned text table, one row per X
+// value with one column per series — the "same rows the paper reports".
+func (f *Figure) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if len(f.Series) == 0 {
+		_, err := fmt.Fprintln(w, "(no series)")
+		return err
+	}
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	xs := f.Series[0].X
+	for i := range xs {
+		row := []string{formatNum(xs[i])}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, formatNum(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the figure as comma-separated values with a header row.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	if len(f.Series) == 0 {
+		return nil
+	}
+	xs := f.Series[0].X
+	for i := range xs {
+		row := []string{formatNum(xs[i])}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, formatNum(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1e5 || (v != 0 && math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// FitCubic least-squares fits y ≈ a·x³ + b·x² (the Eq. 5 model: the
+// clock term scales as N³ and the data term as N²) and returns (a, b).
+func FitCubic(x, y []float64) (a, b float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, fmt.Errorf("eval: need ≥ 2 matched points, got %d/%d", len(x), len(y))
+	}
+	// Normal equations for the basis {x³, x²}.
+	var s66, s55, s44, s3y, s2y float64
+	for i := range x {
+		x2 := x[i] * x[i]
+		x3 := x2 * x[i]
+		s66 += x3 * x3
+		s55 += x3 * x2
+		s44 += x2 * x2
+		s3y += x3 * y[i]
+		s2y += x2 * y[i]
+	}
+	det := s66*s44 - s55*s55
+	if math.Abs(det) < 1e-30 {
+		return 0, 0, fmt.Errorf("eval: singular fit (degenerate x values)")
+	}
+	a = (s3y*s44 - s2y*s55) / det
+	b = (s2y*s66 - s3y*s55) / det
+	return a, b, nil
+}
+
+// CrossoverX returns the interpolated x at which series a first drops
+// below series b (shared X grid), or NaN if it never does.  Used to
+// locate the "Race Logic wins for N < …" points of Figs. 5 and 9.
+func CrossoverX(a, b Series) float64 {
+	n := len(a.X)
+	if len(b.X) < n {
+		n = len(b.X)
+	}
+	for i := 0; i < n; i++ {
+		if a.Y[i] < b.Y[i] {
+			if i == 0 {
+				return a.X[0]
+			}
+			// Linear interpolation between i-1 and i on the difference.
+			d0 := a.Y[i-1] - b.Y[i-1]
+			d1 := a.Y[i] - b.Y[i]
+			t := d0 / (d0 - d1)
+			return a.X[i-1] + t*(a.X[i]-a.X[i-1])
+		}
+	}
+	return math.NaN()
+}

@@ -1,0 +1,271 @@
+package race
+
+import (
+	"math/rand"
+	"testing"
+
+	"racelogic/internal/dag"
+	"racelogic/internal/temporal"
+)
+
+// fig3Graph rebuilds the Figure 3a example DAG: two inputs, one output,
+// shortest path 2 from the inputs to the output.
+func fig3Graph() (*dag.Graph, dag.NodeID) {
+	g := dag.New()
+	in0 := g.AddNode("in0")
+	in1 := g.AddNode("in1")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	out := g.AddNode("out")
+	g.MustAddEdge(in0, a, 1)
+	g.MustAddEdge(in0, b, 2)
+	g.MustAddEdge(in1, a, 1)
+	g.MustAddEdge(in1, b, 1)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, out, 1)
+	g.MustAddEdge(b, out, 3)
+	return g, out
+}
+
+func TestFig3ORTypeTakesTwoCycles(t *testing.T) {
+	// Paper, Section 3: "For the specific DAG shown in Figure 3a, it
+	// takes two cycles for the '1' signal to propagate to the output
+	// node and it can be easily verified that this corresponds to the
+	// shortest path."
+	g, out := fig3Graph()
+	got, err := ShortestPath(g, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("OR-type race arrival = %v, want 2", got)
+	}
+}
+
+func TestFig3ANDTypeLongestPath(t *testing.T) {
+	// The AND at each node waits for ALL inputs: a fires at
+	// max(in0+1, in1+1) = 1, b at max(in0+2, in1+1, a+1) = 2, out at
+	// max(a+1, b+3) = 5 — the longest path.
+	g, out := fig3Graph()
+	got, err := LongestPath(g, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("AND-type race arrival = %v, want 5", got)
+	}
+	res, err := g.SolvePaths(temporal.MaxPlus, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.Score[out] {
+		t.Errorf("AND-type race arrival = %v, reference DP = %v", got, res.Score[out])
+	}
+}
+
+// reachableRandomDAG generates a random layered DAG and patches every
+// in-degree-0 non-source node with an edge from the source, so the
+// physical AND-gate semantics (a dead input keeps the gate from firing)
+// coincide with the max-plus DP semantics.
+func reachableRandomDAG(rng *rand.Rand, layers, width int, density float64) *dag.Graph {
+	g := dag.RandomDAG(rng, layers, width, density, 1, 6)
+	for v := 1; v < g.NumNodes(); v++ {
+		if len(g.In(dag.NodeID(v))) == 0 {
+			g.MustAddEdge(0, dag.NodeID(v), temporal.Time(1+rng.Intn(4)))
+		}
+	}
+	return g
+}
+
+func TestORTypeAgreesWithDPOnRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		g := dag.RandomDAG(rng, 2+rng.Intn(4), 1+rng.Intn(4), 0.4, 1, 5)
+		ref, err := g.SolvePaths(temporal.MinPlus, g.Sources()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := FromDAG(g, ORType)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Watch every node: the race stops once the watch list has
+		// fired, so sink-only watching would leave slower nodes at ∞.
+		watch := make([]dag.NodeID, g.NumNodes())
+		for v := range watch {
+			watch[v] = dag.NodeID(v)
+		}
+		res, err := s.Solve(watch...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if res.Arrival[v] != ref.Score[v] {
+				t.Fatalf("trial %d node %d: race %v != DP %v\n%s",
+					trial, v, res.Arrival[v], ref.Score[v], g)
+			}
+		}
+	}
+}
+
+func TestANDTypeAgreesWithDPOnReachableDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		g := reachableRandomDAG(rng, 2+rng.Intn(4), 1+rng.Intn(3), 0.5)
+		ref, err := g.SolvePaths(temporal.MaxPlus, g.Sources()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := FromDAG(g, ANDType)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Watch every node so arrivals are complete.
+		watch := make([]dag.NodeID, g.NumNodes())
+		for v := range watch {
+			watch[v] = dag.NodeID(v)
+		}
+		res, err := s.Solve(watch...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if res.Arrival[v] != ref.Score[v] {
+				t.Fatalf("trial %d node %d: race %v != DP %v\n%s",
+					trial, v, res.Arrival[v], ref.Score[v], g)
+			}
+		}
+	}
+}
+
+func TestNeverEdgeCompilesToMissingEdge(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	d := g.AddNode("d")
+	g.MustAddEdge(s, a, 2)
+	g.MustAddEdge(a, d, 2)
+	g.MustAddEdge(s, d, temporal.Never) // must behave as absent
+	got, err := ShortestPath(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("arrival = %v, want 4 (Never edge must not shortcut)", got)
+	}
+}
+
+func TestUnreachableNodeNeverFires(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s")
+	g.AddNode("island") // source with no outputs — gets an input pin
+	x := g.AddNode("x")
+	y := g.AddNode("y")
+	g.MustAddEdge(s, x, 1)
+	g.MustAddEdge(x, y, temporal.Never) // y's only edge is infinite
+	sol, err := FromDAG(g, ORType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sol.Solve(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Arrival[y].IsNever() {
+		t.Errorf("unreachable node fired at %v", res.Arrival[y])
+	}
+}
+
+func TestANDWithUnreachableInputNeverFires(t *testing.T) {
+	// Physical AND semantics: a gate with a dead input never fires even
+	// if its other input arrives.
+	g := dag.New()
+	s := g.AddNode("s")
+	dead := g.AddNode("dead")
+	x := g.AddNode("x")
+	v := g.AddNode("v")
+	g.MustAddEdge(s, x, 1)
+	g.MustAddEdge(dead, x, temporal.Never) // dead's edge vanishes; x = OR? no: AND over remaining
+	g.MustAddEdge(s, v, 1)
+	// v also depends on a node that can never fire via finite edge.
+	island := g.AddNode("islandTarget")
+	g.MustAddEdge(x, island, temporal.Never)
+	g.MustAddEdge(island, v, 1)
+	sol, err := FromDAG(g, ANDType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sol.Solve(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Arrival[v].IsNever() {
+		t.Errorf("AND node with dead predecessor fired at %v", res.Arrival[v])
+	}
+}
+
+func TestFromDAGRejectsCycles(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, a, 1)
+	if _, err := FromDAG(g, ORType); err == nil {
+		t.Error("expected cycle error")
+	}
+}
+
+func TestFromDAGRejectsNegativeWeights(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.MustAddEdge(a, b, -3)
+	if _, err := FromDAG(g, ORType); err == nil {
+		t.Error("negative weights cannot be delays; expected error")
+	}
+}
+
+func TestSolveValidatesWatchList(t *testing.T) {
+	g, _ := fig3Graph()
+	s, err := FromDAG(g, ORType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(dag.NodeID(99)); err == nil {
+		t.Error("expected out-of-range watch error")
+	}
+}
+
+func TestZeroWeightEdgesAreCombinational(t *testing.T) {
+	// Weight 0 = no flip-flop: the signal crosses in the same cycle.
+	g := dag.New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.MustAddEdge(s, a, 0)
+	g.MustAddEdge(a, b, 3)
+	got, err := ShortestPath(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("arrival = %v, want 3", got)
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	if ORType.String() != "OR-type" || ANDType.String() != "AND-type" {
+		t.Error("GateType.String wrong")
+	}
+}
+
+func TestSolverNetlistExposed(t *testing.T) {
+	g, _ := fig3Graph()
+	s, err := FromDAG(g, ORType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Netlist().NumDFFs() == 0 {
+		t.Error("compiled race circuit must contain delay flip-flops")
+	}
+}

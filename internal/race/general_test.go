@@ -1,0 +1,319 @@
+package race
+
+import (
+	"math/rand"
+	"testing"
+
+	"racelogic/internal/align"
+	"racelogic/internal/score"
+	"racelogic/internal/seqgen"
+	"racelogic/internal/temporal"
+)
+
+func TestGeneralArrayMatchesDNAArray(t *testing.T) {
+	// The generalized cell running the Fig. 4 matrix must agree with the
+	// specialized Fig. 4 array on every cell.
+	n := 6
+	g := seqgen.NewDNA(31)
+	p, q := g.RandomPair(n)
+	spec, err := NewArray(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := spec.Align(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, enc := range []Encoding{BinaryCounter, OneHot} {
+		gen, err := NewGeneralArray(n, n, score.DNAShortestInf(), enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := gen.Align(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Errorf("%v: score %v != %v", enc, got.Score, want.Score)
+		}
+		for i := range want.Arrivals {
+			for j := range want.Arrivals[i] {
+				if got.Arrivals[i][j] != want.Arrivals[i][j] {
+					t.Fatalf("%v cell (%d,%d): %v != %v", enc, i, j,
+						got.Arrivals[i][j], want.Arrivals[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGeneralArrayFig2bAgainstDP(t *testing.T) {
+	// Fig. 2b has a real mismatch weight (2) different from the gap (1):
+	// this exercises the counter path with multiple distinct weights.
+	rng := rand.New(rand.NewSource(32))
+	g := seqgen.NewDNA(33)
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(4)
+		p := g.Random(n)
+		q := g.Random(m)
+		arr, err := NewGeneralArray(n, m, score.DNAShortest(), BinaryCounter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := arr.Align(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := align.Global(p, q, score.DNAShortest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= m; j++ {
+				if res.Arrivals[i][j] != ref.Table[i][j] {
+					t.Fatalf("%q vs %q cell (%d,%d): race %v != DP %v",
+						p, q, i, j, res.Arrivals[i][j], ref.Table[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGeneralArrayBLOSUM62AgainstDP(t *testing.T) {
+	// The headline Section 5 case: a prepared BLOSUM62 with a large
+	// dynamic range on the generalized cell, checked cell-by-cell
+	// against the reference DP.
+	mtx := score.BLOSUM62().MustPrepareForRace()
+	g := seqgen.NewProtein(34)
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 3; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 2 + rng.Intn(3)
+		p := g.Random(n)
+		q := g.Random(m)
+		arr, err := NewGeneralArray(n, m, mtx, BinaryCounter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := arr.Align(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := align.Global(p, q, mtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score != ref.Score {
+			t.Fatalf("%q vs %q: race %v != DP %v", p, q, res.Score, ref.Score)
+		}
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= m; j++ {
+				got := res.Arrivals[i][j]
+				want := ref.Table[i][j]
+				if got.IsNever() {
+					// The race stops once the output fires; cells slower
+					// than the stop cycle legitimately read ∞.
+					if want <= temporal.Time(res.Cycles) {
+						t.Fatalf("%q vs %q cell (%d,%d): never fired but DP %v ≤ %d cycles run",
+							p, q, i, j, want, res.Cycles)
+					}
+					continue
+				}
+				if got != want {
+					t.Fatalf("%q vs %q cell (%d,%d): race %v != DP %v", p, q, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneralArrayOneHotEquivalence(t *testing.T) {
+	// Encoding is an area/energy trade-off, never a functional one.
+	mtx := score.PAM250().MustPrepareForRace()
+	g := seqgen.NewProtein(36)
+	p, q := g.RandomPair(3)
+	var scores []temporal.Time
+	for _, enc := range []Encoding{BinaryCounter, OneHot} {
+		arr, err := NewGeneralArray(3, 3, mtx, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := arr.Align(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores = append(scores, res.Score)
+	}
+	if scores[0] != scores[1] {
+		t.Errorf("binary %v != one-hot %v", scores[0], scores[1])
+	}
+}
+
+func TestEncodingAreaTradeoff(t *testing.T) {
+	// Section 5: one-hot delay chains scale linearly with N_DR while the
+	// binary counter needs only ⌈log₂⌉ flip-flops — for a large dynamic
+	// range the one-hot array must carry substantially more DFFs.
+	mtx := score.BLOSUM62().MustPrepareForRace() // NDR well above 8
+	bin, err := NewGeneralArray(3, 3, mtx, BinaryCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh, err := NewGeneralArray(3, 3, mtx, OneHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, o := bin.Netlist().NumDFFs(), oh.Netlist().NumDFFs()
+	if o <= b {
+		t.Errorf("one-hot DFFs %d must exceed binary-counter DFFs %d for NDR=%v", o, b, mtx.NDR())
+	}
+}
+
+func TestGeneralArrayThreshold(t *testing.T) {
+	mtx := score.DNAShortestInf()
+	n := 10
+	g := seqgen.NewDNA(37)
+	pw, qw := g.WorstCase(n) // score 2N = 20
+	arr, err := NewGeneralArray(n, n, mtx, BinaryCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.AlignThreshold(pw, qw, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Score.IsNever() {
+		t.Errorf("dissimilar pair must be cut off, got %v", res.Score)
+	}
+	if res.Cycles > 13 {
+		t.Errorf("threshold race ran %d cycles, want ≤ 13", res.Cycles)
+	}
+	pb, qb := g.BestCase(n)
+	res2, err := arr.AlignThreshold(pb, qb, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Score != temporal.Time(n) {
+		t.Errorf("similar pair score = %v, want %d", res2.Score, n)
+	}
+	if _, err := arr.AlignThreshold(pb, qb, -2); err == nil {
+		t.Error("negative threshold must error")
+	}
+}
+
+func TestGeneralArrayValidation(t *testing.T) {
+	if _, err := NewGeneralArray(0, 3, score.DNAShortest(), BinaryCounter); err == nil {
+		t.Error("zero dimension must error")
+	}
+	// Longest-path matrices are rejected until prepared.
+	if _, err := NewGeneralArray(3, 3, score.BLOSUM62(), BinaryCounter); err == nil {
+		t.Error("unprepared longest-path matrix must error")
+	}
+	inf := score.DNAShortest()
+	inf.Gap = temporal.Never
+	if _, err := NewGeneralArray(3, 3, inf, BinaryCounter); err == nil {
+		t.Error("infinite gap must error")
+	}
+	arr, err := NewGeneralArray(3, 3, score.DNAShortest(), BinaryCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arr.Align("AC", "ACT"); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := arr.Align("AXC", "ACT"); err == nil {
+		t.Error("unknown symbol must error")
+	}
+}
+
+func TestGeneralArrayAccessors(t *testing.T) {
+	arr, err := NewGeneralArray(2, 2, score.DNAShortest(), OneHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Matrix().Name != "Fig2b" {
+		t.Error("Matrix() wrong")
+	}
+	if arr.EncodingUsed() != OneHot {
+		t.Error("EncodingUsed() wrong")
+	}
+	if arr.Netlist().NumGates() == 0 {
+		t.Error("netlist empty")
+	}
+	if BinaryCounter.String() != "binary-counter" || OneHot.String() != "one-hot" {
+		t.Error("Encoding.String wrong")
+	}
+}
+
+func TestWavefrontsPartitionAllCells(t *testing.T) {
+	n := 8
+	g := seqgen.NewDNA(38)
+	p, q := g.WorstCase(n)
+	a, err := NewArray(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Align(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fronts := Wavefronts(res.Arrivals)
+	total := 0
+	for tt, cells := range fronts {
+		for _, c := range cells {
+			if res.Arrivals[c.I][c.J] != temporal.Time(tt) {
+				t.Fatalf("cell (%d,%d) in front %d but arrived %v", c.I, c.J, tt, res.Arrivals[c.I][c.J])
+			}
+			total++
+		}
+	}
+	if total != (n+1)*(n+1) {
+		t.Errorf("fronts cover %d cells, want %d", total, (n+1)*(n+1))
+	}
+	// Worst case: the last front is at cycle 2N.
+	if len(fronts) != 2*n+1 {
+		t.Errorf("fronts span %d cycles, want %d", len(fronts), 2*n+1)
+	}
+}
+
+func TestWavefrontStringRendering(t *testing.T) {
+	a, _ := NewArray(3, 3)
+	res, err := a.Align("AAA", "TTT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := WavefrontString(res.Arrivals, 3)
+	if len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+	// Cell (0,0) fired at 0 → '#'; cells arriving at exactly 3 → '+'.
+	if s[0] != '#' {
+		t.Errorf("origin should be '#', got %c", s[0])
+	}
+	if WavefrontString(nil, 0) != "" {
+		t.Error("nil arrivals must render empty")
+	}
+}
+
+func TestActiveWindowBounds(t *testing.T) {
+	a, _ := NewArray(8, 8)
+	g := seqgen.NewDNA(39)
+	p, q := g.BestCase(8)
+	res, err := a.Align(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := ActiveWindow(res.Arrivals, 4)
+	if len(win) == 0 {
+		t.Fatal("no windows")
+	}
+	for key, w := range win {
+		if w[0] > w[1] {
+			t.Errorf("region %v window inverted: %v", key, w)
+		}
+	}
+	// m < 1 clamps.
+	if len(ActiveWindow(res.Arrivals, 0)) == 0 {
+		t.Error("clamped granularity must still work")
+	}
+}

@@ -1,0 +1,92 @@
+package race
+
+import (
+	"fmt"
+
+	"racelogic/internal/align"
+	"racelogic/internal/score"
+	"racelogic/internal/temporal"
+)
+
+// This file implements the traceback extension the paper's related-work
+// section attributes to the successors of the Lipton–Lopresti design
+// ("newer architectures have built upon this work by adding markers in
+// processing elements to trace back optimal similarity paths" [21, 22]),
+// transplanted to Race Logic: the per-cell arrival times ARE the DP
+// table, so one backward walk over the timing matrix recovers an optimal
+// alignment without any additional hardware state — the markers come for
+// free with the temporal encoding.
+
+// Traceback reconstructs one optimal alignment path from a completed
+// race's timing matrix.  A predecessor is any neighbor whose arrival time
+// plus the connecting edge weight equals the cell's own arrival time;
+// diagonal ties win (they consume symbols from both strings, matching
+// the reference DP's preference).  The race must have run to completion:
+// a threshold-aborted result (Score == Never) cannot be traced.
+func (r *AlignResult) Traceback(p, q string, mtx *score.Matrix) (*align.Result, error) {
+	if r.Score == temporal.Never {
+		return nil, fmt.Errorf("race: cannot trace back an aborted (threshold) race")
+	}
+	n, m := len(p), len(q)
+	if len(r.Arrivals) != n+1 || (n >= 0 && len(r.Arrivals[0]) != m+1) {
+		return nil, fmt.Errorf("race: timing matrix is %dx%d but strings are %d/%d",
+			len(r.Arrivals), len(r.Arrivals[0]), n, m)
+	}
+	res := &align.Result{Score: r.Score, Table: r.Arrivals}
+	var ap, aq []byte
+	var ops []align.Op
+	i, j := n, m
+	for i != 0 || j != 0 {
+		cur := r.Arrivals[i][j]
+		if cur == temporal.Never {
+			return nil, fmt.Errorf("race: cell (%d,%d) never fired; race incomplete", i, j)
+		}
+		switch {
+		case i > 0 && j > 0 && edgeExplains(r.Arrivals[i-1][j-1], mtx.MustScore(p[i-1], q[j-1]), cur):
+			ap = append(ap, p[i-1])
+			aq = append(aq, q[j-1])
+			if p[i-1] == q[j-1] {
+				ops = append(ops, align.OpMatch)
+			} else {
+				ops = append(ops, align.OpMismatch)
+			}
+			i, j = i-1, j-1
+		case i > 0 && edgeExplains(r.Arrivals[i-1][j], mtx.Gap, cur):
+			ap = append(ap, p[i-1])
+			aq = append(aq, '_')
+			ops = append(ops, align.OpDelete)
+			i--
+		case j > 0 && edgeExplains(r.Arrivals[i][j-1], mtx.Gap, cur):
+			ap = append(ap, '_')
+			aq = append(aq, q[j-1])
+			ops = append(ops, align.OpInsert)
+			j--
+		default:
+			return nil, fmt.Errorf("race: no predecessor explains cell (%d,%d) = %v — timing matrix inconsistent with %s",
+				i, j, cur, mtx.Name)
+		}
+	}
+	reverse(ap)
+	reverse(aq)
+	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
+		ops[l], ops[r] = ops[r], ops[l]
+	}
+	res.AlignedP, res.AlignedQ = string(ap), string(aq)
+	res.Ops = ops
+	return res, nil
+}
+
+// edgeExplains reports whether an edge of weight w from a predecessor
+// that fired at prev accounts for a cell firing at cur.
+func edgeExplains(prev, w, cur temporal.Time) bool {
+	if prev == temporal.Never || w == temporal.Never {
+		return false
+	}
+	return prev.Add(w) == cur
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}

@@ -1,0 +1,165 @@
+package race
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"racelogic/internal/align"
+	"racelogic/internal/score"
+	"racelogic/internal/seqgen"
+	"racelogic/internal/temporal"
+)
+
+func TestTracebackFig4Example(t *testing.T) {
+	a, err := NewArray(len(figP), len(figQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Align(figP, figQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := res.Traceback(figP, figQ, score.DNAShortestInf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The traced path's cost must equal the race score, and the rows
+	// must spell the original strings.
+	if tb.Score != 10 {
+		t.Errorf("traceback score = %v, want 10", tb.Score)
+	}
+	if strings.ReplaceAll(tb.AlignedP, "_", "") != figP {
+		t.Errorf("AlignedP %q does not spell P", tb.AlignedP)
+	}
+	if strings.ReplaceAll(tb.AlignedQ, "_", "") != figQ {
+		t.Errorf("AlignedQ %q does not spell Q", tb.AlignedQ)
+	}
+	// Under the mismatch=∞ matrix a traced path can never contain a
+	// mismatch: only matches and indels.
+	_, mismatches, _ := tb.Counts()
+	if mismatches != 0 {
+		t.Errorf("traceback used %d mismatch edges under an ∞-mismatch matrix", mismatches)
+	}
+}
+
+func TestTracebackPathCostEqualsScoreRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := seqgen.NewDNA(52)
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(7)
+		m := 1 + rng.Intn(7)
+		p := g.Random(n)
+		q := g.Random(m)
+		arr, err := NewArray(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := arr.Align(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mtx := score.DNAShortestInf()
+		tb, err := res.Traceback(p, q, mtx)
+		if err != nil {
+			t.Fatalf("%q vs %q: %v", p, q, err)
+		}
+		// Re-cost the path independently.
+		var sum temporal.Time
+		for k := range tb.AlignedP {
+			a, b := tb.AlignedP[k], tb.AlignedQ[k]
+			if a == '_' || b == '_' {
+				sum = sum.Add(mtx.Gap)
+			} else {
+				sum = sum.Add(mtx.MustScore(a, b))
+			}
+		}
+		if sum != res.Score {
+			t.Fatalf("%q vs %q: path cost %v != race score %v", p, q, sum, res.Score)
+		}
+		// And it must match the reference DP's optimum.
+		ref, err := align.Global(p, q, mtx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Score != ref.Score {
+			t.Fatalf("%q vs %q: traceback %v != reference %v", p, q, tb.Score, ref.Score)
+		}
+	}
+}
+
+func TestTracebackGeneralArrayBLOSUM(t *testing.T) {
+	mtx := score.BLOSUM62().MustPrepareForRace()
+	g := seqgen.NewProtein(53)
+	p, q := g.Random(4), g.Random(4)
+	arr, err := NewGeneralArray(4, 4, mtx, BinaryCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.Align(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := res.Traceback(p, q, mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Score != res.Score {
+		t.Errorf("traceback score %v != race score %v", tb.Score, res.Score)
+	}
+	if len(tb.AlignedP) != len(tb.AlignedQ) {
+		t.Error("ragged alignment rows")
+	}
+}
+
+func TestTracebackRejectsAbortedRace(t *testing.T) {
+	arr, err := NewArray(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.AlignThreshold("AAAAAAAA", "TTTTTTTT", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Traceback("AAAAAAAA", "TTTTTTTT", score.DNAShortestInf()); err == nil {
+		t.Error("aborted race must not be traceable")
+	}
+}
+
+func TestTracebackRejectsWrongShape(t *testing.T) {
+	arr, err := NewArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.Align("ACTG", "ACTG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Traceback("ACT", "ACTG", score.DNAShortestInf()); err == nil {
+		t.Error("shape mismatch must error")
+	}
+}
+
+func TestTracebackDetectsInconsistentMatrix(t *testing.T) {
+	// Tracing a Fig. 4 timing matrix with the Fig. 2b weights (mismatch
+	// = 2) can still succeed (the scores agree), but tracing with a
+	// nonsense matrix must fail loudly rather than fabricate a path.
+	arr, err := NewArray(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.Align("AAA", "TTT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := score.DNAShortest()
+	bogus.Gap = 7 // no edge of weight 7 explains any arrival
+	for i := range bogus.Sub {
+		for j := range bogus.Sub[i] {
+			bogus.Sub[i][j] = 9
+		}
+	}
+	if _, err := res.Traceback("AAA", "TTT", bogus); err == nil {
+		t.Error("inconsistent matrix must be detected")
+	}
+}

@@ -1,0 +1,96 @@
+package race
+
+import (
+	"strings"
+
+	"racelogic/internal/temporal"
+)
+
+// Cell addresses one node of the edit-graph grid.
+type Cell struct{ I, J int }
+
+// Wavefronts groups the cells of an arrival matrix by arrival cycle: the
+// k-th slice holds every cell whose rising edge appeared at cycle k — the
+// propagating wavefront the Section 4.3 clock-gating study tracks and
+// Figure 6 draws.  Cells that never fired are omitted.
+func Wavefronts(arrivals [][]temporal.Time) [][]Cell {
+	var last temporal.Time
+	for i := range arrivals {
+		for j := range arrivals[i] {
+			if t := arrivals[i][j]; t != temporal.Never && t > last {
+				last = t
+			}
+		}
+	}
+	fronts := make([][]Cell, int(last)+1)
+	for i := range arrivals {
+		for j := range arrivals[i] {
+			t := arrivals[i][j]
+			if t == temporal.Never {
+				continue
+			}
+			fronts[t] = append(fronts[t], Cell{I: i, J: j})
+		}
+	}
+	return fronts
+}
+
+// WavefrontString renders the Fig. 6 picture for one instant: every cell
+// is drawn '#' if it has fired by cycle t, '+' if it fires exactly at t,
+// and '.' otherwise.  Rows follow Q, columns follow P (the Fig. 4c
+// orientation).
+func WavefrontString(arrivals [][]temporal.Time, t temporal.Time) string {
+	if len(arrivals) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for j := 0; j < len(arrivals[0]); j++ {
+		for i := 0; i < len(arrivals); i++ {
+			a := arrivals[i][j]
+			switch {
+			case a == temporal.Never || a > t:
+				b.WriteByte('.')
+			case a == t:
+				b.WriteByte('+')
+			default:
+				b.WriteByte('#')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ActiveWindow returns, for an m×m region partition of the arrival
+// matrix, the first and last arrival cycle inside each region — the
+// per-region clock-active windows whose lengths the Eq. 6 model bounds by
+// 2m−2 (+ the turn-on/off overhead).  Regions keyed by (rowBlock,
+// colBlock); regions with no arrivals are omitted.
+func ActiveWindow(arrivals [][]temporal.Time, m int) map[Cell][2]temporal.Time {
+	if m < 1 {
+		m = 1
+	}
+	win := make(map[Cell][2]temporal.Time)
+	for i := range arrivals {
+		for j := range arrivals[i] {
+			t := arrivals[i][j]
+			if t == temporal.Never {
+				continue
+			}
+			key := Cell{I: i / m, J: j / m}
+			w, ok := win[key]
+			if !ok {
+				win[key] = [2]temporal.Time{t, t}
+				continue
+			}
+			if t < w[0] {
+				w[0] = t
+			}
+			if t > w[1] {
+				w[1] = t
+			}
+			win[key] = w
+		}
+	}
+	return win
+}

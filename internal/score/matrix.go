@@ -1,0 +1,279 @@
+// Package score defines alignment score matrices and the transformations
+// that prepare them for Race Logic.
+//
+// A score matrix assigns a weight to every edge of the edit graph: aligning
+// symbol a with symbol b (substitution/match, the diagonal edges) or with a
+// gap (indel, the horizontal/vertical edges).  The paper uses three:
+// Fig. 2a (DNA longest-path: reward matches), Fig. 2b (DNA shortest-path:
+// penalize indels by 1 and mismatches by 2), and Fig. 2c (BLOSUM62, a
+// 20×20 log-odds protein matrix).  Section 5 describes how an arbitrary
+// matrix is massaged for the OR-type (min) race: flip longest-path
+// matrices to shortest-path ones and add a rank-aware bias so every weight
+// is a positive integer — since negative or zero delays cannot exist in
+// hardware.  This package implements the matrices, the transformation
+// pipeline, and the N_DR/N_SS properties the generalized cell of Fig. 8
+// is parameterized by.
+package score
+
+import (
+	"fmt"
+	"strings"
+
+	"racelogic/internal/temporal"
+)
+
+// Direction says whether a matrix scores alignments by minimizing
+// (shortest path, OR-type race) or maximizing (longest path, AND-type).
+type Direction int
+
+// The two optimization directions.
+const (
+	Shortest Direction = iota // minimize total weight (OR-type race)
+	Longest                   // maximize total weight (AND-type race)
+)
+
+// String returns "shortest" or "longest".
+func (d Direction) String() string {
+	if d == Shortest {
+		return "shortest"
+	}
+	return "longest"
+}
+
+// Matrix is a complete edge-weight assignment for edit graphs over one
+// alphabet.  Sub is indexed by alphabet position; Gap is the uniform indel
+// weight (the "_" row and column of the paper's matrices).  A weight of
+// temporal.Never means the edge is absent (an infinite penalty), which is
+// how Fig. 4 encodes mismatches.
+type Matrix struct {
+	// Name identifies the matrix in reports ("Fig2b", "BLOSUM62", ...).
+	Name string
+	// Alphabet lists the symbols in index order, e.g. "ACGT".
+	Alphabet string
+	// Sub[i][j] is the weight of aligning Alphabet[i] with Alphabet[j].
+	Sub [][]temporal.Time
+	// Gap is the weight of aligning any symbol with a gap.
+	Gap temporal.Time
+	// Dir is the optimization direction the scores are meant for.
+	Dir Direction
+}
+
+// Index returns the alphabet position of symbol c.
+func (m *Matrix) Index(c byte) (int, error) {
+	i := strings.IndexByte(m.Alphabet, c)
+	if i < 0 {
+		return 0, fmt.Errorf("score: symbol %q not in %s alphabet %q", c, m.Name, m.Alphabet)
+	}
+	return i, nil
+}
+
+// Score returns the weight of aligning symbols a and b.
+func (m *Matrix) Score(a, b byte) (temporal.Time, error) {
+	i, err := m.Index(a)
+	if err != nil {
+		return 0, err
+	}
+	j, err := m.Index(b)
+	if err != nil {
+		return 0, err
+	}
+	return m.Sub[i][j], nil
+}
+
+// MustScore is Score for symbols already validated against the alphabet.
+func (m *Matrix) MustScore(a, b byte) temporal.Time {
+	s, err := m.Score(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NSS returns the symbol-set size (the paper's N_SS): 4 for DNA, 20 for
+// proteins.
+func (m *Matrix) NSS() int { return len(m.Alphabet) }
+
+// NDR returns the dynamic range (the paper's N_DR): the largest finite
+// weight in the matrix including the gap.  The generalized Race Logic
+// cell sizes its saturating counter by this value.
+func (m *Matrix) NDR() temporal.Time {
+	max := m.Gap
+	if max == temporal.Never {
+		max = 0
+	}
+	for _, row := range m.Sub {
+		for _, w := range row {
+			if w != temporal.Never && w > max {
+				max = w
+			}
+		}
+	}
+	return max
+}
+
+// MinWeight returns the smallest finite weight in the matrix including
+// the gap, or Never if every weight is infinite.
+func (m *Matrix) MinWeight() temporal.Time {
+	min := temporal.Never
+	if m.Gap != temporal.Never && m.Gap < min {
+		min = m.Gap
+	}
+	for _, row := range m.Sub {
+		for _, w := range row {
+			if w != temporal.Never && w < min {
+				min = w
+			}
+		}
+	}
+	return min
+}
+
+// Validate checks structural invariants: a square Sub of alphabet size
+// and symmetry (score matrices are symmetric by construction — Eq. 8 is
+// symmetric in a, b).
+func (m *Matrix) Validate() error {
+	n := len(m.Alphabet)
+	if n == 0 {
+		return fmt.Errorf("score: %s has empty alphabet", m.Name)
+	}
+	if len(m.Sub) != n {
+		return fmt.Errorf("score: %s has %d rows for %d symbols", m.Name, len(m.Sub), n)
+	}
+	for i, row := range m.Sub {
+		if len(row) != n {
+			return fmt.Errorf("score: %s row %d has %d columns for %d symbols", m.Name, i, len(row), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.Sub[i][j] != m.Sub[j][i] {
+				return fmt.Errorf("score: %s asymmetric at (%c,%c): %v vs %v",
+					m.Name, m.Alphabet[i], m.Alphabet[j], m.Sub[i][j], m.Sub[j][i])
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateRaceReady additionally checks the Section 5 hardware
+// constraints for an OR-type race: shortest direction and every weight a
+// strictly positive integer or Never.
+func (m *Matrix) ValidateRaceReady() error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.Dir != Shortest {
+		return fmt.Errorf("score: %s is a %v matrix; the OR-type race needs shortest", m.Name, m.Dir)
+	}
+	check := func(w temporal.Time, what string) error {
+		if w != temporal.Never && w < 1 {
+			return fmt.Errorf("score: %s has non-positive %s weight %v; delays must be ≥ 1", m.Name, what, w)
+		}
+		return nil
+	}
+	if err := check(m.Gap, "gap"); err != nil {
+		return err
+	}
+	for i, row := range m.Sub {
+		for j, w := range row {
+			if err := check(w, fmt.Sprintf("(%c,%c)", m.Alphabet[i], m.Alphabet[j])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy with the given name suffix appended.
+func (m *Matrix) Clone(suffix string) *Matrix {
+	c := &Matrix{
+		Name:     m.Name + suffix,
+		Alphabet: m.Alphabet,
+		Sub:      make([][]temporal.Time, len(m.Sub)),
+		Gap:      m.Gap,
+		Dir:      m.Dir,
+	}
+	for i, row := range m.Sub {
+		c.Sub[i] = append([]temporal.Time(nil), row...)
+	}
+	return c
+}
+
+// String renders the matrix as an aligned table headed by the alphabet.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%v, gap=%v)\n   ", m.Name, m.Dir, m.Gap)
+	for i := 0; i < len(m.Alphabet); i++ {
+		fmt.Fprintf(&b, "%4c", m.Alphabet[i])
+	}
+	b.WriteByte('\n')
+	for i, row := range m.Sub {
+		fmt.Fprintf(&b, "%3c", m.Alphabet[i])
+		for _, w := range row {
+			fmt.Fprintf(&b, "%4v", w)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// uniform builds an n×n substitution table with diag on the diagonal and
+// off elsewhere.
+func uniform(n int, diag, off temporal.Time) [][]temporal.Time {
+	sub := make([][]temporal.Time, n)
+	for i := range sub {
+		sub[i] = make([]temporal.Time, n)
+		for j := range sub[i] {
+			if i == j {
+				sub[i][j] = diag
+			} else {
+				sub[i][j] = off
+			}
+		}
+	}
+	return sub
+}
+
+// DNAAlphabet is the four-letter nucleotide alphabet.
+const DNAAlphabet = "ACTG"
+
+// DNALongest returns the Fig. 2a matrix: matches score 1, everything else
+// (mismatches and indels) 0, maximized — the longest path counts the
+// length of the longest common subsequence.
+func DNALongest() *Matrix {
+	return &Matrix{
+		Name:     "Fig2a",
+		Alphabet: DNAAlphabet,
+		Sub:      uniform(4, 1, 0),
+		Gap:      0,
+		Dir:      Longest,
+	}
+}
+
+// DNAShortest returns the Fig. 2b matrix: matches cost 1, mismatches 2,
+// indels 1, minimized.  The paper's synthesized design uses this
+// formulation.
+func DNAShortest() *Matrix {
+	return &Matrix{
+		Name:     "Fig2b",
+		Alphabet: DNAAlphabet,
+		Sub:      uniform(4, 1, 2),
+		Gap:      1,
+		Dir:      Shortest,
+	}
+}
+
+// DNAShortestInf returns the Fig. 4 modification of Fig. 2b with mismatch
+// weight promoted to infinity.  A mismatch (cost 2) can always be
+// recomposed as one insertion plus one deletion (cost 1+1), so deleting
+// the mismatch edges leaves every node score unchanged — the paper
+// exploits this to drop the 2-cycle delay chains from the unit cell.
+func DNAShortestInf() *Matrix {
+	return &Matrix{
+		Name:     "Fig4",
+		Alphabet: DNAAlphabet,
+		Sub:      uniform(4, 1, temporal.Never),
+		Gap:      1,
+		Dir:      Shortest,
+	}
+}

@@ -1,0 +1,340 @@
+package score
+
+import (
+	"strings"
+	"testing"
+
+	"racelogic/internal/temporal"
+)
+
+func TestBuiltinMatricesValidate(t *testing.T) {
+	for _, m := range []*Matrix{DNALongest(), DNAShortest(), DNAShortestInf(), BLOSUM62(), PAM250()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestFig2aValues(t *testing.T) {
+	m := DNALongest()
+	if m.Dir != Longest {
+		t.Error("Fig2a must be longest-path")
+	}
+	if m.MustScore('A', 'A') != 1 || m.MustScore('C', 'C') != 1 {
+		t.Error("Fig2a matches must score 1")
+	}
+	if m.MustScore('A', 'C') != 0 || m.Gap != 0 {
+		t.Error("Fig2a mismatches and indels must score 0")
+	}
+}
+
+func TestFig2bValues(t *testing.T) {
+	m := DNAShortest()
+	if m.Dir != Shortest {
+		t.Error("Fig2b must be shortest-path")
+	}
+	if m.MustScore('G', 'G') != 1 {
+		t.Error("Fig2b matches must cost 1")
+	}
+	if m.MustScore('A', 'T') != 2 {
+		t.Error("Fig2b mismatches must cost 2")
+	}
+	if m.Gap != 1 {
+		t.Error("Fig2b indels must cost 1")
+	}
+	if m.NDR() != 2 || m.NSS() != 4 {
+		t.Errorf("Fig2b NDR=%v NSS=%d, want 2, 4", m.NDR(), m.NSS())
+	}
+}
+
+func TestFig4InfMismatch(t *testing.T) {
+	m := DNAShortestInf()
+	if m.MustScore('A', 'T') != temporal.Never {
+		t.Error("Fig4 mismatch must be Never (missing edge)")
+	}
+	if m.MustScore('A', 'A') != 1 || m.Gap != 1 {
+		t.Error("Fig4 match and indel must cost 1")
+	}
+	if m.NDR() != 1 {
+		t.Errorf("Fig4 NDR=%v, want 1 (Never excluded from dynamic range)", m.NDR())
+	}
+	if err := m.ValidateRaceReady(); err != nil {
+		t.Errorf("Fig4 must be race-ready: %v", err)
+	}
+}
+
+func TestBLOSUM62KnownEntries(t *testing.T) {
+	m := BLOSUM62()
+	// Spot-check famous entries of the published matrix.
+	cases := []struct {
+		a, b byte
+		want temporal.Time
+	}{
+		{'A', 'A', 4}, {'W', 'W', 11}, {'C', 'C', 9},
+		{'W', 'F', 1}, {'I', 'L', 2}, {'E', 'D', 2},
+		{'G', 'I', -4}, {'P', 'W', -4}, {'Y', 'H', 2},
+	}
+	for _, c := range cases {
+		if got := m.MustScore(c.a, c.b); got != c.want {
+			t.Errorf("BLOSUM62[%c][%c] = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if m.NSS() != 20 {
+		t.Errorf("NSS = %d, want 20", m.NSS())
+	}
+}
+
+func TestPAM250KnownEntries(t *testing.T) {
+	m := PAM250()
+	cases := []struct {
+		a, b byte
+		want temporal.Time
+	}{
+		{'W', 'W', 17}, {'C', 'C', 12}, {'A', 'A', 2},
+		{'F', 'Y', 7}, {'D', 'W', -7}, {'C', 'W', -8},
+	}
+	for _, c := range cases {
+		if got := m.MustScore(c.a, c.b); got != c.want {
+			t.Errorf("PAM250[%c][%c] = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	m := DNAShortest()
+	if _, err := m.Score('Z', 'A'); err == nil {
+		t.Error("expected error for unknown symbol")
+	}
+	if _, err := m.Score('A', 'Z'); err == nil {
+		t.Error("expected error for unknown second symbol")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustScore should panic on bad symbol")
+		}
+	}()
+	m.MustScore('Z', 'Z')
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	m := DNAShortest()
+	m.Sub[0][1] = 7 // break symmetry
+	if err := m.Validate(); err == nil {
+		t.Error("expected asymmetry error")
+	}
+}
+
+func TestValidateCatchesShape(t *testing.T) {
+	m := DNAShortest()
+	m.Sub = m.Sub[:3]
+	if err := m.Validate(); err == nil {
+		t.Error("expected row-count error")
+	}
+	m2 := DNAShortest()
+	m2.Sub[2] = m2.Sub[2][:2]
+	if err := m2.Validate(); err == nil {
+		t.Error("expected column-count error")
+	}
+	m3 := &Matrix{Name: "empty"}
+	if err := m3.Validate(); err == nil {
+		t.Error("expected empty-alphabet error")
+	}
+}
+
+func TestValidateRaceReadyRejects(t *testing.T) {
+	if err := DNALongest().ValidateRaceReady(); err == nil {
+		t.Error("longest-path matrix must be rejected")
+	}
+	z := DNAShortest()
+	z.Gap = 0
+	if err := z.ValidateRaceReady(); err == nil {
+		t.Error("zero gap weight must be rejected")
+	}
+	n := DNAShortest()
+	n.Sub[1][2] = -1
+	n.Sub[2][1] = -1
+	if err := n.ValidateRaceReady(); err == nil {
+		t.Error("negative substitution weight must be rejected")
+	}
+}
+
+func TestInvertIsInvolution(t *testing.T) {
+	m := BLOSUM62()
+	back := m.Invert().Invert()
+	for i := range m.Sub {
+		for j := range m.Sub[i] {
+			if back.Sub[i][j] != m.Sub[i][j] {
+				t.Fatalf("double inversion changed (%d,%d)", i, j)
+			}
+		}
+	}
+	if back.Gap != m.Gap || back.Dir != m.Dir {
+		t.Error("double inversion changed gap or direction")
+	}
+}
+
+func TestInvertFlipsSignsAndDirection(t *testing.T) {
+	m := BLOSUM62().Invert()
+	if m.Dir != Shortest {
+		t.Error("inverted longest must be shortest")
+	}
+	// "convert all diagonal elements from positive to negative and
+	// non-diagonal from negative to positive"
+	if m.MustScore('A', 'A') != -4 {
+		t.Errorf("inverted diagonal = %v, want -4", m.MustScore('A', 'A'))
+	}
+	if m.MustScore('G', 'I') != 4 {
+		t.Errorf("inverted off-diagonal = %v, want 4", m.MustScore('G', 'I'))
+	}
+	// Never weights survive inversion untouched.
+	inf := DNAShortestInf().Invert()
+	if inf.MustScore('A', 'T') != temporal.Never {
+		t.Error("Never must survive inversion")
+	}
+}
+
+func TestMinimalBiasAndRebias(t *testing.T) {
+	m := BLOSUM62().Invert() // shortest, entries in [-11, 4], gap +8
+	b := m.MinimalBias()
+	if b <= 0 {
+		t.Fatalf("bias = %v, want positive", b)
+	}
+	r := m.Rebias(b)
+	if err := r.ValidateRaceReady(); err != nil {
+		t.Errorf("rebiased matrix not race-ready: %v", err)
+	}
+	if r.MinWeight() != 1 {
+		t.Errorf("minimal bias must make the smallest weight exactly 1, got %v", r.MinWeight())
+	}
+	// One less bias must NOT be race-ready (minimality).
+	if b > 1 {
+		if err := m.Rebias(b - 1).ValidateRaceReady(); err == nil {
+			t.Error("bias-1 should not be race-ready; MinimalBias is not minimal")
+		}
+	}
+}
+
+func TestMinimalBiasOnAlreadyPositive(t *testing.T) {
+	if b := DNAShortest().MinimalBias(); b != 0 {
+		t.Errorf("Fig2b needs no bias, got %v", b)
+	}
+}
+
+func TestPrepareForRaceBLOSUMAndPAM(t *testing.T) {
+	for _, m := range []*Matrix{BLOSUM62(), PAM250()} {
+		r, err := m.PrepareForRace()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if r.Dir != Shortest {
+			t.Errorf("%s: prepared matrix must be shortest-path", m.Name)
+		}
+		// Highest similarity must correspond to the smallest delay: the
+		// best diagonal entry of the original must map to the matrix
+		// minimum of the prepared one.
+		if r.MustScore('W', 'W') != r.MinWeight() {
+			t.Errorf("%s: W–W (strongest match) should be the fastest edge", m.Name)
+		}
+		if r.NDR() < 2 {
+			t.Errorf("%s: prepared NDR = %v, expected a real dynamic range", m.Name, r.NDR())
+		}
+	}
+}
+
+func TestPrepareForRaceIdempotentOnFig2b(t *testing.T) {
+	r, err := DNAShortest().PrepareForRace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Already race-ready: weights must be unchanged.
+	if r.MustScore('A', 'A') != 1 || r.MustScore('A', 'C') != 2 || r.Gap != 1 {
+		t.Error("PrepareForRace must not alter an already race-ready matrix")
+	}
+}
+
+func TestPrepareForRacePropagatesValidationError(t *testing.T) {
+	m := DNAShortest()
+	m.Sub[0][1] = 9 // asymmetric
+	if _, err := m.PrepareForRace(); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+// TestRebiasPreservesRanking verifies the Section 5 claim this package's
+// transformation relies on: adding bias b to indels and 2b to
+// substitutions shifts every alignment's total score by the same constant
+// b·(N+M), so the ranking of alignments is preserved.  We check it by
+// scoring all alignments of short strings exhaustively under both
+// matrices.
+func TestRebiasPreservesRanking(t *testing.T) {
+	m := BLOSUM62().Invert()
+	r := m.Rebias(m.MinimalBias())
+	p, q := "WAR", "WARD"
+	type key struct{ base, rebased temporal.Time }
+	var scores []key
+	// Enumerate alignments as monotone lattice paths via recursion.
+	var walk func(i, j int, base, rb temporal.Time)
+	walk = func(i, j int, base, rb temporal.Time) {
+		if i == len(p) && j == len(q) {
+			scores = append(scores, key{base, rb})
+			return
+		}
+		if i < len(p) && j < len(q) {
+			walk(i+1, j+1, base.Add(m.MustScore(p[i], q[j])), rb.Add(r.MustScore(p[i], q[j])))
+		}
+		if i < len(p) {
+			walk(i+1, j, base.Add(m.Gap), rb.Add(r.Gap))
+		}
+		if j < len(q) {
+			walk(i, j+1, base.Add(m.Gap), rb.Add(r.Gap))
+		}
+	}
+	walk(0, 0, 0, 0)
+	if len(scores) == 0 {
+		t.Fatal("no alignments enumerated")
+	}
+	shift := scores[0].rebased - scores[0].base
+	wantShift := m.MinimalBias() * temporal.Time(len(p)+len(q))
+	if shift != wantShift {
+		t.Errorf("shift = %v, want b·(N+M) = %v", shift, wantShift)
+	}
+	for _, s := range scores {
+		if s.rebased-s.base != shift {
+			t.Fatalf("alignment shifted by %v, others by %v: ranking broken", s.rebased-s.base, shift)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := DNAShortest()
+	c := m.Clone("-copy")
+	c.Sub[0][0] = 99
+	if m.Sub[0][0] == 99 {
+		t.Error("Clone must deep-copy Sub")
+	}
+	if !strings.HasSuffix(c.Name, "-copy") {
+		t.Error("Clone must append suffix")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := DNAShortest().String()
+	for _, want := range []string{"Fig2b", "shortest", "gap=1", "A", "∞"} {
+		if want == "∞" {
+			continue // Fig2b has no infinities
+		}
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	inf := DNAShortestInf().String()
+	if !strings.Contains(inf, "∞") {
+		t.Errorf("Fig4 rendering must show ∞:\n%s", inf)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Shortest.String() != "shortest" || Longest.String() != "longest" {
+		t.Error("Direction.String wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package score
+
+import (
+	"fmt"
+
+	"racelogic/internal/temporal"
+)
+
+// This file implements the Section 5 transformation pipeline that turns an
+// arbitrary score matrix (e.g. BLOSUM62: longest-path, negative entries)
+// into one the OR-type race can execute: shortest-path with every weight a
+// strictly positive integer.
+//
+// The pipeline has two steps:
+//
+//  1. Invert — flip a longest-path matrix into a shortest-path one by
+//     negating every score.  The paper derives this by inverting the
+//     log-odds equation (Eq. 8) and flipping the sign of the scaling
+//     factor λ: "convert all diagonal elements from positive to negative
+//     and non-diagonal from negative to positive".
+//
+//  2. Rebias — add a fixed bias b to the indel weights and 2b to the
+//     substitution weights ("as the latter are one rank ahead in the edit
+//     graph") so every weight becomes ≥ 1.
+//
+// Rebias is exact, not heuristic: on an edit graph for strings of lengths
+// N and M, every alignment satisfies 2·(#matches + #mismatches) + #indels
+// = N + M, so the bias adds the same constant b·(N+M) to the total weight
+// of every path and therefore preserves the relative order of all
+// alignments.  TestRebiasPreservesRanking checks this against the
+// reference DP.
+
+// Invert returns a copy of m with every finite weight negated and the
+// direction flipped.  Inverting twice is the identity.
+func (m *Matrix) Invert() *Matrix {
+	c := m.Clone("-inv")
+	if c.Dir == Shortest {
+		c.Dir = Longest
+	} else {
+		c.Dir = Shortest
+	}
+	neg := func(w temporal.Time) temporal.Time {
+		if w == temporal.Never {
+			return temporal.Never
+		}
+		return -w
+	}
+	c.Gap = neg(c.Gap)
+	for i := range c.Sub {
+		for j := range c.Sub[i] {
+			c.Sub[i][j] = neg(c.Sub[i][j])
+		}
+	}
+	return c
+}
+
+// Rebias returns a copy of m with bias b added to the gap weight and 2b
+// to every substitution weight.  It does not choose b; see MinimalBias.
+func (m *Matrix) Rebias(b temporal.Time) *Matrix {
+	c := m.Clone(fmt.Sprintf("-b%d", int64(b)))
+	if c.Gap != temporal.Never {
+		c.Gap = c.Gap.Add(b)
+	}
+	for i := range c.Sub {
+		for j := range c.Sub[i] {
+			if c.Sub[i][j] != temporal.Never {
+				c.Sub[i][j] = c.Sub[i][j].Add(2 * b)
+			}
+		}
+	}
+	return c
+}
+
+// MinimalBias returns the smallest non-negative integer b such that
+// Rebias(b) makes every finite weight of the shortest-path matrix m at
+// least 1.  The gap needs gap + b ≥ 1; substitutions need sub + 2b ≥ 1.
+func (m *Matrix) MinimalBias() temporal.Time {
+	var b temporal.Time
+	if m.Gap != temporal.Never && m.Gap < 1 {
+		b = 1 - m.Gap
+	}
+	minSub := temporal.Never
+	for _, row := range m.Sub {
+		for _, w := range row {
+			if w != temporal.Never && w < minSub {
+				minSub = w
+			}
+		}
+	}
+	if minSub != temporal.Never && minSub < 1 {
+		// need minSub + 2b ≥ 1  →  b ≥ (1 − minSub) / 2, rounded up.
+		need := (1 - minSub + 1) / 2
+		if need > b {
+			b = need
+		}
+	}
+	return b
+}
+
+// PrepareForRace runs the full Section 5 pipeline: invert if the matrix
+// is longest-path, then apply the minimal bias.  The result passes
+// ValidateRaceReady.
+func (m *Matrix) PrepareForRace() (*Matrix, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	c := m
+	if c.Dir == Longest {
+		c = c.Invert()
+	}
+	c = c.Rebias(c.MinimalBias())
+	if err := c.ValidateRaceReady(); err != nil {
+		return nil, fmt.Errorf("score: PrepareForRace produced an invalid matrix: %w", err)
+	}
+	return c, nil
+}
+
+// MustPrepareForRace is PrepareForRace for built-in matrices that are
+// known to transform cleanly.
+func (m *Matrix) MustPrepareForRace() *Matrix {
+	c, err := m.PrepareForRace()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

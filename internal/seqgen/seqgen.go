@@ -1,0 +1,132 @@
+// Package seqgen generates the sequence workloads the paper's evaluation
+// sweeps over.
+//
+// The paper's experiments need three classes of inputs per string length
+// N: the best case (identical strings — the race finishes in N−1 cycles),
+// the worst case (completely mismatched strings — 2N−2 cycles), and
+// representative random/mutated pairs for average-case statistics and for
+// the Section 6 threshold study.  Real genomic traces are not required:
+// the published numbers are defined entirely by these structural cases,
+// which this package produces deterministically from a seed.
+package seqgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"racelogic/internal/score"
+)
+
+// Generator produces reproducible sequence workloads.  The zero value is
+// not usable; construct with New.
+type Generator struct {
+	rng      *rand.Rand
+	alphabet string
+}
+
+// New returns a generator over the given alphabet seeded deterministically.
+func New(alphabet string, seed int64) *Generator {
+	if len(alphabet) == 0 {
+		panic("seqgen: empty alphabet")
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), alphabet: alphabet}
+}
+
+// NewDNA returns a generator over the DNA alphabet.
+func NewDNA(seed int64) *Generator { return New(score.DNAAlphabet, seed) }
+
+// NewProtein returns a generator over the 20-symbol protein alphabet.
+func NewProtein(seed int64) *Generator { return New(score.ProteinAlphabet, seed) }
+
+// Alphabet returns the generator's symbol set.
+func (g *Generator) Alphabet() string { return g.alphabet }
+
+// Random returns a uniformly random string of length n.
+func (g *Generator) Random(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = g.alphabet[g.rng.Intn(len(g.alphabet))]
+	}
+	return string(b)
+}
+
+// BestCase returns an identical pair of random strings of length n — the
+// paper's best case, where the race signal rides the diagonal and arrives
+// after N−1 cycles.
+func (g *Generator) BestCase(n int) (p, q string) {
+	s := g.Random(n)
+	return s, s
+}
+
+// WorstCase returns a pair of length-n strings with no positional or
+// subsequence overlap: p uses only the first alphabet symbol and q only
+// the second, so every alignment is pure indels — the paper's complete
+// mismatch case taking 2N−2 cycles.
+func (g *Generator) WorstCase(n int) (p, q string) {
+	if len(g.alphabet) < 2 {
+		panic("seqgen: WorstCase needs an alphabet of at least 2 symbols")
+	}
+	pb := make([]byte, n)
+	qb := make([]byte, n)
+	for i := 0; i < n; i++ {
+		pb[i] = g.alphabet[0]
+		qb[i] = g.alphabet[1]
+	}
+	return string(pb), string(qb)
+}
+
+// RandomPair returns two independent uniformly random strings of length n.
+func (g *Generator) RandomPair(n int) (p, q string) {
+	return g.Random(n), g.Random(n)
+}
+
+// Mutate returns a copy of s with exactly the requested numbers of edit
+// operations applied: substitutions replace a symbol with a different
+// one, deletions remove a symbol, and insertions add a random symbol at a
+// random position.  It is the workload for controlled-similarity sweeps
+// (e.g. the Section 6 threshold study, where pairs near/below a known
+// edit budget must be accepted).
+func (g *Generator) Mutate(s string, substitutions, insertions, deletions int) (string, error) {
+	if substitutions < 0 || insertions < 0 || deletions < 0 {
+		return "", fmt.Errorf("seqgen: negative edit counts %d/%d/%d", substitutions, insertions, deletions)
+	}
+	if substitutions+deletions > len(s) {
+		return "", fmt.Errorf("seqgen: cannot apply %d substitutions and %d deletions to a string of length %d",
+			substitutions, deletions, len(s))
+	}
+	b := []byte(s)
+	// Substitute at distinct positions.
+	for _, pos := range g.rng.Perm(len(b))[:substitutions] {
+		old := b[pos]
+		for b[pos] == old && len(g.alphabet) > 1 {
+			b[pos] = g.alphabet[g.rng.Intn(len(g.alphabet))]
+		}
+	}
+	for i := 0; i < deletions; i++ {
+		pos := g.rng.Intn(len(b))
+		b = append(b[:pos], b[pos+1:]...)
+	}
+	for i := 0; i < insertions; i++ {
+		pos := g.rng.Intn(len(b) + 1)
+		b = append(b[:pos], append([]byte{g.alphabet[g.rng.Intn(len(g.alphabet))]}, b[pos:]...)...)
+	}
+	return string(b), nil
+}
+
+// MutatedPair returns a random string of length n and a copy mutated by
+// the given edit budget.
+func (g *Generator) MutatedPair(n, substitutions, insertions, deletions int) (p, q string, err error) {
+	p = g.Random(n)
+	q, err = g.Mutate(p, substitutions, insertions, deletions)
+	return p, q, err
+}
+
+// Database returns count random strings of length n — the haystack for
+// the dnasearch example's threshold scan.
+func (g *Generator) Database(count, n int) []string {
+	db := make([]string, count)
+	for i := range db {
+		db[i] = g.Random(n)
+	}
+	return db
+}

@@ -1,0 +1,195 @@
+package seqgen
+
+import (
+	"strings"
+	"testing"
+
+	"racelogic/internal/align"
+	"racelogic/internal/score"
+)
+
+func TestRandomUsesAlphabetOnly(t *testing.T) {
+	g := NewDNA(1)
+	s := g.Random(500)
+	if len(s) != 500 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		if !strings.ContainsRune(score.DNAAlphabet, rune(s[i])) {
+			t.Fatalf("symbol %q outside alphabet", s[i])
+		}
+	}
+}
+
+func TestRandomCoversAlphabet(t *testing.T) {
+	g := NewProtein(2)
+	s := g.Random(5000)
+	for _, c := range score.ProteinAlphabet {
+		if !strings.ContainsRune(s, c) {
+			t.Errorf("symbol %q never generated in 5000 draws", c)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewDNA(7).Random(100)
+	b := NewDNA(7).Random(100)
+	if a != b {
+		t.Error("equal seeds must produce equal strings")
+	}
+	c := NewDNA(8).Random(100)
+	if a == c {
+		t.Error("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestBestCaseIsIdentical(t *testing.T) {
+	p, q := NewDNA(3).BestCase(40)
+	if p != q {
+		t.Error("best case must be identical strings")
+	}
+	if len(p) != 40 {
+		t.Errorf("len = %d", len(p))
+	}
+	if align.Levenshtein(p, q) != 0 {
+		t.Error("best case edit distance must be 0")
+	}
+}
+
+func TestWorstCaseSharesNothing(t *testing.T) {
+	p, q := NewDNA(4).WorstCase(25)
+	if len(p) != 25 || len(q) != 25 {
+		t.Fatal("wrong lengths")
+	}
+	for i := 0; i < len(p); i++ {
+		if strings.ContainsRune(q, rune(p[i])) {
+			t.Fatal("worst case strings share a symbol")
+		}
+	}
+	// Under Fig. 2b the completely-mismatched score must be exactly N
+	// substitutions-worth... in fact with mismatch=2 == 2 indels the
+	// optimal is any mix; score = 2N.
+	r, err := align.Global(p, q, score.DNAShortest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(r.Score) != 2*len(p) {
+		t.Errorf("worst-case score = %v, want %d", r.Score, 2*len(p))
+	}
+}
+
+func TestWorstCaseNeedsTwoSymbols(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 1-symbol alphabet")
+		}
+	}()
+	New("A", 1).WorstCase(5)
+}
+
+func TestMutateBudget(t *testing.T) {
+	g := NewDNA(5)
+	s := g.Random(50)
+	m, err := g.Mutate(s, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 50+2-1 {
+		t.Errorf("mutated length = %d, want 51", len(m))
+	}
+	// Edit distance is at most the edit budget.
+	if d := align.Levenshtein(s, m); d > 6 {
+		t.Errorf("edit distance %d exceeds budget 6", d)
+	}
+}
+
+func TestMutateZeroBudgetIsIdentity(t *testing.T) {
+	g := NewDNA(6)
+	s := g.Random(30)
+	m, err := g.Mutate(s, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != s {
+		t.Error("zero-budget mutation must be the identity")
+	}
+}
+
+func TestMutateSubstitutionsChangeSymbols(t *testing.T) {
+	g := NewDNA(9)
+	s := g.Random(20)
+	m, err := g.Mutate(s, 5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range s {
+		if s[i] != m[i] {
+			diff++
+		}
+	}
+	if diff != 5 {
+		t.Errorf("substitutions changed %d positions, want 5", diff)
+	}
+}
+
+func TestMutateValidation(t *testing.T) {
+	g := NewDNA(10)
+	if _, err := g.Mutate("ACGT", -1, 0, 0); err == nil {
+		t.Error("negative budget must error")
+	}
+	if _, err := g.Mutate("ACGT", 3, 0, 2); err == nil {
+		t.Error("over-budget must error")
+	}
+}
+
+func TestMutatedPair(t *testing.T) {
+	g := NewDNA(11)
+	p, q, err := g.MutatedPair(30, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 30 {
+		t.Errorf("p length = %d", len(p))
+	}
+	if d := align.Levenshtein(p, q); d > 4 {
+		t.Errorf("edit distance %d exceeds budget 4", d)
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDNA(12).Database(20, 15)
+	if len(db) != 20 {
+		t.Fatalf("count = %d", len(db))
+	}
+	for _, s := range db {
+		if len(s) != 15 {
+			t.Errorf("entry length = %d", len(s))
+		}
+	}
+}
+
+func TestRandomPair(t *testing.T) {
+	p, q := NewDNA(13).RandomPair(25)
+	if len(p) != 25 || len(q) != 25 {
+		t.Error("wrong lengths")
+	}
+	if p == q {
+		t.Error("independent random strings of length 25 should differ")
+	}
+}
+
+func TestEmptyAlphabetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New("", 1)
+}
+
+func TestAlphabetAccessor(t *testing.T) {
+	if NewDNA(1).Alphabet() != score.DNAAlphabet {
+		t.Error("Alphabet() wrong")
+	}
+}

@@ -1,0 +1,317 @@
+// Package systolic implements the paper's baseline: the Lipton–Lopresti
+// bidirectional linear systolic array for string comparison [16].
+//
+// The array has 2N+1 processing elements.  The symbols of P stream in
+// from the left and the symbols of Q from the right, one PE per cycle,
+// entering on alternate cycles; x_i and y_j meet exactly once, at PE
+// H + (j − i) at cycle H + i + j − 1 (H is the center PE), where the PE
+// computes the edit-distance cell d(i,j) from d(i−1,j−1) (its own value
+// two cycles earlier) and d(i−1,j), d(i,j−1) (its neighbors' values one
+// cycle earlier).  Because adjacent cells of the DP table differ by at
+// most 1, scores are stored and exchanged modulo 4 ("maximum score
+// dependent modular arithmetic") — the area trick that made the original
+// design practical — and the true distance is recovered by an external
+// accumulator that tracks differences along the main diagonal and final
+// row/column, exactly the "extra circuitry outside of the systolic
+// structure" the paper describes.
+//
+// Unlike the Race Logic arrays (which are compiled to gates and simulated
+// in internal/circuit), the systolic array is simulated cycle-accurately
+// at the PE register level: every register bit flip is counted exactly,
+// and a structural single-PE netlist (BuildPENetlist) supplies the gate
+// inventory from which area and combinational load are derived.  DESIGN.md
+// §2 records this substitution.
+package systolic
+
+import (
+	"fmt"
+
+	"racelogic/internal/align"
+)
+
+// Result reports one completed string comparison.
+type Result struct {
+	// Distance is the recovered edit distance between the two strings.
+	Distance int
+	// Cycles is the number of clock cycles from first symbol injection
+	// to the final score's emergence at the output PE.
+	Cycles int
+	// PEs is the number of processing elements in the array (2N+1).
+	PEs int
+	// RegBitToggles is the exact number of register bits that changed
+	// value, summed over all PEs and cycles.
+	RegBitToggles uint64
+	// FFBits is the total number of flip-flop bits in the array.
+	FFBits int
+}
+
+// ffBitsPerPE counts the flip-flop bits of one PE:
+//
+//	x symbol reg (2) + x valid (1) + y symbol reg (2) + y valid (1)
+//	+ current score mod 4 (2) + score one cycle old (2, for neighbors)
+//	+ score two cycles old (2, the diagonal operand)
+const ffBitsPerPE = 12
+
+// Array is a reusable Lipton–Lopresti comparator for strings up to a
+// fixed maximum length over a ≤4-symbol alphabet.
+type Array struct {
+	maxN     int
+	alphabet string
+	h        int // center PE index
+	pes      int
+}
+
+// New returns an array sized for strings of length up to maxN over the
+// given alphabet (at most 4 symbols: the design uses 2-bit symbol
+// registers, as the original does for DNA).
+func New(maxN int, alphabet string) (*Array, error) {
+	if maxN < 1 {
+		return nil, fmt.Errorf("systolic: maxN must be ≥ 1, got %d", maxN)
+	}
+	if len(alphabet) == 0 || len(alphabet) > 4 {
+		return nil, fmt.Errorf("systolic: alphabet size %d not in [1,4]", len(alphabet))
+	}
+	return &Array{maxN: maxN, alphabet: alphabet, h: maxN, pes: 2*maxN + 1}, nil
+}
+
+// PEs returns the number of processing elements (2N+1).
+func (a *Array) PEs() int { return a.pes }
+
+// FFBits returns the total flip-flop bit count of the array including the
+// recovery accumulator.
+func (a *Array) FFBits() int {
+	return a.pes*ffBitsPerPE + recoveryBits(a.maxN)
+}
+
+// recoveryBits sizes the external up/down accumulator that reconstructs
+// the absolute score from the mod-4 stream: it must count to 2N.
+func recoveryBits(maxN int) int {
+	b := 1
+	for 1<<uint(b) <= 2*maxN {
+		b++
+	}
+	return b
+}
+
+func (a *Array) symIndex(c byte) (int, error) {
+	for i := 0; i < len(a.alphabet); i++ {
+		if a.alphabet[i] == c {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("systolic: symbol %q not in alphabet %q", c, a.alphabet)
+}
+
+// peState is the register file of one PE during simulation.  Score
+// registers hold values mod 4; valid flags track whether a score has been
+// computed yet (hardware initializes to the idle state).
+type peState struct {
+	xSym, ySym      uint8 // 2-bit symbol registers
+	xValid, yValid  bool
+	cur, old1, old2 uint8 // score regs: now, 1 cycle ago, 2 cycles ago
+	curValid        bool
+}
+
+// bits packs the register file into an integer for exact toggle counting.
+func (p *peState) bits() uint32 {
+	v := uint32(p.xSym) | uint32(p.ySym)<<2 |
+		uint32(p.cur)<<4 | uint32(p.old1)<<6 | uint32(p.old2)<<8
+	if p.xValid {
+		v |= 1 << 10
+	}
+	if p.yValid {
+		v |= 1 << 11
+	}
+	if p.curValid {
+		v |= 1 << 12
+	}
+	return v
+}
+
+func popcount32(x uint32) uint64 {
+	var c uint64
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// relMod4 decodes the difference y − x where both are mod-4 codes of
+// values known to differ by at most 1: the window {−1, 0, +1} fits in
+// mod-4 arithmetic with room to spare, which is the whole point of the
+// Lipton–Lopresti encoding.
+func relMod4(x, y uint8) int {
+	return int((y-x+1)&3) - 1
+}
+
+// Compare runs the full pipelined comparison of p and q and returns the
+// recovered edit distance with cycle and activity accounting.  Both
+// strings must be non-empty and no longer than the array's maxN.
+func (a *Array) Compare(p, q string) (*Result, error) {
+	n, m := len(p), len(q)
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("systolic: empty string (got lengths %d, %d)", n, m)
+	}
+	if n > a.maxN || m > a.maxN {
+		return nil, fmt.Errorf("systolic: string lengths %d/%d exceed array capacity %d", n, m, a.maxN)
+	}
+	px := make([]int, n)
+	qx := make([]int, m)
+	for i := 0; i < n; i++ {
+		s, err := a.symIndex(p[i])
+		if err != nil {
+			return nil, err
+		}
+		px[i] = s
+	}
+	for j := 0; j < m; j++ {
+		s, err := a.symIndex(q[j])
+		if err != nil {
+			return nil, err
+		}
+		qx[j] = s
+	}
+
+	// dMod holds the mod-4 DP cell values as they are computed, for the
+	// neighbor reads; dTrue is kept only for an internal consistency
+	// panic (the hardware never stores it).
+	dMod := make([][]uint8, n+1)
+	for i := range dMod {
+		dMod[i] = make([]uint8, m+1)
+	}
+	h := a.h
+	finalT := h + n + m - 1
+
+	pes := make([]peState, a.pes)
+	prevBits := make([]uint32, a.pes)
+	var toggles uint64
+
+	// cellTime returns the cycle at which cell (i,j) is computed.
+	cellTime := func(i, j int) int { return h + i + j - 1 }
+	// cellPE returns the PE computing cell (i,j).  Boundary cells ride
+	// with the single stream that defines them.
+	cellPE := func(i, j int) int { return h + (j - i) }
+
+	for t := 0; t <= finalT; t++ {
+		// Shift score history registers.
+		for k := range pes {
+			pes[k].old2 = pes[k].old1
+			pes[k].old1 = pes[k].cur
+		}
+		// Stream the symbol registers: x_i sits at PE t−(2i−1) this
+		// cycle, y_j at PE (pes−1)−(t−(2j−1)).
+		for k := range pes {
+			pes[k].xValid = false
+			pes[k].yValid = false
+		}
+		for i := 1; i <= n; i++ {
+			pos := t - (2*i - 1)
+			if pos >= 0 && pos < a.pes {
+				pes[pos].xSym = uint8(px[i-1])
+				pes[pos].xValid = true
+			}
+		}
+		for j := 1; j <= m; j++ {
+			pos := (a.pes - 1) - (t - (2*j - 1))
+			if pos >= 0 && pos < a.pes {
+				pes[pos].ySym = uint8(qx[j-1])
+				pes[pos].yValid = true
+			}
+		}
+		// Compute every DP cell scheduled for this cycle.  Cell (0,0)
+		// is the a-priori zero; boundary cells increment along their
+		// stream; interior cells fire where the two streams meet.
+		for i := 0; i <= n; i++ {
+			j := t - i - h + 1
+			if j < 0 || j > m || cellTime(i, j) != t {
+				continue
+			}
+			pe := cellPE(i, j)
+			if pe < 0 || pe >= a.pes {
+				continue
+			}
+			var v uint8
+			switch {
+			case i == 0 && j == 0:
+				v = 0
+			case i == 0:
+				v = (dMod[0][j-1] + 1) & 3
+			case j == 0:
+				v = (dMod[i-1][0] + 1) & 3
+			default:
+				dd := dMod[i-1][j-1]
+				// Relative positions of the neighbor cells wrt the
+				// diagonal operand, each in {−1,0,+1}.
+				rl := relMod4(dd, dMod[i][j-1])
+				ru := relMod4(dd, dMod[i-1][j])
+				cost := 1
+				if px[i-1] == qx[j-1] {
+					cost = 0
+				}
+				best := cost
+				if rl+1 < best {
+					best = rl + 1
+				}
+				if ru+1 < best {
+					best = ru + 1
+				}
+				v = uint8((int(dd) + best) & 3)
+			}
+			dMod[i][j] = v
+			pes[pe].cur = v
+			pes[pe].curValid = true
+		}
+		// Exact register-bit toggle accounting.
+		for k := range pes {
+			b := pes[k].bits()
+			toggles += popcount32(b ^ prevBits[k])
+			prevBits[k] = b
+		}
+	}
+
+	dist := a.recover(dMod, n, m)
+	if want := align.Levenshtein(p, q); dist != want {
+		// The mod-4 pipeline disagreeing with the golden DP is a bug in
+		// this package, never a data condition.
+		panic(fmt.Sprintf("systolic: recovered %d but Levenshtein = %d for %q vs %q", dist, want, p, q))
+	}
+	return &Result{
+		Distance:      dist,
+		Cycles:        finalT + 1,
+		PEs:           a.pes,
+		RegBitToggles: toggles,
+		FFBits:        a.FFBits(),
+	}, nil
+}
+
+// recover reconstructs the absolute distance from the mod-4 cell stream
+// the way the external recovery circuit does: start from the known
+// d(0,0) = 0 and accumulate bounded differences along the main diagonal
+// and then along the final row or column.  Every step's difference lies
+// in a window of size ≤ 3, so it is decodable from mod-4 codes.
+func (a *Array) recover(dMod [][]uint8, n, m int) int {
+	abs := 0
+	cur := dMod[0][0]
+	k := 0
+	for k < n && k < m {
+		// Diagonal step: d(k+1,k+1) − d(k,k) ∈ {0,1} … in general it is
+		// in {−1,0,1} for unit-cost Levenshtein; the mod-4 window covers
+		// all of it.
+		next := dMod[k+1][k+1]
+		abs += relMod4(cur, next)
+		cur = next
+		k++
+	}
+	for j := k; j < m; j++ { // remaining row: steps differ by {−1,0,1}
+		next := dMod[n][j+1]
+		abs += relMod4(cur, next)
+		cur = next
+	}
+	for i := k; i < n; i++ { // remaining column
+		next := dMod[i+1][m]
+		abs += relMod4(cur, next)
+		cur = next
+	}
+	return abs
+}

@@ -1,0 +1,242 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"racelogic/internal/align"
+	"racelogic/internal/circuit"
+	"racelogic/internal/score"
+	"racelogic/internal/seqgen"
+)
+
+func mustNew(t *testing.T, maxN int) *Array {
+	t.Helper()
+	a, err := New(maxN, score.DNAAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, "ACGT"); err == nil {
+		t.Error("maxN=0 must error")
+	}
+	if _, err := New(4, ""); err == nil {
+		t.Error("empty alphabet must error")
+	}
+	if _, err := New(4, "ABCDE"); err == nil {
+		t.Error("5-symbol alphabet must error (2-bit symbol registers)")
+	}
+}
+
+func TestCompareKnownDistances(t *testing.T) {
+	a := mustNew(t, 8)
+	cases := []struct {
+		p, q string
+		want int
+	}{
+		{"ACTGAGA", "GATTCGA", 4}, // the paper's Fig. 1 strings
+		{"ACTG", "ACTG", 0},
+		{"AAAA", "TTTT", 4},
+		{"A", "T", 1},
+		{"ACTGAGAT", "ACTGAGA", 1},
+	}
+	for _, c := range cases {
+		r, err := a.Compare(c.p, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Distance != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.p, c.q, r.Distance, c.want)
+		}
+	}
+}
+
+func TestCompareMatchesLevenshteinRandom(t *testing.T) {
+	// Cross-model agreement: the mod-4 systolic pipeline must equal the
+	// reference DP on random pairs, including unequal lengths.
+	a := mustNew(t, 16)
+	g := seqgen.NewDNA(99)
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 300; trial++ {
+		p := g.Random(1 + rng.Intn(16))
+		q := g.Random(1 + rng.Intn(16))
+		r, err := a.Compare(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := align.Levenshtein(p, q); r.Distance != want {
+			t.Fatalf("%q vs %q: systolic=%d reference=%d", p, q, r.Distance, want)
+		}
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	a := mustNew(t, 4)
+	if _, err := a.Compare("", "ACT"); err == nil {
+		t.Error("empty string must error")
+	}
+	if _, err := a.Compare("ACTGA", "ACT"); err == nil {
+		t.Error("over-length string must error")
+	}
+	if _, err := a.Compare("AXT", "ACT"); err == nil {
+		t.Error("unknown symbol must error")
+	}
+}
+
+func TestLatencyIsLinear(t *testing.T) {
+	// The final cell d(N,N) is computed at cycle H+2N−1 with H = maxN,
+	// so a right-sized array (maxN = N) has latency 3N cycles — linear
+	// in N, the key scaling property of the baseline.
+	for _, n := range []int{4, 8, 16, 32} {
+		a := mustNew(t, n)
+		g := seqgen.NewDNA(int64(n))
+		p, q := g.WorstCase(n)
+		r, err := a.Compare(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 3 * n; r.Cycles != want {
+			t.Errorf("N=%d: cycles = %d, want %d", n, r.Cycles, want)
+		}
+	}
+}
+
+func TestLatencyIndependentOfData(t *testing.T) {
+	// Unlike Race Logic, the systolic array always runs to completion:
+	// best and worst case take identical cycles ("the entire computation
+	// has to complete", Section 6).
+	a := mustNew(t, 12)
+	g := seqgen.NewDNA(5)
+	pb, qb := g.BestCase(12)
+	pw, qw := g.WorstCase(12)
+	rb, err := a.Compare(pb, qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := a.Compare(pw, qw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Cycles != rw.Cycles {
+		t.Errorf("best %d vs worst %d cycles: systolic latency must be data-independent", rb.Cycles, rw.Cycles)
+	}
+}
+
+func TestPECountIsLinear(t *testing.T) {
+	a := mustNew(t, 20)
+	if a.PEs() != 41 {
+		t.Errorf("PEs = %d, want 2N+1 = 41", a.PEs())
+	}
+}
+
+func TestTogglesPositiveAndDataDependent(t *testing.T) {
+	a := mustNew(t, 10)
+	g := seqgen.NewDNA(6)
+	p1, q1 := g.BestCase(10)
+	r1, err := a.Compare(p1, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RegBitToggles == 0 {
+		t.Error("streaming symbols must toggle registers")
+	}
+}
+
+func TestFFBitsAccounting(t *testing.T) {
+	a := mustNew(t, 8)
+	want := (2*8+1)*ffBitsPerPE + recoveryBits(8)
+	if a.FFBits() != want {
+		t.Errorf("FFBits = %d, want %d", a.FFBits(), want)
+	}
+}
+
+func TestRecoveryBits(t *testing.T) {
+	// Must count to 2N.
+	cases := map[int]int{1: 2, 4: 4, 8: 5, 100: 8}
+	for n, want := range cases {
+		if got := recoveryBits(n); got != want {
+			t.Errorf("recoveryBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRelMod4(t *testing.T) {
+	for base := 0; base < 4; base++ {
+		for _, d := range []int{-1, 0, 1} {
+			y := uint8((base + d + 4) & 3)
+			if got := relMod4(uint8(base), y); got != d {
+				t.Errorf("relMod4(%d, %d) = %d, want %d", base, y, got, d)
+			}
+		}
+	}
+}
+
+func TestBuildArrayNetlistScalesLinearly(t *testing.T) {
+	n8 := BuildArrayNetlist(8)
+	n16 := BuildArrayNetlist(16)
+	g8, g16 := n8.NumGates(), n16.NumGates()
+	// 2N+1 PEs: gate count ratio ≈ 33/17.
+	ratio := float64(g16) / float64(g8)
+	if ratio < 1.8 || ratio > 2.1 {
+		t.Errorf("gate ratio 16/8 = %g, want ≈ 33/17 ≈ 1.94", ratio)
+	}
+	if n8.NumDFFs() < (2*8+1)*ffBitsPerPE {
+		t.Errorf("netlist DFFs = %d, want ≥ %d", n8.NumDFFs(), (2*8+1)*ffBitsPerPE)
+	}
+}
+
+func TestPENetlistInventory(t *testing.T) {
+	n := circuit.New()
+	BuildPENetlist(n)
+	counts := n.CountByKind()
+	// The netlist inventory carries the 12 semantic register bits the
+	// behavioral simulation tracks plus the stream-transport registers
+	// of the interleaved encoding.
+	if counts[circuit.KindDFF] < ffBitsPerPE {
+		t.Errorf("PE has %d DFFs, want ≥ %d", counts[circuit.KindDFF], ffBitsPerPE)
+	}
+	if counts[circuit.KindXnor] < 2 {
+		t.Error("PE needs a 2-bit symbol comparator (2 XNORs)")
+	}
+	if counts[circuit.KindMux2] < 6 {
+		t.Error("PE needs selection and exchange muxes")
+	}
+}
+
+func TestSynthesizeActivity(t *testing.T) {
+	a := mustNew(t, 8)
+	g := seqgen.NewDNA(7)
+	p, q := g.RandomPair(8)
+	r, err := a.Compare(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := BuildArrayNetlist(8)
+	act := SynthesizeActivity(r, nl)
+	if act.Cycles != r.Cycles {
+		t.Error("cycles mismatch")
+	}
+	if act.FFClockedCycles != uint64(nl.NumDFFs())*uint64(r.Cycles) {
+		t.Error("systolic clock term must be FFs × cycles (no gating)")
+	}
+	if act.NetToggles[circuit.KindDFF] != r.RegBitToggles {
+		t.Error("register toggles must pass through exactly")
+	}
+	if act.TotalNetToggles() <= r.RegBitToggles {
+		t.Error("combinational activity must add to register activity")
+	}
+}
+
+func TestCompareUnequalLengths(t *testing.T) {
+	a := mustNew(t, 10)
+	r, err := a.Compare("ACTGACTGAC", "AC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := align.Levenshtein("ACTGACTGAC", "AC"); r.Distance != want {
+		t.Errorf("distance = %d, want %d", r.Distance, want)
+	}
+}

@@ -1,0 +1,70 @@
+package temporal
+
+// This file states the algebraic structure Race Logic computes over.  The
+// OR-type race evaluates expressions in the tropical (min, +) semiring and
+// the AND-type race evaluates the (max, +) counterpart.  Exposing the two
+// semirings as first-class values lets the DAG solver, the reference DP
+// and the circuit compiler all be written once and instantiated for either
+// direction, and gives the property tests a single object whose laws they
+// can check.
+
+// Semiring is a commutative semiring over Time.  Combine is the "choice"
+// operator (min for shortest path, max for longest path) and Extend is the
+// "sequence" operator (addition of edge delays).  Zero is the identity of
+// Combine and annihilator of Extend; One is the identity of Extend.
+type Semiring struct {
+	// Name identifies the semiring in error messages and test output.
+	Name string
+	// Combine folds two alternative path scores into one.
+	Combine func(a, b Time) Time
+	// Extend accumulates an edge weight onto a path score.
+	Extend func(a, b Time) Time
+	// Zero is the identity of Combine: Never for min, 0-paths-exist
+	// sentinel for max (see MaxPlus).
+	Zero Time
+	// One is the identity of Extend (always 0: a zero-length delay).
+	One Time
+}
+
+// MinPlus is the tropical shortest-path semiring: Combine = min with
+// identity Never (+∞), Extend = saturating + with identity 0.  This is the
+// algebra of the OR-type race.
+var MinPlus = Semiring{
+	Name:    "min-plus",
+	Combine: Min,
+	Extend:  Time.Add,
+	Zero:    Never,
+	One:     0,
+}
+
+// MaxPlus is the longest-path semiring of the AND-type race: Combine = max,
+// Extend = saturating +.  Its Zero is Never used as "-∞ / no path"
+// sentinel: Max treats Never as absorbing in hardware (an AND gate with a
+// dead input never fires), so MaxPlus.Combine special-cases it instead.
+var MaxPlus = Semiring{
+	Name: "max-plus",
+	Combine: func(a, b Time) Time {
+		// Never means "no path" here (the -∞ of max-plus), not +∞,
+		// so it must lose to any finite time rather than win.
+		if a == Never {
+			return b
+		}
+		if b == Never {
+			return a
+		}
+		return Max(a, b)
+	},
+	Extend: Time.Add,
+	Zero:   Never,
+	One:    0,
+}
+
+// CombineOf folds any number of alternatives, returning the semiring Zero
+// for an empty list.
+func (s Semiring) CombineOf(ts ...Time) Time {
+	acc := s.Zero
+	for _, t := range ts {
+		acc = s.Combine(acc, t)
+	}
+	return acc
+}

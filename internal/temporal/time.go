@@ -1,0 +1,158 @@
+// Package temporal defines the value domain of Race Logic.
+//
+// In Race Logic (Madhavan, Sherwood, Strukov — ISCA 2014) a number n is not
+// represented as a bit pattern but as the moment, n clock cycles after the
+// start of a computation, at which a rising edge appears on a wire.  Under
+// that encoding three operations become trivial hardware:
+//
+//	min(a, b) — an OR gate (the first arriving edge wins)
+//	max(a, b) — an AND gate (the last arriving edge wins)
+//	a + c     — a chain of c D flip-flops (delay by c cycles)
+//
+// This package models that domain in software: the Time type with a
+// distinguished +∞ value (Never — the edge never arrives, i.e. a missing
+// DAG edge), saturating addition, Min/Max, and comparison helpers.  The
+// (min, +) fragment forms the tropical semiring; the laws are exercised by
+// property tests and the rest of the repository treats this package as the
+// ground truth for what the gate-level simulator must agree with.
+package temporal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a value in the Race Logic domain: a count of clock cycles from
+// the start of a computation until a rising edge is observed.  The zero
+// value is a valid time (an edge at cycle 0, i.e. an input node).
+//
+// Time is a signed 64-bit count so that intermediate arithmetic in score
+// matrix transformations (which may pass through negative log-odds scores)
+// can reuse the same type; a negative Time never appears on a wire.
+type Time int64
+
+// Never is the distinguished +∞: the edge never arrives.  It represents a
+// missing edge in a DAG and is the identity of Min and the absorbing
+// element of saturating addition.
+const Never Time = math.MaxInt64
+
+// minTime is the most negative representable Time, used as the saturation
+// floor for subtraction.
+const minTime Time = math.MinInt64
+
+// IsNever reports whether t is the +∞ value.
+func (t Time) IsNever() bool { return t == Never }
+
+// IsFinite reports whether t is an ordinary (non-Never) time.
+func (t Time) IsFinite() bool { return t != Never }
+
+// Add returns t + d with saturation at Never.  If either operand is Never
+// the result is Never: a signal that never arrives stays unarrived no
+// matter how much extra delay is inserted after it.  Finite additions that
+// would overflow also saturate to Never, so chained delays can never wrap
+// around into a small (and therefore "winning") value.
+func (t Time) Add(d Time) Time {
+	if t == Never || d == Never {
+		return Never
+	}
+	s := t + d
+	// Two's-complement overflow check: if the operands share a sign and
+	// the sum's sign differs, the addition wrapped.
+	if (t > 0 && d > 0 && s <= 0) || (t < 0 && d < 0 && s >= 0) {
+		if t > 0 {
+			return Never
+		}
+		return minTime
+	}
+	if s == Never { // landed exactly on the sentinel
+		return Never
+	}
+	return s
+}
+
+// Sub returns t - d with the same saturation rules as Add.  Never minus
+// anything finite is still Never.
+func (t Time) Sub(d Time) Time {
+	if t == Never {
+		return Never
+	}
+	if d == Never {
+		return minTime
+	}
+	return t.Add(-d)
+}
+
+// Min returns the earlier of two times — the OR gate of Race Logic.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of two times — the AND gate of Race Logic.  If
+// either edge never arrives the AND gate never fires.
+func Max(a, b Time) Time {
+	if a == Never || b == Never {
+		return Never
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinOf returns the earliest of any number of times; with no arguments it
+// returns Never (the identity of Min).
+func MinOf(ts ...Time) Time {
+	m := Never
+	for _, t := range ts {
+		m = Min(m, t)
+	}
+	return m
+}
+
+// MaxOf returns the latest of any number of times; with no arguments it
+// returns 0 (the identity of Max over arrival times).
+func MaxOf(ts ...Time) Time {
+	var m Time
+	for i, t := range ts {
+		if i == 0 {
+			m = t
+			continue
+		}
+		m = Max(m, t)
+	}
+	if len(ts) == 0 {
+		return 0
+	}
+	return m
+}
+
+// Before reports whether t arrives strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t arrives strictly later than u.  Never is after
+// every finite time.
+func (t Time) After(u Time) bool { return t > u }
+
+// Cycles converts t to a plain int for indexing simulation traces.  It
+// panics on Never or negative values: those are programming errors at the
+// point where a race result is consumed, not data-dependent conditions.
+func (t Time) Cycles() int {
+	if t == Never {
+		panic("temporal: Cycles called on Never")
+	}
+	if t < 0 {
+		panic(fmt.Sprintf("temporal: Cycles called on negative time %d", int64(t)))
+	}
+	return int(t)
+}
+
+// String renders finite times as their cycle count and Never as "∞".
+func (t Time) String() string {
+	if t == Never {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", int64(t))
+}

@@ -1,0 +1,217 @@
+package temporal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddBasic(t *testing.T) {
+	cases := []struct {
+		a, b, want Time
+	}{
+		{0, 0, 0},
+		{1, 2, 3},
+		{5, 0, 5},
+		{Never, 3, Never},
+		{3, Never, Never},
+		{Never, Never, Never},
+		{-2, 5, 3},
+		{math.MaxInt64 - 1, 1, Never}, // lands on sentinel → saturates
+		{math.MaxInt64 - 2, 5, Never}, // overflow → saturates
+	}
+	for _, c := range cases {
+		if got := c.a.Add(c.b); got != c.want {
+			t.Errorf("(%v).Add(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSubBasic(t *testing.T) {
+	cases := []struct {
+		a, b, want Time
+	}{
+		{5, 2, 3},
+		{2, 5, -3},
+		{Never, 10, Never},
+		{10, Never, minTime},
+	}
+	for _, c := range cases {
+		if got := c.a.Sub(c.b); got != c.want {
+			t.Errorf("(%v).Sub(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min of finite values wrong")
+	}
+	if Min(Never, 7) != 7 || Min(7, Never) != 7 {
+		t.Error("Min must treat Never as identity")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max of finite values wrong")
+	}
+	if Max(Never, 7) != Never || Max(7, Never) != Never {
+		t.Error("Max must treat Never as absorbing (AND gate never fires)")
+	}
+}
+
+func TestMinOfMaxOf(t *testing.T) {
+	if MinOf() != Never {
+		t.Error("MinOf() must be Never (identity of min)")
+	}
+	if MinOf(4, 2, 9) != 2 {
+		t.Error("MinOf picks wrong element")
+	}
+	if MaxOf() != 0 {
+		t.Error("MaxOf() must be 0")
+	}
+	if MaxOf(4, 2, 9) != 9 {
+		t.Error("MaxOf picks wrong element")
+	}
+	if MaxOf(4, Never, 1) != Never {
+		t.Error("MaxOf with Never input must be Never")
+	}
+}
+
+func TestIsNeverIsFinite(t *testing.T) {
+	if !Never.IsNever() || Never.IsFinite() {
+		t.Error("Never misclassified")
+	}
+	if Time(0).IsNever() || !Time(0).IsFinite() {
+		t.Error("0 misclassified")
+	}
+}
+
+func TestCyclesPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Never", func() { Never.Cycles() })
+	mustPanic("negative", func() { Time(-1).Cycles() })
+	if Time(17).Cycles() != 17 {
+		t.Error("Cycles(17) wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	if Never.String() != "∞" {
+		t.Errorf("Never.String() = %q", Never.String())
+	}
+	if Time(42).String() != "42" {
+		t.Errorf("Time(42).String() = %q", Time(42).String())
+	}
+}
+
+// smallTime narrows arbitrary int64s into a range where addition cannot
+// overflow, plus an occasional Never, so the property tests exercise both
+// the finite algebra and the sentinel handling.
+func smallTime(raw int64) Time {
+	if raw%7 == 0 {
+		return Never
+	}
+	v := raw % 1_000_000
+	if v < 0 {
+		v = -v
+	}
+	return Time(v)
+}
+
+func TestPropertyAddCommutativeAssociative(t *testing.T) {
+	comm := func(x, y int64) bool {
+		a, b := smallTime(x), smallTime(y)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("Add not commutative:", err)
+	}
+	assoc := func(x, y, z int64) bool {
+		a, b, c := smallTime(x), smallTime(y), smallTime(z)
+		return a.Add(b).Add(c) == a.Add(b.Add(c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("Add not associative:", err)
+	}
+}
+
+func TestPropertyTropicalSemiringLaws(t *testing.T) {
+	for _, s := range []Semiring{MinPlus, MaxPlus} {
+		s := s
+		// Combine is commutative, associative, idempotent with identity Zero.
+		law := func(x, y, z int64) bool {
+			a, b, c := smallTime(x), smallTime(y), smallTime(z)
+			if s.Combine(a, b) != s.Combine(b, a) {
+				return false
+			}
+			if s.Combine(s.Combine(a, b), c) != s.Combine(a, s.Combine(b, c)) {
+				return false
+			}
+			if s.Combine(a, a) != a {
+				return false
+			}
+			if s.Combine(a, s.Zero) != a {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(law, nil); err != nil {
+			t.Errorf("%s: Combine laws violated: %v", s.Name, err)
+		}
+		// Extend distributes over Combine (on finite values for max-plus:
+		// Never is a "no path" marker there, not a numeric -∞, so the
+		// distributive law is only claimed on the finite fragment).
+		dist := func(x, y, z int64) bool {
+			a, b, c := smallTime(x), smallTime(y), smallTime(z)
+			if s.Name == "max-plus" && (a == Never || b == Never || c == Never) {
+				return true
+			}
+			lhs := s.Extend(c, s.Combine(a, b))
+			rhs := s.Combine(s.Extend(c, a), s.Extend(c, b))
+			return lhs == rhs
+		}
+		if err := quick.Check(dist, nil); err != nil {
+			t.Errorf("%s: distributivity violated: %v", s.Name, err)
+		}
+		// Zero annihilates Extend in min-plus (Never + x = Never).
+		if s.Name == "min-plus" {
+			ann := func(x int64) bool {
+				a := smallTime(x)
+				return s.Extend(s.Zero, a) == s.Zero
+			}
+			if err := quick.Check(ann, nil); err != nil {
+				t.Errorf("%s: Zero does not annihilate: %v", s.Name, err)
+			}
+		}
+	}
+}
+
+func TestCombineOf(t *testing.T) {
+	if MinPlus.CombineOf() != Never {
+		t.Error("empty min-plus CombineOf should be Never")
+	}
+	if MinPlus.CombineOf(9, 4, 6) != 4 {
+		t.Error("min-plus CombineOf wrong")
+	}
+	if MaxPlus.CombineOf(9, 4, 6) != 9 {
+		t.Error("max-plus CombineOf wrong")
+	}
+	if MaxPlus.CombineOf(Never, 5) != 5 {
+		t.Error("max-plus must treat Never as no-path, losing to finite")
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	if !Time(2).Before(3) || Time(3).Before(3) {
+		t.Error("Before wrong")
+	}
+	if !Never.After(1) || Time(1).After(Never) {
+		t.Error("After/Never ordering wrong")
+	}
+}

@@ -1,0 +1,198 @@
+// Package racelogic is a software reproduction of "Race Logic: A Hardware
+// Acceleration for Dynamic Programming Algorithms" (Madhavan, Sherwood,
+// Strukov — ISCA 2014).
+//
+// Race Logic encodes a number n as the time, n clock cycles after the
+// start of a computation, at which a rising edge appears on a wire.  Under
+// that encoding min is an OR gate, max is an AND gate, and adding a
+// constant is a chain of flip-flops — which makes shortest/longest-path
+// problems on DAGs, and therefore dynamic-programming recurrences such as
+// DNA sequence alignment, executable as a physical race through a circuit.
+//
+// This package is the public facade.  It compiles gate-level Race Logic
+// netlists (simulated cycle-accurately, with per-net toggle counting),
+// prices them under 0.5µm CMOS standard-cell library models, and exposes:
+//
+//   - DNAEngine — the paper's Fig. 4 synchronous array for DNA global
+//     alignment, with optional Section 4.3 clock gating and Section 6
+//     threshold early termination;
+//   - ProteinEngine — the Section 5 generalized array for arbitrary
+//     score matrices (BLOSUM62, PAM250);
+//   - EditDistance — the reference software DP;
+//   - Graph / ShortestPath / LongestPath — the general Section 3
+//     DAG-to-race construction.
+//
+// The experiment harness regenerating every figure of the paper lives in
+// cmd/racebench; see DESIGN.md and EXPERIMENTS.md.
+package racelogic
+
+import (
+	"fmt"
+
+	"racelogic/internal/align"
+	"racelogic/internal/race"
+	"racelogic/internal/score"
+	"racelogic/internal/tech"
+	"racelogic/internal/temporal"
+)
+
+// Never is the score reported for an edge that never arrives: an
+// unreachable node, or a race cut off by a similarity threshold.
+const Never int64 = int64(temporal.Never)
+
+// Metrics prices one computation under the engine's standard-cell
+// library, using the methodology of the paper's Section 4.1: area from
+// the synthesized cell inventory, energy from simulated toggle activity
+// (Eq. 3), latency from the cycle count.
+type Metrics struct {
+	// Cycles is the number of clock cycles the race ran.
+	Cycles int
+	// LatencyNS is the wall-clock latency at the library's clock rate.
+	LatencyNS float64
+	// EnergyJ is the dynamic energy of the computation in joules.
+	EnergyJ float64
+	// AreaUM2 is the placed cell area of the engine in µm².
+	AreaUM2 float64
+	// PowerDensityWCM2 is average power over area, the Fig. 9b metric.
+	PowerDensityWCM2 float64
+}
+
+// Alignment is the result of racing two strings through an engine.
+type Alignment struct {
+	// Found is false when a threshold race was abandoned because the
+	// score exceeded the similarity threshold (Section 6).
+	Found bool
+	// Score is the alignment score: the arrival time of the output edge.
+	// Valid only when Found.
+	Score int64
+	// AlignedP and AlignedQ render one optimal alignment in the paper's
+	// Fig. 1a two-row format ('_' marks gaps), recovered by tracing the
+	// timing matrix backward.  Empty when the race was aborted: the
+	// per-cell arrival times are the traceback markers, so an aborted
+	// race has no complete path to trace.
+	AlignedP, AlignedQ string
+	// TimingMatrix[i][j] is the cycle at which edit-graph node (i,j)
+	// fired (the paper's Fig. 4c), or Never for nodes that had not fired
+	// when the race ended.
+	TimingMatrix [][]int64
+	// Metrics prices the run.
+	Metrics Metrics
+}
+
+type config struct {
+	library    *tech.Library
+	gateRegion int   // 0 = ungated
+	threshold  int64 // <0 = none
+	oneHot     bool
+}
+
+// Option configures an engine.
+type Option func(*config) error
+
+// WithLibrary selects the standard-cell library model: "AMIS" (default)
+// or "OSU".
+func WithLibrary(name string) Option {
+	return func(c *config) error {
+		l, err := tech.ByName(name)
+		if err != nil {
+			return err
+		}
+		c.library = l
+		return nil
+	}
+}
+
+// WithClockGating enables the Section 4.3 data-dependent clock gating
+// with m×m multi-cell regions.  Supported by DNAEngine.
+func WithClockGating(regionSize int) Option {
+	return func(c *config) error {
+		if regionSize < 1 {
+			return fmt.Errorf("racelogic: clock-gating region size %d must be ≥ 1", regionSize)
+		}
+		c.gateRegion = regionSize
+		return nil
+	}
+}
+
+// WithThreshold sets the Section 6 similarity threshold: races whose
+// score would exceed limit are abandoned after limit+1 cycles with
+// Found=false.
+func WithThreshold(limit int64) Option {
+	return func(c *config) error {
+		if limit < 0 {
+			return fmt.Errorf("racelogic: threshold %d must be ≥ 0", limit)
+		}
+		c.threshold = limit
+		return nil
+	}
+}
+
+// WithOneHotEncoding makes a ProteinEngine realize delays as one-hot DFF
+// chains instead of binary saturating counters — the Section 5 area
+// ablation.
+func WithOneHotEncoding() Option {
+	return func(c *config) error {
+		c.oneHot = true
+		return nil
+	}
+}
+
+func buildConfig(opts []Option) (*config, error) {
+	c := &config{library: tech.AMIS(), threshold: -1}
+	for _, o := range opts {
+		if err := o(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func toMetrics(l *tech.Library, area float64, res *race.AlignResult) Metrics {
+	return Metrics{
+		Cycles:           res.Cycles,
+		LatencyNS:        l.LatencyNS(res.Cycles),
+		EnergyJ:          l.Energy(res.Activity).TotalJ(),
+		AreaUM2:          area,
+		PowerDensityWCM2: l.Power(res.Activity) / (area / 1e8),
+	}
+}
+
+func toAlignment(l *tech.Library, area float64, res *race.AlignResult, p, q string, mtx *score.Matrix) (*Alignment, error) {
+	a := &Alignment{
+		Found:        res.Score != temporal.Never,
+		Metrics:      toMetrics(l, area, res),
+		TimingMatrix: make([][]int64, len(res.Arrivals)),
+	}
+	if a.Found {
+		a.Score = int64(res.Score)
+		tb, err := res.Traceback(p, q, mtx)
+		if err != nil {
+			return nil, err
+		}
+		a.AlignedP, a.AlignedQ = tb.AlignedP, tb.AlignedQ
+	} else {
+		a.Score = Never
+	}
+	for i := range res.Arrivals {
+		a.TimingMatrix[i] = make([]int64, len(res.Arrivals[i]))
+		for j, t := range res.Arrivals[i] {
+			if t == temporal.Never {
+				a.TimingMatrix[i][j] = Never
+			} else {
+				a.TimingMatrix[i][j] = int64(t)
+			}
+		}
+	}
+	return a, nil
+}
+
+// EditDistance returns the Levenshtein edit distance between p and q,
+// computed by the reference software DP.  It is the golden model the
+// hardware engines are tested against.
+func EditDistance(p, q string) int { return align.Levenshtein(p, q) }
+
+// DNAAlphabet lists the symbols accepted by DNAEngine.
+const DNAAlphabet = score.DNAAlphabet
+
+// ProteinAlphabet lists the symbols accepted by ProteinEngine.
+const ProteinAlphabet = score.ProteinAlphabet
