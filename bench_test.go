@@ -1,11 +1,11 @@
 package racelogic
 
-// This file is the benchmark harness required by DESIGN.md §4: one
-// testing.B benchmark per paper table/figure, each regenerating the
-// artifact through internal/eval on a reduced sweep (cmd/racebench runs
-// the full paper grids).  Reported custom metrics carry the headline
-// quantities so `go test -bench . -benchmem` prints the same numbers the
-// tables hold.
+// This file is the benchmark harness: one testing.B benchmark per paper
+// table/figure, each regenerating the artifact through internal/eval on
+// a reduced sweep (cmd/racebench runs the full paper grids), plus the
+// batch-search benchmarks proving engine reuse beats a build-per-pair
+// loop.  Reported custom metrics carry the headline quantities so
+// `go test -bench . -benchmem` prints the same numbers the tables hold.
 
 import (
 	"testing"
@@ -215,6 +215,65 @@ func BenchmarkAlignProtein(b *testing.B) {
 		if _, err := e.Align("WARD", "DRAW"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// searchBenchDB builds the shared ≥1k-sequence database for the Search
+// benchmarks: one dominant length bucket plus two smaller ones, the shape
+// a real fixed-array installation would see.
+func searchBenchDB() (query string, db []string) {
+	g := seqgen.NewDNA(42)
+	query = g.Random(12)
+	db = g.Database(900, 12)
+	db = append(db, g.Database(62, 10)...)
+	db = append(db, g.Database(62, 14)...)
+	return query, db
+}
+
+// BenchmarkSearchBatch measures the batch pipeline: length-bucketed
+// engines compiled once and reset between races.
+func BenchmarkSearchBatch(b *testing.B) {
+	query, db := searchBenchDB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Search(query, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.EnginesBuilt), "engines")
+	}
+}
+
+// BenchmarkSearchBatchThreshold adds the Section 6 pre-filter on top of
+// engine reuse: dissimilar entries cost only threshold+1 cycles.
+func BenchmarkSearchBatchThreshold(b *testing.B) {
+	query, db := searchBenchDB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Search(query, db, WithThreshold(14), WithTopK(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Rejected), "rejected")
+	}
+}
+
+// BenchmarkSearchNaive is the loop the pipeline replaces: a fresh
+// NewDNAEngine per pair, netlist rebuilt and recompiled every time.
+func BenchmarkSearchNaive(b *testing.B) {
+	query, db := searchBenchDB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, entry := range db {
+			e, err := NewDNAEngine(len(query), len(entry))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Align(query, entry); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(db)), "engines")
 	}
 }
 

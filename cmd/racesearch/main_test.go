@@ -1,0 +1,117 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"racelogic"
+	"racelogic/internal/seqgen"
+)
+
+func TestReadDB(t *testing.T) {
+	in := "# comment\nACGT\n\n>header line\nTTTT\n  GGCC  \n"
+	db, err := readDB(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ACGT", "TTTT", "GGCC"}
+	if len(db) != len(want) {
+		t.Fatalf("got %d entries %v, want %v", len(db), db, want)
+	}
+	for i := range want {
+		if db[i] != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, db[i], want[i])
+		}
+	}
+}
+
+// TestRunTopKMatchesSerialAlign pins the CLI's ranking against serial
+// single-pair Align calls: the top-K indices and scores must be exactly
+// the K best (score, index) pairs of the naive loop.
+func TestRunTopKMatchesSerialAlign(t *testing.T) {
+	g := seqgen.NewDNA(11)
+	query := g.Random(10)
+	db := g.Database(25, 10)
+
+	// Serial golden model: one engine per pair, no threshold.
+	type scored struct {
+		index int
+		score int64
+	}
+	var golden []scored
+	for i, entry := range db {
+		e, err := racelogic.NewDNAEngine(len(query), len(entry))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Align(query, entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden = append(golden, scored{i, a.Score})
+	}
+	// Selection sort the golden list by (score, index) — small K.
+	for i := range golden {
+		for j := i + 1; j < len(golden); j++ {
+			if golden[j].score < golden[i].score ||
+				(golden[j].score == golden[i].score && golden[j].index < golden[i].index) {
+				golden[i], golden[j] = golden[j], golden[i]
+			}
+		}
+	}
+
+	const k = 5
+	rep, err := racelogic.Search(query, db, racelogic.WithTopK(k), racelogic.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != k {
+		t.Fatalf("got %d results, want %d", len(rep.Results), k)
+	}
+	for i, r := range rep.Results {
+		if r.Index != golden[i].index || r.Score != golden[i].score {
+			t.Errorf("rank %d: got (index %d, score %d), want (index %d, score %d)",
+				i, r.Index, r.Score, golden[i].index, golden[i].score)
+		}
+	}
+}
+
+func TestRunDNASearch(t *testing.T) {
+	g := seqgen.NewDNA(3)
+	db := g.Database(12, 8)
+	if err := run(io.Discard, g.Random(8), db, "AMIS", 12, 3, 2, "", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProteinSearch(t *testing.T) {
+	g := seqgen.NewProtein(4)
+	db := g.Database(4, 4)
+	if err := run(io.Discard, g.Random(4), db, "AMIS", -1, 2, 1, "BLOSUM62", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGatedSearch(t *testing.T) {
+	g := seqgen.NewDNA(5)
+	db := g.Database(6, 6)
+	if err := run(io.Discard, g.Random(6), db, "OSU", 8, 2, 1, "", 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(io.Discard, "ACGT", []string{"ACGT"}, "XFAB", -1, 1, 1, "", 0); err == nil {
+		t.Error("unknown library must error")
+	}
+	if err := run(io.Discard, "ACGT", []string{"AXGT"}, "AMIS", -1, 1, 1, "", 0); err == nil {
+		t.Error("bad database symbol must error")
+	}
+	if err := run(io.Discard, "WAR", []string{"RAW"}, "AMIS", -1, 1, 1, "BLOSUM80", 0); err == nil {
+		t.Error("unknown matrix must error")
+	}
+	if err := run(io.Discard, "", []string{"ACGT"}, "AMIS", -1, 1, 1, "", 0); err == nil {
+		t.Error("empty query must error")
+	}
+}

@@ -15,6 +15,10 @@ import (
 // The score of an alignment is the number of matches plus indels on the
 // optimal path; identical strings of length N score N, completely
 // mismatched ones 2N.
+//
+// An engine compiles its array once and reuses the same simulator across
+// Align calls, so it is not safe for concurrent use: build one engine
+// per goroutine (Search does this internally).
 type DNAEngine struct {
 	cfg   *config
 	plain *race.Array
@@ -61,7 +65,10 @@ func (e *DNAEngine) Align(p, q string) (*Alignment, error) {
 	var err error
 	switch {
 	case e.gated != nil && e.cfg.threshold >= 0:
-		return nil, fmt.Errorf("racelogic: clock gating and thresholding cannot be combined yet")
+		// Gating never changes arrival times (a region's clock is cut
+		// only once every flip-flop inside already holds "1"), so the
+		// Section 6 early exit composes with Section 4.3 gating freely.
+		res, err = e.gated.AlignThreshold(p, q, temporal.Time(e.cfg.threshold))
 	case e.gated != nil:
 		res, err = e.gated.Align(p, q)
 	case e.cfg.threshold >= 0:
@@ -80,12 +87,39 @@ func (e *DNAEngine) Align(p, q string) (*Alignment, error) {
 // BLOSUM62) using binary saturating counters, per-symbol-pair weight
 // selection and set-on-arrival latches in every cell.  Lower scores mean
 // higher similarity (the matrix is transformed for the OR-type race).
+//
+// Like DNAEngine, a ProteinEngine reuses one compiled simulator across
+// Align calls and is not safe for concurrent use.
 type ProteinEngine struct {
 	cfg    *config
 	arr    *race.GeneralArray
 	matrix *score.Matrix
 	area   float64
 	n, m   int
+}
+
+// preparedMatrix resolves a named protein matrix ("" and "BLOSUM62"
+// select BLOSUM62, "PAM250" PAM250), prepares it for the OR-type race,
+// and picks the delay encoding — shared by NewProteinEngine and Search.
+func preparedMatrix(name string, oneHot bool) (*score.Matrix, race.Encoding, error) {
+	var base *score.Matrix
+	switch name {
+	case "", "BLOSUM62":
+		base = score.BLOSUM62()
+	case "PAM250":
+		base = score.PAM250()
+	default:
+		return nil, 0, fmt.Errorf("racelogic: unknown matrix %q (have BLOSUM62, PAM250)", name)
+	}
+	prepared, err := base.PrepareForRace()
+	if err != nil {
+		return nil, 0, err
+	}
+	enc := race.BinaryCounter
+	if oneHot {
+		enc = race.OneHot
+	}
+	return prepared, enc, nil
 }
 
 // NewProteinEngine builds a generalized engine for strings of lengths n
@@ -95,22 +129,9 @@ func NewProteinEngine(n, m int, matrixName string, opts ...Option) (*ProteinEngi
 	if err != nil {
 		return nil, err
 	}
-	var base *score.Matrix
-	switch matrixName {
-	case "", "BLOSUM62":
-		base = score.BLOSUM62()
-	case "PAM250":
-		base = score.PAM250()
-	default:
-		return nil, fmt.Errorf("racelogic: unknown matrix %q (have BLOSUM62, PAM250)", matrixName)
-	}
-	prepared, err := base.PrepareForRace()
+	prepared, enc, err := preparedMatrix(matrixName, cfg.oneHot)
 	if err != nil {
 		return nil, err
-	}
-	enc := race.BinaryCounter
-	if cfg.oneHot {
-		enc = race.OneHot
 	}
 	arr, err := race.NewGeneralArray(n, m, prepared, enc)
 	if err != nil {

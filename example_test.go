@@ -53,6 +53,40 @@ func ExampleGraph_ShortestPath() {
 	// Output: 2
 }
 
+// The paper's database-search workload end to end: one query ranked
+// against a database on a pool of reusable arrays.  Entries are bucketed
+// by length (fixed-size hardware), raced concurrently, pre-filtered by
+// the Section 6 threshold, and ranked by (score, index).
+func ExampleSearch() {
+	query := "ACTGAGA"
+	db := []string{
+		"TTTTTTT", // dissimilar: rejected after threshold+1 cycles
+		"ACTGAGA", // identical: 7 matches → score 7
+		"ACTGACA", // one substitution: 6 matches + 2 indels → score 8
+		"ACTGAG",  // one deletion, its own length bucket: 6 matches + 1 indel → score 7
+	}
+	// WithWorkers(1) keeps EnginesBuilt machine-independent: wider pools
+	// may split a bucket into more chunks (and engines) than CPUs here.
+	rep, err := racelogic.Search(query, db,
+		racelogic.WithThreshold(9), racelogic.WithTopK(3), racelogic.WithWorkers(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank, r := range rep.Results {
+		fmt.Printf("rank %d: entry %d score %d\n", rank+1, r.Index, r.Score)
+	}
+	fmt.Println("scanned:", rep.Scanned)
+	fmt.Println("rejected early:", rep.Rejected)
+	fmt.Println("arrays built:", rep.EnginesBuilt, "for", rep.Buckets, "length buckets")
+	// Output:
+	// rank 1: entry 1 score 7
+	// rank 2: entry 3 score 7
+	// rank 3: entry 2 score 8
+	// scanned: 4
+	// rejected early: 1
+	// arrays built: 2 for 2 length buckets
+}
+
 // Section 6 threshold mode: a dissimilar pair is rejected after only
 // threshold+1 cycles instead of racing to completion.
 func ExampleWithThreshold() {

@@ -1,5 +1,5 @@
-// dnasearch: scan a sequence database with Section 6 threshold early
-// termination.
+// dnasearch: scan a sequence database with the batch Search pipeline and
+// Section 6 threshold early termination.
 //
 // "Statistically ... the probability of small similarity regions in
 // strings is fairly high and goes down exponentially as the length of the
@@ -9,7 +9,10 @@
 // dissimilar entry is rejected after threshold+1 cycles instead of the
 // full 2N.  The systolic baseline must always run to completion.
 //
-// Run with:
+// This example drives racelogic.Search, which shards the database into
+// one reusable array per entry length and fans the buckets out over a
+// worker pool — the same scan as a hand-written Align loop, minus the
+// per-pair engine rebuilds.  Run with:
 //
 //	go run ./examples/dnasearch
 package main
@@ -26,6 +29,7 @@ const (
 	strLen    = 24
 	dbSize    = 40
 	threshold = 30 // accept entries scoring ≤ 30 (identical would be 24)
+	topK      = 5
 )
 
 func main() {
@@ -49,45 +53,43 @@ func main() {
 		planted[k] = true
 	}
 
-	full, err := racelogic.NewDNAEngine(strLen, strLen)
-	if err != nil {
-		log.Fatal(err)
-	}
-	scan, err := racelogic.NewDNAEngine(strLen, strLen, racelogic.WithThreshold(threshold))
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	fmt.Printf("scanning %d entries of length %d for matches to %s (threshold %d)\n\n",
 		dbSize, strLen, query, threshold)
 
-	var fullCycles, scanCycles, hits, falseNegatives int
-	for k, entry := range db {
-		f, err := full.Align(query, entry)
-		if err != nil {
-			log.Fatal(err)
+	// One thresholded batch search; a second unthresholded search gives
+	// the cycle baseline the early exit is saving against.
+	scan, err := racelogic.Search(query, db,
+		racelogic.WithThreshold(threshold), racelogic.WithTopK(topK))
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := racelogic.Search(query, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	missed := 0
+	accepted := map[int]bool{}
+	for rank, r := range scan.Results {
+		accepted[r.Index] = true
+		fmt.Printf("  hit %d (rank %d): score %2d  %s\n", r.Index, rank+1, r.Score, r.Sequence)
+		if !planted[r.Index] {
+			fmt.Println("          (a random entry cleared the threshold)")
 		}
-		s, err := scan.Align(query, entry)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fullCycles += f.Metrics.Cycles
-		scanCycles += s.Metrics.Cycles
-		if s.Found {
-			hits++
-			fmt.Printf("  hit %2d: score %2d  %s\n", k, s.Score, entry)
-			if !planted[k] {
-				fmt.Println("          (a random entry cleared the threshold)")
-			}
-		} else if planted[k] {
-			falseNegatives++
+	}
+	for k := range planted {
+		if !accepted[k] {
+			missed++
 		}
 	}
 
-	fmt.Printf("\naccepted %d entries, missed %d planted matches\n", hits, falseNegatives)
-	fmt.Printf("cycles without threshold: %d\n", fullCycles)
+	fmt.Printf("\naccepted %d of %d entries, missed %d planted matches\n",
+		scan.Matched, scan.Scanned, missed)
+	fmt.Printf("arrays built: %d for %d entries (%d length bucket(s), reused across the scan)\n",
+		scan.EnginesBuilt, scan.Scanned, scan.Buckets)
+	fmt.Printf("cycles without threshold: %d\n", full.TotalCycles)
 	fmt.Printf("cycles with threshold:    %d  (%.1f× fewer)\n",
-		scanCycles, float64(fullCycles)/float64(scanCycles))
+		scan.TotalCycles, float64(full.TotalCycles)/float64(scan.TotalCycles))
 	fmt.Println("\nthe systolic baseline has no early exit: 'the entire computation")
 	fmt.Println("has to complete, before which the maximum score can be ascertained'")
 }

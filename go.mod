@@ -1,0 +1,3 @@
+module racelogic
+
+go 1.21

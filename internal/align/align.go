@@ -1,14 +1,3 @@
-// Package align is the reference software implementation of the sequence
-// alignment algorithms Race Logic accelerates.
-//
-// It provides the classical dynamic-programming solutions — Needleman–
-// Wunsch global alignment [18], Smith–Waterman local alignment [19] and
-// Levenshtein edit distance — over arbitrary score matrices, with full DP
-// tables, traceback to the Fig. 1-style two-row alignment strings, and the
-// cumulative "alignment matrix" representation of Fig. 1b/1d.  Every
-// hardware model in this repository (the Race Logic arrays and the
-// Lipton–Lopresti systolic array) is property-tested against this package:
-// the circuits must produce exactly these scores.
 package align
 
 import (

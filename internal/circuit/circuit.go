@@ -1,20 +1,3 @@
-// Package circuit is a structural gate-level netlist builder and
-// cycle-accurate simulator.
-//
-// The paper evaluates Race Logic by writing parameterized Verilog,
-// synthesizing it with Synopsys Design Vision, and extracting per-net
-// toggle activity with Modelsim for Primetime power analysis.  This
-// package rebuilds that measurement pipeline in Go: circuits are
-// constructed from the same primitive standard cells the paper's designs
-// use (n-ary AND/OR, NOT, XOR, XNOR, 2:1 MUX, and D flip-flops with
-// optional clock enable), simulated one clock cycle at a time, and
-// instrumented with per-net toggle counts and per-kind gate counts that
-// internal/tech converts to area, energy and power exactly as Primetime
-// would (activity × capacitance × Vdd²).
-//
-// The builder half of the package (Netlist) is write-once: gates and nets
-// are appended, then Compile levelizes the combinational logic (detecting
-// combinational loops) and returns an immutable Simulator.
 package circuit
 
 import (
@@ -65,6 +48,23 @@ func (k Kind) String() string {
 
 // IsSequential reports whether the kind holds state across clock edges.
 func (k Kind) IsSequential() bool { return k == KindDFF }
+
+// allKinds is precomputed once: Kinds sits on per-race hot paths (the
+// energy model enumerates it for every alignment in a batch search).
+var allKinds = func() []Kind {
+	ks := make([]Kind, numKinds)
+	for k := range ks {
+		ks[k] = Kind(k)
+	}
+	return ks
+}()
+
+// Kinds lists every primitive cell kind in declaration order.  Consumers
+// that fold per-kind maps into floating-point totals iterate this instead
+// of ranging the map, so the summation order — and the last bit of the
+// result — is deterministic.  The returned slice is shared; do not
+// mutate it.
+func Kinds() []Kind { return allKinds }
 
 // gate is one instantiated cell.  Its output net ID equals its index + 2
 // (offset past the two constant nets) — every net is driven by exactly one

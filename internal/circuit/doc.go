@@ -1,0 +1,18 @@
+// Package circuit is a structural gate-level netlist builder and
+// cycle-accurate simulator.
+//
+// The paper evaluates Race Logic by writing parameterized Verilog,
+// synthesizing it with Synopsys Design Vision, and extracting per-net
+// toggle activity with Modelsim for Primetime power analysis.  This
+// package rebuilds that measurement pipeline in Go: circuits are
+// constructed from the same primitive standard cells the paper's designs
+// use (n-ary AND/OR, NOT, XOR, XNOR, 2:1 MUX, and D flip-flops with
+// optional clock enable), simulated one clock cycle at a time, and
+// instrumented with per-net toggle counts and per-kind gate counts that
+// internal/tech converts to area, energy and power exactly as Primetime
+// would (activity × capacitance × Vdd²).
+//
+// The builder half of the package (Netlist) is write-once: gates and nets
+// are appended, then Compile levelizes the combinational logic (detecting
+// combinational loops) and returns an immutable Simulator.
+package circuit

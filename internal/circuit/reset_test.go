@@ -1,0 +1,91 @@
+package circuit
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildResetFixture is a small sequential circuit with every reusable
+// state class: inputs, combinational gates, plain DFFs, an init-1 DFF
+// and an enabled DFF.
+func buildResetFixture() (*Netlist, Net, Net) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	en := n.Input("en")
+	x := n.Or(a, n.DFF(n.And(a, b)))
+	y := n.And(x, n.DFFE(b, en), n.Not(n.DFFInit(a, true)))
+	return n, a, y
+}
+
+// TestResetMatchesFreshCompile drives a simulator through a run, resets
+// it, repeats the identical stimulus, and demands the same values,
+// arrivals, cycle count and activity report a freshly compiled simulator
+// produces.
+func TestResetMatchesFreshCompile(t *testing.T) {
+	n, a, y := buildResetFixture()
+
+	drive := func(s *Simulator) {
+		s.SetInput(a, true)
+		s.SetInputName("b", true)
+		s.SetInputName("en", true)
+		s.Run(3)
+		s.SetInput(a, false)
+		s.Run(2)
+	}
+
+	fresh := n.MustCompile()
+	drive(fresh)
+
+	reused := n.MustCompile()
+	// Dirty the simulator with a different stimulus first.
+	reused.SetInputName("b", true)
+	reused.Run(5)
+	reused.Reset()
+	drive(reused)
+
+	if fresh.Cycle() != reused.Cycle() {
+		t.Errorf("cycle: fresh %d, reused %d", fresh.Cycle(), reused.Cycle())
+	}
+	if fresh.Value(y) != reused.Value(y) {
+		t.Errorf("value(y): fresh %v, reused %v", fresh.Value(y), reused.Value(y))
+	}
+	for net := Net(0); int(net) < n.NumNets(); net++ {
+		if fresh.Arrival(net) != reused.Arrival(net) {
+			t.Errorf("arrival(net %d): fresh %v, reused %v", net, fresh.Arrival(net), reused.Arrival(net))
+		}
+		if fresh.Toggles(net) != reused.Toggles(net) {
+			t.Errorf("toggles(net %d): fresh %d, reused %d", net, fresh.Toggles(net), reused.Toggles(net))
+		}
+	}
+	if fa, ra := fresh.Activity(), reused.Activity(); !reflect.DeepEqual(fa, ra) {
+		t.Errorf("activity:\n fresh %+v\nreused %+v", fa, ra)
+	}
+}
+
+// TestResetRestoresPowerOnState pins the immediate post-Reset state:
+// inputs low, DFFs back at their init values, accounting cleared.
+func TestResetRestoresPowerOnState(t *testing.T) {
+	n, a, _ := buildResetFixture()
+	s := n.MustCompile()
+	s.SetInput(a, true)
+	s.Run(4)
+	s.Reset()
+
+	if s.Cycle() != 0 {
+		t.Errorf("cycle after Reset = %d, want 0", s.Cycle())
+	}
+	if s.Value(a) {
+		t.Error("input a still high after Reset")
+	}
+	act := s.Activity()
+	if act.FFClockedCycles != 0 {
+		t.Errorf("FFClockedCycles after Reset = %d, want 0", act.FFClockedCycles)
+	}
+	for _, toggles := range act.NetToggles {
+		if toggles != 0 {
+			t.Errorf("net toggles after Reset = %v, want all zero", act.NetToggles)
+			break
+		}
+	}
+}

@@ -139,6 +139,34 @@ func (n *Netlist) Compile() (*Simulator, error) {
 	return s, nil
 }
 
+// Reset returns the simulator to the state Compile left it in — all
+// flip-flops at their power-on values, all inputs at 0, cycle 0, toggle
+// and arrival accounting cleared — without re-levelizing the netlist or
+// reallocating any buffer.  It is what makes a fixed-shape array cheap to
+// reuse across many races: Compile is O(gates) with fresh allocations,
+// Reset only clears the existing ones.
+func (s *Simulator) Reset() {
+	for i := range s.vals {
+		s.vals[i] = false
+	}
+	s.vals[One] = true
+	for i := range s.firstOne {
+		s.firstOne[i] = -1
+	}
+	for i := range s.toggles {
+		s.toggles[i] = 0
+	}
+	for slot, gi := range s.ffGates {
+		s.ffState[slot] = s.n.gates[gi].init
+	}
+	clear(s.inputs)
+	s.cycle = 0
+	s.ffClockedCycles = 0
+	s.settle()
+	copy(s.prev, s.vals)
+	s.recordArrivals()
+}
+
 // MustCompile is Compile for circuits that are acyclic by construction.
 func (n *Netlist) MustCompile() *Simulator {
 	s, err := n.Compile()

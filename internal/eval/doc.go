@@ -1,0 +1,11 @@
+// Package eval is the experiment harness: one generator per table and
+// figure of the paper's evaluation (Figs. 5, 6, 9, Eqs. 5–7 and the
+// headline comparison), each returning the same rows/series the paper
+// plots.  cmd/racebench drives these from the command line and the root
+// bench_test.go wraps each one in a testing.B benchmark.
+//
+// Absolute numbers depend on the calibrated library constants in
+// internal/tech; the shapes — who wins, the N²/N³ scaling laws, where the
+// crossovers fall — emerge from the simulated gate-level structures.
+// EXPERIMENTS.md records paper-vs-measured for every entry.
+package eval

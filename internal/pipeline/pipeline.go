@@ -1,0 +1,286 @@
+// Package pipeline is the high-throughput database-search engine built
+// on top of the Race Logic arrays: one query scored against many database
+// sequences, the Section 4/6 workload the paper motivates its array with
+// ("for every new sequence obtained, a search for similar sequences is
+// performed across known databases").
+//
+// Hardware arrays are fixed-size, so the pipeline shards the database by
+// entry length: every distinct (query length, entry length) shape becomes
+// one bucket, and one physical array per bucket scores all of that
+// bucket's entries back to back — the array is built (and its netlist
+// compiled) once, then reset between races, instead of rebuilt per pair.
+// Buckets are split into chunks and fanned out over a channel-fed worker
+// pool so independent arrays race concurrently; the Section 6 similarity
+// threshold rejects dissimilar entries after only threshold+1 cycles; and
+// the surviving matches are ranked into a deterministic top-K report with
+// per-result hardware metrics.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"racelogic/internal/circuit"
+	"racelogic/internal/race"
+	"racelogic/internal/tech"
+	"racelogic/internal/temporal"
+)
+
+// Engine is a fixed-shape race array that scores pairs repeatedly.  Both
+// race.Array and race.GeneralArray (and race.GatedArray) satisfy it.
+// Engines may be stateful — each worker chunk gets its own.
+type Engine interface {
+	Align(p, q string) (*race.AlignResult, error)
+	AlignThreshold(p, q string, threshold temporal.Time) (*race.AlignResult, error)
+	Netlist() *circuit.Netlist
+}
+
+// Factory builds a fresh engine for a query of length n against entries
+// of length m.  It is called once per work chunk, never once per pair.
+type Factory func(n, m int) (Engine, error)
+
+// Config parameterizes one database search.
+type Config struct {
+	// Factory builds the bucket engines.  Required.
+	Factory Factory
+	// Library prices every race; nil selects tech.AMIS().
+	Library *tech.Library
+	// Threshold is the Section 6 similarity threshold: entries whose
+	// score exceeds it are rejected after threshold+1 cycles.  Negative
+	// disables pre-filtering and every race runs to completion.
+	Threshold int64
+	// Workers is the worker-pool width; ≤ 0 selects runtime.NumCPU().
+	Workers int
+	// TopK truncates the ranked results; ≤ 0 keeps every match.
+	TopK int
+}
+
+// Result is one database entry that survived the race (and, when a
+// threshold is set, the pre-filter), priced under the search library.
+type Result struct {
+	// Index is the entry's position in the database slice.
+	Index int
+	// Sequence is the entry itself.
+	Sequence string
+	// Score is the arrival time of the output edge; lower is more
+	// similar for every race-ready matrix.
+	Score int64
+	// Cycles, LatencyNS, EnergyJ, AreaUM2 and PowerDensityWCM2 price
+	// this entry's individual race on its bucket's array.
+	Cycles           int
+	LatencyNS        float64
+	EnergyJ          float64
+	AreaUM2          float64
+	PowerDensityWCM2 float64
+}
+
+// Report aggregates one whole database search.
+type Report struct {
+	// Results holds the matches ranked by (Score, Index) ascending,
+	// truncated to TopK.  The ordering is deterministic regardless of
+	// worker count or scheduling.
+	Results []Result
+	// Scanned is the number of database entries raced.
+	Scanned int
+	// Matched counts every entry that finished below the threshold,
+	// including matches beyond the TopK truncation.
+	Matched int
+	// Rejected counts entries abandoned by the threshold pre-filter.
+	Rejected int
+	// Buckets is the number of distinct entry lengths encountered.
+	Buckets int
+	// EnginesBuilt is the number of arrays actually constructed — the
+	// quantity engine reuse minimizes (a naive loop builds Scanned).
+	EnginesBuilt int
+	// TotalCycles sums the cycles of every race, accepted or rejected;
+	// with a threshold this is the number the Section 6 early exit
+	// shrinks.
+	TotalCycles int
+	// TotalEnergyJ sums the dynamic energy of every race.
+	TotalEnergyJ float64
+}
+
+// chunk is one unit of worker-pool work: a run of same-length entries
+// scored on a single freshly built engine.
+type chunk struct {
+	m       int   // entry length
+	indices []int // positions in the database slice
+}
+
+// entrySlots is the collector state the workers fill in.  Every database
+// index is owned by exactly one chunk, so workers write disjoint slots
+// and no locking is needed; the final fold walks the slots in index order
+// so every aggregate — including the floating-point energy total — is
+// bit-identical regardless of worker count or scheduling.
+type entrySlots struct {
+	results  []*Result // nil = rejected or errored
+	cycles   []int
+	energyJ  []float64
+	rejected []bool
+}
+
+// Search scores query against every entry of db and returns the ranked
+// report.  An empty database yields an empty report; an empty query or a
+// zero-length entry is an error (arrays need at least a 1×1 edit graph).
+func Search(query string, db []string, cfg Config) (*Report, error) {
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("pipeline: Config.Factory is required")
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("pipeline: empty query")
+	}
+	lib := cfg.Library
+	if lib == nil {
+		lib = tech.AMIS()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	// Length-bucketed sharding: indices grouped by entry length, bucket
+	// order fixed by first appearance so chunking is deterministic.
+	buckets := make(map[int][]int)
+	var lengths []int
+	for i, entry := range db {
+		if len(entry) == 0 {
+			return nil, fmt.Errorf("pipeline: database entry %d is empty", i)
+		}
+		if _, seen := buckets[len(entry)]; !seen {
+			lengths = append(lengths, len(entry))
+		}
+		buckets[len(entry)] = append(buckets[len(entry)], i)
+	}
+	report := &Report{Scanned: len(db), Buckets: len(buckets)}
+	if len(db) == 0 {
+		report.Results = []Result{}
+		return report, nil
+	}
+
+	// Split buckets into chunks of at most ⌈total/workers⌉ entries so a
+	// single dominant bucket still spreads across the pool, while small
+	// buckets stay whole and cost one engine each.
+	target := (len(db) + workers - 1) / workers
+	var chunks []chunk
+	for _, m := range lengths {
+		idx := buckets[m]
+		for len(idx) > target {
+			chunks = append(chunks, chunk{m: m, indices: idx[:target]})
+			idx = idx[target:]
+		}
+		chunks = append(chunks, chunk{m: m, indices: idx})
+	}
+
+	slots := &entrySlots{
+		results:  make([]*Result, len(db)),
+		cycles:   make([]int, len(db)),
+		energyJ:  make([]float64, len(db)),
+		rejected: make([]bool, len(db)),
+	}
+	chunkErrs := make([]error, len(chunks))   // indexed by chunk
+	chunkErrIdx := make([]int, len(chunks))   // entry index an error hit
+	chunkEngines := make([]bool, len(chunks)) // engine actually built
+	jobs := make(chan int)                    // chunk indices
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				chunkErrs[ci], chunkErrIdx[ci], chunkEngines[ci] =
+					runChunk(query, db, chunks[ci], cfg.Factory, cfg.Threshold, lib, slots)
+			}
+		}()
+	}
+	for ci := range chunks {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Fold.  Errors are reported by lowest entry index; everything else
+	// accumulates in database order.
+	var firstErr error
+	firstErrIndex := -1
+	for ci, err := range chunkErrs {
+		if err != nil && (firstErr == nil || chunkErrIdx[ci] < firstErrIndex) {
+			firstErr, firstErrIndex = err, chunkErrIdx[ci]
+		}
+		if chunkEngines[ci] {
+			report.EnginesBuilt++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var all []Result
+	for i := range db {
+		report.TotalCycles += slots.cycles[i]
+		report.TotalEnergyJ += slots.energyJ[i]
+		if slots.rejected[i] {
+			report.Rejected++
+		}
+		if r := slots.results[i]; r != nil {
+			all = append(all, *r)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score < all[j].Score
+		}
+		return all[i].Index < all[j].Index
+	})
+	report.Matched = len(all)
+	if cfg.TopK > 0 && len(all) > cfg.TopK {
+		all = all[:cfg.TopK]
+	}
+	if all == nil {
+		all = []Result{}
+	}
+	report.Results = all
+	return report, nil
+}
+
+// runChunk builds one engine, races every entry of the chunk on it, and
+// writes each entry's outcome into its own slot.  It returns the first
+// error, the entry index it occurred at, and whether an engine was built.
+func runChunk(query string, db []string, c chunk, factory Factory, threshold int64,
+	lib *tech.Library, slots *entrySlots) (error, int, bool) {
+
+	eng, err := factory(len(query), c.m)
+	if err != nil {
+		return err, c.indices[0], false
+	}
+	area := lib.AreaUM2(eng.Netlist())
+	for _, i := range c.indices {
+		var res *race.AlignResult
+		if threshold >= 0 {
+			res, err = eng.AlignThreshold(query, db[i], temporal.Time(threshold))
+		} else {
+			res, err = eng.Align(query, db[i])
+		}
+		if err != nil {
+			return err, i, true
+		}
+		energy := lib.Energy(res.Activity).TotalJ()
+		slots.cycles[i] = res.Cycles
+		slots.energyJ[i] = energy
+		if res.Score == temporal.Never {
+			slots.rejected[i] = true
+			continue
+		}
+		slots.results[i] = &Result{
+			Index:            i,
+			Sequence:         db[i],
+			Score:            int64(res.Score),
+			Cycles:           res.Cycles,
+			LatencyNS:        lib.LatencyNS(res.Cycles),
+			EnergyJ:          energy,
+			AreaUM2:          area,
+			PowerDensityWCM2: lib.Power(res.Activity) / (area / 1e8),
+		}
+	}
+	return nil, -1, true
+}

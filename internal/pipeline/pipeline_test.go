@@ -1,0 +1,211 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"racelogic/internal/race"
+	"racelogic/internal/seqgen"
+	"racelogic/internal/temporal"
+)
+
+func dnaFactory(n, m int) (Engine, error) { return race.NewArray(n, m) }
+
+func TestSearchEmptyDatabase(t *testing.T) {
+	rep, err := Search("ACGT", nil, Config{Factory: dnaFactory, Threshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 0 || rep.Matched != 0 || rep.Rejected != 0 || rep.Buckets != 0 {
+		t.Errorf("empty database: got %+v, want all-zero counts", rep)
+	}
+	if rep.Results == nil || len(rep.Results) != 0 {
+		t.Errorf("empty database must yield an empty (non-nil) result slice, got %v", rep.Results)
+	}
+}
+
+func TestSearchEmptyQuery(t *testing.T) {
+	if _, err := Search("", []string{"ACGT"}, Config{Factory: dnaFactory, Threshold: -1}); err == nil {
+		t.Error("empty query must error")
+	}
+}
+
+func TestSearchEmptyEntry(t *testing.T) {
+	if _, err := Search("ACGT", []string{"ACGT", ""}, Config{Factory: dnaFactory, Threshold: -1}); err == nil {
+		t.Error("zero-length database entry must error")
+	}
+}
+
+func TestSearchMissingFactory(t *testing.T) {
+	if _, err := Search("ACGT", []string{"ACGT"}, Config{Threshold: -1}); err == nil {
+		t.Error("missing factory must error")
+	}
+}
+
+// TestSearchAllIdenticalLengths pins the bucketing degenerate case: every
+// entry the same length must form exactly one bucket, and with one worker
+// exactly one engine must cover the whole scan.
+func TestSearchAllIdenticalLengths(t *testing.T) {
+	g := seqgen.NewDNA(1)
+	db := g.Database(20, 9)
+	rep, err := Search(g.Random(9), db, Config{Factory: dnaFactory, Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Buckets != 1 {
+		t.Errorf("got %d buckets, want 1", rep.Buckets)
+	}
+	if rep.EnginesBuilt != 1 {
+		t.Errorf("got %d engines, want 1 (engine reuse across the bucket)", rep.EnginesBuilt)
+	}
+	if rep.Matched != 20 || len(rep.Results) != 20 {
+		t.Errorf("unthresholded scan must score everything: matched %d, results %d", rep.Matched, len(rep.Results))
+	}
+}
+
+// TestSearchSingleEntryBuckets pins the opposite degenerate case: every
+// entry a distinct length, one bucket and one engine each.
+func TestSearchSingleEntryBuckets(t *testing.T) {
+	g := seqgen.NewDNA(2)
+	db := []string{g.Random(4), g.Random(5), g.Random(6), g.Random(7)}
+	rep, err := Search(g.Random(6), db, Config{Factory: dnaFactory, Threshold: -1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Buckets != len(db) {
+		t.Errorf("got %d buckets, want %d", rep.Buckets, len(db))
+	}
+	if rep.EnginesBuilt != len(db) {
+		t.Errorf("got %d engines, want %d", rep.EnginesBuilt, len(db))
+	}
+	if rep.Matched != len(db) {
+		t.Errorf("matched %d, want %d", rep.Matched, len(db))
+	}
+}
+
+// TestSearchThresholdAgainstUnfiltered checks the Section 6 pre-filter
+// against an unfiltered scan of the same database: accepted entries carry
+// identical scores, and every rejected entry's unfiltered score exceeds
+// the threshold.
+func TestSearchThresholdAgainstUnfiltered(t *testing.T) {
+	g := seqgen.NewDNA(7)
+	query := g.Random(12)
+	db := g.Database(40, 12)
+	for _, k := range []int{3, 17, 31} {
+		mut, err := g.Mutate(query, 2, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db[k] = mut
+	}
+	const threshold = 16
+
+	full, err := Search(query, db, Config{Factory: dnaFactory, Threshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := Search(query, db, Config{Factory: dnaFactory, Threshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullByIndex := make(map[int]Result, len(full.Results))
+	for _, r := range full.Results {
+		fullByIndex[r.Index] = r
+	}
+	seen := make(map[int]bool)
+	for _, r := range filtered.Results {
+		seen[r.Index] = true
+		if want := fullByIndex[r.Index].Score; r.Score != want {
+			t.Errorf("entry %d: filtered score %d != unfiltered %d", r.Index, r.Score, want)
+		}
+	}
+	// Exactly the entries scoring ≤ threshold survive the pre-filter.
+	for _, r := range full.Results {
+		if seen[r.Index] != (r.Score <= threshold) {
+			t.Errorf("entry %d (score %d): accepted=%v inconsistent with threshold %d",
+				r.Index, r.Score, seen[r.Index], threshold)
+		}
+	}
+	if filtered.Rejected+filtered.Matched != filtered.Scanned {
+		t.Errorf("rejected %d + matched %d != scanned %d",
+			filtered.Rejected, filtered.Matched, filtered.Scanned)
+	}
+	if filtered.TotalCycles >= full.TotalCycles {
+		t.Errorf("threshold scan used %d cycles, unfiltered %d — early exit saved nothing",
+			filtered.TotalCycles, full.TotalCycles)
+	}
+}
+
+// TestSearchDeterministicTopK runs the same search at several worker-pool
+// widths and demands bit-identical reports: ranking must not depend on
+// scheduling.
+func TestSearchDeterministicTopK(t *testing.T) {
+	g := seqgen.NewDNA(9)
+	query := g.Random(10)
+	var db []string
+	for _, n := range []int{8, 10, 12} {
+		db = append(db, g.Database(15, n)...)
+	}
+
+	var want *Report
+	for _, workers := range []int{1, 2, 4, 8} {
+		rep, err := Search(query, db, Config{
+			Factory:   dnaFactory,
+			Threshold: 18,
+			Workers:   workers,
+			TopK:      7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// EnginesBuilt legitimately varies with chunking width; blank it
+		// before comparing.
+		rep.EnginesBuilt = 0
+		if want == nil {
+			want = rep
+			continue
+		}
+		if !reflect.DeepEqual(want, rep) {
+			t.Errorf("workers=%d: report differs from workers=1:\n got %+v\nwant %+v", workers, rep, want)
+		}
+	}
+	if len(want.Results) > 7 {
+		t.Errorf("top-K returned %d results, want ≤ 7", len(want.Results))
+	}
+	for i := 1; i < len(want.Results); i++ {
+		a, b := want.Results[i-1], want.Results[i]
+		if a.Score > b.Score || (a.Score == b.Score && a.Index >= b.Index) {
+			t.Errorf("results not in (score, index) order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+// TestSearchEngineReuseMatchesFreshEngines is the core tentpole
+// correctness property: an array reset between races must score exactly
+// like a fresh array per pair.
+func TestSearchEngineReuseMatchesFreshEngines(t *testing.T) {
+	g := seqgen.NewDNA(13)
+	query := g.Random(8)
+	db := g.Database(10, 8)
+	rep, err := Search(query, db, Config{Factory: dnaFactory, Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		fresh, err := race.NewArray(len(query), len(db[r.Index]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fresh.Align(query, db[r.Index])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(res.Score) != r.Score {
+			t.Errorf("entry %d: reused engine scored %d, fresh engine %d", r.Index, r.Score, res.Score)
+		}
+		if res.Score == temporal.Never {
+			t.Errorf("entry %d: fresh engine never fired", r.Index)
+		}
+	}
+}

@@ -25,6 +25,12 @@ import (
 //
 // The alignment score is the arrival time of the rising edge at cell
 // (N,M); per-cell arrival probes reproduce the Fig. 4c timing matrix.
+//
+// An Array compiles its netlist once, on the first Align, and resets the
+// same simulator for every subsequent race — the hardware analogue of one
+// physical array scoring a stream of pairs.  Because that simulator is
+// shared state, an Array is not safe for concurrent use; build one array
+// per goroutine (internal/pipeline does exactly that).
 type Array struct {
 	n, m      int
 	netlist   *circuit.Netlist
@@ -33,6 +39,7 @@ type Array struct {
 	qBits     [][2]circuit.Net
 	out       [][]circuit.Net // OR output of every node (i,j)
 	ffPerCell int
+	sim       *circuit.Simulator // compiled once, Reset between races
 }
 
 // dnaCode returns the 2-bit encoding of a DNA symbol.
@@ -153,14 +160,26 @@ func (a *Array) AlignThreshold(p, q string, threshold temporal.Time) (*AlignResu
 	if max := a.n + a.m + 2; bound > max {
 		bound = max
 	}
-	return a.align(p, q, bound)
+	res, err := a.align(p, q, bound)
+	return applyThreshold(res, threshold), err
+}
+
+// applyThreshold enforces the cut-off contract on a bounded race: an
+// output edge arriving in the very cycle the abandon decision is made
+// (threshold+1) still exceeds the threshold and is discarded, so exactly
+// the scores ≤ threshold survive.
+func applyThreshold(res *AlignResult, threshold temporal.Time) *AlignResult {
+	if res != nil && res.Score != temporal.Never && res.Score > threshold {
+		res.Score = temporal.Never
+	}
+	return res
 }
 
 func (a *Array) align(p, q string, maxCycles int) (*AlignResult, error) {
 	if len(p) != a.n || len(q) != a.m {
 		return nil, fmt.Errorf("race: array is %d×%d but strings are %d×%d", a.n, a.m, len(p), len(q))
 	}
-	sim, err := a.netlist.Compile()
+	sim, err := a.simulator()
 	if err != nil {
 		return nil, err
 	}
@@ -170,6 +189,28 @@ func (a *Array) align(p, q string, maxCycles int) (*AlignResult, error) {
 	sim.SetInput(a.root, true)
 	sim.RunUntil(a.out[a.n][a.m], maxCycles)
 	return a.result(sim), nil
+}
+
+// reuseSimulator is the shared compile-once protocol of all three array
+// types: compile nl into *sim on first use, reset it to power-on state
+// on every later one.
+func reuseSimulator(nl *circuit.Netlist, sim **circuit.Simulator) (*circuit.Simulator, error) {
+	if *sim == nil {
+		s, err := nl.Compile()
+		if err != nil {
+			return nil, err
+		}
+		*sim = s
+		return s, nil
+	}
+	(*sim).Reset()
+	return *sim, nil
+}
+
+// simulator returns the array's compiled simulator, building it on first
+// use and resetting it to power-on state on every later one.
+func (a *Array) simulator() (*circuit.Simulator, error) {
+	return reuseSimulator(a.netlist, &a.sim)
 }
 
 func (a *Array) loadSymbols(sim *circuit.Simulator, p, q string) error {

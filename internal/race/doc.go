@@ -1,0 +1,21 @@
+// Package race implements Race Logic: computation by timing races through
+// a circuit, the primary contribution of the paper.
+//
+// A value n is encoded as a rising edge appearing n clock cycles after the
+// start of a computation.  Nodes of a weighted DAG become OR gates (min —
+// the first edge wins) or AND gates (max — the last edge wins) and edge
+// weights become D-flip-flop delay chains; the score of a node is simply
+// the cycle at which its gate output rises.  The package provides four
+// hardware models, all compiled to gate-level netlists and simulated
+// cycle-accurately by internal/circuit:
+//
+//   - FromDAG/Solver — the general Section 3 construction for any DAG;
+//   - Array — the Fig. 4 synchronous unit-cell array for DNA global
+//     sequence alignment (score matrix Fig. 2b with mismatches promoted
+//     to ∞);
+//   - GatedArray — Array with the Section 4.3 data-dependent clock
+//     gating in m×m multi-cell regions;
+//   - GeneralArray — the Section 5 generalized cell (binary saturating
+//     counter, per-symbol-pair weight select, set-on-arrival) for
+//     arbitrary positive score matrices such as BLOSUM62.
+package race

@@ -24,6 +24,8 @@ import (
 // builds that logic structurally so its area and toggles are priced like
 // everything else, and the per-region flip-flop clock activity is
 // measured exactly by the simulator's enabled-cycle counter.
+// Like Array, a GatedArray compiles its netlist once and resets the same
+// simulator between races, so it is not safe for concurrent use.
 type GatedArray struct {
 	n, m       int
 	regionSize int
@@ -33,6 +35,7 @@ type GatedArray struct {
 	qBits      [][2]circuit.Net
 	out        [][]circuit.Net
 	regions    int
+	sim        *circuit.Simulator
 }
 
 // NewGatedArray builds an n×m edit-graph array gated in
@@ -182,10 +185,31 @@ func (a *GatedArray) RegionSize() int { return a.regionSize }
 // Align races p and q through the gated array.  The arrival times are
 // identical to the ungated Array's; only the clock activity differs.
 func (a *GatedArray) Align(p, q string) (*AlignResult, error) {
+	return a.align(p, q, a.n+a.m+2)
+}
+
+// AlignThreshold races with the Section 6 early-termination rule on top of
+// clock gating: the race is abandoned after threshold+1 cycles if the
+// output has not fired.  Gating never alters arrival times (regions are
+// disabled only once every flip-flop inside already holds "1"), so the
+// cut-off decision is identical to the ungated AlignThreshold's.
+func (a *GatedArray) AlignThreshold(p, q string, threshold temporal.Time) (*AlignResult, error) {
+	if threshold < 0 {
+		return nil, fmt.Errorf("race: negative threshold %v", threshold)
+	}
+	bound := int(threshold) + 1
+	if max := a.n + a.m + 2; bound > max {
+		bound = max
+	}
+	res, err := a.align(p, q, bound)
+	return applyThreshold(res, threshold), err
+}
+
+func (a *GatedArray) align(p, q string, maxCycles int) (*AlignResult, error) {
 	if len(p) != a.n || len(q) != a.m {
 		return nil, fmt.Errorf("race: array is %d×%d but strings are %d×%d", a.n, a.m, len(p), len(q))
 	}
-	sim, err := a.netlist.Compile()
+	sim, err := reuseSimulator(a.netlist, &a.sim)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +230,7 @@ func (a *GatedArray) Align(p, q string) (*AlignResult, error) {
 		sim.SetInput(a.qBits[j][1], c&2 == 2)
 	}
 	sim.SetInput(a.root, true)
-	sim.RunUntil(a.out[a.n][a.m], a.n+a.m+2)
+	sim.RunUntil(a.out[a.n][a.m], maxCycles)
 	res := &AlignResult{
 		Score:    sim.Arrival(a.out[a.n][a.m]),
 		Cycles:   sim.Cycle(),

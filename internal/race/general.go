@@ -33,6 +33,9 @@ import (
 //
 // Encoding selects how the diagonal weight is realized, enabling the
 // Section 5 area ablation between one-hot DFF chains and binary counters.
+//
+// Like Array, a GeneralArray compiles its netlist once and resets the
+// same simulator between races, so it is not safe for concurrent use.
 type GeneralArray struct {
 	n, m     int
 	matrix   *score.Matrix
@@ -43,6 +46,7 @@ type GeneralArray struct {
 	qBits    [][]circuit.Net
 	out      [][]circuit.Net
 	bound    int
+	sim      *circuit.Simulator
 }
 
 // Encoding selects the delay realization inside the generalized cell.
@@ -291,14 +295,15 @@ func (a *GeneralArray) AlignThreshold(p, q string, threshold temporal.Time) (*Al
 	if bound > a.bound {
 		bound = a.bound
 	}
-	return a.align(p, q, bound)
+	res, err := a.align(p, q, bound)
+	return applyThreshold(res, threshold), err
 }
 
 func (a *GeneralArray) align(p, q string, maxCycles int) (*AlignResult, error) {
 	if len(p) != a.n || len(q) != a.m {
 		return nil, fmt.Errorf("race: array is %d×%d but strings are %d×%d", a.n, a.m, len(p), len(q))
 	}
-	sim, err := a.netlist.Compile()
+	sim, err := reuseSimulator(a.netlist, &a.sim)
 	if err != nil {
 		return nil, err
 	}

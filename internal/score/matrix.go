@@ -1,18 +1,3 @@
-// Package score defines alignment score matrices and the transformations
-// that prepare them for Race Logic.
-//
-// A score matrix assigns a weight to every edge of the edit graph: aligning
-// symbol a with symbol b (substitution/match, the diagonal edges) or with a
-// gap (indel, the horizontal/vertical edges).  The paper uses three:
-// Fig. 2a (DNA longest-path: reward matches), Fig. 2b (DNA shortest-path:
-// penalize indels by 1 and mismatches by 2), and Fig. 2c (BLOSUM62, a
-// 20×20 log-odds protein matrix).  Section 5 describes how an arbitrary
-// matrix is massaged for the OR-type (min) race: flip longest-path
-// matrices to shortest-path ones and add a rank-aware bias so every weight
-// is a positive integer — since negative or zero delays cannot exist in
-// hardware.  This package implements the matrices, the transformation
-// pipeline, and the N_DR/N_SS properties the generalized cell of Fig. 8
-// is parameterized by.
 package score
 
 import (

@@ -39,11 +39,17 @@ func (l *Library) Energy(a circuit.Activity) EnergyBreakdown {
 
 	// Data term: each net toggle switches the driver's output node plus
 	// each driven pin (gate capacitance) plus per-fanout wire load.
-	for kind, t := range a.NetToggles {
-		e.DataJ += float64(t) * l.Cells[kind].CoutPF * pfToF * halfV2
+	// Summed in fixed kind order so the floating-point total is
+	// bit-identical run to run (map order is randomized).
+	for _, kind := range circuit.Kinds() {
+		if t := a.NetToggles[kind]; t != 0 {
+			e.DataJ += float64(t) * l.Cells[kind].CoutPF * pfToF * halfV2
+		}
 	}
-	for kind, t := range a.LoadToggles {
-		e.DataJ += float64(t) * (l.Cells[kind].CinPF + l.WireCapPerFanoutPF) * pfToF * halfV2
+	for _, kind := range circuit.Kinds() {
+		if t := a.LoadToggles[kind]; t != 0 {
+			e.DataJ += float64(t) * (l.Cells[kind].CinPF + l.WireCapPerFanoutPF) * pfToF * halfV2
+		}
 	}
 	return e
 }

@@ -1,21 +1,3 @@
-// Package tech models the CMOS standard-cell technology the paper maps
-// both architectures onto.
-//
-// The paper synthesizes its Verilog to an AMIS 0.5µm process using two
-// standard-cell libraries (AMIS and OSU) and derives power from per-net
-// toggle activity (Modelsim → Primetime).  We have no CAD flow, so this
-// package plays the role of the library files and of Primetime: it assigns
-// every primitive cell an area and pin capacitances, converts a netlist
-// into total area, and converts a simulation Activity report into dynamic
-// energy with the same formula the paper uses (Eq. 3):
-//
-//	P = α_clk·C_clk·V²·f + α_data·C_non-clk·V²·f
-//
-// The absolute constants are calibrated to be physically plausible for a
-// 0.5µm 5V process and to land the fitted energy coefficients (Eq. 5) in
-// the paper's ballpark; all *scaling* results (N² area, N³ energy, the
-// race-vs-systolic crossovers) emerge from the simulated structures, not
-// from the constants.
 package tech
 
 import (

@@ -1,20 +1,3 @@
-// Package temporal defines the value domain of Race Logic.
-//
-// In Race Logic (Madhavan, Sherwood, Strukov — ISCA 2014) a number n is not
-// represented as a bit pattern but as the moment, n clock cycles after the
-// start of a computation, at which a rising edge appears on a wire.  Under
-// that encoding three operations become trivial hardware:
-//
-//	min(a, b) — an OR gate (the first arriving edge wins)
-//	max(a, b) — an AND gate (the last arriving edge wins)
-//	a + c     — a chain of c D flip-flops (delay by c cycles)
-//
-// This package models that domain in software: the Time type with a
-// distinguished +∞ value (Never — the edge never arrives, i.e. a missing
-// DAG edge), saturating addition, Min/Max, and comparison helpers.  The
-// (min, +) fragment forms the tropical semiring; the laws are exercised by
-// property tests and the rest of the repository treats this package as the
-// ground truth for what the gate-level simulator must agree with.
 package temporal
 
 import (

@@ -15,15 +15,18 @@
 //
 //   - DNAEngine — the paper's Fig. 4 synchronous array for DNA global
 //     alignment, with optional Section 4.3 clock gating and Section 6
-//     threshold early termination;
+//     threshold early termination (the two compose);
 //   - ProteinEngine — the Section 5 generalized array for arbitrary
 //     score matrices (BLOSUM62, PAM250);
+//   - Search — batch database search: one query ranked against many
+//     sequences on a pool of reusable, length-bucketed arrays;
 //   - EditDistance — the reference software DP;
 //   - Graph / ShortestPath / LongestPath — the general Section 3
 //     DAG-to-race construction.
 //
 // The experiment harness regenerating every figure of the paper lives in
-// cmd/racebench; see DESIGN.md and EXPERIMENTS.md.
+// cmd/racebench; see README.md for the full package and paper-to-code
+// maps.
 package racelogic
 
 import (
@@ -84,6 +87,9 @@ type config struct {
 	gateRegion int   // 0 = ungated
 	threshold  int64 // <0 = none
 	oneHot     bool
+	topK       int    // Search only; ≤0 = all matches
+	workers    int    // Search only; ≤0 = NumCPU
+	matrix     string // Search only; "" = DNA array
 }
 
 // Option configures an engine.
@@ -123,6 +129,43 @@ func WithThreshold(limit int64) Option {
 			return fmt.Errorf("racelogic: threshold %d must be ≥ 0", limit)
 		}
 		c.threshold = limit
+		return nil
+	}
+}
+
+// WithTopK truncates a Search report to its k best matches.  It has no
+// effect on the single-pair engines.
+func WithTopK(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("racelogic: top-K %d must be ≥ 1", k)
+		}
+		c.topK = k
+		return nil
+	}
+}
+
+// WithWorkers sets the Search worker-pool width (default: the number of
+// CPUs).  It has no effect on the single-pair engines.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("racelogic: worker count %d must be ≥ 1", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithMatrix makes Search race the Section 5 generalized array under the
+// named protein matrix ("BLOSUM62" or "PAM250") instead of the Fig. 4 DNA
+// array.  Engines take their matrix as a constructor argument instead.
+func WithMatrix(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			return fmt.Errorf("racelogic: empty matrix name")
+		}
+		c.matrix = name
 		return nil
 	}
 }

@@ -139,13 +139,31 @@ func TestDNAEngineClockGating(t *testing.T) {
 	}
 }
 
-func TestDNAEngineGatingPlusThresholdUnsupported(t *testing.T) {
+// Gating and thresholding used to be mutually exclusive; they now
+// compose (gating never changes arrival times, so the early-exit
+// decision is unaffected).  search_test.go checks score equivalence
+// against the ungated thresholded engine; this pins the basic behavior.
+func TestDNAEngineGatingPlusThreshold(t *testing.T) {
 	e, err := NewDNAEngine(4, 4, WithClockGating(2), WithThreshold(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Align("ACTG", "ACTG"); err == nil {
-		t.Error("gating+threshold must be rejected at Align time")
+	a, err := e.Align("ACTG", "ACTG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Found || a.Score != 4 {
+		t.Errorf("identical pair: found %v score %d, want found score 4", a.Found, a.Score)
+	}
+	miss, err := e.Align("AAAA", "TTTT") // true score 8 > threshold 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Found {
+		t.Errorf("dissimilar pair must be cut off, got score %d", miss.Score)
+	}
+	if miss.Metrics.Cycles != 6 {
+		t.Errorf("cut-off race ran %d cycles, want threshold+1 = 6", miss.Metrics.Cycles)
 	}
 }
 

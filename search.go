@@ -1,0 +1,138 @@
+package racelogic
+
+import (
+	"fmt"
+
+	"racelogic/internal/pipeline"
+	"racelogic/internal/race"
+)
+
+// SearchResult is one database entry that survived the race, with the
+// hardware metrics of its individual alignment.
+type SearchResult struct {
+	// Index is the entry's position in the database slice passed to
+	// Search; Sequence is the entry itself.
+	Index    int
+	Sequence string
+	// Score is the alignment score (arrival time of the output edge).
+	// Lower means more similar, for DNA and prepared protein matrices
+	// alike.
+	Score int64
+	// Metrics prices this entry's race on its bucket's shared array.
+	Metrics Metrics
+}
+
+// SearchReport is the outcome of scoring one query against a database.
+type SearchReport struct {
+	// Query is the searched-for sequence.
+	Query string
+	// Results holds the matches ranked by (Score, Index) ascending,
+	// truncated to WithTopK.  The order is deterministic regardless of
+	// worker count.
+	Results []SearchResult
+	// Scanned, Matched and Rejected count the database entries raced,
+	// the entries that finished below the threshold (including matches
+	// beyond the top-K truncation), and the entries the Section 6
+	// pre-filter abandoned after threshold+1 cycles.
+	Scanned, Matched, Rejected int
+	// Buckets is the number of distinct entry lengths; EnginesBuilt is
+	// the number of arrays constructed to cover them — the quantity
+	// engine reuse keeps far below Scanned.
+	Buckets, EnginesBuilt int
+	// TotalCycles and TotalEnergyJ aggregate every race, accepted or
+	// rejected; a threshold shrinks both.
+	TotalCycles  int
+	TotalEnergyJ float64
+}
+
+// Search scores query against every entry of db on a pool of reusable
+// Race Logic arrays and returns the ranked matches — the paper's database
+// search workload ("for every new sequence obtained, a search for similar
+// sequences is performed across known databases", Section 1).
+//
+// Entries are sharded into one bucket per length, because arrays are
+// fixed-size hardware: each bucket's array is built once and reset between
+// races rather than rebuilt per pair, and buckets fan out across a worker
+// pool.  Search accepts the same options as the engines:
+//
+//   - WithThreshold enables the Section 6 pre-filter — dissimilar entries
+//     cost only threshold+1 cycles before being dropped;
+//   - WithClockGating builds Section 4.3 gated arrays (combinable with
+//     WithThreshold);
+//   - WithMatrix selects a protein matrix and switches every bucket to
+//     the Section 5 generalized array (WithOneHotEncoding applies);
+//   - WithLibrary prices the races;
+//   - WithTopK and WithWorkers shape the report and the fan-out.
+//
+// An empty database returns an empty report.  An empty query or database
+// entry is an error: the arrays need at least a 1×1 edit graph.
+func Search(query string, db []string, opts ...Option) (*SearchReport, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := searchFactory(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := pipeline.Search(query, db, pipeline.Config{
+		Factory:   factory,
+		Library:   cfg.library,
+		Threshold: cfg.threshold,
+		Workers:   cfg.workers,
+		TopK:      cfg.topK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SearchReport{
+		Query:        query,
+		Results:      make([]SearchResult, len(rep.Results)),
+		Scanned:      rep.Scanned,
+		Matched:      rep.Matched,
+		Rejected:     rep.Rejected,
+		Buckets:      rep.Buckets,
+		EnginesBuilt: rep.EnginesBuilt,
+		TotalCycles:  rep.TotalCycles,
+		TotalEnergyJ: rep.TotalEnergyJ,
+	}
+	for i, r := range rep.Results {
+		out.Results[i] = SearchResult{
+			Index:    r.Index,
+			Sequence: r.Sequence,
+			Score:    r.Score,
+			Metrics: Metrics{
+				Cycles:           r.Cycles,
+				LatencyNS:        r.LatencyNS,
+				EnergyJ:          r.EnergyJ,
+				AreaUM2:          r.AreaUM2,
+				PowerDensityWCM2: r.PowerDensityWCM2,
+			},
+		}
+	}
+	return out, nil
+}
+
+// searchFactory maps the engine options onto a per-bucket array builder.
+func searchFactory(cfg *config) (pipeline.Factory, error) {
+	if cfg.matrix != "" {
+		if cfg.gateRegion > 0 {
+			return nil, fmt.Errorf("racelogic: clock gating applies to the DNA array only; it cannot be combined with WithMatrix(%q)", cfg.matrix)
+		}
+		prepared, enc, err := preparedMatrix(cfg.matrix, cfg.oneHot)
+		if err != nil {
+			return nil, err
+		}
+		return func(n, m int) (pipeline.Engine, error) {
+			return race.NewGeneralArray(n, m, prepared, enc)
+		}, nil
+	}
+	if cfg.gateRegion > 0 {
+		return func(n, m int) (pipeline.Engine, error) {
+			return race.NewGatedArray(n, m, cfg.gateRegion)
+		}, nil
+	}
+	return func(n, m int) (pipeline.Engine, error) {
+		return race.NewArray(n, m)
+	}, nil
+}

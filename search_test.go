@@ -1,0 +1,194 @@
+package racelogic_test
+
+import (
+	"testing"
+
+	"racelogic"
+	"racelogic/internal/seqgen"
+)
+
+// TestSearchMatchesSerialAlign verifies the batch pipeline against the
+// single-pair public API: every reported score must equal what a
+// dedicated engine computes for that pair.
+func TestSearchMatchesSerialAlign(t *testing.T) {
+	g := seqgen.NewDNA(21)
+	query := g.Random(9)
+	var db []string
+	for _, n := range []int{6, 9, 13} {
+		db = append(db, g.Database(8, n)...)
+	}
+	rep, err := racelogic.Search(query, db, racelogic.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matched != len(db) {
+		t.Fatalf("unthresholded search matched %d of %d", rep.Matched, len(db))
+	}
+	if rep.Buckets != 3 {
+		t.Errorf("got %d buckets, want 3", rep.Buckets)
+	}
+	for _, r := range rep.Results {
+		e, err := racelogic.NewDNAEngine(len(query), len(db[r.Index]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Align(query, db[r.Index])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Score != r.Score {
+			t.Errorf("entry %d: search score %d, serial Align %d", r.Index, r.Score, a.Score)
+		}
+		if a.Metrics.Cycles != r.Metrics.Cycles {
+			t.Errorf("entry %d: search cycles %d, serial %d", r.Index, r.Metrics.Cycles, a.Metrics.Cycles)
+		}
+	}
+}
+
+// TestSearchProteinMatrix runs the generalized-array path end to end.
+func TestSearchProteinMatrix(t *testing.T) {
+	g := seqgen.NewProtein(22)
+	query := g.Random(4)
+	db := g.Database(5, 4)
+	rep, err := racelogic.Search(query, db, racelogic.WithMatrix("BLOSUM62"), racelogic.WithTopK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
+	}
+	e, err := racelogic.NewProteinEngine(len(query), len(db[rep.Results[0].Index]), "BLOSUM62")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Align(query, db[rep.Results[0].Index])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != rep.Results[0].Score {
+		t.Errorf("top match: search score %d, serial ProteinEngine %d", rep.Results[0].Score, a.Score)
+	}
+	if _, err := racelogic.Search(query, db, racelogic.WithMatrix("BLOSUM80")); err == nil {
+		t.Error("unknown matrix must error")
+	}
+	if _, err := racelogic.Search(query, db,
+		racelogic.WithMatrix("BLOSUM62"), racelogic.WithClockGating(2)); err == nil {
+		t.Error("gating+matrix must error rather than silently running ungated")
+	}
+}
+
+// TestSearchOptionValidation pins the search-only option guards.
+func TestSearchOptionValidation(t *testing.T) {
+	if _, err := racelogic.Search("ACGT", nil, racelogic.WithTopK(0)); err == nil {
+		t.Error("WithTopK(0) must error")
+	}
+	if _, err := racelogic.Search("ACGT", nil, racelogic.WithWorkers(0)); err == nil {
+		t.Error("WithWorkers(0) must error")
+	}
+	if _, err := racelogic.Search("ACGT", nil, racelogic.WithMatrix("")); err == nil {
+		t.Error("WithMatrix(\"\") must error")
+	}
+}
+
+// TestGatingWithThreshold pins the combination engine.go used to reject:
+// a gated, thresholded engine must make exactly the same accept/reject
+// decisions — and report the same scores — as the plain thresholded one,
+// because gating never changes arrival times.
+func TestGatingWithThreshold(t *testing.T) {
+	g := seqgen.NewDNA(23)
+	const n, limit = 10, 12
+	plain, err := racelogic.NewDNAEngine(n, n, racelogic.WithThreshold(limit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := racelogic.NewDNAEngine(n, n,
+		racelogic.WithThreshold(limit), racelogic.WithClockGating(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		p, q := g.RandomPair(n)
+		if trial == 0 {
+			p, q = g.BestCase(n) // must be accepted
+		}
+		if trial == 1 {
+			p, q = g.WorstCase(n) // must be rejected
+		}
+		pa, err := plain.Align(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga, err := gated.Align(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa.Found != ga.Found || pa.Score != ga.Score {
+			t.Errorf("%s vs %s: plain (found %v, score %d) != gated (found %v, score %d)",
+				p, q, pa.Found, pa.Score, ga.Found, ga.Score)
+		}
+		if pa.Metrics.Cycles != ga.Metrics.Cycles {
+			t.Errorf("%s vs %s: plain %d cycles, gated %d", p, q, pa.Metrics.Cycles, ga.Metrics.Cycles)
+		}
+	}
+
+	// Gated search end to end, thresholded.
+	db := g.Database(12, n)
+	rep, err := racelogic.Search(g.Random(n), db,
+		racelogic.WithThreshold(limit), racelogic.WithClockGating(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != len(db) {
+		t.Errorf("scanned %d, want %d", rep.Scanned, len(db))
+	}
+}
+
+// TestThresholdBoundary pins the cut-off contract at its edge: a score
+// of exactly threshold is accepted, a score of exactly threshold+1 —
+// which fires in the very cycle the abandon decision is made — is not.
+func TestThresholdBoundary(t *testing.T) {
+	// "AA" vs "TT" scores 4 (pure indels); thresholds 3 and 4 straddle it.
+	reject, err := racelogic.NewDNAEngine(2, 2, racelogic.WithThreshold(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reject.Align("AA", "TT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Found {
+		t.Errorf("score 4 must be rejected under threshold 3, got found score %d", a.Score)
+	}
+	accept, err := racelogic.NewDNAEngine(2, 2, racelogic.WithThreshold(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = accept.Align("AA", "TT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Found || a.Score != 4 {
+		t.Errorf("score 4 must be accepted under threshold 4, got found=%v score %d", a.Found, a.Score)
+	}
+}
+
+// TestSearchRepeatability races the same search twice on the same
+// process and demands identical reports — the engine-reuse reset path
+// must leave no state behind.
+func TestSearchRepeatability(t *testing.T) {
+	g := seqgen.NewDNA(24)
+	query := g.Random(8)
+	db := g.Database(10, 8)
+	first, err := racelogic.Search(query, db, racelogic.WithThreshold(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := racelogic.Search(query, db, racelogic.WithThreshold(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Matched != second.Matched || first.Rejected != second.Rejected ||
+		first.TotalCycles != second.TotalCycles || first.TotalEnergyJ != second.TotalEnergyJ {
+		t.Errorf("reports differ across identical searches:\n first %+v\nsecond %+v", first, second)
+	}
+}
