@@ -277,6 +277,83 @@ func BenchmarkSearchNaive(b *testing.B) {
 	}
 }
 
+// searchBench10k builds the 10k-entry database of the warm-vs-one-shot
+// comparison: one dominant length bucket with planted near-matches so the
+// seed index has genuine hits to keep.
+func searchBench10k() (query string, db []string) {
+	g := seqgen.NewDNA(43)
+	query = g.Random(12)
+	db = g.Database(10000, 12)
+	for _, at := range []int{123, 4567, 8910} {
+		mut, err := g.Mutate(query, 1, 0, 0)
+		if err != nil {
+			panic(err)
+		}
+		db[at] = mut
+	}
+	return query, db
+}
+
+// BenchmarkDatabaseSearchWarm10k measures the persistent subsystem on a
+// 10k-entry database: engines pre-compiled and pooled, k-mer seed index
+// skipping the entries that share no 8-mer with the query.  Compare
+// against BenchmarkSearchOneShot10k for the amortization headline.
+func BenchmarkDatabaseSearchWarm10k(b *testing.B) {
+	query, db := searchBench10k()
+	d, err := NewDatabase(db, WithSeedIndex(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.Search(query); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := d.Search(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Scanned), "scanned")
+		b.ReportMetric(float64(rep.Skipped), "skipped")
+	}
+}
+
+// BenchmarkDatabaseSearchWarmFullScan10k isolates the engine-pooling win
+// from the index win: the warm database races all 10k entries.
+func BenchmarkDatabaseSearchWarmFullScan10k(b *testing.B) {
+	query, db := searchBench10k()
+	d, err := NewDatabase(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.Search(query); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := d.Search(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.EnginesBuilt), "engines")
+	}
+}
+
+// BenchmarkSearchOneShot10k is the baseline the Database replaces: the
+// one-shot path re-shards the collection and recompiles engines for
+// every query, then races all 10k entries.
+func BenchmarkSearchOneShot10k(b *testing.B) {
+	query, db := searchBench10k()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Search(query, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.EnginesBuilt), "engines")
+	}
+}
+
 // BenchmarkSystolicCompare measures the baseline's comparison pipeline.
 func BenchmarkSystolicCompare(b *testing.B) {
 	arr, err := systolic.New(20, DNAAlphabet)

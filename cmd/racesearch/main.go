@@ -3,24 +3,26 @@
 // database-search workload — and prints the ranked matches with hardware
 // metrics.
 //
-// The database is read one sequence per line from FILE, or from stdin
-// when FILE is omitted.  Blank lines and lines starting with '#' or '>'
-// (FASTA headers; racesearch treats each remaining line as one entry)
-// are skipped.
+// The database comes from -db FILE, positional FILE or stdin — all three
+// parsed identically: real FASTA (multi-line records are concatenated
+// into one sequence each) or the plain one-sequence-per-line format,
+// auto-detected, with blank lines and '#'/';' comments skipped and
+// sequences uppercased.
 //
 // Usage:
 //
-//	racesearch [-lib AMIS|OSU] [-threshold T] [-top K] [-workers N]
-//	           [-matrix BLOSUM62|PAM250] [-gate m] QUERY [FILE]
+//	racesearch [-db FILE] [-lib AMIS|OSU] [-threshold T] [-top K]
+//	           [-workers N] [-matrix BLOSUM62|PAM250] [-gate m]
+//	           QUERY [FILE]
 //
 // Examples:
 //
+//	racesearch -db genomes.fasta -threshold 30 -top 5 ACGTACGTACGT
 //	racesearch -threshold 30 -top 5 ACGTACGTACGT db.txt
 //	racesearch -matrix BLOSUM62 HEAGAWGHEE proteins.txt
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -28,9 +30,11 @@ import (
 	"strings"
 
 	"racelogic"
+	"racelogic/internal/seqgen"
 )
 
 func main() {
+	dbFile := flag.String("db", "", "database file, FASTA or one sequence per line (auto-detected)")
 	lib := flag.String("lib", "AMIS", "standard-cell library: AMIS or OSU")
 	threshold := flag.Int64("threshold", -1, "Section 6 similarity threshold (-1 = off)")
 	top := flag.Int("top", 10, "number of ranked matches to print")
@@ -38,47 +42,35 @@ func main() {
 	matrix := flag.String("matrix", "", "protein matrix (BLOSUM62 or PAM250; empty = DNA)")
 	gate := flag.Int("gate", 0, "Section 4.3 clock-gating region size (0 = ungated; DNA only)")
 	flag.Parse()
-	if flag.NArg() < 1 || flag.NArg() > 2 {
-		fmt.Fprintln(os.Stderr, "usage: racesearch [flags] QUERY [FILE]")
+	if flag.NArg() < 1 || flag.NArg() > 2 || (*dbFile != "" && flag.NArg() == 2) {
+		fmt.Fprintln(os.Stderr, "usage: racesearch [flags] QUERY [FILE]   (FILE and -db are exclusive)")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	in := io.Reader(os.Stdin)
-	if flag.NArg() == 2 {
-		f, err := os.Open(flag.Arg(1))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "racesearch:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		in = f
-	}
-	db, err := readDB(in)
+	db, err := loadDB(*dbFile, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racesearch:", err)
 		os.Exit(1)
 	}
-	if err := run(os.Stdout, flag.Arg(0), db, *lib, *threshold, *top, *workers, *matrix, *gate); err != nil {
+	// The loaders uppercase database sequences; treat the query alike.
+	query := strings.ToUpper(flag.Arg(0))
+	if err := run(os.Stdout, query, db, *lib, *threshold, *top, *workers, *matrix, *gate); err != nil {
 		fmt.Fprintln(os.Stderr, "racesearch:", err)
 		os.Exit(1)
 	}
 }
 
-// readDB parses one sequence per line, skipping blanks, comments and
-// FASTA header lines.
-func readDB(r io.Reader) ([]string, error) {
-	var db []string
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '>' {
-			continue
-		}
-		db = append(db, line)
+// loadDB resolves the database input — -db FILE, positional FILE, or
+// stdin — all through the same FASTA-aware, auto-detecting reader.
+func loadDB(dbFile string, args []string) ([]string, error) {
+	if dbFile != "" {
+		return seqgen.ReadSequencesFile(dbFile)
 	}
-	return db, sc.Err()
+	if len(args) == 2 {
+		return seqgen.ReadSequencesFile(args[1])
+	}
+	return seqgen.ReadSequences(os.Stdin)
 }
 
 func run(w io.Writer, query string, db []string, lib string, threshold int64, top, workers int, matrix string, gate int) error {

@@ -2,16 +2,43 @@ package main
 
 import (
 	"io"
-	"strings"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"racelogic"
 	"racelogic/internal/seqgen"
 )
 
-func TestReadDB(t *testing.T) {
-	in := "# comment\nACGT\n\n>header line\nTTTT\n  GGCC  \n"
-	db, err := readDB(strings.NewReader(in))
+// TestLoadDBFASTA pins the -db path: a real FASTA file with multi-line
+// records loads one concatenated sequence per record.
+func TestLoadDBFASTA(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.fasta")
+	fasta := ">a first\nACGT\nACGT\n>b\nTTTT\n"
+	if err := os.WriteFile(path, []byte(fasta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := loadDB(path, []string{"ACGT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ACGTACGT", "TTTT"}
+	if len(db) != len(want) || db[0] != want[0] || db[1] != want[1] {
+		t.Errorf("got %v, want %v", db, want)
+	}
+	if _, err := loadDB(filepath.Join(t.TempDir(), "missing.fasta"), nil); err == nil {
+		t.Error("missing -db file must error")
+	}
+}
+
+// TestLoadDBPositional pins that the positional-FILE path parses exactly
+// like -db: auto-detected format, comments skipped, lowercase accepted.
+func TestLoadDBPositional(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.txt")
+	if err := os.WriteFile(path, []byte("# comment\nacgt\n\n; note\nTTTT\n  GGCC  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := loadDB("", []string{"QUERY", path})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,134 @@
+// Command raceserve is the long-running database-search service: it
+// loads a sequence database once — from a FASTA or line-per-sequence
+// file, or generated for demos — builds a persistent racelogic.Database
+// with pooled engines and an optional k-mer seed index, and serves
+// concurrent similarity queries over an HTTP JSON API.
+//
+// Usage:
+//
+//	raceserve -db sequences.fasta [flags]
+//	raceserve -gen 10000 -genlen 12 [flags]
+//
+// Flags:
+//
+//	-addr :8471          listen address
+//	-db FILE             sequence database (FASTA or one per line)
+//	-gen N               generate N random DNA sequences instead of -db
+//	-genlen L            length of generated sequences (default 12)
+//	-seed S              generator seed (default 42)
+//	-lib AMIS|OSU        standard-cell library pricing the races
+//	-matrix NAME         protein matrix (BLOSUM62 or PAM250; empty = DNA)
+//	-gate M              Section 4.3 clock-gating region size (DNA only)
+//	-seedk K             k-mer seed index length (0 = race every entry)
+//	-cache N             LRU report-cache capacity (0 = off)
+//	-top K               default top-K when a request omits top_k
+//
+// Endpoints:
+//
+//	POST /search   {"query":"ACGTACGT","top_k":5,"threshold":12}
+//	GET  /healthz  liveness probe
+//	GET  /stats    service counters (searches, engines, cache, uptime)
+//
+// Example:
+//
+//	raceserve -db db.fasta -seedk 8 &
+//	curl -s localhost:8471/search -d '{"query":"ACGTACGT","top_k":3}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"racelogic"
+	"racelogic/internal/seqgen"
+	"racelogic/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8471", "listen address")
+	dbPath := flag.String("db", "", "sequence database file (FASTA or one sequence per line)")
+	gen := flag.Int("gen", 0, "generate this many random DNA sequences instead of -db")
+	genLen := flag.Int("genlen", 12, "length of generated sequences")
+	seed := flag.Int64("seed", 42, "generator seed for -gen")
+	lib := flag.String("lib", "AMIS", "standard-cell library: AMIS or OSU")
+	matrix := flag.String("matrix", "", "protein matrix (BLOSUM62 or PAM250; empty = DNA)")
+	gate := flag.Int("gate", 0, "Section 4.3 clock-gating region size (0 = ungated; DNA only)")
+	seedK := flag.Int("seedk", 0, "k-mer seed index length (0 = race every entry)")
+	cache := flag.Int("cache", 128, "LRU report-cache capacity (0 = off)")
+	top := flag.Int("top", 10, "default top-K when a request omits top_k")
+	flag.Parse()
+
+	srv, n, err := buildServer(*dbPath, *gen, *genLen, *seed, *lib, *matrix, *gate, *seedK, *cache, *top)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raceserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("raceserve: serving %d sequences on %s (seed index k=%d, cache %d)", n, *addr, *seedK, *cache)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "raceserve:", err)
+		os.Exit(1)
+	}
+}
+
+// buildServer loads or generates the database and assembles the HTTP
+// service — everything main does short of listening.
+func buildServer(dbPath string, gen, genLen int, seed int64, lib, matrix string,
+	gate, seedK, cache, top int) (*server.Server, int, error) {
+
+	var entries []string
+	var err error
+	switch {
+	case dbPath != "" && gen > 0:
+		return nil, 0, fmt.Errorf("-db and -gen are mutually exclusive")
+	case dbPath != "":
+		entries, err = seqgen.ReadSequencesFile(dbPath)
+		if err != nil {
+			return nil, 0, err
+		}
+	case gen > 0:
+		if genLen < 1 {
+			return nil, 0, fmt.Errorf("-genlen %d must be ≥ 1", genLen)
+		}
+		alphabet := seqgen.NewDNA(seed)
+		if matrix != "" {
+			alphabet = seqgen.NewProtein(seed)
+		}
+		entries = alphabet.Database(gen, genLen)
+	default:
+		return nil, 0, fmt.Errorf("a database is required: -db FILE or -gen N")
+	}
+	if len(entries) == 0 {
+		return nil, 0, fmt.Errorf("database is empty")
+	}
+
+	opts := []racelogic.Option{racelogic.WithLibrary(lib)}
+	if matrix != "" {
+		opts = append(opts, racelogic.WithMatrix(matrix))
+	}
+	if gate > 0 {
+		opts = append(opts, racelogic.WithClockGating(gate))
+	}
+	if seedK > 0 {
+		opts = append(opts, racelogic.WithSeedIndex(seedK))
+	}
+	db, err := racelogic.NewDatabase(entries, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	srv, err := server.New(server.Config{DB: db, CacheSize: cache, DefaultTopK: top})
+	if err != nil {
+		return nil, 0, err
+	}
+	return srv, len(entries), nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"racelogic/internal/server"
+)
+
+// TestBuildServerFASTA drives the FASTA path end to end: file on disk →
+// Database → HTTP search.
+func TestBuildServerFASTA(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.fasta")
+	fasta := ">a\nACGTACGT\n>b split across lines\nACGT\nACCT\n>c\nTTTTTTTT\n"
+	if err := os.WriteFile(path, []byte(fasta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, n, err := buildServer(path, 0, 0, 42, "AMIS", "", 0, 4, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d sequences, want 3", n)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/search", "application/json",
+		bytes.NewBufferString(`{"query":"ACGTACGT"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var sr server.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 || sr.Results[0].Sequence != "ACGTACGT" {
+		t.Errorf("top hit should be the exact match, got %+v", sr.Results)
+	}
+	// The all-T entry shares no 4-mer with the query.
+	if sr.Skipped != 1 {
+		t.Errorf("skipped %d entries, want 1 (seed index active)", sr.Skipped)
+	}
+}
+
+// TestBuildServerGenerated covers the -gen demo path and /healthz.
+func TestBuildServerGenerated(t *testing.T) {
+	srv, n, err := buildServer("", 25, 8, 7, "OSU", "", 0, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("generated %d sequences, want 25", n)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health server.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Entries != 25 {
+		t.Errorf("healthz = %+v", health)
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	if _, _, err := buildServer("", 0, 0, 42, "AMIS", "", 0, 0, 0, 0); err == nil {
+		t.Error("no -db and no -gen must error")
+	}
+	if _, _, err := buildServer("somewhere.fasta", 10, 8, 42, "AMIS", "", 0, 0, 0, 0); err == nil {
+		t.Error("-db with -gen must error")
+	}
+	if _, _, err := buildServer("", 10, 8, 42, "XFAB", "", 0, 0, 0, 0); err == nil {
+		t.Error("unknown library must error")
+	}
+	if _, _, err := buildServer("", 10, 8, 42, "AMIS", "BLOSUM80", 0, 0, 0, 0); err == nil {
+		t.Error("unknown matrix must error")
+	}
+	if _, _, err := buildServer(filepath.Join(t.TempDir(), "missing.fasta"), 0, 0, 42, "AMIS", "", 0, 0, 0, 0); err == nil {
+		t.Error("missing database file must error")
+	}
+}

@@ -1,0 +1,190 @@
+package racelogic
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"racelogic/internal/index"
+	"racelogic/internal/pipeline"
+	"racelogic/internal/score"
+)
+
+// Database is the persistent form of the paper's Section 1 workload:
+// load a sequence collection once, then serve many similarity queries
+// against it.  Construction shards the entries into length buckets,
+// optionally builds a k-mer seed index (WithSeedIndex), and fixes the
+// engine shape (DNA array, gated array, or generalized protein array).
+// Compiled engines are kept in per-shape pools across searches, so the
+// netlist compilation that dominates a one-shot Search is paid only on
+// first contact with each (query length, entry length) shape.
+//
+// Engines are not concurrency-safe, but a Database is: each in-flight
+// race checks a simulator out of its shape pool for exclusive use, so
+// Search may be called from any number of goroutines.  The one-shot
+// Search function is a thin build-then-search wrapper over Database.
+type Database struct {
+	cfg      *config
+	p        *pipeline.DB
+	idx      *index.Index
+	searches atomic.Int64
+}
+
+// NewDatabase validates and shards entries once, for many searches.  It
+// accepts every engine-shaping option (WithLibrary, WithMatrix,
+// WithClockGating, WithOneHotEncoding), WithSeedIndex for the k-mer
+// pre-filter, and WithThreshold / WithTopK / WithWorkers as per-search
+// defaults that individual Search calls may override.
+func NewDatabase(entries []string, opts ...Option) (*Database, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if name := cfg.firstApplied("WithFullScan"); name != "" {
+		return nil, fmt.Errorf("racelogic: %s is a per-search option; pass it to Database.Search instead", name)
+	}
+	factory, err := searchFactory(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the entry alphabet once at load: a long-running database
+	// must reject a bad entry here, not fail intermittently at query
+	// time whenever a candidate set happens to include it.
+	alphabet := score.DNAAlphabet
+	if cfg.matrix != "" {
+		alphabet = score.ProteinAlphabet
+	}
+	for i, entry := range entries {
+		if j := invalidSymbol(entry, alphabet); j >= 0 {
+			return nil, fmt.Errorf("racelogic: database entry %d contains symbol %q outside the engine alphabet (%s)",
+				i, entry[j], alphabet)
+		}
+	}
+	p, err := pipeline.NewDB(entries, factory, cfg.library)
+	if err != nil {
+		return nil, err
+	}
+	d := &Database{cfg: cfg, p: p}
+	if cfg.seedK > 0 {
+		d.idx, err = index.New(entries, cfg.seedK)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// invalidSymbol returns the position of the first byte of s outside
+// alphabet, or -1 when every symbol is valid.
+func invalidSymbol(s, alphabet string) int {
+	for i := 0; i < len(s); i++ {
+		if strings.IndexByte(alphabet, s[i]) < 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Len returns the number of database entries.
+func (d *Database) Len() int { return d.p.Len() }
+
+// Buckets returns the number of distinct entry lengths.
+func (d *Database) Buckets() int { return d.p.Buckets() }
+
+// SeedK returns the k-mer seed length, or 0 when the database was built
+// without WithSeedIndex.
+func (d *Database) SeedK() int {
+	if d.idx == nil {
+		return 0
+	}
+	return d.idx.K()
+}
+
+// EnginesBuilt returns the number of arrays compiled over the database's
+// lifetime, across all searches and shapes — the quantity engine pooling
+// amortizes.
+func (d *Database) EnginesBuilt() int64 { return d.p.EnginesBuilt() }
+
+// PooledEngines returns the number of idle compiled arrays currently
+// parked in the shape pools, ready for the next search.
+func (d *Database) PooledEngines() int { return d.p.PooledEngines() }
+
+// Searches returns the number of Search calls served.
+func (d *Database) Searches() int64 { return d.searches.Load() }
+
+// Search scores query against the database and returns the ranked
+// report.  It is safe for concurrent callers.  Per-search options —
+// WithThreshold, WithTopK, WithWorkers, WithFullScan — override the
+// database defaults; options that shape the compiled engines or the seed
+// index (WithLibrary, WithMatrix, WithClockGating, WithOneHotEncoding,
+// WithSeedIndex) are fixed at construction and rejected here.
+func (d *Database) Search(query string, opts ...Option) (*SearchReport, error) {
+	cfg := *d.cfg
+	cfg.applied = nil
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if name := cfg.firstApplied(databaseFixedOptions...); name != "" {
+		return nil, fmt.Errorf("racelogic: %s is fixed when the database is built; pass it to NewDatabase instead", name)
+	}
+	return d.search(query, &cfg)
+}
+
+// search runs one query under a fully resolved config.
+func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
+	var cands []int
+	skipped := 0
+	// A query shorter than k carries no seeds, so the index cannot
+	// filter: skip the lookup entirely rather than materialize an
+	// identity candidate slice.
+	if d.idx != nil && !cfg.fullScan && len(query) >= d.idx.K() {
+		cands = d.idx.Candidates(query)
+		if len(cands) == d.p.Len() {
+			// Full coverage: fall back to the nil "scan everything"
+			// convention so the pipeline reuses the buckets sharded at
+			// construction.
+			cands = nil
+		} else {
+			skipped = d.p.Len() - len(cands)
+		}
+	}
+	rep, err := d.p.Search(query, pipeline.Request{
+		Threshold:  cfg.threshold,
+		Workers:    cfg.workers,
+		TopK:       cfg.topK,
+		Candidates: cands,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.searches.Add(1)
+	out := &SearchReport{
+		Query:        query,
+		Results:      make([]SearchResult, len(rep.Results)),
+		Scanned:      rep.Scanned,
+		Skipped:      skipped,
+		Matched:      rep.Matched,
+		Rejected:     rep.Rejected,
+		Buckets:      rep.Buckets,
+		EnginesBuilt: rep.EnginesBuilt,
+		TotalCycles:  rep.TotalCycles,
+		TotalEnergyJ: rep.TotalEnergyJ,
+	}
+	for i, r := range rep.Results {
+		out.Results[i] = SearchResult{
+			Index:    r.Index,
+			Sequence: r.Sequence,
+			Score:    r.Score,
+			Metrics: Metrics{
+				Cycles:           r.Cycles,
+				LatencyNS:        r.LatencyNS,
+				EnergyJ:          r.EnergyJ,
+				AreaUM2:          r.AreaUM2,
+				PowerDensityWCM2: r.PowerDensityWCM2,
+			},
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,346 @@
+package racelogic_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"racelogic"
+	"racelogic/internal/seqgen"
+)
+
+// stripEngines blanks the one field that legitimately differs between a
+// cold and a warm database: how many arrays this particular search had
+// to compile.
+func stripEngines(rep *racelogic.SearchReport) *racelogic.SearchReport {
+	c := *rep
+	c.EnginesBuilt = 0
+	return &c
+}
+
+// TestDatabaseMatchesOneShot is the tentpole equivalence: with the k-mer
+// pre-filter disabled, Database.Search must return byte-identical ranked
+// reports to one-shot Search on the same inputs — cold and warm alike.
+func TestDatabaseMatchesOneShot(t *testing.T) {
+	g := seqgen.NewDNA(51)
+	query := g.Random(10)
+	var entries []string
+	for _, n := range []int{8, 10, 12} {
+		entries = append(entries, g.Database(12, n)...)
+	}
+
+	// WithWorkers(1) keeps the warm EnginesBuilt == 0 assertion exact:
+	// wider pools may legitimately compile an extra engine whenever a
+	// search's peak same-shape concurrency exceeds what earlier searches
+	// left parked.
+	opts := []racelogic.Option{
+		racelogic.WithThreshold(14), racelogic.WithTopK(9), racelogic.WithWorkers(1),
+	}
+	oneShot, err := racelogic.Search(query, entries, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := racelogic.NewDatabase(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := db.Search(query, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := db.Search(query, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripEngines(oneShot), stripEngines(cold)) {
+		t.Errorf("cold Database.Search differs from one-shot Search:\n got %+v\nwant %+v", cold, oneShot)
+	}
+	if !reflect.DeepEqual(stripEngines(oneShot), stripEngines(warm)) {
+		t.Errorf("warm Database.Search differs from one-shot Search:\n got %+v\nwant %+v", warm, oneShot)
+	}
+	if warm.EnginesBuilt != 0 {
+		t.Errorf("warm search compiled %d engines, want 0 (pools were hot)", warm.EnginesBuilt)
+	}
+	if got, want := fmt.Sprintf("%+v", warm.Results), fmt.Sprintf("%+v", oneShot.Results); got != want {
+		t.Errorf("ranked results not byte-identical:\n got %s\nwant %s", got, want)
+	}
+	if db.Searches() != 2 || db.EnginesBuilt() == 0 || db.PooledEngines() == 0 {
+		t.Errorf("counters: searches=%d enginesBuilt=%d pooled=%d",
+			db.Searches(), db.EnginesBuilt(), db.PooledEngines())
+	}
+}
+
+// TestDatabaseDefaultsAndOverrides pins the option-merging contract:
+// NewDatabase options act as per-search defaults that Search overrides.
+func TestDatabaseDefaultsAndOverrides(t *testing.T) {
+	g := seqgen.NewDNA(52)
+	query := g.Random(8)
+	entries := g.Database(20, 8)
+	db, err := racelogic.NewDatabase(entries, racelogic.WithTopK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.Search(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Errorf("default top-K: got %d results, want 3", len(rep.Results))
+	}
+	rep, err = db.Search(query, racelogic.WithTopK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 5 {
+		t.Errorf("override top-K: got %d results, want 5", len(rep.Results))
+	}
+}
+
+// TestDatabaseSeedIndex exercises the k-mer pre-filter end to end: the
+// seeded search must race only candidate entries, report the rest as
+// Skipped, agree with the full scan on every surviving score, and
+// WithFullScan must restore the exhaustive behavior per query.
+func TestDatabaseSeedIndex(t *testing.T) {
+	g := seqgen.NewDNA(53)
+	query := g.Random(12)
+	entries := g.Database(60, 12)
+	// Plant guaranteed hits: mutated copies share long runs with the query.
+	for _, at := range []int{7, 23, 41} {
+		mut, err := g.Mutate(query, 1, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[at] = mut
+	}
+
+	db, err := racelogic.NewDatabase(entries, racelogic.WithSeedIndex(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.SeedK() != 6 {
+		t.Errorf("SeedK = %d, want 6", db.SeedK())
+	}
+	seeded, err := db.Search(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Search(query, racelogic.WithFullScan())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seeded.Skipped == 0 {
+		t.Fatalf("seed index skipped nothing on a random database: %+v", seeded)
+	}
+	if seeded.Scanned+seeded.Skipped != len(entries) {
+		t.Errorf("scanned %d + skipped %d != %d entries", seeded.Scanned, seeded.Skipped, len(entries))
+	}
+	if full.Skipped != 0 || full.Scanned != len(entries) {
+		t.Errorf("WithFullScan must race everything: %+v", full)
+	}
+
+	// Every seeded result must carry the full scan's exact score, and
+	// the planted near-identical entries must all survive the filter.
+	fullByIndex := make(map[int]racelogic.SearchResult)
+	for _, r := range full.Results {
+		fullByIndex[r.Index] = r
+	}
+	seen := make(map[int]bool)
+	for _, r := range seeded.Results {
+		seen[r.Index] = true
+		if w, ok := fullByIndex[r.Index]; !ok || w.Score != r.Score {
+			t.Errorf("entry %d: seeded score %d disagrees with full scan %+v", r.Index, r.Score, w)
+		}
+	}
+	for _, at := range []int{7, 23, 41} {
+		if !seen[at] {
+			t.Errorf("planted near-match %d was filtered out", at)
+		}
+	}
+
+	// The seed filter composes with the Section 6 threshold.
+	both, err := db.Search(query, racelogic.WithThreshold(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Skipped == 0 {
+		t.Errorf("threshold search lost the seed filter: %+v", both)
+	}
+	if both.Skipped+both.Matched+both.Rejected != len(entries) {
+		t.Errorf("skipped %d + matched %d + rejected %d != %d",
+			both.Skipped, both.Matched, both.Rejected, len(entries))
+	}
+
+	// One-shot Search accepts the option too and must agree.
+	oneShot, err := racelogic.Search(query, entries, racelogic.WithSeedIndex(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripEngines(oneShot), stripEngines(seeded)) {
+		t.Errorf("one-shot seeded search differs from Database:\n got %+v\nwant %+v", oneShot, seeded)
+	}
+}
+
+// TestDatabaseOptionValidation pins the option-context guards the
+// subsystem introduces: search-only options error on engines, and
+// construction-fixed options error on Database.Search.
+func TestDatabaseOptionValidation(t *testing.T) {
+	if _, err := racelogic.NewDNAEngine(4, 4, racelogic.WithTopK(3)); err == nil {
+		t.Error("NewDNAEngine(WithTopK) must error")
+	}
+	if _, err := racelogic.NewDNAEngine(4, 4, racelogic.WithWorkers(2)); err == nil {
+		t.Error("NewDNAEngine(WithWorkers) must error")
+	}
+	if _, err := racelogic.NewDNAEngine(4, 4, racelogic.WithMatrix("BLOSUM62")); err == nil {
+		t.Error("NewDNAEngine(WithMatrix) must error")
+	}
+	if _, err := racelogic.NewDNAEngine(4, 4, racelogic.WithSeedIndex(3)); err == nil {
+		t.Error("NewDNAEngine(WithSeedIndex) must error")
+	}
+	if _, err := racelogic.NewProteinEngine(4, 4, "BLOSUM62", racelogic.WithWorkers(2)); err == nil {
+		t.Error("NewProteinEngine(WithWorkers) must error")
+	}
+	if _, err := racelogic.NewProteinEngine(4, 4, "BLOSUM62", racelogic.WithClockGating(2)); err == nil {
+		t.Error("NewProteinEngine(WithClockGating) must error")
+	}
+	// Engine options that remain valid must keep working.
+	if _, err := racelogic.NewDNAEngine(4, 4, racelogic.WithThreshold(6), racelogic.WithClockGating(2)); err != nil {
+		t.Errorf("threshold+gating DNA engine: %v", err)
+	}
+
+	db, err := racelogic.NewDatabase([]string{"ACGT", "ACGA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Search("ACGT", racelogic.WithMatrix("BLOSUM62")); err == nil {
+		t.Error("Database.Search(WithMatrix) must error")
+	}
+	if _, err := db.Search("ACGT", racelogic.WithSeedIndex(3)); err == nil {
+		t.Error("Database.Search(WithSeedIndex) must error")
+	}
+	if _, err := db.Search("ACGT", racelogic.WithLibrary("OSU")); err == nil {
+		t.Error("Database.Search(WithLibrary) must error")
+	}
+	if _, err := db.Search("ACGT", racelogic.WithClockGating(2)); err == nil {
+		t.Error("Database.Search(WithClockGating) must error")
+	}
+	if _, err := db.Search(""); err == nil {
+		t.Error("empty query must error")
+	}
+	if _, err := racelogic.NewDatabase([]string{"ACGT", ""}); err == nil {
+		t.Error("empty database entry must error")
+	}
+	// Alphabet is validated at load, not left to fail intermittently at
+	// query time when a candidate set happens to include the bad entry.
+	if _, err := racelogic.NewDatabase([]string{"ACGT", "ACGN"}); err == nil {
+		t.Error("entry with a non-DNA symbol must be rejected at construction")
+	}
+	if _, err := racelogic.NewDatabase([]string{"WARD", "WARZ"}, racelogic.WithMatrix("BLOSUM62")); err == nil {
+		t.Error("entry outside the protein alphabet must be rejected at construction")
+	}
+	if _, err := racelogic.NewDatabase([]string{"WARD"}, racelogic.WithMatrix("BLOSUM62")); err != nil {
+		t.Errorf("valid protein database must build: %v", err)
+	}
+	// WithFullScan is per-search: as a construction default it would
+	// silently nullify the seed index built in the same call.
+	if _, err := racelogic.NewDatabase([]string{"ACGT"}, racelogic.WithSeedIndex(2), racelogic.WithFullScan()); err == nil {
+		t.Error("NewDatabase(WithFullScan) must error")
+	}
+}
+
+// TestDatabaseConcurrentSearch is the engine-pool correctness test: many
+// goroutines, several distinct queries and options, every report compared
+// against its serially computed golden twin.  Run under -race in CI.
+func TestDatabaseConcurrentSearch(t *testing.T) {
+	g := seqgen.NewDNA(54)
+	var entries []string
+	for _, n := range []int{7, 9, 11} {
+		entries = append(entries, g.Database(10, n)...)
+	}
+	db, err := racelogic.NewDatabase(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{g.Random(9), g.Random(9), g.Random(7)}
+	golden := make([]*racelogic.SearchReport, len(queries))
+	for i, q := range queries {
+		if golden[i], err = db.Search(q, racelogic.WithTopK(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines, rounds = 12, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				qi := (w + i) % len(queries)
+				rep, err := db.Search(queries[qi], racelogic.WithTopK(8))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(stripEngines(rep), stripEngines(golden[qi])) {
+					errs <- fmt.Errorf("goroutine %d round %d query %d: report diverged under contention:\n got %+v\nwant %+v",
+						w, i, qi, rep, golden[qi])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if want := int64(len(queries) + goroutines*rounds); db.Searches() != want {
+		t.Errorf("Searches() = %d, want %d", db.Searches(), want)
+	}
+}
+
+// TestDatabaseWarmSpeedup is a coarse guard on the amortization claim:
+// a warm database with a seed index must finish a query at least twice
+// as fast as the one-shot path that rebuilds and races everything.  The
+// margin in practice is orders of magnitude, so the 2x floor is safe
+// against scheduler noise.
+func TestDatabaseWarmSpeedup(t *testing.T) {
+	g := seqgen.NewDNA(55)
+	query := g.Random(12)
+	entries := g.Database(800, 12)
+	db, err := racelogic.NewDatabase(entries, racelogic.WithSeedIndex(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Search(query); err != nil { // warm the pools
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	warmRep, err := db.Search(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Since(start)
+
+	start = time.Now()
+	oneRep, err := racelogic.Search(query, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot := time.Since(start)
+
+	if oneRep.Scanned != len(entries) {
+		t.Fatalf("one-shot scanned %d, want %d", oneRep.Scanned, len(entries))
+	}
+	if warmRep.Skipped == 0 {
+		t.Fatalf("seed index skipped nothing: %+v", warmRep)
+	}
+	if warm*2 > oneShot {
+		t.Errorf("warm indexed search (%v) is not ≥2x faster than one-shot (%v)", warm, oneShot)
+	}
+}

@@ -28,11 +28,16 @@ type DNAEngine struct {
 }
 
 // NewDNAEngine builds an engine for strings of exactly lengths n and m
-// (hardware arrays are fixed-size; build one per problem shape).
+// (hardware arrays are fixed-size; build one per problem shape).  It
+// rejects search-only options such as WithTopK and WithWorkers: a
+// single-pair engine has nothing for them to apply to.
 func NewDNAEngine(n, m int, opts ...Option) (*DNAEngine, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
+	}
+	if name := cfg.firstApplied(searchOnlyOptions...); name != "" {
+		return nil, fmt.Errorf("racelogic: %s is a search option; it has no effect on a single-pair DNA engine (use Search or Database.Search)", name)
 	}
 	e := &DNAEngine{cfg: cfg, n: n, m: m}
 	if cfg.gateRegion > 0 {
@@ -123,11 +128,19 @@ func preparedMatrix(name string, oneHot bool) (*score.Matrix, race.Encoding, err
 }
 
 // NewProteinEngine builds a generalized engine for strings of lengths n
-// and m under the named matrix: "BLOSUM62" (default) or "PAM250".
+// and m under the named matrix: "BLOSUM62" (default) or "PAM250".  It
+// rejects search-only options, and WithClockGating too: Section 4.3
+// gating applies to the DNA array only.
 func NewProteinEngine(n, m int, matrixName string, opts ...Option) (*ProteinEngine, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
+	}
+	if name := cfg.firstApplied(searchOnlyOptions...); name != "" {
+		return nil, fmt.Errorf("racelogic: %s is a search option; it has no effect on a single-pair protein engine (use Search or Database.Search)", name)
+	}
+	if cfg.gateRegion > 0 {
+		return nil, fmt.Errorf("racelogic: clock gating applies to the DNA array only; it cannot be combined with the generalized protein array")
 	}
 	prepared, enc, err := preparedMatrix(matrixName, cfg.oneHot)
 	if err != nil {

@@ -87,6 +87,42 @@ func ExampleSearch() {
 	// arrays built: 2 for 2 length buckets
 }
 
+// The persistent form of the search workload: load the collection once,
+// serve many queries.  Engines compiled for the first search are pooled
+// and reused by the second (EnginesBuilt drops to zero), and the k-mer
+// seed index skips entries sharing no length-k substring with the query
+// before a single cycle is spent on them.
+func ExampleDatabase() {
+	db, err := racelogic.NewDatabase([]string{
+		"TTTTTTT", // shares no 4-mer with the query: skipped, never raced
+		"ACTGAGA", // identical: 7 matches → score 7
+		"ACTGACA", // one substitution: 6 matches + 2 indels → score 8
+		"GACTGAG", // rotation: 6 matches + 2 indels → score 8
+	}, racelogic.WithSeedIndex(4), racelogic.WithWorkers(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, err := db.Search("ACTGAGA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := db.Search("ACTGAGA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank, r := range second.Results {
+		fmt.Printf("rank %d: entry %d score %d\n", rank+1, r.Index, r.Score)
+	}
+	fmt.Println("scanned:", second.Scanned, "skipped:", second.Skipped)
+	fmt.Println("arrays built: first search", first.EnginesBuilt, "second", second.EnginesBuilt)
+	// Output:
+	// rank 1: entry 1 score 7
+	// rank 2: entry 2 score 8
+	// rank 3: entry 3 score 8
+	// scanned: 3 skipped: 1
+	// arrays built: first search 1 second 0
+}
+
 // Section 6 threshold mode: a dissimilar pair is rejected after only
 // threshold+1 cycles instead of racing to completion.
 func ExampleWithThreshold() {

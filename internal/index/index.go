@@ -1,0 +1,88 @@
+package index
+
+import "fmt"
+
+// Index is an inverted k-mer index over a sequence database: for every
+// length-k substring, the ascending list of entries containing it.  An
+// Index is immutable after New and safe for concurrent use.
+type Index struct {
+	k        int
+	n        int
+	postings map[string][]int
+	// always holds the entries shorter than k: they carry no k-mer, so
+	// seed lookup can never rule them out.
+	always []int
+}
+
+// New builds the index over entries with seed length k ≥ 1.  Entries are
+// identified by their slice position, matching pipeline candidate
+// indices.
+func New(entries []string, k int) (*Index, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("index: seed length %d must be ≥ 1", k)
+	}
+	ix := &Index{k: k, n: len(entries), postings: make(map[string][]int)}
+	for i, entry := range entries {
+		if len(entry) < k {
+			ix.always = append(ix.always, i)
+			continue
+		}
+		for j := 0; j+k <= len(entry); j++ {
+			kmer := entry[j : j+k]
+			post := ix.postings[kmer]
+			// Consecutive windows of one entry often repeat a k-mer;
+			// the ascending build order makes dedup a tail check.
+			if len(post) == 0 || post[len(post)-1] != i {
+				ix.postings[kmer] = append(post, i)
+			}
+		}
+	}
+	return ix, nil
+}
+
+// K returns the seed length.
+func (ix *Index) K() int { return ix.k }
+
+// Len returns the number of indexed entries.
+func (ix *Index) Len() int { return ix.n }
+
+// Kmers returns the number of distinct k-mers in the database.
+func (ix *Index) Kmers() int { return len(ix.postings) }
+
+// Candidates returns the ascending indices of every entry sharing at
+// least one k-mer with query, plus the entries too short to index.  A
+// query shorter than k has no seeds to look up, so every entry is a
+// candidate.  The result is never nil: an empty candidate set is an
+// empty slice, distinct from the nil "scan everything" convention of
+// pipeline.Request.
+func (ix *Index) Candidates(query string) []int {
+	if len(query) < ix.k {
+		all := make([]int, ix.n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	mark := make([]bool, ix.n)
+	seen := make(map[string]bool, len(query)-ix.k+1)
+	for j := 0; j+ix.k <= len(query); j++ {
+		kmer := query[j : j+ix.k]
+		if seen[kmer] {
+			continue
+		}
+		seen[kmer] = true
+		for _, i := range ix.postings[kmer] {
+			mark[i] = true
+		}
+	}
+	for _, i := range ix.always {
+		mark[i] = true
+	}
+	cands := make([]int, 0, ix.n)
+	for i, hit := range mark {
+		if hit {
+			cands = append(cands, i)
+		}
+	}
+	return cands
+}

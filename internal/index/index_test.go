@@ -1,0 +1,115 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"racelogic/internal/seqgen"
+)
+
+// naiveCandidates is the brute-force reference: entries sharing at least
+// one k-mer with the query, plus entries shorter than k.
+func naiveCandidates(entries []string, query string, k int) []int {
+	cands := make([]int, 0, len(entries))
+	qmers := make(map[string]bool)
+	for j := 0; j+k <= len(query); j++ {
+		qmers[query[j:j+k]] = true
+	}
+	for i, entry := range entries {
+		if len(entry) < k || len(query) < k {
+			cands = append(cands, i)
+			continue
+		}
+		hit := false
+		for j := 0; j+k <= len(entry); j++ {
+			if qmers[entry[j:j+k]] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			cands = append(cands, i)
+		}
+	}
+	return cands
+}
+
+func TestNewRejectsBadK(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		if _, err := New([]string{"ACGT"}, k); err == nil {
+			t.Errorf("k=%d must error", k)
+		}
+	}
+}
+
+// TestCandidatesMatchBruteForce cross-checks the inverted index against
+// the naive all-pairs k-mer scan on a mixed-length random database.
+func TestCandidatesMatchBruteForce(t *testing.T) {
+	g := seqgen.NewDNA(31)
+	var entries []string
+	for _, n := range []int{3, 6, 9, 12} {
+		entries = append(entries, g.Database(15, n)...)
+	}
+	for _, k := range []int{2, 4, 5} {
+		ix, err := New(entries, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := g.Random(4 + trial)
+			got := ix.Candidates(q)
+			want := naiveCandidates(entries, q, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("k=%d query %q: got %v, want %v", k, q, got, want)
+			}
+		}
+	}
+}
+
+// TestCandidatesExactCases pins the structural cases by hand.
+func TestCandidatesExactCases(t *testing.T) {
+	entries := []string{
+		"ACGTACGT", // shares ACGT with the query
+		"TTTTTTTT", // no 4-mer in common
+		"GT",       // shorter than k: always a candidate
+		"CCACGTCC", // ACGT embedded mid-entry
+	}
+	ix, err := New(entries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ix.Candidates("AACGTA"), []int{0, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("candidates = %v, want %v", got, want)
+	}
+	// A query with no matching seed keeps only the unfilterable entry.
+	if got, want := ix.Candidates("GGGGGG"), []int{2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("no-seed query: candidates = %v, want %v", got, want)
+	}
+	// A query shorter than k cannot be filtered at all.
+	if got := ix.Candidates("ACG"); len(got) != len(entries) {
+		t.Errorf("short query: candidates = %v, want all %d entries", got, len(entries))
+	}
+	// An empty candidate set must still be non-nil (pipeline treats nil
+	// as "scan everything").
+	empty, err := New([]string{"AAAA"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Candidates("CCCC"); got == nil || len(got) != 0 {
+		t.Errorf("empty candidate set must be non-nil empty, got %#v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ix, err := New([]string{"ACGT", "ACGA", "AC"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.K() != 3 || ix.Len() != 3 {
+		t.Errorf("K=%d Len=%d, want 3 and 3", ix.K(), ix.Len())
+	}
+	// Distinct 3-mers: ACG, CGT, CGA.
+	if ix.Kmers() != 3 {
+		t.Errorf("Kmers=%d, want 3", ix.Kmers())
+	}
+}

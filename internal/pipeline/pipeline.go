@@ -9,11 +9,21 @@
 // one bucket, and one physical array per bucket scores all of that
 // bucket's entries back to back — the array is built (and its netlist
 // compiled) once, then reset between races, instead of rebuilt per pair.
-// Buckets are split into chunks and fanned out over a channel-fed worker
-// pool so independent arrays race concurrently; the Section 6 similarity
-// threshold rejects dissimilar entries after only threshold+1 cycles; and
-// the surviving matches are ranked into a deterministic top-K report with
-// per-result hardware metrics.
+//
+// The pipeline is persistent: a DB shards the database once at
+// construction and keeps compiled engines in per-shape pools across
+// queries, so the many-queries-one-database workload pays construction
+// cost only on first contact with each (query length, entry length)
+// shape.  Engines are not concurrency-safe, so the pools hand one
+// simulator to each in-flight chunk and take it back afterwards —
+// DB.Search is safe for concurrent callers.  One-shot callers (the
+// public racelogic.Search) simply build a DB, run one query, and drop it.
+//
+// Within one search, buckets are split into chunks and fanned out over a
+// channel-fed worker pool so independent arrays race concurrently; the
+// Section 6 similarity threshold rejects dissimilar entries after only
+// threshold+1 cycles; and the surviving matches are ranked into a
+// deterministic top-K report with per-result hardware metrics.
 package pipeline
 
 import (
@@ -21,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"racelogic/internal/circuit"
 	"racelogic/internal/race"
@@ -30,7 +41,7 @@ import (
 
 // Engine is a fixed-shape race array that scores pairs repeatedly.  Both
 // race.Array and race.GeneralArray (and race.GatedArray) satisfy it.
-// Engines may be stateful — each worker chunk gets its own.
+// Engines may be stateful — each in-flight chunk gets exclusive use of one.
 type Engine interface {
 	Align(p, q string) (*race.AlignResult, error)
 	AlignThreshold(p, q string, threshold temporal.Time) (*race.AlignResult, error)
@@ -38,23 +49,23 @@ type Engine interface {
 }
 
 // Factory builds a fresh engine for a query of length n against entries
-// of length m.  It is called once per work chunk, never once per pair.
+// of length m.  It is called only when a pool has no idle engine of that
+// shape, never once per pair.
 type Factory func(n, m int) (Engine, error)
 
-// Config parameterizes one database search.
-type Config struct {
-	// Factory builds the bucket engines.  Required.
-	Factory Factory
-	// Library prices every race; nil selects tech.AMIS().
-	Library *tech.Library
-	// Threshold is the Section 6 similarity threshold: entries whose
-	// score exceeds it are rejected after threshold+1 cycles.  Negative
-	// disables pre-filtering and every race runs to completion.
+// Request parameterizes one query against a persistent DB.
+type Request struct {
+	// Threshold is the Section 6 similarity threshold; negative disables
+	// pre-filtering.
 	Threshold int64
 	// Workers is the worker-pool width; ≤ 0 selects runtime.NumCPU().
 	Workers int
 	// TopK truncates the ranked results; ≤ 0 keeps every match.
 	TopK int
+	// Candidates restricts the scan to these entry indices (ascending,
+	// as produced by a seed index).  Nil means scan the whole database;
+	// an empty non-nil slice races nothing.
+	Candidates []int
 }
 
 // Result is one database entry that survived the race (and, when a
@@ -89,10 +100,13 @@ type Report struct {
 	Matched int
 	// Rejected counts entries abandoned by the threshold pre-filter.
 	Rejected int
-	// Buckets is the number of distinct entry lengths encountered.
+	// Buckets is the number of distinct entry lengths raced.
 	Buckets int
-	// EnginesBuilt is the number of arrays actually constructed — the
-	// quantity engine reuse minimizes (a naive loop builds Scanned).
+	// EnginesBuilt is the number of arrays constructed to serve this
+	// search.  Engine pooling keeps it far below Scanned, and it
+	// typically drops to zero once the DB's pools are warm for the
+	// query's shape (a search whose peak same-shape concurrency exceeds
+	// the pooled supply can still add one).
 	EnginesBuilt int
 	// TotalCycles sums the cycles of every race, accepted or rejected;
 	// with a threshold this is the number the Section 6 early exit
@@ -102,17 +116,183 @@ type Report struct {
 	TotalEnergyJ float64
 }
 
-// chunk is one unit of worker-pool work: a run of same-length entries
-// scored on a single freshly built engine.
-type chunk struct {
-	m       int   // entry length
-	indices []int // positions in the database slice
+// poolKey identifies an engine shape: hardware arrays are fixed-size, so
+// every (query length, entry length) pair needs its own physical array.
+type poolKey struct{ n, m int }
+
+// enginePool is the free list of idle compiled engines of one shape.
+// Checked-out engines are exclusively owned by one chunk until released,
+// which is what makes DB.Search safe for concurrent callers even though
+// the engines themselves are not.
+type enginePool struct {
+	mu   sync.Mutex
+	free []Engine
+	// area is the shape's placed cell area, priced once per pool: every
+	// engine of a shape compiles the same netlist.
+	area    float64
+	areaSet bool
 }
 
-// entrySlots is the collector state the workers fill in.  Every database
-// index is owned by exactly one chunk, so workers write disjoint slots
-// and no locking is needed; the final fold walks the slots in index order
-// so every aggregate — including the floating-point energy total — is
+// DefaultMaxIdleEngines caps the compiled engines parked across all of a
+// DB's shape pools.  Shapes are keyed by caller-controlled query length,
+// so without a cap a long-running service accumulating one pool per
+// distinct query length would grow memory monotonically; engines
+// released beyond the cap are simply dropped for the GC.
+const DefaultMaxIdleEngines = 128
+
+// DB is a persistent, concurrency-safe search pipeline: the database is
+// sharded into length buckets once, and compiled engines are pooled per
+// (query length, entry length) shape across queries.
+type DB struct {
+	entries []string
+	lengths []int         // distinct entry lengths, first-appearance order
+	buckets map[int][]int // entry length -> ascending entry indices
+	factory Factory
+	lib     *tech.Library
+
+	mu      sync.Mutex
+	pools   map[poolKey]*enginePool
+	built   atomic.Int64 // engines constructed over the DB's lifetime
+	idle    atomic.Int64 // engines currently parked across all pools
+	maxIdle atomic.Int64 // park limit; excess released engines are dropped
+}
+
+// NewDB validates and shards entries once, for many searches.  Factory is
+// required; a nil library selects tech.AMIS().  Empty entries are an
+// error: the arrays need at least a 1×1 edit graph.
+func NewDB(entries []string, factory Factory, lib *tech.Library) (*DB, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("pipeline: engine factory is required")
+	}
+	if lib == nil {
+		lib = tech.AMIS()
+	}
+	d := &DB{
+		entries: entries,
+		buckets: make(map[int][]int),
+		factory: factory,
+		lib:     lib,
+		pools:   make(map[poolKey]*enginePool),
+	}
+	d.maxIdle.Store(DefaultMaxIdleEngines)
+	for i, entry := range entries {
+		if len(entry) == 0 {
+			return nil, fmt.Errorf("pipeline: database entry %d is empty", i)
+		}
+		if _, seen := d.buckets[len(entry)]; !seen {
+			d.lengths = append(d.lengths, len(entry))
+		}
+		d.buckets[len(entry)] = append(d.buckets[len(entry)], i)
+	}
+	return d, nil
+}
+
+// Len returns the number of database entries.
+func (d *DB) Len() int { return len(d.entries) }
+
+// Buckets returns the number of distinct entry lengths.
+func (d *DB) Buckets() int { return len(d.buckets) }
+
+// EnginesBuilt returns the number of engines constructed over the DB's
+// lifetime, across all searches and shapes.
+func (d *DB) EnginesBuilt() int64 { return d.built.Load() }
+
+// SetMaxIdleEngines overrides the park limit (default
+// DefaultMaxIdleEngines); n ≤ 0 disables pooling entirely.
+func (d *DB) SetMaxIdleEngines(n int) { d.maxIdle.Store(int64(n)) }
+
+// PooledEngines returns the number of idle compiled engines currently
+// parked in the shape pools.
+func (d *DB) PooledEngines() int {
+	d.mu.Lock()
+	pools := make([]*enginePool, 0, len(d.pools))
+	for _, p := range d.pools {
+		pools = append(pools, p)
+	}
+	d.mu.Unlock()
+	total := 0
+	for _, p := range pools {
+		p.mu.Lock()
+		total += len(p.free)
+		p.mu.Unlock()
+	}
+	return total
+}
+
+// pool returns the free list for one engine shape, creating it on first
+// contact.
+func (d *DB) pool(key poolKey) *enginePool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.pools[key]
+	if !ok {
+		p = &enginePool{}
+		d.pools[key] = p
+	}
+	return p
+}
+
+// acquire checks an engine of the given shape out of its pool, building
+// one only when the pool is empty.  It reports the shape's placed area
+// and whether a build happened.
+func (d *DB) acquire(key poolKey) (eng Engine, area float64, built bool, err error) {
+	p := d.pool(key)
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		eng = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		area = p.area
+		p.mu.Unlock()
+		d.idle.Add(-1)
+		return eng, area, false, nil
+	}
+	p.mu.Unlock()
+	// Build outside the pool lock so concurrent chunks of one shape can
+	// compile in parallel instead of serializing on the free list.
+	eng, err = d.factory(key.n, key.m)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	d.built.Add(1)
+	area = d.lib.AreaUM2(eng.Netlist())
+	p.mu.Lock()
+	if !p.areaSet {
+		p.area, p.areaSet = area, true
+	}
+	p.mu.Unlock()
+	return eng, area, true, nil
+}
+
+// release parks an engine back into its shape pool for the next chunk,
+// or drops it when the DB-wide idle cap is reached (the slight overshoot
+// a concurrent release can cause is harmless).
+func (d *DB) release(key poolKey, eng Engine) {
+	if d.idle.Load() >= d.maxIdle.Load() {
+		return
+	}
+	d.idle.Add(1)
+	p := d.pool(key)
+	p.mu.Lock()
+	p.free = append(p.free, eng)
+	p.mu.Unlock()
+}
+
+// chunk is one unit of worker-pool work: a run of same-length entries
+// scored on a single checked-out engine.  Indices are positions in the
+// search's scan slice (dense), not raw database indices, so a seeded
+// search's collector state scales with the candidate count rather than
+// the database size.
+type chunk struct {
+	m       int   // entry length
+	indices []int // positions in the scan slice
+}
+
+// entrySlots is the collector state the workers fill in, one slot per
+// scanned entry.  Every scan position is owned by exactly one chunk, so
+// workers write disjoint slots and no locking is needed; the final fold
+// walks the slots in scan order (ascending database index) so every
+// aggregate — including the floating-point energy total — is
 // bit-identical regardless of worker count or scheduling.
 type entrySlots struct {
 	results  []*Result // nil = rejected or errored
@@ -121,48 +301,57 @@ type entrySlots struct {
 	rejected []bool
 }
 
-// Search scores query against every entry of db and returns the ranked
-// report.  An empty database yields an empty report; an empty query or a
-// zero-length entry is an error (arrays need at least a 1×1 edit graph).
-func Search(query string, db []string, cfg Config) (*Report, error) {
-	if cfg.Factory == nil {
-		return nil, fmt.Errorf("pipeline: Config.Factory is required")
-	}
+// Search scores query against the database (or the Candidates subset)
+// and returns the ranked report.  It is safe for concurrent callers: all
+// per-search state is local and engines are checked out of the pools for
+// exclusive use.  An empty query is an error; an empty database or empty
+// candidate set yields an empty report.
+func (d *DB) Search(query string, req Request) (*Report, error) {
 	if len(query) == 0 {
 		return nil, fmt.Errorf("pipeline: empty query")
 	}
-	lib := cfg.Library
-	if lib == nil {
-		lib = tech.AMIS()
-	}
-	workers := cfg.Workers
+	workers := req.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 
-	// Length-bucketed sharding: indices grouped by entry length, bucket
-	// order fixed by first appearance so chunking is deterministic.
-	buckets := make(map[int][]int)
-	var lengths []int
-	for i, entry := range db {
-		if len(entry) == 0 {
-			return nil, fmt.Errorf("pipeline: database entry %d is empty", i)
+	// Resolve the scan set: the whole database (scan == nil, reusing the
+	// buckets sharded once at construction) or the candidate subset a
+	// seed index picked (bucketed here by scan position, bucket order
+	// fixed by first appearance so chunking is deterministic).  Chunk
+	// indices address the scan slice, so collector state below scales
+	// with the scan size, not the database size.
+	var scan []int // nil = identity: scan position == database index
+	scanLen := len(d.entries)
+	buckets := d.buckets
+	lengths := d.lengths
+	if req.Candidates != nil {
+		scan = req.Candidates
+		scanLen = len(scan)
+		buckets = make(map[int][]int)
+		lengths = nil
+		for si, i := range scan {
+			if i < 0 || i >= len(d.entries) {
+				return nil, fmt.Errorf("pipeline: candidate index %d out of range [0,%d)", i, len(d.entries))
+			}
+			m := len(d.entries[i])
+			if _, seen := buckets[m]; !seen {
+				lengths = append(lengths, m)
+			}
+			buckets[m] = append(buckets[m], si)
 		}
-		if _, seen := buckets[len(entry)]; !seen {
-			lengths = append(lengths, len(entry))
-		}
-		buckets[len(entry)] = append(buckets[len(entry)], i)
 	}
-	report := &Report{Scanned: len(db), Buckets: len(buckets)}
-	if len(db) == 0 {
+	report := &Report{Scanned: scanLen, Buckets: len(buckets)}
+	if scanLen == 0 {
 		report.Results = []Result{}
 		return report, nil
 	}
 
-	// Split buckets into chunks of at most ⌈total/workers⌉ entries so a
-	// single dominant bucket still spreads across the pool, while small
-	// buckets stay whole and cost one engine each.
-	target := (len(db) + workers - 1) / workers
+	// Split buckets into chunks of at most ⌈scanned/workers⌉ entries so
+	// a single dominant bucket still spreads across the pool, while
+	// small buckets stay whole and cost one engine checkout each.  The
+	// shared d.buckets slices are only re-sliced here, never written.
+	target := (scanLen + workers - 1) / workers
 	var chunks []chunk
 	for _, m := range lengths {
 		idx := buckets[m]
@@ -174,23 +363,23 @@ func Search(query string, db []string, cfg Config) (*Report, error) {
 	}
 
 	slots := &entrySlots{
-		results:  make([]*Result, len(db)),
-		cycles:   make([]int, len(db)),
-		energyJ:  make([]float64, len(db)),
-		rejected: make([]bool, len(db)),
+		results:  make([]*Result, scanLen),
+		cycles:   make([]int, scanLen),
+		energyJ:  make([]float64, scanLen),
+		rejected: make([]bool, scanLen),
 	}
-	chunkErrs := make([]error, len(chunks))   // indexed by chunk
-	chunkErrIdx := make([]int, len(chunks))   // entry index an error hit
-	chunkEngines := make([]bool, len(chunks)) // engine actually built
-	jobs := make(chan int)                    // chunk indices
+	chunkErrs := make([]error, len(chunks)) // indexed by chunk
+	chunkErrIdx := make([]int, len(chunks)) // entry index an error hit
+	var builds atomic.Int64                 // engines built for this search
+	jobs := make(chan int)                  // chunk indices
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ci := range jobs {
-				chunkErrs[ci], chunkErrIdx[ci], chunkEngines[ci] =
-					runChunk(query, db, chunks[ci], cfg.Factory, cfg.Threshold, lib, slots)
+				chunkErrs[ci], chunkErrIdx[ci] =
+					d.runChunk(query, chunks[ci], scan, req.Threshold, slots, &builds)
 			}
 		}()
 	}
@@ -199,6 +388,7 @@ func Search(query string, db []string, cfg Config) (*Report, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	report.EnginesBuilt = int(builds.Load())
 
 	// Fold.  Errors are reported by lowest entry index; everything else
 	// accumulates in database order.
@@ -208,21 +398,18 @@ func Search(query string, db []string, cfg Config) (*Report, error) {
 		if err != nil && (firstErr == nil || chunkErrIdx[ci] < firstErrIndex) {
 			firstErr, firstErrIndex = err, chunkErrIdx[ci]
 		}
-		if chunkEngines[ci] {
-			report.EnginesBuilt++
-		}
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	var all []Result
-	for i := range db {
-		report.TotalCycles += slots.cycles[i]
-		report.TotalEnergyJ += slots.energyJ[i]
-		if slots.rejected[i] {
+	for si := 0; si < scanLen; si++ {
+		report.TotalCycles += slots.cycles[si]
+		report.TotalEnergyJ += slots.energyJ[si]
+		if slots.rejected[si] {
 			report.Rejected++
 		}
-		if r := slots.results[i]; r != nil {
+		if r := slots.results[si]; r != nil {
 			all = append(all, *r)
 		}
 	}
@@ -233,8 +420,8 @@ func Search(query string, db []string, cfg Config) (*Report, error) {
 		return all[i].Index < all[j].Index
 	})
 	report.Matched = len(all)
-	if cfg.TopK > 0 && len(all) > cfg.TopK {
-		all = all[:cfg.TopK]
+	if req.TopK > 0 && len(all) > req.TopK {
+		all = all[:req.TopK]
 	}
 	if all == nil {
 		all = []Result{}
@@ -243,44 +430,57 @@ func Search(query string, db []string, cfg Config) (*Report, error) {
 	return report, nil
 }
 
-// runChunk builds one engine, races every entry of the chunk on it, and
-// writes each entry's outcome into its own slot.  It returns the first
-// error, the entry index it occurred at, and whether an engine was built.
-func runChunk(query string, db []string, c chunk, factory Factory, threshold int64,
-	lib *tech.Library, slots *entrySlots) (error, int, bool) {
+// runChunk checks one engine out of the shape pool, races every entry of
+// the chunk on it, and writes each entry's outcome into its own slot.
+// A nil scan means chunk indices are database indices directly.  It
+// returns the first error and the database entry index it occurred at.
+func (d *DB) runChunk(query string, c chunk, scan []int, threshold int64,
+	slots *entrySlots, builds *atomic.Int64) (error, int) {
 
-	eng, err := factory(len(query), c.m)
+	key := poolKey{n: len(query), m: c.m}
+	eng, area, built, err := d.acquire(key)
 	if err != nil {
-		return err, c.indices[0], false
+		first := c.indices[0]
+		if scan != nil {
+			first = scan[first]
+		}
+		return err, first
 	}
-	area := lib.AreaUM2(eng.Netlist())
-	for _, i := range c.indices {
+	if built {
+		builds.Add(1)
+	}
+	defer d.release(key, eng)
+	for _, si := range c.indices {
+		i := si
+		if scan != nil {
+			i = scan[si]
+		}
 		var res *race.AlignResult
 		if threshold >= 0 {
-			res, err = eng.AlignThreshold(query, db[i], temporal.Time(threshold))
+			res, err = eng.AlignThreshold(query, d.entries[i], temporal.Time(threshold))
 		} else {
-			res, err = eng.Align(query, db[i])
+			res, err = eng.Align(query, d.entries[i])
 		}
 		if err != nil {
-			return err, i, true
+			return err, i
 		}
-		energy := lib.Energy(res.Activity).TotalJ()
-		slots.cycles[i] = res.Cycles
-		slots.energyJ[i] = energy
+		energy := d.lib.Energy(res.Activity).TotalJ()
+		slots.cycles[si] = res.Cycles
+		slots.energyJ[si] = energy
 		if res.Score == temporal.Never {
-			slots.rejected[i] = true
+			slots.rejected[si] = true
 			continue
 		}
-		slots.results[i] = &Result{
+		slots.results[si] = &Result{
 			Index:            i,
-			Sequence:         db[i],
+			Sequence:         d.entries[i],
 			Score:            int64(res.Score),
 			Cycles:           res.Cycles,
-			LatencyNS:        lib.LatencyNS(res.Cycles),
+			LatencyNS:        d.lib.LatencyNS(res.Cycles),
 			EnergyJ:          energy,
 			AreaUM2:          area,
-			PowerDensityWCM2: lib.Power(res.Activity) / (area / 1e8),
+			PowerDensityWCM2: d.lib.Power(res.Activity) / (area / 1e8),
 		}
 	}
-	return nil, -1, true
+	return nil, -1
 }

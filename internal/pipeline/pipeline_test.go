@@ -11,8 +11,18 @@ import (
 
 func dnaFactory(n, m int) (Engine, error) { return race.NewArray(n, m) }
 
+// oneShot builds a throwaway DB and runs a single query — the shape of
+// the public racelogic.Search wrapper.
+func oneShot(query string, db []string, req Request) (*Report, error) {
+	d, err := NewDB(db, dnaFactory, nil)
+	if err != nil {
+		return nil, err
+	}
+	return d.Search(query, req)
+}
+
 func TestSearchEmptyDatabase(t *testing.T) {
-	rep, err := Search("ACGT", nil, Config{Factory: dnaFactory, Threshold: -1})
+	rep, err := oneShot("ACGT", nil, Request{Threshold: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,20 +35,14 @@ func TestSearchEmptyDatabase(t *testing.T) {
 }
 
 func TestSearchEmptyQuery(t *testing.T) {
-	if _, err := Search("", []string{"ACGT"}, Config{Factory: dnaFactory, Threshold: -1}); err == nil {
+	if _, err := oneShot("", []string{"ACGT"}, Request{Threshold: -1}); err == nil {
 		t.Error("empty query must error")
 	}
 }
 
 func TestSearchEmptyEntry(t *testing.T) {
-	if _, err := Search("ACGT", []string{"ACGT", ""}, Config{Factory: dnaFactory, Threshold: -1}); err == nil {
+	if _, err := oneShot("ACGT", []string{"ACGT", ""}, Request{Threshold: -1}); err == nil {
 		t.Error("zero-length database entry must error")
-	}
-}
-
-func TestSearchMissingFactory(t *testing.T) {
-	if _, err := Search("ACGT", []string{"ACGT"}, Config{Threshold: -1}); err == nil {
-		t.Error("missing factory must error")
 	}
 }
 
@@ -48,7 +52,7 @@ func TestSearchMissingFactory(t *testing.T) {
 func TestSearchAllIdenticalLengths(t *testing.T) {
 	g := seqgen.NewDNA(1)
 	db := g.Database(20, 9)
-	rep, err := Search(g.Random(9), db, Config{Factory: dnaFactory, Threshold: -1, Workers: 1})
+	rep, err := oneShot(g.Random(9), db, Request{Threshold: -1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +72,7 @@ func TestSearchAllIdenticalLengths(t *testing.T) {
 func TestSearchSingleEntryBuckets(t *testing.T) {
 	g := seqgen.NewDNA(2)
 	db := []string{g.Random(4), g.Random(5), g.Random(6), g.Random(7)}
-	rep, err := Search(g.Random(6), db, Config{Factory: dnaFactory, Threshold: -1, Workers: 2})
+	rep, err := oneShot(g.Random(6), db, Request{Threshold: -1, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +104,11 @@ func TestSearchThresholdAgainstUnfiltered(t *testing.T) {
 	}
 	const threshold = 16
 
-	full, err := Search(query, db, Config{Factory: dnaFactory, Threshold: -1})
+	full, err := oneShot(query, db, Request{Threshold: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	filtered, err := Search(query, db, Config{Factory: dnaFactory, Threshold: threshold})
+	filtered, err := oneShot(query, db, Request{Threshold: threshold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,8 +154,7 @@ func TestSearchDeterministicTopK(t *testing.T) {
 
 	var want *Report
 	for _, workers := range []int{1, 2, 4, 8} {
-		rep, err := Search(query, db, Config{
-			Factory:   dnaFactory,
+		rep, err := oneShot(query, db, Request{
 			Threshold: 18,
 			Workers:   workers,
 			TopK:      7,
@@ -181,6 +184,160 @@ func TestSearchDeterministicTopK(t *testing.T) {
 	}
 }
 
+// TestDBWarmPools pins the persistent-DB contract: the second search of
+// the same shape builds nothing, the pools report parked engines, and
+// the warm report is identical to the cold one apart from EnginesBuilt.
+func TestDBWarmPools(t *testing.T) {
+	g := seqgen.NewDNA(17)
+	db := g.Database(12, 8)
+	d, err := NewDB(db, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 12 || d.Buckets() != 1 {
+		t.Fatalf("Len=%d Buckets=%d, want 12 and 1", d.Len(), d.Buckets())
+	}
+	// Workers: 1 keeps EnginesBuilt exact: at wider pools a warm search
+	// may legitimately compile an extra engine when its peak same-shape
+	// concurrency exceeds what the cold search left parked.
+	query := g.Random(8)
+	cold, err := d.Search(query, Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.EnginesBuilt == 0 || d.EnginesBuilt() == 0 {
+		t.Fatalf("cold search must build engines, report %+v, total %d", cold, d.EnginesBuilt())
+	}
+	if d.PooledEngines() != int(d.EnginesBuilt()) {
+		t.Errorf("all %d built engines must be parked after the search, pooled %d",
+			d.EnginesBuilt(), d.PooledEngines())
+	}
+	warm, err := d.Search(query, Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.EnginesBuilt != 0 {
+		t.Errorf("warm search built %d engines, want 0", warm.EnginesBuilt)
+	}
+	cold.EnginesBuilt, warm.EnginesBuilt = 0, 0
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm report differs from cold:\n got %+v\nwant %+v", warm, cold)
+	}
+	// A different query length is a different shape: more builds.
+	before := d.EnginesBuilt()
+	if _, err := d.Search(g.Random(6), Request{Threshold: -1, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d.EnginesBuilt() == before {
+		t.Error("a new query length must compile a new engine shape")
+	}
+}
+
+// TestDBCandidates pins the seeded-scan contract: only candidate entries
+// are raced, in ascending order semantics identical to a database made
+// of just those entries.
+func TestDBCandidates(t *testing.T) {
+	g := seqgen.NewDNA(18)
+	db := g.Database(10, 7)
+	d, err := NewDB(db, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := g.Random(7)
+	cands := []int{1, 4, 7}
+	rep, err := d.Search(query, Request{Threshold: -1, Candidates: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != len(cands) || rep.Matched != len(cands) {
+		t.Errorf("scanned %d matched %d, want %d each", rep.Scanned, rep.Matched, len(cands))
+	}
+	full, err := d.Search(query, Request{Threshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullByIndex := make(map[int]Result)
+	for _, r := range full.Results {
+		fullByIndex[r.Index] = r
+	}
+	for _, r := range rep.Results {
+		ok := false
+		for _, c := range cands {
+			if r.Index == c {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("result index %d is not a candidate", r.Index)
+		}
+		if fullByIndex[r.Index].Score != r.Score {
+			t.Errorf("entry %d: candidate scan score %d != full scan %d",
+				r.Index, r.Score, fullByIndex[r.Index].Score)
+		}
+	}
+	// Empty (non-nil) candidate set races nothing; nil scans everything.
+	empty, err := d.Search(query, Request{Threshold: -1, Candidates: []int{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Scanned != 0 || len(empty.Results) != 0 || empty.Results == nil {
+		t.Errorf("empty candidates: %+v, want zero scanned and empty non-nil results", empty)
+	}
+	if _, err := d.Search(query, Request{Threshold: -1, Candidates: []int{10}}); err == nil {
+		t.Error("out-of-range candidate index must error")
+	}
+	if _, err := d.Search(query, Request{Threshold: -1, Candidates: []int{-1}}); err == nil {
+		t.Error("negative candidate index must error")
+	}
+}
+
+// TestDBIdleCap pins the pool bound: engines released beyond the cap are
+// dropped, so a service racing many distinct query lengths cannot grow
+// memory monotonically.
+func TestDBIdleCap(t *testing.T) {
+	g := seqgen.NewDNA(19)
+	d, err := NewDB(g.Database(6, 6), dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetMaxIdleEngines(2)
+	for _, n := range []int{3, 4, 5, 6, 7} {
+		if _, err := d.Search(g.Random(n), Request{Threshold: -1, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.PooledEngines(); got > 2 {
+		t.Errorf("pooled %d engines, cap is 2", got)
+	}
+	if d.EnginesBuilt() != 5 {
+		t.Errorf("built %d engines, want 5 (one per distinct query length)", d.EnginesBuilt())
+	}
+	// The parked shapes still serve warm searches.
+	rep, err := d.Search(g.Random(3), Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EnginesBuilt != 0 {
+		t.Errorf("warm search on a pooled shape built %d engines, want 0", rep.EnginesBuilt)
+	}
+}
+
+func TestNewDBErrors(t *testing.T) {
+	if _, err := NewDB([]string{"ACGT"}, nil, nil); err == nil {
+		t.Error("nil factory must error")
+	}
+	if _, err := NewDB([]string{"ACGT", ""}, dnaFactory, nil); err == nil {
+		t.Error("empty entry must error")
+	}
+	d, err := NewDB(nil, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Search("", Request{Threshold: -1}); err == nil {
+		t.Error("empty query must error")
+	}
+}
+
 // TestSearchEngineReuseMatchesFreshEngines is the core tentpole
 // correctness property: an array reset between races must score exactly
 // like a fresh array per pair.
@@ -188,7 +345,7 @@ func TestSearchEngineReuseMatchesFreshEngines(t *testing.T) {
 	g := seqgen.NewDNA(13)
 	query := g.Random(8)
 	db := g.Database(10, 8)
-	rep, err := Search(query, db, Config{Factory: dnaFactory, Threshold: -1, Workers: 1})
+	rep, err := oneShot(query, db, Request{Threshold: -1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

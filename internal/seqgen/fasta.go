@@ -1,0 +1,166 @@
+package seqgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// FASTARecord is one sequence of a FASTA file.
+type FASTARecord struct {
+	// ID is the first whitespace-separated field of the '>' header;
+	// Description is the rest of the header line.
+	ID, Description string
+	// Sequence is the record's sequence data with line breaks and
+	// whitespace removed, uppercased to match the engine alphabets.
+	Sequence string
+}
+
+// ReadFASTA parses FASTA records from r: '>' header lines introduce a
+// record, subsequent lines up to the next header are concatenated into
+// its sequence.  Blank lines and ';'/'#' comment lines are skipped,
+// sequence lines are uppercased (engine alphabets are uppercase).
+// Sequence data before the first header, or a record with no sequence
+// lines, is an error.
+func ReadFASTA(r io.Reader) ([]FASTARecord, error) {
+	var recs []FASTARecord
+	open := false // a header has been seen and its record is being filled
+	var cur FASTARecord
+	var seq strings.Builder
+	flush := func() error {
+		if !open {
+			return nil
+		}
+		if seq.Len() == 0 {
+			return fmt.Errorf("seqgen: FASTA record %q has no sequence data", cur.ID)
+		}
+		cur.Sequence = seq.String()
+		recs = append(recs, cur)
+		seq.Reset()
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == ';' || line[0] == '#' {
+			continue
+		}
+		if line[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			header := strings.TrimSpace(line[1:])
+			id, desc, _ := strings.Cut(header, " ")
+			cur = FASTARecord{ID: id, Description: strings.TrimSpace(desc)}
+			open = true
+			continue
+		}
+		if !open {
+			return nil, fmt.Errorf("seqgen: line %d: sequence data before the first FASTA header", lineno)
+		}
+		seq.WriteString(strings.ToUpper(strings.Join(strings.Fields(line), "")))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ReadSequences reads a sequence database from r in either supported
+// format, auto-detected on the first meaningful line: a '>' selects
+// FASTA (multi-line records concatenated), anything else selects the
+// plain one-sequence-per-line format where blank lines, '#'/';'
+// comments and stray '>' header lines are skipped.  The input streams
+// through a fixed-size buffer; only the parsed sequences are held in
+// memory.
+func ReadSequences(r io.Reader) ([]string, error) {
+	br := bufio.NewReaderSize(r, sniffWindow)
+	fasta, err := looksLikeFASTA(br)
+	if err != nil {
+		return nil, err
+	}
+	if fasta {
+		recs, err := ReadFASTA(br)
+		if err != nil {
+			return nil, err
+		}
+		seqs := make([]string, len(recs))
+		for i, rec := range recs {
+			seqs[i] = rec.Sequence
+		}
+		return seqs, nil
+	}
+	var seqs []string
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == ';' || line[0] == '>' {
+			continue
+		}
+		// Uppercase like the FASTA branch, so the same sequences load
+		// identically in either format.
+		seqs = append(seqs, strings.ToUpper(line))
+	}
+	return seqs, sc.Err()
+}
+
+// sniffWindow bounds the format sniff: a FASTA header is expected within
+// the first 64KiB (real files open with one immediately; a longer
+// comment-only preamble falls back to the plain format).
+const sniffWindow = 64 << 10
+
+// looksLikeFASTA peeks br — without consuming it — for the first
+// non-blank, non-comment ('#' or ';') line and reports whether it starts
+// with a FASTA header.
+func looksLikeFASTA(br *bufio.Reader) (bool, error) {
+	for n := 512; ; n *= 2 {
+		if n > sniffWindow {
+			n = sniffWindow
+		}
+		buf, err := br.Peek(n)
+		if err != nil && err != io.EOF {
+			return false, err
+		}
+		sawAll := err == io.EOF || n == sniffWindow
+		startOfLine, skipLine := true, false
+		for _, b := range buf {
+			switch {
+			case b == '\n':
+				startOfLine, skipLine = true, false
+			case skipLine:
+			case b == ' ' || b == '\t' || b == '\r':
+			case startOfLine && (b == '#' || b == ';'):
+				skipLine = true
+			default:
+				return b == '>', nil
+			}
+		}
+		if sawAll {
+			return false, nil
+		}
+	}
+}
+
+// ReadSequencesFile reads a sequence database from path via
+// ReadSequences.
+func ReadSequencesFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seqs, err := ReadSequences(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return seqs, nil
+}

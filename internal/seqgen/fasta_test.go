@@ -1,0 +1,73 @@
+package seqgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTA(t *testing.T) {
+	in := `; comment line
+>seq1 first test record
+ACGT
+acgt
+
+>seq2
+TT TT
+  GGCC
+>seq3 last
+A
+`
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FASTARecord{
+		{ID: "seq1", Description: "first test record", Sequence: "ACGTACGT"},
+		{ID: "seq2", Description: "", Sequence: "TTTTGGCC"},
+		{ID: "seq3", Description: "last", Sequence: "A"},
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("got %+v\nwant %+v", recs, want)
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACGT\n>late header\nTTTT\n")); err == nil {
+		t.Error("sequence data before the first header must error")
+	}
+	if _, err := ReadFASTA(strings.NewReader(">only a header\n")); err == nil {
+		t.Error("a record with no sequence data must error")
+	}
+	if _, err := ReadFASTA(strings.NewReader(">a\nACGT\n>empty\n>b\nTT\n")); err == nil {
+		t.Error("an empty record between full ones must error")
+	}
+}
+
+func TestReadSequencesAutoDetect(t *testing.T) {
+	fasta := "# tool banner\n>a desc\nAC\nGT\n>b\nTTTT\n"
+	got, err := ReadSequences(strings.NewReader(fasta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"ACGT", "TTTT"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FASTA input: got %v, want %v", got, want)
+	}
+
+	plain := "# comment\nACGT\n\n; note\n>stray header\nTTTT\n  GGCC  \n"
+	got, err = ReadSequences(strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"ACGT", "TTTT", "GGCC"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("plain input: got %v, want %v", got, want)
+	}
+
+	got, err = ReadSequences(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input: got %v, want none", got)
+	}
+}

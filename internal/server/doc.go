@@ -1,0 +1,20 @@
+// Package server is the long-running search service of the subsystem:
+// an HTTP JSON API that serves concurrent similarity queries against one
+// loaded racelogic.Database — the million-user, many-queries-one-database
+// scenario the paper's Section 1 workload implies at system scale.
+//
+// Three endpoints:
+//
+//   - POST /search races a query against the database and returns the
+//     ranked report with per-request hardware metrics (cycles, energy,
+//     latency, area, power density — the paper's Section 4.1 accounting);
+//   - GET /healthz is the liveness probe;
+//   - GET /stats reports cumulative service counters: searches served,
+//     engines compiled and pooled, cache hits, uptime.
+//
+// The handler is safe for concurrent requests because Database.Search
+// is: each in-flight race checks a compiled simulator out of a per-shape
+// engine pool.  A bounded LRU cache short-circuits repeated identical
+// queries — the common case when many users search for the same new
+// sequence — returning the cached report with Cached=true.
+package server

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a bounded, thread-safe least-recently-used cache of search
+// responses keyed by the request's identity (query + options).
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *SearchResponse
+}
+
+// newLRU returns a cache holding at most cap entries; cap ≤ 0 disables
+// caching (every lookup misses, every add is dropped).
+func newLRU(cap int) *lru {
+	return &lru{cap: cap, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lru) get(key string) (*SearchResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lru) add(key string, val *SearchResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"racelogic"
+)
+
+// Config parameterizes a search service.
+type Config struct {
+	// DB is the loaded database every request races against.  Required.
+	DB *racelogic.Database
+	// CacheSize bounds the LRU report cache; ≤ 0 disables caching.
+	CacheSize int
+	// DefaultTopK truncates reports when a request does not set top_k;
+	// ≤ 0 returns every match.
+	DefaultTopK int
+	// MaxQueryLen rejects queries longer than this before any engine is
+	// compiled — a race array is O(query·entry) gates, so an unbounded
+	// query is a denial-of-service lever on a public endpoint.  ≤ 0
+	// selects DefaultMaxQueryLen.
+	MaxQueryLen int
+}
+
+// DefaultMaxQueryLen bounds /search queries when Config.MaxQueryLen is
+// unset.
+const DefaultMaxQueryLen = 4096
+
+// maxBodyBytes bounds a /search request body; the query length cap makes
+// anything beyond a few times DefaultMaxQueryLen meaningless.
+const maxBodyBytes = 1 << 20
+
+// Server is the HTTP search service.  It is an http.Handler and is safe
+// for concurrent requests.
+type Server struct {
+	db          *racelogic.Database
+	cache       *lru
+	defaultTopK int
+	maxQueryLen int
+	start       time.Time
+	mux         *http.ServeMux
+
+	requests  atomic.Int64 // /search requests received
+	cacheHits atomic.Int64
+	failures  atomic.Int64 // /search requests answered with an error
+}
+
+// New builds the service around a loaded database.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("server: Config.DB is required")
+	}
+	maxQueryLen := cfg.MaxQueryLen
+	if maxQueryLen <= 0 {
+		maxQueryLen = DefaultMaxQueryLen
+	}
+	s := &Server{
+		db:          cfg.DB,
+		cache:       newLRU(cfg.CacheSize),
+		defaultTopK: cfg.DefaultTopK,
+		maxQueryLen: maxQueryLen,
+		start:       time.Now(),
+		mux:         http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the service endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SearchRequest is the POST /search body.
+type SearchRequest struct {
+	// Query is the sequence to rank the database against.  Required.
+	Query string `json:"query"`
+	// TopK truncates the ranked results; omitted or 0 selects the
+	// server default, negative keeps every match.
+	TopK int `json:"top_k,omitempty"`
+	// Threshold enables the Section 6 pre-filter; omitted or negative
+	// disables it.
+	Threshold *int64 `json:"threshold,omitempty"`
+	// FullScan bypasses the database's k-mer seed index for this query.
+	FullScan bool `json:"full_scan,omitempty"`
+}
+
+// SearchResult is one ranked match of a SearchResponse.
+type SearchResult struct {
+	Index    int           `json:"index"`
+	Sequence string        `json:"sequence"`
+	Score    int64         `json:"score"`
+	Metrics  SearchMetrics `json:"metrics"`
+}
+
+// SearchMetrics prices one race under the database's standard-cell
+// library — the paper's Section 4.1 accounting, per request.
+type SearchMetrics struct {
+	Cycles           int     `json:"cycles"`
+	LatencyNS        float64 `json:"latency_ns"`
+	EnergyJ          float64 `json:"energy_j"`
+	AreaUM2          float64 `json:"area_um2"`
+	PowerDensityWCM2 float64 `json:"power_density_w_cm2"`
+}
+
+// SearchResponse is the POST /search reply.
+type SearchResponse struct {
+	Query        string         `json:"query"`
+	Results      []SearchResult `json:"results"`
+	Scanned      int            `json:"scanned"`
+	Skipped      int            `json:"skipped"`
+	Matched      int            `json:"matched"`
+	Rejected     int            `json:"rejected"`
+	Buckets      int            `json:"buckets"`
+	EnginesBuilt int            `json:"engines_built"`
+	TotalCycles  int            `json:"total_cycles"`
+	TotalEnergyJ float64        `json:"total_energy_j"`
+	// Cached reports that the response was served from the LRU cache;
+	// ElapsedUS is this request's wall-clock service time either way.
+	Cached    bool  `json:"cached"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	s.requests.Add(1)
+	var req SearchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Query == "" {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "query is required"})
+		return
+	}
+	if len(req.Query) > s.maxQueryLen {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("query length %d exceeds the %d-symbol limit", len(req.Query), s.maxQueryLen)})
+		return
+	}
+	// Normalize case like the database loaders do, so a lowercase query
+	// matches the (uppercased) entries it came from.
+	req.Query = strings.ToUpper(req.Query)
+	topK := req.TopK
+	if topK == 0 {
+		topK = s.defaultTopK
+	}
+
+	key := cacheKey(req.Query, topK, req.Threshold, req.FullScan)
+	if cached, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		resp := *cached
+		resp.Cached = true
+		resp.ElapsedUS = time.Since(started).Microseconds()
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+
+	var opts []racelogic.Option
+	if topK != 0 {
+		// Negative means "every match": WithTopK clamps it to the
+		// no-truncation sentinel, overriding any database default.
+		opts = append(opts, racelogic.WithTopK(topK))
+	}
+	if req.Threshold != nil {
+		opts = append(opts, racelogic.WithThreshold(*req.Threshold))
+	}
+	if req.FullScan {
+		opts = append(opts, racelogic.WithFullScan())
+	}
+	rep, err := s.db.Search(req.Query, opts...)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := toResponse(rep)
+	s.cache.add(key, resp)
+	out := *resp
+	out.ElapsedUS = time.Since(started).Microseconds()
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// cacheKey encodes a request's full identity.  The three option fields
+// form a fixed-format suffix that never contains '\x00', so parsing from
+// the right is unambiguous and distinct requests never collide even if a
+// query embeds the separator.
+func cacheKey(query string, topK int, threshold *int64, fullScan bool) string {
+	t := "off"
+	if threshold != nil {
+		t = fmt.Sprint(*threshold)
+	}
+	return fmt.Sprintf("%s\x00%d\x00%s\x00%v", query, topK, t, fullScan)
+}
+
+func toResponse(rep *racelogic.SearchReport) *SearchResponse {
+	resp := &SearchResponse{
+		Query:        rep.Query,
+		Results:      make([]SearchResult, len(rep.Results)),
+		Scanned:      rep.Scanned,
+		Skipped:      rep.Skipped,
+		Matched:      rep.Matched,
+		Rejected:     rep.Rejected,
+		Buckets:      rep.Buckets,
+		EnginesBuilt: rep.EnginesBuilt,
+		TotalCycles:  rep.TotalCycles,
+		TotalEnergyJ: rep.TotalEnergyJ,
+	}
+	for i, r := range rep.Results {
+		resp.Results[i] = SearchResult{
+			Index:    r.Index,
+			Sequence: r.Sequence,
+			Score:    r.Score,
+			Metrics: SearchMetrics{
+				Cycles:           r.Metrics.Cycles,
+				LatencyNS:        r.Metrics.LatencyNS,
+				EnergyJ:          r.Metrics.EnergyJ,
+				AreaUM2:          r.Metrics.AreaUM2,
+				PowerDensityWCM2: r.Metrics.PowerDensityWCM2,
+			},
+		}
+	}
+	return resp
+}
+
+// HealthResponse is the GET /healthz reply.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Entries int    `json:"entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Entries: s.db.Len()})
+}
+
+// StatsResponse is the GET /stats reply: database shape plus cumulative
+// service counters.
+type StatsResponse struct {
+	Entries       int   `json:"entries"`
+	Buckets       int   `json:"buckets"`
+	SeedK         int   `json:"seed_k"`
+	Searches      int64 `json:"searches"`
+	EnginesBuilt  int64 `json:"engines_built"`
+	PooledEngines int   `json:"pooled_engines"`
+	Requests      int64 `json:"requests"`
+	Failures      int64 `json:"failures"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheEntries  int   `json:"cache_entries"`
+	CacheCapacity int   `json:"cache_capacity"`
+	UptimeSeconds int64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Entries:       s.db.Len(),
+		Buckets:       s.db.Buckets(),
+		SeedK:         s.db.SeedK(),
+		Searches:      s.db.Searches(),
+		EnginesBuilt:  s.db.EnginesBuilt(),
+		PooledEngines: s.db.PooledEngines(),
+		Requests:      s.requests.Load(),
+		Failures:      s.failures.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheEntries:  s.cache.len(),
+		CacheCapacity: s.cache.cap,
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	})
+}

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"racelogic"
+	"racelogic/internal/seqgen"
+)
+
+// testFASTA is a small mixed-length database with one exact hit and one
+// near hit for the test query ACGTACGT.
+const testFASTA = `>hit exact match
+ACGTACGT
+>near one substitution
+ACGTACCT
+>far all-T
+TTTTTTTT
+>short its own bucket
+ACGTAC
+>multi line record
+ACGT
+TCGA
+`
+
+// newTestServer loads testFASTA through the real file-reading path and
+// serves it, mirroring what cmd/raceserve does.
+func newTestServer(t *testing.T, opts ...racelogic.Option) (*httptest.Server, *racelogic.Database, []string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.fasta")
+	if err := os.WriteFile(path, []byte(testFASTA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := seqgen.ReadSequencesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("loaded %d entries from FASTA, want 5", len(entries))
+	}
+	db, err := racelogic.NewDatabase(entries, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{DB: db, CacheSize: 8, DefaultTopK: 10, MaxQueryLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, db, entries
+}
+
+func postSearch(t *testing.T, url string, body string) (*http.Response, *SearchResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/search", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var sr SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return resp, &sr
+}
+
+// TestSearchEndToEnd is the FASTA-to-ranked-report integration test: the
+// HTTP reply must carry exactly the report the library computes.
+func TestSearchEndToEnd(t *testing.T) {
+	ts, _, entries := newTestServer(t)
+	query := "ACGTACGT"
+
+	resp, got := postSearch(t, ts.URL, fmt.Sprintf(`{"query":%q}`, query))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	want, err := racelogic.Search(query, entries, racelogic.WithTopK(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scanned != want.Scanned || got.Matched != want.Matched ||
+		got.Buckets != want.Buckets || got.TotalCycles != want.TotalCycles {
+		t.Errorf("aggregates differ: got %+v, want %+v", got, want)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("got %d results, want %d", len(got.Results), len(want.Results))
+	}
+	for i, r := range got.Results {
+		w := want.Results[i]
+		if r.Index != w.Index || r.Score != w.Score || r.Sequence != w.Sequence {
+			t.Errorf("rank %d: got (%d, %d, %s), want (%d, %d, %s)",
+				i, r.Index, r.Score, r.Sequence, w.Index, w.Score, w.Sequence)
+		}
+		if r.Metrics.Cycles != w.Metrics.Cycles || r.Metrics.EnergyJ != w.Metrics.EnergyJ {
+			t.Errorf("rank %d: metrics differ: got %+v, want %+v", i, r.Metrics, w.Metrics)
+		}
+	}
+	if got.Results[0].Sequence != query || got.Results[0].Score != int64(len(query)) {
+		t.Errorf("top hit should be the exact match scoring %d, got %+v", len(query), got.Results[0])
+	}
+	if got.Cached {
+		t.Error("first request must not be served from cache")
+	}
+
+	// Negative top_k overrides any truncation default: every match comes
+	// back.
+	_, all := postSearch(t, ts.URL, fmt.Sprintf(`{"query":%q,"top_k":-1}`, query))
+	if len(all.Results) != all.Matched {
+		t.Errorf("top_k=-1 returned %d of %d matches", len(all.Results), all.Matched)
+	}
+
+	// Queries are case-normalized like the database loaders' sequences.
+	_, lower := postSearch(t, ts.URL, fmt.Sprintf(`{"query":%q}`, strings.ToLower(query)))
+	if lower == nil || len(lower.Results) != len(got.Results) || lower.Results[0].Score != got.Results[0].Score {
+		t.Errorf("lowercase query must behave like its uppercase twin, got %+v", lower)
+	}
+}
+
+// TestSearchCache pins the LRU behavior: an identical repeat request is a
+// hit with byte-identical report content, a different request is not.
+func TestSearchCache(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	body := `{"query":"ACGTACGT","top_k":3,"threshold":12}`
+
+	_, first := postSearch(t, ts.URL, body)
+	_, second := postSearch(t, ts.URL, body)
+	if !second.Cached {
+		t.Error("identical repeat request must be served from cache")
+	}
+	first.Cached, second.Cached = false, false
+	first.ElapsedUS, second.ElapsedUS = 0, 0
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if !bytes.Equal(a, b) {
+		t.Errorf("cached reply differs from original:\n%s\n%s", a, b)
+	}
+
+	_, third := postSearch(t, ts.URL, `{"query":"ACGTACGT","top_k":4,"threshold":12}`)
+	if third.Cached {
+		t.Error("request with different options must miss the cache")
+	}
+
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.CacheHits != 1 {
+		t.Errorf("cache_hits = %d, want 1", stats.CacheHits)
+	}
+	if stats.Requests != 3 {
+		t.Errorf("requests = %d, want 3", stats.Requests)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	ts, db, _ := newTestServer(t, racelogic.WithSeedIndex(4))
+
+	var health HealthResponse
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "ok" || health.Entries != db.Len() {
+		t.Errorf("healthz = %+v, want ok with %d entries", health, db.Len())
+	}
+
+	// The seeded query must skip the all-T entry.
+	_, sr := postSearch(t, ts.URL, `{"query":"ACGTACGT"}`)
+	if sr.Skipped == 0 {
+		t.Errorf("seed index should skip dissimilar entries, report: %+v", sr)
+	}
+	if sr.Scanned+sr.Skipped != db.Len() {
+		t.Errorf("scanned %d + skipped %d != %d entries", sr.Scanned, sr.Skipped, db.Len())
+	}
+
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Entries != db.Len() || stats.SeedK != 4 || stats.Searches != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.EnginesBuilt == 0 || stats.PooledEngines == 0 {
+		t.Errorf("engines must be built and pooled after a search, stats = %+v", stats)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty body", ``, http.StatusBadRequest},
+		{"bad json", `{"query":`, http.StatusBadRequest},
+		{"unknown field", `{"query":"ACGT","workers":3}`, http.StatusBadRequest},
+		{"missing query", `{"top_k":3}`, http.StatusBadRequest},
+		{"bad symbol", `{"query":"ACGX"}`, http.StatusBadRequest},
+		// A negative threshold is the disable sentinel, same as omitting it.
+		{"negative threshold", `{"query":"ACGT","threshold":-1}`, http.StatusOK},
+		{"query too long", fmt.Sprintf(`{"query":%q}`, strings.Repeat("A", 65)), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, _ := postSearch(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search: status %d, want 405", resp.StatusCode)
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without a database must error")
+	}
+}
+
+// TestConcurrentRequests hammers /search from many goroutines — the
+// engine pools underneath must hand every in-flight race its own
+// simulator, and every reply must match the serial golden report.
+func TestConcurrentRequests(t *testing.T) {
+	ts, _, entries := newTestServer(t)
+	queries := []string{"ACGTACGT", "TTTTTTTT", "ACGTTGCA"}
+	golden := make(map[string]*racelogic.SearchReport)
+	for _, q := range queries {
+		rep, err := racelogic.Search(q, entries, racelogic.WithTopK(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden[q] = rep
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				q := queries[(w+i)%len(queries)]
+				resp, err := http.Post(ts.URL+"/search", "application/json",
+					bytes.NewBufferString(fmt.Sprintf(`{"query":%q}`, q)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var sr SearchResponse
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := golden[q]
+				if len(sr.Results) != len(want.Results) {
+					errs <- fmt.Errorf("query %s: %d results, want %d", q, len(sr.Results), len(want.Results))
+					return
+				}
+				for i, r := range sr.Results {
+					if r.Index != want.Results[i].Index || r.Score != want.Results[i].Score {
+						errs <- fmt.Errorf("query %s rank %d: got (%d,%d), want (%d,%d)",
+							q, i, r.Index, r.Score, want.Results[i].Index, want.Results[i].Score)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -18,8 +18,12 @@
 //     threshold early termination (the two compose);
 //   - ProteinEngine — the Section 5 generalized array for arbitrary
 //     score matrices (BLOSUM62, PAM250);
-//   - Search — batch database search: one query ranked against many
-//     sequences on a pool of reusable, length-bucketed arrays;
+//   - Database — the persistent search subsystem: load a collection
+//     once, keep compiled engines pooled per shape, optionally build a
+//     k-mer seed index (WithSeedIndex), and serve concurrent Search
+//     calls; cmd/raceserve wraps it in a long-running HTTP JSON API;
+//   - Search — one-shot database search: a thin build-then-search
+//     wrapper over Database for single queries;
 //   - EditDistance — the reference software DP;
 //   - Graph / ShortestPath / LongestPath — the general Section 3
 //     DAG-to-race construction.
@@ -87,13 +91,47 @@ type config struct {
 	gateRegion int   // 0 = ungated
 	threshold  int64 // <0 = none
 	oneHot     bool
-	topK       int    // Search only; ≤0 = all matches
-	workers    int    // Search only; ≤0 = NumCPU
-	matrix     string // Search only; "" = DNA array
+	topK       int    // search only; ≤0 = all matches
+	workers    int    // search only; ≤0 = NumCPU
+	matrix     string // search only; "" = DNA array
+	seedK      int    // search only; 0 = no k-mer pre-filter
+	fullScan   bool   // search only; bypass the seed index per query
+	// applied records the names of the options used, in order, so the
+	// constructors can reject options that would silently do nothing in
+	// their context (e.g. WithTopK on a single-pair engine).
+	applied []string
 }
 
-// Option configures an engine.
+// Option configures an engine, a Database, or a Search call.  Not every
+// option is meaningful everywhere: the single-pair engine constructors
+// reject search-only options, and Database.Search rejects options that
+// are fixed when the database is built.
 type Option func(*config) error
+
+// firstApplied returns the first of names that was actually applied to
+// the config, or "" when none were.
+func (c *config) firstApplied(names ...string) string {
+	for _, a := range c.applied {
+		for _, n := range names {
+			if a == n {
+				return a
+			}
+		}
+	}
+	return ""
+}
+
+// searchOnlyOptions are meaningless on a single-pair engine; engine
+// constructors reject them instead of silently ignoring them.
+var searchOnlyOptions = []string{
+	"WithTopK", "WithWorkers", "WithMatrix", "WithSeedIndex", "WithFullScan",
+}
+
+// databaseFixedOptions shape the compiled engines or the seed index and
+// therefore cannot change per Database.Search call.
+var databaseFixedOptions = []string{
+	"WithLibrary", "WithMatrix", "WithClockGating", "WithOneHotEncoding", "WithSeedIndex",
+}
 
 // WithLibrary selects the standard-cell library model: "AMIS" (default)
 // or "OSU".
@@ -104,6 +142,7 @@ func WithLibrary(name string) Option {
 			return err
 		}
 		c.library = l
+		c.applied = append(c.applied, "WithLibrary")
 		return nil
 	}
 }
@@ -116,56 +155,67 @@ func WithClockGating(regionSize int) Option {
 			return fmt.Errorf("racelogic: clock-gating region size %d must be ≥ 1", regionSize)
 		}
 		c.gateRegion = regionSize
+		c.applied = append(c.applied, "WithClockGating")
 		return nil
 	}
 }
 
 // WithThreshold sets the Section 6 similarity threshold: races whose
 // score would exceed limit are abandoned after limit+1 cycles with
-// Found=false.
+// Found=false.  A negative limit disables the pre-filter — the way a
+// Database.Search call overrides a threshold set as a NewDatabase
+// default.
 func WithThreshold(limit int64) Option {
 	return func(c *config) error {
 		if limit < 0 {
-			return fmt.Errorf("racelogic: threshold %d must be ≥ 0", limit)
+			limit = -1
 		}
 		c.threshold = limit
+		c.applied = append(c.applied, "WithThreshold")
 		return nil
 	}
 }
 
-// WithTopK truncates a Search report to its k best matches.  It has no
-// effect on the single-pair engines.
+// WithTopK truncates a search report to its k best matches; k ≤ 0 keeps
+// every match — the way a Database.Search call overrides a top-K set as
+// a NewDatabase default.  It is a search option: the single-pair engine
+// constructors reject it.
 func WithTopK(k int) Option {
 	return func(c *config) error {
-		if k < 1 {
-			return fmt.Errorf("racelogic: top-K %d must be ≥ 1", k)
+		if k < 0 {
+			k = 0
 		}
 		c.topK = k
+		c.applied = append(c.applied, "WithTopK")
 		return nil
 	}
 }
 
-// WithWorkers sets the Search worker-pool width (default: the number of
-// CPUs).  It has no effect on the single-pair engines.
+// WithWorkers sets the search worker-pool width; n ≤ 0 restores the
+// default (the number of CPUs).  It is a search option: the single-pair
+// engine constructors reject it.
 func WithWorkers(n int) Option {
 	return func(c *config) error {
-		if n < 1 {
-			return fmt.Errorf("racelogic: worker count %d must be ≥ 1", n)
+		if n < 0 {
+			n = 0
 		}
 		c.workers = n
+		c.applied = append(c.applied, "WithWorkers")
 		return nil
 	}
 }
 
-// WithMatrix makes Search race the Section 5 generalized array under the
-// named protein matrix ("BLOSUM62" or "PAM250") instead of the Fig. 4 DNA
-// array.  Engines take their matrix as a constructor argument instead.
+// WithMatrix makes a search race the Section 5 generalized array under
+// the named protein matrix ("BLOSUM62" or "PAM250") instead of the Fig. 4
+// DNA array.  Engines take their matrix as a constructor argument
+// instead, so the engine constructors reject this option.
 func WithMatrix(name string) Option {
 	return func(c *config) error {
 		if name == "" {
 			return fmt.Errorf("racelogic: empty matrix name")
 		}
 		c.matrix = name
+		c.applied = append(c.applied, "WithMatrix")
 		return nil
 	}
 }
@@ -176,6 +226,42 @@ func WithMatrix(name string) Option {
 func WithOneHotEncoding() Option {
 	return func(c *config) error {
 		c.oneHot = true
+		c.applied = append(c.applied, "WithOneHotEncoding")
+		return nil
+	}
+}
+
+// WithSeedIndex builds a k-mer seed index over the database — the
+// BLAST-style seed-and-extend pre-filter: a search races only the entries
+// sharing at least one length-k substring with the query, and reports the
+// rest as Skipped without spending a single cycle on them.  The filter
+// is a heuristic: an entry sharing no k-mer with the query is skipped
+// even though a full scan would still assign it a (poor) score, so
+// smaller k keeps more marginal matches and larger k skips more
+// aggressively — the right trade in front of a similarity threshold.
+// Use WithFullScan per query when completeness matters more than speed.
+// Entries (or queries) shorter than k are never filtered.  It is a database option:
+// the single-pair engine constructors reject it, and on a Database it
+// must be given to NewDatabase, not Search.
+func WithSeedIndex(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("racelogic: seed length %d must be ≥ 1", k)
+		}
+		c.seedK = k
+		c.applied = append(c.applied, "WithSeedIndex")
+		return nil
+	}
+}
+
+// WithFullScan makes one Database.Search bypass the database's seed index
+// and race every entry — the exhaustive scan a seeded search trades away.
+// It has no effect on a database built without WithSeedIndex.  It is a
+// per-search option: NewDatabase and the engine constructors reject it.
+func WithFullScan() Option {
+	return func(c *config) error {
+		c.fullScan = true
+		c.applied = append(c.applied, "WithFullScan")
 		return nil
 	}
 }

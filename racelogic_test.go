@@ -174,8 +174,12 @@ func TestDNAEngineOptionErrors(t *testing.T) {
 	if _, err := NewDNAEngine(4, 4, WithClockGating(0)); err == nil {
 		t.Error("zero region must error")
 	}
-	if _, err := NewDNAEngine(4, 4, WithThreshold(-1)); err == nil {
-		t.Error("negative threshold must error")
+	// A negative threshold is the disable sentinel, not an error: it is
+	// how Database.Search overrides a construction-time default.
+	if e, err := NewDNAEngine(4, 4, WithThreshold(-1)); err != nil {
+		t.Errorf("WithThreshold(-1) must build an unthresholded engine, got %v", err)
+	} else if a, err := e.Align("AAAA", "TTTT"); err != nil || !a.Found {
+		t.Errorf("unthresholded engine must finish every race: found=%v err=%v", a != nil && a.Found, err)
 	}
 	if _, err := NewDNAEngine(0, 4); err == nil {
 		t.Error("zero length must error")

@@ -35,6 +35,11 @@ type SearchReport struct {
 	// beyond the top-K truncation), and the entries the Section 6
 	// pre-filter abandoned after threshold+1 cycles.
 	Scanned, Matched, Rejected int
+	// Skipped counts the entries the k-mer seed index excluded without
+	// racing at all — they share no length-k substring with the query.
+	// Zero unless WithSeedIndex is in effect.  Scanned+Skipped equals
+	// the database size.
+	Skipped int
 	// Buckets is the number of distinct entry lengths; EnginesBuilt is
 	// the number of arrays constructed to cover them — the quantity
 	// engine reuse keeps far below Scanned.
@@ -64,53 +69,24 @@ type SearchReport struct {
 //   - WithLibrary prices the races;
 //   - WithTopK and WithWorkers shape the report and the fan-out.
 //
-// An empty database returns an empty report.  An empty query or database
-// entry is an error: the arrays need at least a 1×1 edit graph.
+// Search accepts WithSeedIndex too, building the k-mer pre-filter for
+// its single query.  An empty database returns an empty report.  An
+// empty query or database entry is an error: the arrays need at least a
+// 1×1 edit graph.
+//
+// Search is a thin build-then-search wrapper over Database: it pays full
+// sharding, indexing and compilation cost per call.  Callers with more
+// than one query against the same collection should hold a Database and
+// amortize that cost across searches.
 func Search(query string, db []string, opts ...Option) (*SearchReport, error) {
-	cfg, err := buildConfig(opts)
+	if len(query) == 0 {
+		return nil, fmt.Errorf("racelogic: empty query")
+	}
+	d, err := NewDatabase(db, opts...)
 	if err != nil {
 		return nil, err
 	}
-	factory, err := searchFactory(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := pipeline.Search(query, db, pipeline.Config{
-		Factory:   factory,
-		Library:   cfg.library,
-		Threshold: cfg.threshold,
-		Workers:   cfg.workers,
-		TopK:      cfg.topK,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := &SearchReport{
-		Query:        query,
-		Results:      make([]SearchResult, len(rep.Results)),
-		Scanned:      rep.Scanned,
-		Matched:      rep.Matched,
-		Rejected:     rep.Rejected,
-		Buckets:      rep.Buckets,
-		EnginesBuilt: rep.EnginesBuilt,
-		TotalCycles:  rep.TotalCycles,
-		TotalEnergyJ: rep.TotalEnergyJ,
-	}
-	for i, r := range rep.Results {
-		out.Results[i] = SearchResult{
-			Index:    r.Index,
-			Sequence: r.Sequence,
-			Score:    r.Score,
-			Metrics: Metrics{
-				Cycles:           r.Cycles,
-				LatencyNS:        r.LatencyNS,
-				EnergyJ:          r.EnergyJ,
-				AreaUM2:          r.AreaUM2,
-				PowerDensityWCM2: r.PowerDensityWCM2,
-			},
-		}
-	}
-	return out, nil
+	return d.search(query, d.cfg)
 }
 
 // searchFactory maps the engine options onto a per-bucket array builder.

@@ -77,16 +77,32 @@ func TestSearchProteinMatrix(t *testing.T) {
 	}
 }
 
-// TestSearchOptionValidation pins the search-only option guards.
+// TestSearchOptionValidation pins the search-only option guards and the
+// override-to-off sentinels: non-positive WithTopK/WithWorkers and a
+// negative WithThreshold are how a Search call disables a Database-level
+// default, so they must be accepted, not rejected.
 func TestSearchOptionValidation(t *testing.T) {
-	if _, err := racelogic.Search("ACGT", nil, racelogic.WithTopK(0)); err == nil {
-		t.Error("WithTopK(0) must error")
-	}
-	if _, err := racelogic.Search("ACGT", nil, racelogic.WithWorkers(0)); err == nil {
-		t.Error("WithWorkers(0) must error")
-	}
 	if _, err := racelogic.Search("ACGT", nil, racelogic.WithMatrix("")); err == nil {
 		t.Error("WithMatrix(\"\") must error")
+	}
+	g := seqgen.NewDNA(25)
+	entries := g.Database(6, 4)
+	db, err := racelogic.NewDatabase(entries,
+		racelogic.WithThreshold(2), racelogic.WithTopK(1), racelogic.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.Search("ACGT",
+		racelogic.WithThreshold(-1), racelogic.WithTopK(0), racelogic.WithWorkers(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 0 || rep.Matched != len(entries) {
+		t.Errorf("WithThreshold(-1) must disable the default pre-filter: %+v", rep)
+	}
+	if len(rep.Results) != len(entries) {
+		t.Errorf("WithTopK(0) must lift the default truncation: got %d results, want %d",
+			len(rep.Results), len(entries))
 	}
 }
 
