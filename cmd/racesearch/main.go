@@ -7,18 +7,23 @@
 // parsed identically: real FASTA (multi-line records are concatenated
 // into one sequence each) or the plain one-sequence-per-line format,
 // auto-detected, with blank lines and '#'/';' comments skipped and
-// sequences uppercased.
+// sequences uppercased.  With -snapshot FILE the database instead comes
+// from (or goes to) a binary snapshot: if FILE exists it is opened
+// directly — skipping parsing, validation, and seed-index construction,
+// and carrying its own engine options — otherwise the freshly built
+// database is saved there so the next run starts warm.
 //
 // Usage:
 //
-//	racesearch [-db FILE] [-lib AMIS|OSU] [-threshold T] [-top K]
-//	           [-workers N] [-matrix BLOSUM62|PAM250] [-gate m]
-//	           QUERY [FILE]
+//	racesearch [-db FILE | -snapshot FILE] [-lib AMIS|OSU] [-threshold T]
+//	           [-top K] [-workers N] [-matrix BLOSUM62|PAM250] [-gate m]
+//	           [-seedk K] QUERY [FILE]
 //
 // Examples:
 //
 //	racesearch -db genomes.fasta -threshold 30 -top 5 ACGTACGTACGT
-//	racesearch -threshold 30 -top 5 ACGTACGTACGT db.txt
+//	racesearch -db genomes.fasta -seedk 8 -snapshot genomes.snap ACGT
+//	racesearch -snapshot genomes.snap -top 5 ACGTACGTACGT
 //	racesearch -matrix BLOSUM62 HEAGAWGHEE proteins.txt
 package main
 
@@ -35,30 +40,78 @@ import (
 
 func main() {
 	dbFile := flag.String("db", "", "database file, FASTA or one sequence per line (auto-detected)")
+	snapshot := flag.String("snapshot", "", "binary snapshot: open it if present, else save the built database to it")
 	lib := flag.String("lib", "AMIS", "standard-cell library: AMIS or OSU")
 	threshold := flag.Int64("threshold", -1, "Section 6 similarity threshold (-1 = off)")
 	top := flag.Int("top", 10, "number of ranked matches to print")
 	workers := flag.Int("workers", 0, "worker-pool width (0 = number of CPUs)")
 	matrix := flag.String("matrix", "", "protein matrix (BLOSUM62 or PAM250; empty = DNA)")
 	gate := flag.Int("gate", 0, "Section 4.3 clock-gating region size (0 = ungated; DNA only)")
+	seedK := flag.Int("seedk", 0, "k-mer seed index length (0 = race every entry)")
 	flag.Parse()
 	if flag.NArg() < 1 || flag.NArg() > 2 || (*dbFile != "" && flag.NArg() == 2) {
 		fmt.Fprintln(os.Stderr, "usage: racesearch [flags] QUERY [FILE]   (FILE and -db are exclusive)")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	// The loaders uppercase database sequences; treat the query alike.
+	query := strings.ToUpper(flag.Arg(0))
 
-	db, err := loadDB(*dbFile, flag.Args())
+	db, err := resolveDatabase(*snapshot, *dbFile, flag.Args(), *lib, *matrix, *gate, *seedK)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racesearch:", err)
 		os.Exit(1)
 	}
-	// The loaders uppercase database sequences; treat the query alike.
-	query := strings.ToUpper(flag.Arg(0))
-	if err := run(os.Stdout, query, db, *lib, *threshold, *top, *workers, *matrix, *gate); err != nil {
+	if err := search(os.Stdout, db, query, *threshold, *top, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "racesearch:", err)
 		os.Exit(1)
 	}
+}
+
+// resolveDatabase produces the Database to race: an existing snapshot
+// wins (it carries its own engine options — shaping flags the user set
+// explicitly alongside it are rejected as contradictory); otherwise the
+// entries are loaded, a database built, and, when -snapshot names a
+// fresh path, saved there for the next run.
+func resolveDatabase(snapshot, dbFile string, args []string,
+	lib, matrix string, gate, seedK int) (*racelogic.Database, error) {
+
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			var conflict []string
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "db", "lib", "matrix", "gate", "seedk":
+					conflict = append(conflict, "-"+f.Name)
+				}
+			})
+			if len(args) == 2 {
+				conflict = append(conflict, "the positional database FILE")
+			}
+			if len(conflict) > 0 {
+				return nil, fmt.Errorf("snapshot %s already fixes the database and engine options; drop %s",
+					snapshot, strings.Join(conflict, ", "))
+			}
+			return racelogic.OpenSnapshot(snapshot)
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	entries, err := loadDB(dbFile, args)
+	if err != nil {
+		return nil, err
+	}
+	db, err := buildDatabase(entries, lib, matrix, gate, seedK)
+	if err != nil {
+		return nil, err
+	}
+	if snapshot != "" {
+		if err := db.SaveSnapshot(snapshot); err != nil {
+			return nil, fmt.Errorf("saving snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "racesearch: saved %d entries to %s\n", db.Len(), snapshot)
+	}
+	return db, nil
 }
 
 // loadDB resolves the database input — -db FILE, positional FILE, or
@@ -73,8 +126,37 @@ func loadDB(dbFile string, args []string) ([]string, error) {
 	return seqgen.ReadSequences(os.Stdin)
 }
 
-func run(w io.Writer, query string, db []string, lib string, threshold int64, top, workers int, matrix string, gate int) error {
+// buildDatabase maps the engine-shaping flags onto a Database.
+func buildDatabase(entries []string, lib, matrix string, gate, seedK int) (*racelogic.Database, error) {
 	opts := []racelogic.Option{racelogic.WithLibrary(lib)}
+	if matrix != "" {
+		opts = append(opts, racelogic.WithMatrix(matrix))
+	}
+	if gate > 0 {
+		opts = append(opts, racelogic.WithClockGating(gate))
+	}
+	if seedK > 0 {
+		opts = append(opts, racelogic.WithSeedIndex(seedK))
+	}
+	return racelogic.NewDatabase(entries, opts...)
+}
+
+// run is the whole build-and-search path as one call — the shape main
+// takes without a snapshot, kept together for tests.
+func run(w io.Writer, query string, entries []string, lib string, threshold int64,
+	top, workers int, matrix string, gate, seedK int) error {
+
+	db, err := buildDatabase(entries, lib, matrix, gate, seedK)
+	if err != nil {
+		return err
+	}
+	return search(w, db, query, threshold, top, workers)
+}
+
+// search runs one query with the per-search options and prints the
+// ranked report.
+func search(w io.Writer, db *racelogic.Database, query string, threshold int64, top, workers int) error {
+	var opts []racelogic.Option
 	if threshold >= 0 {
 		opts = append(opts, racelogic.WithThreshold(threshold))
 	}
@@ -84,20 +166,16 @@ func run(w io.Writer, query string, db []string, lib string, threshold int64, to
 	if workers > 0 {
 		opts = append(opts, racelogic.WithWorkers(workers))
 	}
-	if matrix != "" {
-		opts = append(opts, racelogic.WithMatrix(matrix))
-	}
-	if gate > 0 {
-		opts = append(opts, racelogic.WithClockGating(gate))
-	}
-
-	rep, err := racelogic.Search(query, db, opts...)
+	rep, err := db.Search(query, opts...)
 	if err != nil {
 		return err
 	}
 
 	fmt.Fprintf(w, "query %s (%d symbols) vs %d entries in %d length buckets (%d arrays built)\n",
-		query, len(query), rep.Scanned, rep.Buckets, rep.EnginesBuilt)
+		query, len(query), rep.Scanned+rep.Skipped, rep.Buckets, rep.EnginesBuilt)
+	if rep.Skipped > 0 {
+		fmt.Fprintf(w, "seed index: %d entries raced, %d skipped without a shared seed\n", rep.Scanned, rep.Skipped)
+	}
 	if threshold >= 0 {
 		fmt.Fprintf(w, "threshold %d: %d matched, %d rejected early\n", threshold, rep.Matched, rep.Rejected)
 	} else {
@@ -107,9 +185,9 @@ func run(w io.Writer, query string, db []string, lib string, threshold int64, to
 	if len(rep.Results) == 0 {
 		fmt.Fprintln(w, "no matches")
 	} else {
-		fmt.Fprintf(w, "%-6s %-7s %-8s %-12s %s\n", "rank", "index", "score", "energy (J)", "sequence")
+		fmt.Fprintf(w, "%-6s %-7s %-8s %-12s %s\n", "rank", "id", "score", "energy (J)", "sequence")
 		for rank, r := range rep.Results {
-			fmt.Fprintf(w, "%-6d %-7d %-8d %-12.3g %s\n", rank+1, r.Index, r.Score, r.Metrics.EnergyJ, r.Sequence)
+			fmt.Fprintf(w, "%-6d %-7d %-8d %-12.3g %s\n", rank+1, r.ID, r.Score, r.Metrics.EnergyJ, r.Sequence)
 		}
 	}
 	fmt.Fprintf(w, "\ntotal: %d cycles, %.3g J across the whole scan\n", rep.TotalCycles, rep.TotalEnergyJ)

@@ -107,7 +107,7 @@ func TestRunTopKMatchesSerialAlign(t *testing.T) {
 func TestRunDNASearch(t *testing.T) {
 	g := seqgen.NewDNA(3)
 	db := g.Database(12, 8)
-	if err := run(io.Discard, g.Random(8), db, "AMIS", 12, 3, 2, "", 0); err != nil {
+	if err := run(io.Discard, g.Random(8), db, "AMIS", 12, 3, 2, "", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -115,7 +115,7 @@ func TestRunDNASearch(t *testing.T) {
 func TestRunProteinSearch(t *testing.T) {
 	g := seqgen.NewProtein(4)
 	db := g.Database(4, 4)
-	if err := run(io.Discard, g.Random(4), db, "AMIS", -1, 2, 1, "BLOSUM62", 0); err != nil {
+	if err := run(io.Discard, g.Random(4), db, "AMIS", -1, 2, 1, "BLOSUM62", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -123,22 +123,82 @@ func TestRunProteinSearch(t *testing.T) {
 func TestRunGatedSearch(t *testing.T) {
 	g := seqgen.NewDNA(5)
 	db := g.Database(6, 6)
-	if err := run(io.Discard, g.Random(6), db, "OSU", 8, 2, 1, "", 2); err != nil {
+	if err := run(io.Discard, g.Random(6), db, "OSU", 8, 2, 1, "", 2, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "ACGT", []string{"ACGT"}, "XFAB", -1, 1, 1, "", 0); err == nil {
+	if err := run(io.Discard, "ACGT", []string{"ACGT"}, "XFAB", -1, 1, 1, "", 0, 0); err == nil {
 		t.Error("unknown library must error")
 	}
-	if err := run(io.Discard, "ACGT", []string{"AXGT"}, "AMIS", -1, 1, 1, "", 0); err == nil {
+	if err := run(io.Discard, "ACGT", []string{"AXGT"}, "AMIS", -1, 1, 1, "", 0, 0); err == nil {
 		t.Error("bad database symbol must error")
 	}
-	if err := run(io.Discard, "WAR", []string{"RAW"}, "AMIS", -1, 1, 1, "BLOSUM80", 0); err == nil {
+	if err := run(io.Discard, "WAR", []string{"RAW"}, "AMIS", -1, 1, 1, "BLOSUM80", 0, 0); err == nil {
 		t.Error("unknown matrix must error")
 	}
-	if err := run(io.Discard, "", []string{"ACGT"}, "AMIS", -1, 1, 1, "", 0); err == nil {
+	if err := run(io.Discard, "", []string{"ACGT"}, "AMIS", -1, 1, 1, "", 0, 0); err == nil {
 		t.Error("empty query must error")
+	}
+}
+
+// TestResolveDatabaseSnapshot pins the -snapshot flow: a fresh path
+// builds from -db and saves; a later run opens the snapshot alone and
+// searches identically.
+func TestResolveDatabaseSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	fasta := filepath.Join(dir, "db.fasta")
+	if err := os.WriteFile(fasta, []byte(">a\nACGTACGT\n>b\nACGTACCT\n>c\nTTTTTTTT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "db.snap")
+
+	built, err := resolveDatabase(snap, fasta, nil, "AMIS", "", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot was not saved: %v", err)
+	}
+	opened, err := resolveDatabase(snap, "", nil, "AMIS", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Len() != built.Len() || opened.SeedK() != 4 {
+		t.Fatalf("reopened len=%d seedk=%d, want %d and 4", opened.Len(), opened.SeedK(), built.Len())
+	}
+	want, err := built.Search("ACGTACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := opened.Search("ACGTACGT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want.Results) || got.Results[0].ID != want.Results[0].ID ||
+		got.Results[0].Score != want.Results[0].Score || got.Skipped != want.Skipped {
+		t.Errorf("snapshot search differs: got %+v, want %+v", got, want)
+	}
+	if err := search(io.Discard, opened, "ACGTACGT", -1, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResolveDatabaseSnapshotRejectsPositionalFile pins that an
+// existing snapshot cannot be silently combined with a positional
+// database FILE: the contradiction is reported, not ignored.
+func TestResolveDatabaseSnapshotRejectsPositionalFile(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "db.snap")
+	db, err := racelogic.NewDatabase([]string{"ACGT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveDatabase(snap, "", []string{"QUERY", "other.txt"}, "AMIS", "", 0, 0); err == nil {
+		t.Error("snapshot + positional FILE must error, not silently ignore the file")
 	}
 }

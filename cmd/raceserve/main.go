@@ -1,13 +1,15 @@
 // Command raceserve is the long-running database-search service: it
 // loads a sequence database once — from a FASTA or line-per-sequence
-// file, or generated for demos — builds a persistent racelogic.Database
-// with pooled engines and an optional k-mer seed index, and serves
-// concurrent similarity queries over an HTTP JSON API.
+// file, a binary snapshot, or generated for demos — builds a persistent
+// racelogic.Database with pooled engines and an optional k-mer seed
+// index, and serves concurrent similarity queries and live mutations
+// over an HTTP JSON API.
 //
 // Usage:
 //
 //	raceserve -db sequences.fasta [flags]
 //	raceserve -gen 10000 -genlen 12 [flags]
+//	raceserve -db seed.fasta -snapshot state.snap [flags]
 //
 // Flags:
 //
@@ -22,25 +24,38 @@
 //	-seedk K             k-mer seed index length (0 = race every entry)
 //	-cache N             LRU report-cache capacity (0 = off)
 //	-top K               default top-K when a request omits top_k
+//	-snapshot FILE       durable state: load FILE if it exists (ignoring
+//	                     -db/-gen and the engine-shaping flags, which a
+//	                     snapshot carries itself), and save the mutated
+//	                     database back to FILE on SIGTERM/SIGINT
 //
 // Endpoints:
 //
-//	POST /search   {"query":"ACGTACGT","top_k":5,"threshold":12}
-//	GET  /healthz  liveness probe
-//	GET  /stats    service counters (searches, engines, cache, uptime)
+//	POST   /search        {"query":"ACGTACGT","top_k":5,"threshold":12}
+//	POST   /entries       {"entries":["ACGTAACC"]} — live insert
+//	DELETE /entries/{id}  live remove by stable ID
+//	GET    /healthz       liveness probe
+//	GET    /stats         service counters (version, mutations, cache, …)
 //
 // Example:
 //
-//	raceserve -db db.fasta -seedk 8 &
+//	raceserve -db db.fasta -seedk 8 -snapshot db.snap &
 //	curl -s localhost:8471/search -d '{"query":"ACGTACGT","top_k":3}'
+//	curl -s localhost:8471/entries -d '{"entries":["ACGTACGA"]}'
+//	curl -s -X DELETE localhost:8471/entries/7
+//	kill -TERM %1   # snapshots to db.snap on the way down
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"racelogic"
@@ -48,26 +63,44 @@ import (
 	"racelogic/internal/server"
 )
 
+// options collects every flag buildServer needs.
+type options struct {
+	dbPath   string
+	gen      int
+	genLen   int
+	seed     int64
+	lib      string
+	matrix   string
+	gate     int
+	seedK    int
+	cache    int
+	top      int
+	snapshot string
+}
+
 func main() {
+	var o options
 	addr := flag.String("addr", ":8471", "listen address")
-	dbPath := flag.String("db", "", "sequence database file (FASTA or one sequence per line)")
-	gen := flag.Int("gen", 0, "generate this many random DNA sequences instead of -db")
-	genLen := flag.Int("genlen", 12, "length of generated sequences")
-	seed := flag.Int64("seed", 42, "generator seed for -gen")
-	lib := flag.String("lib", "AMIS", "standard-cell library: AMIS or OSU")
-	matrix := flag.String("matrix", "", "protein matrix (BLOSUM62 or PAM250; empty = DNA)")
-	gate := flag.Int("gate", 0, "Section 4.3 clock-gating region size (0 = ungated; DNA only)")
-	seedK := flag.Int("seedk", 0, "k-mer seed index length (0 = race every entry)")
-	cache := flag.Int("cache", 128, "LRU report-cache capacity (0 = off)")
-	top := flag.Int("top", 10, "default top-K when a request omits top_k")
+	flag.StringVar(&o.dbPath, "db", "", "sequence database file (FASTA or one sequence per line)")
+	flag.IntVar(&o.gen, "gen", 0, "generate this many random DNA sequences instead of -db")
+	flag.IntVar(&o.genLen, "genlen", 12, "length of generated sequences")
+	flag.Int64Var(&o.seed, "seed", 42, "generator seed for -gen")
+	flag.StringVar(&o.lib, "lib", "AMIS", "standard-cell library: AMIS or OSU")
+	flag.StringVar(&o.matrix, "matrix", "", "protein matrix (BLOSUM62 or PAM250; empty = DNA)")
+	flag.IntVar(&o.gate, "gate", 0, "Section 4.3 clock-gating region size (0 = ungated; DNA only)")
+	flag.IntVar(&o.seedK, "seedk", 0, "k-mer seed index length (0 = race every entry)")
+	flag.IntVar(&o.cache, "cache", 128, "LRU report-cache capacity (0 = off)")
+	flag.IntVar(&o.top, "top", 10, "default top-K when a request omits top_k")
+	flag.StringVar(&o.snapshot, "snapshot", "", "snapshot file: load it if present, save on SIGTERM/SIGINT")
 	flag.Parse()
 
-	srv, n, err := buildServer(*dbPath, *gen, *genLen, *seed, *lib, *matrix, *gate, *seedK, *cache, *top)
+	srv, db, err := buildServer(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raceserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("raceserve: serving %d sequences on %s (seed index k=%d, cache %d)", n, *addr, *seedK, *cache)
+	log.Printf("raceserve: serving %d sequences on %s (version %d, seed index k=%d, cache %d)",
+		db.Len(), *addr, db.Version(), db.SeedK(), o.cache)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -75,60 +108,108 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := hs.ListenAndServe(); err != nil {
+
+	// A mutable corpus makes shutdown a data event, not just a network
+	// one: drain in-flight requests, then snapshot the live database so
+	// the next start resumes exactly here.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	select {
+	case err := <-done:
 		fmt.Fprintln(os.Stderr, "raceserve:", err)
 		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("raceserve: shutdown: %v", err)
+		}
+		// Shutdown gave up with handlers still running.  Hard-close them
+		// before snapshotting: a mutation acknowledged with 200 after the
+		// save would be silently lost on the next warm start.
+		hs.Close()
+	}
+	if o.snapshot != "" {
+		if err := db.SaveSnapshot(o.snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "raceserve: saving snapshot:", err)
+			os.Exit(1)
+		}
+		log.Printf("raceserve: saved %d entries (version %d) to %s", db.Len(), db.Version(), o.snapshot)
 	}
 }
 
 // buildServer loads or generates the database and assembles the HTTP
-// service — everything main does short of listening.
-func buildServer(dbPath string, gen, genLen int, seed int64, lib, matrix string,
-	gate, seedK, cache, top int) (*server.Server, int, error) {
+// service — everything main does short of listening.  When o.snapshot
+// names an existing file, the database comes from it wholesale (entries,
+// engine options, seed index, counters) and the cold-load flags are
+// ignored; otherwise the database is built from -db/-gen and o.snapshot
+// is only the save target.
+func buildServer(o options) (*server.Server, *racelogic.Database, error) {
+	db, err := loadDatabase(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.New(server.Config{DB: db, CacheSize: o.cache, DefaultTopK: o.top})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, db, nil
+}
+
+func loadDatabase(o options) (*racelogic.Database, error) {
+	if o.snapshot != "" {
+		if _, err := os.Stat(o.snapshot); err == nil {
+			db, err := racelogic.OpenSnapshot(o.snapshot)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("raceserve: warm start from %s (%d entries, version %d)", o.snapshot, db.Len(), db.Version())
+			return db, nil
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
 
 	var entries []string
 	var err error
 	switch {
-	case dbPath != "" && gen > 0:
-		return nil, 0, fmt.Errorf("-db and -gen are mutually exclusive")
-	case dbPath != "":
-		entries, err = seqgen.ReadSequencesFile(dbPath)
+	case o.dbPath != "" && o.gen > 0:
+		return nil, fmt.Errorf("-db and -gen are mutually exclusive")
+	case o.dbPath != "":
+		entries, err = seqgen.ReadSequencesFile(o.dbPath)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
-	case gen > 0:
-		if genLen < 1 {
-			return nil, 0, fmt.Errorf("-genlen %d must be ≥ 1", genLen)
+	case o.gen > 0:
+		if o.genLen < 1 {
+			return nil, fmt.Errorf("-genlen %d must be ≥ 1", o.genLen)
 		}
-		alphabet := seqgen.NewDNA(seed)
-		if matrix != "" {
-			alphabet = seqgen.NewProtein(seed)
+		alphabet := seqgen.NewDNA(o.seed)
+		if o.matrix != "" {
+			alphabet = seqgen.NewProtein(o.seed)
 		}
-		entries = alphabet.Database(gen, genLen)
+		entries = alphabet.Database(o.gen, o.genLen)
 	default:
-		return nil, 0, fmt.Errorf("a database is required: -db FILE or -gen N")
+		return nil, fmt.Errorf("a database is required: -db FILE, -gen N, or -snapshot FILE that exists")
 	}
 	if len(entries) == 0 {
-		return nil, 0, fmt.Errorf("database is empty")
+		return nil, fmt.Errorf("database is empty")
 	}
 
-	opts := []racelogic.Option{racelogic.WithLibrary(lib)}
-	if matrix != "" {
-		opts = append(opts, racelogic.WithMatrix(matrix))
+	opts := []racelogic.Option{racelogic.WithLibrary(o.lib)}
+	if o.matrix != "" {
+		opts = append(opts, racelogic.WithMatrix(o.matrix))
 	}
-	if gate > 0 {
-		opts = append(opts, racelogic.WithClockGating(gate))
+	if o.gate > 0 {
+		opts = append(opts, racelogic.WithClockGating(o.gate))
 	}
-	if seedK > 0 {
-		opts = append(opts, racelogic.WithSeedIndex(seedK))
+	if o.seedK > 0 {
+		opts = append(opts, racelogic.WithSeedIndex(o.seedK))
 	}
-	db, err := racelogic.NewDatabase(entries, opts...)
-	if err != nil {
-		return nil, 0, err
-	}
-	srv, err := server.New(server.Config{DB: db, CacheSize: cache, DefaultTopK: top})
-	if err != nil {
-		return nil, 0, err
-	}
-	return srv, len(entries), nil
+	return racelogic.NewDatabase(entries, opts...)
 }

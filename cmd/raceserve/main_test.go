@@ -20,12 +20,12 @@ func TestBuildServerFASTA(t *testing.T) {
 	if err := os.WriteFile(path, []byte(fasta), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, n, err := buildServer(path, 0, 0, 42, "AMIS", "", 0, 4, 16, 5)
+	srv, db, err := buildServer(options{dbPath: path, seed: 42, lib: "AMIS", seedK: 4, cache: 16, top: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 3 {
-		t.Fatalf("loaded %d sequences, want 3", n)
+	if db.Len() != 3 {
+		t.Fatalf("loaded %d sequences, want 3", db.Len())
 	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -54,12 +54,12 @@ func TestBuildServerFASTA(t *testing.T) {
 
 // TestBuildServerGenerated covers the -gen demo path and /healthz.
 func TestBuildServerGenerated(t *testing.T) {
-	srv, n, err := buildServer("", 25, 8, 7, "OSU", "", 0, 0, 0, 3)
+	srv, db, err := buildServer(options{gen: 25, genLen: 8, seed: 7, lib: "OSU", top: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 25 {
-		t.Fatalf("generated %d sequences, want 25", n)
+	if db.Len() != 25 {
+		t.Fatalf("generated %d sequences, want 25", db.Len())
 	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -77,20 +77,83 @@ func TestBuildServerGenerated(t *testing.T) {
 	}
 }
 
+// TestSnapshotLifecycle is the durability loop main implements around
+// SIGTERM: cold start from -gen, mutate over HTTP, save, then warm
+// start from the snapshot alone — same entries, version, and seed
+// index, no -db/-gen needed.
+func TestSnapshotLifecycle(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.snap")
+	o := options{gen: 12, genLen: 8, seed: 9, lib: "AMIS", seedK: 4, cache: 8, top: 5, snapshot: snap}
+
+	// Cold start: the snapshot file does not exist yet.
+	srv, db, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	resp, err := http.Post(ts.URL+"/entries", "application/json",
+		bytes.NewBufferString(`{"entries":["ACGTACGTACGT"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mut server.MutationResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mut); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if err := db.SaveSnapshot(snap); err != nil { // what main does on SIGTERM
+		t.Fatal(err)
+	}
+
+	// Warm start: -gen is still set but the snapshot wins.
+	srv2, db2, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 13 || db2.Version() != db.Version() || db2.SeedK() != 4 {
+		t.Fatalf("warm start: len=%d version=%d seedk=%d, want 13/%d/4",
+			db2.Len(), db2.Version(), db2.SeedK(), db.Version())
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	resp, err = http.Post(ts2.URL+"/search", "application/json",
+		bytes.NewBufferString(`{"query":"ACGTACGTACGT"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr server.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 || sr.Results[0].ID != mut.IDs[0] {
+		t.Errorf("the entry inserted before the restart must survive with its ID %d: %+v", mut.IDs[0], sr.Results)
+	}
+}
+
 func TestBuildServerErrors(t *testing.T) {
-	if _, _, err := buildServer("", 0, 0, 42, "AMIS", "", 0, 0, 0, 0); err == nil {
+	if _, _, err := buildServer(options{lib: "AMIS"}); err == nil {
 		t.Error("no -db and no -gen must error")
 	}
-	if _, _, err := buildServer("somewhere.fasta", 10, 8, 42, "AMIS", "", 0, 0, 0, 0); err == nil {
+	if _, _, err := buildServer(options{dbPath: "somewhere.fasta", gen: 10, genLen: 8, lib: "AMIS"}); err == nil {
 		t.Error("-db with -gen must error")
 	}
-	if _, _, err := buildServer("", 10, 8, 42, "XFAB", "", 0, 0, 0, 0); err == nil {
+	if _, _, err := buildServer(options{gen: 10, genLen: 8, lib: "XFAB"}); err == nil {
 		t.Error("unknown library must error")
 	}
-	if _, _, err := buildServer("", 10, 8, 42, "AMIS", "BLOSUM80", 0, 0, 0, 0); err == nil {
+	if _, _, err := buildServer(options{gen: 10, genLen: 8, lib: "AMIS", matrix: "BLOSUM80"}); err == nil {
 		t.Error("unknown matrix must error")
 	}
-	if _, _, err := buildServer(filepath.Join(t.TempDir(), "missing.fasta"), 0, 0, 42, "AMIS", "", 0, 0, 0, 0); err == nil {
+	if _, _, err := buildServer(options{dbPath: filepath.Join(t.TempDir(), "missing.fasta"), lib: "AMIS"}); err == nil {
 		t.Error("missing database file must error")
+	}
+	// A -snapshot pointing at garbage must refuse to warm-start.
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildServer(options{gen: 5, genLen: 8, lib: "AMIS", snapshot: bad}); err == nil {
+		t.Error("corrupt snapshot must error, not fall back silently")
 	}
 }

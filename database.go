@@ -1,14 +1,20 @@
 package racelogic
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"racelogic/internal/index"
 	"racelogic/internal/pipeline"
 	"racelogic/internal/score"
 )
+
+// ErrUnknownID is wrapped by Database.Remove when an ID does not name a
+// live entry — the HTTP layer maps it to 404 Not Found.
+var ErrUnknownID = errors.New("no entry with that id")
 
 // Database is the persistent form of the paper's Section 1 workload:
 // load a sequence collection once, then serve many similarity queries
@@ -23,18 +29,49 @@ import (
 // race checks a simulator out of its shape pool for exclusive use, so
 // Search may be called from any number of goroutines.  The one-shot
 // Search function is a thin build-then-search wrapper over Database.
+//
+// A Database is also mutable and durable.  Insert and Remove change the
+// collection while searches are in flight: every mutation publishes a
+// new immutable snapshot (pipeline shards and seed index updated
+// incrementally, copy-on-write) and bumps the Version counter, so a
+// concurrent Search sees either all of a mutation or none of it.
+// Entries carry stable uint64 IDs that survive compaction and
+// save/reload; SaveSnapshot and OpenSnapshot persist the whole database
+// — entries, options, seed index, counters — to a checksummed binary
+// file.
 type Database struct {
-	cfg      *config
-	p        *pipeline.DB
-	idx      *index.Index
+	cfg *config
+	p   *pipeline.DB
+
+	// state points to the current immutable view: the pipeline snapshot,
+	// the seed index built over exactly that snapshot's slots, and the
+	// slot→ID table.  Readers load it once per search; writers replace
+	// it whole under mu.
+	state atomic.Pointer[dbstate]
+
+	mu     sync.Mutex     // serializes Insert/Remove/SaveSnapshot
+	byID   map[uint64]int // ID → slot, maintained by writers only
+	nextID uint64
+
 	searches atomic.Int64
+}
+
+// dbstate is one immutable version of everything a search reads.  The
+// three fields advance together: the index covers exactly the
+// snapshot's slot space, and ids[slot] names every slot (tombstoned
+// ones keep their stale ID until compaction).
+type dbstate struct {
+	snap *pipeline.Snapshot
+	idx  *index.Index
+	ids  []uint64
 }
 
 // NewDatabase validates and shards entries once, for many searches.  It
 // accepts every engine-shaping option (WithLibrary, WithMatrix,
 // WithClockGating, WithOneHotEncoding), WithSeedIndex for the k-mer
 // pre-filter, and WithThreshold / WithTopK / WithWorkers as per-search
-// defaults that individual Search calls may override.
+// defaults that individual Search calls may override.  The entries are
+// assigned stable IDs 0..len(entries)-1 in order.
 func NewDatabase(entries []string, opts ...Option) (*Database, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
@@ -43,6 +80,19 @@ func NewDatabase(entries []string, opts ...Option) (*Database, error) {
 	if name := cfg.firstApplied("WithFullScan"); name != "" {
 		return nil, fmt.Errorf("racelogic: %s is a per-search option; pass it to Database.Search instead", name)
 	}
+	ids := make([]uint64, len(entries))
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	return assembleDatabase(cfg, entries, ids, uint64(len(entries)), 0, nil)
+}
+
+// assembleDatabase wires a Database from resolved parts — the shared
+// tail of NewDatabase and OpenSnapshot.  A nil idx is built from the
+// entries when cfg asks for a seed index.
+func assembleDatabase(cfg *config, entries []string, ids []uint64, nextID uint64,
+	version int64, idx *index.Index) (*Database, error) {
+
 	factory, err := searchFactory(cfg)
 	if err != nil {
 		return nil, err
@@ -50,10 +100,7 @@ func NewDatabase(entries []string, opts ...Option) (*Database, error) {
 	// Validate the entry alphabet once at load: a long-running database
 	// must reject a bad entry here, not fail intermittently at query
 	// time whenever a candidate set happens to include it.
-	alphabet := score.DNAAlphabet
-	if cfg.matrix != "" {
-		alphabet = score.ProteinAlphabet
-	}
+	alphabet := cfg.alphabet()
 	for i, entry := range entries {
 		if j := invalidSymbol(entry, alphabet); j >= 0 {
 			return nil, fmt.Errorf("racelogic: database entry %d contains symbol %q outside the engine alphabet (%s)",
@@ -64,14 +111,33 @@ func NewDatabase(entries []string, opts ...Option) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Database{cfg: cfg, p: p}
-	if cfg.seedK > 0 {
-		d.idx, err = index.New(entries, cfg.seedK)
-		if err != nil {
+	if version != 0 {
+		p.SetVersion(version)
+	}
+	if idx == nil && cfg.seedK > 0 {
+		if idx, err = index.New(entries, cfg.seedK); err != nil {
 			return nil, err
 		}
 	}
+	d := &Database{
+		cfg:    cfg,
+		p:      p,
+		byID:   make(map[uint64]int, len(ids)),
+		nextID: nextID,
+	}
+	for slot, id := range ids {
+		d.byID[id] = slot
+	}
+	d.state.Store(&dbstate{snap: p.Snapshot(), idx: idx, ids: ids})
 	return d, nil
+}
+
+// alphabet returns the symbol set the configured engine accepts.
+func (c *config) alphabet() string {
+	if c.matrix != "" {
+		return score.ProteinAlphabet
+	}
+	return score.DNAAlphabet
 }
 
 // invalidSymbol returns the position of the first byte of s outside
@@ -85,19 +151,157 @@ func invalidSymbol(s, alphabet string) int {
 	return -1
 }
 
-// Len returns the number of database entries.
-func (d *Database) Len() int { return d.p.Len() }
+// Insert adds entries to the live database and returns their newly
+// assigned stable IDs, in order.  The length shards and the k-mer seed
+// index are extended incrementally — no rebuild, no pause: searches in
+// flight keep their pre-insert snapshot, searches started after Insert
+// returns see every new entry.  Entries are validated against the
+// engine alphabet first; on any invalid entry nothing is inserted.
+// Inserting zero entries is a no-op that does not bump the version.
+func (d *Database) Insert(entries ...string) ([]uint64, error) {
+	alphabet := d.cfg.alphabet()
+	for i, entry := range entries {
+		if len(entry) == 0 {
+			return nil, fmt.Errorf("racelogic: inserted entry %d is empty", i)
+		}
+		if j := invalidSymbol(entry, alphabet); j >= 0 {
+			return nil, fmt.Errorf("racelogic: inserted entry %d contains symbol %q outside the engine alphabet (%s)",
+				i, entry[j], alphabet)
+		}
+	}
+	if len(entries) == 0 {
+		return []uint64{}, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.state.Load()
+	start, snap, err := d.p.Insert(entries)
+	if err != nil {
+		return nil, err
+	}
+	idx := cur.idx
+	if idx != nil {
+		idx = idx.Grow(entries)
+	}
+	newIDs := make([]uint64, len(entries))
+	ids := cur.ids
+	for j := range entries {
+		newIDs[j] = d.nextID
+		d.byID[d.nextID] = start + j
+		d.nextID++
+		ids = append(ids, newIDs[j])
+	}
+	d.state.Store(&dbstate{snap: snap, idx: idx, ids: ids})
+	return newIDs, nil
+}
 
-// Buckets returns the number of distinct entry lengths.
-func (d *Database) Buckets() int { return d.p.Buckets() }
+// Remove deletes the entries with the given stable IDs.  It is
+// all-or-nothing: an unknown or repeated ID returns an error (wrapping
+// ErrUnknownID for unknown ones) with nothing removed.  Removal
+// tombstones the entries' slots — the seed index keeps its postings and
+// searches filter them — until tombstones outnumber live entries, at
+// which point the database compacts: slots are renumbered densely and
+// the seed index rebuilt, with IDs unchanged throughout.  In-flight
+// searches keep their pre-remove snapshot either way.
+func (d *Database) Remove(ids ...uint64) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	slots := make([]int, len(ids))
+	seen := make(map[uint64]bool, len(ids))
+	for i, id := range ids {
+		slot, ok := d.byID[id]
+		if !ok {
+			return fmt.Errorf("racelogic: remove %d: %w", id, ErrUnknownID)
+		}
+		if seen[id] {
+			return fmt.Errorf("racelogic: remove: id %d repeated in one call", id)
+		}
+		seen[id] = true
+		slots[i] = slot
+	}
+	cur := d.state.Load()
+	snap, err := d.p.Remove(slots)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		delete(d.byID, id)
+	}
+	next := &dbstate{snap: snap, idx: cur.idx, ids: cur.ids}
+	// Compact once tombstones outnumber live entries: the wasted slots
+	// cost collector memory per search and stale postings per seed
+	// lookup, and a dense rebuild is O(live) — cheap exactly when the
+	// live set has shrunk.
+	if snap.Dead() > snap.Len() {
+		if next, err = d.compactLocked(next); err != nil {
+			return err
+		}
+	}
+	d.state.Store(next)
+	return nil
+}
+
+// compactLocked rebuilds cur densely (dropping tombstones) and returns
+// the replacement state.  Caller holds d.mu and stores the result.
+func (d *Database) compactLocked(cur *dbstate) (*dbstate, error) {
+	remap, snap := d.p.Compact()
+	if remap == nil {
+		return cur, nil
+	}
+	ids := make([]uint64, snap.Slots())
+	for old, slot := range remap {
+		if slot >= 0 {
+			ids[slot] = cur.ids[old]
+			d.byID[cur.ids[old]] = slot
+		}
+	}
+	idx := cur.idx
+	if idx != nil {
+		var err error
+		if idx, err = index.New(snap.Entries(), idx.K()); err != nil {
+			return nil, err
+		}
+	}
+	return &dbstate{snap: snap, idx: idx, ids: ids}, nil
+}
+
+// Len returns the number of live database entries.
+func (d *Database) Len() int { return d.state.Load().snap.Len() }
+
+// Buckets returns the number of distinct live entry lengths.
+func (d *Database) Buckets() int { return d.state.Load().snap.Buckets() }
+
+// Version returns the mutation counter: 0 for a fresh database,
+// incremented by every Insert, Remove, and compaction, and preserved
+// across SaveSnapshot/OpenSnapshot.
+func (d *Database) Version() int64 { return d.state.Load().snap.Version() }
+
+// Tombstones returns the number of removed entries whose slots have not
+// been compacted away yet.
+func (d *Database) Tombstones() int { return d.state.Load().snap.Dead() }
+
+// IDs returns the stable IDs of every live entry, in slot order.
+func (d *Database) IDs() []uint64 {
+	st := d.state.Load()
+	out := make([]uint64, 0, st.snap.Len())
+	for slot := 0; slot < st.snap.Slots(); slot++ {
+		if st.snap.Live(slot) {
+			out = append(out, st.ids[slot])
+		}
+	}
+	return out
+}
 
 // SeedK returns the k-mer seed length, or 0 when the database was built
 // without WithSeedIndex.
 func (d *Database) SeedK() int {
-	if d.idx == nil {
+	if d.state.Load().idx == nil {
 		return 0
 	}
-	return d.idx.K()
+	return d.state.Load().idx.K()
 }
 
 // EnginesBuilt returns the number of arrays compiled over the database's
@@ -113,11 +317,14 @@ func (d *Database) PooledEngines() int { return d.p.PooledEngines() }
 func (d *Database) Searches() int64 { return d.searches.Load() }
 
 // Search scores query against the database and returns the ranked
-// report.  It is safe for concurrent callers.  Per-search options —
-// WithThreshold, WithTopK, WithWorkers, WithFullScan — override the
-// database defaults; options that shape the compiled engines or the seed
-// index (WithLibrary, WithMatrix, WithClockGating, WithOneHotEncoding,
-// WithSeedIndex) are fixed at construction and rejected here.
+// report.  It is safe for concurrent callers, including concurrently
+// with Insert and Remove: the whole search runs against the snapshot
+// current when it started, and the report's Version records which one.
+// Per-search options — WithThreshold, WithTopK, WithWorkers,
+// WithFullScan — override the database defaults; options that shape the
+// compiled engines or the seed index (WithLibrary, WithMatrix,
+// WithClockGating, WithOneHotEncoding, WithSeedIndex) are fixed at
+// construction and rejected here.
 func (d *Database) Search(query string, opts ...Option) (*SearchReport, error) {
 	cfg := *d.cfg
 	cfg.applied = nil
@@ -132,25 +339,37 @@ func (d *Database) Search(query string, opts ...Option) (*SearchReport, error) {
 	return d.search(query, &cfg)
 }
 
-// search runs one query under a fully resolved config.
+// search runs one query under a fully resolved config, against the
+// state loaded once here.
 func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
+	st := d.state.Load()
 	var cands []int
 	skipped := 0
 	// A query shorter than k carries no seeds, so the index cannot
 	// filter: skip the lookup entirely rather than materialize an
 	// identity candidate slice.
-	if d.idx != nil && !cfg.fullScan && len(query) >= d.idx.K() {
-		cands = d.idx.Candidates(query)
-		if len(cands) == d.p.Len() {
+	if st.idx != nil && !cfg.fullScan && len(query) >= st.idx.K() {
+		cands = st.idx.Candidates(query)
+		// Postings may still name tombstoned slots (removal leaves the
+		// index untouched until compaction); drop them here.
+		n := 0
+		for _, slot := range cands {
+			if st.snap.Live(slot) {
+				cands[n] = slot
+				n++
+			}
+		}
+		cands = cands[:n]
+		if len(cands) == st.snap.Len() {
 			// Full coverage: fall back to the nil "scan everything"
 			// convention so the pipeline reuses the buckets sharded at
-			// construction.
+			// publish time.
 			cands = nil
 		} else {
-			skipped = d.p.Len() - len(cands)
+			skipped = st.snap.Len() - len(cands)
 		}
 	}
-	rep, err := d.p.Search(query, pipeline.Request{
+	rep, err := d.p.SearchAt(st.snap, query, pipeline.Request{
 		Threshold:  cfg.threshold,
 		Workers:    cfg.workers,
 		TopK:       cfg.topK,
@@ -162,6 +381,7 @@ func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
 	d.searches.Add(1)
 	out := &SearchReport{
 		Query:        query,
+		Version:      st.snap.Version(),
 		Results:      make([]SearchResult, len(rep.Results)),
 		Scanned:      rep.Scanned,
 		Skipped:      skipped,
@@ -175,6 +395,7 @@ func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
 	for i, r := range rep.Results {
 		out.Results[i] = SearchResult{
 			Index:    r.Index,
+			ID:       st.ids[r.Index],
 			Sequence: r.Sequence,
 			Score:    r.Score,
 			Metrics: Metrics{

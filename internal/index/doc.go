@@ -13,8 +13,9 @@
 // skipped entries cost zero cycles and zero energy.
 //
 // The index is an inverted map from every k-mer to the ascending list of
-// entries containing it, built once per database.  Candidate lookup is a
-// union over the query's k-mers.  Entries shorter than k carry no k-mer
+// entries containing it, built once per database and grown incrementally
+// (copy-on-write, see Grow) as entries are inserted.  Candidate lookup
+// is a union over the query's k-mers.  Entries shorter than k carry no k-mer
 // and can never be filtered soundly, so they are always candidates;
 // likewise a query shorter than k disables filtering for that search.
 // The candidate set is deterministic, so seeded searches compose with the

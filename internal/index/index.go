@@ -1,10 +1,16 @@
 package index
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
 
 // Index is an inverted k-mer index over a sequence database: for every
 // length-k substring, the ascending list of entries containing it.  An
-// Index is immutable after New and safe for concurrent use.
+// Index is immutable after construction and safe for concurrent use;
+// Grow derives an extended Index copy-on-write instead of mutating.
 type Index struct {
 	k        int
 	n        int
@@ -38,6 +44,44 @@ func New(entries []string, k int) (*Index, error) {
 		}
 	}
 	return ix, nil
+}
+
+// Grow returns a new Index covering the old entries plus entries
+// appended at slots [ix.Len(), ix.Len()+len(entries)) — the incremental
+// update for a database insert, costing one postings-map header copy
+// plus the new entries' own k-mers instead of a from-scratch rebuild.
+//
+// Posting lists are shared with the parent: new slot numbers exceed
+// every indexed one, so appends land past the length of every older
+// Index and readers of those keep an intact view.  That copy-on-write
+// argument requires growth to be linear — derive each Grow from the
+// most recently derived Index (one serialized writer), never fork two
+// children off one parent.
+func (ix *Index) Grow(entries []string) *Index {
+	nx := &Index{
+		k:        ix.k,
+		n:        ix.n + len(entries),
+		postings: make(map[string][]int, len(ix.postings)),
+		always:   ix.always,
+	}
+	for kmer, post := range ix.postings {
+		nx.postings[kmer] = post
+	}
+	for j, entry := range entries {
+		i := ix.n + j
+		if len(entry) < ix.k {
+			nx.always = append(nx.always, i)
+			continue
+		}
+		for o := 0; o+ix.k <= len(entry); o++ {
+			kmer := entry[o : o+ix.k]
+			post := nx.postings[kmer]
+			if len(post) == 0 || post[len(post)-1] != i {
+				nx.postings[kmer] = append(post, i)
+			}
+		}
+	}
+	return nx
 }
 
 // K returns the seed length.
@@ -85,4 +129,130 @@ func (ix *Index) Candidates(query string) []int {
 		}
 	}
 	return cands
+}
+
+// Source is the reader Decode consumes.  Callers wrap their stream in a
+// checksumming reader that must observe every byte exactly once, so
+// Decode reads precisely the encoded bytes and never buffers ahead.
+type Source interface {
+	io.Reader
+	io.ByteReader
+}
+
+// Encode writes the index in the snapshot wire format: uvarint-framed
+// counts, slots, and k-mer strings, with k-mers sorted so equal indexes
+// always serialize to identical bytes.
+func (ix *Index) Encode(w io.Writer) error {
+	buf := make([]byte, 0, 1<<12)
+	u := func(v int) { buf = binary.AppendUvarint(buf, uint64(v)) }
+	u(ix.k)
+	u(ix.n)
+	u(len(ix.always))
+	for _, i := range ix.always {
+		u(i)
+	}
+	kmers := make([]string, 0, len(ix.postings))
+	for kmer := range ix.postings {
+		kmers = append(kmers, kmer)
+	}
+	sort.Strings(kmers)
+	u(len(kmers))
+	for _, kmer := range kmers {
+		u(len(kmer))
+		buf = append(buf, kmer...)
+		post := ix.postings[kmer]
+		u(len(post))
+		for _, i := range post {
+			u(i)
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Decode reads an Encode-format index back.  It validates structure —
+// slot ranges, ascending postings, k-mer lengths — so a corrupted or
+// hand-rolled stream fails here rather than misrouting searches later.
+func Decode(r Source) (*Index, error) {
+	u := func() (int, error) {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("index: decode: %w", err)
+		}
+		if v > 1<<40 {
+			return 0, fmt.Errorf("index: decode: implausible count %d", v)
+		}
+		return int(v), nil
+	}
+	k, err := u()
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("index: decode: seed length %d must be ≥ 1", k)
+	}
+	n, err := u()
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{k: k, n: n, postings: make(map[string][]int)}
+	nAlways, err := u()
+	if err != nil {
+		return nil, err
+	}
+	prev := -1
+	for a := 0; a < nAlways; a++ {
+		i, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if i <= prev || i >= n {
+			return nil, fmt.Errorf("index: decode: always-slot %d not ascending in [0,%d)", i, n)
+		}
+		prev = i
+		ix.always = append(ix.always, i)
+	}
+	nKmers, err := u()
+	if err != nil {
+		return nil, err
+	}
+	for m := 0; m < nKmers; m++ {
+		klen, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if klen != k {
+			return nil, fmt.Errorf("index: decode: k-mer length %d, want %d", klen, k)
+		}
+		kb := make([]byte, klen)
+		if _, err := io.ReadFull(r, kb); err != nil {
+			return nil, fmt.Errorf("index: decode: %w", err)
+		}
+		kmer := string(kb)
+		if _, dup := ix.postings[kmer]; dup {
+			return nil, fmt.Errorf("index: decode: duplicate k-mer %q", kmer)
+		}
+		nPost, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if nPost < 1 {
+			return nil, fmt.Errorf("index: decode: k-mer %q has no postings", kmer)
+		}
+		post := make([]int, 0, min(nPost, 1<<16))
+		prev = -1
+		for p := 0; p < nPost; p++ {
+			i, err := u()
+			if err != nil {
+				return nil, err
+			}
+			if i <= prev || i >= n {
+				return nil, fmt.Errorf("index: decode: posting slot %d for %q not ascending in [0,%d)", i, kmer, n)
+			}
+			prev = i
+			post = append(post, i)
+		}
+		ix.postings[kmer] = post
+	}
+	return ix, nil
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -111,5 +112,112 @@ func TestStats(t *testing.T) {
 	// Distinct 3-mers: ACG, CGT, CGA.
 	if ix.Kmers() != 3 {
 		t.Errorf("Kmers=%d, want 3", ix.Kmers())
+	}
+}
+
+// TestGrowMatchesFromScratch is the incremental-update property: growing
+// an index batch by batch must leave it bit-identical (k-mers, postings,
+// unfilterable short entries) to a from-scratch New over the same
+// entries, and must leave every parent index untouched.
+func TestGrowMatchesFromScratch(t *testing.T) {
+	g := seqgen.NewDNA(37)
+	var all []string
+	for _, n := range []int{2, 5, 8, 11} {
+		all = append(all, g.Database(6, n)...)
+	}
+	for _, k := range []int{3, 4, 6} {
+		ix, err := New(all[:5], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for at := 5; at < len(all); at += 7 {
+			end := at + 7
+			if end > len(all) {
+				end = len(all)
+			}
+			parent := ix
+			parentCands := parent.Candidates(all[0])
+			ix = ix.Grow(all[at:end])
+			if got := parent.Candidates(all[0]); !reflect.DeepEqual(got, parentCands) {
+				t.Fatalf("k=%d: Grow mutated its parent: %v vs %v", k, got, parentCands)
+			}
+			if ix.Len() != end {
+				t.Fatalf("k=%d: grown Len=%d, want %d", k, ix.Len(), end)
+			}
+		}
+		fresh, err := New(all, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ix, fresh) {
+			t.Errorf("k=%d: incrementally grown index differs from from-scratch build", k)
+		}
+		for trial := 0; trial < 8; trial++ {
+			q := g.Random(3 + trial)
+			if got, want := ix.Candidates(q), fresh.Candidates(q); !reflect.DeepEqual(got, want) {
+				t.Errorf("k=%d query %q: grown candidates %v, fresh %v", k, q, got, want)
+			}
+		}
+	}
+}
+
+// TestGrowEmptyAndShort pins the edge cases: growing by nothing is an
+// identical copy, and entries shorter than k land in the unfilterable
+// set.
+func TestGrowEmptyAndShort(t *testing.T) {
+	ix, err := New([]string{"ACGTACGT"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := ix.Grow(nil)
+	if !reflect.DeepEqual(same, ix) {
+		t.Error("Grow(nil) must be an identical copy")
+	}
+	grown := ix.Grow([]string{"AC", "TTTTT"})
+	if grown.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", grown.Len())
+	}
+	if got := grown.Candidates("GGGGG"); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("short entry must stay unfilterable, candidates = %v", got)
+	}
+	if got := grown.Candidates("TTTT"); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("grown entry must be seed-reachable, candidates = %v", got)
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the wire format: Decode(Encode(ix)) is
+// bit-identical, encoding is deterministic, and truncated streams error.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := seqgen.NewDNA(41)
+	var entries []string
+	for _, n := range []int{2, 6, 9} {
+		entries = append(entries, g.Database(8, n)...)
+	}
+	ix, err := New(entries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := ix.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("Encode is not deterministic")
+	}
+	back, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ix) {
+		t.Error("decoded index differs from the original")
+	}
+	for _, cut := range []int{1, buf.Len() / 2, buf.Len() - 1} {
+		if _, err := Decode(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes must error", cut)
+		}
 	}
 }

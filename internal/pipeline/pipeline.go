@@ -19,6 +19,16 @@
 // DB.Search is safe for concurrent callers.  One-shot callers (the
 // public racelogic.Search) simply build a DB, run one query, and drop it.
 //
+// The pipeline is also mutable: the sharded state lives in an immutable
+// Snapshot behind an atomic pointer, and Insert/Remove derive a new
+// snapshot copy-on-write — shard maps are copied by header, slices are
+// shared and only ever appended past every older snapshot's length — so
+// an in-flight search keeps racing the exact version it loaded while
+// mutations publish new versions beside it.  Remove tombstones slots
+// instead of renumbering them; Compact rebuilds densely once tombstones
+// are worth reclaiming.  Engine pools are keyed by shape alone, so every
+// snapshot version shares the same warm pools.
+//
 // Within one search, buckets are split into chunks and fanned out over a
 // channel-fed worker pool so independent arrays race concurrently; the
 // Section 6 similarity threshold rejects dissimilar entries after only
@@ -140,17 +150,70 @@ type enginePool struct {
 // released beyond the cap are simply dropped for the GC.
 const DefaultMaxIdleEngines = 128
 
+// Snapshot is one immutable version of the sharded database.  A search
+// loads the current snapshot once and races it to completion, so every
+// report is internally consistent no matter how many mutations publish
+// newer versions mid-flight.  Snapshots address entries by slot: a slot
+// is assigned at insert and keeps its entry until a Remove tombstones it
+// and a later Compact reclaims it (renumbering the survivors).
+type Snapshot struct {
+	version int64
+	entries []string // slot -> entry; tombstoned slots keep stale strings
+	live    []bool   // slot -> still part of the database
+	liveN   int
+	lengths []int         // distinct live entry lengths, first-appearance order
+	buckets map[int][]int // entry length -> ascending live slot indices
+}
+
+// Version is the mutation counter value this snapshot was published at.
+func (s *Snapshot) Version() int64 { return s.version }
+
+// Len returns the number of live entries.
+func (s *Snapshot) Len() int { return s.liveN }
+
+// Slots returns the slot-space size: live entries plus tombstones.
+func (s *Snapshot) Slots() int { return len(s.entries) }
+
+// Dead returns the number of tombstoned slots awaiting compaction.
+func (s *Snapshot) Dead() int { return len(s.entries) - s.liveN }
+
+// Live reports whether slot i holds a live entry.
+func (s *Snapshot) Live(i int) bool { return i >= 0 && i < len(s.live) && s.live[i] }
+
+// Entry returns the entry at slot i; the slot must be live.
+func (s *Snapshot) Entry(i int) string { return s.entries[i] }
+
+// Buckets returns the number of distinct live entry lengths.
+func (s *Snapshot) Buckets() int { return len(s.buckets) }
+
+// Entries returns the live entries in slot order.  On a compacted (or
+// never-mutated) snapshot the result is the dense slot array itself, so
+// callers serializing a snapshot must not modify it.
+func (s *Snapshot) Entries() []string {
+	if s.liveN == len(s.entries) {
+		return s.entries
+	}
+	out := make([]string, 0, s.liveN)
+	for i, e := range s.entries {
+		if s.live[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // DB is a persistent, concurrency-safe search pipeline: the database is
-// sharded into length buckets once, and compiled engines are pooled per
-// (query length, entry length) shape across queries.
+// sharded into length buckets held in a copy-on-write Snapshot, and
+// compiled engines are pooled per (query length, entry length) shape
+// across queries and snapshot versions.
 type DB struct {
-	entries []string
-	lengths []int         // distinct entry lengths, first-appearance order
-	buckets map[int][]int // entry length -> ascending entry indices
 	factory Factory
 	lib     *tech.Library
 
-	mu      sync.Mutex
+	snap atomic.Pointer[Snapshot]
+	wmu  sync.Mutex // serializes Insert/Remove/Compact/SetVersion
+
+	mu      sync.Mutex // guards pools
 	pools   map[poolKey]*enginePool
 	built   atomic.Int64 // engines constructed over the DB's lifetime
 	idle    atomic.Int64 // engines currently parked across all pools
@@ -168,30 +231,194 @@ func NewDB(entries []string, factory Factory, lib *tech.Library) (*DB, error) {
 		lib = tech.AMIS()
 	}
 	d := &DB{
-		entries: entries,
-		buckets: make(map[int][]int),
 		factory: factory,
 		lib:     lib,
 		pools:   make(map[poolKey]*enginePool),
 	}
 	d.maxIdle.Store(DefaultMaxIdleEngines)
+	s := &Snapshot{
+		entries: entries,
+		live:    make([]bool, len(entries)),
+		liveN:   len(entries),
+		buckets: make(map[int][]int),
+	}
 	for i, entry := range entries {
 		if len(entry) == 0 {
 			return nil, fmt.Errorf("pipeline: database entry %d is empty", i)
 		}
-		if _, seen := d.buckets[len(entry)]; !seen {
-			d.lengths = append(d.lengths, len(entry))
+		s.live[i] = true
+		if _, seen := s.buckets[len(entry)]; !seen {
+			s.lengths = append(s.lengths, len(entry))
 		}
-		d.buckets[len(entry)] = append(d.buckets[len(entry)], i)
+		s.buckets[len(entry)] = append(s.buckets[len(entry)], i)
 	}
+	d.snap.Store(s)
 	return d, nil
 }
 
-// Len returns the number of database entries.
-func (d *DB) Len() int { return len(d.entries) }
+// Snapshot returns the current database version.  The returned snapshot
+// is immutable and remains searchable via SearchAt after newer versions
+// are published.
+func (d *DB) Snapshot() *Snapshot { return d.snap.Load() }
 
-// Buckets returns the number of distinct entry lengths.
-func (d *DB) Buckets() int { return len(d.buckets) }
+// Version returns the current snapshot's mutation counter.
+func (d *DB) Version() int64 { return d.snap.Load().version }
+
+// SetVersion republishes the current snapshot stamped with version v —
+// the restore path for a database deserialized from disk, which must
+// resume its persisted mutation counter rather than restart at zero.
+func (d *DB) SetVersion(v int64) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	ns := *d.snap.Load()
+	ns.version = v
+	d.snap.Store(&ns)
+}
+
+// Insert appends entries as new slots of a copy-on-write derived
+// snapshot and publishes it.  It returns the first new slot index and
+// the published snapshot.  Shared state is never mutated in place: the
+// bucket map is copied by header, and slices are only appended past
+// every older snapshot's length, so concurrent SearchAt callers keep an
+// intact view.  Empty entries are rejected before anything is published.
+func (d *DB) Insert(entries []string) (start int, snap *Snapshot, err error) {
+	for i, entry := range entries {
+		if len(entry) == 0 {
+			return 0, nil, fmt.Errorf("pipeline: inserted entry %d is empty", i)
+		}
+	}
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	cur := d.snap.Load()
+	start = len(cur.entries)
+	ns := &Snapshot{
+		version: cur.version + 1,
+		entries: append(cur.entries, entries...),
+		live:    cur.live,
+		liveN:   cur.liveN + len(entries),
+		lengths: cur.lengths,
+		buckets: make(map[int][]int, len(cur.buckets)+1),
+	}
+	for m, idx := range cur.buckets {
+		ns.buckets[m] = idx
+	}
+	for j, entry := range entries {
+		ns.live = append(ns.live, true)
+		m := len(entry)
+		if _, seen := ns.buckets[m]; !seen {
+			ns.lengths = append(ns.lengths, m)
+		}
+		ns.buckets[m] = append(ns.buckets[m], start+j)
+	}
+	d.snap.Store(ns)
+	return start, ns, nil
+}
+
+// Remove tombstones the given live slots in a derived snapshot and
+// publishes it.  The affected length buckets are rewritten without the
+// removed slots (fresh backing arrays), so searches never race a removed
+// entry; the slots themselves are reclaimed only by Compact.  A slot
+// that is out of range, already dead, or repeated is an error, reported
+// before anything is published — Remove is all-or-nothing.
+func (d *DB) Remove(slots []int) (*Snapshot, error) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	cur := d.snap.Load()
+	live := make([]bool, len(cur.live))
+	copy(live, cur.live)
+	affected := make(map[int]bool)
+	for _, i := range slots {
+		if i < 0 || i >= len(cur.entries) || !live[i] {
+			return nil, fmt.Errorf("pipeline: slot %d is not a live entry", i)
+		}
+		live[i] = false
+		affected[len(cur.entries[i])] = true
+	}
+	buckets := make(map[int][]int, len(cur.buckets))
+	for m, idx := range cur.buckets {
+		buckets[m] = idx
+	}
+	emptied := false
+	for m := range affected {
+		old := buckets[m]
+		kept := make([]int, 0, len(old))
+		for _, i := range old {
+			if live[i] {
+				kept = append(kept, i)
+			}
+		}
+		if len(kept) == 0 {
+			delete(buckets, m)
+			emptied = true
+		} else {
+			buckets[m] = kept
+		}
+	}
+	lengths := cur.lengths
+	if emptied {
+		lengths = make([]int, 0, len(buckets))
+		for _, m := range cur.lengths {
+			if _, ok := buckets[m]; ok {
+				lengths = append(lengths, m)
+			}
+		}
+	}
+	ns := &Snapshot{
+		version: cur.version + 1,
+		entries: cur.entries,
+		live:    live,
+		liveN:   cur.liveN - len(slots),
+		lengths: lengths,
+		buckets: buckets,
+	}
+	d.snap.Store(ns)
+	return ns, nil
+}
+
+// Compact rebuilds the current snapshot densely, dropping tombstoned
+// slots and renumbering the survivors in slot order.  It returns the
+// old-slot→new-slot remap (-1 for dropped slots) and the published
+// snapshot; when there is nothing to reclaim it returns a nil remap and
+// the current snapshot unchanged.  Callers holding slot-derived state (a
+// seed index, an ID table) must rebuild it through the remap.
+func (d *DB) Compact() (remap []int, snap *Snapshot) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	cur := d.snap.Load()
+	if cur.liveN == len(cur.entries) {
+		return nil, cur
+	}
+	remap = make([]int, len(cur.entries))
+	ns := &Snapshot{
+		version: cur.version + 1,
+		entries: make([]string, 0, cur.liveN),
+		live:    make([]bool, cur.liveN),
+		liveN:   cur.liveN,
+		buckets: make(map[int][]int),
+	}
+	for i, entry := range cur.entries {
+		if !cur.live[i] {
+			remap[i] = -1
+			continue
+		}
+		slot := len(ns.entries)
+		remap[i] = slot
+		ns.entries = append(ns.entries, entry)
+		ns.live[slot] = true
+		if _, seen := ns.buckets[len(entry)]; !seen {
+			ns.lengths = append(ns.lengths, len(entry))
+		}
+		ns.buckets[len(entry)] = append(ns.buckets[len(entry)], slot)
+	}
+	d.snap.Store(ns)
+	return remap, ns
+}
+
+// Len returns the number of live database entries.
+func (d *DB) Len() int { return d.snap.Load().Len() }
+
+// Buckets returns the number of distinct live entry lengths.
+func (d *DB) Buckets() int { return d.snap.Load().Buckets() }
 
 // EnginesBuilt returns the number of engines constructed over the DB's
 // lifetime, across all searches and shapes.
@@ -301,12 +528,20 @@ type entrySlots struct {
 	rejected []bool
 }
 
-// Search scores query against the database (or the Candidates subset)
-// and returns the ranked report.  It is safe for concurrent callers: all
-// per-search state is local and engines are checked out of the pools for
-// exclusive use.  An empty query is an error; an empty database or empty
-// candidate set yields an empty report.
+// Search scores query against the current snapshot.  See SearchAt.
 func (d *DB) Search(query string, req Request) (*Report, error) {
+	return d.SearchAt(d.snap.Load(), query, req)
+}
+
+// SearchAt scores query against one immutable snapshot (or its
+// Candidates subset) and returns the ranked report.  It is safe for
+// concurrent callers: all per-search state is local and engines are
+// checked out of the pools for exclusive use.  Because the snapshot is
+// loaded once and never changes, a search overlapping Insert/Remove
+// sees either all of a mutation or none of it.  An empty query is an
+// error, as is a candidate slot that is out of range or tombstoned; an
+// empty database or empty candidate set yields an empty report.
+func (d *DB) SearchAt(s *Snapshot, query string, req Request) (*Report, error) {
 	if len(query) == 0 {
 		return nil, fmt.Errorf("pipeline: empty query")
 	}
@@ -315,43 +550,46 @@ func (d *DB) Search(query string, req Request) (*Report, error) {
 		workers = runtime.NumCPU()
 	}
 
-	// Resolve the scan set: the whole database (scan == nil, reusing the
-	// buckets sharded once at construction) or the candidate subset a
-	// seed index picked (bucketed here by scan position, bucket order
-	// fixed by first appearance so chunking is deterministic).  Chunk
-	// indices address the scan slice, so collector state below scales
-	// with the scan size, not the database size.
-	var scan []int // nil = identity: scan position == database index
-	scanLen := len(d.entries)
-	buckets := d.buckets
-	lengths := d.lengths
+	// Resolve the scan set: the whole snapshot (scan == nil, reusing the
+	// buckets sharded at publish time, which hold live slots only) or
+	// the candidate subset a seed index picked (bucketed here by scan
+	// position, bucket order fixed by first appearance so chunking is
+	// deterministic).  Chunk indices address the scan slice, so
+	// collector state below scales with the scan size, not the database
+	// size.
+	var scan []int // nil = identity: scan position == snapshot slot
+	raced := s.liveN
+	slotSpan := len(s.entries) // collector span under the identity scan
+	buckets := s.buckets
+	lengths := s.lengths
 	if req.Candidates != nil {
 		scan = req.Candidates
-		scanLen = len(scan)
+		raced = len(scan)
+		slotSpan = len(scan)
 		buckets = make(map[int][]int)
 		lengths = nil
 		for si, i := range scan {
-			if i < 0 || i >= len(d.entries) {
-				return nil, fmt.Errorf("pipeline: candidate index %d out of range [0,%d)", i, len(d.entries))
+			if !s.Live(i) {
+				return nil, fmt.Errorf("pipeline: candidate slot %d out of range [0,%d) or not live", i, len(s.entries))
 			}
-			m := len(d.entries[i])
+			m := len(s.entries[i])
 			if _, seen := buckets[m]; !seen {
 				lengths = append(lengths, m)
 			}
 			buckets[m] = append(buckets[m], si)
 		}
 	}
-	report := &Report{Scanned: scanLen, Buckets: len(buckets)}
-	if scanLen == 0 {
+	report := &Report{Scanned: raced, Buckets: len(buckets)}
+	if raced == 0 {
 		report.Results = []Result{}
 		return report, nil
 	}
 
-	// Split buckets into chunks of at most ⌈scanned/workers⌉ entries so
+	// Split buckets into chunks of at most ⌈raced/workers⌉ entries so
 	// a single dominant bucket still spreads across the pool, while
 	// small buckets stay whole and cost one engine checkout each.  The
-	// shared d.buckets slices are only re-sliced here, never written.
-	target := (scanLen + workers - 1) / workers
+	// shared bucket slices are only re-sliced here, never written.
+	target := (raced + workers - 1) / workers
 	var chunks []chunk
 	for _, m := range lengths {
 		idx := buckets[m]
@@ -363,10 +601,10 @@ func (d *DB) Search(query string, req Request) (*Report, error) {
 	}
 
 	slots := &entrySlots{
-		results:  make([]*Result, scanLen),
-		cycles:   make([]int, scanLen),
-		energyJ:  make([]float64, scanLen),
-		rejected: make([]bool, scanLen),
+		results:  make([]*Result, slotSpan),
+		cycles:   make([]int, slotSpan),
+		energyJ:  make([]float64, slotSpan),
+		rejected: make([]bool, slotSpan),
 	}
 	chunkErrs := make([]error, len(chunks)) // indexed by chunk
 	chunkErrIdx := make([]int, len(chunks)) // entry index an error hit
@@ -379,7 +617,7 @@ func (d *DB) Search(query string, req Request) (*Report, error) {
 			defer wg.Done()
 			for ci := range jobs {
 				chunkErrs[ci], chunkErrIdx[ci] =
-					d.runChunk(query, chunks[ci], scan, req.Threshold, slots, &builds)
+					d.runChunk(s, query, chunks[ci], scan, req.Threshold, slots, &builds)
 			}
 		}()
 	}
@@ -403,7 +641,7 @@ func (d *DB) Search(query string, req Request) (*Report, error) {
 		return nil, firstErr
 	}
 	var all []Result
-	for si := 0; si < scanLen; si++ {
+	for si := 0; si < slotSpan; si++ {
 		report.TotalCycles += slots.cycles[si]
 		report.TotalEnergyJ += slots.energyJ[si]
 		if slots.rejected[si] {
@@ -432,9 +670,9 @@ func (d *DB) Search(query string, req Request) (*Report, error) {
 
 // runChunk checks one engine out of the shape pool, races every entry of
 // the chunk on it, and writes each entry's outcome into its own slot.
-// A nil scan means chunk indices are database indices directly.  It
-// returns the first error and the database entry index it occurred at.
-func (d *DB) runChunk(query string, c chunk, scan []int, threshold int64,
+// A nil scan means chunk indices are snapshot slots directly.  It
+// returns the first error and the snapshot slot it occurred at.
+func (d *DB) runChunk(s *Snapshot, query string, c chunk, scan []int, threshold int64,
 	slots *entrySlots, builds *atomic.Int64) (error, int) {
 
 	key := poolKey{n: len(query), m: c.m}
@@ -457,9 +695,9 @@ func (d *DB) runChunk(query string, c chunk, scan []int, threshold int64,
 		}
 		var res *race.AlignResult
 		if threshold >= 0 {
-			res, err = eng.AlignThreshold(query, d.entries[i], temporal.Time(threshold))
+			res, err = eng.AlignThreshold(query, s.entries[i], temporal.Time(threshold))
 		} else {
-			res, err = eng.Align(query, d.entries[i])
+			res, err = eng.Align(query, s.entries[i])
 		}
 		if err != nil {
 			return err, i
@@ -473,7 +711,7 @@ func (d *DB) runChunk(query string, c chunk, scan []int, threshold int64,
 		}
 		slots.results[si] = &Result{
 			Index:            i,
-			Sequence:         d.entries[i],
+			Sequence:         s.entries[i],
 			Score:            int64(res.Score),
 			Cycles:           res.Cycles,
 			LatencyNS:        d.lib.LatencyNS(res.Cycles),

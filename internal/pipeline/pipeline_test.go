@@ -366,3 +366,187 @@ func TestSearchEngineReuseMatchesFreshEngines(t *testing.T) {
 		}
 	}
 }
+
+// TestDBInsertRemove drives the copy-on-write mutation path: inserts
+// appear in the next search, removes disappear, the version counter
+// ticks once per mutation, and bucket bookkeeping follows.
+func TestDBInsertRemove(t *testing.T) {
+	d, err := NewDB([]string{"ACGT", "TTTT"}, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 0 || d.Len() != 2 || d.Buckets() != 1 {
+		t.Fatalf("fresh DB: version=%d len=%d buckets=%d", d.Version(), d.Len(), d.Buckets())
+	}
+	start, snap, err := d.Insert([]string{"ACGA", "GG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 2 || snap.Len() != 4 || snap.Version() != 1 || snap.Buckets() != 2 {
+		t.Fatalf("after insert: start=%d len=%d version=%d buckets=%d",
+			start, snap.Len(), snap.Version(), snap.Buckets())
+	}
+	rep, err := d.Search("ACGT", Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 4 || rep.Matched != 4 {
+		t.Fatalf("post-insert scan: %+v", rep)
+	}
+	seen := make(map[string]bool)
+	for _, r := range rep.Results {
+		seen[r.Sequence] = true
+	}
+	if !seen["ACGA"] || !seen["GG"] {
+		t.Errorf("inserted entries missing from results: %v", seen)
+	}
+
+	// Remove the only length-2 entry: its bucket must vanish.
+	snap, err = d.Remove([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 3 || snap.Dead() != 1 || snap.Buckets() != 1 || snap.Version() != 2 {
+		t.Fatalf("after remove: %+v len=%d dead=%d buckets=%d", snap, snap.Len(), snap.Dead(), snap.Buckets())
+	}
+	rep, err = d.Search("ACGT", Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 3 {
+		t.Fatalf("post-remove scan raced %d entries, want 3", rep.Scanned)
+	}
+	for _, r := range rep.Results {
+		if r.Sequence == "GG" {
+			t.Error("tombstoned entry still raced")
+		}
+	}
+
+	// Tombstoned or out-of-range slots are rejected all-or-nothing: the
+	// valid slot 0 in the same batch must stay live.
+	if _, err := d.Remove([]int{0, 3}); err == nil {
+		t.Error("removing a dead slot must error")
+	}
+	if _, err := d.Remove([]int{0, 0}); err == nil {
+		t.Error("removing a slot twice in one call must error")
+	}
+	if _, err := d.Remove([]int{99}); err == nil {
+		t.Error("removing an out-of-range slot must error")
+	}
+	if d.Len() != 3 || d.Version() != 2 {
+		t.Errorf("failed removes must not mutate: len=%d version=%d", d.Len(), d.Version())
+	}
+	// A tombstoned candidate slot is an error, not a silent resurrection.
+	if _, err := d.Search("ACGT", Request{Threshold: -1, Candidates: []int{3}}); err == nil {
+		t.Error("tombstoned candidate slot must error")
+	}
+	if _, _, err := d.Insert([]string{"ACGT", ""}); err == nil {
+		t.Error("inserting an empty entry must error")
+	}
+}
+
+// TestDBSnapshotIsolation pins the copy-on-write contract directly: a
+// snapshot loaded before a burst of mutations must keep returning its
+// original contents via SearchAt, bit-identical, after the mutations.
+func TestDBSnapshotIsolation(t *testing.T) {
+	g := seqgen.NewDNA(23)
+	db := g.Database(10, 8)
+	d, err := NewDB(db, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := g.Random(8)
+	old := d.Snapshot()
+	before, err := d.SearchAt(old, query, Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Insert(g.Database(5, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Remove([]int{0, 3, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, snap := d.Compact(); snap.Len() != 12 {
+		t.Fatalf("compacted to %d entries, want 12", snap.Len())
+	}
+	after, err := d.SearchAt(old, query, Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before.EnginesBuilt, after.EnginesBuilt = 0, 0
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("old snapshot changed under mutation:\n got %+v\nwant %+v", after, before)
+	}
+	now, err := d.Search(query, Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now.Scanned != 12 {
+		t.Errorf("current snapshot raced %d entries, want 12", now.Scanned)
+	}
+}
+
+// TestDBCompact checks the dense rebuild: the remap renumbers survivors
+// in slot order, dropped slots map to -1, and post-compaction searches
+// score identically (keyed by sequence) to pre-compaction ones.
+func TestDBCompact(t *testing.T) {
+	g := seqgen.NewDNA(29)
+	db := g.Database(8, 6)
+	d, err := NewDB(db, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := g.Random(6)
+	if _, err := d.Remove([]int{1, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := d.Search(query, Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remap, snap := d.Compact()
+	if snap.Len() != 5 || snap.Dead() != 0 || snap.Slots() != 5 {
+		t.Fatalf("compacted snapshot: len=%d dead=%d slots=%d", snap.Len(), snap.Dead(), snap.Slots())
+	}
+	want := []int{0, -1, 1, 2, -1, 3, -1, 4}
+	if !reflect.DeepEqual(remap, want) {
+		t.Errorf("remap = %v, want %v", remap, want)
+	}
+	// Compacting a dense snapshot is a no-op.
+	if again, s2 := d.Compact(); again != nil || s2 != snap {
+		t.Error("second Compact must return nil remap and the same snapshot")
+	}
+	after, err := d.Search(query, Request{Threshold: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Scanned != after.Scanned || before.Matched != after.Matched {
+		t.Fatalf("compaction changed aggregates: %+v vs %+v", before, after)
+	}
+	byseq := make(map[string]int64)
+	for _, r := range before.Results {
+		byseq[r.Sequence] = r.Score
+	}
+	for _, r := range after.Results {
+		if s, ok := byseq[r.Sequence]; !ok || s != r.Score {
+			t.Errorf("entry %q: post-compaction score %d, pre %d (ok=%v)", r.Sequence, r.Score, s, ok)
+		}
+	}
+}
+
+// TestDBSetVersion pins the restore path: the counter resumes where the
+// persisted database left off and keeps incrementing from there.
+func TestDBSetVersion(t *testing.T) {
+	d, err := NewDB([]string{"ACGT"}, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetVersion(41)
+	if d.Version() != 41 {
+		t.Fatalf("Version = %d, want 41", d.Version())
+	}
+	if _, snap, err := d.Insert([]string{"TTTT"}); err != nil || snap.Version() != 42 {
+		t.Fatalf("insert after SetVersion: %v, version %d", err, snap.Version())
+	}
+}

@@ -20,15 +20,20 @@ type FASTARecord struct {
 
 // ReadFASTA parses FASTA records from r: '>' header lines introduce a
 // record, subsequent lines up to the next header are concatenated into
-// its sequence.  Blank lines and ';'/'#' comment lines are skipped,
-// sequence lines are uppercased (engine alphabets are uppercase).
-// Sequence data before the first header, or a record with no sequence
-// lines, is an error.
+// its sequence.  Blank lines and legacy ';' comment lines (anywhere,
+// including inside a record) as well as '#' tool banners are skipped as
+// comments, never treated as sequence data; sequence lines are
+// uppercased (engine alphabets are uppercase).  Sequence data before
+// the first header, a record with no sequence lines, or two records
+// sharing an ID are errors — a duplicated ID would make lookups and
+// deletions by ID ambiguous downstream, so it is named explicitly
+// rather than silently accepted.
 func ReadFASTA(r io.Reader) ([]FASTARecord, error) {
 	var recs []FASTARecord
 	open := false // a header has been seen and its record is being filled
 	var cur FASTARecord
 	var seq strings.Builder
+	ids := make(map[string]bool)
 	flush := func() error {
 		if !open {
 			return nil
@@ -56,6 +61,10 @@ func ReadFASTA(r io.Reader) ([]FASTARecord, error) {
 			}
 			header := strings.TrimSpace(line[1:])
 			id, desc, _ := strings.Cut(header, " ")
+			if ids[id] {
+				return nil, fmt.Errorf("seqgen: line %d: duplicate FASTA record ID %q", lineno, id)
+			}
+			ids[id] = true
 			cur = FASTARecord{ID: id, Description: strings.TrimSpace(desc)}
 			open = true
 			continue

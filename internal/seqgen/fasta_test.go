@@ -32,6 +32,51 @@ A
 	}
 }
 
+// TestReadFASTALegacyComments pins that ';' comment lines are comments
+// everywhere — before the first record, between records, and in the
+// middle of one — never concatenated into a sequence (which would then
+// bounce off alphabet validation with a baffling error).
+func TestReadFASTALegacyComments(t *testing.T) {
+	in := `; legacy preamble
+>seq1 commented record
+ACGT
+; annotation in the middle of the record
+TTTT
+; trailing note
+>seq2
+GGCC
+`
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FASTARecord{
+		{ID: "seq1", Description: "commented record", Sequence: "ACGTTTTT"},
+		{ID: "seq2", Description: "", Sequence: "GGCC"},
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("got %+v\nwant %+v", recs, want)
+	}
+}
+
+// TestReadFASTADuplicateID pins the duplicate-ID guard: the error names
+// the offending ID instead of silently loading both records.
+func TestReadFASTADuplicateID(t *testing.T) {
+	in := ">alpha\nACGT\n>beta\nTTTT\n>alpha again\nGGCC\n"
+	_, err := ReadFASTA(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("duplicate record ID must error")
+	}
+	if !strings.Contains(err.Error(), `"alpha"`) {
+		t.Errorf("error must name the duplicated ID: %v", err)
+	}
+	// IDs differing only in description are distinct records, not dups.
+	ok := ">a one\nACGT\n>b one\nTTTT\n"
+	if _, err := ReadFASTA(strings.NewReader(ok)); err != nil {
+		t.Errorf("distinct IDs with equal descriptions must load: %v", err)
+	}
+}
+
 func TestReadFASTAErrors(t *testing.T) {
 	if _, err := ReadFASTA(strings.NewReader("ACGT\n>late header\nTTTT\n")); err == nil {
 		t.Error("sequence data before the first header must error")

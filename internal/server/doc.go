@@ -3,18 +3,26 @@
 // loaded racelogic.Database — the million-user, many-queries-one-database
 // scenario the paper's Section 1 workload implies at system scale.
 //
-// Three endpoints:
+// The endpoints:
 //
 //   - POST /search races a query against the database and returns the
 //     ranked report with per-request hardware metrics (cycles, energy,
-//     latency, area, power density — the paper's Section 4.1 accounting);
+//     latency, area, power density — the paper's Section 4.1 accounting)
+//     and the database version it reflects;
+//   - POST /entries inserts sequences into the live database, returning
+//     their stable IDs; DELETE /entries/{id} removes one by stable ID
+//     (404 when unknown) — the service never restarts to change corpus;
 //   - GET /healthz is the liveness probe;
-//   - GET /stats reports cumulative service counters: searches served,
-//     engines compiled and pooled, cache hits, uptime.
+//   - GET /stats reports the database version, live entry and tombstone
+//     counts, and cumulative service counters: searches and mutations
+//     served, engines compiled and pooled, cache hits, uptime.
 //
 // The handler is safe for concurrent requests because Database.Search
 // is: each in-flight race checks a compiled simulator out of a per-shape
-// engine pool.  A bounded LRU cache short-circuits repeated identical
+// engine pool, and runs against one immutable snapshot even while
+// mutations land.  A bounded LRU cache short-circuits repeated identical
 // queries — the common case when many users search for the same new
-// sequence — returning the cached report with Cached=true.
+// sequence — returning a private copy of the cached report with
+// Cached=true.  Cache keys embed the database version, so every
+// mutation implicitly invalidates all older cached reports.
 package server

@@ -25,6 +25,10 @@ func newLRU(cap int) *lru {
 	return &lru{cap: cap, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
+// get returns a private copy of the cached response: the handler stamps
+// per-request fields (Cached, ElapsedUS) on its result, and handing out
+// the cached struct itself — or a shallow copy aliasing its Results
+// slice — would let one caller's mutations bleed into every later hit.
 func (c *lru) get(key string) (*SearchResponse, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -33,7 +37,10 @@ func (c *lru) get(key string) (*SearchResponse, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	cached := el.Value.(*lruEntry).val
+	out := *cached
+	out.Results = append([]SearchResult(nil), cached.Results...)
+	return &out, true
 }
 
 func (c *lru) add(key string, val *SearchResponse) {
@@ -59,4 +66,12 @@ func (c *lru) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// capacity returns the cache bound under the mutex, so stats readers
+// stay disciplined even if the bound ever becomes runtime-tunable.
+func (c *lru) capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
 }

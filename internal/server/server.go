@@ -2,8 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -47,7 +49,8 @@ type Server struct {
 
 	requests  atomic.Int64 // /search requests received
 	cacheHits atomic.Int64
-	failures  atomic.Int64 // /search requests answered with an error
+	failures  atomic.Int64 // requests answered with an error
+	mutations atomic.Int64 // successful inserts + removes
 }
 
 // New builds the service around a loaded database.
@@ -70,6 +73,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("POST /entries", s.handleInsert)
+	s.mux.HandleFunc("DELETE /entries/{id}", s.handleRemove)
 	return s, nil
 }
 
@@ -90,9 +95,12 @@ type SearchRequest struct {
 	FullScan bool `json:"full_scan,omitempty"`
 }
 
-// SearchResult is one ranked match of a SearchResponse.
+// SearchResult is one ranked match of a SearchResponse.  ID is the
+// entry's stable identifier — the handle DELETE /entries/{id} takes —
+// while Index is its current slot, which compaction may renumber.
 type SearchResult struct {
 	Index    int           `json:"index"`
+	ID       uint64        `json:"id"`
 	Sequence string        `json:"sequence"`
 	Score    int64         `json:"score"`
 	Metrics  SearchMetrics `json:"metrics"`
@@ -108,9 +116,12 @@ type SearchMetrics struct {
 	PowerDensityWCM2 float64 `json:"power_density_w_cm2"`
 }
 
-// SearchResponse is the POST /search reply.
+// SearchResponse is the POST /search reply.  Version is the database
+// mutation counter the search ran against: the report is one consistent
+// snapshot even when inserts and removes land mid-search.
 type SearchResponse struct {
 	Query        string         `json:"query"`
+	Version      int64          `json:"version"`
 	Results      []SearchResult `json:"results"`
 	Scanned      int            `json:"scanned"`
 	Skipped      int            `json:"skipped"`
@@ -171,13 +182,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		topK = s.defaultTopK
 	}
 
-	key := cacheKey(req.Query, topK, req.Threshold, req.FullScan)
+	// The key carries the database version read *before* the search, so
+	// every mutation implicitly invalidates the whole cache: a stale
+	// report can only be found under a version no future request asks
+	// for.  (A search racing a mutation may be cached under the older
+	// version's key — harmless for the same reason.)
+	key := cacheKey(s.db.Version(), req.Query, topK, req.Threshold, req.FullScan)
 	if cached, ok := s.cache.get(key); ok {
+		// get hands back a private copy, so stamping these per-request
+		// fields cannot corrupt the cached response other callers share.
 		s.cacheHits.Add(1)
-		resp := *cached
-		resp.Cached = true
-		resp.ElapsedUS = time.Since(started).Microseconds()
-		writeJSON(w, http.StatusOK, &resp)
+		cached.Cached = true
+		cached.ElapsedUS = time.Since(started).Microseconds()
+		writeJSON(w, http.StatusOK, cached)
 		return
 	}
 
@@ -206,21 +223,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &out)
 }
 
-// cacheKey encodes a request's full identity.  The three option fields
-// form a fixed-format suffix that never contains '\x00', so parsing from
-// the right is unambiguous and distinct requests never collide even if a
-// query embeds the separator.
-func cacheKey(query string, topK int, threshold *int64, fullScan bool) string {
+// cacheKey encodes a request's full identity, prefixed by the database
+// version it would search.  The numeric fields form fixed-format
+// segments that never contain '\x00', so distinct requests never
+// collide even if a query embeds the separator.
+func cacheKey(version int64, query string, topK int, threshold *int64, fullScan bool) string {
 	t := "off"
 	if threshold != nil {
 		t = fmt.Sprint(*threshold)
 	}
-	return fmt.Sprintf("%s\x00%d\x00%s\x00%v", query, topK, t, fullScan)
+	return fmt.Sprintf("%d\x00%s\x00%d\x00%s\x00%v", version, query, topK, t, fullScan)
 }
 
 func toResponse(rep *racelogic.SearchReport) *SearchResponse {
 	resp := &SearchResponse{
 		Query:        rep.Query,
+		Version:      rep.Version,
 		Results:      make([]SearchResult, len(rep.Results)),
 		Scanned:      rep.Scanned,
 		Skipped:      rep.Skipped,
@@ -234,6 +252,7 @@ func toResponse(rep *racelogic.SearchReport) *SearchResponse {
 	for i, r := range rep.Results {
 		resp.Results[i] = SearchResult{
 			Index:    r.Index,
+			ID:       r.ID,
 			Sequence: r.Sequence,
 			Score:    r.Score,
 			Metrics: SearchMetrics{
@@ -246,6 +265,83 @@ func toResponse(rep *racelogic.SearchReport) *SearchResponse {
 		}
 	}
 	return resp
+}
+
+// InsertRequest is the POST /entries body.
+type InsertRequest struct {
+	// Entries are the sequences to add.  They are case-normalized like
+	// the database loaders' sequences and validated against the engine
+	// alphabet; on any invalid entry nothing is inserted.
+	Entries []string `json:"entries"`
+}
+
+// MutationResponse is the reply to POST /entries and DELETE
+// /entries/{id}: the IDs touched, plus the database's new shape.
+type MutationResponse struct {
+	// IDs are the stable identifiers assigned (insert) or deleted
+	// (remove), in request order.
+	IDs []uint64 `json:"ids"`
+	// Entries is the live entry count and Version the mutation counter
+	// after this mutation.
+	Entries int   `json:"entries"`
+	Version int64 `json:"version"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req InsertRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Entries) == 0 {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "entries is required"})
+		return
+	}
+	for i, entry := range req.Entries {
+		// The same DoS guard as queries: arrays are O(query·entry) gates,
+		// so an unbounded entry is as dangerous as an unbounded query.
+		if len(entry) > s.maxQueryLen {
+			s.failures.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("entry %d length %d exceeds the %d-symbol limit", i, len(entry), s.maxQueryLen)})
+			return
+		}
+		req.Entries[i] = strings.ToUpper(entry)
+	}
+	ids, err := s.db.Insert(req.Entries...)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.mutations.Add(1)
+	writeJSON(w, http.StatusOK, MutationResponse{IDs: ids, Entries: s.db.Len(), Version: s.db.Version()})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad entry id: " + r.PathValue("id")})
+		return
+	}
+	if err := s.db.Remove(id); err != nil {
+		s.failures.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, racelogic.ErrUnknownID) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	s.mutations.Add(1)
+	writeJSON(w, http.StatusOK, MutationResponse{IDs: []uint64{id}, Entries: s.db.Len(), Version: s.db.Version()})
 }
 
 // HealthResponse is the GET /healthz reply.
@@ -266,9 +362,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // service counters.
 type StatsResponse struct {
 	Entries       int   `json:"entries"`
+	Version       int64 `json:"version"`
+	Tombstones    int   `json:"tombstones"`
 	Buckets       int   `json:"buckets"`
 	SeedK         int   `json:"seed_k"`
 	Searches      int64 `json:"searches"`
+	Mutations     int64 `json:"mutations"`
 	EnginesBuilt  int64 `json:"engines_built"`
 	PooledEngines int   `json:"pooled_engines"`
 	Requests      int64 `json:"requests"`
@@ -286,16 +385,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Entries:       s.db.Len(),
+		Version:       s.db.Version(),
+		Tombstones:    s.db.Tombstones(),
 		Buckets:       s.db.Buckets(),
 		SeedK:         s.db.SeedK(),
 		Searches:      s.db.Searches(),
+		Mutations:     s.mutations.Load(),
 		EnginesBuilt:  s.db.EnginesBuilt(),
 		PooledEngines: s.db.PooledEngines(),
 		Requests:      s.requests.Load(),
 		Failures:      s.failures.Load(),
 		CacheHits:     s.cacheHits.Load(),
 		CacheEntries:  s.cache.len(),
-		CacheCapacity: s.cache.cap,
+		CacheCapacity: s.cache.capacity(),
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 	})
 }

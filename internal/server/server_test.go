@@ -296,3 +296,183 @@ func TestConcurrentRequests(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCacheHitDoesNotAliasResults is the regression test for the
+// shallow-copy bug: a cache hit used to share its Results slice with the
+// cached response, so a caller mutating its reply corrupted every later
+// hit.  Mutate one hit and demand the next one is unaffected.
+func TestCacheHitDoesNotAliasResults(t *testing.T) {
+	c := newLRU(4)
+	c.add("k", &SearchResponse{
+		Query:   "ACGT",
+		Results: []SearchResult{{Index: 0, ID: 0, Sequence: "ACGT", Score: 4}},
+	})
+	first, ok := c.get("k")
+	if !ok {
+		t.Fatal("expected a cache hit")
+	}
+	first.Results[0].Sequence = "CLOBBERED"
+	first.Results[0].Score = -1
+	first.Cached = true
+
+	second, ok := c.get("k")
+	if !ok {
+		t.Fatal("expected a second cache hit")
+	}
+	if second.Results[0].Sequence != "ACGT" || second.Results[0].Score != 4 || second.Cached {
+		t.Errorf("cache was corrupted through a returned response: %+v", second.Results[0])
+	}
+}
+
+// TestLRUCapacityAccessor pins the synchronized accessor /stats uses.
+func TestLRUCapacityAccessor(t *testing.T) {
+	if got := newLRU(7).capacity(); got != 7 {
+		t.Errorf("capacity() = %d, want 7", got)
+	}
+	if got := newLRU(0).capacity(); got != 0 {
+		t.Errorf("capacity() = %d, want 0", got)
+	}
+}
+
+// TestMutationEndpoints drives the live-mutation API end to end: insert
+// via POST /entries, see the entry in the next search (the cache must
+// not serve the pre-insert report), remove it via DELETE /entries/{id},
+// and see it gone again.
+func TestMutationEndpoints(t *testing.T) {
+	ts, db, _ := newTestServer(t)
+	query := "ACGTACGT"
+
+	_, before := postSearch(t, ts.URL, fmt.Sprintf(`{"query":%q}`, query))
+	if before.Version != 0 {
+		t.Fatalf("fresh database version = %d", before.Version)
+	}
+
+	// Insert a second exact match (lowercase: the server normalizes).
+	resp, err := http.Post(ts.URL+"/entries", "application/json",
+		bytes.NewBufferString(`{"entries":["acgtacgt"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /entries: status %d", resp.StatusCode)
+	}
+	var mut MutationResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mut); err != nil {
+		t.Fatal(err)
+	}
+	if len(mut.IDs) != 1 || mut.Entries != db.Len() || mut.Version != 1 {
+		t.Fatalf("insert response %+v, database len %d", mut, db.Len())
+	}
+
+	// The same query must now re-run (version changed, so the cached
+	// pre-insert report is unreachable) and rank both exact matches.
+	_, after := postSearch(t, ts.URL, fmt.Sprintf(`{"query":%q}`, query))
+	if after.Cached {
+		t.Error("post-insert search served the stale cached report")
+	}
+	if after.Version != 1 {
+		t.Errorf("post-insert report version = %d, want 1", after.Version)
+	}
+	exact := 0
+	for _, r := range after.Results {
+		if r.Sequence == query {
+			exact++
+		}
+	}
+	if exact != 2 {
+		t.Errorf("found %d exact matches after insert, want 2", exact)
+	}
+
+	// Remove it again by stable ID.
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/entries/%d", ts.URL, mut.IDs[0]), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /entries/%d: status %d", mut.IDs[0], dresp.StatusCode)
+	}
+	_, final := postSearch(t, ts.URL, fmt.Sprintf(`{"query":%q}`, query))
+	exact = 0
+	for _, r := range final.Results {
+		if r.Sequence == query {
+			exact++
+		}
+	}
+	if exact != 1 || final.Version != 2 {
+		t.Errorf("after delete: %d exact matches at version %d, want 1 at 2", exact, final.Version)
+	}
+
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Version != 2 || stats.Mutations != 2 || stats.Entries != db.Len() {
+		t.Errorf("stats after mutations: %+v", stats)
+	}
+	if stats.CacheCapacity != 8 {
+		t.Errorf("cache capacity = %d, want 8", stats.CacheCapacity)
+	}
+}
+
+// TestMutationEndpointErrors pins the failure surface: bad bodies, bad
+// symbols, oversized entries, unknown and malformed IDs.
+func TestMutationEndpointErrors(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/entries", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(``); got != http.StatusBadRequest {
+		t.Errorf("empty body: status %d", got)
+	}
+	if got := post(`{"entries":[]}`); got != http.StatusBadRequest {
+		t.Errorf("no entries: status %d", got)
+	}
+	if got := post(`{"entries":["ACGX"]}`); got != http.StatusBadRequest {
+		t.Errorf("bad symbol: status %d", got)
+	}
+	if got := post(fmt.Sprintf(`{"entries":[%q]}`, strings.Repeat("A", 65))); got != http.StatusBadRequest {
+		t.Errorf("oversized entry: status %d (limit is 64)", got)
+	}
+	if got := post(`{"entries":["ACGT"],"nope":1}`); got != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", got)
+	}
+
+	del := func(id string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/entries/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := del("9999"); got != http.StatusNotFound {
+		t.Errorf("unknown ID: status %d, want 404", got)
+	}
+	if got := del("not-a-number"); got != http.StatusBadRequest {
+		t.Errorf("malformed ID: status %d, want 400", got)
+	}
+	// Wrong methods on the mutation routes 405 via the mux patterns.
+	resp, err := http.Get(ts.URL + "/entries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /entries: status %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,369 @@
+// Package store serializes racelogic databases to versioned,
+// checksummed binary snapshots — the durability layer that lets a
+// long-running search service outlive its process: mutate live, save on
+// shutdown, reload fast on the next start.
+//
+// A snapshot holds everything needed to reconstruct a Database exactly:
+// the options fingerprint that shaped its engines and seed index, the
+// mutation version and ID counter, every live entry with its stable ID,
+// and the serialized k-mer seed index (so a reload skips re-tokenizing
+// the whole collection).
+//
+// Wire format (format version 1), all integers varint/uvarint framed:
+//
+//	"RLSNAP"  magic
+//	uvarint   format version
+//	string    library name        ┐
+//	string    protein matrix      │
+//	uvarint   clock-gate region   │ options fingerprint
+//	bool      one-hot encoding    │
+//	uvarint   seed-index k        │
+//	varint    default threshold   │
+//	varint    default top-K       │
+//	varint    default workers     ┘
+//	varint    mutation version
+//	uvarint   next entry ID
+//	uvarint   entry count, then per entry: uvarint ID, string sequence
+//	bool      index present, then the index.Encode stream if so
+//	uint32 LE CRC-32 (IEEE) of every preceding byte
+//
+// Files are written to a temporary sibling and renamed into place, so a
+// crash mid-save never corrupts the previous snapshot.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"racelogic/internal/index"
+)
+
+// magic opens every snapshot file.
+const magic = "RLSNAP"
+
+// FormatVersion is the wire format this package writes.  Read rejects
+// newer versions instead of guessing.
+const FormatVersion = 1
+
+// maxStringLen bounds any single decoded string (entry or library
+// name).  The checksum sits at the end of the file, so length fields
+// must be sanity-checked before allocation, not after verification.
+const maxStringLen = 1 << 30
+
+// Options is the fingerprint of everything fixed when a database is
+// built: the engine-shaping options plus the per-search defaults.  A
+// database opened from a snapshot reconstructs its configuration from
+// this, so no flag juggling is needed to reload compatibly.
+type Options struct {
+	Library    string // standard-cell library name ("AMIS", "OSU")
+	Matrix     string // protein matrix name; "" = DNA array
+	GateRegion int    // Section 4.3 clock-gating region; 0 = ungated
+	OneHot     bool   // one-hot delay encoding (protein array)
+	SeedK      int    // k-mer seed index length; 0 = none
+	Threshold  int64  // default Section 6 threshold; < 0 = off
+	TopK       int    // default top-K truncation; ≤ 0 = all matches
+	Workers    int    // default worker-pool width; ≤ 0 = NumCPU
+}
+
+// Snapshot is one serializable database state.
+type Snapshot struct {
+	Options Options
+	// Version is the database's mutation counter at save time; NextID is
+	// the next stable entry ID to assign.
+	Version int64
+	NextID  uint64
+	// IDs[i] is the stable ID of Entries[i].  Slots are dense: the saver
+	// compacts tombstones away before serializing.
+	IDs     []uint64
+	Entries []string
+	// Index is the k-mer seed index over Entries, or nil when the
+	// database was built without one.
+	Index *index.Index
+}
+
+// hashWriter feeds every written byte through the checksum on its way
+// to the underlying writer.
+type hashWriter struct {
+	w io.Writer
+	h hash.Hash32
+}
+
+func (hw *hashWriter) Write(p []byte) (int, error) {
+	hw.h.Write(p)
+	return hw.w.Write(p)
+}
+
+// Write serializes s to w in the format documented on the package.
+func Write(w io.Writer, s *Snapshot) error {
+	if len(s.IDs) != len(s.Entries) {
+		return fmt.Errorf("store: %d IDs for %d entries", len(s.IDs), len(s.Entries))
+	}
+	bw := bufio.NewWriter(w)
+	hw := &hashWriter{w: bw, h: crc32.NewIEEE()}
+	scratch := make([]byte, 0, binary.MaxVarintLen64)
+	emit := func(b []byte) error {
+		_, err := hw.Write(b)
+		return err
+	}
+	u := func(v uint64) error { return emit(binary.AppendUvarint(scratch[:0], v)) }
+	v := func(x int64) error { return emit(binary.AppendVarint(scratch[:0], x)) }
+	str := func(x string) error {
+		if err := u(uint64(len(x))); err != nil {
+			return err
+		}
+		return emit([]byte(x))
+	}
+	boolean := func(b bool) error {
+		var x uint64
+		if b {
+			x = 1
+		}
+		return u(x)
+	}
+
+	if err := emit([]byte(magic)); err != nil {
+		return err
+	}
+	if err := u(FormatVersion); err != nil {
+		return err
+	}
+	o := s.Options
+	for _, step := range []error{
+		str(o.Library), str(o.Matrix), u(uint64(o.GateRegion)), boolean(o.OneHot),
+		u(uint64(o.SeedK)), v(o.Threshold), v(int64(o.TopK)), v(int64(o.Workers)),
+		v(s.Version), u(s.NextID), u(uint64(len(s.Entries))),
+	} {
+		if step != nil {
+			return step
+		}
+	}
+	for i, entry := range s.Entries {
+		if err := u(s.IDs[i]); err != nil {
+			return err
+		}
+		if err := str(entry); err != nil {
+			return err
+		}
+	}
+	if err := boolean(s.Index != nil); err != nil {
+		return err
+	}
+	if s.Index != nil {
+		if err := s.Index.Encode(hw); err != nil {
+			return err
+		}
+	}
+	// The trailer is the one field the checksum does not cover.
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], hw.h.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// hashReader feeds every consumed byte through the checksum.  It never
+// reads ahead of the caller, so after the payload is decoded the next
+// bytes on the underlying reader are exactly the trailer.
+type hashReader struct {
+	r *bufio.Reader
+	h hash.Hash32
+}
+
+func (hr *hashReader) Read(p []byte) (int, error) {
+	n, err := hr.r.Read(p)
+	hr.h.Write(p[:n])
+	return n, err
+}
+
+func (hr *hashReader) ReadByte() (byte, error) {
+	b, err := hr.r.ReadByte()
+	if err == nil {
+		hr.h.Write([]byte{b})
+	}
+	return b, err
+}
+
+// decoder reads snapshot fields sequentially, latching the first error
+// so the happy path reads as a flat field list.
+type decoder struct {
+	hr  *hashReader
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var x uint64
+	x, d.err = binary.ReadUvarint(d.hr)
+	return x
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	var x int64
+	x, d.err = binary.ReadVarint(d.hr)
+	return x
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		d.err = fmt.Errorf("implausible string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.hr, b); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) boolean() bool {
+	x := d.uvarint()
+	if d.err == nil && x > 1 {
+		d.err = fmt.Errorf("bool field holds %d", x)
+	}
+	return x == 1
+}
+
+// Read deserializes a snapshot, verifying the magic, format version,
+// structural invariants (unique IDs below NextID) and the CRC-32
+// trailer.  Any mismatch is an error: a corrupted snapshot must fail to
+// load, not serve wrong search results.
+func Read(r io.Reader) (*Snapshot, error) {
+	hr := &hashReader{r: bufio.NewReader(r), h: crc32.NewIEEE()}
+	d := &decoder{hr: hr}
+
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(hr, head); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("store: bad magic %q: not a racelogic snapshot", head)
+	}
+	if format := d.uvarint(); d.err == nil && format != FormatVersion {
+		return nil, fmt.Errorf("store: snapshot format version %d, this build reads %d", format, FormatVersion)
+	}
+
+	s := &Snapshot{}
+	s.Options = Options{
+		Library:    d.str(),
+		Matrix:     d.str(),
+		GateRegion: int(d.uvarint()),
+		OneHot:     d.boolean(),
+		SeedK:      int(d.uvarint()),
+		Threshold:  d.varint(),
+		TopK:       int(d.varint()),
+		Workers:    int(d.varint()),
+	}
+	s.Version = d.varint()
+	s.NextID = d.uvarint()
+	count := d.uvarint()
+	if d.err != nil {
+		return nil, fmt.Errorf("store: reading header: %w", d.err)
+	}
+	if count > 1<<40 {
+		return nil, fmt.Errorf("store: implausible entry count %d", count)
+	}
+	// The checksum sits at the end of the file, so count is untrusted
+	// here: cap the allocation hint, then let a corrupted count run into
+	// EOF or the CRC mismatch instead of an eager multi-GB allocation.
+	seen := make(map[uint64]bool, min(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		id := d.uvarint()
+		entry := d.str()
+		if d.err != nil {
+			return nil, fmt.Errorf("store: reading entry %d: %w", i, d.err)
+		}
+		if id >= s.NextID {
+			return nil, fmt.Errorf("store: entry %d has ID %d ≥ next ID %d", i, id, s.NextID)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("store: duplicate entry ID %d", id)
+		}
+		seen[id] = true
+		if len(entry) == 0 {
+			return nil, fmt.Errorf("store: entry %d (ID %d) is empty", i, id)
+		}
+		s.IDs = append(s.IDs, id)
+		s.Entries = append(s.Entries, entry)
+	}
+	hasIndex := d.boolean()
+	if d.err != nil {
+		return nil, fmt.Errorf("store: %w", d.err)
+	}
+	if hasIndex {
+		var err error
+		if s.Index, err = index.Decode(hr); err != nil {
+			return nil, err
+		}
+		if s.Index.Len() != len(s.Entries) {
+			return nil, fmt.Errorf("store: index covers %d entries, snapshot has %d", s.Index.Len(), len(s.Entries))
+		}
+	}
+	sum := hr.h.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(hr.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("store: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != sum {
+		return nil, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x — snapshot is corrupted", got, sum)
+	}
+	if _, err := hr.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("store: trailing data after checksum")
+	}
+	return s, nil
+}
+
+// WriteFile saves s to path atomically: the snapshot is written to a
+// temporary sibling, fsynced, and renamed into place, so a crash
+// mid-save leaves any previous snapshot intact.
+func WriteFile(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := Write(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile loads a snapshot from path.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

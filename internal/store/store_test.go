@@ -1,0 +1,175 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"racelogic/internal/index"
+	"racelogic/internal/seqgen"
+)
+
+// testSnapshot builds a representative snapshot: mixed-length entries,
+// non-contiguous IDs (as after removes), every fingerprint field
+// non-zero, and a live seed index.
+func testSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	g := seqgen.NewDNA(61)
+	entries := append(g.Database(6, 8), g.Database(4, 5)...)
+	ids := make([]uint64, len(entries))
+	for i := range ids {
+		ids[i] = uint64(3*i + 1) // gaps, like a mutated database
+	}
+	ix, err := index.New(entries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Snapshot{
+		Options: Options{
+			Library: "OSU", Matrix: "", GateRegion: 2, OneHot: false,
+			SeedK: 4, Threshold: 14, TopK: -3, Workers: 2,
+		},
+		Version: 17,
+		NextID:  uint64(3*len(entries) + 1),
+		IDs:     ids,
+		Entries: entries,
+		Index:   ix,
+	}
+}
+
+// TestRoundTrip pins the format: Read(Write(s)) reproduces every field,
+// including the serialized index, and writing is deterministic.
+func TestRoundTrip(t *testing.T) {
+	s := testSnapshot(t)
+	var buf, buf2 bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf2, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("Write is not deterministic")
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Errorf("round trip differs:\n got %+v\nwant %+v", back, s)
+	}
+
+	// Without an index the flag round-trips as nil, not an empty index.
+	s.Index = nil
+	buf.Reset()
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err = Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Index != nil {
+		t.Error("index-less snapshot decoded with an index")
+	}
+}
+
+// TestReadRejectsCorruption flips every byte of a valid snapshot in
+// turn: no single-byte corruption may load successfully.
+func TestReadRejectsCorruption(t *testing.T) {
+	s := testSnapshot(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for at := 0; at < len(raw); at++ {
+		bad := append([]byte(nil), raw...)
+		bad[at] ^= 0x41
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipping byte %d of %d loaded successfully", at, len(raw))
+		}
+	}
+	for _, cut := range []int{0, 3, len(raw) / 2, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes must error", cut)
+		}
+	}
+	if _, err := Read(bytes.NewReader(append(append([]byte(nil), raw...), 0))); err == nil {
+		t.Error("trailing garbage must error")
+	}
+}
+
+// TestReadRejectsBadStructure pins the semantic checks that a checksum
+// alone cannot express.
+func TestReadRejectsBadStructure(t *testing.T) {
+	s := testSnapshot(t)
+	s.Index = nil
+
+	s.IDs[0], s.IDs[1] = 5, 5
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate IDs: got %v", err)
+	}
+
+	s = testSnapshot(t)
+	s.Index = nil
+	s.NextID = 1 // below every assigned ID
+	buf.Reset()
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("IDs at or above NextID must error")
+	}
+
+	if err := Write(&buf, &Snapshot{IDs: []uint64{1}, Entries: nil}); err == nil {
+		t.Error("mismatched IDs/Entries lengths must error")
+	}
+}
+
+// TestFileRoundTrip covers the atomic file path: write, reload, and the
+// temp file is gone.
+func TestFileRoundTrip(t *testing.T) {
+	s := testSnapshot(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Error("file round trip differs")
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Errorf("directory holds %d files after WriteFile, want just the snapshot", len(names))
+	}
+	// Overwriting replaces atomically.
+	s.Version++
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != s.Version {
+		t.Errorf("reloaded version %d, want %d", back.Version, s.Version)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.snap")); err == nil {
+		t.Error("missing file must error")
+	}
+}

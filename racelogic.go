@@ -21,7 +21,10 @@
 //   - Database — the persistent search subsystem: load a collection
 //     once, keep compiled engines pooled per shape, optionally build a
 //     k-mer seed index (WithSeedIndex), and serve concurrent Search
-//     calls; cmd/raceserve wraps it in a long-running HTTP JSON API;
+//     calls.  Databases are mutable (Insert/Remove with copy-on-write
+//     snapshot isolation and stable entry IDs) and durable
+//     (SaveSnapshot/OpenSnapshot checksummed binary files);
+//     cmd/raceserve wraps it all in a long-running HTTP JSON API;
 //   - Search — one-shot database search: a thin build-then-search
 //     wrapper over Database for single queries;
 //   - EditDistance — the reference software DP;

@@ -10,10 +10,16 @@ import (
 // SearchResult is one database entry that survived the race, with the
 // hardware metrics of its individual alignment.
 type SearchResult struct {
-	// Index is the entry's position in the database slice passed to
-	// Search; Sequence is the entry itself.
+	// Index is the entry's current slot in the database; Sequence is the
+	// entry itself.  Slots are renumbered when a mutated database
+	// compacts its tombstones, so long-lived references should use ID.
 	Index    int
 	Sequence string
+	// ID is the entry's stable identifier: assigned at load or Insert,
+	// unchanged by compaction and by snapshot save/reload, and the
+	// handle Database.Remove takes.  For a one-shot Search, IDs coincide
+	// with the database slice positions.
+	ID uint64
 	// Score is the alignment score (arrival time of the output edge).
 	// Lower means more similar, for DNA and prepared protein matrices
 	// alike.
@@ -26,6 +32,11 @@ type SearchResult struct {
 type SearchReport struct {
 	// Query is the searched-for sequence.
 	Query string
+	// Version is the database mutation counter the search ran against:
+	// the whole report reflects exactly that snapshot, no matter which
+	// Inserts or Removes landed while the races were in flight.  Always
+	// 0 for the one-shot Search.
+	Version int64
 	// Results holds the matches ranked by (Score, Index) ascending,
 	// truncated to WithTopK.  The order is deterministic regardless of
 	// worker count.

@@ -1,0 +1,85 @@
+package racelogic
+
+import (
+	"fmt"
+
+	"racelogic/internal/store"
+	"racelogic/internal/tech"
+)
+
+// SaveSnapshot persists the database to path as a versioned,
+// checksummed binary snapshot: every live entry with its stable ID, the
+// options fingerprint that shaped the engines, the serialized seed
+// index, and the mutation/ID counters.  The file is written to a
+// temporary sibling and renamed into place, so a crash mid-save leaves
+// any previous snapshot intact.
+//
+// Tombstones are compacted first (bumping Version if there were any),
+// so the saved slot numbering is exactly the in-memory one: a database
+// reopened with OpenSnapshot returns byte-identical search reports,
+// modulo EnginesBuilt.  Concurrent searches are never blocked; Insert
+// and Remove wait for the serialization to finish.
+func (d *Database) SaveSnapshot(path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.state.Load()
+	if st.snap.Dead() > 0 {
+		next, err := d.compactLocked(st)
+		if err != nil {
+			return err
+		}
+		d.state.Store(next)
+		st = next
+	}
+	return store.WriteFile(path, &store.Snapshot{
+		Options: store.Options{
+			Library:    d.cfg.library.Name,
+			Matrix:     d.cfg.matrix,
+			GateRegion: d.cfg.gateRegion,
+			OneHot:     d.cfg.oneHot,
+			SeedK:      d.cfg.seedK,
+			Threshold:  d.cfg.threshold,
+			TopK:       d.cfg.topK,
+			Workers:    d.cfg.workers,
+		},
+		Version: st.snap.Version(),
+		NextID:  d.nextID,
+		IDs:     st.ids,
+		Entries: st.snap.Entries(),
+		Index:   st.idx,
+	})
+}
+
+// OpenSnapshot loads a database saved by SaveSnapshot.  The engine
+// options, per-search defaults, entries, stable IDs, mutation version,
+// and seed index all come from the file — no options are passed here,
+// so a snapshot always reopens exactly as it was saved.  The checksum
+// and structural invariants are verified before anything is built.
+func OpenSnapshot(path string) (*Database, error) {
+	s, err := store.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := tech.ByName(s.Options.Library)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	cfg := &config{
+		library:    lib,
+		matrix:     s.Options.Matrix,
+		gateRegion: s.Options.GateRegion,
+		oneHot:     s.Options.OneHot,
+		seedK:      s.Options.SeedK,
+		threshold:  s.Options.Threshold,
+		topK:       s.Options.TopK,
+		workers:    s.Options.Workers,
+	}
+	if s.Index != nil && s.Index.K() != cfg.seedK {
+		return nil, fmt.Errorf("%s: snapshot index has k=%d but the fingerprint says %d", path, s.Index.K(), cfg.seedK)
+	}
+	d, err := assembleDatabase(cfg, s.Entries, s.IDs, s.NextID, s.Version, s.Index)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
