@@ -115,15 +115,13 @@ func resolveDatabase(snapshot, dbFile string, args []string,
 }
 
 // loadDB resolves the database input — -db FILE, positional FILE, or
-// stdin — all through the same FASTA-aware, auto-detecting reader.
+// stdin — through the shared corpus loader raceserve uses too.
 func loadDB(dbFile string, args []string) ([]string, error) {
-	if dbFile != "" {
-		return seqgen.ReadSequencesFile(dbFile)
+	path := dbFile
+	if path == "" && len(args) == 2 {
+		path = args[1]
 	}
-	if len(args) == 2 {
-		return seqgen.ReadSequencesFile(args[1])
-	}
-	return seqgen.ReadSequences(os.Stdin)
+	return seqgen.Corpus{Path: path, Reader: os.Stdin}.Load()
 }
 
 // buildDatabase maps the engine-shaping flags onto a Database.

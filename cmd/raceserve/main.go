@@ -1,15 +1,22 @@
 // Command raceserve is the long-running database-search service: it
 // loads a sequence database once — from a FASTA or line-per-sequence
-// file, a binary snapshot, or generated for demos — builds a persistent
-// racelogic.Database with pooled engines and an optional k-mer seed
-// index, and serves concurrent similarity queries and live mutations
-// over an HTTP JSON API.
+// file, a durable state directory, a binary snapshot, or generated for
+// demos — builds a persistent racelogic.Database with pooled engines
+// and an optional k-mer seed index, and serves concurrent similarity
+// queries and live mutations over an HTTP JSON API.
+//
+// With -wal DIR the database is crash-safe: every mutation is journaled
+// to a write-ahead log before it is acknowledged, a background
+// snapshotter periodically folds the journal into a snapshot, and on
+// start the service recovers automatically — newest snapshot plus
+// journal tail — so even a kill -9 loses nothing.  The legacy -snapshot
+// FILE mode saves only on clean shutdown.
 //
 // Usage:
 //
 //	raceserve -db sequences.fasta [flags]
 //	raceserve -gen 10000 -genlen 12 [flags]
-//	raceserve -db seed.fasta -snapshot state.snap [flags]
+//	raceserve -db seed.fasta -wal state/ [flags]
 //
 // Flags:
 //
@@ -24,26 +31,40 @@
 //	-seedk K             k-mer seed index length (0 = race every entry)
 //	-cache N             LRU report-cache capacity (0 = off)
 //	-top K               default top-K when a request omits top_k
-//	-snapshot FILE       durable state: load FILE if it exists (ignoring
-//	                     -db/-gen and the engine-shaping flags, which a
-//	                     snapshot carries itself), and save the mutated
-//	                     database back to FILE on SIGTERM/SIGINT
+//	-wal DIR             durable state directory: recover from it if it
+//	                     holds a database (ignoring -db/-gen and the
+//	                     engine-shaping flags, which the state carries),
+//	                     else bootstrap it from -db/-gen; journal every
+//	                     mutation and snapshot in the background
+//	-snapshot-interval D background snapshot period for -wal (0 = off)
+//	-snapshot-every N    mutations between background snapshots (0 = off)
+//	-fsync               fsync the journal on every mutation (survives
+//	                     power loss, not just crashes)
+//	-snapshot FILE       legacy durable state: load FILE if it exists and
+//	                     save back on SIGTERM/SIGINT only — a crash in
+//	                     between loses mutations; prefer -wal
 //
 // Endpoints:
 //
 //	POST   /search        {"query":"ACGTACGT","top_k":5,"threshold":12}
 //	POST   /entries       {"entries":["ACGTAACC"]} — live insert
+//	POST   /entries/bulk  streaming import: FASTA/plain body, or NDJSON
+//	                      (one JSON string per line) with
+//	                      Content-Type: application/x-ndjson
 //	DELETE /entries/{id}  live remove by stable ID
+//	POST   /compact       manual dense rebuild; returns the slot remap
 //	GET    /healthz       liveness probe
-//	GET    /stats         service counters (version, mutations, cache, …)
+//	GET    /stats         service counters (version, journal tail,
+//	                      snapshot age, compactions, cache, …)
 //
 // Example:
 //
-//	raceserve -db db.fasta -seedk 8 -snapshot db.snap &
+//	raceserve -db db.fasta -seedk 8 -wal state/ &
 //	curl -s localhost:8471/search -d '{"query":"ACGTACGT","top_k":3}'
-//	curl -s localhost:8471/entries -d '{"entries":["ACGTACGA"]}'
-//	curl -s -X DELETE localhost:8471/entries/7
-//	kill -TERM %1   # snapshots to db.snap on the way down
+//	curl -s localhost:8471/entries/bulk --data-binary @more.fasta
+//	curl -s -X POST localhost:8471/compact
+//	kill -9 %1      # nothing is lost:
+//	raceserve -wal state/   # recovers snapshot + journal tail
 package main
 
 import (
@@ -65,17 +86,21 @@ import (
 
 // options collects every flag buildServer needs.
 type options struct {
-	dbPath   string
-	gen      int
-	genLen   int
-	seed     int64
-	lib      string
-	matrix   string
-	gate     int
-	seedK    int
-	cache    int
-	top      int
-	snapshot string
+	dbPath       string
+	gen          int
+	genLen       int
+	seed         int64
+	lib          string
+	matrix       string
+	gate         int
+	seedK        int
+	cache        int
+	top          int
+	snapshot     string
+	walDir       string
+	snapInterval time.Duration
+	snapEvery    int
+	fsync        bool
 }
 
 func main() {
@@ -91,7 +116,13 @@ func main() {
 	flag.IntVar(&o.seedK, "seedk", 0, "k-mer seed index length (0 = race every entry)")
 	flag.IntVar(&o.cache, "cache", 128, "LRU report-cache capacity (0 = off)")
 	flag.IntVar(&o.top, "top", 10, "default top-K when a request omits top_k")
-	flag.StringVar(&o.snapshot, "snapshot", "", "snapshot file: load it if present, save on SIGTERM/SIGINT")
+	flag.StringVar(&o.snapshot, "snapshot", "", "legacy snapshot file: load it if present, save on SIGTERM/SIGINT only")
+	flag.StringVar(&o.walDir, "wal", "", "durable state directory: write-ahead log + background snapshots, crash-safe")
+	flag.DurationVar(&o.snapInterval, "snapshot-interval", racelogic.DefaultSnapshotInterval,
+		"background snapshot period for -wal (0 = off)")
+	flag.IntVar(&o.snapEvery, "snapshot-every", racelogic.DefaultSnapshotEvery,
+		"mutations between background snapshots for -wal (0 = off)")
+	flag.BoolVar(&o.fsync, "fsync", false, "fsync the journal on every mutation")
 	flag.Parse()
 
 	srv, db, err := buildServer(o)
@@ -99,8 +130,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "raceserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("raceserve: serving %d sequences on %s (version %d, seed index k=%d, cache %d)",
-		db.Len(), *addr, db.Version(), db.SeedK(), o.cache)
+	log.Printf("raceserve: serving %d sequences on %s (version %d, seed index k=%d, cache %d, durable %v)",
+		db.Len(), *addr, db.Version(), db.SeedK(), o.cache, db.Durable())
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -110,8 +141,10 @@ func main() {
 	}
 
 	// A mutable corpus makes shutdown a data event, not just a network
-	// one: drain in-flight requests, then snapshot the live database so
-	// the next start resumes exactly here.
+	// one: drain in-flight requests, then persist the live database so
+	// the next start resumes exactly here.  (With -wal every mutation is
+	// already journaled — the final checkpoint just makes the next start
+	// replay-free.)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)
@@ -134,7 +167,14 @@ func main() {
 		// save would be silently lost on the next warm start.
 		hs.Close()
 	}
-	if o.snapshot != "" {
+	switch {
+	case o.walDir != "":
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "raceserve: closing database:", err)
+			os.Exit(1)
+		}
+		log.Printf("raceserve: checkpointed %d entries (version %d) to %s", db.Len(), db.Version(), o.walDir)
+	case o.snapshot != "":
 		if err := db.SaveSnapshot(o.snapshot); err != nil {
 			fmt.Fprintln(os.Stderr, "raceserve: saving snapshot:", err)
 			os.Exit(1)
@@ -143,12 +183,8 @@ func main() {
 	}
 }
 
-// buildServer loads or generates the database and assembles the HTTP
-// service — everything main does short of listening.  When o.snapshot
-// names an existing file, the database comes from it wholesale (entries,
-// engine options, seed index, counters) and the cold-load flags are
-// ignored; otherwise the database is built from -db/-gen and o.snapshot
-// is only the save target.
+// buildServer loads or recovers the database and assembles the HTTP
+// service — everything main does short of listening.
 func buildServer(o options) (*server.Server, *racelogic.Database, error) {
 	db, err := loadDatabase(o)
 	if err != nil {
@@ -161,7 +197,38 @@ func buildServer(o options) (*server.Server, *racelogic.Database, error) {
 	return srv, db, nil
 }
 
+// durabilityOptions maps the -wal companion flags.
+func durabilityOptions(o options) []racelogic.Option {
+	return []racelogic.Option{
+		racelogic.WithSync(o.fsync),
+		racelogic.WithSnapshotInterval(o.snapInterval),
+		racelogic.WithSnapshotEvery(o.snapEvery),
+	}
+}
+
+// loadDatabase resolves the database in precedence order: recover the
+// durable -wal directory if it already holds a database (the crash-safe
+// warm start — cold-load flags are ignored, the state carries its own),
+// then the legacy -snapshot file, then a cold load from -db/-gen —
+// which, under -wal, also bootstraps the directory.
 func loadDatabase(o options) (*racelogic.Database, error) {
+	if o.walDir != "" && o.snapshot != "" {
+		return nil, fmt.Errorf("-wal and -snapshot are mutually exclusive; -wal supersedes the snapshot-on-shutdown mode")
+	}
+	if o.walDir != "" {
+		// Recover if the directory already holds a database; bootstrap
+		// below only on ErrNoDatabase.  Corruption must fail loudly,
+		// never fall back to a cold load that would shadow the real
+		// state.
+		db, err := racelogic.Open(o.walDir, durabilityOptions(o)...)
+		switch {
+		case err == nil:
+			log.Printf("raceserve: recovered %s (%d entries, version %d)", o.walDir, db.Len(), db.Version())
+			return db, nil
+		case !errors.Is(err, racelogic.ErrNoDatabase):
+			return nil, err
+		}
+	}
 	if o.snapshot != "" {
 		if _, err := os.Stat(o.snapshot); err == nil {
 			db, err := racelogic.OpenSnapshot(o.snapshot)
@@ -175,30 +242,15 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 		}
 	}
 
-	var entries []string
-	var err error
-	switch {
-	case o.dbPath != "" && o.gen > 0:
-		return nil, fmt.Errorf("-db and -gen are mutually exclusive")
-	case o.dbPath != "":
-		entries, err = seqgen.ReadSequencesFile(o.dbPath)
-		if err != nil {
-			return nil, err
-		}
-	case o.gen > 0:
-		if o.genLen < 1 {
-			return nil, fmt.Errorf("-genlen %d must be ≥ 1", o.genLen)
-		}
-		alphabet := seqgen.NewDNA(o.seed)
-		if o.matrix != "" {
-			alphabet = seqgen.NewProtein(o.seed)
-		}
-		entries = alphabet.Database(o.gen, o.genLen)
-	default:
-		return nil, fmt.Errorf("a database is required: -db FILE, -gen N, or -snapshot FILE that exists")
-	}
-	if len(entries) == 0 {
-		return nil, fmt.Errorf("database is empty")
+	entries, err := seqgen.Corpus{
+		Path:    o.dbPath,
+		Gen:     o.gen,
+		GenLen:  o.genLen,
+		Seed:    o.seed,
+		Protein: o.matrix != "",
+	}.Load()
+	if err != nil {
+		return nil, fmt.Errorf("%w (a database is required: -db FILE, -gen N, or a -wal/-snapshot state that exists)", err)
 	}
 
 	opts := []racelogic.Option{racelogic.WithLibrary(o.lib)}
@@ -211,5 +263,15 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 	if o.seedK > 0 {
 		opts = append(opts, racelogic.WithSeedIndex(o.seedK))
 	}
-	return racelogic.NewDatabase(entries, opts...)
+	db, err := racelogic.NewDatabase(entries, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if o.walDir != "" {
+		if err := db.Persist(o.walDir, durabilityOptions(o)...); err != nil {
+			return nil, err
+		}
+		log.Printf("raceserve: bootstrapped durable state in %s", o.walDir)
+	}
+	return db, nil
 }

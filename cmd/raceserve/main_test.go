@@ -157,3 +157,87 @@ func TestBuildServerErrors(t *testing.T) {
 		t.Error("corrupt snapshot must error, not fall back silently")
 	}
 }
+
+// TestWALLifecycle is the -wal flow in-process: bootstrap a durable
+// directory from -gen, mutate over HTTP, then simulate a crash by
+// reopening the directory WITHOUT any close or save — the journal alone
+// must carry the mutations into the next start.
+func TestWALLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	o := options{gen: 12, genLen: 8, seed: 9, lib: "AMIS", seedK: 4, cache: 8, top: 5,
+		walDir: dir, snapEvery: 0, snapInterval: 0}
+
+	// Cold start bootstraps the directory.
+	srv, db, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Durable() {
+		t.Fatal("-wal database must be durable")
+	}
+	ts := httptest.NewServer(srv)
+	resp, err := http.Post(ts.URL+"/entries", "application/json",
+		bytes.NewBufferString(`{"entries":["ACGTACGTACGT"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mut server.MutationResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mut); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/entries/bulk", "text/plain",
+		bytes.NewBufferString(">x\nTTTTCCCCAAAA\n>y\nGGGGAAAA\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	// Crash: no db.Close(), no snapshot — drop everything on the floor.
+
+	srv2, db2, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 15 || db2.Version() != db.Version() || db2.SeedK() != 4 {
+		t.Fatalf("recovery: len=%d version=%d seedk=%d, want 15/%d/4",
+			db2.Len(), db2.Version(), db2.SeedK(), db.Version())
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	resp, err = http.Post(ts2.URL+"/search", "application/json",
+		bytes.NewBufferString(`{"query":"ACGTACGTACGT"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr server.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 || sr.Results[0].ID != mut.IDs[0] {
+		t.Errorf("the entry inserted before the crash must survive with its ID %d: %+v", mut.IDs[0], sr.Results)
+	}
+}
+
+// TestWALFlagConflicts pins the flag contract around -wal.
+func TestWALFlagConflicts(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := buildServer(options{gen: 5, genLen: 8, lib: "AMIS",
+		walDir: dir, snapshot: filepath.Join(dir, "x.snap")}); err == nil {
+		t.Error("-wal with -snapshot must error")
+	}
+	// A corrupt durable directory must refuse to start, never cold-load
+	// over it.
+	bad := filepath.Join(t.TempDir(), "state")
+	if err := os.MkdirAll(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, "db.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildServer(options{gen: 5, genLen: 8, lib: "AMIS", walDir: bad}); err == nil {
+		t.Error("corrupt -wal state must error, not fall back to -gen")
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"racelogic/internal/index"
 	"racelogic/internal/pipeline"
 	"racelogic/internal/score"
+	"racelogic/internal/store"
 )
 
 // ErrUnknownID is wrapped by Database.Remove when an ID does not name a
@@ -49,11 +51,33 @@ type Database struct {
 	// it whole under mu.
 	state atomic.Pointer[dbstate]
 
-	mu     sync.Mutex     // serializes Insert/Remove/SaveSnapshot
+	mu     sync.Mutex     // serializes Insert/Remove/Compact/SaveSnapshot
 	byID   map[uint64]int // ID → slot, maintained by writers only
 	nextID uint64
+	closed bool
 
-	searches atomic.Int64
+	// compaction is the automatic tombstone-reclamation policy checked
+	// after every Remove (and, when durable, on the policy's Interval).
+	compaction CompactionPolicy // guarded by mu
+
+	// Durability.  All nil/zero on a memory-only database; set once by
+	// Persist or Open under mu, then read by the journaled mutation path
+	// (under mu) and the snapshotter goroutine.
+	wal          *store.WAL
+	dir          string
+	snapInterval time.Duration
+	snapEvery    int
+	snapSignal   chan struct{} // nudges the snapshotter (count trigger)
+	stopSnap     chan struct{}
+	loopDone     chan struct{}
+	saveMu       sync.Mutex // serializes durable snapshot file writes
+
+	searches     atomic.Int64
+	compactions  atomic.Int64
+	snapSaves    atomic.Int64
+	snapFailures atomic.Int64
+	snapVersion  atomic.Int64 // version the newest on-disk snapshot covers
+	lastSnap     atomic.Int64 // unix nanos of the newest durable snapshot
 }
 
 // dbstate is one immutable version of everything a search reads.  The
@@ -79,6 +103,9 @@ func NewDatabase(entries []string, opts ...Option) (*Database, error) {
 	}
 	if name := cfg.firstApplied("WithFullScan"); name != "" {
 		return nil, fmt.Errorf("racelogic: %s is a per-search option; pass it to Database.Search instead", name)
+	}
+	if name := cfg.firstApplied("WithSync", "WithSnapshotInterval", "WithSnapshotEvery"); name != "" {
+		return nil, fmt.Errorf("racelogic: %s is a durability option; pass it to Persist or Open instead", name)
 	}
 	ids := make([]uint64, len(entries))
 	for i := range ids {
@@ -120,10 +147,11 @@ func assembleDatabase(cfg *config, entries []string, ids []uint64, nextID uint64
 		}
 	}
 	d := &Database{
-		cfg:    cfg,
-		p:      p,
-		byID:   make(map[uint64]int, len(ids)),
-		nextID: nextID,
+		cfg:        cfg,
+		p:          p,
+		byID:       make(map[uint64]int, len(ids)),
+		nextID:     nextID,
+		compaction: cfg.compaction,
 	}
 	for slot, id := range ids {
 		d.byID[id] = slot
@@ -158,6 +186,10 @@ func invalidSymbol(s, alphabet string) int {
 // returns see every new entry.  Entries are validated against the
 // engine alphabet first; on any invalid entry nothing is inserted.
 // Inserting zero entries is a no-op that does not bump the version.
+//
+// On a durable database (Persist/Open) the insert is journaled to the
+// write-ahead log before it is applied, so by the time Insert returns
+// it survives a crash.
 func (d *Database) Insert(entries ...string) ([]uint64, error) {
 	alphabet := d.cfg.alphabet()
 	for i, entry := range entries {
@@ -174,52 +206,114 @@ func (d *Database) Insert(entries ...string) ([]uint64, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	newIDs := make([]uint64, len(entries))
+	for j := range entries {
+		newIDs[j] = d.nextID + uint64(j)
+	}
+	// Append before apply: a journaling failure must leave the database
+	// untouched, and an applied mutation must already be on disk.
+	if d.wal != nil {
+		if err := d.wal.AppendInsert(d.state.Load().snap.Version()+1, newIDs, entries); err != nil {
+			return nil, fmt.Errorf("%w: insert: %w", ErrJournal, err)
+		}
+	}
+	if err := d.insertLocked(entries, newIDs); err != nil {
+		return nil, err
+	}
+	d.signalSnapshotter()
+	return newIDs, nil
+}
+
+// insertLocked applies a validated insert with pre-assigned IDs — the
+// shared tail of Insert and WAL replay.  Caller holds d.mu.
+func (d *Database) insertLocked(entries []string, newIDs []uint64) error {
 	cur := d.state.Load()
 	start, snap, err := d.p.Insert(entries)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	idx := cur.idx
 	if idx != nil {
 		idx = idx.Grow(entries)
 	}
-	newIDs := make([]uint64, len(entries))
 	ids := cur.ids
-	for j := range entries {
-		newIDs[j] = d.nextID
-		d.byID[d.nextID] = start + j
-		d.nextID++
-		ids = append(ids, newIDs[j])
+	for j, id := range newIDs {
+		d.byID[id] = start + j
+		if id >= d.nextID {
+			d.nextID = id + 1
+		}
+		ids = append(ids, id)
 	}
 	d.state.Store(&dbstate{snap: snap, idx: idx, ids: ids})
-	return newIDs, nil
+	return nil
 }
 
 // Remove deletes the entries with the given stable IDs.  It is
 // all-or-nothing: an unknown or repeated ID returns an error (wrapping
 // ErrUnknownID for unknown ones) with nothing removed.  Removal
 // tombstones the entries' slots — the seed index keeps its postings and
-// searches filter them — until tombstones outnumber live entries, at
-// which point the database compacts: slots are renumbered densely and
-// the seed index rebuilt, with IDs unchanged throughout.  In-flight
+// searches filter them — until the CompactionPolicy triggers, at which
+// point the database compacts: slots are renumbered densely and the
+// seed index rebuilt, with IDs unchanged throughout.  In-flight
 // searches keep their pre-remove snapshot either way.
+//
+// On a durable database the remove (and any policy-triggered
+// compaction) is journaled to the write-ahead log before it is applied.
 func (d *Database) Remove(ids ...uint64) error {
 	if len(ids) == 0 {
 		return nil
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	slots := make([]int, len(ids))
+	if d.closed {
+		return ErrClosed
+	}
 	seen := make(map[uint64]bool, len(ids))
-	for i, id := range ids {
-		slot, ok := d.byID[id]
-		if !ok {
+	for _, id := range ids {
+		if _, ok := d.byID[id]; !ok {
 			return fmt.Errorf("racelogic: remove %d: %w", id, ErrUnknownID)
 		}
 		if seen[id] {
 			return fmt.Errorf("racelogic: remove: id %d repeated in one call", id)
 		}
 		seen[id] = true
+	}
+	if d.wal != nil {
+		if err := d.wal.AppendRemove(d.state.Load().snap.Version()+1, ids); err != nil {
+			return fmt.Errorf("%w: remove: %w", ErrJournal, err)
+		}
+	}
+	if err := d.removeLocked(ids); err != nil {
+		return err
+	}
+	// Compact when the policy says the tombstones are worth reclaiming:
+	// the wasted slots cost collector memory per search and stale
+	// postings per seed lookup, and a dense rebuild is O(live) — cheap
+	// exactly when the live set has shrunk.
+	cur := d.state.Load()
+	if d.compaction.due(cur.snap.Dead(), cur.snap.Len()) {
+		next, _, err := d.compactDurable(cur)
+		if err != nil {
+			return err
+		}
+		d.state.Store(next)
+	}
+	d.signalSnapshotter()
+	return nil
+}
+
+// removeLocked applies a pre-validated remove — the shared tail of
+// Remove and WAL replay.  Caller holds d.mu; every ID must be live.
+func (d *Database) removeLocked(ids []uint64) error {
+	slots := make([]int, len(ids))
+	for i, id := range ids {
+		slot, ok := d.byID[id]
+		if !ok {
+			return fmt.Errorf("racelogic: remove %d: %w", id, ErrUnknownID)
+		}
 		slots[i] = slot
 	}
 	cur := d.state.Load()
@@ -230,26 +324,75 @@ func (d *Database) Remove(ids ...uint64) error {
 	for _, id := range ids {
 		delete(d.byID, id)
 	}
-	next := &dbstate{snap: snap, idx: cur.idx, ids: cur.ids}
-	// Compact once tombstones outnumber live entries: the wasted slots
-	// cost collector memory per search and stale postings per seed
-	// lookup, and a dense rebuild is O(live) — cheap exactly when the
-	// live set has shrunk.
-	if snap.Dead() > snap.Len() {
-		if next, err = d.compactLocked(next); err != nil {
-			return err
-		}
-	}
-	d.state.Store(next)
+	d.state.Store(&dbstate{snap: snap, idx: cur.idx, ids: cur.ids})
 	return nil
 }
 
+// CompactStats reports one compaction.  Entry IDs are the stable handle
+// across compactions; Remap exists only for clients that cached
+// slot-based state (a SearchResult.Index, a pipeline candidate list)
+// and need to rebind it.
+type CompactStats struct {
+	// Version is the database mutation counter after the compaction (or
+	// the unchanged current version when nothing was reclaimed).
+	Version int64
+	// Live is the number of live entries; Reclaimed the tombstoned
+	// slots dropped by this compaction (0 = nothing to do).
+	Live, Reclaimed int
+	// Remap maps every pre-compaction slot to its post-compaction slot,
+	// -1 for the dropped tombstones.  Nil when nothing was reclaimed.
+	Remap []int
+}
+
+// Compact forces a dense rebuild now, regardless of the automatic
+// CompactionPolicy, and reports what moved.  With no tombstones it is a
+// no-op that does not bump the version.  On a durable database the
+// compaction is journaled.  Searches in flight keep their pre-compact
+// snapshot; entry IDs are unaffected — they are the stable handle.
+func (d *Database) Compact() (*CompactStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	cur := d.state.Load()
+	next, remap, err := d.compactDurable(cur)
+	if err != nil {
+		return nil, err
+	}
+	st := &CompactStats{Version: next.snap.Version(), Live: next.snap.Len()}
+	if next != cur {
+		d.state.Store(next)
+		st.Reclaimed = cur.snap.Dead()
+		st.Remap = remap
+		d.signalSnapshotter()
+	}
+	return st, nil
+}
+
+// compactDurable journals (when a WAL is attached) and applies a dense
+// rebuild of cur, returning the replacement state and the old→new slot
+// remap.  With no tombstones it returns cur unchanged and a nil remap.
+// Caller holds d.mu and stores the result.
+func (d *Database) compactDurable(cur *dbstate) (*dbstate, []int, error) {
+	if cur.snap.Dead() == 0 {
+		return cur, nil, nil
+	}
+	if d.wal != nil {
+		if err := d.wal.AppendCompact(cur.snap.Version() + 1); err != nil {
+			return nil, nil, fmt.Errorf("%w: compaction: %w", ErrJournal, err)
+		}
+	}
+	return d.compactLocked(cur)
+}
+
 // compactLocked rebuilds cur densely (dropping tombstones) and returns
-// the replacement state.  Caller holds d.mu and stores the result.
-func (d *Database) compactLocked(cur *dbstate) (*dbstate, error) {
+// the replacement state plus the slot remap.  Caller holds d.mu and
+// stores the result.
+func (d *Database) compactLocked(cur *dbstate) (*dbstate, []int, error) {
 	remap, snap := d.p.Compact()
 	if remap == nil {
-		return cur, nil
+		return cur, nil, nil
 	}
 	ids := make([]uint64, snap.Slots())
 	for old, slot := range remap {
@@ -262,10 +405,11 @@ func (d *Database) compactLocked(cur *dbstate) (*dbstate, error) {
 	if idx != nil {
 		var err error
 		if idx, err = index.New(snap.Entries(), idx.K()); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return &dbstate{snap: snap, idx: idx, ids: ids}, nil
+	d.compactions.Add(1)
+	return &dbstate{snap: snap, idx: idx, ids: ids}, remap, nil
 }
 
 // Len returns the number of live database entries.

@@ -1,0 +1,505 @@
+package racelogic
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"racelogic/internal/store"
+)
+
+// ErrClosed is returned by mutations (and Checkpoint) on a closed
+// database.  The HTTP layer maps it to 503: the condition is the
+// server's, not the client's.
+var ErrClosed = errors.New("racelogic: database is closed")
+
+// ErrJournal wraps mutation failures caused by the write-ahead log
+// itself — a full or failing disk, never a bad request.  The HTTP
+// layer maps it to 500.
+var ErrJournal = errors.New("racelogic: journal write failed")
+
+// ErrNoDatabase is wrapped by Open when the directory holds no
+// database — the "bootstrap it with Persist" signal, as opposed to a
+// present-but-corrupt state, which must fail loudly instead.
+var ErrNoDatabase = errors.New("no database in directory")
+
+// SnapshotName and WALName are the two files a durable database keeps
+// in its directory: the newest snapshot and the journal of every
+// mutation acknowledged since it was taken.
+const (
+	SnapshotName = "db.snap"
+	WALName      = "db.wal"
+)
+
+// DefaultSnapshotInterval is how often the background snapshotter folds
+// the journal into a fresh snapshot when WithSnapshotInterval is unset.
+const DefaultSnapshotInterval = time.Minute
+
+// DefaultSnapshotEvery is the mutation count that triggers a background
+// snapshot when WithSnapshotEvery is unset.
+const DefaultSnapshotEvery = 1024
+
+// CompactionPolicy decides when tombstoned slots are worth reclaiming
+// with a dense rebuild.  Compaction triggers when ANY enabled condition
+// holds; a zero field disables that condition, and the zero policy
+// disables automatic compaction entirely (Compact stays available as a
+// manual call).  See WithCompactionPolicy.
+type CompactionPolicy struct {
+	// MaxDead compacts once at least this many tombstones accumulate.
+	MaxDead int
+	// MaxDeadRatio compacts once dead > ratio·live — the classic
+	// space-amplification bound.  DefaultCompactionPolicy uses 1.0,
+	// the pre-policy hard-coded dead>live trigger.
+	MaxDeadRatio float64
+	// Interval compacts on a timer regardless of counts.  It requires
+	// the background snapshotter, so it applies to durable databases
+	// (Persist/Open) only.
+	Interval time.Duration
+}
+
+// DefaultCompactionPolicy compacts once tombstones outnumber live
+// entries — the policy every database starts with.
+var DefaultCompactionPolicy = CompactionPolicy{MaxDeadRatio: 1.0}
+
+func (p CompactionPolicy) validate() error {
+	if p.MaxDead < 0 {
+		return fmt.Errorf("racelogic: compaction MaxDead %d must be ≥ 0", p.MaxDead)
+	}
+	if p.MaxDeadRatio < 0 {
+		return fmt.Errorf("racelogic: compaction MaxDeadRatio %g must be ≥ 0", p.MaxDeadRatio)
+	}
+	if p.Interval < 0 {
+		return fmt.Errorf("racelogic: compaction Interval %v must be ≥ 0", p.Interval)
+	}
+	return nil
+}
+
+// due reports whether a count-based condition has triggered.
+func (p CompactionPolicy) due(dead, live int) bool {
+	if dead == 0 {
+		return false
+	}
+	if p.MaxDead > 0 && dead >= p.MaxDead {
+		return true
+	}
+	return p.MaxDeadRatio > 0 && float64(dead) > p.MaxDeadRatio*float64(live)
+}
+
+// durabilityConfig layers durability options over base and rejects
+// anything else: callers of Persist and Open configure the journal and
+// snapshotter here, never the engines (a snapshot fixes those).
+func durabilityConfig(base *config, opts []Option) (*config, error) {
+	cfg := *base
+	cfg.applied = nil
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range cfg.applied {
+		ok := false
+		for _, dur := range durabilityOptions {
+			if name == dur {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("racelogic: %s cannot be set here; only durability options (%s) apply",
+				name, strings.Join(durabilityOptions, ", "))
+		}
+	}
+	return &cfg, nil
+}
+
+// Persist attaches crash-safe durability to a database built in memory:
+// it writes an initial snapshot and an empty write-ahead log into dir
+// (created if needed) and starts the background snapshotter.  From then
+// on every Insert, Remove, and Compact is journaled before it is
+// applied, so a crash — not just a clean shutdown — loses no
+// acknowledged mutation: Open(dir) replays the journal tail over the
+// newest snapshot.
+//
+// Only durability options are accepted: WithSync, WithSnapshotInterval,
+// WithSnapshotEvery, WithCompactionPolicy.  dir must not already hold a
+// database (use Open for that).  Call Close to detach cleanly.
+func (d *Database) Persist(dir string, opts ...Option) error {
+	cfg, err := durabilityConfig(d.cfg, opts)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	snapPath := filepath.Join(dir, SnapshotName)
+	if _, err := os.Stat(snapPath); err == nil {
+		return fmt.Errorf("racelogic: %s already holds a database; use Open instead of Persist", dir)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.wal != nil {
+		return fmt.Errorf("racelogic: database is already durable (%s)", d.dir)
+	}
+	// The initial snapshot must mirror memory exactly (dense slots), so
+	// recovery and the live database agree slot for slot.
+	st := d.state.Load()
+	next, _, err := d.compactLocked(st)
+	if err != nil {
+		return err
+	}
+	if next != st {
+		d.state.Store(next)
+		st = next
+	}
+	if err := store.WriteFile(snapPath, d.snapshotPayload(st)); err != nil {
+		return err
+	}
+	wal, stale, err := store.OpenWAL(filepath.Join(dir, WALName), cfg.walSync)
+	if err != nil {
+		return err
+	}
+	if len(stale) > 0 {
+		// A journal with no snapshot beside it is an orphan (a crash
+		// during a previous bootstrap, before the snapshot landed); its
+		// records were never acknowledged against this database.
+		if err := wal.Reset(); err != nil {
+			wal.Close()
+			return err
+		}
+	}
+	d.attachDurability(dir, wal, cfg, st.snap.Version(), time.Now())
+	return nil
+}
+
+// attachDurability wires the journal and starts the snapshotter.
+// savedAt is when the on-disk snapshot was actually written — now for
+// Persist, the file's mtime for Open — so SnapshotAge never hides a
+// stale snapshot behind a restart.  Caller holds d.mu.
+func (d *Database) attachDurability(dir string, wal *store.WAL, cfg *config, snapVersion int64, savedAt time.Time) {
+	d.wal = wal
+	d.dir = dir
+	d.compaction = cfg.compaction
+	d.snapInterval = cfg.snapInterval
+	d.snapEvery = cfg.snapEvery
+	d.snapVersion.Store(snapVersion)
+	d.lastSnap.Store(savedAt.UnixNano())
+	d.snapSignal = make(chan struct{}, 1)
+	d.stopSnap = make(chan struct{})
+	d.loopDone = make(chan struct{})
+	go d.snapshotLoop()
+}
+
+// Open loads the durable database in dir: the newest snapshot restores
+// the bulk of the state, then the write-ahead log tail is replayed —
+// every mutation acknowledged after that snapshot, up to the first torn
+// record a crash may have left — so a kill -9 between snapshots loses
+// nothing.  The engine options come from the snapshot fingerprint;
+// only durability options may be passed (WithSync,
+// WithSnapshotInterval, WithSnapshotEvery, WithCompactionPolicy).
+//
+// The database resumes journaling and background snapshotting in dir.
+// Call Close to shut it down cleanly.
+func Open(dir string, opts ...Option) (*Database, error) {
+	snapPath := filepath.Join(dir, SnapshotName)
+	info, err := os.Stat(snapPath)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("racelogic: %s (%s missing): %w; create one with Database.Persist", dir, SnapshotName, ErrNoDatabase)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s, err := store.ReadFile(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	base, err := configFromStoreOptions(s.Options)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", snapPath, err)
+	}
+	cfg, err := durabilityConfig(base, opts)
+	if err != nil {
+		return nil, err
+	}
+	d, err := openStored(cfg, s, snapPath)
+	if err != nil {
+		return nil, err
+	}
+	wal, recs, err := store.OpenWAL(filepath.Join(dir, WALName), cfg.walSync)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.replay(recs, s.Version); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("racelogic: replaying %s: %w", filepath.Join(dir, WALName), err)
+	}
+	d.mu.Lock()
+	d.attachDurability(dir, wal, cfg, s.Version, info.ModTime())
+	d.mu.Unlock()
+	return d, nil
+}
+
+// replay applies the journal tail over a freshly loaded snapshot.
+// Records the snapshot already covers are skipped — a crash between
+// "snapshot renamed" and "journal truncated" makes them legitimate
+// leftovers — and the remainder must advance the version gaplessly;
+// anything else means the directory holds a journal from some other
+// history, and loading it would serve wrong data.
+func (d *Database) replay(recs []store.Record, snapVersion int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, rec := range recs {
+		if rec.Version <= snapVersion {
+			continue
+		}
+		cur := d.state.Load().snap.Version()
+		if rec.Version != cur+1 {
+			return fmt.Errorf("journal gap: record version %d after database version %d", rec.Version, cur)
+		}
+		var err error
+		switch rec.Op {
+		case store.OpInsert:
+			err = d.insertLocked(rec.Entries, rec.IDs)
+		case store.OpRemove:
+			err = d.removeLocked(rec.IDs)
+		case store.OpCompact:
+			var next *dbstate
+			st := d.state.Load()
+			next, _, err = d.compactLocked(st)
+			if err == nil {
+				if next == st {
+					return fmt.Errorf("journaled compaction at version %d found nothing to reclaim", rec.Version)
+				}
+				d.state.Store(next)
+			}
+		default:
+			err = fmt.Errorf("unknown journal op %d", rec.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// signalSnapshotter nudges the background snapshotter when enough
+// mutations have accumulated since the last durable snapshot.  Caller
+// holds d.mu.
+func (d *Database) signalSnapshotter() {
+	if d.wal == nil || d.snapEvery <= 0 {
+		return
+	}
+	if d.state.Load().snap.Version()-d.snapVersion.Load() < int64(d.snapEvery) {
+		return
+	}
+	select {
+	case d.snapSignal <- struct{}{}:
+	default:
+	}
+}
+
+// snapshotLoop is the background snapshotter: on a timer, on the
+// mutation-count signal, and on the compaction policy's Interval it
+// folds the journal into a fresh snapshot (compact, save, truncate).
+// The file write happens off the write lock — mutations and searches
+// proceed — by capturing one immutable COW state under the lock.
+func (d *Database) snapshotLoop() {
+	defer close(d.loopDone)
+	var snapTick, compactTick <-chan time.Time
+	if d.snapInterval > 0 {
+		t := time.NewTicker(d.snapInterval)
+		defer t.Stop()
+		snapTick = t.C
+	}
+	if d.compaction.Interval > 0 {
+		t := time.NewTicker(d.compaction.Interval)
+		defer t.Stop()
+		compactTick = t.C
+	}
+	for {
+		select {
+		case <-d.stopSnap:
+			return
+		case <-compactTick:
+			d.mu.Lock()
+			cur := d.state.Load()
+			if next, _, err := d.compactDurable(cur); err != nil {
+				d.snapFailures.Add(1)
+			} else if next != cur {
+				d.state.Store(next)
+			}
+			d.mu.Unlock()
+			continue
+		case <-snapTick:
+		case <-d.snapSignal:
+		}
+		// The internal checkpoint: the loop is stopped before the journal
+		// closes, so skipping the public closed guard is safe and avoids
+		// counting a shutdown-race tick as a failure.
+		if err := d.checkpoint(); err != nil {
+			d.snapFailures.Add(1)
+		}
+	}
+}
+
+// Checkpoint folds the journal into a fresh durable snapshot now:
+// compact, serialize the state to the directory's snapshot file
+// (atomic temp+rename), and truncate the write-ahead log it covers.
+// Mutations block only for the compaction and state capture, not the
+// file write; the journal is truncated only when no mutation landed
+// mid-write (records a snapshot covers are skipped at replay anyway,
+// so a skipped truncation is never a correctness problem).  On a
+// memory-only database Checkpoint is a no-op; on a closed one it
+// returns ErrClosed.
+func (d *Database) Checkpoint() error {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return d.checkpoint()
+}
+
+// checkpoint is Checkpoint without the closed guard — Close's final
+// save runs through here after closing the database to new mutations.
+func (d *Database) checkpoint() error {
+	d.saveMu.Lock()
+	defer d.saveMu.Unlock()
+
+	d.mu.Lock()
+	if d.wal == nil {
+		d.mu.Unlock()
+		return nil
+	}
+	cur := d.state.Load()
+	if cur.snap.Version() == d.snapVersion.Load() && cur.snap.Dead() == 0 {
+		// Nothing new since the last snapshot.  Covered records can
+		// still be sitting in the journal — a crash that landed between
+		// "snapshot renamed" and "journal truncated" leaves them —
+		// so fold them away now: wal_records must report what a restart
+		// would actually replay.
+		var err error
+		if d.wal.Records() > 0 {
+			err = d.wal.Reset()
+		}
+		d.mu.Unlock()
+		return err
+	}
+	next, _, err := d.compactDurable(cur)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if next != cur {
+		d.state.Store(next)
+		cur = next
+	}
+	payload := d.snapshotPayload(cur)
+	version := cur.snap.Version()
+	path := filepath.Join(d.dir, SnapshotName)
+	d.mu.Unlock()
+
+	if err := store.WriteFile(path, payload); err != nil {
+		return err
+	}
+	d.snapVersion.Store(version)
+	d.lastSnap.Store(time.Now().UnixNano())
+	d.snapSaves.Add(1)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal != nil && d.state.Load().snap.Version() == version {
+		return d.wal.Reset()
+	}
+	return nil
+}
+
+// Close shuts a durable database down cleanly: it stops the background
+// snapshotter, takes a final checkpoint, and closes the journal.
+// Mutations after Close fail; searches keep working against the final
+// state.  On a memory-only database Close is a no-op.  Close is
+// idempotent.
+func (d *Database) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	wal := d.wal
+	d.mu.Unlock()
+	if wal == nil {
+		return nil
+	}
+	close(d.stopSnap)
+	<-d.loopDone
+	err := d.checkpoint()
+	if cerr := wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Durable reports whether mutations are journaled to a directory
+// (Persist/Open) rather than held only in memory.  A closed database
+// is no longer durable: nothing journals anymore.
+func (d *Database) Durable() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wal != nil && !d.closed
+}
+
+// WALRecords returns the number of journaled mutations not yet folded
+// into the durable snapshot; 0 on a memory-only database.
+func (d *Database) WALRecords() int64 {
+	d.mu.Lock()
+	w := d.wal
+	d.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	return w.Records()
+}
+
+// WALBytes returns the journal segment's size; 0 on a memory-only
+// database.
+func (d *Database) WALBytes() int64 {
+	d.mu.Lock()
+	w := d.wal
+	d.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	return w.Size()
+}
+
+// Compactions returns the number of dense rebuilds over the database's
+// lifetime in this process — automatic, manual, and save-time.
+func (d *Database) Compactions() int64 { return d.compactions.Load() }
+
+// Snapshots returns the number of durable snapshots saved by the
+// background snapshotter, Checkpoint, and Close.
+func (d *Database) Snapshots() int64 { return d.snapSaves.Load() }
+
+// SnapshotFailures returns the number of background snapshot or
+// compaction attempts that errored (each will be retried on the next
+// trigger).
+func (d *Database) SnapshotFailures() int64 { return d.snapFailures.Load() }
+
+// SnapshotAge returns the time since the newest durable snapshot, or
+// -1 on a memory-only database.
+func (d *Database) SnapshotAge() time.Duration {
+	if !d.Durable() {
+		return -1
+	}
+	return time.Since(time.Unix(0, d.lastSnap.Load()))
+}

@@ -1,0 +1,444 @@
+package racelogic_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"racelogic"
+	"racelogic/internal/seqgen"
+)
+
+// mutationScript drives one database through a representative workload:
+// batch inserts, removes that cross the compaction threshold, and a
+// manual compact.  It returns the inserted IDs so scripts stay in step
+// across databases.
+func mutationScript(t *testing.T, db *racelogic.Database, g *seqgen.Generator) {
+	t.Helper()
+	var ids []uint64
+	for round := 0; round < 3; round++ {
+		batch := []string{g.Random(9), g.Random(12), g.Random(12)}
+		got, err := db.Insert(batch...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, got...)
+	}
+	// Remove enough to trip the default dead>live policy at least once.
+	if err := db.Remove(ids[0], ids[2], ids[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove(ids[6]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert(g.Random(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecovery is the PR's acceptance property: a database killed
+// between snapshots — dropped without Close, nothing saved since
+// Persist — reopens via Open(dir) with zero acknowledged mutations
+// lost, returning byte-identical search reports (modulo EnginesBuilt)
+// to a never-killed database that ran the same script.
+func TestCrashRecovery(t *testing.T) {
+	g := seqgen.NewDNA(91)
+	gCtl := seqgen.NewDNA(91) // identical stream for the control
+	base := g.Database(8, 10)
+	dir := t.TempDir()
+
+	opts := []racelogic.Option{racelogic.WithSeedIndex(4), racelogic.WithTopK(10), racelogic.WithThreshold(18)}
+	durable, err := racelogic.NewDatabase(base, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disable background snapshots: recovery must work from the initial
+	// snapshot plus the WAL alone.
+	if err := durable.Persist(dir, racelogic.WithSnapshotInterval(0), racelogic.WithSnapshotEvery(0)); err != nil {
+		t.Fatal(err)
+	}
+	control, err := racelogic.NewDatabase(gCtl.Database(8, 10), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutationScript(t, durable, g)
+	mutationScript(t, control, gCtl)
+
+	// "Crash": drop the durable handle without Close, Checkpoint, or
+	// SaveSnapshot.  The WAL is all that remembers the mutations.
+	if durable.WALRecords() == 0 {
+		t.Fatal("test is vacuous: no journaled mutations to recover")
+	}
+	durable = nil
+
+	back, err := racelogic.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != control.Len() || back.Version() != control.Version() ||
+		back.Tombstones() != control.Tombstones() || back.Buckets() != control.Buckets() {
+		t.Fatalf("recovered shape differs: len %d/%d version %d/%d tombstones %d/%d buckets %d/%d",
+			back.Len(), control.Len(), back.Version(), control.Version(),
+			back.Tombstones(), control.Tombstones(), back.Buckets(), control.Buckets())
+	}
+	if !reflect.DeepEqual(back.IDs(), control.IDs()) {
+		t.Fatalf("recovered IDs %v differ from control %v", back.IDs(), control.IDs())
+	}
+	for _, q := range []string{g.Random(12), g.Random(10), g.Random(9), g.Random(5)} {
+		want, err := control.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripEngines(want), stripEngines(got)) {
+			t.Errorf("query %q: recovered report differs:\n got %+v\nwant %+v", q, got, want)
+		}
+	}
+
+	// Counters resumed: the next IDs must be fresh on both.
+	gotIDs, err := back.Insert(g.Random(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs, err := control.Insert(gCtl.Random(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotIDs, wantIDs) {
+		t.Errorf("post-recovery insert IDs %v, control %v", gotIDs, wantIDs)
+	}
+}
+
+// TestCrashRecoveryAfterCheckpoint crashes after a checkpoint plus more
+// mutations: recovery must load the newest snapshot, skip the journal
+// records it covers, and replay only the tail.
+func TestCrashRecoveryAfterCheckpoint(t *testing.T) {
+	g := seqgen.NewDNA(97)
+	dir := t.TempDir()
+	db, err := racelogic.NewDatabase(g.Database(5, 8), racelogic.WithSeedIndex(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(dir, racelogic.WithSnapshotInterval(0), racelogic.WithSnapshotEvery(0)); err != nil {
+		t.Fatal(err)
+	}
+	preIDs, err := db.Insert(g.Random(8), g.Random(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if db.WALRecords() != 0 {
+		t.Fatalf("checkpoint left %d journal records", db.WALRecords())
+	}
+	if db.Snapshots() != 1 {
+		t.Fatalf("Snapshots() = %d after one checkpoint", db.Snapshots())
+	}
+	postIDs, err := db.Insert(g.Random(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove(preIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	wantLen, wantVersion := db.Len(), db.Version()
+	db = nil // crash
+
+	back, err := racelogic.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != wantLen || back.Version() != wantVersion {
+		t.Fatalf("recovered len=%d version=%d, want %d/%d", back.Len(), back.Version(), wantLen, wantVersion)
+	}
+	ids := back.IDs()
+	for _, id := range ids {
+		if id == preIDs[0] {
+			t.Error("removed entry came back after recovery")
+		}
+	}
+	found := false
+	for _, id := range ids {
+		if id == postIDs[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("post-checkpoint insert lost in recovery")
+	}
+}
+
+// TestBackgroundSnapshotter pins the count trigger: after snapEvery
+// mutations the loop folds the journal into the snapshot on its own.
+func TestBackgroundSnapshotter(t *testing.T) {
+	g := seqgen.NewDNA(101)
+	dir := t.TempDir()
+	db, err := racelogic.NewDatabase(g.Database(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(dir, racelogic.WithSnapshotEvery(2), racelogic.WithSnapshotInterval(0)); err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Insert(g.Random(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert(g.Random(8)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Snapshots() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background snapshotter never fired on the mutation-count trigger")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if db.SnapshotFailures() != 0 {
+		t.Errorf("%d background snapshot failures", db.SnapshotFailures())
+	}
+}
+
+// TestCompactionPolicy pins the policy knobs on a memory-only database:
+// MaxDead triggers ahead of the ratio, and the zero policy never
+// auto-compacts but leaves manual Compact (and its remap) working.
+func TestCompactionPolicy(t *testing.T) {
+	g := seqgen.NewDNA(103)
+	entries := g.Database(10, 9)
+	db, err := racelogic.NewDatabase(entries,
+		racelogic.WithCompactionPolicy(racelogic.CompactionPolicy{MaxDead: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if db.Tombstones() != 1 {
+		t.Fatalf("one remove under MaxDead=2 must tombstone, got %d", db.Tombstones())
+	}
+	if err := db.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if db.Tombstones() != 0 {
+		t.Fatalf("second remove must hit MaxDead=2 and compact, got %d tombstones", db.Tombstones())
+	}
+
+	manual, err := racelogic.NewDatabase(entries, racelogic.WithCompactionPolicy(racelogic.CompactionPolicy{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := manual.Remove(0, 1, 2, 3, 4, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if manual.Tombstones() != 7 {
+		t.Fatalf("zero policy must never auto-compact, got %d tombstones", manual.Tombstones())
+	}
+	vBefore := manual.Version()
+	st, err := manual.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reclaimed != 7 || st.Live != 3 || st.Version != vBefore+1 {
+		t.Fatalf("manual compact stats = %+v", st)
+	}
+	if len(st.Remap) != 10 {
+		t.Fatalf("remap covers %d slots, want 10", len(st.Remap))
+	}
+	// Slots 7,8,9 survive as 0,1,2; everything else dropped.
+	for old, now := range st.Remap {
+		want := -1
+		if old >= 7 {
+			want = old - 7
+		}
+		if now != want {
+			t.Errorf("remap[%d] = %d, want %d", old, now, want)
+		}
+	}
+	// Idempotent: nothing left to reclaim.
+	st2, err := manual.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Reclaimed != 0 || st2.Remap != nil || st2.Version != st.Version {
+		t.Fatalf("second compact must be a no-op, got %+v", st2)
+	}
+
+	if _, err := racelogic.NewDatabase(entries,
+		racelogic.WithCompactionPolicy(racelogic.CompactionPolicy{MaxDead: -1})); err == nil {
+		t.Error("negative MaxDead must error")
+	}
+}
+
+// TestDurabilityAPIErrors pins the misuse cases: wrong options in the
+// wrong place, double Persist, Open on nothing, mutations after Close.
+func TestDurabilityAPIErrors(t *testing.T) {
+	g := seqgen.NewDNA(107)
+	dir := t.TempDir()
+
+	if _, err := racelogic.NewDatabase(g.Database(3, 8), racelogic.WithSync(true)); err == nil {
+		t.Error("WithSync on NewDatabase must error")
+	}
+	if _, err := racelogic.Open(filepath.Join(dir, "empty")); err == nil {
+		t.Error("Open on a dir with no database must error")
+	}
+
+	db, err := racelogic.NewDatabase(g.Database(3, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(dir, racelogic.WithTopK(3)); err == nil {
+		t.Error("engine/search options on Persist must error")
+	}
+	if err := db.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(dir); err == nil {
+		t.Error("double Persist must error")
+	}
+	other, err := racelogic.NewDatabase(g.Database(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Persist(dir); err == nil {
+		t.Error("Persist into a dir that already holds a database must error")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("Close must be idempotent: %v", err)
+	}
+	if db.Durable() {
+		t.Error("a closed database no longer journals; Durable must be false")
+	}
+	if err := db.Checkpoint(); !errors.Is(err, racelogic.ErrClosed) {
+		t.Errorf("Checkpoint after Close: %v, want ErrClosed", err)
+	}
+	if _, err := db.Insert("ACGT"); !errors.Is(err, racelogic.ErrClosed) {
+		t.Errorf("Insert after Close: %v, want ErrClosed", err)
+	}
+	if err := db.Remove(0); err == nil {
+		t.Error("Remove after Close must error")
+	}
+	if _, err := db.Compact(); err == nil {
+		t.Error("Compact after Close must error")
+	}
+	// Searches keep working against the final state.
+	if _, err := db.Search("ACGTACGT"); err != nil {
+		t.Errorf("Search after Close must keep working: %v", err)
+	}
+
+	if _, err := racelogic.Open(dir, racelogic.WithSeedIndex(4)); err == nil {
+		t.Error("engine options on Open must error")
+	}
+	back, err := racelogic.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Durable() || back.SnapshotAge() < 0 {
+		t.Error("reopened database must report durable with a snapshot age")
+	}
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupted journal header must refuse to open, not half-load.
+	if err := os.WriteFile(filepath.Join(dir, racelogic.WALName), []byte("not a journal, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := racelogic.Open(dir); err == nil {
+		t.Error("mangled WAL header must error loudly")
+	}
+}
+
+// TestStaleJournalFoldedAway pins the crash-window cleanup: when a
+// crash lands between "snapshot renamed" and "journal truncated", the
+// leftover records are covered by the snapshot — replay must skip them,
+// WALRecords reports them until the next checkpoint, and that
+// checkpoint must fold them away even though there is nothing new to
+// snapshot.
+func TestStaleJournalFoldedAway(t *testing.T) {
+	g := seqgen.NewDNA(113)
+	dir := t.TempDir()
+	db, err := racelogic.NewDatabase(g.Database(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(dir, racelogic.WithSnapshotInterval(0), racelogic.WithSnapshotEvery(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert(g.Random(8)); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, racelogic.WALName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil { // snapshot covers the insert, journal truncated
+		t.Fatal(err)
+	}
+	wantLen, wantVersion := db.Len(), db.Version()
+	db = nil // crash
+	// Undo the truncation: the snapshot is renamed, the journal is not.
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := racelogic.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != wantLen || back.Version() != wantVersion {
+		t.Fatalf("recovered len=%d version=%d, want %d/%d — a covered record was replayed twice",
+			back.Len(), back.Version(), wantLen, wantVersion)
+	}
+	if back.WALRecords() != 1 {
+		t.Fatalf("stale journal holds %d records, expected the 1 covered insert", back.WALRecords())
+	}
+	if err := back.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if back.WALRecords() != 0 {
+		t.Errorf("checkpoint with nothing new must still fold the covered records away, %d left", back.WALRecords())
+	}
+}
+
+// TestErrUnknownIDSurvivesJournal double-checks that journaling does
+// not change the public error contract.
+func TestErrUnknownIDSurvivesJournal(t *testing.T) {
+	g := seqgen.NewDNA(109)
+	db, err := racelogic.NewDatabase(g.Database(3, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Remove(99); !errors.Is(err, racelogic.ErrUnknownID) {
+		t.Errorf("remove unknown: %v, want ErrUnknownID", err)
+	}
+	// The failed remove must not have been journaled: reopening later
+	// replays only acknowledged mutations, and the version is unmoved.
+	if db.Version() != 0 {
+		t.Errorf("failed remove bumped version to %d", db.Version())
+	}
+	if db.WALRecords() != 0 {
+		t.Errorf("failed remove left %d journal records", db.WALRecords())
+	}
+}

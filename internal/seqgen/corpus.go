@@ -1,0 +1,60 @@
+package seqgen
+
+import (
+	"fmt"
+	"io"
+)
+
+// Corpus describes where a command's sequence collection comes from —
+// the one resolution both racesearch and raceserve share instead of
+// each reimplementing it.  Exactly one source applies, in precedence
+// order: a file (FASTA or plain, auto-detected), a generated random
+// database, or a fallback stream such as stdin.
+type Corpus struct {
+	// Path is a sequence database file; "" selects another source.
+	Path string
+	// Gen generates this many random sequences instead of reading any;
+	// it is mutually exclusive with Path.
+	Gen    int
+	GenLen int   // length of generated sequences; must be ≥ 1 when Gen > 0
+	Seed   int64 // generator seed
+	// Protein selects the protein alphabet for generated sequences.
+	Protein bool
+	// Reader is the fallback stream when neither Path nor Gen is set;
+	// nil means there is no source at all.
+	Reader io.Reader
+}
+
+// Load resolves the corpus.  An empty result is an error: every caller
+// is about to build a database, and "no entries" at serve time is
+// always a misconfiguration better reported at load time.
+func (c Corpus) Load() ([]string, error) {
+	var entries []string
+	var err error
+	switch {
+	case c.Path != "" && c.Gen > 0:
+		return nil, fmt.Errorf("seqgen: a corpus is read from a file or generated, not both")
+	case c.Path != "":
+		entries, err = ReadSequencesFile(c.Path)
+	case c.Gen > 0:
+		if c.GenLen < 1 {
+			return nil, fmt.Errorf("seqgen: generated sequence length %d must be ≥ 1", c.GenLen)
+		}
+		g := NewDNA(c.Seed)
+		if c.Protein {
+			g = NewProtein(c.Seed)
+		}
+		entries = g.Database(c.Gen, c.GenLen)
+	case c.Reader != nil:
+		entries, err = ReadSequences(c.Reader)
+	default:
+		return nil, fmt.Errorf("seqgen: no corpus source: need a file, a generator, or a stream")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("seqgen: corpus is empty")
+	}
+	return entries, nil
+}

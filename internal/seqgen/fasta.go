@@ -87,39 +87,22 @@ func ReadFASTA(r io.Reader) ([]FASTARecord, error) {
 // format, auto-detected on the first meaningful line: a '>' selects
 // FASTA (multi-line records concatenated), anything else selects the
 // plain one-sequence-per-line format where blank lines, '#'/';'
-// comments and stray '>' header lines are skipped.  The input streams
-// through a fixed-size buffer; only the parsed sequences are held in
-// memory.
+// comments and stray '>' header lines are skipped.  It drains a
+// Scanner: the input streams through a fixed-size buffer and only the
+// parsed sequences are held in memory.
 func ReadSequences(r io.Reader) ([]string, error) {
-	br := bufio.NewReaderSize(r, sniffWindow)
-	fasta, err := looksLikeFASTA(br)
-	if err != nil {
-		return nil, err
-	}
-	if fasta {
-		recs, err := ReadFASTA(br)
+	var seqs []string
+	sc := NewScanner(r)
+	for {
+		seq, err := sc.Next()
+		if err == io.EOF {
+			return seqs, nil
+		}
 		if err != nil {
 			return nil, err
 		}
-		seqs := make([]string, len(recs))
-		for i, rec := range recs {
-			seqs[i] = rec.Sequence
-		}
-		return seqs, nil
+		seqs = append(seqs, seq)
 	}
-	var seqs []string
-	sc := bufio.NewScanner(br)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == ';' || line[0] == '>' {
-			continue
-		}
-		// Uppercase like the FASTA branch, so the same sequences load
-		// identically in either format.
-		seqs = append(seqs, strings.ToUpper(line))
-	}
-	return seqs, sc.Err()
 }
 
 // sniffWindow bounds the format sniff: a FASTA header is expected within
@@ -129,17 +112,16 @@ const sniffWindow = 64 << 10
 
 // looksLikeFASTA peeks br — without consuming it — for the first
 // non-blank, non-comment ('#' or ';') line and reports whether it starts
-// with a FASTA header.
+// with a FASTA header.  Read errors are not surfaced here: the format is
+// decided from whatever bytes are available, and the error re-surfaces
+// the moment the caller actually reads past them.
 func looksLikeFASTA(br *bufio.Reader) (bool, error) {
 	for n := 512; ; n *= 2 {
 		if n > sniffWindow {
 			n = sniffWindow
 		}
 		buf, err := br.Peek(n)
-		if err != nil && err != io.EOF {
-			return false, err
-		}
-		sawAll := err == io.EOF || n == sniffWindow
+		sawAll := err != nil || n == sniffWindow
 		startOfLine, skipLine := true, false
 		for _, b := range buf {
 			switch {

@@ -1,0 +1,153 @@
+package seqgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scanner streams sequences from a reader one at a time, in either
+// supported database format — real FASTA (multi-line records
+// concatenated, duplicate record IDs rejected) or plain
+// one-sequence-per-line — auto-detected on the first meaningful line
+// exactly like ReadSequences.  Nothing beyond a fixed-size line buffer
+// and the sequence being assembled is ever held in memory, which is
+// what lets a server ingest an arbitrarily large upload without
+// buffering it: call Next until it returns io.EOF.
+type Scanner struct {
+	br      *bufio.Reader
+	sc      *bufio.Scanner
+	started bool
+	fasta   bool
+	lineno  int
+
+	// FASTA record state.
+	ids  map[string]bool
+	open bool
+	cur  string // ID of the record being assembled
+	seq  strings.Builder
+
+	err  error
+	done bool
+}
+
+// NewScanner wraps r.  The format sniff happens lazily on first Next.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{br: bufio.NewReaderSize(r, sniffWindow)}
+}
+
+// Next returns the next sequence, or io.EOF when the input is
+// exhausted.  Any other error (format violation, oversized line, read
+// failure) is terminal: every later call returns it again.
+func (s *Scanner) Next() (string, error) {
+	if s.err != nil {
+		return "", s.err
+	}
+	if !s.started {
+		s.started = true
+		fasta, err := looksLikeFASTA(s.br)
+		if err != nil {
+			return "", s.fail(err)
+		}
+		s.fasta = fasta
+		s.sc = bufio.NewScanner(s.br)
+		s.sc.Buffer(make([]byte, 1<<20), 1<<20)
+		if fasta {
+			s.ids = make(map[string]bool)
+		}
+	}
+	if s.fasta {
+		return s.nextFASTA()
+	}
+	return s.nextPlain()
+}
+
+// fail latches a terminal error.
+func (s *Scanner) fail(err error) error {
+	s.err = err
+	return err
+}
+
+// nextPlain yields one non-comment line, uppercased.
+func (s *Scanner) nextPlain() (string, error) {
+	for s.sc.Scan() {
+		s.lineno++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || line[0] == '#' || line[0] == ';' || line[0] == '>' {
+			continue
+		}
+		// Uppercase like the FASTA branch, so the same sequences load
+		// identically in either format.
+		return strings.ToUpper(line), nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return "", s.fail(err)
+	}
+	return "", s.fail(io.EOF)
+}
+
+// nextFASTA assembles lines until the next header (which yields the
+// just-finished record) or end of input.
+func (s *Scanner) nextFASTA() (string, error) {
+	if s.done {
+		return "", s.fail(io.EOF)
+	}
+	for s.sc.Scan() {
+		s.lineno++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || line[0] == ';' || line[0] == '#' {
+			continue
+		}
+		if line[0] == '>' {
+			finished, err := s.flushFASTA()
+			if err != nil {
+				return "", s.fail(err)
+			}
+			header := strings.TrimSpace(line[1:])
+			id, _, _ := strings.Cut(header, " ")
+			if s.ids[id] {
+				return "", s.fail(fmt.Errorf("seqgen: line %d: duplicate FASTA record ID %q", s.lineno, id))
+			}
+			s.ids[id] = true
+			s.cur = id
+			s.open = true
+			if finished != "" {
+				return finished, nil
+			}
+			continue
+		}
+		if !s.open {
+			return "", s.fail(fmt.Errorf("seqgen: line %d: sequence data before the first FASTA header", s.lineno))
+		}
+		s.seq.WriteString(strings.ToUpper(strings.Join(strings.Fields(line), "")))
+	}
+	if err := s.sc.Err(); err != nil {
+		return "", s.fail(err)
+	}
+	s.done = true
+	final, err := s.flushFASTA()
+	if err != nil {
+		return "", s.fail(err)
+	}
+	if final != "" {
+		return final, nil
+	}
+	return "", s.fail(io.EOF)
+}
+
+// flushFASTA closes the record being assembled, returning its sequence
+// ("" when no record was open).  A header with no sequence lines is an
+// error.
+func (s *Scanner) flushFASTA() (string, error) {
+	if !s.open {
+		return "", nil
+	}
+	if s.seq.Len() == 0 {
+		return "", fmt.Errorf("seqgen: FASTA record %q has no sequence data", s.cur)
+	}
+	out := s.seq.String()
+	s.seq.Reset()
+	s.open = false
+	return out, nil
+}

@@ -12,10 +12,19 @@
 //   - POST /entries inserts sequences into the live database, returning
 //     their stable IDs; DELETE /entries/{id} removes one by stable ID
 //     (404 when unknown) — the service never restarts to change corpus;
+//   - POST /entries/bulk streams a whole corpus upload — NDJSON (one
+//     JSON string per line) or FASTA/plain text, auto-detected — into
+//     the database in journaled batches without buffering the body, the
+//     live-import path for large collections;
+//   - POST /compact is the manual admin trigger for a dense rebuild; it
+//     returns the old→new slot remap so clients holding slot indices can
+//     rebind (entry IDs are the stable handle and never change);
 //   - GET /healthz is the liveness probe;
 //   - GET /stats reports the database version, live entry and tombstone
-//     counts, and cumulative service counters: searches and mutations
-//     served, engines compiled and pooled, cache hits, uptime.
+//     counts, durability state (journal tail size, snapshot age and save
+//     counts), and cumulative service counters: searches, mutations and
+//     compactions served, engines compiled and pooled, cache hits,
+//     uptime.
 //
 // The handler is safe for concurrent requests because Database.Search
 // is: each in-flight race checks a compiled simulator out of a per-shape

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"racelogic"
+	"racelogic/internal/seqgen"
 )
 
 // Config parameterizes a search service.
@@ -74,7 +77,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("POST /entries", s.handleInsert)
+	s.mux.HandleFunc("POST /entries/bulk", s.handleBulkInsert)
 	s.mux.HandleFunc("DELETE /entries/{id}", s.handleRemove)
+	s.mux.HandleFunc("POST /compact", s.handleCompact)
 	return s, nil
 }
 
@@ -140,6 +145,20 @@ type SearchResponse struct {
 // errorResponse is the JSON body of every non-2xx reply.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// mutationStatus classifies a mutation error: journal I/O failures and
+// a closed (shutting-down) database are the server's fault, not the
+// client's, and must not be counted or retried as bad requests.
+func mutationStatus(err error) int {
+	switch {
+	case errors.Is(err, racelogic.ErrJournal):
+		return http.StatusInternalServerError
+	case errors.Is(err, racelogic.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -316,11 +335,186 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	ids, err := s.db.Insert(req.Entries...)
 	if err != nil {
 		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeJSON(w, mutationStatus(err), errorResponse{Error: err.Error()})
 		return
 	}
 	s.mutations.Add(1)
 	writeJSON(w, http.StatusOK, MutationResponse{IDs: ids, Entries: s.db.Len(), Version: s.db.Version()})
+}
+
+// maxBulkBytes bounds one /entries/bulk upload.  The body streams
+// through a scanner rather than being buffered, so this guards disk and
+// index growth per request, not memory.
+const maxBulkBytes = 256 << 20
+
+// bulkBatch is how many streamed entries land per Database.Insert call:
+// each batch is one journaled multi-insert record in the write-ahead
+// log and one copy-on-write snapshot publish, so a million-entry upload
+// costs thousands, not millions, of journal syncs and index copies.
+const bulkBatch = 512
+
+// BulkInsertResponse is the POST /entries/bulk reply.  Batches are
+// atomic but the upload as a whole is not: on a mid-stream error the
+// response reports how much landed (every landed batch is journaled
+// and therefore durable) alongside the error.
+type BulkInsertResponse struct {
+	// Inserted counts the entries that landed; Batches the journaled
+	// multi-insert records they landed in.
+	Inserted int `json:"inserted"`
+	Batches  int `json:"batches"`
+	// FirstID and LastID bracket the assigned stable IDs when the
+	// upload was the only writer; concurrent inserts may interleave.
+	FirstID *uint64 `json:"first_id,omitempty"`
+	LastID  *uint64 `json:"last_id,omitempty"`
+	// Entries is the live entry count and Version the mutation counter
+	// after the upload.
+	Entries int    `json:"entries"`
+	Version int64  `json:"version"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleBulkInsert streams a corpus upload — NDJSON (one JSON string
+// per line, Content-Type application/x-ndjson) or FASTA / plain text,
+// auto-detected — into the database in journaled batches, without ever
+// buffering the whole body.
+func (s *Server) handleBulkInsert(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	body := http.MaxBytesReader(w, r.Body, maxBulkBytes)
+	next := s.bulkSource(r, body)
+
+	resp := &BulkInsertResponse{}
+	fail := func(status int, msg string) {
+		s.failures.Add(1)
+		resp.Error = msg
+		resp.Entries = s.db.Len()
+		resp.Version = s.db.Version()
+		writeJSON(w, status, resp)
+	}
+	batch := make([]string, 0, bulkBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		ids, err := s.db.Insert(batch...)
+		if err != nil {
+			return err
+		}
+		if resp.FirstID == nil {
+			resp.FirstID = &ids[0]
+		}
+		resp.LastID = &ids[len(ids)-1]
+		resp.Inserted += len(ids)
+		resp.Batches++
+		s.mutations.Add(1)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		entry, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(http.StatusBadRequest, "reading entry "+strconv.Itoa(resp.Inserted+len(batch))+": "+err.Error())
+			return
+		}
+		if len(entry) > s.maxQueryLen {
+			fail(http.StatusBadRequest, fmt.Sprintf("entry %d length %d exceeds the %d-symbol limit",
+				resp.Inserted+len(batch), len(entry), s.maxQueryLen))
+			return
+		}
+		batch = append(batch, strings.ToUpper(entry))
+		if len(batch) == bulkBatch {
+			if err := flush(); err != nil {
+				fail(mutationStatus(err), err.Error())
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		fail(mutationStatus(err), err.Error())
+		return
+	}
+	if resp.Inserted == 0 {
+		fail(http.StatusBadRequest, "upload contained no entries")
+		return
+	}
+	resp.Entries = s.db.Len()
+	resp.Version = s.db.Version()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// bulkSource picks the per-entry decoder for an upload: NDJSON when the
+// Content-Type says so, the FASTA/plain auto-detecting sequence scanner
+// otherwise.
+func (s *Server) bulkSource(r *http.Request, body io.Reader) func() (string, error) {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, _ := strings.Cut(ct, ";"); strings.TrimSpace(mt) == "application/x-ndjson" {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		return func() (string, error) {
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if line == "" {
+					continue
+				}
+				var entry string
+				if err := json.Unmarshal([]byte(line), &entry); err != nil {
+					return "", fmt.Errorf("NDJSON line is not a JSON string: %w", err)
+				}
+				return entry, nil
+			}
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.EOF
+		}
+	}
+	sc := seqgen.NewScanner(body)
+	return sc.Next
+}
+
+// CompactResponse is the POST /compact reply.  Entry IDs are the stable
+// handle across compactions — clients should key on SearchResult.ID,
+// never Index; Remap exists only so a client that cached slot indices
+// can rebind them once.
+type CompactResponse struct {
+	// Version is the mutation counter after the compaction (unchanged
+	// when nothing was reclaimed); Entries the live count.
+	Version int64 `json:"version"`
+	Entries int   `json:"entries"`
+	// Reclaimed is the number of tombstoned slots dropped.
+	Reclaimed int `json:"reclaimed"`
+	// Remap maps every pre-compaction slot to its new slot, -1 for the
+	// dropped tombstones.  Omitted when nothing was reclaimed.
+	Remap []int `json:"remap,omitempty"`
+}
+
+// handleCompact is the manual admin trigger: compact now, regardless of
+// the automatic policy, and report the slot remap.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	st, err := s.db.Compact()
+	if err != nil {
+		s.failures.Add(1)
+		// Compact takes no client input: anything not classified is
+		// still the server's problem, never a 400.
+		status := mutationStatus(err)
+		if status == http.StatusBadRequest {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	if st.Reclaimed > 0 {
+		s.mutations.Add(1)
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{
+		Version:   st.Version,
+		Entries:   st.Live,
+		Reclaimed: st.Reclaimed,
+		Remap:     st.Remap,
+	})
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -333,7 +527,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.db.Remove(id); err != nil {
 		s.failures.Add(1)
-		status := http.StatusBadRequest
+		status := mutationStatus(err)
 		if errors.Is(err, racelogic.ErrUnknownID) {
 			status = http.StatusNotFound
 		}
@@ -358,8 +552,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Entries: s.db.Len()})
 }
 
-// StatsResponse is the GET /stats reply: database shape plus cumulative
-// service counters.
+// StatsResponse is the GET /stats reply: database shape, durability
+// state, and cumulative service counters.
 type StatsResponse struct {
 	Entries       int   `json:"entries"`
 	Version       int64 `json:"version"`
@@ -368,6 +562,7 @@ type StatsResponse struct {
 	SeedK         int   `json:"seed_k"`
 	Searches      int64 `json:"searches"`
 	Mutations     int64 `json:"mutations"`
+	Compactions   int64 `json:"compactions"`
 	EnginesBuilt  int64 `json:"engines_built"`
 	PooledEngines int   `json:"pooled_engines"`
 	Requests      int64 `json:"requests"`
@@ -376,6 +571,19 @@ type StatsResponse struct {
 	CacheEntries  int   `json:"cache_entries"`
 	CacheCapacity int   `json:"cache_capacity"`
 	UptimeSeconds int64 `json:"uptime_seconds"`
+	// Durable reports whether mutations are journaled to a write-ahead
+	// log; the WAL and snapshot fields below are zero when it is false.
+	Durable bool `json:"durable"`
+	// WALRecords and WALBytes measure the journal tail not yet folded
+	// into a snapshot — what a restart would replay.
+	WALRecords int64 `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// Snapshots counts durable snapshot saves; SnapshotFailures the
+	// background attempts that errored; SnapshotAgeSeconds the age of
+	// the newest on-disk snapshot (-1 when not durable).
+	Snapshots          int64   `json:"snapshots"`
+	SnapshotFailures   int64   `json:"snapshot_failures"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -383,21 +591,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
 		return
 	}
+	age := -1.0
+	if s.db.Durable() {
+		age = s.db.SnapshotAge().Seconds()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Entries:       s.db.Len(),
-		Version:       s.db.Version(),
-		Tombstones:    s.db.Tombstones(),
-		Buckets:       s.db.Buckets(),
-		SeedK:         s.db.SeedK(),
-		Searches:      s.db.Searches(),
-		Mutations:     s.mutations.Load(),
-		EnginesBuilt:  s.db.EnginesBuilt(),
-		PooledEngines: s.db.PooledEngines(),
-		Requests:      s.requests.Load(),
-		Failures:      s.failures.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheEntries:  s.cache.len(),
-		CacheCapacity: s.cache.capacity(),
-		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Entries:            s.db.Len(),
+		Version:            s.db.Version(),
+		Tombstones:         s.db.Tombstones(),
+		Buckets:            s.db.Buckets(),
+		SeedK:              s.db.SeedK(),
+		Searches:           s.db.Searches(),
+		Mutations:          s.mutations.Load(),
+		Compactions:        s.db.Compactions(),
+		EnginesBuilt:       s.db.EnginesBuilt(),
+		PooledEngines:      s.db.PooledEngines(),
+		Requests:           s.requests.Load(),
+		Failures:           s.failures.Load(),
+		CacheHits:          s.cacheHits.Load(),
+		CacheEntries:       s.cache.len(),
+		CacheCapacity:      s.cache.capacity(),
+		UptimeSeconds:      int64(time.Since(s.start).Seconds()),
+		Durable:            s.db.Durable(),
+		WALRecords:         s.db.WALRecords(),
+		WALBytes:           s.db.WALBytes(),
+		Snapshots:          s.db.Snapshots(),
+		SnapshotFailures:   s.db.SnapshotFailures(),
+		SnapshotAgeSeconds: age,
 	})
 }

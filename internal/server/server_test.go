@@ -476,3 +476,217 @@ func TestMutationEndpointErrors(t *testing.T) {
 		t.Errorf("GET /entries: status %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestBulkInsertFASTA streams a FASTA upload through /entries/bulk and
+// checks the batch accounting plus searchability of the new entries.
+func TestBulkInsertFASTA(t *testing.T) {
+	ts, db, _ := newTestServer(t, racelogic.WithSeedIndex(4))
+	upload := ">u1\nAAAACGTACGT\n>u2 split\nCCCC\nGGGG\n>u3\nTTTTAAAA\n"
+	resp, err := http.Post(ts.URL+"/entries/bulk", "text/plain", strings.NewReader(upload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br BulkInsertResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %+v", resp.StatusCode, br)
+	}
+	if br.Inserted != 3 || br.Batches != 1 || br.Entries != 8 || br.Error != "" {
+		t.Fatalf("bulk response = %+v", br)
+	}
+	if br.FirstID == nil || br.LastID == nil || *br.LastID != *br.FirstID+2 {
+		t.Fatalf("ID bracket = %v..%v", br.FirstID, br.LastID)
+	}
+	if db.Len() != 8 {
+		t.Errorf("db has %d entries after bulk, want 8", db.Len())
+	}
+	// The multi-line record must have been concatenated and be findable.
+	_, sr := postSearch(t, ts.URL, `{"query":"CCCCGGGG"}`)
+	if sr == nil || len(sr.Results) == 0 || sr.Results[0].Sequence != "CCCCGGGG" {
+		t.Errorf("bulk-inserted record not searchable: %+v", sr)
+	}
+}
+
+// TestBulkInsertNDJSON covers the NDJSON content type, lowercase
+// normalization, and plain-format uploads.
+func TestBulkInsertNDJSON(t *testing.T) {
+	ts, db, _ := newTestServer(t)
+	body := "\"acgtacgtacgt\"\n\n\"TTTTCCCC\"\n"
+	resp, err := http.Post(ts.URL+"/entries/bulk", "application/x-ndjson; charset=utf-8", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br BulkInsertResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || br.Inserted != 2 {
+		t.Fatalf("status %d, response %+v", resp.StatusCode, br)
+	}
+	if db.Len() != 7 {
+		t.Errorf("db has %d entries, want 7", db.Len())
+	}
+	_, sr := postSearch(t, ts.URL, `{"query":"ACGTACGTACGT"}`)
+	found := false
+	if sr != nil {
+		for _, r := range sr.Results {
+			if r.Sequence == "ACGTACGTACGT" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("lowercase NDJSON entry must be uppercased and searchable: %+v", sr)
+	}
+
+	// Plain one-per-line works under the default content type too.
+	resp2, err := http.Post(ts.URL+"/entries/bulk", "application/octet-stream", strings.NewReader("GGGGTTTT\nAAAATTTT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("plain upload status %d", resp2.StatusCode)
+	}
+}
+
+// TestBulkInsertErrors pins the failure modes: bad alphabet mid-stream,
+// oversized entries, empty uploads, malformed NDJSON — each reported
+// with the partial-progress accounting.
+func TestBulkInsertErrors(t *testing.T) {
+	ts, db, _ := newTestServer(t)
+	before := db.Len()
+
+	for name, c := range map[string]struct{ ct, body string }{
+		"bad symbol":    {"text/plain", "ACGT\nACGN\n"},
+		"empty upload":  {"text/plain", "# nothing\n"},
+		"bad ndjson":    {"application/x-ndjson", "{\"entry\":\"ACGT\"}\n"},
+		"fasta no data": {"text/plain", ">a\n>b\nACGT\n"},
+	} {
+		resp, err := http.Post(ts.URL+"/entries/bulk", c.ct, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var br BulkInsertResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || br.Error == "" {
+			t.Errorf("%s: status %d, response %+v", name, resp.StatusCode, br)
+		}
+	}
+	if db.Len() != before {
+		t.Errorf("failed small uploads must land nothing: %d entries, want %d", db.Len(), before)
+	}
+
+	// An oversized entry fails the request but keeps the earlier batches:
+	// partial progress is reported, not rolled back.
+	long := strings.Repeat("A", 65)
+	resp, err := http.Post(ts.URL+"/entries/bulk", "text/plain", strings.NewReader("ACGTACGT\n"+long+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br BulkInsertResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(br.Error, "exceeds") {
+		t.Fatalf("oversized entry: status %d, %+v", resp.StatusCode, br)
+	}
+}
+
+// TestCompactEndpoint drives remove-then-compact over HTTP and checks
+// the remap contract: IDs stable, slots renumbered as reported.
+func TestCompactEndpoint(t *testing.T) {
+	ts, db, _ := newTestServer(t)
+
+	// Nothing to reclaim yet: a no-op with the current version.
+	resp, err := http.Post(ts.URL+"/compact", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr CompactResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || cr.Reclaimed != 0 || cr.Remap != nil || cr.Version != 0 {
+		t.Fatalf("no-op compact = %+v (status %d)", cr, resp.StatusCode)
+	}
+
+	// Remove slot 0's entry (ID 0); the default policy (dead>live) does
+	// not trigger on 1 of 5, so the tombstone waits for the manual call.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/entries/0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if db.Tombstones() != 1 {
+		t.Fatalf("tombstones = %d, want 1", db.Tombstones())
+	}
+
+	resp, err = http.Post(ts.URL+"/compact", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Reclaimed != 1 || cr.Entries != 4 || len(cr.Remap) != 5 {
+		t.Fatalf("compact = %+v", cr)
+	}
+	if cr.Remap[0] != -1 || cr.Remap[1] != 0 || cr.Remap[4] != 3 {
+		t.Errorf("remap = %v: slot 0 dropped, the rest shifted down", cr.Remap)
+	}
+	if db.Tombstones() != 0 {
+		t.Errorf("tombstones = %d after compact", db.Tombstones())
+	}
+}
+
+// TestStatsDurability checks the new /stats fields against a durable
+// database (journal tail, snapshot age) and a memory-only one.
+func TestStatsDurability(t *testing.T) {
+	ts, db, _ := newTestServer(t)
+	getStats := func() StatsResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := getStats()
+	if st.Durable || st.WALRecords != 0 || st.SnapshotAgeSeconds != -1 {
+		t.Fatalf("memory-only stats = %+v", st)
+	}
+
+	if err := db.Persist(t.TempDir(), racelogic.WithSnapshotInterval(0), racelogic.WithSnapshotEvery(0)); err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	resp, err := http.Post(ts.URL+"/entries", "application/json", strings.NewReader(`{"entries":["ACGTACGTAA"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st = getStats()
+	if !st.Durable || st.WALRecords != 1 || st.WALBytes == 0 || st.SnapshotAgeSeconds < 0 {
+		t.Fatalf("durable stats = %+v", st)
+	}
+}

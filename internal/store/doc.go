@@ -1,0 +1,70 @@
+// Package store is the durability layer under racelogic databases: it
+// serializes whole databases to versioned, checksummed binary snapshots
+// and journals individual mutations to an append-only, CRC-framed
+// write-ahead log.  Together the two formats let a long-running search
+// service outlive not just a clean shutdown but a crash: the newest
+// snapshot restores the bulk of the state fast, and replaying the WAL
+// tail recovers every mutation acknowledged after it was taken.
+//
+// # Snapshot format
+//
+// A snapshot holds everything needed to reconstruct a Database exactly:
+// the options fingerprint that shaped its engines and seed index, the
+// mutation version and ID counter, every live entry with its stable ID,
+// and the serialized k-mer seed index (so a reload skips re-tokenizing
+// the whole collection).
+//
+// Wire format (format version 1), all integers varint/uvarint framed:
+//
+//	"RLSNAP"  magic
+//	uvarint   format version
+//	string    library name        ┐
+//	string    protein matrix      │
+//	uvarint   clock-gate region   │ options fingerprint
+//	bool      one-hot encoding    │
+//	uvarint   seed-index k        │
+//	varint    default threshold   │
+//	varint    default top-K       │
+//	varint    default workers     ┘
+//	varint    mutation version
+//	uvarint   next entry ID
+//	uvarint   entry count, then per entry: uvarint ID, string sequence
+//	bool      index present, then the index.Encode stream if so
+//	uint32 LE CRC-32 (IEEE) of every preceding byte
+//
+// Snapshot files are written to a temporary sibling and renamed into
+// place, so a crash mid-save never corrupts the previous snapshot.
+//
+// # Write-ahead log format
+//
+// The WAL is a single append-only segment.  Unlike a snapshot — whose
+// one checksum trails the whole file — the WAL frames and checksums
+// every record independently, because a crash tears the file at an
+// arbitrary byte and the clean prefix must stay loadable:
+//
+//	"RLWAL"   magic
+//	uvarint   format version
+//	then per record:
+//	  uvarint   payload length
+//	  payload   (see below)
+//	  uint32 LE CRC-32 (IEEE) of the payload
+//
+// A record payload is one journaled mutation:
+//
+//	byte      op: 1 insert, 2 remove, 3 compact
+//	varint    database version after applying the record
+//	insert:   uvarint count, then per entry: uvarint ID, string sequence
+//	remove:   uvarint count, then per entry: uvarint ID
+//	compact:  nothing further
+//
+// Replay walks records in order and stops cleanly at the first torn or
+// corrupt one: a record whose frame runs past end-of-file, whose CRC
+// mismatches, or whose payload does not decode ends the replay at the
+// last intact record — corrupt bytes never surface as entries.  OpenWAL
+// truncates that torn tail before appending, so the segment stays a
+// clean prefix of acknowledged mutations.  Records carry the database
+// version they produced, which makes replay idempotent against the
+// snapshot: records at or below the snapshot's version are skipped, so
+// it never matters whether a crash landed between "snapshot renamed"
+// and "WAL truncated".
+package store

@@ -1,34 +1,3 @@
-// Package store serializes racelogic databases to versioned,
-// checksummed binary snapshots — the durability layer that lets a
-// long-running search service outlive its process: mutate live, save on
-// shutdown, reload fast on the next start.
-//
-// A snapshot holds everything needed to reconstruct a Database exactly:
-// the options fingerprint that shaped its engines and seed index, the
-// mutation version and ID counter, every live entry with its stable ID,
-// and the serialized k-mer seed index (so a reload skips re-tokenizing
-// the whole collection).
-//
-// Wire format (format version 1), all integers varint/uvarint framed:
-//
-//	"RLSNAP"  magic
-//	uvarint   format version
-//	string    library name        ┐
-//	string    protein matrix      │
-//	uvarint   clock-gate region   │ options fingerprint
-//	bool      one-hot encoding    │
-//	uvarint   seed-index k        │
-//	varint    default threshold   │
-//	varint    default top-K       │
-//	varint    default workers     ┘
-//	varint    mutation version
-//	uvarint   next entry ID
-//	uvarint   entry count, then per entry: uvarint ID, string sequence
-//	bool      index present, then the index.Encode stream if so
-//	uint32 LE CRC-32 (IEEE) of every preceding byte
-//
-// Files are written to a temporary sibling and renamed into place, so a
-// crash mid-save never corrupts the previous snapshot.
 package store
 
 import (
@@ -99,6 +68,40 @@ func (hw *hashWriter) Write(p []byte) (int, error) {
 	return hw.w.Write(p)
 }
 
+// encoder writes the varint-framed primitive fields both formats are
+// built from, latching the first error so field lists read flat.
+type encoder struct {
+	w       io.Writer
+	scratch []byte
+	err     error
+}
+
+func newEncoder(w io.Writer) *encoder {
+	return &encoder{w: w, scratch: make([]byte, 0, binary.MaxVarintLen64)}
+}
+
+func (e *encoder) raw(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) uvarint(v uint64) { e.raw(binary.AppendUvarint(e.scratch[:0], v)) }
+func (e *encoder) varint(x int64)   { e.raw(binary.AppendVarint(e.scratch[:0], x)) }
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.raw([]byte(s))
+}
+
+func (e *encoder) boolean(b bool) {
+	var x uint64
+	if b {
+		x = 1
+	}
+	e.uvarint(x)
+}
+
 // Write serializes s to w in the format documented on the package.
 func Write(w io.Writer, s *Snapshot) error {
 	if len(s.IDs) != len(s.Entries) {
@@ -106,53 +109,29 @@ func Write(w io.Writer, s *Snapshot) error {
 	}
 	bw := bufio.NewWriter(w)
 	hw := &hashWriter{w: bw, h: crc32.NewIEEE()}
-	scratch := make([]byte, 0, binary.MaxVarintLen64)
-	emit := func(b []byte) error {
-		_, err := hw.Write(b)
-		return err
-	}
-	u := func(v uint64) error { return emit(binary.AppendUvarint(scratch[:0], v)) }
-	v := func(x int64) error { return emit(binary.AppendVarint(scratch[:0], x)) }
-	str := func(x string) error {
-		if err := u(uint64(len(x))); err != nil {
-			return err
-		}
-		return emit([]byte(x))
-	}
-	boolean := func(b bool) error {
-		var x uint64
-		if b {
-			x = 1
-		}
-		return u(x)
-	}
+	e := newEncoder(hw)
 
-	if err := emit([]byte(magic)); err != nil {
-		return err
-	}
-	if err := u(FormatVersion); err != nil {
-		return err
-	}
+	e.raw([]byte(magic))
+	e.uvarint(FormatVersion)
 	o := s.Options
-	for _, step := range []error{
-		str(o.Library), str(o.Matrix), u(uint64(o.GateRegion)), boolean(o.OneHot),
-		u(uint64(o.SeedK)), v(o.Threshold), v(int64(o.TopK)), v(int64(o.Workers)),
-		v(s.Version), u(s.NextID), u(uint64(len(s.Entries))),
-	} {
-		if step != nil {
-			return step
-		}
-	}
+	e.str(o.Library)
+	e.str(o.Matrix)
+	e.uvarint(uint64(o.GateRegion))
+	e.boolean(o.OneHot)
+	e.uvarint(uint64(o.SeedK))
+	e.varint(o.Threshold)
+	e.varint(int64(o.TopK))
+	e.varint(int64(o.Workers))
+	e.varint(s.Version)
+	e.uvarint(s.NextID)
+	e.uvarint(uint64(len(s.Entries)))
 	for i, entry := range s.Entries {
-		if err := u(s.IDs[i]); err != nil {
-			return err
-		}
-		if err := str(entry); err != nil {
-			return err
-		}
+		e.uvarint(s.IDs[i])
+		e.str(entry)
 	}
-	if err := boolean(s.Index != nil); err != nil {
-		return err
+	e.boolean(s.Index != nil)
+	if e.err != nil {
+		return e.err
 	}
 	if s.Index != nil {
 		if err := s.Index.Encode(hw); err != nil {
@@ -190,10 +169,18 @@ func (hr *hashReader) ReadByte() (byte, error) {
 	return b, err
 }
 
-// decoder reads snapshot fields sequentially, latching the first error
-// so the happy path reads as a flat field list.
+// byteReader is what the decoder consumes: varints need byte-at-a-time
+// reads, strings need bulk ones.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// decoder reads serialized fields sequentially, latching the first
+// error so the happy path reads as a flat field list.  It is shared by
+// the snapshot reader and the WAL record decoder.
 type decoder struct {
-	hr  *hashReader
+	r   byteReader
 	err error
 }
 
@@ -202,7 +189,7 @@ func (d *decoder) uvarint() uint64 {
 		return 0
 	}
 	var x uint64
-	x, d.err = binary.ReadUvarint(d.hr)
+	x, d.err = binary.ReadUvarint(d.r)
 	return x
 }
 
@@ -211,7 +198,7 @@ func (d *decoder) varint() int64 {
 		return 0
 	}
 	var x int64
-	x, d.err = binary.ReadVarint(d.hr)
+	x, d.err = binary.ReadVarint(d.r)
 	return x
 }
 
@@ -225,7 +212,7 @@ func (d *decoder) str() string {
 		return ""
 	}
 	b := make([]byte, n)
-	if _, err := io.ReadFull(d.hr, b); err != nil {
+	if _, err := io.ReadFull(d.r, b); err != nil {
 		d.err = err
 		return ""
 	}
@@ -246,7 +233,7 @@ func (d *decoder) boolean() bool {
 // load, not serve wrong search results.
 func Read(r io.Reader) (*Snapshot, error) {
 	hr := &hashReader{r: bufio.NewReader(r), h: crc32.NewIEEE()}
-	d := &decoder{hr: hr}
+	d := &decoder{r: hr}
 
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(hr, head); err != nil {

@@ -1,0 +1,381 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// walMagic opens every WAL segment.
+const walMagic = "RLWAL"
+
+// WALFormatVersion is the WAL wire format this package writes.
+const WALFormatVersion = 1
+
+// maxRecordLen bounds a single record's payload.  Frame lengths are read
+// before their CRC can be verified, so they must be sanity-checked
+// before allocation.
+const maxRecordLen = 1 << 28
+
+// Op identifies the mutation a WAL record journals.
+type Op byte
+
+const (
+	// OpInsert journals a batch insert: the assigned stable IDs and
+	// their entries.
+	OpInsert Op = 1
+	// OpRemove journals a batch remove by stable ID.
+	OpRemove Op = 2
+	// OpCompact journals a dense rebuild.  Compaction is deterministic
+	// given the state it runs on, so the record carries no payload
+	// beyond the resulting version.
+	OpCompact Op = 3
+)
+
+// Record is one journaled mutation.
+type Record struct {
+	Op Op
+	// Version is the database mutation counter after applying this
+	// record.  Replay uses it to skip records a snapshot already covers
+	// and to detect journal gaps.
+	Version int64
+	// IDs are the stable entry IDs inserted or removed; nil for compact.
+	IDs []uint64
+	// Entries are the inserted sequences, parallel to IDs; nil otherwise.
+	Entries []string
+}
+
+// countReader counts consumed bytes so Replay can report how long the
+// clean prefix is.
+type countReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// headerLen is the byte length of the segment header this build writes.
+var headerLen = int64(len(walMagic) + len(binary.AppendUvarint(nil, WALFormatVersion)))
+
+// Replay reads the WAL at path and returns every intact record in
+// order, plus the byte length of the clean prefix they occupy.  A
+// missing file replays as empty.  Replay stops cleanly at the first
+// torn or corrupt record — a frame running past end-of-file, a CRC
+// mismatch, or a payload that does not decode — returning the records
+// before it; corrupt bytes never surface as entries.  A present-but-
+// mangled header (bad magic, unknown format version) is a loud error
+// instead: that is not a torn append, the segment itself is not ours.
+func Replay(path string) ([]Record, int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	cr := &countReader{r: bufio.NewReader(f)}
+
+	head := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(cr, head); err != nil {
+		// Shorter than the magic: only a crash during the very first
+		// header write can leave this, before any record existed.
+		return nil, 0, nil
+	}
+	if string(head) != walMagic {
+		return nil, 0, fmt.Errorf("store: bad WAL magic %q: not a racelogic journal", head)
+	}
+	format, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, 0, nil // torn header, no records yet
+	}
+	if format != WALFormatVersion {
+		return nil, 0, fmt.Errorf("store: WAL format version %d, this build reads %d", format, WALFormatVersion)
+	}
+
+	var recs []Record
+	clean := cr.n
+	for {
+		rec, ok := readRecord(cr)
+		if !ok {
+			return recs, clean, nil
+		}
+		recs = append(recs, rec)
+		clean = cr.n
+	}
+}
+
+// readRecord decodes one framed record; ok is false at end-of-file and
+// on any torn or corrupt frame.
+func readRecord(cr *countReader) (Record, bool) {
+	n, err := binary.ReadUvarint(cr)
+	if err != nil || n == 0 || n > maxRecordLen {
+		return Record{}, false
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(cr, payload); err != nil {
+		return Record{}, false
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(cr, tail[:]); err != nil {
+		return Record{}, false
+	}
+	if binary.LittleEndian.Uint32(tail[:]) != crc32.ChecksumIEEE(payload) {
+		return Record{}, false
+	}
+	return decodeRecord(payload)
+}
+
+// decodeRecord parses a CRC-verified payload; ok is false when the
+// structure is invalid anyway (a corruption the checksum was also fed).
+func decodeRecord(payload []byte) (Record, bool) {
+	br := bytes.NewReader(payload)
+	d := &decoder{r: br}
+	op, err := br.ReadByte()
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Op: Op(op), Version: d.varint()}
+	switch rec.Op {
+	case OpInsert:
+		count := d.uvarint()
+		if d.err != nil || count > maxRecordLen {
+			return Record{}, false
+		}
+		for i := uint64(0); i < count; i++ {
+			rec.IDs = append(rec.IDs, d.uvarint())
+			rec.Entries = append(rec.Entries, d.str())
+		}
+	case OpRemove:
+		count := d.uvarint()
+		if d.err != nil || count > maxRecordLen {
+			return Record{}, false
+		}
+		for i := uint64(0); i < count; i++ {
+			rec.IDs = append(rec.IDs, d.uvarint())
+		}
+	case OpCompact:
+	default:
+		return Record{}, false
+	}
+	if d.err != nil || br.Len() != 0 {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// WAL is an open write-ahead log segment.  Appends are serialized
+// internally, but the database layer additionally orders them under its
+// own write lock so record versions hit the file monotonically.
+type WAL struct {
+	mu       sync.Mutex
+	f        *os.File
+	syncEach bool
+	size     int64
+	records  int64
+	buf      bytes.Buffer
+}
+
+// OpenWAL opens the segment at path for appending, creating it with a
+// fresh header when absent, and returns the intact records already in
+// it.  Any torn tail left by a crash is truncated away first, so the
+// next append lands on a record boundary.  When syncEachAppend is set,
+// every Append* fsyncs before returning — the acknowledged-means-
+// durable policy; without it the OS page cache is trusted, which still
+// survives a killed process but not a power failure.
+func OpenWAL(path string, syncEachAppend bool) (*WAL, []Record, error) {
+	recs, clean, err := Replay(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{f: f, syncEach: syncEachAppend, records: int64(len(recs))}
+	if clean < headerLen {
+		// New (or torn-at-birth) segment: start it over with a header.
+		if err := w.rewriteHeader(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	} else {
+		if err := f.Truncate(clean); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.Seek(clean, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.size = clean
+	}
+	return w, recs, nil
+}
+
+// rewriteHeader resets the file to a bare header.  Caller holds no
+// lock during OpenWAL; Reset takes w.mu.
+func (w *WAL) rewriteHeader() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	head := append([]byte(walMagic), binary.AppendUvarint(nil, WALFormatVersion)...)
+	if _, err := w.f.Write(head); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = int64(len(head))
+	w.records = 0
+	return nil
+}
+
+// AppendInsert journals a batch insert producing the given database
+// version: ids[i] is the stable ID assigned to entries[i].
+func (w *WAL) AppendInsert(version int64, ids []uint64, entries []string) error {
+	if len(ids) != len(entries) {
+		return fmt.Errorf("store: %d IDs for %d inserted entries", len(ids), len(entries))
+	}
+	return w.append(func(e *encoder) {
+		e.raw([]byte{byte(OpInsert)})
+		e.varint(version)
+		e.uvarint(uint64(len(ids)))
+		for i, id := range ids {
+			e.uvarint(id)
+			e.str(entries[i])
+		}
+	})
+}
+
+// AppendRemove journals a batch remove producing the given version.
+func (w *WAL) AppendRemove(version int64, ids []uint64) error {
+	return w.append(func(e *encoder) {
+		e.raw([]byte{byte(OpRemove)})
+		e.varint(version)
+		e.uvarint(uint64(len(ids)))
+		for _, id := range ids {
+			e.uvarint(id)
+		}
+	})
+}
+
+// AppendCompact journals a dense rebuild producing the given version.
+func (w *WAL) AppendCompact(version int64) error {
+	return w.append(func(e *encoder) {
+		e.raw([]byte{byte(OpCompact)})
+		e.varint(version)
+	})
+}
+
+// append frames one payload and writes it in a single call, keeping the
+// window a crash can tear as small as the kernel allows.  On any write
+// or sync failure the segment is truncated back to the last good record
+// so the failed append can never replay as acknowledged.
+func (w *WAL) append(encode func(*encoder)) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: WAL is closed")
+	}
+	w.buf.Reset()
+	e := newEncoder(&w.buf)
+	encode(e)
+	if e.err != nil {
+		return e.err
+	}
+	payload := w.buf.Bytes()
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(frame); err != nil {
+		w.unwind()
+		return err
+	}
+	if w.syncEach {
+		if err := w.f.Sync(); err != nil {
+			w.unwind()
+			return err
+		}
+	}
+	w.size += int64(len(frame))
+	w.records++
+	return nil
+}
+
+// unwind drops a half-written append.  Best effort: if the truncate
+// itself fails the torn record is still rejected at replay by its CRC.
+func (w *WAL) unwind() {
+	_ = w.f.Truncate(w.size)
+	_, _ = w.f.Seek(w.size, io.SeekStart)
+}
+
+// Reset empties the segment back to a bare header — the truncation step
+// after a snapshot has captured everything the log held.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: WAL is closed")
+	}
+	return w.rewriteHeader()
+}
+
+// Records returns the number of records in the current segment.
+func (w *WAL) Records() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Size returns the segment's byte length.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Sync flushes the segment to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the segment.  Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

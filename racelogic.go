@@ -38,6 +38,7 @@ package racelogic
 
 import (
 	"fmt"
+	"time"
 
 	"racelogic/internal/align"
 	"racelogic/internal/race"
@@ -99,6 +100,11 @@ type config struct {
 	matrix     string // search only; "" = DNA array
 	seedK      int    // search only; 0 = no k-mer pre-filter
 	fullScan   bool   // search only; bypass the seed index per query
+	compaction CompactionPolicy
+	// durability knobs, honored by Persist and Open only.
+	walSync      bool          // fsync every journal append
+	snapInterval time.Duration // background snapshot period; 0 = off
+	snapEvery    int           // mutations between snapshots; 0 = off
 	// applied records the names of the options used, in order, so the
 	// constructors can reject options that would silently do nothing in
 	// their context (e.g. WithTopK on a single-pair engine).
@@ -128,12 +134,21 @@ func (c *config) firstApplied(names ...string) string {
 // constructors reject them instead of silently ignoring them.
 var searchOnlyOptions = []string{
 	"WithTopK", "WithWorkers", "WithMatrix", "WithSeedIndex", "WithFullScan",
+	"WithCompactionPolicy", "WithSync", "WithSnapshotInterval", "WithSnapshotEvery",
 }
 
 // databaseFixedOptions shape the compiled engines or the seed index and
 // therefore cannot change per Database.Search call.
 var databaseFixedOptions = []string{
 	"WithLibrary", "WithMatrix", "WithClockGating", "WithOneHotEncoding", "WithSeedIndex",
+	"WithCompactionPolicy", "WithSync", "WithSnapshotInterval", "WithSnapshotEvery",
+}
+
+// durabilityOptions configure the write-ahead log and background
+// snapshotter; they are accepted by Persist and Open (and
+// WithCompactionPolicy additionally by NewDatabase).
+var durabilityOptions = []string{
+	"WithSync", "WithSnapshotInterval", "WithSnapshotEvery", "WithCompactionPolicy",
 }
 
 // WithLibrary selects the standard-cell library model: "AMIS" (default)
@@ -269,8 +284,74 @@ func WithFullScan() Option {
 	}
 }
 
+// WithCompactionPolicy replaces the default tombstone-reclamation policy
+// (DefaultCompactionPolicy: compact once tombstones outnumber live
+// entries).  It may be set at NewDatabase, Persist, or Open; the zero
+// policy disables automatic compaction entirely, leaving Compact as a
+// manual call.
+func WithCompactionPolicy(p CompactionPolicy) Option {
+	return func(c *config) error {
+		if err := p.validate(); err != nil {
+			return err
+		}
+		c.compaction = p
+		c.applied = append(c.applied, "WithCompactionPolicy")
+		return nil
+	}
+}
+
+// WithSync makes every journaled mutation fsync the write-ahead log
+// before it is acknowledged — durable even against power loss, at the
+// cost of one disk flush per Insert/Remove/Compact.  Without it the OS
+// page cache is trusted, which still loses nothing to a killed or
+// crashed process.  It is a durability option: pass it to Persist or
+// Open.
+func WithSync(on bool) Option {
+	return func(c *config) error {
+		c.walSync = on
+		c.applied = append(c.applied, "WithSync")
+		return nil
+	}
+}
+
+// WithSnapshotInterval sets how often the background snapshotter folds
+// the journal into a fresh snapshot (default DefaultSnapshotInterval);
+// 0 disables time-triggered snapshots.  It is a durability option: pass
+// it to Persist or Open.
+func WithSnapshotInterval(interval time.Duration) Option {
+	return func(c *config) error {
+		if interval < 0 {
+			return fmt.Errorf("racelogic: snapshot interval %v must be ≥ 0", interval)
+		}
+		c.snapInterval = interval
+		c.applied = append(c.applied, "WithSnapshotInterval")
+		return nil
+	}
+}
+
+// WithSnapshotEvery makes the background snapshotter run once n
+// mutations have accumulated since the last snapshot (default
+// DefaultSnapshotEvery); 0 disables count-triggered snapshots.  It is a
+// durability option: pass it to Persist or Open.
+func WithSnapshotEvery(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("racelogic: snapshot mutation count %d must be ≥ 0", n)
+		}
+		c.snapEvery = n
+		c.applied = append(c.applied, "WithSnapshotEvery")
+		return nil
+	}
+}
+
 func buildConfig(opts []Option) (*config, error) {
-	c := &config{library: tech.AMIS(), threshold: -1}
+	c := &config{
+		library:      tech.AMIS(),
+		threshold:    -1,
+		compaction:   DefaultCompactionPolicy,
+		snapInterval: DefaultSnapshotInterval,
+		snapEvery:    DefaultSnapshotEvery,
+	}
 	for _, o := range opts {
 		if err := o(c); err != nil {
 			return nil, err

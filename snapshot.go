@@ -19,19 +19,31 @@ import (
 // reopened with OpenSnapshot returns byte-identical search reports,
 // modulo EnginesBuilt.  Concurrent searches are never blocked; Insert
 // and Remove wait for the serialization to finish.
+//
+// SaveSnapshot is the portable export path; it does not interact with a
+// durable database's own snapshot/WAL directory — use Checkpoint for
+// that.
 func (d *Database) SaveSnapshot(path string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := d.state.Load()
-	if st.snap.Dead() > 0 {
-		next, err := d.compactLocked(st)
-		if err != nil {
-			return err
-		}
+	next, _, err := d.compactDurable(st)
+	if err != nil {
+		return err
+	}
+	if next != st {
 		d.state.Store(next)
 		st = next
 	}
-	return store.WriteFile(path, &store.Snapshot{
+	return store.WriteFile(path, d.snapshotPayload(st))
+}
+
+// snapshotPayload assembles the serializable form of one compacted
+// state.  Caller holds d.mu (nextID) and guarantees st is dense; the
+// returned struct shares st's immutable slices, so it stays valid for
+// writing after the lock is released.
+func (d *Database) snapshotPayload(st *dbstate) *store.Snapshot {
+	return &store.Snapshot{
 		Options: store.Options{
 			Library:    d.cfg.library.Name,
 			Matrix:     d.cfg.matrix,
@@ -47,33 +59,33 @@ func (d *Database) SaveSnapshot(path string) error {
 		IDs:     st.ids,
 		Entries: st.snap.Entries(),
 		Index:   st.idx,
-	})
+	}
 }
 
-// OpenSnapshot loads a database saved by SaveSnapshot.  The engine
-// options, per-search defaults, entries, stable IDs, mutation version,
-// and seed index all come from the file — no options are passed here,
-// so a snapshot always reopens exactly as it was saved.  The checksum
-// and structural invariants are verified before anything is built.
-func OpenSnapshot(path string) (*Database, error) {
-	s, err := store.ReadFile(path)
+// configFromStoreOptions rebuilds the construction configuration from a
+// snapshot's options fingerprint.
+func configFromStoreOptions(o store.Options) (*config, error) {
+	lib, err := tech.ByName(o.Library)
 	if err != nil {
 		return nil, err
 	}
-	lib, err := tech.ByName(s.Options.Library)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	cfg := &config{
-		library:    lib,
-		matrix:     s.Options.Matrix,
-		gateRegion: s.Options.GateRegion,
-		oneHot:     s.Options.OneHot,
-		seedK:      s.Options.SeedK,
-		threshold:  s.Options.Threshold,
-		topK:       s.Options.TopK,
-		workers:    s.Options.Workers,
-	}
+	return &config{
+		library:      lib,
+		matrix:       o.Matrix,
+		gateRegion:   o.GateRegion,
+		oneHot:       o.OneHot,
+		seedK:        o.SeedK,
+		threshold:    o.Threshold,
+		topK:         o.TopK,
+		workers:      o.Workers,
+		compaction:   DefaultCompactionPolicy,
+		snapInterval: DefaultSnapshotInterval,
+		snapEvery:    DefaultSnapshotEvery,
+	}, nil
+}
+
+// openStored turns a deserialized snapshot into a Database under cfg.
+func openStored(cfg *config, s *store.Snapshot, path string) (*Database, error) {
 	if s.Index != nil && s.Index.K() != cfg.seedK {
 		return nil, fmt.Errorf("%s: snapshot index has k=%d but the fingerprint says %d", path, s.Index.K(), cfg.seedK)
 	}
@@ -82,4 +94,24 @@ func OpenSnapshot(path string) (*Database, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return d, nil
+}
+
+// OpenSnapshot loads a database saved by SaveSnapshot.  The engine
+// options, per-search defaults, entries, stable IDs, mutation version,
+// and seed index all come from the file — no options are passed here,
+// so a snapshot always reopens exactly as it was saved.  The checksum
+// and structural invariants are verified before anything is built.
+//
+// The result is memory-only: mutations are not journaled.  For a
+// crash-safe database use Open on a directory instead.
+func OpenSnapshot(path string) (*Database, error) {
+	s, err := store.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := configFromStoreOptions(s.Options)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return openStored(cfg, s, path)
 }
