@@ -17,7 +17,7 @@
 //
 //	racesearch [-db FILE | -snapshot FILE] [-lib AMIS|OSU] [-threshold T]
 //	           [-top K] [-workers N] [-matrix BLOSUM62|PAM250] [-gate m]
-//	           [-seedk K] QUERY [FILE]
+//	           [-seedk K] [-shards N] QUERY [FILE]
 //
 // Examples:
 //
@@ -48,6 +48,7 @@ func main() {
 	matrix := flag.String("matrix", "", "protein matrix (BLOSUM62 or PAM250; empty = DNA)")
 	gate := flag.Int("gate", 0, "Section 4.3 clock-gating region size (0 = ungated; DNA only)")
 	seedK := flag.Int("seedk", 0, "k-mer seed index length (0 = race every entry)")
+	shards := flag.Int("shards", 0, "database shard count (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() < 1 || flag.NArg() > 2 || (*dbFile != "" && flag.NArg() == 2) {
 		fmt.Fprintln(os.Stderr, "usage: racesearch [flags] QUERY [FILE]   (FILE and -db are exclusive)")
@@ -57,7 +58,7 @@ func main() {
 	// The loaders uppercase database sequences; treat the query alike.
 	query := strings.ToUpper(flag.Arg(0))
 
-	db, err := resolveDatabase(*snapshot, *dbFile, flag.Args(), *lib, *matrix, *gate, *seedK)
+	db, err := resolveDatabase(*snapshot, *dbFile, flag.Args(), *lib, *matrix, *gate, *seedK, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racesearch:", err)
 		os.Exit(1)
@@ -74,14 +75,14 @@ func main() {
 // entries are loaded, a database built, and, when -snapshot names a
 // fresh path, saved there for the next run.
 func resolveDatabase(snapshot, dbFile string, args []string,
-	lib, matrix string, gate, seedK int) (*racelogic.Database, error) {
+	lib, matrix string, gate, seedK, shards int) (*racelogic.Database, error) {
 
 	if snapshot != "" {
 		if _, err := os.Stat(snapshot); err == nil {
 			var conflict []string
 			flag.Visit(func(f *flag.Flag) {
 				switch f.Name {
-				case "db", "lib", "matrix", "gate", "seedk":
+				case "db", "lib", "matrix", "gate", "seedk", "shards":
 					conflict = append(conflict, "-"+f.Name)
 				}
 			})
@@ -101,7 +102,7 @@ func resolveDatabase(snapshot, dbFile string, args []string,
 	if err != nil {
 		return nil, err
 	}
-	db, err := buildDatabase(entries, lib, matrix, gate, seedK)
+	db, err := buildDatabase(entries, lib, matrix, gate, seedK, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +126,7 @@ func loadDB(dbFile string, args []string) ([]string, error) {
 }
 
 // buildDatabase maps the engine-shaping flags onto a Database.
-func buildDatabase(entries []string, lib, matrix string, gate, seedK int) (*racelogic.Database, error) {
+func buildDatabase(entries []string, lib, matrix string, gate, seedK, shards int) (*racelogic.Database, error) {
 	opts := []racelogic.Option{racelogic.WithLibrary(lib)}
 	if matrix != "" {
 		opts = append(opts, racelogic.WithMatrix(matrix))
@@ -136,6 +137,9 @@ func buildDatabase(entries []string, lib, matrix string, gate, seedK int) (*race
 	if seedK > 0 {
 		opts = append(opts, racelogic.WithSeedIndex(seedK))
 	}
+	if shards > 0 {
+		opts = append(opts, racelogic.WithShards(shards))
+	}
 	return racelogic.NewDatabase(entries, opts...)
 }
 
@@ -144,7 +148,7 @@ func buildDatabase(entries []string, lib, matrix string, gate, seedK int) (*race
 func run(w io.Writer, query string, entries []string, lib string, threshold int64,
 	top, workers int, matrix string, gate, seedK int) error {
 
-	db, err := buildDatabase(entries, lib, matrix, gate, seedK)
+	db, err := buildDatabase(entries, lib, matrix, gate, seedK, 0)
 	if err != nil {
 		return err
 	}

@@ -29,6 +29,8 @@
 //	-matrix NAME         protein matrix (BLOSUM62 or PAM250; empty = DNA)
 //	-gate M              Section 4.3 clock-gating region size (DNA only)
 //	-seedk K             k-mer seed index length (0 = race every entry)
+//	-shards N            shard count (0 = GOMAXPROCS); each shard owns its
+//	                     own snapshot, seed index, and WAL segment chain
 //	-cache N             LRU report-cache capacity (0 = off)
 //	-top K               default top-K when a request omits top_k
 //	-wal DIR             durable state directory: recover from it if it
@@ -38,8 +40,12 @@
 //	                     mutation and snapshot in the background
 //	-snapshot-interval D background snapshot period for -wal (0 = off)
 //	-snapshot-every N    mutations between background snapshots (0 = off)
-//	-fsync               fsync the journal on every mutation (survives
-//	                     power loss, not just crashes)
+//	-fsync               fsync the journals before acknowledging (survives
+//	                     power loss, not just crashes); concurrent
+//	                     mutations share flushes via group commit
+//	-wal-segment-bytes N seal a shard's journal segment past N bytes and
+//	                     fold it into the next snapshot eagerly, so the
+//	                     replay tail stays bounded (0 = never rotate)
 //	-snapshot FILE       legacy durable state: load FILE if it exists and
 //	                     save back on SIGTERM/SIGINT only — a crash in
 //	                     between loses mutations; prefer -wal
@@ -94,6 +100,7 @@ type options struct {
 	matrix       string
 	gate         int
 	seedK        int
+	shards       int
 	cache        int
 	top          int
 	snapshot     string
@@ -101,6 +108,7 @@ type options struct {
 	snapInterval time.Duration
 	snapEvery    int
 	fsync        bool
+	segBytes     int64
 }
 
 func main() {
@@ -114,6 +122,7 @@ func main() {
 	flag.StringVar(&o.matrix, "matrix", "", "protein matrix (BLOSUM62 or PAM250; empty = DNA)")
 	flag.IntVar(&o.gate, "gate", 0, "Section 4.3 clock-gating region size (0 = ungated; DNA only)")
 	flag.IntVar(&o.seedK, "seedk", 0, "k-mer seed index length (0 = race every entry)")
+	flag.IntVar(&o.shards, "shards", 0, "database shard count (0 = GOMAXPROCS); with -wal, reshards a recovered directory in place")
 	flag.IntVar(&o.cache, "cache", 128, "LRU report-cache capacity (0 = off)")
 	flag.IntVar(&o.top, "top", 10, "default top-K when a request omits top_k")
 	flag.StringVar(&o.snapshot, "snapshot", "", "legacy snapshot file: load it if present, save on SIGTERM/SIGINT only")
@@ -122,7 +131,9 @@ func main() {
 		"background snapshot period for -wal (0 = off)")
 	flag.IntVar(&o.snapEvery, "snapshot-every", racelogic.DefaultSnapshotEvery,
 		"mutations between background snapshots for -wal (0 = off)")
-	flag.BoolVar(&o.fsync, "fsync", false, "fsync the journal on every mutation")
+	flag.BoolVar(&o.fsync, "fsync", false, "fsync the journals before acknowledging mutations (group-committed)")
+	flag.Int64Var(&o.segBytes, "wal-segment-bytes", racelogic.DefaultWALSegmentBytes,
+		"seal a shard's journal segment past this size and fold it into the next snapshot (0 = never rotate)")
 	flag.Parse()
 
 	srv, db, err := buildServer(o)
@@ -130,8 +141,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "raceserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("raceserve: serving %d sequences on %s (version %d, seed index k=%d, cache %d, durable %v)",
-		db.Len(), *addr, db.Version(), db.SeedK(), o.cache, db.Durable())
+	log.Printf("raceserve: serving %d sequences on %s (version %d, %d shards, seed index k=%d, cache %d, durable %v)",
+		db.Len(), *addr, db.Version(), db.Shards(), db.SeedK(), o.cache, db.Durable())
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -203,6 +214,7 @@ func durabilityOptions(o options) []racelogic.Option {
 		racelogic.WithSync(o.fsync),
 		racelogic.WithSnapshotInterval(o.snapInterval),
 		racelogic.WithSnapshotEvery(o.snapEvery),
+		racelogic.WithWALSegmentBytes(o.segBytes),
 	}
 }
 
@@ -220,7 +232,11 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 		// below only on ErrNoDatabase.  Corruption must fail loudly,
 		// never fall back to a cold load that would shadow the real
 		// state.
-		db, err := racelogic.Open(o.walDir, durabilityOptions(o)...)
+		openOpts := durabilityOptions(o)
+		if o.shards > 0 {
+			openOpts = append(openOpts, racelogic.WithShards(o.shards))
+		}
+		db, err := racelogic.Open(o.walDir, openOpts...)
 		switch {
 		case err == nil:
 			log.Printf("raceserve: recovered %s (%d entries, version %d)", o.walDir, db.Len(), db.Version())
@@ -262,6 +278,9 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 	}
 	if o.seedK > 0 {
 		opts = append(opts, racelogic.WithSeedIndex(o.seedK))
+	}
+	if o.shards > 0 {
+		opts = append(opts, racelogic.WithShards(o.shards))
 	}
 	db, err := racelogic.NewDatabase(entries, opts...)
 	if err != nil {

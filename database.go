@@ -3,6 +3,8 @@ package racelogic
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,82 +22,190 @@ var ErrUnknownID = errors.New("no entry with that id")
 
 // Database is the persistent form of the paper's Section 1 workload:
 // load a sequence collection once, then serve many similarity queries
-// against it.  Construction shards the entries into length buckets,
-// optionally builds a k-mer seed index (WithSeedIndex), and fixes the
-// engine shape (DNA array, gated array, or generalized protein array).
-// Compiled engines are kept in per-shape pools across searches, so the
-// netlist compilation that dominates a one-shot Search is paid only on
-// first contact with each (query length, entry length) shape.
+// against it.
 //
-// Engines are not concurrency-safe, but a Database is: each in-flight
-// race checks a simulator out of its shape pool for exclusive use, so
-// Search may be called from any number of goroutines.  The one-shot
-// Search function is a thin build-then-search wrapper over Database.
+// A Database is partitioned into N independent shards (WithShards,
+// default GOMAXPROCS) by a hash of each entry's stable ID.  Every shard
+// owns its own copy-on-write pipeline snapshot, k-mer seed index, ID
+// tables, tombstone accounting, and — when durable — write-ahead-log
+// segment, behind its own write lock.  Mutations touching different
+// shards therefore proceed in parallel, and the per-insert seed-index
+// update copies one shard's postings map, not the whole database's.
 //
-// A Database is also mutable and durable.  Insert and Remove change the
-// collection while searches are in flight: every mutation publishes a
-// new immutable snapshot (pipeline shards and seed index updated
-// incrementally, copy-on-write) and bumps the Version counter, so a
-// concurrent Search sees either all of a mutation or none of it.
+// A Search scatters across the shards: per-shard candidate scans fan
+// out over one shared worker pool (engines are pooled per shape in one
+// Pools all shards share), and the shard outcomes gather under a
+// deterministic global ranking, so reports are byte-identical — modulo
+// EnginesBuilt — no matter the shard count.  Searches read one
+// atomically published view of every shard's snapshot, so a search
+// overlapping a mutation (even a multi-shard one) sees either all of it
+// or none of it.
+//
 // Entries carry stable uint64 IDs that survive compaction and
-// save/reload; SaveSnapshot and OpenSnapshot persist the whole database
-// — entries, options, seed index, counters — to a checksummed binary
-// file.
+// save/reload; SearchResult.Index is the entry's position in the global
+// ID order (exactly the slot numbering an unpartitioned database would
+// assign).  Engines are not concurrency-safe, but a Database is: each
+// in-flight race checks a simulator out of its shape pool for exclusive
+// use, so Search may be called from any number of goroutines.  The
+// one-shot Search function is a thin build-then-search wrapper over
+// Database.
 type Database struct {
-	cfg *config
-	p   *pipeline.DB
+	cfg   *config
+	pools *pipeline.Pools
 
-	// state points to the current immutable view: the pipeline snapshot,
-	// the seed index built over exactly that snapshot's slots, and the
-	// slot→ID table.  Readers load it once per search; writers replace
-	// it whole under mu.
-	state atomic.Pointer[dbstate]
+	// shards is fixed at construction; each shard's mu serializes the
+	// mutations that touch it.  Multi-shard mutations lock their shards
+	// in ascending order and publish one new view atomically, so
+	// searches get a consistent cut for free.
+	shards []*shard
 
-	mu     sync.Mutex     // serializes Insert/Remove/Compact/SaveSnapshot
-	byID   map[uint64]int // ID → slot, maintained by writers only
-	nextID uint64
-	closed bool
+	// view is the consistent snapshot set searches read.  Writers
+	// replace it whole (CAS, retried only against writers of disjoint
+	// shards) while holding the locks of every shard they changed.
+	view atomic.Pointer[dbview]
 
-	// compaction is the automatic tombstone-reclamation policy checked
-	// after every Remove (and, when durable, on the policy's Interval).
-	compaction CompactionPolicy // guarded by mu
+	// ticket numbers logical mutations; in any sequential history it
+	// equals the published view version.  nextID allocates stable IDs.
+	ticket atomic.Int64
+	nextID atomic.Uint64
 
-	// Durability.  All nil/zero on a memory-only database; set once by
-	// Persist or Open under mu, then read by the journaled mutation path
-	// (under mu) and the snapshotter goroutine.
-	wal          *store.WAL
-	dir          string
-	snapInterval time.Duration
-	snapEvery    int
-	snapSignal   chan struct{} // nudges the snapshotter (count trigger)
-	stopSnap     chan struct{}
-	loopDone     chan struct{}
-	saveMu       sync.Mutex // serializes durable snapshot file writes
+	closed atomic.Bool
 
 	searches     atomic.Int64
 	compactions  atomic.Int64
 	snapSaves    atomic.Int64
 	snapFailures atomic.Int64
-	snapVersion  atomic.Int64 // version the newest on-disk snapshot covers
-	lastSnap     atomic.Int64 // unix nanos of the newest durable snapshot
+	snapVersion  atomic.Int64 // view version the newest durable snapshot set covers
+	lastSnap     atomic.Int64 // unix nanos of the newest durable snapshot set
+
+	// Durability.  All zero on a memory-only database; set once by
+	// Persist or Open under lmu, then read by the mutation path and the
+	// snapshotter goroutine.
+	lmu          sync.Mutex // guards the lifecycle fields below
+	durable      bool
+	dir          string
+	gen          int // layout generation the shard files are named under
+	snapInterval time.Duration
+	snapEvery    int
+	snapSignal   chan struct{} // nudges the snapshotter (count/rotation trigger)
+	stopSnap     chan struct{}
+	loopDone     chan struct{}
+	walSync      atomic.Bool // fsync (group-committed) before acknowledging
+	saveMu       sync.Mutex  // serializes durable snapshot file writes
+
+	// compaction is the automatic tombstone-reclamation policy, checked
+	// against the global dead/live counts after every Remove (and, when
+	// durable, on the policy's Interval); the compaction itself runs
+	// shard by shard.
+	cmu        sync.Mutex
+	compaction CompactionPolicy
 }
 
-// dbstate is one immutable version of everything a search reads.  The
-// three fields advance together: the index covers exactly the
-// snapshot's slot space, and ids[slot] names every slot (tombstoned
-// ones keep their stale ID until compaction).
-type dbstate struct {
-	snap *pipeline.Snapshot
-	idx  *index.Index
-	ids  []uint64
+// shard is one partition: a pipeline DB over the shard's local slots,
+// the writer-side ID table, and the shard's journal.  mu serializes
+// every mutation that touches the shard; searches never take it.
+type shard struct {
+	id   int
+	mu   sync.Mutex
+	p    *pipeline.DB
+	byID map[uint64]int // ID → local slot; writers only, under mu
+	jrnl *store.Journal // nil on a memory-only database; set under mu
+
+	snapSeq  atomic.Int64 // shard sequence the newest durable shard snapshot covers
+	lastSnap atomic.Int64 // unix nanos of this shard's newest durable snapshot
 }
 
-// NewDatabase validates and shards entries once, for many searches.  It
-// accepts every engine-shaping option (WithLibrary, WithMatrix,
+// shardstate is one immutable version of everything a search reads from
+// one shard.  The fields advance together: the index covers exactly the
+// snapshot's slot space, ids names every slot (tombstoned ones keep
+// their stale ID until compaction), and sorted holds the same resident
+// IDs in ascending order — the order-statistics table global ranks are
+// computed from.
+type shardstate struct {
+	snap   *pipeline.Snapshot
+	idx    *index.Index
+	ids    []uint64 // local slot → stable ID
+	sorted []uint64 // resident IDs (live + tombstoned), ascending
+}
+
+// dbview is the atomically published set of shard states plus the
+// global version.  A multi-shard mutation swaps every state it changed
+// in one CAS, which is what makes cross-shard mutations atomic to
+// searches.
+type dbview struct {
+	version int64
+	states  []*shardstate
+}
+
+// live returns the global live entry count.
+func (v *dbview) live() int {
+	n := 0
+	for _, st := range v.states {
+		n += st.snap.Len()
+	}
+	return n
+}
+
+// dead returns the global tombstone count.
+func (v *dbview) dead() int {
+	n := 0
+	for _, st := range v.states {
+		n += st.snap.Dead()
+	}
+	return n
+}
+
+// rank returns the number of resident IDs (live and tombstoned) below
+// id across every shard — the entry's position in the global slot order
+// an unpartitioned database would assign.
+func (v *dbview) rank(id uint64) int {
+	r := 0
+	for _, st := range v.states {
+		r += sort.Search(len(st.sorted), func(i int) bool { return st.sorted[i] >= id })
+	}
+	return r
+}
+
+// shardOf routes a stable ID to its shard: a splitmix64-style finalizer
+// so adjacent IDs spread evenly, fixed forever because recovery must
+// route every journaled ID to the shard that logged it.
+func shardOf(id uint64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	x := id
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// resolveShards maps the config's shard option to a concrete count.
+// The GOMAXPROCS default is clamped to the same MaxShards bound the
+// explicit option enforces.
+func (c *config) resolveShards() int {
+	if c.shards > 0 {
+		return c.shards
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > MaxShards {
+		n = MaxShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewDatabase validates and partitions entries once, for many searches.
+// It accepts every engine-shaping option (WithLibrary, WithMatrix,
 // WithClockGating, WithOneHotEncoding), WithSeedIndex for the k-mer
-// pre-filter, and WithThreshold / WithTopK / WithWorkers as per-search
-// defaults that individual Search calls may override.  The entries are
-// assigned stable IDs 0..len(entries)-1 in order.
+// pre-filter, WithShards for the partition count, and WithThreshold /
+// WithTopK / WithWorkers as per-search defaults that individual Search
+// calls may override.  The entries are assigned stable IDs
+// 0..len(entries)-1 in order.
 func NewDatabase(entries []string, opts ...Option) (*Database, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
@@ -104,7 +214,7 @@ func NewDatabase(entries []string, opts ...Option) (*Database, error) {
 	if name := cfg.firstApplied("WithFullScan"); name != "" {
 		return nil, fmt.Errorf("racelogic: %s is a per-search option; pass it to Database.Search instead", name)
 	}
-	if name := cfg.firstApplied("WithSync", "WithSnapshotInterval", "WithSnapshotEvery"); name != "" {
+	if name := cfg.firstApplied("WithSync", "WithSnapshotInterval", "WithSnapshotEvery", "WithWALSegmentBytes"); name != "" {
 		return nil, fmt.Errorf("racelogic: %s is a durability option; pass it to Persist or Open instead", name)
 	}
 	ids := make([]uint64, len(entries))
@@ -114,15 +224,16 @@ func NewDatabase(entries []string, opts ...Option) (*Database, error) {
 	return assembleDatabase(cfg, entries, ids, uint64(len(entries)), 0, nil)
 }
 
-// assembleDatabase wires a Database from resolved parts — the shared
-// tail of NewDatabase and OpenSnapshot.  A nil idx is built from the
-// entries when cfg asks for a seed index.
-func assembleDatabase(cfg *config, entries []string, ids []uint64, nextID uint64,
-	version int64, idx *index.Index) (*Database, error) {
-
-	factory, err := searchFactory(cfg)
-	if err != nil {
-		return nil, err
+// assembleDatabase wires a Database from a flat (entries, ids) list —
+// the shared tail of NewDatabase, OpenSnapshot, and the migration path.
+// Entries are partitioned by shardOf.  A non-nil gix — the global seed
+// index a portable snapshot carries — is partitioned alongside them so
+// a reload skips re-tokenizing the collection; otherwise each shard's
+// index is built fresh when cfg asks for one.
+func assembleDatabase(cfg *config, entries []string, ids []uint64, nextID uint64, version int64,
+	gix *index.Index) (*Database, error) {
+	if len(ids) != len(entries) {
+		return nil, fmt.Errorf("racelogic: %d IDs for %d entries", len(ids), len(entries))
 	}
 	// Validate the entry alphabet once at load: a long-running database
 	// must reject a bad entry here, not fail intermittently at query
@@ -133,30 +244,78 @@ func assembleDatabase(cfg *config, entries []string, ids []uint64, nextID uint64
 			return nil, fmt.Errorf("racelogic: database entry %d contains symbol %q outside the engine alphabet (%s)",
 				i, entry[j], alphabet)
 		}
+		if len(entry) == 0 {
+			return nil, fmt.Errorf("racelogic: database entry %d is empty", i)
+		}
 	}
-	p, err := pipeline.NewDB(entries, factory, cfg.library)
+	n := cfg.resolveShards()
+	parts := make([]shardPart, n)
+	for i, entry := range entries {
+		s := shardOf(ids[i], n)
+		parts[s].entries = append(parts[s].entries, entry)
+		parts[s].ids = append(parts[s].ids, ids[i])
+	}
+	if gix != nil && cfg.seedK > 0 && gix.K() == cfg.seedK {
+		shardIdx := gix.Partition(n, func(slot int) int { return shardOf(ids[slot], n) })
+		for s := range parts {
+			parts[s].idx = shardIdx[s]
+		}
+	}
+	return assembleShards(cfg, parts, nextID, version)
+}
+
+// shardPart is one shard's slice of the database at assembly time.
+type shardPart struct {
+	entries []string
+	ids     []uint64
+	idx     *index.Index // nil = build from entries when cfg.seedK > 0
+	seq     int64        // the shard's restored mutation sequence
+}
+
+// assembleShards builds the Database from per-shard parts — the shared
+// tail of every constructor, including the per-shard recovery path.
+func assembleShards(cfg *config, parts []shardPart, nextID uint64, version int64) (*Database, error) {
+	factory, err := searchFactory(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if version != 0 {
-		p.SetVersion(version)
-	}
-	if idx == nil && cfg.seedK > 0 {
-		if idx, err = index.New(entries, cfg.seedK); err != nil {
-			return nil, err
-		}
+	pools, err := pipeline.NewPools(factory, cfg.library)
+	if err != nil {
+		return nil, err
 	}
 	d := &Database{
 		cfg:        cfg,
-		p:          p,
-		byID:       make(map[uint64]int, len(ids)),
-		nextID:     nextID,
+		pools:      pools,
+		shards:     make([]*shard, len(parts)),
 		compaction: cfg.compaction,
 	}
-	for slot, id := range ids {
-		d.byID[id] = slot
+	states := make([]*shardstate, len(parts))
+	for s, part := range parts {
+		p, err := pipeline.NewDBWith(part.entries, pools)
+		if err != nil {
+			return nil, err
+		}
+		if part.seq != 0 {
+			p.SetVersion(part.seq)
+		}
+		idx := part.idx
+		if idx == nil && cfg.seedK > 0 {
+			if idx, err = index.New(part.entries, cfg.seedK); err != nil {
+				return nil, err
+			}
+		}
+		sh := &shard{id: s, p: p, byID: make(map[uint64]int, len(part.ids))}
+		for slot, id := range part.ids {
+			sh.byID[id] = slot
+		}
+		sorted := append([]uint64(nil), part.ids...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		d.shards[s] = sh
+		states[s] = &shardstate{snap: p.Snapshot(), idx: idx, ids: part.ids, sorted: sorted}
 	}
-	d.state.Store(&dbstate{snap: p.Snapshot(), idx: idx, ids: ids})
+	d.nextID.Store(nextID)
+	d.ticket.Store(version)
+	d.view.Store(&dbview{version: version, states: states})
 	return d, nil
 }
 
@@ -179,17 +338,242 @@ func invalidSymbol(s, alphabet string) int {
 	return -1
 }
 
-// Insert adds entries to the live database and returns their newly
-// assigned stable IDs, in order.  The length shards and the k-mer seed
-// index are extended incrementally — no rebuild, no pause: searches in
-// flight keep their pre-insert snapshot, searches started after Insert
-// returns see every new entry.  Entries are validated against the
-// engine alphabet first; on any invalid entry nothing is inserted.
-// Inserting zero entries is a no-op that does not bump the version.
+// allShards returns every shard index ascending — the lock-every-shard
+// order.
+func (d *Database) allShards() []int {
+	all := make([]int, len(d.shards))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// lockShards acquires the listed shard locks in ascending order (the
+// deadlock-free total order) and returns an unlock function.
+func (d *Database) lockShards(touched []int) func() {
+	for _, s := range touched {
+		d.shards[s].mu.Lock()
+	}
+	return func() {
+		for _, s := range touched {
+			d.shards[s].mu.Unlock()
+		}
+	}
+}
+
+// publish installs the new states of the touched shards as one new view
+// with a fresh unique version.  The caller holds every touched shard's
+// lock, so the CAS retries only against concurrent writers of disjoint
+// shards and the per-shard states can never regress.
+func (d *Database) publish(touched []int, states map[int]*shardstate, ticket int64) *dbview {
+	for {
+		cur := d.view.Load()
+		ns := make([]*shardstate, len(cur.states))
+		copy(ns, cur.states)
+		for _, s := range touched {
+			ns[s] = states[s]
+		}
+		ver := cur.version + 1
+		if ticket > ver {
+			ver = ticket
+		}
+		nv := &dbview{version: ver, states: ns}
+		if d.view.CompareAndSwap(cur, nv) {
+			return nv
+		}
+	}
+}
+
+// appendSorted extends a shard's ascending resident-ID table with a
+// freshly inserted ID block.  The common case — the new IDs exceed
+// every resident one — is a copy-on-write append past every older
+// state's length; an out-of-order block (possible when concurrent
+// multi-shard inserts race) falls back to a sorted copy.
+func appendSorted(sorted, ids []uint64) []uint64 {
+	if len(sorted) == 0 || ids[0] > sorted[len(sorted)-1] {
+		return append(sorted, ids...)
+	}
+	out := make([]uint64, 0, len(sorted)+len(ids))
+	out = append(out, sorted...)
+	out = append(out, ids...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// applyInsert applies a validated insert with pre-assigned IDs to one
+// shard and returns its replacement state.  Caller holds the shard's
+// lock; cur is the shard's current state.
+func (sh *shard) applyInsert(cur *shardstate, ids []uint64, entries []string) (*shardstate, error) {
+	start, snap, err := sh.p.Insert(entries)
+	if err != nil {
+		return nil, err
+	}
+	nids := cur.ids
+	for j, id := range ids {
+		sh.byID[id] = start + j
+		nids = append(nids, id)
+	}
+	idx := cur.idx
+	if idx != nil {
+		idx = idx.Grow(entries)
+	}
+	return &shardstate{snap: snap, idx: idx, ids: nids, sorted: appendSorted(cur.sorted, ids)}, nil
+}
+
+// applyRemove tombstones the given IDs (all pre-validated as live in
+// this shard) and returns the replacement state.  Caller holds the
+// shard's lock.
+func (sh *shard) applyRemove(cur *shardstate, ids []uint64) (*shardstate, error) {
+	slots := make([]int, len(ids))
+	for i, id := range ids {
+		slot, ok := sh.byID[id]
+		if !ok {
+			return nil, fmt.Errorf("racelogic: remove %d: %w", id, ErrUnknownID)
+		}
+		slots[i] = slot
+	}
+	snap, err := sh.p.Remove(slots)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		delete(sh.byID, id)
+	}
+	return &shardstate{snap: snap, idx: cur.idx, ids: cur.ids, sorted: cur.sorted}, nil
+}
+
+// applyCompact rebuilds the shard densely and returns the replacement
+// state, or cur unchanged when there is nothing to reclaim.  Caller
+// holds the shard's lock.
+func (sh *shard) applyCompact(cur *shardstate) (*shardstate, error) {
+	remap, snap := sh.p.Compact()
+	if remap == nil {
+		return cur, nil
+	}
+	ids := make([]uint64, snap.Slots())
+	for old, slot := range remap {
+		if slot >= 0 {
+			ids[slot] = cur.ids[old]
+			sh.byID[cur.ids[old]] = slot
+		}
+	}
+	idx := cur.idx
+	if idx != nil {
+		var err error
+		if idx, err = index.New(snap.Entries(), idx.K()); err != nil {
+			return nil, err
+		}
+	}
+	sorted := append([]uint64(nil), ids...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	return &shardstate{snap: snap, idx: idx, ids: ids, sorted: sorted}, nil
+}
+
+// state returns the shard's current published state.  Stable while the
+// shard's lock is held (other writers cannot touch this shard).
+func (d *Database) state(s int) *shardstate { return d.view.Load().states[s] }
+
+// mutationJournal is the per-shard journaling of one logical mutation:
+// append-then-apply, with rollback of the shards already journaled when
+// a later shard's append fails, so a failed mutation leaves neither
+// memory nor disk changed.
+type pendingCommit struct {
+	shard  int
+	commit store.Commit
+}
+
+// journalShards appends one record per touched shard, rolling all of
+// them back on the first failure so a failed mutation leaves neither
+// memory nor disk changed.
+func (d *Database) journalShards(touched []int, appendRec func(sh *shard) (store.Commit, error)) ([]pendingCommit, error) {
+	var commits []pendingCommit
+	for _, s := range touched {
+		sh := d.shards[s]
+		if sh.jrnl == nil {
+			return nil, nil // memory-only: no shard journals anything
+		}
+		c, err := appendRec(sh)
+		if err != nil {
+			for _, pc := range commits {
+				_ = d.shards[pc.shard].jrnl.DropLast()
+			}
+			return nil, err
+		}
+		commits = append(commits, pendingCommit{shard: s, commit: c})
+	}
+	return commits, nil
+}
+
+// ack waits for the journaled records of one mutation to reach stable
+// storage when the database runs with WithSync.  It is called after the
+// shard locks are released, which is what lets the per-shard flushes of
+// concurrent mutations coalesce into group commits.
 //
-// On a durable database (Persist/Open) the insert is journaled to the
-// write-ahead log before it is applied, so by the time Insert returns
-// it survives a crash.
+// An ack failure means the mutation's outcome is indeterminate, exactly
+// like a crash between append and return: the mutation is applied in
+// memory and its record may or may not survive a restart, so the caller
+// gets ErrJournal and must treat the state as unknown rather than
+// retry blindly.  The WAL latches the failure — no later mutation can
+// be acknowledged on top of the suspect tail, and appends fail fast
+// (before applying anything) until a checkpoint folds the journal into
+// a durable snapshot and proves the device writable again.
+func (d *Database) ack(commits []pendingCommit) error {
+	if !d.walSync.Load() || len(commits) == 0 {
+		return nil
+	}
+	if len(commits) == 1 {
+		return commits[0].commit.Wait()
+	}
+	errs := make([]error, len(commits))
+	var wg sync.WaitGroup
+	for i, pc := range commits {
+		wg.Add(1)
+		go func(i int, c store.Commit) {
+			defer wg.Done()
+			errs[i] = c.Wait()
+		}(i, pc.commit)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// maybeRotate seals any touched shard's oversized journal segment and,
+// if a seal happened, nudges the snapshotter to fold it into a snapshot
+// eagerly — the WALBytes bound that holds even with the count and
+// interval triggers disabled.
+func (d *Database) maybeRotate(touched []int) {
+	rotated := false
+	for _, s := range touched {
+		sh := d.shards[s]
+		sh.mu.Lock()
+		if sh.jrnl != nil {
+			if r, err := sh.jrnl.RotateIfOversized(); err != nil {
+				d.snapFailures.Add(1)
+			} else if r {
+				rotated = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if rotated {
+		d.nudgeSnapshotter()
+	}
+}
+
+// Insert adds entries to the live database and returns their newly
+// assigned stable IDs, in order.  The entries are routed to their
+// shards by ID hash; each shard extends its length buckets and k-mer
+// seed index incrementally (copy-on-write, no rebuild), and the new
+// shard states are published as one atomic view — searches in flight
+// keep their pre-insert view, searches started after Insert returns see
+// every new entry, and no search ever sees half of a multi-shard batch.
+// Entries are validated against the engine alphabet first; on any
+// invalid entry nothing is inserted.  Inserting zero entries is a no-op
+// that does not bump the version.
+//
+// On a durable database (Persist/Open) the insert is journaled to each
+// touched shard's write-ahead log before it is applied; with WithSync
+// the flushes of concurrent mutations are group-committed.
 func (d *Database) Insert(entries ...string) ([]uint64, error) {
 	alphabet := d.cfg.alphabet()
 	for i, entry := range entries {
@@ -204,128 +588,199 @@ func (d *Database) Insert(entries ...string) ([]uint64, error) {
 	if len(entries) == 0 {
 		return []uint64{}, nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Load() {
 		return nil, ErrClosed
 	}
+	base := d.nextID.Add(uint64(len(entries))) - uint64(len(entries))
 	newIDs := make([]uint64, len(entries))
+	n := len(d.shards)
+	partIDs := make(map[int][]uint64, 1)
+	partEntries := make(map[int][]string, 1)
 	for j := range entries {
-		newIDs[j] = d.nextID + uint64(j)
+		id := base + uint64(j)
+		newIDs[j] = id
+		s := shardOf(id, n)
+		partIDs[s] = append(partIDs[s], id)
+		partEntries[s] = append(partEntries[s], entries[j])
 	}
-	// Append before apply: a journaling failure must leave the database
-	// untouched, and an applied mutation must already be on disk.
-	if d.wal != nil {
-		if err := d.wal.AppendInsert(d.state.Load().snap.Version()+1, newIDs, entries); err != nil {
-			return nil, fmt.Errorf("%w: insert: %w", ErrJournal, err)
-		}
+	touched := sortedKeys(partIDs)
+
+	unlock := d.lockShards(touched)
+	if d.closed.Load() {
+		unlock()
+		return nil, ErrClosed
 	}
-	if err := d.insertLocked(entries, newIDs); err != nil {
+	t := d.ticket.Add(1)
+	commits, err := d.journalShards(touched, func(sh *shard) (store.Commit, error) {
+		return sh.jrnl.AppendInsert(sh.p.Version()+1, t, partIDs[sh.id], partEntries[sh.id])
+	})
+	if err != nil {
+		unlock()
+		return nil, fmt.Errorf("%w: insert: %w", ErrJournal, err)
+	}
+	states, err := d.applyParallel(touched, func(sh *shard, cur *shardstate) (*shardstate, error) {
+		return sh.applyInsert(cur, partIDs[sh.id], partEntries[sh.id])
+	})
+	if err != nil {
+		unlock()
 		return nil, err
 	}
+	d.publish(touched, states, t)
+	unlock()
+
+	if err := d.ack(commits); err != nil {
+		return nil, fmt.Errorf("%w: insert: %w", ErrJournal, err)
+	}
+	d.maybeRotate(touched)
 	d.signalSnapshotter()
 	return newIDs, nil
 }
 
-// insertLocked applies a validated insert with pre-assigned IDs — the
-// shared tail of Insert and WAL replay.  Caller holds d.mu.
-func (d *Database) insertLocked(entries []string, newIDs []uint64) error {
-	cur := d.state.Load()
-	start, snap, err := d.p.Insert(entries)
-	if err != nil {
-		return err
-	}
-	idx := cur.idx
-	if idx != nil {
-		idx = idx.Grow(entries)
-	}
-	ids := cur.ids
-	for j, id := range newIDs {
-		d.byID[id] = start + j
-		if id >= d.nextID {
-			d.nextID = id + 1
+// applyParallel runs one shard-state transition on every touched shard,
+// concurrently when the mutation spans shards — the per-shard index and
+// bucket copies are the mutation's real cost, and they are independent.
+// Caller holds every touched shard's lock.
+func (d *Database) applyParallel(touched []int, apply func(sh *shard, cur *shardstate) (*shardstate, error)) (map[int]*shardstate, error) {
+	states := make(map[int]*shardstate, len(touched))
+	if len(touched) == 1 {
+		s := touched[0]
+		st, err := apply(d.shards[s], d.state(s))
+		if err != nil {
+			return nil, err
 		}
-		ids = append(ids, id)
+		states[s] = st
+		return states, nil
 	}
-	d.state.Store(&dbstate{snap: snap, idx: idx, ids: ids})
-	return nil
+	var mu sync.Mutex
+	errs := make([]error, len(touched))
+	var wg sync.WaitGroup
+	for i, s := range touched {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			st, err := apply(d.shards[s], d.state(s))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			states[s] = st
+			mu.Unlock()
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return states, nil
+}
+
+// sortedKeys returns the map's keys ascending — the shard lock order.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // Remove deletes the entries with the given stable IDs.  It is
 // all-or-nothing: an unknown or repeated ID returns an error (wrapping
 // ErrUnknownID for unknown ones) with nothing removed.  Removal
-// tombstones the entries' slots — the seed index keeps its postings and
-// searches filter them — until the CompactionPolicy triggers, at which
-// point the database compacts: slots are renumbered densely and the
-// seed index rebuilt, with IDs unchanged throughout.  In-flight
-// searches keep their pre-remove snapshot either way.
+// tombstones the entries' slots in their shards — each shard's seed
+// index keeps its postings and searches filter them — until the
+// CompactionPolicy triggers against the global tombstone counts, at
+// which point every shard holding tombstones compacts.  In-flight
+// searches keep their pre-remove view either way.
 //
 // On a durable database the remove (and any policy-triggered
-// compaction) is journaled to the write-ahead log before it is applied.
+// compaction) is journaled to the touched shards' write-ahead logs
+// before it is applied.
 func (d *Database) Remove(ids ...uint64) error {
 	if len(ids) == 0 {
 		return nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Load() {
 		return ErrClosed
 	}
+	n := len(d.shards)
+	partIDs := make(map[int][]uint64, 1)
 	seen := make(map[uint64]bool, len(ids))
 	for _, id := range ids {
-		if _, ok := d.byID[id]; !ok {
-			return fmt.Errorf("racelogic: remove %d: %w", id, ErrUnknownID)
-		}
 		if seen[id] {
 			return fmt.Errorf("racelogic: remove: id %d repeated in one call", id)
 		}
 		seen[id] = true
+		s := shardOf(id, n)
+		partIDs[s] = append(partIDs[s], id)
 	}
-	if d.wal != nil {
-		if err := d.wal.AppendRemove(d.state.Load().snap.Version()+1, ids); err != nil {
-			return fmt.Errorf("%w: remove: %w", ErrJournal, err)
+	touched := sortedKeys(partIDs)
+
+	unlock := d.lockShards(touched)
+	if d.closed.Load() {
+		unlock()
+		return ErrClosed
+	}
+	for _, s := range touched {
+		for _, id := range partIDs[s] {
+			if _, ok := d.shards[s].byID[id]; !ok {
+				unlock()
+				return fmt.Errorf("racelogic: remove %d: %w", id, ErrUnknownID)
+			}
 		}
 	}
-	if err := d.removeLocked(ids); err != nil {
+	t := d.ticket.Add(1)
+	commits, err := d.journalShards(touched, func(sh *shard) (store.Commit, error) {
+		return sh.jrnl.AppendRemove(sh.p.Version()+1, t, partIDs[sh.id])
+	})
+	if err != nil {
+		unlock()
+		return fmt.Errorf("%w: remove: %w", ErrJournal, err)
+	}
+	states, err := d.applyParallel(touched, func(sh *shard, cur *shardstate) (*shardstate, error) {
+		return sh.applyRemove(cur, partIDs[sh.id])
+	})
+	if err != nil {
+		unlock()
 		return err
 	}
-	// Compact when the policy says the tombstones are worth reclaiming:
-	// the wasted slots cost collector memory per search and stale
-	// postings per seed lookup, and a dense rebuild is O(live) — cheap
-	// exactly when the live set has shrunk.
-	cur := d.state.Load()
-	if d.compaction.due(cur.snap.Dead(), cur.snap.Len()) {
-		next, _, err := d.compactDurable(cur)
-		if err != nil {
+	nv := d.publish(touched, states, t)
+	unlock()
+
+	if err := d.ack(commits); err != nil {
+		return fmt.Errorf("%w: remove: %w", ErrJournal, err)
+	}
+	d.maybeRotate(touched)
+
+	// Compact when the policy says the global tombstone count is worth
+	// reclaiming: the wasted slots cost collector memory per search and
+	// stale postings per seed lookup, and each shard's dense rebuild is
+	// O(shard live) — cheap exactly when the live set has shrunk.  A
+	// concurrent Close may fence the compaction off; the tombstones then
+	// simply persist (and replay), so the remove itself still succeeded.
+	if d.policy().due(nv.dead(), nv.live()) {
+		if _, _, err := d.compactAll(false, false); err != nil && !errors.Is(err, ErrClosed) {
 			return err
 		}
-		d.state.Store(next)
 	}
 	d.signalSnapshotter()
 	return nil
 }
 
-// removeLocked applies a pre-validated remove — the shared tail of
-// Remove and WAL replay.  Caller holds d.mu; every ID must be live.
-func (d *Database) removeLocked(ids []uint64) error {
-	slots := make([]int, len(ids))
-	for i, id := range ids {
-		slot, ok := d.byID[id]
-		if !ok {
-			return fmt.Errorf("racelogic: remove %d: %w", id, ErrUnknownID)
-		}
-		slots[i] = slot
-	}
-	cur := d.state.Load()
-	snap, err := d.p.Remove(slots)
-	if err != nil {
-		return err
-	}
-	for _, id := range ids {
-		delete(d.byID, id)
-	}
-	d.state.Store(&dbstate{snap: snap, idx: cur.idx, ids: cur.ids})
-	return nil
+// policy returns the current automatic compaction policy.
+func (d *Database) policy() CompactionPolicy {
+	d.cmu.Lock()
+	defer d.cmu.Unlock()
+	return d.compaction
+}
+
+func (d *Database) setPolicy(p CompactionPolicy) {
+	d.cmu.Lock()
+	d.compaction = p
+	d.cmu.Unlock()
 }
 
 // CompactStats reports one compaction.  Entry IDs are the stable handle
@@ -340,135 +795,197 @@ type CompactStats struct {
 	// slots dropped by this compaction (0 = nothing to do).
 	Live, Reclaimed int
 	// Remap maps every pre-compaction slot to its post-compaction slot,
-	// -1 for the dropped tombstones.  Nil when nothing was reclaimed.
+	// -1 for the dropped tombstones.  Slots are global ID-order
+	// positions, exactly as SearchResult.Index reports them.  Nil when
+	// nothing was reclaimed.
 	Remap []int
 }
 
-// Compact forces a dense rebuild now, regardless of the automatic
-// CompactionPolicy, and reports what moved.  With no tombstones it is a
-// no-op that does not bump the version.  On a durable database the
-// compaction is journaled.  Searches in flight keep their pre-compact
-// snapshot; entry IDs are unaffected — they are the stable handle.
+// Compact forces a dense rebuild of every shard holding tombstones,
+// regardless of the automatic CompactionPolicy, and reports what moved.
+// With no tombstones it is a no-op that does not bump the version.  On
+// a durable database each shard's compaction is journaled.  Searches in
+// flight keep their pre-compact view; entry IDs are unaffected — they
+// are the stable handle.
 func (d *Database) Compact() (*CompactStats, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Load() {
 		return nil, ErrClosed
 	}
-	cur := d.state.Load()
-	next, remap, err := d.compactDurable(cur)
-	if err != nil {
-		return nil, err
-	}
-	st := &CompactStats{Version: next.snap.Version(), Live: next.snap.Len()}
-	if next != cur {
-		d.state.Store(next)
-		st.Reclaimed = cur.snap.Dead()
-		st.Remap = remap
-		d.signalSnapshotter()
-	}
-	return st, nil
+	stats, _, err := d.compactAll(true, false)
+	return stats, err
 }
 
-// compactDurable journals (when a WAL is attached) and applies a dense
-// rebuild of cur, returning the replacement state and the old→new slot
-// remap.  With no tombstones it returns cur unchanged and a nil remap.
-// Caller holds d.mu and stores the result.
-func (d *Database) compactDurable(cur *dbstate) (*dbstate, []int, error) {
-	if cur.snap.Dead() == 0 {
-		return cur, nil, nil
+// compactAll is the one logical compaction: it locks every shard,
+// journals and applies a dense rebuild on each shard with tombstones,
+// and publishes the result as a single version bump.  It returns the
+// stats plus the view the compaction published (or the unchanged
+// current view when there was nothing to reclaim), which is guaranteed
+// dense at publish time — the checkpoint path serializes exactly that
+// view.  needRemap builds the global slot remap (skipped on the
+// automatic path, where nobody consumes it); ignoreClosed lets Close's
+// final checkpoint compact after mutations are fenced off.
+func (d *Database) compactAll(needRemap, ignoreClosed bool) (*CompactStats, *dbview, error) {
+	all := d.allShards()
+	unlock := d.lockShards(all)
+	if !ignoreClosed && d.closed.Load() {
+		unlock()
+		return nil, nil, ErrClosed
 	}
-	if d.wal != nil {
-		if err := d.wal.AppendCompact(cur.snap.Version() + 1); err != nil {
+	stats, nv, commits, err := d.compactLocked(needRemap)
+	unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	if stats.Reclaimed > 0 {
+		if err := d.ack(commits); err != nil {
 			return nil, nil, fmt.Errorf("%w: compaction: %w", ErrJournal, err)
 		}
+		d.maybeRotate(all)
+		d.signalSnapshotter()
 	}
-	return d.compactLocked(cur)
+	return stats, nv, nil
 }
 
-// compactLocked rebuilds cur densely (dropping tombstones) and returns
-// the replacement state plus the slot remap.  Caller holds d.mu and
-// stores the result.
-func (d *Database) compactLocked(cur *dbstate) (*dbstate, []int, error) {
-	remap, snap := d.p.Compact()
-	if remap == nil {
-		return cur, nil, nil
+// compactLocked is compactAll's core, run while the caller holds every
+// shard lock (Persist reuses it under its own locking).
+func (d *Database) compactLocked(needRemap bool) (*CompactStats, *dbview, []pendingCommit, error) {
+	v := d.view.Load()
+	if v.dead() == 0 {
+		return &CompactStats{Version: v.version, Live: v.live()}, v, nil, nil
 	}
-	ids := make([]uint64, snap.Slots())
-	for old, slot := range remap {
-		if slot >= 0 {
-			ids[slot] = cur.ids[old]
-			d.byID[cur.ids[old]] = slot
+	var touched []int
+	for s, st := range v.states {
+		if st.snap.Dead() > 0 {
+			touched = append(touched, s)
 		}
 	}
-	idx := cur.idx
-	if idx != nil {
-		var err error
-		if idx, err = index.New(snap.Entries(), idx.K()); err != nil {
-			return nil, nil, err
-		}
+	t := d.ticket.Add(1)
+	commits, err := d.journalShards(touched, func(sh *shard) (store.Commit, error) {
+		return sh.jrnl.AppendCompact(sh.p.Version()+1, t)
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: compaction: %w", ErrJournal, err)
 	}
+
+	var remap []int
+	if needRemap {
+		remap = globalRemap(v)
+	}
+	states, err := d.applyParallel(touched, func(sh *shard, cur *shardstate) (*shardstate, error) {
+		return sh.applyCompact(cur)
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nv := d.publish(touched, states, t)
 	d.compactions.Add(1)
-	return &dbstate{snap: snap, idx: idx, ids: ids}, remap, nil
+	return &CompactStats{
+		Version:   nv.version,
+		Live:      nv.live(),
+		Reclaimed: v.dead(),
+		Remap:     remap,
+	}, nv, commits, nil
 }
+
+// globalRemap computes the pre→post compaction slot remap in global
+// ID-order coordinates: every resident ID (live and tombstoned) gets a
+// pre-compaction position; the survivors keep their relative order and
+// renumber densely.
+func globalRemap(v *dbview) []int {
+	type resident struct {
+		id   uint64
+		live bool
+	}
+	var all []resident
+	for _, st := range v.states {
+		for slot, id := range st.ids {
+			all = append(all, resident{id: id, live: st.snap.Live(slot)})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].id < all[b].id })
+	remap := make([]int, len(all))
+	next := 0
+	for i, r := range all {
+		if r.live {
+			remap[i] = next
+			next++
+		} else {
+			remap[i] = -1
+		}
+	}
+	return remap
+}
+
+// Shards returns the partition count fixed at construction.
+func (d *Database) Shards() int { return len(d.shards) }
 
 // Len returns the number of live database entries.
-func (d *Database) Len() int { return d.state.Load().snap.Len() }
+func (d *Database) Len() int { return d.view.Load().live() }
 
-// Buckets returns the number of distinct live entry lengths.
-func (d *Database) Buckets() int { return d.state.Load().snap.Buckets() }
+// Buckets returns the number of distinct live entry lengths across
+// every shard.
+func (d *Database) Buckets() int {
+	set := make(map[int]bool)
+	for _, st := range d.view.Load().states {
+		for _, m := range st.snap.Lengths() {
+			set[m] = true
+		}
+	}
+	return len(set)
+}
 
 // Version returns the mutation counter: 0 for a fresh database,
 // incremented by every Insert, Remove, and compaction, and preserved
-// across SaveSnapshot/OpenSnapshot.
-func (d *Database) Version() int64 { return d.state.Load().snap.Version() }
+// across SaveSnapshot/OpenSnapshot and Persist/Open.
+func (d *Database) Version() int64 { return d.view.Load().version }
 
 // Tombstones returns the number of removed entries whose slots have not
-// been compacted away yet.
-func (d *Database) Tombstones() int { return d.state.Load().snap.Dead() }
+// been compacted away yet, across every shard.
+func (d *Database) Tombstones() int { return d.view.Load().dead() }
 
-// IDs returns the stable IDs of every live entry, in slot order.
+// IDs returns the stable IDs of every live entry, ascending — the
+// global slot order.
 func (d *Database) IDs() []uint64 {
-	st := d.state.Load()
-	out := make([]uint64, 0, st.snap.Len())
-	for slot := 0; slot < st.snap.Slots(); slot++ {
-		if st.snap.Live(slot) {
-			out = append(out, st.ids[slot])
+	v := d.view.Load()
+	out := make([]uint64, 0, v.live())
+	for _, st := range v.states {
+		for slot := 0; slot < st.snap.Slots(); slot++ {
+			if st.snap.Live(slot) {
+				out = append(out, st.ids[slot])
+			}
 		}
 	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
 }
 
 // SeedK returns the k-mer seed length, or 0 when the database was built
 // without WithSeedIndex.
-func (d *Database) SeedK() int {
-	if d.state.Load().idx == nil {
-		return 0
-	}
-	return d.state.Load().idx.K()
-}
+func (d *Database) SeedK() int { return d.cfg.seedK }
 
 // EnginesBuilt returns the number of arrays compiled over the database's
-// lifetime, across all searches and shapes — the quantity engine pooling
-// amortizes.
-func (d *Database) EnginesBuilt() int64 { return d.p.EnginesBuilt() }
+// lifetime, across all searches, shapes, and shards — the quantity
+// engine pooling amortizes (all shards share one pool set).
+func (d *Database) EnginesBuilt() int64 { return d.pools.EnginesBuilt() }
 
 // PooledEngines returns the number of idle compiled arrays currently
-// parked in the shape pools, ready for the next search.
-func (d *Database) PooledEngines() int { return d.p.PooledEngines() }
+// parked in the shared shape pools, ready for the next search.
+func (d *Database) PooledEngines() int { return d.pools.PooledEngines() }
 
 // Searches returns the number of Search calls served.
 func (d *Database) Searches() int64 { return d.searches.Load() }
 
 // Search scores query against the database and returns the ranked
 // report.  It is safe for concurrent callers, including concurrently
-// with Insert and Remove: the whole search runs against the snapshot
-// current when it started, and the report's Version records which one.
-// Per-search options — WithThreshold, WithTopK, WithWorkers,
-// WithFullScan — override the database defaults; options that shape the
-// compiled engines or the seed index (WithLibrary, WithMatrix,
-// WithClockGating, WithOneHotEncoding, WithSeedIndex) are fixed at
-// construction and rejected here.
+// with Insert and Remove: the whole search runs against the one view
+// current when it started — every shard snapshot from the same
+// published cut, so even a multi-shard mutation is all-or-nothing to
+// it — and the report's Version records which one.  Per-search options
+// — WithThreshold, WithTopK, WithWorkers, WithFullScan — override the
+// database defaults; options that shape the compiled engines, the seed
+// index, or the partition layout (WithLibrary, WithMatrix,
+// WithClockGating, WithOneHotEncoding, WithSeedIndex, WithShards) are
+// fixed at construction and rejected here.
 func (d *Database) Search(query string, opts ...Option) (*SearchReport, error) {
 	cfg := *d.cfg
 	cfg.applied = nil
@@ -484,48 +1001,56 @@ func (d *Database) Search(query string, opts ...Option) (*SearchReport, error) {
 }
 
 // search runs one query under a fully resolved config, against the
-// state loaded once here.
+// view loaded once here: per-shard seed-index candidate scans scatter
+// over the shared worker pool, and the shard outcomes gather under the
+// global (Score, ID) ranking.
 func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
-	st := d.state.Load()
-	var cands []int
-	skipped := 0
+	v := d.view.Load()
 	// A query shorter than k carries no seeds, so the index cannot
-	// filter: skip the lookup entirely rather than materialize an
-	// identity candidate slice.
-	if st.idx != nil && !cfg.fullScan && len(query) >= st.idx.K() {
-		cands = st.idx.Candidates(query)
-		// Postings may still name tombstoned slots (removal leaves the
-		// index untouched until compaction); drop them here.
-		n := 0
-		for _, slot := range cands {
-			if st.snap.Live(slot) {
-				cands[n] = slot
-				n++
+	// filter: skip the lookups entirely rather than materialize identity
+	// candidate slices.  The condition is uniform across shards (one k).
+	filtered := cfg.seedK > 0 && !cfg.fullScan && len(query) >= cfg.seedK
+	scans := make([]pipeline.ShardScan, len(d.shards))
+	for s, st := range v.states {
+		sc := pipeline.ShardScan{DB: d.shards[s].p, Snap: st.snap, IDs: st.ids}
+		if filtered && st.idx != nil {
+			cands := st.idx.Candidates(query)
+			// Postings may still name tombstoned slots (removal leaves
+			// the index untouched until compaction); drop them here.
+			n := 0
+			for _, slot := range cands {
+				if st.snap.Live(slot) {
+					cands[n] = slot
+					n++
+				}
 			}
+			cands = cands[:n]
+			if len(cands) == st.snap.Len() {
+				// Full shard coverage: fall back to the nil "scan
+				// everything" convention so the pipeline reuses the
+				// buckets sharded at publish time.
+				cands = nil
+			}
+			sc.Candidates = cands
 		}
-		cands = cands[:n]
-		if len(cands) == st.snap.Len() {
-			// Full coverage: fall back to the nil "scan everything"
-			// convention so the pipeline reuses the buckets sharded at
-			// publish time.
-			cands = nil
-		} else {
-			skipped = st.snap.Len() - len(cands)
-		}
+		scans[s] = sc
 	}
-	rep, err := d.p.SearchAt(st.snap, query, pipeline.Request{
-		Threshold:  cfg.threshold,
-		Workers:    cfg.workers,
-		TopK:       cfg.topK,
-		Candidates: cands,
+	rep, err := pipeline.MultiSearch(scans, query, pipeline.Request{
+		Threshold: cfg.threshold,
+		Workers:   cfg.workers,
+		TopK:      cfg.topK,
 	})
 	if err != nil {
 		return nil, err
 	}
 	d.searches.Add(1)
+	skipped := 0
+	if filtered {
+		skipped = v.live() - rep.Scanned
+	}
 	out := &SearchReport{
 		Query:        query,
-		Version:      st.snap.Version(),
+		Version:      v.version,
 		Results:      make([]SearchResult, len(rep.Results)),
 		Scanned:      rep.Scanned,
 		Skipped:      skipped,
@@ -538,8 +1063,8 @@ func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
 	}
 	for i, r := range rep.Results {
 		out.Results[i] = SearchResult{
-			Index:    r.Index,
-			ID:       st.ids[r.Index],
+			Index:    v.rank(r.ID),
+			ID:       r.ID,
 			Sequence: r.Sequence,
 			Score:    r.Score,
 			Metrics: Metrics{

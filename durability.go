@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -26,27 +27,55 @@ var ErrJournal = errors.New("racelogic: journal write failed")
 // present-but-corrupt state, which must fail loudly instead.
 var ErrNoDatabase = errors.New("no database in directory")
 
-// SnapshotName and WALName are the two files a durable database keeps
-// in its directory: the newest snapshot and the journal of every
-// mutation acknowledged since it was taken.
+// A durable database directory holds one manifest plus, per shard, one
+// snapshot file and one write-ahead-log segment chain:
+//
+//	db.manifest                the layout commit point (shard count + generation)
+//	shard-0000.g0.snap …       one snapshot per shard
+//	shard-0000.g0.wal          each shard's active journal segment
+//	shard-0000.g0.wal.000042   sealed segments awaiting a checkpoint
+//
+// Every file name carries the layout generation.  A layout rewrite —
+// migration from the pre-shard format, or a reshard — writes the next
+// generation's files first and commits them by rewriting the manifest,
+// so a crash at any point leaves exactly one complete, authoritative
+// layout; files of other generations are ignored and cleaned up by the
+// next successful open.
+//
+// SnapshotName and WALName are the pre-shard (v1) single-file layout;
+// Open migrates such a directory in place on first contact.
 const (
 	SnapshotName = "db.snap"
 	WALName      = "db.wal"
+	ManifestName = "db.manifest"
 )
 
+// shardSnapName and shardJournalBase name one shard's files within one
+// layout generation.
+func shardSnapName(s, gen int) string    { return fmt.Sprintf("shard-%04d.g%d.snap", s, gen) }
+func shardJournalBase(s, gen int) string { return fmt.Sprintf("shard-%04d.g%d", s, gen) }
+
 // DefaultSnapshotInterval is how often the background snapshotter folds
-// the journal into a fresh snapshot when WithSnapshotInterval is unset.
+// the journals into fresh snapshots when WithSnapshotInterval is unset.
 const DefaultSnapshotInterval = time.Minute
 
 // DefaultSnapshotEvery is the mutation count that triggers a background
 // snapshot when WithSnapshotEvery is unset.
 const DefaultSnapshotEvery = 1024
 
+// DefaultWALSegmentBytes caps one shard's active journal segment when
+// WithWALSegmentBytes is unset: past it the segment seals and the
+// snapshotter folds it away, bounding WALBytes even with the count and
+// interval triggers disabled.
+const DefaultWALSegmentBytes = int64(64 << 20)
+
 // CompactionPolicy decides when tombstoned slots are worth reclaiming
-// with a dense rebuild.  Compaction triggers when ANY enabled condition
-// holds; a zero field disables that condition, and the zero policy
-// disables automatic compaction entirely (Compact stays available as a
-// manual call).  See WithCompactionPolicy.
+// with a dense rebuild.  The counts are global — the policy fires on
+// the database's total dead/live ratio — and the rebuild then runs
+// independently inside each shard holding tombstones.  Compaction
+// triggers when ANY enabled condition holds; a zero field disables that
+// condition, and the zero policy disables automatic compaction entirely
+// (Compact stays available as a manual call).  See WithCompactionPolicy.
 type CompactionPolicy struct {
 	// MaxDead compacts once at least this many tombstones accumulate.
 	MaxDead int
@@ -89,9 +118,10 @@ func (p CompactionPolicy) due(dead, live int) bool {
 }
 
 // durabilityConfig layers durability options over base and rejects
-// anything else: callers of Persist and Open configure the journal and
-// snapshotter here, never the engines (a snapshot fixes those).
-func durabilityConfig(base *config, opts []Option) (*config, error) {
+// anything else: callers of Persist and Open configure the journals and
+// snapshotter here, never the engines (a snapshot fixes those).  Open
+// additionally accepts WithShards, the reshard-in-place request.
+func durabilityConfig(base *config, opts []Option, allowShards bool) (*config, error) {
 	cfg := *base
 	cfg.applied = nil
 	for _, o := range opts {
@@ -99,9 +129,13 @@ func durabilityConfig(base *config, opts []Option) (*config, error) {
 			return nil, err
 		}
 	}
+	allowed := durabilityOptions
+	if allowShards {
+		allowed = append(append([]string(nil), durabilityOptions...), "WithShards")
+	}
 	for _, name := range cfg.applied {
 		ok := false
-		for _, dur := range durabilityOptions {
+		for _, dur := range allowed {
 			if name == dur {
 				ok = true
 				break
@@ -109,88 +143,156 @@ func durabilityConfig(base *config, opts []Option) (*config, error) {
 		}
 		if !ok {
 			return nil, fmt.Errorf("racelogic: %s cannot be set here; only durability options (%s) apply",
-				name, strings.Join(durabilityOptions, ", "))
+				name, strings.Join(allowed, ", "))
 		}
 	}
 	return &cfg, nil
 }
 
+// layoutPresent reports whether dir already holds a database in either
+// layout.
+func layoutPresent(dir string) (bool, error) {
+	for _, name := range []string{ManifestName, SnapshotName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true, nil
+		} else if !os.IsNotExist(err) {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
 // Persist attaches crash-safe durability to a database built in memory:
-// it writes an initial snapshot and an empty write-ahead log into dir
-// (created if needed) and starts the background snapshotter.  From then
-// on every Insert, Remove, and Compact is journaled before it is
-// applied, so a crash — not just a clean shutdown — loses no
-// acknowledged mutation: Open(dir) replays the journal tail over the
-// newest snapshot.
+// it writes one snapshot per shard, the layout manifest, and an empty
+// write-ahead log per shard into dir (created if needed), then starts
+// the background snapshotter.  From then on every Insert, Remove, and
+// Compact is journaled to its shards' logs before it is applied, so a
+// crash — not just a clean shutdown — loses no acknowledged mutation:
+// Open(dir) replays each shard's journal tail over its newest snapshot.
 //
 // Only durability options are accepted: WithSync, WithSnapshotInterval,
-// WithSnapshotEvery, WithCompactionPolicy.  dir must not already hold a
-// database (use Open for that).  Call Close to detach cleanly.
+// WithSnapshotEvery, WithCompactionPolicy, WithWALSegmentBytes.  dir
+// must not already hold a database (use Open for that).  Call Close to
+// detach cleanly.
 func (d *Database) Persist(dir string, opts ...Option) error {
-	cfg, err := durabilityConfig(d.cfg, opts)
+	cfg, err := durabilityConfig(d.cfg, opts, false)
 	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	snapPath := filepath.Join(dir, SnapshotName)
-	if _, err := os.Stat(snapPath); err == nil {
-		return fmt.Errorf("racelogic: %s already holds a database; use Open instead of Persist", dir)
-	} else if !os.IsNotExist(err) {
+	if present, err := layoutPresent(dir); err != nil {
 		return err
+	} else if present {
+		return fmt.Errorf("racelogic: %s already holds a database; use Open instead of Persist", dir)
 	}
 
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	d.lmu.Lock()
+	if d.closed.Load() {
+		d.lmu.Unlock()
 		return ErrClosed
 	}
-	if d.wal != nil {
-		return fmt.Errorf("racelogic: database is already durable (%s)", d.dir)
+	if d.durable {
+		dir := d.dir
+		d.lmu.Unlock()
+		return fmt.Errorf("racelogic: database is already durable (%s)", dir)
 	}
-	// The initial snapshot must mirror memory exactly (dense slots), so
-	// recovery and the live database agree slot for slot.
-	st := d.state.Load()
-	next, _, err := d.compactLocked(st)
-	if err != nil {
+	d.lmu.Unlock()
+
+	// Hold every shard lock across the compaction, the initial snapshot
+	// writes, and the journal creation: the snapshots must mirror memory
+	// exactly (dense slots, nothing mutating mid-write), so recovery and
+	// the live database agree slot for slot per shard.
+	unlock := d.lockShards(d.allShards())
+	defer unlock()
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	d.gen = 0
+	if _, v, _, err := d.compactLocked(false); err != nil {
 		return err
-	}
-	if next != st {
-		d.state.Store(next)
-		st = next
-	}
-	if err := store.WriteFile(snapPath, d.snapshotPayload(st)); err != nil {
+	} else if err := d.writeShardSnapshots(dir, v); err != nil {
 		return err
-	}
-	wal, stale, err := store.OpenWAL(filepath.Join(dir, WALName), cfg.walSync)
-	if err != nil {
+	} else if err := store.WriteManifestFile(filepath.Join(dir, ManifestName), store.Manifest{Shards: len(d.shards), Gen: d.gen}); err != nil {
 		return err
-	}
-	if len(stale) > 0 {
-		// A journal with no snapshot beside it is an orphan (a crash
-		// during a previous bootstrap, before the snapshot landed); its
-		// records were never acknowledged against this database.
-		if err := wal.Reset(); err != nil {
-			wal.Close()
-			return err
+	} else if _, err := d.openShardJournals(dir, cfg, true); err != nil {
+		return err
+	} else {
+		d.lmu.Lock()
+		defer d.lmu.Unlock()
+		if d.durable {
+			return fmt.Errorf("racelogic: database is already durable (%s)", d.dir)
 		}
+		d.attachDurability(dir, cfg, v, time.Now())
 	}
-	d.attachDurability(dir, wal, cfg, st.snap.Version(), time.Now())
 	return nil
 }
 
-// attachDurability wires the journal and starts the snapshotter.
-// savedAt is when the on-disk snapshot was actually written — now for
-// Persist, the file's mtime for Open — so SnapshotAge never hides a
-// stale snapshot behind a restart.  Caller holds d.mu.
-func (d *Database) attachDurability(dir string, wal *store.WAL, cfg *config, snapVersion int64, savedAt time.Time) {
-	d.wal = wal
+// writeShardSnapshots serializes every shard of one (dense) view to its
+// snapshot file.  The states are immutable, so no lock is needed while
+// the files are written.
+func (d *Database) writeShardSnapshots(dir string, v *dbview) error {
+	now := time.Now().UnixNano()
+	for s, st := range v.states {
+		payload := &store.Snapshot{
+			Options:       d.storeOptions(),
+			Shard:         s,
+			ShardCount:    len(d.shards),
+			Version:       st.snap.Version(),
+			GlobalVersion: v.version,
+			NextID:        d.nextID.Load(),
+			IDs:           st.ids,
+			Entries:       st.snap.Entries(),
+			Index:         st.idx,
+		}
+		if err := store.WriteFile(filepath.Join(dir, shardSnapName(s, d.gen)), payload); err != nil {
+			return err
+		}
+		d.shards[s].snapSeq.Store(st.snap.Version())
+		d.shards[s].lastSnap.Store(now)
+	}
+	return nil
+}
+
+// openShardJournals opens (or creates) every shard's journal and
+// returns the records each one replayed.  With fresh set, any records
+// found are orphans of a previous incomplete bootstrap — they were
+// never acknowledged against this database — and are reset away.  The
+// caller either holds every shard lock (Persist) or owns the database
+// exclusively (Open), so the jrnl fields are assigned directly.
+func (d *Database) openShardJournals(dir string, cfg *config, fresh bool) ([][]store.Record, error) {
+	recs := make([][]store.Record, len(d.shards))
+	for s, sh := range d.shards {
+		j, srecs, err := store.OpenJournal(dir, shardJournalBase(s, d.gen), cfg.segBytes)
+		if err != nil {
+			return nil, err
+		}
+		if fresh && (len(srecs) > 0 || j.SealedSegments() > 0) {
+			if err := j.Reset(); err != nil {
+				j.Close()
+				return nil, err
+			}
+			srecs = nil
+		}
+		recs[s] = srecs
+		sh.jrnl = j
+	}
+	return recs, nil
+}
+
+// attachDurability wires the snapshotter state and starts the loop.
+// savedAt is when the on-disk snapshots were actually written — now for
+// Persist, the files' mtime for Open — so SnapshotAge never hides a
+// stale snapshot behind a restart.  Caller holds d.lmu.
+func (d *Database) attachDurability(dir string, cfg *config, v *dbview, savedAt time.Time) {
+	d.durable = true
 	d.dir = dir
-	d.compaction = cfg.compaction
+	d.setPolicy(cfg.compaction)
 	d.snapInterval = cfg.snapInterval
 	d.snapEvery = cfg.snapEvery
-	d.snapVersion.Store(snapVersion)
+	d.walSync.Store(cfg.walSync)
+	d.snapVersion.Store(v.version)
 	d.lastSnap.Store(savedAt.UnixNano())
 	d.snapSignal = make(chan struct{}, 1)
 	d.stopSnap = make(chan struct{})
@@ -198,119 +300,473 @@ func (d *Database) attachDurability(dir string, wal *store.WAL, cfg *config, sna
 	go d.snapshotLoop()
 }
 
-// Open loads the durable database in dir: the newest snapshot restores
-// the bulk of the state, then the write-ahead log tail is replayed —
-// every mutation acknowledged after that snapshot, up to the first torn
-// record a crash may have left — so a kill -9 between snapshots loses
-// nothing.  The engine options come from the snapshot fingerprint;
-// only durability options may be passed (WithSync,
-// WithSnapshotInterval, WithSnapshotEvery, WithCompactionPolicy).
+// Open loads the durable database in dir: each shard's newest snapshot
+// restores the bulk of its state, then the shard's write-ahead-log tail
+// is replayed — every mutation acknowledged after that snapshot, up to
+// the first torn record a crash may have left — so a kill -9 between
+// snapshots loses nothing.  The global version and ID counters are
+// stitched back from the shard snapshots and the journaled global
+// mutation numbers.
+//
+// A directory written by the pre-shard layout (a single db.snap +
+// db.wal) is migrated in place: its snapshot and journal tail are
+// loaded, the state is re-partitioned, and the sharded layout replaces
+// the old files.
+//
+// The engine options come from the snapshot fingerprints; only
+// durability options may be passed (WithSync, WithSnapshotInterval,
+// WithSnapshotEvery, WithCompactionPolicy, WithWALSegmentBytes), plus
+// WithShards to reshard the directory in place.
 //
 // The database resumes journaling and background snapshotting in dir.
 // Call Close to shut it down cleanly.
 func Open(dir string, opts ...Option) (*Database, error) {
-	snapPath := filepath.Join(dir, SnapshotName)
-	info, err := os.Stat(snapPath)
-	if os.IsNotExist(err) {
-		return nil, fmt.Errorf("racelogic: %s (%s missing): %w; create one with Database.Persist", dir, SnapshotName, ErrNoDatabase)
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return openSharded(dir, opts)
+	} else if !os.IsNotExist(err) {
+		return nil, err
 	}
+	if _, err := os.Stat(filepath.Join(dir, SnapshotName)); err == nil {
+		return migrateV1(dir, opts)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return nil, fmt.Errorf("racelogic: %s (no %s or %s): %w; create one with Database.Persist",
+		dir, ManifestName, SnapshotName, ErrNoDatabase)
+}
+
+// openSharded recovers a manifest-committed sharded layout.
+func openSharded(dir string, opts []Option) (*Database, error) {
+	m, err := store.ReadManifestFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, err
 	}
+	snaps := make([]*store.Snapshot, m.Shards)
+	for s := 0; s < m.Shards; s++ {
+		path := filepath.Join(dir, shardSnapName(s, m.Gen))
+		snap, err := store.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if snap.Shard != s || snap.ShardCount != m.Shards {
+			return nil, fmt.Errorf("racelogic: %s claims shard %d of %d, manifest says %d of %d",
+				path, snap.Shard, snap.ShardCount, s, m.Shards)
+		}
+		if s > 0 && snap.Options != snaps[0].Options {
+			return nil, fmt.Errorf("racelogic: %s options fingerprint differs from shard 0 — mixed layouts in one directory", path)
+		}
+		snaps[s] = snap
+	}
+	base, err := configFromStoreOptions(snaps[0].Options)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Join(dir, shardSnapName(0, m.Gen)), err)
+	}
+	base.shards = m.Shards
+	cfg, err := durabilityConfig(base, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	reshardTo := 0
+	if cfg.firstApplied("WithShards") != "" && cfg.resolveShards() != m.Shards {
+		reshardTo = cfg.resolveShards()
+	}
+	cfg.shards = m.Shards
+
+	parts := make([]shardPart, m.Shards)
+	globalVersion := int64(0)
+	nextID := uint64(0)
+	for s, snap := range snaps {
+		if snap.Index != nil && snap.Index.K() != cfg.seedK {
+			return nil, fmt.Errorf("racelogic: %s index has k=%d but the fingerprint says %d",
+				filepath.Join(dir, shardSnapName(s, m.Gen)), snap.Index.K(), cfg.seedK)
+		}
+		parts[s] = shardPart{entries: snap.Entries, ids: snap.IDs, idx: snap.Index, seq: snap.Version}
+		if snap.GlobalVersion > globalVersion {
+			globalVersion = snap.GlobalVersion
+		}
+		if snap.NextID > nextID {
+			nextID = snap.NextID
+		}
+	}
+	d, err := assembleShards(cfg, parts, nextID, globalVersion)
+	if err != nil {
+		return nil, err
+	}
+	d.gen = m.Gen
+	recs, err := d.openShardJournals(dir, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.replayShardJournals(recs, snaps); err != nil {
+		d.closeShardJournals()
+		return nil, err
+	}
+
+	info, err := os.Stat(filepath.Join(dir, shardSnapName(0, m.Gen)))
+	if err != nil {
+		return nil, err
+	}
+	if reshardTo > 0 {
+		return reshard(dir, d, cfg, reshardTo, m.Gen+1)
+	}
+	cleanupStaleLayout(dir, m.Gen)
+	v := d.view.Load()
+	for s, snap := range snaps {
+		d.shards[s].snapSeq.Store(snap.Version)
+		d.shards[s].lastSnap.Store(info.ModTime().UnixNano())
+	}
+	d.lmu.Lock()
+	d.attachDurability(dir, cfg, v, info.ModTime())
+	d.lmu.Unlock()
+	return d, nil
+}
+
+// replayShardJournals replays each shard's journal tail over its
+// restored snapshot.  Records a shard snapshot already covers are
+// skipped — a crash between "snapshot renamed" and "journal truncated"
+// makes them legitimate leftovers — and the remainder must advance the
+// shard's sequence gaplessly; anything else means the directory holds a
+// journal from some other history, and loading it would serve wrong
+// data.  The global version and ID counters advance to the maximum the
+// records carry.
+func (d *Database) replayShardJournals(recs [][]store.Record, snaps []*store.Snapshot) error {
+	globalVersion := d.view.Load().version
+	nextID := d.nextID.Load()
+	for s, sh := range d.shards {
+		var err error
+		st := d.view.Load().states[s]
+		for _, rec := range recs[s] {
+			if rec.Version <= snaps[s].Version {
+				continue
+			}
+			cur := sh.p.Version()
+			if rec.Version != cur+1 {
+				return fmt.Errorf("racelogic: replaying shard %d journal: gap: record version %d after shard version %d",
+					s, rec.Version, cur)
+			}
+			switch rec.Op {
+			case store.OpInsert:
+				st, err = sh.applyInsert(st, rec.IDs, rec.Entries)
+				for _, id := range rec.IDs {
+					if id >= nextID {
+						nextID = id + 1
+					}
+				}
+			case store.OpRemove:
+				st, err = sh.applyRemove(st, rec.IDs)
+			case store.OpCompact:
+				var next *shardstate
+				next, err = sh.applyCompact(st)
+				if err == nil && next == st {
+					err = fmt.Errorf("journaled compaction at shard version %d found nothing to reclaim", rec.Version)
+				}
+				st = next
+			default:
+				err = fmt.Errorf("unknown journal op %d", rec.Op)
+			}
+			if err != nil {
+				return fmt.Errorf("racelogic: replaying shard %d journal: %w", s, err)
+			}
+			if rec.Global > globalVersion {
+				globalVersion = rec.Global
+			}
+		}
+		d.publish([]int{s}, map[int]*shardstate{s: st}, 0)
+	}
+	// The published version counted per-shard publishes; restamp it with
+	// the recovered global counter (the logical mutation count).
+	v := d.view.Load()
+	d.view.Store(&dbview{version: globalVersion, states: v.states})
+	d.ticket.Store(globalVersion)
+	d.nextID.Store(nextID)
+	return nil
+}
+
+// closeShardJournals closes every open journal (the error-path cleanup
+// during Open).
+func (d *Database) closeShardJournals() {
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		if sh.jrnl != nil {
+			sh.jrnl.Close()
+			sh.jrnl = nil
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// migrateV1 upgrades a pre-shard directory in place: load the single
+// snapshot, replay the single journal tail, re-partition the state
+// under the requested (or default) shard count, write the sharded
+// layout, commit it with the manifest, and only then delete the old
+// files.  A crash before the manifest lands leaves the v1 layout
+// authoritative (the partial v2 files are overwritten on the next
+// attempt); a crash after it leaves a complete v2 layout and only
+// best-effort-deleted v1 leftovers, which are ignored once a manifest
+// exists.
+//
+// Like a checkpoint, migration folds the whole journal into the new
+// snapshots, compacting any tombstones the tail replayed (bumping the
+// version once if it did).
+func migrateV1(dir string, opts []Option) (*Database, error) {
+	snapPath := filepath.Join(dir, SnapshotName)
 	s, err := store.ReadFile(snapPath)
 	if err != nil {
 		return nil, err
+	}
+	if s.ShardCount != 1 {
+		return nil, fmt.Errorf("racelogic: %s is a shard file, not a whole-database snapshot", snapPath)
 	}
 	base, err := configFromStoreOptions(s.Options)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", snapPath, err)
 	}
-	cfg, err := durabilityConfig(base, opts)
+	cfg, err := durabilityConfig(base, opts, true)
 	if err != nil {
 		return nil, err
 	}
-	d, err := openStored(cfg, s, snapPath)
+	if s.Index != nil && s.Index.K() != cfg.seedK {
+		return nil, fmt.Errorf("%s: snapshot index has k=%d but the fingerprint says %d", snapPath, s.Index.K(), cfg.seedK)
+	}
+	d, err := assembleDatabase(cfg, s.Entries, s.IDs, s.NextID, s.GlobalVersion, s.Index)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", snapPath, err)
+	}
+	walPath := filepath.Join(dir, WALName)
+	recs, _, err := store.Replay(walPath)
 	if err != nil {
 		return nil, err
 	}
-	wal, recs, err := store.OpenWAL(filepath.Join(dir, WALName), cfg.walSync)
-	if err != nil {
-		return nil, err
+	if err := d.replayV1(recs, s.Version); err != nil {
+		return nil, fmt.Errorf("racelogic: replaying %s: %w", walPath, err)
 	}
-	if err := d.replay(recs, s.Version); err != nil {
-		wal.Close()
-		return nil, fmt.Errorf("racelogic: replaying %s: %w", filepath.Join(dir, WALName), err)
-	}
-	d.mu.Lock()
-	d.attachDurability(dir, wal, cfg, s.Version, info.ModTime())
-	d.mu.Unlock()
-	return d, nil
+	return commitLayout(dir, d, cfg, 0, true)
 }
 
-// replay applies the journal tail over a freshly loaded snapshot.
-// Records the snapshot already covers are skipped — a crash between
-// "snapshot renamed" and "journal truncated" makes them legitimate
-// leftovers — and the remainder must advance the version gaplessly;
-// anything else means the directory holds a journal from some other
-// history, and loading it would serve wrong data.
-func (d *Database) replay(recs []store.Record, snapVersion int64) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// replayV1 applies a pre-shard journal tail — whole-database records —
+// through the partitioned mutation machinery, without journaling.
+func (d *Database) replayV1(recs []store.Record, snapVersion int64) error {
 	for _, rec := range recs {
 		if rec.Version <= snapVersion {
 			continue
 		}
-		cur := d.state.Load().snap.Version()
+		cur := d.view.Load().version
 		if rec.Version != cur+1 {
 			return fmt.Errorf("journal gap: record version %d after database version %d", rec.Version, cur)
 		}
-		var err error
 		switch rec.Op {
 		case store.OpInsert:
-			err = d.insertLocked(rec.Entries, rec.IDs)
+			if err := d.replayInsert(rec.IDs, rec.Entries); err != nil {
+				return err
+			}
 		case store.OpRemove:
-			err = d.removeLocked(rec.IDs)
+			if err := d.replayRemove(rec.IDs); err != nil {
+				return err
+			}
 		case store.OpCompact:
-			var next *dbstate
-			st := d.state.Load()
-			next, _, err = d.compactLocked(st)
-			if err == nil {
-				if next == st {
-					return fmt.Errorf("journaled compaction at version %d found nothing to reclaim", rec.Version)
-				}
-				d.state.Store(next)
+			before := d.view.Load().version
+			if _, _, err := d.compactAll(false, false); err != nil {
+				return err
+			}
+			if d.view.Load().version == before {
+				return fmt.Errorf("journaled compaction at version %d found nothing to reclaim", rec.Version)
 			}
 		default:
-			err = fmt.Errorf("unknown journal op %d", rec.Op)
-		}
-		if err != nil {
-			return err
+			return fmt.Errorf("unknown journal op %d", rec.Op)
 		}
 	}
 	return nil
 }
 
-// signalSnapshotter nudges the background snapshotter when enough
-// mutations have accumulated since the last durable snapshot.  Caller
-// holds d.mu.
-func (d *Database) signalSnapshotter() {
-	if d.wal == nil || d.snapEvery <= 0 {
+// replayInsert applies one whole-database insert record with
+// pre-assigned IDs, routing each entry to its shard.
+func (d *Database) replayInsert(ids []uint64, entries []string) error {
+	n := len(d.shards)
+	partIDs := make(map[int][]uint64)
+	partEntries := make(map[int][]string)
+	nextID := d.nextID.Load()
+	for j, id := range ids {
+		s := shardOf(id, n)
+		partIDs[s] = append(partIDs[s], id)
+		partEntries[s] = append(partEntries[s], entries[j])
+		if id >= nextID {
+			nextID = id + 1
+		}
+	}
+	touched := sortedKeys(partIDs)
+	unlock := d.lockShards(touched)
+	defer unlock()
+	t := d.ticket.Add(1)
+	states, err := d.applyParallel(touched, func(sh *shard, cur *shardstate) (*shardstate, error) {
+		return sh.applyInsert(cur, partIDs[sh.id], partEntries[sh.id])
+	})
+	if err != nil {
+		return err
+	}
+	d.publish(touched, states, t)
+	d.nextID.Store(nextID)
+	return nil
+}
+
+// replayRemove applies one whole-database remove record.
+func (d *Database) replayRemove(ids []uint64) error {
+	n := len(d.shards)
+	partIDs := make(map[int][]uint64)
+	for _, id := range ids {
+		s := shardOf(id, n)
+		partIDs[s] = append(partIDs[s], id)
+	}
+	touched := sortedKeys(partIDs)
+	unlock := d.lockShards(touched)
+	defer unlock()
+	t := d.ticket.Add(1)
+	states, err := d.applyParallel(touched, func(sh *shard, cur *shardstate) (*shardstate, error) {
+		return sh.applyRemove(cur, partIDs[sh.id])
+	})
+	if err != nil {
+		return err
+	}
+	d.publish(touched, states, t)
+	return nil
+}
+
+// reshard rewrites an opened directory under a new shard count: the
+// fully recovered state is flattened back to global ID order,
+// re-partitioned, and committed as the next layout generation (the
+// recovered journals are already folded into the new snapshots).
+func reshard(dir string, old *Database, cfg *config, shards, gen int) (*Database, error) {
+	old.closeShardJournals()
+	v := old.view.Load()
+	entries, ids := flatten(v)
+	ncfg := *cfg
+	ncfg.shards = shards
+	d, err := assembleDatabase(&ncfg, entries, ids, old.nextID.Load(), v.version, nil)
+	if err != nil {
+		return nil, err
+	}
+	return commitLayout(dir, d, &ncfg, gen, false)
+}
+
+// flatten returns a view's live entries and IDs in global ID order.
+// Tombstones are dropped — flattening always follows a compaction.
+func flatten(v *dbview) ([]string, []uint64) {
+	type item struct {
+		id    uint64
+		entry string
+	}
+	var all []item
+	for _, st := range v.states {
+		for slot := 0; slot < st.snap.Slots(); slot++ {
+			if st.snap.Live(slot) {
+				all = append(all, item{id: st.ids[slot], entry: st.snap.Entry(slot)})
+			}
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].id < all[b].id })
+	entries := make([]string, len(all))
+	ids := make([]uint64, len(all))
+	for i, it := range all {
+		entries[i] = it.entry
+		ids[i] = it.id
+	}
+	return entries, ids
+}
+
+// cleanupStaleLayout removes shard files of every generation except
+// keepGen — the leftovers of a committed migration or reshard.  Best
+// effort: a file that resists deletion is harmless, because only the
+// manifest's generation is ever read.
+func cleanupStaleLayout(dir string, keepGen int) {
+	keep := fmt.Sprintf(".g%d.", keepGen)
+	paths, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
 		return
 	}
-	if d.state.Load().snap.Version()-d.snapVersion.Load() < int64(d.snapEvery) {
+	for _, p := range paths {
+		if !strings.Contains(filepath.Base(p), keep) {
+			_ = os.Remove(p)
+		}
+	}
+}
+
+// commitLayout writes d's current state into dir as generation gen of
+// the sharded layout — shard snapshots, then the manifest naming the
+// generation (the commit point), then best-effort removal of every
+// other generation's files (and, after a migration, the v1 files).
+// Until the manifest lands the previous layout stays authoritative and
+// complete, because no file of it is touched; after it, the new one
+// is, and leftovers are ignored.  Tombstones are compacted away first,
+// exactly like a checkpoint.  The returned database is attached and
+// journaling.
+func commitLayout(dir string, d *Database, cfg *config, gen int, removeV1 bool) (*Database, error) {
+	d.gen = gen
+	_, v, err := d.compactAll(false, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.writeShardSnapshots(dir, v); err != nil {
+		return nil, err
+	}
+	if err := store.WriteManifestFile(filepath.Join(dir, ManifestName), store.Manifest{Shards: len(d.shards), Gen: gen}); err != nil {
+		return nil, err
+	}
+	cleanupStaleLayout(dir, gen)
+	if removeV1 {
+		for _, name := range []string{SnapshotName, WALName} {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+	if _, err := d.openShardJournals(dir, cfg, true); err != nil {
+		return nil, err
+	}
+	d.lmu.Lock()
+	d.attachDurability(dir, cfg, v, time.Now())
+	d.lmu.Unlock()
+	return d, nil
+}
+
+// nudgeSnapshotter signals the snapshotter loop unconditionally — the
+// rotation trigger, which must fire even when the count/interval
+// triggers are disabled.
+func (d *Database) nudgeSnapshotter() {
+	d.lmu.Lock()
+	signal := d.snapSignal
+	running := d.durable && !d.closed.Load()
+	d.lmu.Unlock()
+	if !running || signal == nil {
 		return
 	}
 	select {
-	case d.snapSignal <- struct{}{}:
+	case signal <- struct{}{}:
+	default:
+	}
+}
+
+// signalSnapshotter nudges the background snapshotter when enough
+// mutations have accumulated since the last durable snapshot set.
+func (d *Database) signalSnapshotter() {
+	d.lmu.Lock()
+	every := d.snapEvery
+	signal := d.snapSignal
+	running := d.durable && !d.closed.Load()
+	d.lmu.Unlock()
+	if !running || signal == nil || every <= 0 {
+		return
+	}
+	if d.view.Load().version-d.snapVersion.Load() < int64(every) {
+		return
+	}
+	select {
+	case signal <- struct{}{}:
 	default:
 	}
 }
 
 // snapshotLoop is the background snapshotter: on a timer, on the
-// mutation-count signal, and on the compaction policy's Interval it
-// folds the journal into a fresh snapshot (compact, save, truncate).
-// The file write happens off the write lock — mutations and searches
-// proceed — by capturing one immutable COW state under the lock.
+// mutation-count signal, on a segment rotation, and on the compaction
+// policy's Interval it folds the journals into fresh shard snapshots
+// (compact, save, truncate).  The file writes happen off every lock —
+// mutations and searches proceed — by capturing one immutable view.
 func (d *Database) snapshotLoop() {
 	defer close(d.loopDone)
 	var snapTick, compactTick <-chan time.Time
@@ -319,8 +775,8 @@ func (d *Database) snapshotLoop() {
 		defer t.Stop()
 		snapTick = t.C
 	}
-	if d.compaction.Interval > 0 {
-		t := time.NewTicker(d.compaction.Interval)
+	if p := d.policy(); p.Interval > 0 {
+		t := time.NewTicker(p.Interval)
 		defer t.Stop()
 		compactTick = t.C
 	}
@@ -329,41 +785,33 @@ func (d *Database) snapshotLoop() {
 		case <-d.stopSnap:
 			return
 		case <-compactTick:
-			d.mu.Lock()
-			cur := d.state.Load()
-			if next, _, err := d.compactDurable(cur); err != nil {
+			if _, _, err := d.compactAll(false, true); err != nil {
 				d.snapFailures.Add(1)
-			} else if next != cur {
-				d.state.Store(next)
 			}
-			d.mu.Unlock()
 			continue
 		case <-snapTick:
 		case <-d.snapSignal:
 		}
-		// The internal checkpoint: the loop is stopped before the journal
-		// closes, so skipping the public closed guard is safe and avoids
-		// counting a shutdown-race tick as a failure.
+		// The internal checkpoint: the loop is stopped before the
+		// journals close, so skipping the public closed guard is safe and
+		// avoids counting a shutdown-race tick as a failure.
 		if err := d.checkpoint(); err != nil {
 			d.snapFailures.Add(1)
 		}
 	}
 }
 
-// Checkpoint folds the journal into a fresh durable snapshot now:
-// compact, serialize the state to the directory's snapshot file
-// (atomic temp+rename), and truncate the write-ahead log it covers.
+// Checkpoint folds the journals into a fresh durable snapshot set now:
+// compact, serialize every shard's state to its snapshot file (atomic
+// temp+rename), and truncate the write-ahead logs the set covers.
 // Mutations block only for the compaction and state capture, not the
-// file write; the journal is truncated only when no mutation landed
-// mid-write (records a snapshot covers are skipped at replay anyway,
-// so a skipped truncation is never a correctness problem).  On a
-// memory-only database Checkpoint is a no-op; on a closed one it
-// returns ErrClosed.
+// file writes; each shard's journal is truncated only when no mutation
+// landed on it mid-write (records a snapshot covers are skipped at
+// replay anyway, so a skipped truncation is never a correctness
+// problem).  On a memory-only database Checkpoint is a no-op; on a
+// closed one it returns ErrClosed.
 func (d *Database) Checkpoint() error {
-	d.mu.Lock()
-	closed := d.closed
-	d.mu.Unlock()
-	if closed {
+	if d.closed.Load() {
 		return ErrClosed
 	}
 	return d.checkpoint()
@@ -375,76 +823,88 @@ func (d *Database) checkpoint() error {
 	d.saveMu.Lock()
 	defer d.saveMu.Unlock()
 
-	d.mu.Lock()
-	if d.wal == nil {
-		d.mu.Unlock()
+	d.lmu.Lock()
+	durable := d.durable
+	dir := d.dir
+	d.lmu.Unlock()
+	if !durable {
 		return nil
 	}
-	cur := d.state.Load()
-	if cur.snap.Version() == d.snapVersion.Load() && cur.snap.Dead() == 0 {
-		// Nothing new since the last snapshot.  Covered records can
-		// still be sitting in the journal — a crash that landed between
-		// "snapshot renamed" and "journal truncated" leaves them —
-		// so fold them away now: wal_records must report what a restart
-		// would actually replay.
-		var err error
-		if d.wal.Records() > 0 {
-			err = d.wal.Reset()
-		}
-		d.mu.Unlock()
-		return err
-	}
-	next, _, err := d.compactDurable(cur)
-	if err != nil {
-		d.mu.Unlock()
-		return err
-	}
-	if next != cur {
-		d.state.Store(next)
-		cur = next
-	}
-	payload := d.snapshotPayload(cur)
-	version := cur.snap.Version()
-	path := filepath.Join(d.dir, SnapshotName)
-	d.mu.Unlock()
 
-	if err := store.WriteFile(path, payload); err != nil {
+	v := d.view.Load()
+	if v.version == d.snapVersion.Load() && v.dead() == 0 {
+		// Nothing new since the last snapshot set.  Covered records can
+		// still be sitting in the journals — a crash that landed between
+		// "snapshot renamed" and "journal truncated" leaves them — so
+		// fold them away now: wal_records must report what a restart
+		// would actually replay.
+		return d.truncateCoveredJournals(v)
+	}
+	_, v, err := d.compactAll(false, true)
+	if err != nil {
 		return err
 	}
-	d.snapVersion.Store(version)
+	if err := d.writeShardSnapshots(dir, v); err != nil {
+		return err
+	}
+	d.snapVersion.Store(v.version)
 	d.lastSnap.Store(time.Now().UnixNano())
 	d.snapSaves.Add(1)
+	return d.truncateCoveredJournals(v)
+}
 
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.wal != nil && d.state.Load().snap.Version() == version {
-		return d.wal.Reset()
+// truncateCoveredJournals resets each shard's journal if no mutation
+// has landed on the shard since the given view was captured (its
+// records are all covered by the newest snapshot set).
+func (d *Database) truncateCoveredJournals(v *dbview) error {
+	var firstErr error
+	for s, sh := range d.shards {
+		sh.mu.Lock()
+		if sh.jrnl != nil && sh.p.Version() == v.states[s].snap.Version() && sh.jrnl.Records() > 0 {
+			if err := sh.jrnl.Reset(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		sh.mu.Unlock()
 	}
-	return nil
+	return firstErr
 }
 
 // Close shuts a durable database down cleanly: it stops the background
-// snapshotter, takes a final checkpoint, and closes the journal.
+// snapshotter, takes a final checkpoint, and closes the journals.
 // Mutations after Close fail; searches keep working against the final
-// state.  On a memory-only database Close is a no-op.  Close is
+// view.  On a memory-only database Close is a no-op.  Close is
 // idempotent.
 func (d *Database) Close() error {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	d.lmu.Lock()
+	if d.closed.Load() {
+		d.lmu.Unlock()
 		return nil
 	}
-	d.closed = true
-	wal := d.wal
-	d.mu.Unlock()
-	if wal == nil {
+	d.closed.Store(true)
+	durable := d.durable
+	stop, done := d.stopSnap, d.loopDone
+	d.lmu.Unlock()
+
+	// Barrier: in-flight mutations checked the closed flag before taking
+	// their shard locks; draining every lock guarantees their journal
+	// appends land before the journals close.
+	d.lockShards(d.allShards())()
+
+	if !durable {
 		return nil
 	}
-	close(d.stopSnap)
-	<-d.loopDone
+	close(stop)
+	<-done
 	err := d.checkpoint()
-	if cerr := wal.Close(); err == nil {
-		err = cerr
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		if sh.jrnl != nil {
+			if cerr := sh.jrnl.Close(); err == nil {
+				err = cerr
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return err
 }
@@ -453,40 +913,59 @@ func (d *Database) Close() error {
 // (Persist/Open) rather than held only in memory.  A closed database
 // is no longer durable: nothing journals anymore.
 func (d *Database) Durable() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.wal != nil && !d.closed
+	d.lmu.Lock()
+	defer d.lmu.Unlock()
+	return d.durable && !d.closed.Load()
 }
 
 // WALRecords returns the number of journaled mutations not yet folded
-// into the durable snapshot; 0 on a memory-only database.
+// into the durable snapshots, across every shard; 0 on a memory-only
+// database.
 func (d *Database) WALRecords() int64 {
-	d.mu.Lock()
-	w := d.wal
-	d.mu.Unlock()
-	if w == nil {
-		return 0
+	total := int64(0)
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		if sh.jrnl != nil {
+			total += sh.jrnl.Records()
+		}
+		sh.mu.Unlock()
 	}
-	return w.Records()
+	return total
 }
 
-// WALBytes returns the journal segment's size; 0 on a memory-only
-// database.
+// WALBytes returns the journals' total size — active and sealed
+// segments of every shard; 0 on a memory-only database.
 func (d *Database) WALBytes() int64 {
-	d.mu.Lock()
-	w := d.wal
-	d.mu.Unlock()
-	if w == nil {
-		return 0
+	total := int64(0)
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		if sh.jrnl != nil {
+			total += sh.jrnl.Size()
+		}
+		sh.mu.Unlock()
 	}
-	return w.Size()
+	return total
+}
+
+// WALSegments returns the number of sealed journal segments awaiting
+// the next checkpoint, across every shard.
+func (d *Database) WALSegments() int {
+	total := 0
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		if sh.jrnl != nil {
+			total += sh.jrnl.SealedSegments()
+		}
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Compactions returns the number of dense rebuilds over the database's
 // lifetime in this process — automatic, manual, and save-time.
 func (d *Database) Compactions() int64 { return d.compactions.Load() }
 
-// Snapshots returns the number of durable snapshots saved by the
+// Snapshots returns the number of durable snapshot-set saves by the
 // background snapshotter, Checkpoint, and Close.
 func (d *Database) Snapshots() int64 { return d.snapSaves.Load() }
 
@@ -495,11 +974,58 @@ func (d *Database) Snapshots() int64 { return d.snapSaves.Load() }
 // trigger).
 func (d *Database) SnapshotFailures() int64 { return d.snapFailures.Load() }
 
-// SnapshotAge returns the time since the newest durable snapshot, or
-// -1 on a memory-only database.
+// SnapshotAge returns the time since the newest durable snapshot set,
+// or -1 on a memory-only database.
 func (d *Database) SnapshotAge() time.Duration {
 	if !d.Durable() {
 		return -1
 	}
 	return time.Since(time.Unix(0, d.lastSnap.Load()))
+}
+
+// ShardStat is one shard's gauge set, as surfaced by /stats.
+type ShardStat struct {
+	// Shard is the partition number.
+	Shard int `json:"shard"`
+	// Entries and Tombstones count the shard's live and removed-but-
+	// uncompacted slots.
+	Entries    int `json:"entries"`
+	Tombstones int `json:"tombstones"`
+	// WALRecords and WALBytes measure the shard's journal tail;
+	// WALSegments its sealed segments awaiting a checkpoint.  Zero on a
+	// memory-only database.
+	WALRecords  int64 `json:"wal_records"`
+	WALBytes    int64 `json:"wal_bytes"`
+	WALSegments int   `json:"wal_segments"`
+	// SnapshotAgeSeconds is the age of the shard's newest durable
+	// snapshot file, -1 when not durable.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+}
+
+// ShardStats returns per-shard gauges, one entry per partition.
+func (d *Database) ShardStats() []ShardStat {
+	v := d.view.Load()
+	durable := d.Durable()
+	out := make([]ShardStat, len(d.shards))
+	for s, sh := range d.shards {
+		st := v.states[s]
+		stat := ShardStat{
+			Shard:              s,
+			Entries:            st.snap.Len(),
+			Tombstones:         st.snap.Dead(),
+			SnapshotAgeSeconds: -1,
+		}
+		sh.mu.Lock()
+		if sh.jrnl != nil {
+			stat.WALRecords = sh.jrnl.Records()
+			stat.WALBytes = sh.jrnl.Size()
+			stat.WALSegments = sh.jrnl.SealedSegments()
+		}
+		sh.mu.Unlock()
+		if durable {
+			stat.SnapshotAgeSeconds = time.Since(time.Unix(0, sh.lastSnap.Load())).Seconds()
+		}
+		out[s] = stat
+	}
+	return out
 }

@@ -356,7 +356,13 @@ func TestDurabilityAPIErrors(t *testing.T) {
 	}
 
 	// A corrupted journal header must refuse to open, not half-load.
-	if err := os.WriteFile(filepath.Join(dir, racelogic.WALName), []byte("not a journal, definitely"), 0o644); err != nil {
+	// The sharded layout keeps one journal per shard; mangling any one
+	// of them must fail the whole Open.
+	walPaths, err := filepath.Glob(filepath.Join(dir, "shard-*.wal"))
+	if err != nil || len(walPaths) == 0 {
+		t.Fatalf("no shard journals in %s (err=%v)", dir, err)
+	}
+	if err := os.WriteFile(walPaths[len(walPaths)/2], []byte("not a journal, definitely"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := racelogic.Open(dir); err == nil {
@@ -383,19 +389,28 @@ func TestStaleJournalFoldedAway(t *testing.T) {
 	if _, err := db.Insert(g.Random(8)); err != nil {
 		t.Fatal(err)
 	}
-	walPath := filepath.Join(dir, racelogic.WALName)
-	raw, err := os.ReadFile(walPath)
-	if err != nil {
-		t.Fatal(err)
+	// Capture every shard's journal — the insert landed in exactly one
+	// of them, and the crash window below can leave any of them stale.
+	walPaths, err := filepath.Glob(filepath.Join(dir, "shard-*.wal"))
+	if err != nil || len(walPaths) == 0 {
+		t.Fatalf("no shard journals in %s (err=%v)", dir, err)
 	}
-	if err := db.Checkpoint(); err != nil { // snapshot covers the insert, journal truncated
+	raw := make(map[string][]byte, len(walPaths))
+	for _, p := range walPaths {
+		if raw[p], err = os.ReadFile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil { // snapshots cover the insert, journals truncated
 		t.Fatal(err)
 	}
 	wantLen, wantVersion := db.Len(), db.Version()
 	db = nil // crash
-	// Undo the truncation: the snapshot is renamed, the journal is not.
-	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
-		t.Fatal(err)
+	// Undo the truncation: the snapshots are renamed, the journals not.
+	for p, b := range raw {
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	back, err := racelogic.Open(dir)

@@ -14,8 +14,13 @@
 //
 // The index is an inverted map from every k-mer to the ascending list of
 // entries containing it, built once per database and grown incrementally
-// (copy-on-write, see Grow) as entries are inserted.  Candidate lookup
-// is a union over the query's k-mers.  Entries shorter than k carry no k-mer
+// (copy-on-write, see Grow) as entries are inserted.  The sharded
+// database keeps one Index instance per shard, over that shard's local
+// slots: a Grow then copies one shard's postings-map header, not the
+// whole database's, so the per-insert index cost is O(shard) and
+// inserts landing on different shards grow their indexes in parallel.
+// Candidate lookup is a union over the query's k-mers, run per shard
+// and merged by the pipeline's scatter-gather search.  Entries shorter than k carry no k-mer
 // and can never be filtered soundly, so they are always candidates;
 // likewise a query shorter than k disables filtering for that search.
 // The candidate set is deterministic, so seeded searches compose with the

@@ -84,6 +84,73 @@ func (ix *Index) Grow(entries []string) *Index {
 	return nx
 }
 
+// Partition splits the index into n per-shard indexes under shardOf,
+// which maps every indexed slot to its shard.  Local slots are assigned
+// in ascending global-slot order per shard — exactly the order a
+// sharded database assigns them when partitioning the same entries —
+// so each part's postings stay ascending.  Splitting walks the
+// existing postings instead of re-tokenizing every sequence, which is
+// what makes reloading a stored index cheaper than rebuilding it.
+func (ix *Index) Partition(n int, shardOf func(slot int) int) []*Index {
+	shard := make([]int, ix.n)
+	local := make([]int, ix.n)
+	counts := make([]int, n)
+	for s := 0; s < ix.n; s++ {
+		sh := shardOf(s)
+		shard[s] = sh
+		local[s] = counts[sh]
+		counts[sh]++
+	}
+	parts := make([]*Index, n)
+	for i := range parts {
+		parts[i] = &Index{k: ix.k, n: counts[i], postings: make(map[string][]int)}
+	}
+	for _, s := range ix.always {
+		p := parts[shard[s]]
+		p.always = append(p.always, local[s])
+	}
+	for kmer, post := range ix.postings {
+		for _, s := range post {
+			p := parts[shard[s]]
+			p.postings[kmer] = append(p.postings[kmer], local[s])
+		}
+	}
+	return parts
+}
+
+// Merge is Partition's inverse: it combines per-shard indexes into one
+// global index over n slots, with globalOf mapping each shard's local
+// slots back to their global positions.  Merging walks the existing
+// postings — no sequence is re-tokenized — which is what makes a
+// portable export of a sharded database cheap.  Global slots must be
+// unique across parts; every part must share one k.
+func Merge(parts []*Index, n int, globalOf func(shard, local int) int) (*Index, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("index: merge of zero parts")
+	}
+	out := &Index{k: parts[0].k, n: n, postings: make(map[string][]int)}
+	for sh, part := range parts {
+		if part.k != out.k {
+			return nil, fmt.Errorf("index: merge: shard %d has k=%d, shard 0 has %d", sh, part.k, out.k)
+		}
+		for _, local := range part.always {
+			out.always = append(out.always, globalOf(sh, local))
+		}
+		for kmer, post := range part.postings {
+			dst := out.postings[kmer]
+			for _, local := range post {
+				dst = append(dst, globalOf(sh, local))
+			}
+			out.postings[kmer] = dst
+		}
+	}
+	sort.Ints(out.always)
+	for _, post := range out.postings {
+		sort.Ints(post)
+	}
+	return out, nil
+}
+
 // K returns the seed length.
 func (ix *Index) K() int { return ix.k }
 

@@ -11,13 +11,16 @@
 // compiled) once, then reset between races, instead of rebuilt per pair.
 //
 // The pipeline is persistent: a DB shards the database once at
-// construction and keeps compiled engines in per-shape pools across
+// construction and keeps compiled engines pooled per shape across
 // queries, so the many-queries-one-database workload pays construction
 // cost only on first contact with each (query length, entry length)
-// shape.  Engines are not concurrency-safe, so the pools hand one
-// simulator to each in-flight chunk and take it back afterwards —
-// DB.Search is safe for concurrent callers.  One-shot callers (the
-// public racelogic.Search) simply build a DB, run one query, and drop it.
+// shape.  The pools live in a Pools value that any number of DBs may
+// share — the partitioned database keeps one DB per shard but one Pools
+// for all of them, so a shape warmed by any shard serves every shard.
+// Engines are not concurrency-safe, so the pools hand one simulator to
+// each in-flight chunk and take it back afterwards — DB.Search is safe
+// for concurrent callers.  One-shot callers (the public racelogic.Search)
+// simply build a DB, run one query, and drop it.
 //
 // The pipeline is also mutable: the sharded state lives in an immutable
 // Snapshot behind an atomic pointer, and Insert/Remove derive a new
@@ -34,6 +37,11 @@
 // Section 6 similarity threshold rejects dissimilar entries after only
 // threshold+1 cycles; and the surviving matches are ranked into a
 // deterministic top-K report with per-result hardware metrics.
+// MultiSearch is the scatter-gather form of the same machinery: the
+// chunks of N partition shards feed one shared worker pool, and the
+// per-shard outcomes merge under a global-ID ordering, so a partitioned
+// database returns reports byte-identical (modulo EnginesBuilt) to an
+// unpartitioned one.
 package pipeline
 
 import (
@@ -74,15 +82,22 @@ type Request struct {
 	TopK int
 	// Candidates restricts the scan to these entry indices (ascending,
 	// as produced by a seed index).  Nil means scan the whole database;
-	// an empty non-nil slice races nothing.
+	// an empty non-nil slice races nothing.  MultiSearch takes its
+	// candidates per shard instead (ShardScan.Candidates) and ignores
+	// this field.
 	Candidates []int
 }
 
 // Result is one database entry that survived the race (and, when a
 // threshold is set, the pre-filter), priced under the search library.
 type Result struct {
-	// Index is the entry's position in the database slice.
+	// Index is the entry's position in the database slice — for
+	// MultiSearch, its slot within its own shard.
 	Index int
+	// ID is the entry's rank key: the caller-assigned global ID under
+	// MultiSearch (ShardScan.IDs), the slot index itself otherwise.
+	// Ties in Score break by ascending ID.
+	ID uint64
 	// Sequence is the entry itself.
 	Sequence string
 	// Score is the arrival time of the output edge; lower is more
@@ -99,9 +114,9 @@ type Result struct {
 
 // Report aggregates one whole database search.
 type Report struct {
-	// Results holds the matches ranked by (Score, Index) ascending,
+	// Results holds the matches ranked by (Score, ID) ascending,
 	// truncated to TopK.  The ordering is deterministic regardless of
-	// worker count or scheduling.
+	// worker count, scheduling, or shard partitioning.
 	Results []Result
 	// Scanned is the number of database entries raced.
 	Scanned int
@@ -114,15 +129,17 @@ type Report struct {
 	Buckets int
 	// EnginesBuilt is the number of arrays constructed to serve this
 	// search.  Engine pooling keeps it far below Scanned, and it
-	// typically drops to zero once the DB's pools are warm for the
-	// query's shape (a search whose peak same-shape concurrency exceeds
-	// the pooled supply can still add one).
+	// typically drops to zero once the pools are warm for the query's
+	// shape (a search whose peak same-shape concurrency exceeds the
+	// pooled supply can still add one).
 	EnginesBuilt int
 	// TotalCycles sums the cycles of every race, accepted or rejected;
 	// with a threshold this is the number the Section 6 early exit
 	// shrinks.
 	TotalCycles int
-	// TotalEnergyJ sums the dynamic energy of every race.
+	// TotalEnergyJ sums the dynamic energy of every race, folded in
+	// ascending ID order so the floating-point total is bit-identical
+	// regardless of worker count or shard partitioning.
 	TotalEnergyJ float64
 }
 
@@ -144,18 +161,137 @@ type enginePool struct {
 }
 
 // DefaultMaxIdleEngines caps the compiled engines parked across all of a
-// DB's shape pools.  Shapes are keyed by caller-controlled query length,
-// so without a cap a long-running service accumulating one pool per
-// distinct query length would grow memory monotonically; engines
+// Pools' shape pools.  Shapes are keyed by caller-controlled query
+// length, so without a cap a long-running service accumulating one pool
+// per distinct query length would grow memory monotonically; engines
 // released beyond the cap are simply dropped for the GC.
 const DefaultMaxIdleEngines = 128
 
-// Snapshot is one immutable version of the sharded database.  A search
-// loads the current snapshot once and races it to completion, so every
-// report is internally consistent no matter how many mutations publish
-// newer versions mid-flight.  Snapshots address entries by slot: a slot
-// is assigned at insert and keeps its entry until a Remove tombstones it
-// and a later Compact reclaims it (renumbering the survivors).
+// Pools owns the compiled-engine free lists, keyed by (query length,
+// entry length) shape.  A Pools is safe for concurrent use and may be
+// shared by any number of DBs — the sharded database runs one DB per
+// partition over a single Pools, so EnginesBuilt counts arrays for the
+// whole database no matter how it is partitioned.
+type Pools struct {
+	factory Factory
+	lib     *tech.Library
+
+	mu      sync.Mutex // guards pools
+	pools   map[poolKey]*enginePool
+	built   atomic.Int64 // engines constructed over the Pools' lifetime
+	idle    atomic.Int64 // engines currently parked across all pools
+	maxIdle atomic.Int64 // park limit; excess released engines are dropped
+}
+
+// NewPools builds an engine-pool set.  Factory is required; a nil
+// library selects tech.AMIS().
+func NewPools(factory Factory, lib *tech.Library) (*Pools, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("pipeline: engine factory is required")
+	}
+	if lib == nil {
+		lib = tech.AMIS()
+	}
+	p := &Pools{factory: factory, lib: lib, pools: make(map[poolKey]*enginePool)}
+	p.maxIdle.Store(DefaultMaxIdleEngines)
+	return p, nil
+}
+
+// Library returns the standard-cell library pricing the engines.
+func (p *Pools) Library() *tech.Library { return p.lib }
+
+// EnginesBuilt returns the number of engines constructed over the
+// Pools' lifetime, across all searches, shapes, and sharing DBs.
+func (p *Pools) EnginesBuilt() int64 { return p.built.Load() }
+
+// SetMaxIdleEngines overrides the park limit (default
+// DefaultMaxIdleEngines); n ≤ 0 disables pooling entirely.
+func (p *Pools) SetMaxIdleEngines(n int) { p.maxIdle.Store(int64(n)) }
+
+// PooledEngines returns the number of idle compiled engines currently
+// parked in the shape pools.
+func (p *Pools) PooledEngines() int {
+	p.mu.Lock()
+	pools := make([]*enginePool, 0, len(p.pools))
+	for _, ep := range p.pools {
+		pools = append(pools, ep)
+	}
+	p.mu.Unlock()
+	total := 0
+	for _, ep := range pools {
+		ep.mu.Lock()
+		total += len(ep.free)
+		ep.mu.Unlock()
+	}
+	return total
+}
+
+// pool returns the free list for one engine shape, creating it on first
+// contact.
+func (p *Pools) pool(key poolKey) *enginePool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ep, ok := p.pools[key]
+	if !ok {
+		ep = &enginePool{}
+		p.pools[key] = ep
+	}
+	return ep
+}
+
+// acquire checks an engine of the given shape out of its pool, building
+// one only when the pool is empty.  It reports the shape's placed area
+// and whether a build happened.
+func (p *Pools) acquire(key poolKey) (eng Engine, area float64, built bool, err error) {
+	ep := p.pool(key)
+	ep.mu.Lock()
+	if n := len(ep.free); n > 0 {
+		eng = ep.free[n-1]
+		ep.free[n-1] = nil
+		ep.free = ep.free[:n-1]
+		area = ep.area
+		ep.mu.Unlock()
+		p.idle.Add(-1)
+		return eng, area, false, nil
+	}
+	ep.mu.Unlock()
+	// Build outside the pool lock so concurrent chunks of one shape can
+	// compile in parallel instead of serializing on the free list.
+	eng, err = p.factory(key.n, key.m)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	p.built.Add(1)
+	area = p.lib.AreaUM2(eng.Netlist())
+	ep.mu.Lock()
+	if !ep.areaSet {
+		ep.area, ep.areaSet = area, true
+	}
+	ep.mu.Unlock()
+	return eng, area, true, nil
+}
+
+// release parks an engine back into its shape pool for the next chunk,
+// or drops it when the pool-wide idle cap is reached (the slight
+// overshoot a concurrent release can cause is harmless).
+func (p *Pools) release(key poolKey, eng Engine) {
+	if p.idle.Load() >= p.maxIdle.Load() {
+		return
+	}
+	p.idle.Add(1)
+	ep := p.pool(key)
+	ep.mu.Lock()
+	ep.free = append(ep.free, eng)
+	ep.mu.Unlock()
+}
+
+// Snapshot is one immutable version of the length-sharded database.  A
+// search loads the current snapshot once and races it to completion, so
+// every report is internally consistent no matter how many mutations
+// publish newer versions mid-flight.  Snapshots address entries by slot:
+// a slot is assigned at insert and keeps its entry until a Remove
+// tombstones it and a later Compact reclaims it (renumbering the
+// survivors).
 type Snapshot struct {
 	version int64
 	entries []string // slot -> entry; tombstoned slots keep stale strings
@@ -186,6 +322,10 @@ func (s *Snapshot) Entry(i int) string { return s.entries[i] }
 // Buckets returns the number of distinct live entry lengths.
 func (s *Snapshot) Buckets() int { return len(s.buckets) }
 
+// Lengths returns the distinct live entry lengths, in first-appearance
+// order.  The caller owns the returned slice.
+func (s *Snapshot) Lengths() []int { return append([]int(nil), s.lengths...) }
+
 // Entries returns the live entries in slot order.  On a compacted (or
 // never-mutated) snapshot the result is the dense slot array itself, so
 // callers serializing a snapshot must not modify it.
@@ -207,35 +347,32 @@ func (s *Snapshot) Entries() []string {
 // compiled engines are pooled per (query length, entry length) shape
 // across queries and snapshot versions.
 type DB struct {
-	factory Factory
-	lib     *tech.Library
+	pools *Pools
 
 	snap atomic.Pointer[Snapshot]
 	wmu  sync.Mutex // serializes Insert/Remove/Compact/SetVersion
-
-	mu      sync.Mutex // guards pools
-	pools   map[poolKey]*enginePool
-	built   atomic.Int64 // engines constructed over the DB's lifetime
-	idle    atomic.Int64 // engines currently parked across all pools
-	maxIdle atomic.Int64 // park limit; excess released engines are dropped
 }
 
-// NewDB validates and shards entries once, for many searches.  Factory is
-// required; a nil library selects tech.AMIS().  Empty entries are an
-// error: the arrays need at least a 1×1 edit graph.
+// NewDB validates and shards entries once, for many searches, with a
+// private engine-pool set.  Factory is required; a nil library selects
+// tech.AMIS().  Empty entries are an error: the arrays need at least a
+// 1×1 edit graph.
 func NewDB(entries []string, factory Factory, lib *tech.Library) (*DB, error) {
-	if factory == nil {
-		return nil, fmt.Errorf("pipeline: engine factory is required")
+	pools, err := NewPools(factory, lib)
+	if err != nil {
+		return nil, err
 	}
-	if lib == nil {
-		lib = tech.AMIS()
+	return NewDBWith(entries, pools)
+}
+
+// NewDBWith builds a DB over a shared engine-pool set — the partition
+// constructor: every shard of one database passes the same Pools so
+// compiled engines are reused across shards.
+func NewDBWith(entries []string, pools *Pools) (*DB, error) {
+	if pools == nil {
+		return nil, fmt.Errorf("pipeline: engine pools are required")
 	}
-	d := &DB{
-		factory: factory,
-		lib:     lib,
-		pools:   make(map[poolKey]*enginePool),
-	}
-	d.maxIdle.Store(DefaultMaxIdleEngines)
+	d := &DB{pools: pools}
 	s := &Snapshot{
 		entries: entries,
 		live:    make([]bool, len(entries)),
@@ -255,6 +392,9 @@ func NewDB(entries []string, factory Factory, lib *tech.Library) (*DB, error) {
 	d.snap.Store(s)
 	return d, nil
 }
+
+// Pools returns the engine-pool set this DB races on.
+func (d *DB) Pools() *Pools { return d.pools }
 
 // Snapshot returns the current database version.  The returned snapshot
 // is immutable and remains searchable via SearchAt after newer versions
@@ -420,97 +560,26 @@ func (d *DB) Len() int { return d.snap.Load().Len() }
 // Buckets returns the number of distinct live entry lengths.
 func (d *DB) Buckets() int { return d.snap.Load().Buckets() }
 
-// EnginesBuilt returns the number of engines constructed over the DB's
-// lifetime, across all searches and shapes.
-func (d *DB) EnginesBuilt() int64 { return d.built.Load() }
+// EnginesBuilt returns the number of engines constructed by the DB's
+// pool set over its lifetime, across all searches and shapes (and all
+// DBs sharing the pools).
+func (d *DB) EnginesBuilt() int64 { return d.pools.EnginesBuilt() }
 
-// SetMaxIdleEngines overrides the park limit (default
-// DefaultMaxIdleEngines); n ≤ 0 disables pooling entirely.
-func (d *DB) SetMaxIdleEngines(n int) { d.maxIdle.Store(int64(n)) }
+// SetMaxIdleEngines overrides the pool set's park limit; see
+// Pools.SetMaxIdleEngines.
+func (d *DB) SetMaxIdleEngines(n int) { d.pools.SetMaxIdleEngines(n) }
 
 // PooledEngines returns the number of idle compiled engines currently
-// parked in the shape pools.
-func (d *DB) PooledEngines() int {
-	d.mu.Lock()
-	pools := make([]*enginePool, 0, len(d.pools))
-	for _, p := range d.pools {
-		pools = append(pools, p)
-	}
-	d.mu.Unlock()
-	total := 0
-	for _, p := range pools {
-		p.mu.Lock()
-		total += len(p.free)
-		p.mu.Unlock()
-	}
-	return total
-}
+// parked in the pool set.
+func (d *DB) PooledEngines() int { return d.pools.PooledEngines() }
 
-// pool returns the free list for one engine shape, creating it on first
-// contact.
-func (d *DB) pool(key poolKey) *enginePool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	p, ok := d.pools[key]
-	if !ok {
-		p = &enginePool{}
-		d.pools[key] = p
-	}
-	return p
-}
-
-// acquire checks an engine of the given shape out of its pool, building
-// one only when the pool is empty.  It reports the shape's placed area
-// and whether a build happened.
-func (d *DB) acquire(key poolKey) (eng Engine, area float64, built bool, err error) {
-	p := d.pool(key)
-	p.mu.Lock()
-	if n := len(p.free); n > 0 {
-		eng = p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-		area = p.area
-		p.mu.Unlock()
-		d.idle.Add(-1)
-		return eng, area, false, nil
-	}
-	p.mu.Unlock()
-	// Build outside the pool lock so concurrent chunks of one shape can
-	// compile in parallel instead of serializing on the free list.
-	eng, err = d.factory(key.n, key.m)
-	if err != nil {
-		return nil, 0, false, err
-	}
-	d.built.Add(1)
-	area = d.lib.AreaUM2(eng.Netlist())
-	p.mu.Lock()
-	if !p.areaSet {
-		p.area, p.areaSet = area, true
-	}
-	p.mu.Unlock()
-	return eng, area, true, nil
-}
-
-// release parks an engine back into its shape pool for the next chunk,
-// or drops it when the DB-wide idle cap is reached (the slight overshoot
-// a concurrent release can cause is harmless).
-func (d *DB) release(key poolKey, eng Engine) {
-	if d.idle.Load() >= d.maxIdle.Load() {
-		return
-	}
-	d.idle.Add(1)
-	p := d.pool(key)
-	p.mu.Lock()
-	p.free = append(p.free, eng)
-	p.mu.Unlock()
-}
-
-// chunk is one unit of worker-pool work: a run of same-length entries
-// scored on a single checked-out engine.  Indices are positions in the
-// search's scan slice (dense), not raw database indices, so a seeded
-// search's collector state scales with the candidate count rather than
-// the database size.
+// chunk is one unit of worker-pool work: a run of same-length entries of
+// one shard scored on a single checked-out engine.  Indices are
+// positions in the shard's scan slice (dense), not raw database indices,
+// so a seeded search's collector state scales with the candidate count
+// rather than the database size.
 type chunk struct {
+	shard   int   // ShardScan index under MultiSearch; 0 under SearchAt
 	m       int   // entry length
 	indices []int // positions in the scan slice
 }
@@ -518,14 +587,83 @@ type chunk struct {
 // entrySlots is the collector state the workers fill in, one slot per
 // scanned entry.  Every scan position is owned by exactly one chunk, so
 // workers write disjoint slots and no locking is needed; the final fold
-// walks the slots in scan order (ascending database index) so every
-// aggregate — including the floating-point energy total — is
-// bit-identical regardless of worker count or scheduling.
+// walks the slots in a deterministic order so every aggregate —
+// including the floating-point energy total — is bit-identical
+// regardless of worker count or scheduling.
 type entrySlots struct {
 	results  []*Result // nil = rejected or errored
 	cycles   []int
 	energyJ  []float64
 	rejected []bool
+}
+
+func newEntrySlots(span int) *entrySlots {
+	return &entrySlots{
+		results:  make([]*Result, span),
+		cycles:   make([]int, span),
+		energyJ:  make([]float64, span),
+		rejected: make([]bool, span),
+	}
+}
+
+// scanPlan is one shard's resolved scan set: either the whole snapshot
+// (scan == nil, reusing the buckets sharded at publish time, which hold
+// live slots only) or the candidate subset a seed index picked (bucketed
+// by scan position, bucket order fixed by first appearance so chunking
+// is deterministic).
+type scanPlan struct {
+	scan     []int // nil = identity: scan position == snapshot slot
+	raced    int
+	slotSpan int // collector span (snapshot slots under the identity scan)
+	buckets  map[int][]int
+	lengths  []int
+}
+
+// resolveScan validates candidates against the snapshot and produces
+// the scan plan.
+func resolveScan(s *Snapshot, candidates []int) (*scanPlan, error) {
+	p := &scanPlan{
+		raced:    s.liveN,
+		slotSpan: len(s.entries),
+		buckets:  s.buckets,
+		lengths:  s.lengths,
+	}
+	if candidates == nil {
+		return p, nil
+	}
+	p.scan = candidates
+	p.raced = len(candidates)
+	p.slotSpan = len(candidates)
+	p.buckets = make(map[int][]int)
+	p.lengths = nil
+	for si, i := range candidates {
+		if !s.Live(i) {
+			return nil, fmt.Errorf("pipeline: candidate slot %d out of range [0,%d) or not live", i, len(s.entries))
+		}
+		m := len(s.entries[i])
+		if _, seen := p.buckets[m]; !seen {
+			p.lengths = append(p.lengths, m)
+		}
+		p.buckets[m] = append(p.buckets[m], si)
+	}
+	return p, nil
+}
+
+// appendChunks splits a plan's buckets into chunks of at most target
+// entries so a single dominant bucket still spreads across the worker
+// pool, while small buckets stay whole and cost one engine checkout
+// each.  The shared bucket slices are only re-sliced here, never
+// written.
+func (p *scanPlan) appendChunks(chunks []chunk, shard, target int) []chunk {
+	for _, m := range p.lengths {
+		idx := p.buckets[m]
+		for len(idx) > target {
+			chunks = append(chunks, chunk{shard: shard, m: m, indices: idx[:target]})
+			idx = idx[target:]
+		}
+		chunks = append(chunks, chunk{shard: shard, m: m, indices: idx})
+	}
+	return chunks
 }
 
 // Search scores query against the current snapshot.  See SearchAt.
@@ -542,6 +680,49 @@ func (d *DB) Search(query string, req Request) (*Report, error) {
 // error, as is a candidate slot that is out of range or tombstoned; an
 // empty database or empty candidate set yields an empty report.
 func (d *DB) SearchAt(s *Snapshot, query string, req Request) (*Report, error) {
+	return MultiSearch([]ShardScan{{DB: d, Snap: s, Candidates: req.Candidates}}, query, req)
+}
+
+// ShardScan names one partition's contribution to a MultiSearch: the
+// shard's DB (for its engine pools), the immutable snapshot to race,
+// the candidate subset (nil scans the whole shard), and the slot→ID
+// table that positions the shard's entries in the global order.
+type ShardScan struct {
+	DB         *DB
+	Snap       *Snapshot
+	Candidates []int
+	// IDs maps the snapshot's slots to their global rank keys; nil
+	// defaults to the slot indices themselves (the single-shard case).
+	// IDs must be unique across every shard of one MultiSearch, and
+	// must cover the snapshot's slot span.
+	IDs []uint64
+}
+
+// slotID returns the rank key of snapshot slot i.
+func (sc *ShardScan) slotID(i int) uint64 {
+	if sc.IDs == nil {
+		return uint64(i)
+	}
+	return sc.IDs[i]
+}
+
+// slotRef locates one scanned entry during the fold: its shard, its
+// scan position there, its snapshot slot, and its global rank key.
+type slotRef struct {
+	shard, si, slot int
+	id              uint64
+}
+
+// MultiSearch scores query against N partition shards with one shared
+// worker pool and merges the shard outcomes into a single report — the
+// scatter-gather search.  Chunks from every shard feed the same
+// channel, so a dominant shard cannot leave the rest of the pool idle;
+// the fold then walks every scanned entry in ascending global-ID order,
+// which makes every aggregate (including the floating-point energy
+// total) and the (Score, ID) ranking bit-identical no matter how the
+// database is partitioned.  Shards must share one Pools for EnginesBuilt
+// to count database-wide builds (the racelogic layer guarantees this).
+func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error) {
 	if len(query) == 0 {
 		return nil, fmt.Errorf("pipeline: empty query")
 	}
@@ -550,74 +731,56 @@ func (d *DB) SearchAt(s *Snapshot, query string, req Request) (*Report, error) {
 		workers = runtime.NumCPU()
 	}
 
-	// Resolve the scan set: the whole snapshot (scan == nil, reusing the
-	// buckets sharded at publish time, which hold live slots only) or
-	// the candidate subset a seed index picked (bucketed here by scan
-	// position, bucket order fixed by first appearance so chunking is
-	// deterministic).  Chunk indices address the scan slice, so
-	// collector state below scales with the scan size, not the database
-	// size.
-	var scan []int // nil = identity: scan position == snapshot slot
-	raced := s.liveN
-	slotSpan := len(s.entries) // collector span under the identity scan
-	buckets := s.buckets
-	lengths := s.lengths
-	if req.Candidates != nil {
-		scan = req.Candidates
-		raced = len(scan)
-		slotSpan = len(scan)
-		buckets = make(map[int][]int)
-		lengths = nil
-		for si, i := range scan {
-			if !s.Live(i) {
-				return nil, fmt.Errorf("pipeline: candidate slot %d out of range [0,%d) or not live", i, len(s.entries))
-			}
-			m := len(s.entries[i])
-			if _, seen := buckets[m]; !seen {
-				lengths = append(lengths, m)
-			}
-			buckets[m] = append(buckets[m], si)
+	plans := make([]*scanPlan, len(shards))
+	raced := 0
+	lengthSet := make(map[int]bool)
+	for si, sc := range shards {
+		plan, err := resolveScan(sc.Snap, sc.Candidates)
+		if err != nil {
+			return nil, err
+		}
+		plans[si] = plan
+		raced += plan.raced
+		for _, m := range plan.lengths {
+			lengthSet[m] = true
 		}
 	}
-	report := &Report{Scanned: raced, Buckets: len(buckets)}
+	report := &Report{Scanned: raced, Buckets: len(lengthSet)}
 	if raced == 0 {
 		report.Results = []Result{}
 		return report, nil
 	}
 
-	// Split buckets into chunks of at most ⌈raced/workers⌉ entries so
-	// a single dominant bucket still spreads across the pool, while
-	// small buckets stay whole and cost one engine checkout each.  The
-	// shared bucket slices are only re-sliced here, never written.
+	// Chunk every shard against the whole search's target size, so the
+	// single-shard plan chunks exactly like the pre-shard pipeline and a
+	// dominant bucket anywhere still spreads across the pool.
 	target := (raced + workers - 1) / workers
 	var chunks []chunk
-	for _, m := range lengths {
-		idx := buckets[m]
-		for len(idx) > target {
-			chunks = append(chunks, chunk{m: m, indices: idx[:target]})
-			idx = idx[target:]
-		}
-		chunks = append(chunks, chunk{m: m, indices: idx})
+	for si, plan := range plans {
+		chunks = plan.appendChunks(chunks, si, target)
 	}
 
-	slots := &entrySlots{
-		results:  make([]*Result, slotSpan),
-		cycles:   make([]int, slotSpan),
-		energyJ:  make([]float64, slotSpan),
-		rejected: make([]bool, slotSpan),
+	slots := make([]*entrySlots, len(shards))
+	for si, plan := range plans {
+		slots[si] = newEntrySlots(plan.slotSpan)
 	}
-	chunkErrs := make([]error, len(chunks)) // indexed by chunk
-	chunkErrIdx := make([]int, len(chunks)) // entry index an error hit
-	var builds atomic.Int64                 // engines built for this search
-	jobs := make(chan int)                  // chunk indices
+	chunkErrs := make([]error, len(chunks))   // indexed by chunk
+	chunkErrID := make([]uint64, len(chunks)) // rank key an error hit
+	var builds atomic.Int64                   // engines built for this search
+	jobs := make(chan int)                    // chunk indices
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ci := range jobs {
-				chunkErrs[ci], chunkErrIdx[ci] =
-					d.runChunk(s, query, chunks[ci], scan, req.Threshold, slots, &builds)
+				c := chunks[ci]
+				sc := &shards[c.shard]
+				err, errSlot := sc.DB.pools.runChunk(sc.Snap, query, c, plans[c.shard].scan, req.Threshold, slots[c.shard], &builds)
+				if err != nil {
+					chunkErrs[ci] = err
+					chunkErrID[ci] = sc.slotID(errSlot)
+				}
 			}
 		}()
 	}
@@ -628,26 +791,49 @@ func (d *DB) SearchAt(s *Snapshot, query string, req Request) (*Report, error) {
 	wg.Wait()
 	report.EnginesBuilt = int(builds.Load())
 
-	// Fold.  Errors are reported by lowest entry index; everything else
-	// accumulates in database order.
+	// Errors are reported by lowest rank key (the lowest database index
+	// in the single-shard case); everything else folds in global order.
 	var firstErr error
-	firstErrIndex := -1
+	var firstErrID uint64
 	for ci, err := range chunkErrs {
-		if err != nil && (firstErr == nil || chunkErrIdx[ci] < firstErrIndex) {
-			firstErr, firstErrIndex = err, chunkErrIdx[ci]
+		if err != nil && (firstErr == nil || chunkErrID[ci] < firstErrID) {
+			firstErr, firstErrID = err, chunkErrID[ci]
 		}
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
+
+	// The fold order: every scanned entry across every shard, ascending
+	// by global ID.  For one shard with identity IDs this is exactly the
+	// pre-shard slot-order fold.
+	refs := make([]slotRef, 0, raced)
+	for si, sc := range shards {
+		plan := plans[si]
+		if plan.scan != nil {
+			for pos, slot := range plan.scan {
+				refs = append(refs, slotRef{shard: si, si: pos, slot: slot, id: sc.slotID(slot)})
+			}
+			continue
+		}
+		for slot := 0; slot < plan.slotSpan; slot++ {
+			if sc.Snap.Live(slot) {
+				refs = append(refs, slotRef{shard: si, si: slot, slot: slot, id: sc.slotID(slot)})
+			}
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool { return refs[a].id < refs[b].id })
+
 	var all []Result
-	for si := 0; si < slotSpan; si++ {
-		report.TotalCycles += slots.cycles[si]
-		report.TotalEnergyJ += slots.energyJ[si]
-		if slots.rejected[si] {
+	for _, ref := range refs {
+		sl := slots[ref.shard]
+		report.TotalCycles += sl.cycles[ref.si]
+		report.TotalEnergyJ += sl.energyJ[ref.si]
+		if sl.rejected[ref.si] {
 			report.Rejected++
 		}
-		if r := slots.results[si]; r != nil {
+		if r := sl.results[ref.si]; r != nil {
+			r.ID = ref.id
 			all = append(all, *r)
 		}
 	}
@@ -655,7 +841,7 @@ func (d *DB) SearchAt(s *Snapshot, query string, req Request) (*Report, error) {
 		if all[i].Score != all[j].Score {
 			return all[i].Score < all[j].Score
 		}
-		return all[i].Index < all[j].Index
+		return all[i].ID < all[j].ID
 	})
 	report.Matched = len(all)
 	if req.TopK > 0 && len(all) > req.TopK {
@@ -672,11 +858,11 @@ func (d *DB) SearchAt(s *Snapshot, query string, req Request) (*Report, error) {
 // the chunk on it, and writes each entry's outcome into its own slot.
 // A nil scan means chunk indices are snapshot slots directly.  It
 // returns the first error and the snapshot slot it occurred at.
-func (d *DB) runChunk(s *Snapshot, query string, c chunk, scan []int, threshold int64,
+func (p *Pools) runChunk(s *Snapshot, query string, c chunk, scan []int, threshold int64,
 	slots *entrySlots, builds *atomic.Int64) (error, int) {
 
 	key := poolKey{n: len(query), m: c.m}
-	eng, area, built, err := d.acquire(key)
+	eng, area, built, err := p.acquire(key)
 	if err != nil {
 		first := c.indices[0]
 		if scan != nil {
@@ -687,7 +873,7 @@ func (d *DB) runChunk(s *Snapshot, query string, c chunk, scan []int, threshold 
 	if built {
 		builds.Add(1)
 	}
-	defer d.release(key, eng)
+	defer p.release(key, eng)
 	for _, si := range c.indices {
 		i := si
 		if scan != nil {
@@ -702,7 +888,7 @@ func (d *DB) runChunk(s *Snapshot, query string, c chunk, scan []int, threshold 
 		if err != nil {
 			return err, i
 		}
-		energy := d.lib.Energy(res.Activity).TotalJ()
+		energy := p.lib.Energy(res.Activity).TotalJ()
 		slots.cycles[si] = res.Cycles
 		slots.energyJ[si] = energy
 		if res.Score == temporal.Never {
@@ -714,10 +900,10 @@ func (d *DB) runChunk(s *Snapshot, query string, c chunk, scan []int, threshold 
 			Sequence:         s.entries[i],
 			Score:            int64(res.Score),
 			Cycles:           res.Cycles,
-			LatencyNS:        d.lib.LatencyNS(res.Cycles),
+			LatencyNS:        p.lib.LatencyNS(res.Cycles),
 			EnergyJ:          energy,
 			AreaUM2:          area,
-			PowerDensityWCM2: d.lib.Power(res.Activity) / (area / 1e8),
+			PowerDensityWCM2: p.lib.Power(res.Activity) / (area / 1e8),
 		}
 	}
 	return nil, -1

@@ -550,3 +550,73 @@ func TestDBSetVersion(t *testing.T) {
 		t.Fatalf("insert after SetVersion: %v, version %d", err, snap.Version())
 	}
 }
+
+// TestMultiSearchMatchesSingle is the scatter-gather equivalence at the
+// pipeline level: entries partitioned across several shard DBs (sharing
+// one Pools), with slot→ID tables mapping them back to their global
+// positions, must produce a report byte-identical modulo EnginesBuilt
+// to the unpartitioned DB — including the floating-point energy total
+// and the (Score, ID) ranking.
+func TestMultiSearchMatchesSingle(t *testing.T) {
+	g := seqgen.NewDNA(31)
+	var db []string
+	for _, n := range []int{6, 8, 10} {
+		db = append(db, g.Database(12, n)...)
+	}
+	query := g.Random(8)
+	single, err := NewDB(db, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Threshold: 14, TopK: 9, Workers: 3}
+	want, err := single.Search(query, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, parts := range []int{1, 2, 3, 5} {
+		pools, err := NewPools(dnaFactory, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardEntries := make([][]string, parts)
+		shardIDs := make([][]uint64, parts)
+		for i, e := range db {
+			s := i % parts
+			shardEntries[s] = append(shardEntries[s], e)
+			shardIDs[s] = append(shardIDs[s], uint64(i))
+		}
+		scans := make([]ShardScan, parts)
+		for s := 0; s < parts; s++ {
+			d, err := NewDBWith(shardEntries[s], pools)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scans[s] = ShardScan{DB: d, Snap: d.Snapshot(), IDs: shardIDs[s]}
+		}
+		got, err := MultiSearch(scans, query, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.EnginesBuilt, want.EnginesBuilt = 0, 0
+		// The single-shard results carry Index == ID == global position;
+		// partitioned results carry shard-local Index with the global ID.
+		// Compare on the global coordinates.
+		if got.Scanned != want.Scanned || got.Matched != want.Matched ||
+			got.Rejected != want.Rejected || got.Buckets != want.Buckets ||
+			got.TotalCycles != want.TotalCycles || got.TotalEnergyJ != want.TotalEnergyJ {
+			t.Fatalf("parts=%d: aggregates differ:\n got %+v\nwant %+v", parts, got, want)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("parts=%d: %d results, want %d", parts, len(got.Results), len(want.Results))
+		}
+		for i, r := range got.Results {
+			w := want.Results[i]
+			if r.ID != w.ID || r.Score != w.Score || r.Sequence != w.Sequence ||
+				r.Cycles != w.Cycles || r.EnergyJ != w.EnergyJ || r.AreaUM2 != w.AreaUM2 {
+				t.Errorf("parts=%d rank %d: got (id=%d score=%d %q), want (id=%d score=%d %q)",
+					parts, i, r.ID, r.Score, r.Sequence, w.ID, w.Score, w.Sequence)
+			}
+		}
+	}
+}

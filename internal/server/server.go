@@ -553,13 +553,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsResponse is the GET /stats reply: database shape, durability
-// state, and cumulative service counters.
+// state, per-shard gauges, and cumulative service counters.
 type StatsResponse struct {
 	Entries       int   `json:"entries"`
 	Version       int64 `json:"version"`
 	Tombstones    int   `json:"tombstones"`
 	Buckets       int   `json:"buckets"`
 	SeedK         int   `json:"seed_k"`
+	ShardCount    int   `json:"shard_count"`
 	Searches      int64 `json:"searches"`
 	Mutations     int64 `json:"mutations"`
 	Compactions   int64 `json:"compactions"`
@@ -584,6 +585,13 @@ type StatsResponse struct {
 	Snapshots          int64   `json:"snapshots"`
 	SnapshotFailures   int64   `json:"snapshot_failures"`
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// WALSegments counts the sealed journal segments awaiting the next
+	// checkpoint, across every shard.
+	WALSegments int `json:"wal_segments"`
+	// Shards holds one gauge set per partition: entries, tombstones,
+	// journal tail, and snapshot age, so an operator can see skew and
+	// per-shard replay debt at a glance.
+	Shards []racelogic.ShardStat `json:"shards"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -601,6 +609,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Tombstones:         s.db.Tombstones(),
 		Buckets:            s.db.Buckets(),
 		SeedK:              s.db.SeedK(),
+		ShardCount:         s.db.Shards(),
 		Searches:           s.db.Searches(),
 		Mutations:          s.mutations.Load(),
 		Compactions:        s.db.Compactions(),
@@ -618,5 +627,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Snapshots:          s.db.Snapshots(),
 		SnapshotFailures:   s.db.SnapshotFailures(),
 		SnapshotAgeSeconds: age,
+		WALSegments:        s.db.WALSegments(),
+		Shards:             s.db.ShardStats(),
 	})
 }

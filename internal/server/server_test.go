@@ -203,6 +203,24 @@ func TestHealthzAndStats(t *testing.T) {
 	if stats.EnginesBuilt == 0 || stats.PooledEngines == 0 {
 		t.Errorf("engines must be built and pooled after a search, stats = %+v", stats)
 	}
+	// The per-shard gauges partition the global counts exactly.
+	if stats.ShardCount != db.Shards() || len(stats.Shards) != db.Shards() {
+		t.Fatalf("shard gauges: shard_count=%d len(shards)=%d, database has %d",
+			stats.ShardCount, len(stats.Shards), db.Shards())
+	}
+	sum := 0
+	for i, sh := range stats.Shards {
+		if sh.Shard != i {
+			t.Errorf("shards[%d] labeled %d", i, sh.Shard)
+		}
+		if sh.SnapshotAgeSeconds != -1 {
+			t.Errorf("memory-only shard %d reports snapshot age %g", i, sh.SnapshotAgeSeconds)
+		}
+		sum += sh.Entries
+	}
+	if sum != stats.Entries {
+		t.Errorf("per-shard entries sum to %d, global says %d", sum, stats.Entries)
+	}
 }
 
 func TestSearchErrors(t *testing.T) {
@@ -688,5 +706,17 @@ func TestStatsDurability(t *testing.T) {
 	st = getStats()
 	if !st.Durable || st.WALRecords != 1 || st.WALBytes == 0 || st.SnapshotAgeSeconds < 0 {
 		t.Fatalf("durable stats = %+v", st)
+	}
+	// The journaled insert's record shows up in exactly one shard's
+	// gauges, and every durable shard reports a snapshot age.
+	recs := int64(0)
+	for _, sh := range st.Shards {
+		recs += sh.WALRecords
+		if sh.SnapshotAgeSeconds < 0 {
+			t.Errorf("durable shard %d reports snapshot age %g", sh.Shard, sh.SnapshotAgeSeconds)
+		}
+	}
+	if recs != st.WALRecords {
+		t.Errorf("per-shard wal_records sum to %d, global says %d", recs, st.WALRecords)
 	}
 }

@@ -1,46 +1,69 @@
 // Package store is the durability layer under racelogic databases: it
-// serializes whole databases to versioned, checksummed binary snapshots
-// and journals individual mutations to an append-only, CRC-framed
-// write-ahead log.  Together the two formats let a long-running search
+// serializes database state to versioned, checksummed binary snapshots
+// and journals individual mutations to append-only, CRC-framed
+// write-ahead logs.  Together the two formats let a long-running search
 // service outlive not just a clean shutdown but a crash: the newest
 // snapshot restores the bulk of the state fast, and replaying the WAL
 // tail recovers every mutation acknowledged after it was taken.
 //
+// The racelogic database is partitioned into shards, and the store
+// mirrors that layout on disk.  A durable directory holds one manifest
+// (the layout commit point, naming the shard count), one snapshot file
+// per shard, and one Journal — a chain of WAL segments — per shard:
+//
+//	db.manifest            "RLMANI", format, shard count, generation, CRC-32
+//	shard-0000.g0.snap …   one Snapshot per shard
+//	shard-0000.g0.wal      the shard's active journal segment
+//	shard-0000.g0.wal.00…  sealed segments awaiting a checkpoint
+//
+// The manifest is written last when a layout is created or rewritten,
+// and every shard file name carries the manifest's layout generation,
+// so a crash mid-bootstrap, mid-migration, or mid-reshard leaves
+// exactly one complete, authoritative layout — the one the manifest
+// names; files of other generations are ignored.
+//
 // # Snapshot format
 //
-// A snapshot holds everything needed to reconstruct a Database exactly:
-// the options fingerprint that shaped its engines and seed index, the
-// mutation version and ID counter, every live entry with its stable ID,
-// and the serialized k-mer seed index (so a reload skips re-tokenizing
-// the whole collection).
+// A snapshot holds everything needed to reconstruct one shard (or, for
+// a portable export, a whole database) exactly: the options fingerprint
+// that shaped its engines and seed index, the shard header, the
+// mutation counters, every live entry with its stable ID, and the
+// serialized k-mer seed index (so a reload skips re-tokenizing).
 //
-// Wire format (format version 1), all integers varint/uvarint framed:
+// Wire format (format version 2), all integers varint/uvarint framed:
 //
 //	"RLSNAP"  magic
 //	uvarint   format version
+//	uvarint   shard number        ┐ shard header (v2); a portable
+//	uvarint   shard count         │ export is shard 0 of 1
+//	varint    global version      ┘
 //	string    library name        ┐
 //	string    protein matrix      │
 //	uvarint   clock-gate region   │ options fingerprint
-//	bool      one-hot encoding    │
-//	uvarint   seed-index k        │
-//	varint    default threshold   │
-//	varint    default top-K       │
+//	bool      one-hot encoding    │ (shard count is deliberately not
+//	uvarint   seed-index k        │ part of it: partitioning never
+//	varint    default threshold   │ changes a report, so state may
+//	varint    default top-K       │ reopen under any count)
 //	varint    default workers     ┘
-//	varint    mutation version
+//	varint    shard mutation sequence
 //	uvarint   next entry ID
 //	uvarint   entry count, then per entry: uvarint ID, string sequence
 //	bool      index present, then the index.Encode stream if so
 //	uint32 LE CRC-32 (IEEE) of every preceding byte
 //
-// Snapshot files are written to a temporary sibling and renamed into
-// place, so a crash mid-save never corrupts the previous snapshot.
+// Format version 1 — the pre-shard layout without the shard header —
+// is still read (as shard 0 of 1, with the global version recovered
+// from the single mutation counter); the racelogic layer migrates such
+// directories in place.  Snapshot files are written to a temporary
+// sibling and renamed into place, so a crash mid-save never corrupts
+// the previous snapshot.
 //
 // # Write-ahead log format
 //
-// The WAL is a single append-only segment.  Unlike a snapshot — whose
-// one checksum trails the whole file — the WAL frames and checksums
-// every record independently, because a crash tears the file at an
-// arbitrary byte and the clean prefix must stay loadable:
+// Each journal segment is append-only.  Unlike a snapshot — whose one
+// checksum trails the whole file — the WAL frames and checksums every
+// record independently, because a crash tears the file at an arbitrary
+// byte and the clean prefix must stay loadable:
 //
 //	"RLWAL"   magic
 //	uvarint   format version
@@ -49,22 +72,43 @@
 //	  payload   (see below)
 //	  uint32 LE CRC-32 (IEEE) of the payload
 //
-// A record payload is one journaled mutation:
+// A record payload is one shard's slice of one journaled mutation:
 //
 //	byte      op: 1 insert, 2 remove, 3 compact
-//	varint    database version after applying the record
+//	varint    shard sequence after applying the record (gapless per
+//	          shard — the replay-integrity check)
+//	varint    global mutation number (v2; one multi-shard mutation
+//	          journals one record per touched shard, all carrying the
+//	          same number, and recovery takes the maximum across shards)
 //	insert:   uvarint count, then per entry: uvarint ID, string sequence
 //	remove:   uvarint count, then per entry: uvarint ID
 //	compact:  nothing further
 //
-// Replay walks records in order and stops cleanly at the first torn or
-// corrupt one: a record whose frame runs past end-of-file, whose CRC
-// mismatches, or whose payload does not decode ends the replay at the
-// last intact record — corrupt bytes never surface as entries.  OpenWAL
-// truncates that torn tail before appending, so the segment stays a
-// clean prefix of acknowledged mutations.  Records carry the database
-// version they produced, which makes replay idempotent against the
-// snapshot: records at or below the snapshot's version are skipped, so
-// it never matters whether a crash landed between "snapshot renamed"
-// and "WAL truncated".
+// Format-1 records (no global field) replay with the global recovered
+// as the sequence.  Replay walks records in order and stops cleanly at
+// the first torn or corrupt one: a record whose frame runs past
+// end-of-file, whose CRC mismatches, or whose payload does not decode
+// ends the replay at the last intact record — corrupt bytes never
+// surface as entries.  OpenWAL truncates that torn tail before
+// appending, so the segment stays a clean prefix of acknowledged
+// mutations.  Records carry the shard sequence they produced, which
+// makes replay idempotent against the snapshot: records at or below the
+// shard snapshot's sequence are skipped, so it never matters whether a
+// crash landed between "snapshot renamed" and "WAL truncated".
+//
+// # Segments, rotation, and group commit
+//
+// A Journal rotates its active segment once it exceeds a size cap:
+// the segment is sealed (closed, synced, renamed to its sequence-
+// numbered name) and a fresh active segment opens.  Sealing happens on
+// record boundaries under the shard's write lock, so only the active
+// segment can hold a torn tail.  The database folds sealed segments
+// into the next snapshot eagerly, which bounds the bytes a restart
+// must replay regardless of snapshot triggers.
+//
+// Appends never fsync on their own.  Callers needing acknowledged-
+// means-durable wait on the Commit token after releasing their
+// ordering locks; WAL.GroupSync then elects one leader to flush for
+// every waiter — group commit — so N concurrent mutations cost far
+// fewer than N fsyncs per shard.
 package store

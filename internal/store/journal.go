@@ -1,0 +1,243 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Journal is one shard's write-ahead log as a sequence of segments: a
+// set of sealed, read-only segment files plus one active segment taking
+// appends.  Rotation caps the active segment's size so the bytes a
+// restart must replay stay bounded; a checkpoint that has captured
+// everything calls Reset, which deletes the sealed segments and empties
+// the active one.
+//
+// On disk the active segment is <base>.wal and sealed segments are
+// <base>.wal.<seq> with monotonically increasing sequence numbers;
+// replay order is sealed segments ascending, then the active segment.
+// Only the active segment can have a torn tail (sealing happens on
+// record boundaries and renames are atomic), but a torn sealed segment
+// still degrades to a clean prefix — the per-shard gapless version
+// check upstream then reports the loss loudly instead of serving a
+// history with a hole.
+//
+// Appends are ordered by the caller (the shard write lock); Commit
+// tokens returned by the Append* methods let the caller flush after
+// releasing that lock, so concurrent mutations' fsyncs coalesce into
+// group commits.
+type Journal struct {
+	mu       sync.Mutex
+	dir      string
+	base     string
+	active   *WAL
+	sealed   []sealedSegment
+	nextSeq  int
+	segBytes int64 // rotation threshold; ≤ 0 disables rotation
+}
+
+// sealedSegment is one closed, fully-replayable segment file.
+type sealedSegment struct {
+	path    string
+	records int64
+	bytes   int64
+}
+
+// Commit identifies one append for a later group flush.  The zero
+// Commit waits on nothing.
+type Commit struct {
+	w *WAL
+}
+
+// Wait blocks until the append the token was issued for is durable,
+// batching with every other pending flush on the same segment.
+func (c Commit) Wait() error {
+	if c.w == nil {
+		return nil
+	}
+	return c.w.GroupSync()
+}
+
+// OpenJournal opens (creating if needed) the journal named base inside
+// dir and returns every intact record across its segments, oldest
+// first.  segBytes caps the active segment's size; ≤ 0 disables
+// rotation.
+func OpenJournal(dir, base string, segBytes int64) (*Journal, []Record, error) {
+	j := &Journal{dir: dir, base: base, segBytes: segBytes}
+	pattern := filepath.Join(dir, base+".wal.*")
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, nil, err
+	}
+	type seg struct {
+		path string
+		seq  int
+	}
+	var segs []seg
+	for _, p := range paths {
+		var seq int
+		if _, err := fmt.Sscanf(filepath.Base(p), base+".wal.%d", &seq); err != nil {
+			return nil, nil, fmt.Errorf("store: unrecognized journal segment %s", p)
+		}
+		segs = append(segs, seg{path: p, seq: seq})
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].seq < segs[b].seq })
+
+	var recs []Record
+	for _, s := range segs {
+		srecs, clean, err := Replay(s.path)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs = append(recs, srecs...)
+		j.sealed = append(j.sealed, sealedSegment{path: s.path, records: int64(len(srecs)), bytes: clean})
+		if s.seq >= j.nextSeq {
+			j.nextSeq = s.seq + 1
+		}
+	}
+	active, arecs, err := OpenWAL(filepath.Join(dir, base+".wal"))
+	if err != nil {
+		return nil, nil, err
+	}
+	j.active = active
+	return j, append(recs, arecs...), nil
+}
+
+// AppendInsert journals a batch insert; see WAL.AppendInsert.
+func (j *Journal) AppendInsert(version, g int64, ids []uint64, entries []string) (Commit, error) {
+	j.mu.Lock()
+	w := j.active
+	j.mu.Unlock()
+	if err := w.AppendInsert(version, g, ids, entries); err != nil {
+		return Commit{}, err
+	}
+	return Commit{w: w}, nil
+}
+
+// AppendRemove journals a batch remove; see WAL.AppendRemove.
+func (j *Journal) AppendRemove(version, g int64, ids []uint64) (Commit, error) {
+	j.mu.Lock()
+	w := j.active
+	j.mu.Unlock()
+	if err := w.AppendRemove(version, g, ids); err != nil {
+		return Commit{}, err
+	}
+	return Commit{w: w}, nil
+}
+
+// AppendCompact journals a dense rebuild; see WAL.AppendCompact.
+func (j *Journal) AppendCompact(version, g int64) (Commit, error) {
+	j.mu.Lock()
+	w := j.active
+	j.mu.Unlock()
+	if err := w.AppendCompact(version, g); err != nil {
+		return Commit{}, err
+	}
+	return Commit{w: w}, nil
+}
+
+// DropLast unwinds the most recent append — the multi-shard rollback.
+// Valid only under the same ordering lock the append ran under.
+func (j *Journal) DropLast() error {
+	j.mu.Lock()
+	w := j.active
+	j.mu.Unlock()
+	return w.DropLast()
+}
+
+// RotateIfOversized seals the active segment once it exceeds the
+// configured cap and opens a fresh one.  It reports whether a rotation
+// happened, so the caller can nudge its snapshotter to fold the sealed
+// segment away eagerly.  Call it under the same ordering lock appends
+// run under; pending group flushes on the sealed segment resolve
+// through its final close-time sync.
+func (j *Journal) RotateIfOversized() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.segBytes <= 0 || j.active.Size() <= j.segBytes || j.active.Records() == 0 {
+		return false, nil
+	}
+	records, bytes := j.active.Records(), j.active.Size()
+	if err := j.active.Close(); err != nil {
+		return false, err
+	}
+	activePath := filepath.Join(j.dir, j.base+".wal")
+	sealedPath := filepath.Join(j.dir, fmt.Sprintf("%s.wal.%06d", j.base, j.nextSeq))
+	if err := os.Rename(activePath, sealedPath); err != nil {
+		return false, err
+	}
+	j.nextSeq++
+	j.sealed = append(j.sealed, sealedSegment{path: sealedPath, records: records, bytes: bytes})
+	fresh, recs, err := OpenWAL(activePath)
+	if err != nil {
+		return false, err
+	}
+	if len(recs) != 0 {
+		fresh.Close()
+		return false, fmt.Errorf("store: fresh journal segment %s was not empty", activePath)
+	}
+	j.active = fresh
+	return true, nil
+}
+
+// Reset discards every record — the truncation step after a checkpoint
+// snapshot captured everything: sealed segments are deleted and the
+// active segment is emptied back to a bare header.
+func (j *Journal) Reset() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, s := range j.sealed {
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	j.sealed = nil
+	return j.active.Reset()
+}
+
+// Records returns the record count across every segment.
+func (j *Journal) Records() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.active.Records()
+	for _, s := range j.sealed {
+		n += s.records
+	}
+	return n
+}
+
+// Size returns the byte length across every segment.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.active.Size()
+	for _, s := range j.sealed {
+		n += s.bytes
+	}
+	return n
+}
+
+// SealedSegments returns how many sealed segments await the next
+// checkpoint.
+func (j *Journal) SealedSegments() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.sealed)
+}
+
+// Syncs returns the number of fsyncs issued on the active segment's
+// group-commit path.
+func (j *Journal) Syncs() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.active.Syncs()
+}
+
+// Close closes the active segment.  Sealed segments hold no open files.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.active.Close()
+}

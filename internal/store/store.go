@@ -17,8 +17,12 @@ import (
 const magic = "RLSNAP"
 
 // FormatVersion is the wire format this package writes.  Read rejects
-// newer versions instead of guessing.
-const FormatVersion = 1
+// newer versions instead of guessing.  Version 2 added the shard header
+// (Shard, ShardCount, GlobalVersion) right after the format field, so a
+// sharded database can persist one snapshot file per shard and stitch
+// the global counters back together at recovery; version-1 files are
+// still read, as the single shard of a one-shard layout.
+const FormatVersion = 2
 
 // maxStringLen bounds any single decoded string (entry or library
 // name).  The checksum sits at the end of the file, so length fields
@@ -40,15 +44,28 @@ type Options struct {
 	Workers    int    // default worker-pool width; ≤ 0 = NumCPU
 }
 
-// Snapshot is one serializable database state.
+// Snapshot is one serializable database state — either a whole
+// database (a portable export, ShardCount == 1) or one shard of a
+// partitioned layout.
 type Snapshot struct {
 	Options Options
-	// Version is the database's mutation counter at save time; NextID is
-	// the next stable entry ID to assign.
-	Version int64
-	NextID  uint64
-	// IDs[i] is the stable ID of Entries[i].  Slots are dense: the saver
-	// compacts tombstones away before serializing.
+	// Shard is this file's shard number in [0, ShardCount); ShardCount
+	// is the layout's partition count.  A version-1 file reads as shard
+	// 0 of 1.
+	Shard      int
+	ShardCount int
+	// Version is the owning shard's mutation sequence at save time —
+	// the counter the shard's journal records are checked against.
+	// GlobalVersion is the database-wide logical mutation counter at
+	// save time (for a one-shard layout the two coincide).  NextID is
+	// the next stable entry ID the database would assign; every shard
+	// records the same global value.
+	Version       int64
+	GlobalVersion int64
+	NextID        uint64
+	// IDs[i] is the stable ID of Entries[i], in the shard's slot order.
+	// Slots are dense: the saver compacts tombstones away before
+	// serializing.
 	IDs     []uint64
 	Entries []string
 	// Index is the k-mer seed index over Entries, or nil when the
@@ -107,12 +124,18 @@ func Write(w io.Writer, s *Snapshot) error {
 	if len(s.IDs) != len(s.Entries) {
 		return fmt.Errorf("store: %d IDs for %d entries", len(s.IDs), len(s.Entries))
 	}
+	if s.ShardCount < 1 || s.Shard < 0 || s.Shard >= s.ShardCount {
+		return fmt.Errorf("store: shard %d of %d is not a valid shard header", s.Shard, s.ShardCount)
+	}
 	bw := bufio.NewWriter(w)
 	hw := &hashWriter{w: bw, h: crc32.NewIEEE()}
 	e := newEncoder(hw)
 
 	e.raw([]byte(magic))
 	e.uvarint(FormatVersion)
+	e.uvarint(uint64(s.Shard))
+	e.uvarint(uint64(s.ShardCount))
+	e.varint(s.GlobalVersion)
 	o := s.Options
 	e.str(o.Library)
 	e.str(o.Matrix)
@@ -242,11 +265,20 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if string(head) != magic {
 		return nil, fmt.Errorf("store: bad magic %q: not a racelogic snapshot", head)
 	}
-	if format := d.uvarint(); d.err == nil && format != FormatVersion {
-		return nil, fmt.Errorf("store: snapshot format version %d, this build reads %d", format, FormatVersion)
+	format := d.uvarint()
+	if d.err == nil && format != 1 && format != FormatVersion {
+		return nil, fmt.Errorf("store: snapshot format version %d, this build reads 1 and %d", format, FormatVersion)
 	}
 
-	s := &Snapshot{}
+	s := &Snapshot{Shard: 0, ShardCount: 1}
+	if format >= 2 {
+		s.Shard = int(d.uvarint())
+		s.ShardCount = int(d.uvarint())
+		s.GlobalVersion = d.varint()
+		if d.err == nil && (s.ShardCount < 1 || s.ShardCount > 1<<20 || s.Shard < 0 || s.Shard >= s.ShardCount) {
+			return nil, fmt.Errorf("store: implausible shard header %d of %d", s.Shard, s.ShardCount)
+		}
+	}
 	s.Options = Options{
 		Library:    d.str(),
 		Matrix:     d.str(),
@@ -258,6 +290,10 @@ func Read(r io.Reader) (*Snapshot, error) {
 		Workers:    int(d.varint()),
 	}
 	s.Version = d.varint()
+	if format < 2 {
+		// Pre-shard files carry one database-wide counter.
+		s.GlobalVersion = s.Version
+	}
 	s.NextID = d.uvarint()
 	count := d.uvarint()
 	if d.err != nil {

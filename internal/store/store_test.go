@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -32,11 +34,14 @@ func testSnapshot(t *testing.T) *Snapshot {
 			Library: "OSU", Matrix: "", GateRegion: 2, OneHot: false,
 			SeedK: 4, Threshold: 14, TopK: -3, Workers: 2,
 		},
-		Version: 17,
-		NextID:  uint64(3*len(entries) + 1),
-		IDs:     ids,
-		Entries: entries,
-		Index:   ix,
+		Shard:         0,
+		ShardCount:    1,
+		Version:       17,
+		GlobalVersion: 17,
+		NextID:        uint64(3*len(entries) + 1),
+		IDs:           ids,
+		Entries:       entries,
+		Index:         ix,
 	}
 }
 
@@ -171,5 +176,88 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadFile(filepath.Join(dir, "missing.snap")); err == nil {
 		t.Error("missing file must error")
+	}
+}
+
+// writeV1Snapshot hand-encodes a format-1 snapshot — the pre-shard
+// layout without the shard header.
+func writeV1Snapshot(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	hw := &hashWriter{w: &buf, h: crc32.NewIEEE()}
+	e := newEncoder(hw)
+	e.raw([]byte(magic))
+	e.uvarint(1)
+	o := s.Options
+	e.str(o.Library)
+	e.str(o.Matrix)
+	e.uvarint(uint64(o.GateRegion))
+	e.boolean(o.OneHot)
+	e.uvarint(uint64(o.SeedK))
+	e.varint(o.Threshold)
+	e.varint(int64(o.TopK))
+	e.varint(int64(o.Workers))
+	e.varint(s.Version)
+	e.uvarint(s.NextID)
+	e.uvarint(uint64(len(s.Entries)))
+	for i, entry := range s.Entries {
+		e.uvarint(s.IDs[i])
+		e.str(entry)
+	}
+	e.boolean(s.Index != nil)
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	if s.Index != nil {
+		if err := s.Index.Encode(hw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], hw.h.Sum32())
+	buf.Write(tail[:])
+	return buf.Bytes()
+}
+
+// TestReadsV1Snapshot pins backward compatibility: a format-1 file
+// reads as shard 0 of 1 with GlobalVersion recovered as Version.
+func TestReadsV1Snapshot(t *testing.T) {
+	s := testSnapshot(t)
+	raw := writeV1Snapshot(t, s)
+	back, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shard != 0 || back.ShardCount != 1 {
+		t.Errorf("v1 snapshot read as shard %d of %d, want 0 of 1", back.Shard, back.ShardCount)
+	}
+	if back.GlobalVersion != s.Version {
+		t.Errorf("v1 GlobalVersion = %d, want recovered as Version %d", back.GlobalVersion, s.Version)
+	}
+	if !reflect.DeepEqual(back.Entries, s.Entries) || !reflect.DeepEqual(back.IDs, s.IDs) {
+		t.Error("v1 snapshot entries/IDs differ after read")
+	}
+}
+
+// TestSnapshotShardHeader pins the v2 shard header round trip and its
+// validation.
+func TestSnapshotShardHeader(t *testing.T) {
+	s := testSnapshot(t)
+	s.Index = nil
+	s.Shard, s.ShardCount, s.GlobalVersion = 3, 8, 99
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shard != 3 || back.ShardCount != 8 || back.GlobalVersion != 99 {
+		t.Fatalf("shard header round trip: %d of %d at global %d", back.Shard, back.ShardCount, back.GlobalVersion)
+	}
+	s.Shard = 8 // out of range
+	if err := Write(&buf, s); err == nil {
+		t.Error("shard ≥ shard count must be rejected at write")
 	}
 }

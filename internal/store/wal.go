@@ -14,8 +14,13 @@ import (
 // walMagic opens every WAL segment.
 const walMagic = "RLWAL"
 
-// WALFormatVersion is the WAL wire format this package writes.
-const WALFormatVersion = 1
+// WALFormatVersion is the WAL wire format this package writes.  Version
+// 2 added the Global field to every record — the database-wide logical
+// mutation counter, journaled beside the per-shard sequence so a sharded
+// database can recover its global version from whichever shard saw the
+// newest mutation.  Version-1 segments are still replayed (their records
+// predate sharding, so Global is recovered as the per-database Version).
+const WALFormatVersion = 2
 
 // maxRecordLen bounds a single record's payload.  Frame lengths are read
 // before their CRC can be verified, so they must be sanity-checked
@@ -40,10 +45,17 @@ const (
 // Record is one journaled mutation.
 type Record struct {
 	Op Op
-	// Version is the database mutation counter after applying this
-	// record.  Replay uses it to skip records a snapshot already covers
-	// and to detect journal gaps.
+	// Version is the owning shard's mutation sequence after applying
+	// this record.  Replay uses it to skip records a shard snapshot
+	// already covers and to detect journal gaps: within one shard's
+	// journal the sequence is gapless.
 	Version int64
+	// Global is the database-wide logical mutation counter the record
+	// belongs to.  One multi-shard mutation journals one record per
+	// touched shard, all carrying the same Global; recovery takes the
+	// maximum across every shard's journal.  Version-1 segments have no
+	// such field and replay with Global == Version.
+	Global int64
 	// IDs are the stable entry IDs inserted or removed; nil for compact.
 	IDs []uint64
 	// Entries are the inserted sequences, parallel to IDs; nil otherwise.
@@ -106,14 +118,14 @@ func Replay(path string) ([]Record, int64, error) {
 	if err != nil {
 		return nil, 0, nil // torn header, no records yet
 	}
-	if format != WALFormatVersion {
-		return nil, 0, fmt.Errorf("store: WAL format version %d, this build reads %d", format, WALFormatVersion)
+	if format != 1 && format != WALFormatVersion {
+		return nil, 0, fmt.Errorf("store: WAL format version %d, this build reads 1 and %d", format, WALFormatVersion)
 	}
 
 	var recs []Record
 	clean := cr.n
 	for {
-		rec, ok := readRecord(cr)
+		rec, ok := readRecord(cr, format)
 		if !ok {
 			return recs, clean, nil
 		}
@@ -124,7 +136,7 @@ func Replay(path string) ([]Record, int64, error) {
 
 // readRecord decodes one framed record; ok is false at end-of-file and
 // on any torn or corrupt frame.
-func readRecord(cr *countReader) (Record, bool) {
+func readRecord(cr *countReader, format uint64) (Record, bool) {
 	n, err := binary.ReadUvarint(cr)
 	if err != nil || n == 0 || n > maxRecordLen {
 		return Record{}, false
@@ -140,12 +152,12 @@ func readRecord(cr *countReader) (Record, bool) {
 	if binary.LittleEndian.Uint32(tail[:]) != crc32.ChecksumIEEE(payload) {
 		return Record{}, false
 	}
-	return decodeRecord(payload)
+	return decodeRecord(payload, format)
 }
 
 // decodeRecord parses a CRC-verified payload; ok is false when the
 // structure is invalid anyway (a corruption the checksum was also fed).
-func decodeRecord(payload []byte) (Record, bool) {
+func decodeRecord(payload []byte, format uint64) (Record, bool) {
 	br := bytes.NewReader(payload)
 	d := &decoder{r: br}
 	op, err := br.ReadByte()
@@ -153,6 +165,13 @@ func decodeRecord(payload []byte) (Record, bool) {
 		return Record{}, false
 	}
 	rec := Record{Op: Op(op), Version: d.varint()}
+	if format >= 2 {
+		rec.Global = d.varint()
+	} else {
+		// Pre-shard segments journal one database-wide counter; it is
+		// both the shard sequence and the global version.
+		rec.Global = rec.Version
+	}
 	switch rec.Op {
 	case OpInsert:
 		count := d.uvarint()
@@ -183,24 +202,36 @@ func decodeRecord(payload []byte) (Record, bool) {
 
 // WAL is an open write-ahead log segment.  Appends are serialized
 // internally, but the database layer additionally orders them under its
-// own write lock so record versions hit the file monotonically.
+// own per-shard write lock so record sequences hit the file
+// monotonically.  Appends never fsync on their own; callers that need
+// acknowledged-means-durable call GroupSync afterwards, which batches
+// the flushes of every append waiting on the segment into as few
+// fsyncs as possible (group commit).
 type WAL struct {
 	mu       sync.Mutex
 	f        *os.File
-	syncEach bool
 	size     int64
+	lastSize int64 // size before the most recent append (DropLast window)
 	records  int64
 	buf      bytes.Buffer
+
+	// Group-commit state.  synced is the prefix length known durable;
+	// a single leader flushes at a time while followers wait, so N
+	// concurrent mutations cost far fewer than N fsyncs.
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	syncing bool
+	synced  int64
+	serr    error // the current round's flush failure
+	fatal   error // a flush failed: the segment's unsynced tail is suspect
+	syncs   int64 // fsyncs issued through GroupSync/Close, for tests
 }
 
 // OpenWAL opens the segment at path for appending, creating it with a
 // fresh header when absent, and returns the intact records already in
 // it.  Any torn tail left by a crash is truncated away first, so the
-// next append lands on a record boundary.  When syncEachAppend is set,
-// every Append* fsyncs before returning — the acknowledged-means-
-// durable policy; without it the OS page cache is trusted, which still
-// survives a killed process but not a power failure.
-func OpenWAL(path string, syncEachAppend bool) (*WAL, []Record, error) {
+// next append lands on a record boundary.
+func OpenWAL(path string) (*WAL, []Record, error) {
 	recs, clean, err := Replay(path)
 	if err != nil {
 		return nil, nil, err
@@ -209,14 +240,25 @@ func OpenWAL(path string, syncEachAppend bool) (*WAL, []Record, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	w := &WAL{f: f, syncEach: syncEachAppend, records: int64(len(recs))}
-	if clean < headerLen {
-		// New (or torn-at-birth) segment: start it over with a header.
+	w := &WAL{f: f, records: int64(len(recs))}
+	w.gcond = sync.NewCond(&w.gmu)
+	if clean < headerLen || len(recs) == 0 {
+		// New (or torn-at-birth, or older-format-but-empty) segment:
+		// start it over with a current-format header.
 		if err := w.rewriteHeader(); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
 	} else {
+		if format, ferr := segmentFormat(path); ferr != nil || format != WALFormatVersion {
+			// A populated older-format segment cannot take current-format
+			// appends; the migration path replays it read-only instead.
+			f.Close()
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			return nil, nil, fmt.Errorf("store: WAL %s holds format-%d records; migrate it before appending", path, format)
+		}
 		if err := f.Truncate(clean); err != nil {
 			f.Close()
 			return nil, nil, err
@@ -226,8 +268,25 @@ func OpenWAL(path string, syncEachAppend bool) (*WAL, []Record, error) {
 			return nil, nil, err
 		}
 		w.size = clean
+		w.lastSize = clean
+		w.synced = clean
 	}
 	return w, recs, nil
+}
+
+// segmentFormat reads just the header version of the segment at path.
+func segmentFormat(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != walMagic {
+		return 0, fmt.Errorf("store: %s: not a racelogic journal", path)
+	}
+	return binary.ReadUvarint(br)
 }
 
 // rewriteHeader resets the file to a bare header.  Caller holds no
@@ -247,19 +306,31 @@ func (w *WAL) rewriteHeader() error {
 		return err
 	}
 	w.size = int64(len(head))
+	w.lastSize = w.size
 	w.records = 0
+	w.gmu.Lock()
+	w.synced = w.size
+	w.serr = nil
+	// A successful truncate-and-sync proves the device is writable again
+	// and discards every suspect byte, so a latched flush failure is over:
+	// whatever the old records held is covered by the snapshot that
+	// triggered this Reset.
+	w.fatal = nil
+	w.gmu.Unlock()
 	return nil
 }
 
-// AppendInsert journals a batch insert producing the given database
-// version: ids[i] is the stable ID assigned to entries[i].
-func (w *WAL) AppendInsert(version int64, ids []uint64, entries []string) error {
+// AppendInsert journals a batch insert producing the given shard
+// sequence under global mutation g: ids[i] is the stable ID assigned to
+// entries[i].
+func (w *WAL) AppendInsert(version, g int64, ids []uint64, entries []string) error {
 	if len(ids) != len(entries) {
 		return fmt.Errorf("store: %d IDs for %d inserted entries", len(ids), len(entries))
 	}
 	return w.append(func(e *encoder) {
 		e.raw([]byte{byte(OpInsert)})
 		e.varint(version)
+		e.varint(g)
 		e.uvarint(uint64(len(ids)))
 		for i, id := range ids {
 			e.uvarint(id)
@@ -268,11 +339,13 @@ func (w *WAL) AppendInsert(version int64, ids []uint64, entries []string) error 
 	})
 }
 
-// AppendRemove journals a batch remove producing the given version.
-func (w *WAL) AppendRemove(version int64, ids []uint64) error {
+// AppendRemove journals a batch remove producing the given shard
+// sequence under global mutation g.
+func (w *WAL) AppendRemove(version, g int64, ids []uint64) error {
 	return w.append(func(e *encoder) {
 		e.raw([]byte{byte(OpRemove)})
 		e.varint(version)
+		e.varint(g)
 		e.uvarint(uint64(len(ids)))
 		for _, id := range ids {
 			e.uvarint(id)
@@ -280,23 +353,37 @@ func (w *WAL) AppendRemove(version int64, ids []uint64) error {
 	})
 }
 
-// AppendCompact journals a dense rebuild producing the given version.
-func (w *WAL) AppendCompact(version int64) error {
+// AppendCompact journals a dense rebuild producing the given shard
+// sequence under global mutation g.
+func (w *WAL) AppendCompact(version, g int64) error {
 	return w.append(func(e *encoder) {
 		e.raw([]byte{byte(OpCompact)})
 		e.varint(version)
+		e.varint(g)
 	})
 }
 
 // append frames one payload and writes it in a single call, keeping the
-// window a crash can tear as small as the kernel allows.  On any write
-// or sync failure the segment is truncated back to the last good record
-// so the failed append can never replay as acknowledged.
+// window a crash can tear as small as the kernel allows.  On a write
+// failure the segment is truncated back to the last good record so the
+// failed append can never replay as acknowledged.
 func (w *WAL) append(encode func(*encoder)) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return fmt.Errorf("store: WAL is closed")
+	}
+	// After a flush failure the kernel may have dropped dirty pages while
+	// marking them clean (the classic fsync-error trap), so nothing past
+	// the synced watermark can be trusted and nothing new may be
+	// acknowledged on top of it.  Fail the append — before anything is
+	// applied — until a checkpoint folds the log away and Reset proves
+	// the device writable again.
+	w.gmu.Lock()
+	fatal := w.fatal
+	w.gmu.Unlock()
+	if fatal != nil {
+		return fmt.Errorf("store: WAL flush previously failed (%w); awaiting checkpoint reset", fatal)
 	}
 	w.buf.Reset()
 	e := newEncoder(&w.buf)
@@ -312,14 +399,41 @@ func (w *WAL) append(encode func(*encoder)) error {
 		w.unwind()
 		return err
 	}
-	if w.syncEach {
-		if err := w.f.Sync(); err != nil {
-			w.unwind()
-			return err
-		}
-	}
+	w.lastSize = w.size
 	w.size += int64(len(frame))
 	w.records++
+	return nil
+}
+
+// DropLast unwinds the most recent append — the rollback a multi-shard
+// mutation needs when a sibling shard's journal write fails after this
+// one succeeded.  It is valid only while the caller still holds the
+// ordering lock it appended under (no append may have landed since).
+func (w *WAL) DropLast() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: WAL is closed")
+	}
+	if w.lastSize == w.size {
+		return nil
+	}
+	if err := w.f.Truncate(w.lastSize); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(w.lastSize, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = w.lastSize
+	w.records--
+	// Clamp the group-commit watermark: a flush may already have covered
+	// the dropped bytes, and a later append into the reclaimed range must
+	// not be acknowledged without its own flush.
+	w.gmu.Lock()
+	if w.synced > w.size {
+		w.synced = w.size
+	}
+	w.gmu.Unlock()
 	return nil
 }
 
@@ -328,6 +442,112 @@ func (w *WAL) append(encode func(*encoder)) error {
 func (w *WAL) unwind() {
 	_ = w.f.Truncate(w.size)
 	_, _ = w.f.Seek(w.size, io.SeekStart)
+}
+
+// GroupSync blocks until every byte appended before the call is durable
+// — the group-commit flush.  Concurrent callers elect one leader that
+// fsyncs for everyone waiting; the flush itself runs under the append
+// lock, so the batch a flush covers is exact.  Callers invoke it after
+// releasing their ordering locks, which is what lets flushes from many
+// mutations coalesce.
+//
+// If the segment shrinks below the caller's appended prefix while it
+// waits — a Reset after a checkpoint snapshot captured the records, or
+// a DropLast rollback — GroupSync returns nil: the bytes are either
+// durable in the snapshot or deliberately gone, and there is nothing
+// left to flush.
+//
+// A flush failure is latched: a failed fsync may have discarded dirty
+// pages while marking them clean, so the unsynced tail is suspect
+// forever and no later flush may acknowledge bytes sitting on top of
+// it.  Every waiter of the failed round and every subsequent GroupSync
+// (and append) errors until a checkpoint folds the log into a durable
+// snapshot and Reset — whose own truncate-and-sync must succeed —
+// clears the latch.
+func (w *WAL) GroupSync() error {
+	w.mu.Lock()
+	end := w.size
+	w.mu.Unlock()
+	for {
+		w.mu.Lock()
+		if w.size < end {
+			end = w.size
+		}
+		closed := w.f == nil
+		w.mu.Unlock()
+
+		w.gmu.Lock()
+		if w.synced >= end {
+			w.gmu.Unlock()
+			return nil
+		}
+		if w.fatal != nil {
+			err := w.fatal
+			w.gmu.Unlock()
+			return err
+		}
+		if closed {
+			err := w.serr
+			w.gmu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("store: WAL is closed")
+			}
+			return err
+		}
+		if w.syncing {
+			w.gcond.Wait()
+			if w.synced >= end {
+				w.gmu.Unlock()
+				return nil
+			}
+			err := w.serr // the round we waited on failed (or nil: retry)
+			w.gmu.Unlock()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		// Become the leader of one flush round.  serr is per round: it is
+		// cleared here so an old failure never outlives its waiters.
+		w.syncing = true
+		w.serr = nil
+		w.gmu.Unlock()
+
+		w.mu.Lock()
+		cover := w.size
+		var err error
+		if w.f == nil {
+			err = fmt.Errorf("store: WAL is closed")
+		} else {
+			err = w.f.Sync()
+		}
+		w.mu.Unlock()
+
+		w.gmu.Lock()
+		w.syncing = false
+		w.syncs++
+		if err == nil && cover > w.synced {
+			w.synced = cover
+		}
+		if err != nil {
+			w.serr = err
+			w.fatal = err
+		}
+		w.gcond.Broadcast()
+		w.gmu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Syncs returns the number of fsyncs issued through GroupSync — under
+// concurrent mutation load it stays well below the append count, which
+// is the whole point of group commit.
+func (w *WAL) Syncs() int64 {
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
+	return w.syncs
 }
 
 // Reset empties the segment back to a bare header — the truncation step
@@ -365,17 +585,32 @@ func (w *WAL) Sync() error {
 	return w.f.Sync()
 }
 
-// Close syncs and closes the segment.  Further appends fail.
+// Close syncs and closes the segment.  Further appends fail; waiters
+// blocked in GroupSync observe the final synced prefix (everything, on
+// a successful close) and return.
 func (w *WAL) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.f == nil {
+		w.mu.Unlock()
 		return nil
 	}
+	size := w.size
 	err := w.f.Sync()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
 	w.f = nil
+	w.mu.Unlock()
+
+	w.gmu.Lock()
+	if err == nil && size > w.synced {
+		w.synced = size
+	}
+	if err != nil {
+		w.serr = err
+	}
+	w.syncs++
+	w.gcond.Broadcast()
+	w.gmu.Unlock()
 	return err
 }

@@ -8,9 +8,9 @@ import (
 )
 
 // walScript appends a representative mix of records and returns them.
-func walScript(t *testing.T, path string, syncEach bool) []Record {
+func walScript(t *testing.T, path string) []Record {
 	t.Helper()
-	w, prior, err := OpenWAL(path, syncEach)
+	w, prior, err := OpenWAL(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,22 +18,22 @@ func walScript(t *testing.T, path string, syncEach bool) []Record {
 		t.Fatalf("fresh WAL replayed %d records", len(prior))
 	}
 	recs := []Record{
-		{Op: OpInsert, Version: 1, IDs: []uint64{0, 1, 2}, Entries: []string{"ACGT", "ACGTACGT", "TT"}},
-		{Op: OpRemove, Version: 2, IDs: []uint64{1}},
-		{Op: OpInsert, Version: 3, IDs: []uint64{3}, Entries: []string{"GGGGCCCC"}},
-		{Op: OpCompact, Version: 4},
-		{Op: OpRemove, Version: 5, IDs: []uint64{0, 3}},
-		{Op: OpCompact, Version: 6},
+		{Op: OpInsert, Version: 1, Global: 11, IDs: []uint64{0, 1, 2}, Entries: []string{"ACGT", "ACGTACGT", "TT"}},
+		{Op: OpRemove, Version: 2, Global: 12, IDs: []uint64{1}},
+		{Op: OpInsert, Version: 3, Global: 15, IDs: []uint64{3}, Entries: []string{"GGGGCCCC"}},
+		{Op: OpCompact, Version: 4, Global: 16},
+		{Op: OpRemove, Version: 5, Global: 19, IDs: []uint64{0, 3}},
+		{Op: OpCompact, Version: 6, Global: 20},
 	}
 	for _, r := range recs {
 		var err error
 		switch r.Op {
 		case OpInsert:
-			err = w.AppendInsert(r.Version, r.IDs, r.Entries)
+			err = w.AppendInsert(r.Version, r.Global, r.IDs, r.Entries)
 		case OpRemove:
-			err = w.AppendRemove(r.Version, r.IDs)
+			err = w.AppendRemove(r.Version, r.Global, r.IDs)
 		case OpCompact:
-			err = w.AppendCompact(r.Version)
+			err = w.AppendCompact(r.Version, r.Global)
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -52,7 +52,7 @@ func walScript(t *testing.T, path string, syncEach bool) []Record {
 // and Reset.
 func TestWALRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.wal")
-	recs := walScript(t, path, true)
+	recs := walScript(t, path)
 
 	got, _, err := Replay(path)
 	if err != nil {
@@ -63,14 +63,14 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 
 	// Reopen: the existing records come back and appends continue.
-	w, prior, err := OpenWAL(path, false)
+	w, prior, err := OpenWAL(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(prior, recs) {
 		t.Fatalf("reopen replayed %+v, want %+v", prior, recs)
 	}
-	if err := w.AppendCompact(7); err != nil {
+	if err := w.AppendCompact(7, 21); err != nil {
 		t.Fatal(err)
 	}
 	if w.Records() != int64(len(recs))+1 {
@@ -84,7 +84,7 @@ func TestWALRoundTrip(t *testing.T) {
 	if w.Records() != 0 {
 		t.Errorf("Records() after Reset = %d", w.Records())
 	}
-	if err := w.AppendRemove(8, []uint64{9}); err != nil {
+	if err := w.AppendRemove(8, 22, []uint64{9}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -94,12 +94,12 @@ func TestWALRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Record{{Op: OpRemove, Version: 8, IDs: []uint64{9}}}
+	want := []Record{{Op: OpRemove, Version: 8, Global: 22, IDs: []uint64{9}}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("after Reset, replay = %+v, want %+v", got, want)
 	}
 
-	if err := w.AppendCompact(9); err == nil {
+	if err := w.AppendCompact(9, 23); err == nil {
 		t.Error("append on a closed WAL must error")
 	}
 }
@@ -133,7 +133,7 @@ func isPrefix(got, want []Record) bool {
 func TestWALTruncationProperty(t *testing.T) {
 	dir := t.TempDir()
 	full := filepath.Join(dir, "full.wal")
-	recs := walScript(t, full, false)
+	recs := walScript(t, full)
 	raw, err := os.ReadFile(full)
 	if err != nil {
 		t.Fatal(err)
@@ -159,11 +159,11 @@ func TestWALTruncationProperty(t *testing.T) {
 		// OpenWAL after the crash must land appends on a record boundary:
 		// reopen, append, and the result is still a clean prefix plus the
 		// new record.
-		w, prior, err := OpenWAL(cut, false)
+		w, prior, err := OpenWAL(cut)
 		if err != nil {
 			t.Fatalf("cut at %d: OpenWAL: %v", at, err)
 		}
-		if err := w.AppendCompact(99); err != nil {
+		if err := w.AppendCompact(99, 99); err != nil {
 			t.Fatalf("cut at %d: append after reopen: %v", at, err)
 		}
 		if err := w.Close(); err != nil {
@@ -190,7 +190,7 @@ func TestWALTruncationProperty(t *testing.T) {
 func TestWALCorruptionProperty(t *testing.T) {
 	dir := t.TempDir()
 	full := filepath.Join(dir, "full.wal")
-	recs := walScript(t, full, false)
+	recs := walScript(t, full)
 	raw, err := os.ReadFile(full)
 	if err != nil {
 		t.Fatal(err)

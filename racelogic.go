@@ -100,11 +100,13 @@ type config struct {
 	matrix     string // search only; "" = DNA array
 	seedK      int    // search only; 0 = no k-mer pre-filter
 	fullScan   bool   // search only; bypass the seed index per query
+	shards     int    // database partitions; ≤0 = GOMAXPROCS
 	compaction CompactionPolicy
 	// durability knobs, honored by Persist and Open only.
-	walSync      bool          // fsync every journal append
+	walSync      bool          // fsync every journal append (group-committed)
 	snapInterval time.Duration // background snapshot period; 0 = off
 	snapEvery    int           // mutations between snapshots; 0 = off
+	segBytes     int64         // WAL segment rotation cap; 0 = unbounded
 	// applied records the names of the options used, in order, so the
 	// constructors can reject options that would silently do nothing in
 	// their context (e.g. WithTopK on a single-pair engine).
@@ -133,22 +135,27 @@ func (c *config) firstApplied(names ...string) string {
 // searchOnlyOptions are meaningless on a single-pair engine; engine
 // constructors reject them instead of silently ignoring them.
 var searchOnlyOptions = []string{
-	"WithTopK", "WithWorkers", "WithMatrix", "WithSeedIndex", "WithFullScan",
+	"WithTopK", "WithWorkers", "WithMatrix", "WithSeedIndex", "WithFullScan", "WithShards",
 	"WithCompactionPolicy", "WithSync", "WithSnapshotInterval", "WithSnapshotEvery",
+	"WithWALSegmentBytes",
 }
 
-// databaseFixedOptions shape the compiled engines or the seed index and
-// therefore cannot change per Database.Search call.
+// databaseFixedOptions shape the compiled engines, the seed index, or
+// the partition layout and therefore cannot change per Database.Search
+// call.
 var databaseFixedOptions = []string{
 	"WithLibrary", "WithMatrix", "WithClockGating", "WithOneHotEncoding", "WithSeedIndex",
-	"WithCompactionPolicy", "WithSync", "WithSnapshotInterval", "WithSnapshotEvery",
+	"WithShards", "WithCompactionPolicy", "WithSync", "WithSnapshotInterval",
+	"WithSnapshotEvery", "WithWALSegmentBytes",
 }
 
 // durabilityOptions configure the write-ahead log and background
 // snapshotter; they are accepted by Persist and Open (and
-// WithCompactionPolicy additionally by NewDatabase).
+// WithCompactionPolicy additionally by NewDatabase).  Open additionally
+// accepts WithShards, to reshard a directory in place.
 var durabilityOptions = []string{
 	"WithSync", "WithSnapshotInterval", "WithSnapshotEvery", "WithCompactionPolicy",
+	"WithWALSegmentBytes",
 }
 
 // WithLibrary selects the standard-cell library model: "AMIS" (default)
@@ -284,6 +291,54 @@ func WithFullScan() Option {
 	}
 }
 
+// WithShards partitions a Database into n independent shards by a hash
+// of each entry's stable ID.  Every shard owns its own copy-on-write
+// snapshot, seed index, tombstone accounting, and (when durable)
+// write-ahead-log segment, so mutations landing on different shards
+// proceed under different locks and the per-insert index update costs
+// O(shard), not O(database).  Searches scatter across the shards over
+// one shared worker pool and gather under a deterministic global
+// ranking, so reports are byte-identical (modulo EnginesBuilt) for
+// every shard count.  n ≤ 0 or omitting the option selects
+// runtime.GOMAXPROCS(0).  It is a database-construction option:
+// engines, Search, and Persist reject it; Open accepts it to reshard a
+// durable directory in place.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n > MaxShards {
+			return fmt.Errorf("racelogic: shard count %d exceeds the maximum %d", n, MaxShards)
+		}
+		if n < 0 {
+			n = 0
+		}
+		c.shards = n
+		c.applied = append(c.applied, "WithShards")
+		return nil
+	}
+}
+
+// MaxShards bounds WithShards: beyond a few hundred partitions the
+// per-shard bookkeeping outweighs any lock-spreading benefit.
+const MaxShards = 256
+
+// WithWALSegmentBytes caps the size of one write-ahead-log segment per
+// shard (default DefaultWALSegmentBytes).  When a mutation grows a
+// shard's active segment past the cap, the segment is sealed and the
+// background snapshotter is nudged to fold it into the next snapshot
+// eagerly — so wal_bytes stays bounded even with the count and interval
+// snapshot triggers disabled.  n = 0 disables rotation.  It is a
+// durability option: pass it to Persist or Open.
+func WithWALSegmentBytes(n int64) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("racelogic: WAL segment size %d must be ≥ 0", n)
+		}
+		c.segBytes = n
+		c.applied = append(c.applied, "WithWALSegmentBytes")
+		return nil
+	}
+}
+
 // WithCompactionPolicy replaces the default tombstone-reclamation policy
 // (DefaultCompactionPolicy: compact once tombstones outnumber live
 // entries).  It may be set at NewDatabase, Persist, or Open; the zero
@@ -351,6 +406,7 @@ func buildConfig(opts []Option) (*config, error) {
 		compaction:   DefaultCompactionPolicy,
 		snapInterval: DefaultSnapshotInterval,
 		snapEvery:    DefaultSnapshotEvery,
+		segBytes:     DefaultWALSegmentBytes,
 	}
 	for _, o := range opts {
 		if err := o(c); err != nil {

@@ -30,9 +30,10 @@ wait_up() {
     exit 1
 }
 
-# Cold start: bootstrap the durable directory from a generated corpus.
-# Background snapshots are disabled so recovery exercises the WAL alone.
-"$DIR/raceserve" -addr "$ADDR" -gen 50 -genlen 10 -seedk 4 \
+# Cold start: bootstrap the durable directory from a generated corpus,
+# partitioned into 4 shards (each with its own snapshot + WAL chain).
+# Background snapshots are disabled so recovery exercises the WALs alone.
+"$DIR/raceserve" -addr "$ADDR" -gen 50 -genlen 10 -seedk 4 -shards 4 \
     -wal "$DIR/state" -snapshot-interval 0 -snapshot-every 0 >"$LOG" 2>&1 &
 PID=$!
 wait_up
@@ -62,10 +63,29 @@ if [ "$POST" != "$PRE" ]; then
     exit 1
 fi
 
+# The per-shard gauges must be coherent after recovery: 4 shards whose
+# entries sum to the global count, each shard recovered from its own
+# snapshot + journal tail.
+STATS=$(curl -sf "http://$ADDR/stats")
+SHARDS=$(echo "$STATS" | grep -o '"shard_count":[0-9]*' | cut -d: -f2)
+[ "$SHARDS" = 4 ] || { echo "recovered shard_count = $SHARDS, want 4" >&2; exit 1; }
+SHARD_ARR=$(echo "$STATS" | sed -n 's/.*"shards":\[\(.*\)\].*/\1/p')
+[ -n "$SHARD_ARR" ] || { echo "/stats has no shards[] gauges" >&2; exit 1; }
+SHARD_OBJS=$(echo "$SHARD_ARR" | grep -o '"shard":[0-9]*' | wc -l)
+[ "$SHARD_OBJS" = 4 ] || { echo "shards[] holds $SHARD_OBJS gauge sets, want 4" >&2; exit 1; }
+SHARD_SUM=$(echo "$SHARD_ARR" | grep -o '"entries":[0-9]*' | cut -d: -f2 | awk '{s+=$1} END{print s}')
+if [ "$SHARD_SUM" != "$POST" ]; then
+    echo "per-shard entries sum to $SHARD_SUM, global says $POST" >&2
+    exit 1
+fi
+# The journal tails that performed the recovery must be visible per shard.
+WAL_RECS=$(echo "$SHARD_ARR" | grep -o '"wal_records":[0-9]*' | cut -d: -f2 | awk '{s+=$1} END{print s}')
+[ "$WAL_RECS" -gt 0 ] || { echo "no journal records after WAL-only recovery" >&2; exit 1; }
+
 # And the recovered database still answers searches.
 curl -sf -XPOST "http://$ADDR/search" -d '{"query":"ACGTACGTACGT","top_k":3}' |
     grep -q '"ACGTACGTACGT"' || { echo "recovered database lost the inserted entry" >&2; exit 1; }
 
 kill "$PID" 2>/dev/null || true
 wait "$PID" 2>/dev/null || true
-echo "crashtest: OK — $PRE entries survived kill -9"
+echo "crashtest: OK — $PRE entries survived kill -9 across $SHARDS shards"

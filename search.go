@@ -10,9 +10,13 @@ import (
 // SearchResult is one database entry that survived the race, with the
 // hardware metrics of its individual alignment.
 type SearchResult struct {
-	// Index is the entry's current slot in the database; Sequence is the
-	// entry itself.  Slots are renumbered when a mutated database
-	// compacts its tombstones, so long-lived references should use ID.
+	// Index is the entry's current slot in the database: its position in
+	// the global stable-ID order over every resident slot (live and
+	// tombstoned), which is shard-count-invariant — a database
+	// partitioned with WithShards reports the same Index an
+	// unpartitioned one would.  Slots are renumbered when a mutated
+	// database compacts its tombstones, so long-lived references should
+	// use ID.  Sequence is the entry itself.
 	Index    int
 	Sequence string
 	// ID is the entry's stable identifier: assigned at load or Insert,
@@ -39,7 +43,8 @@ type SearchReport struct {
 	Version int64
 	// Results holds the matches ranked by (Score, Index) ascending,
 	// truncated to WithTopK.  The order is deterministic regardless of
-	// worker count.
+	// worker count and shard count alike — a partitioned database's
+	// scatter-gather merge ranks by the same global coordinates.
 	Results []SearchResult
 	// Scanned, Matched and Rejected count the database entries raced,
 	// the entries that finished below the threshold (including matches

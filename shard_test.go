@@ -1,0 +1,560 @@
+package racelogic_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"racelogic"
+	"racelogic/internal/seqgen"
+	"racelogic/internal/store"
+)
+
+// shardCounts is the partition sweep the determinism properties run
+// over: the degenerate single shard, a power of two, a prime, and a
+// count larger than some test corpora.
+var shardCounts = []int{1, 2, 7, 16}
+
+// TestShardedSearchEquivalence is the tentpole acceptance property:
+// for every shard count, a database driven through the same load and
+// mutation script returns search reports byte-identical (modulo
+// EnginesBuilt) to the single-shard database — results, Index/ID
+// coordinates, aggregates, and the floating-point energy total alike.
+func TestShardedSearchEquivalence(t *testing.T) {
+	buildAll := func(entries []string, opts ...racelogic.Option) map[int]*racelogic.Database {
+		t.Helper()
+		dbs := make(map[int]*racelogic.Database, len(shardCounts))
+		for _, n := range shardCounts {
+			db, err := racelogic.NewDatabase(entries, append([]racelogic.Option{racelogic.WithShards(n)}, opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db.Shards() != n {
+				t.Fatalf("Shards() = %d, want %d", db.Shards(), n)
+			}
+			dbs[n] = db
+		}
+		return dbs
+	}
+	compareAll := func(stage string, dbs map[int]*racelogic.Database, queries []string, opts ...racelogic.Option) {
+		t.Helper()
+		for _, q := range queries {
+			want, err := dbs[1].Search(q, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range shardCounts[1:] {
+				got, err := dbs[n].Search(q, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(stripEngines(want), stripEngines(got)) {
+					t.Errorf("%s: shards=%d query %q: report differs from shards=1:\n got %+v\nwant %+v",
+						stage, n, q, got, want)
+				}
+			}
+		}
+	}
+
+	g := seqgen.NewDNA(131)
+	var entries []string
+	for _, m := range []int{7, 9, 12} {
+		entries = append(entries, g.Database(14, m)...)
+	}
+	queries := []string{g.Random(9), g.Random(12), g.Random(5), g.Random(3)}
+
+	dbs := buildAll(entries, racelogic.WithSeedIndex(4), racelogic.WithTopK(11), racelogic.WithThreshold(18))
+	compareAll("fresh", dbs, queries)
+	compareAll("full-scan", dbs, queries, racelogic.WithFullScan(), racelogic.WithThreshold(-1))
+
+	// Drive every variant through one mutation script: batch inserts
+	// (spanning shards), removes that leave tombstones, removes that
+	// trigger the automatic compaction, and a manual Compact.  The
+	// databases must agree after every step — Version included.
+	batch := []string{g.Random(9), g.Random(12), g.Random(12), g.Random(7)}
+	for _, n := range shardCounts {
+		if _, err := dbs[n].Insert(batch...); err != nil {
+			t.Fatal(err)
+		}
+		if err := dbs[n].Remove(3, 17, 42, 44); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareAll("tombstoned", dbs, queries)
+	for _, n := range shardCounts[1:] {
+		if got, want := dbs[n].Tombstones(), dbs[1].Tombstones(); got != want {
+			t.Errorf("shards=%d: tombstones=%d, want %d", n, got, want)
+		}
+		if !reflect.DeepEqual(dbs[n].IDs(), dbs[1].IDs()) {
+			t.Errorf("shards=%d: IDs %v differ from single-shard %v", n, dbs[n].IDs(), dbs[1].IDs())
+		}
+	}
+	stats := make(map[int]*racelogic.CompactStats, len(shardCounts))
+	for _, n := range shardCounts {
+		st, err := dbs[n].Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats[n] = st
+	}
+	for _, n := range shardCounts[1:] {
+		if !reflect.DeepEqual(stats[n], stats[1]) {
+			t.Errorf("shards=%d: compact stats %+v differ from single-shard %+v", n, stats[n], stats[1])
+		}
+	}
+	compareAll("compacted", dbs, queries)
+	for _, n := range shardCounts[1:] {
+		if dbs[n].Version() != dbs[1].Version() {
+			t.Errorf("shards=%d: version %d, want %d", n, dbs[n].Version(), dbs[1].Version())
+		}
+		if dbs[n].Len() != dbs[1].Len() || dbs[n].Buckets() != dbs[1].Buckets() {
+			t.Errorf("shards=%d: len=%d buckets=%d, want %d/%d",
+				n, dbs[n].Len(), dbs[n].Buckets(), dbs[1].Len(), dbs[1].Buckets())
+		}
+	}
+}
+
+// TestShardedCompactRemapEquivalence pins the global Remap coordinates:
+// the pre→post slot remap of a partitioned compaction must equal the
+// single-shard one exactly.
+func TestShardedCompactRemapEquivalence(t *testing.T) {
+	g := seqgen.NewDNA(137)
+	entries := g.Database(12, 8)
+	var want *racelogic.CompactStats
+	for _, n := range shardCounts {
+		db, err := racelogic.NewDatabase(entries, racelogic.WithShards(n),
+			racelogic.WithCompactionPolicy(racelogic.CompactionPolicy{})) // manual only
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Remove(1, 4, 5, 9, 10); err != nil {
+			t.Fatal(err)
+		}
+		st, err := db.Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 1 {
+			want = st
+			continue
+		}
+		if !reflect.DeepEqual(st, want) {
+			t.Errorf("shards=%d: compact stats %+v differ from single-shard %+v", n, st, want)
+		}
+	}
+}
+
+// TestShardedConcurrentMutationAtomicity is the mid-search atomicity
+// property under partitioning, run with -race in CI: a mutator inserts
+// a multi-entry batch (spanning several of the 7 shards) in one call
+// and removes it in another, while searchers hammer the same query.
+// Every report must see all of the batch or none of it — the one-CAS
+// view publish under test.
+func TestShardedConcurrentMutationAtomicity(t *testing.T) {
+	g := seqgen.NewDNA(139)
+	base := g.Database(10, 10) // length 10: cannot collide with the length-12 batch
+	db, err := racelogic.NewDatabase(base, racelogic.WithSeedIndex(4), racelogic.WithShards(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := g.Random(12)
+	batch := make([]string, 4)
+	for i := range batch {
+		if batch[i], err = g.Mutate(query, 1, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members := make(map[string]bool, len(batch))
+	for _, e := range batch {
+		members[e] = true
+	}
+	if len(members) != len(batch) {
+		t.Skip("mutation collision produced duplicate batch entries; reseed")
+	}
+
+	const rounds, searchers = 30, 6
+	var stop atomic.Bool
+	errs := make(chan error, searchers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for i := 0; i < rounds; i++ {
+			ids, err := db.Insert(batch...)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := db.Remove(ids...); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for w := 0; w < searchers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				rep, err := db.Search(query)
+				if err != nil {
+					errs <- err
+					return
+				}
+				seen := 0
+				for _, r := range rep.Results {
+					if members[r.Sequence] {
+						seen++
+					}
+				}
+				if seen != 0 && seen != len(batch) {
+					errs <- fmt.Errorf("version %d: saw %d of the %d-entry batch — a half-applied multi-shard mutation",
+						rep.Version, seen, len(batch))
+					return
+				}
+				if size, want := rep.Scanned+rep.Skipped, len(base)+seen; size != want {
+					errs <- fmt.Errorf("version %d: scanned+skipped = %d, want %d", rep.Version, size, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if db.Len() != len(base) {
+		t.Errorf("final live size = %d, want %d", db.Len(), len(base))
+	}
+	if got := db.Version(); got < int64(2*rounds) {
+		t.Errorf("version = %d after %d mutations", got, 2*rounds)
+	}
+}
+
+// TestOpenMigratesV1Layout pins the in-place migration: a directory in
+// the pre-shard layout — one db.snap plus one db.wal tail — opens as a
+// sharded database with zero acknowledged mutations lost, and the old
+// files are replaced by the manifest-committed shard layout.
+func TestOpenMigratesV1Layout(t *testing.T) {
+	g := seqgen.NewDNA(149)
+	entries := g.Database(9, 8)
+	dir := t.TempDir()
+
+	// The portable export is exactly the old layout's snapshot file.
+	seedDB, err := racelogic.NewDatabase(entries, racelogic.WithSeedIndex(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seedDB.SaveSnapshot(filepath.Join(dir, racelogic.SnapshotName)); err != nil {
+		t.Fatal(err)
+	}
+	// A journal tail continuing the snapshot: two inserts and a remove
+	// acknowledged after it was taken.
+	tail := []string{g.Random(8), g.Random(11)}
+	w, _, err := store.OpenWAL(filepath.Join(dir, racelogic.WALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert(1, 1, []uint64{9, 10}, tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRemove(2, 2, []uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := racelogic.Open(dir, racelogic.WithSnapshotInterval(0), racelogic.WithSnapshotEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Len() != len(entries)+len(tail)-1 {
+		t.Fatalf("migrated database has %d entries, want %d", db.Len(), len(entries)+len(tail)-1)
+	}
+	if db.Version() != 3 {
+		t.Errorf("migrated version = %d, want 3 (two journaled mutations, then the migration compacts the tombstone)", db.Version())
+	}
+	wantIDs := []uint64{0, 1, 2, 4, 5, 6, 7, 8, 9, 10}
+	if !reflect.DeepEqual(db.IDs(), wantIDs) {
+		t.Errorf("migrated IDs = %v, want %v", db.IDs(), wantIDs)
+	}
+	// The layout is committed: manifest + shard files in, v1 files out.
+	if _, err := os.Stat(filepath.Join(dir, racelogic.ManifestName)); err != nil {
+		t.Errorf("migration left no manifest: %v", err)
+	}
+	for _, old := range []string{racelogic.SnapshotName, racelogic.WALName} {
+		if _, err := os.Stat(filepath.Join(dir, old)); !os.IsNotExist(err) {
+			t.Errorf("migration left the v1 file %s behind (err=%v)", old, err)
+		}
+	}
+	// Searches match a fresh database over the same live set, and the
+	// migrated directory keeps working across a reopen with mutations.
+	live := append(append([]string{}, entries[:3]...), entries[4:]...)
+	live = append(live, tail...)
+	control, err := racelogic.NewDatabase(live, racelogic.WithSeedIndex(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{g.Random(8), g.Random(11)} {
+		want, err := control.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Counters and stable IDs legitimately differ (the fresh control
+		// renumbers from zero; the migrated database keeps its IDs); the
+		// ranked coordinates, scores, and aggregates must match exactly.
+		want.Version, got.Version = 0, 0
+		for i := range want.Results {
+			want.Results[i].ID = 0
+		}
+		for i := range got.Results {
+			got.Results[i].ID = 0
+		}
+		if !reflect.DeepEqual(stripEngines(want), stripEngines(got)) {
+			t.Errorf("query %q: migrated report differs from control:\n got %+v\nwant %+v", q, got, want)
+		}
+	}
+	ids, err := db.Insert(g.Random(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != 11 {
+		t.Errorf("post-migration insert assigned ID %d, want 11", ids[0])
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := racelogic.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != db.Len() || back.Version() != db.Version() {
+		t.Errorf("reopened migrated dir: len=%d version=%d, want %d/%d",
+			back.Len(), back.Version(), db.Len(), db.Version())
+	}
+}
+
+// TestOpenReshardsInPlace pins WithShards on Open: the directory is
+// rewritten under the new partition count with nothing lost, and the
+// new layout is what later default opens recover.
+func TestOpenReshardsInPlace(t *testing.T) {
+	g := seqgen.NewDNA(151)
+	dir := t.TempDir()
+	db, err := racelogic.NewDatabase(g.Database(10, 9), racelogic.WithSeedIndex(4), racelogic.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(dir, racelogic.WithSnapshotInterval(0), racelogic.WithSnapshotEvery(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert(g.Random(9), g.Random(13)); err != nil {
+		t.Fatal(err)
+	}
+	wantIDs, wantLen, wantVersion := db.IDs(), db.Len(), db.Version()
+	query := g.Random(9)
+	want, err := db.Search(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := racelogic.Open(dir, racelogic.WithShards(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards() != 5 {
+		t.Fatalf("resharded Shards() = %d, want 5", res.Shards())
+	}
+	if res.Len() != wantLen || res.Version() != wantVersion || !reflect.DeepEqual(res.IDs(), wantIDs) {
+		t.Fatalf("reshard changed the database: len=%d version=%d ids=%v", res.Len(), res.Version(), res.IDs())
+	}
+	got, err := res.Search(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripEngines(want), stripEngines(got)) {
+		t.Errorf("resharded report differs:\n got %+v\nwant %+v", got, want)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := racelogic.Open(dir) // no WithShards: the dir's count rules
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Shards() != 5 {
+		t.Errorf("reopened Shards() = %d, want the resharded 5", back.Shards())
+	}
+}
+
+// TestWALSegmentRotationBoundsJournal pins the rotation satellite: with
+// the count and interval snapshot triggers disabled, a tiny segment cap
+// still keeps the journal bounded, because each sealed segment nudges
+// the snapshotter to fold it away eagerly.
+func TestWALSegmentRotationBoundsJournal(t *testing.T) {
+	g := seqgen.NewDNA(157)
+	dir := t.TempDir()
+	db, err := racelogic.NewDatabase(g.Database(4, 8), racelogic.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persist(dir,
+		racelogic.WithSnapshotInterval(0), racelogic.WithSnapshotEvery(0),
+		racelogic.WithWALSegmentBytes(256)); err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 60; i++ {
+		if _, err := db.Insert(g.Random(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Snapshots() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("segment rotation never triggered an eager snapshot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Once the snapshotter has caught up, the journal must be far below
+	// what 60 journaled inserts would otherwise hold.  Poll: inserts and
+	// checkpoints interleave, so the bound holds at quiescence.
+	for db.WALBytes() > 4*256 {
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never folded: wal_bytes=%d after rotation-triggered snapshots (segments=%d)",
+				db.WALBytes(), db.WALSegments())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if db.SnapshotFailures() != 0 {
+		t.Errorf("%d snapshot failures during rotation folding", db.SnapshotFailures())
+	}
+	// Recovery from the segmented layout works.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := racelogic.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != 64 {
+		t.Errorf("recovered %d entries from the rotated layout, want 64", back.Len())
+	}
+}
+
+// TestShardedCrashRecovery reruns the durability acceptance property at
+// an explicit non-default shard count: recovery from per-shard journal
+// tails is byte-identical to a never-killed control.
+func TestShardedCrashRecovery(t *testing.T) {
+	g := seqgen.NewDNA(163)
+	gCtl := seqgen.NewDNA(163)
+	dir := t.TempDir()
+	opts := []racelogic.Option{racelogic.WithSeedIndex(4), racelogic.WithTopK(10), racelogic.WithShards(7)}
+	durable, err := racelogic.NewDatabase(g.Database(8, 10), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.Persist(dir, racelogic.WithSnapshotInterval(0), racelogic.WithSnapshotEvery(0)); err != nil {
+		t.Fatal(err)
+	}
+	control, err := racelogic.NewDatabase(gCtl.Database(8, 10), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutationScript(t, durable, g)
+	mutationScript(t, control, gCtl)
+	if durable.WALRecords() == 0 {
+		t.Fatal("test is vacuous: no journaled mutations to recover")
+	}
+	durable = nil // crash
+
+	back, err := racelogic.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Shards() != 7 {
+		t.Fatalf("recovered Shards() = %d, want 7", back.Shards())
+	}
+	if back.Len() != control.Len() || back.Version() != control.Version() ||
+		back.Tombstones() != control.Tombstones() || !reflect.DeepEqual(back.IDs(), control.IDs()) {
+		t.Fatalf("recovered shape differs: len %d/%d version %d/%d tombstones %d/%d",
+			back.Len(), control.Len(), back.Version(), control.Version(),
+			back.Tombstones(), control.Tombstones())
+	}
+	for _, q := range []string{g.Random(12), g.Random(9)} {
+		want, err := control.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripEngines(want), stripEngines(got)) {
+			t.Errorf("query %q: recovered report differs:\n got %+v\nwant %+v", q, got, want)
+		}
+	}
+}
+
+// TestShardedSnapshotExport pins the portable-export round trip under
+// partitioning: a mutated 7-shard seeded database exports to one file
+// (its per-shard indexes merged, not re-tokenized) and reopens with
+// byte-identical seeded reports.
+func TestShardedSnapshotExport(t *testing.T) {
+	g := seqgen.NewDNA(167)
+	db, err := racelogic.NewDatabase(g.Database(12, 10), racelogic.WithSeedIndex(4), racelogic.WithShards(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert(g.Random(10), g.Random(13)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "export.snap")
+	if err := db.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := racelogic.OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SeedK() != 4 || back.Len() != db.Len() || back.Version() != db.Version() {
+		t.Fatalf("reopened export: seedk=%d len=%d version=%d, want 4/%d/%d",
+			back.SeedK(), back.Len(), back.Version(), db.Len(), db.Version())
+	}
+	for _, q := range []string{g.Random(10), g.Random(13), g.Random(3)} {
+		want, err := db.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripEngines(want), stripEngines(got)) {
+			t.Errorf("query %q: exported report differs:\n got %+v\nwant %+v", q, got, want)
+		}
+	}
+}

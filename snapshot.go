@@ -3,62 +3,82 @@ package racelogic
 import (
 	"fmt"
 
+	"racelogic/internal/index"
 	"racelogic/internal/store"
 	"racelogic/internal/tech"
 )
 
 // SaveSnapshot persists the database to path as a versioned,
-// checksummed binary snapshot: every live entry with its stable ID, the
-// options fingerprint that shaped the engines, the serialized seed
-// index, and the mutation/ID counters.  The file is written to a
+// checksummed binary snapshot: every live entry with its stable ID in
+// global ID order, the options fingerprint that shaped the engines, and
+// the mutation/ID counters — one portable file regardless of how the
+// database is partitioned in memory.  The file is written to a
 // temporary sibling and renamed into place, so a crash mid-save leaves
 // any previous snapshot intact.
 //
 // Tombstones are compacted first (bumping Version if there were any),
-// so the saved slot numbering is exactly the in-memory one: a database
+// so the saved numbering is exactly the in-memory one: a database
 // reopened with OpenSnapshot returns byte-identical search reports,
-// modulo EnginesBuilt.  Concurrent searches are never blocked; Insert
-// and Remove wait for the serialization to finish.
+// modulo EnginesBuilt, whatever shard count either side runs with.
+// Concurrent searches are never blocked; Insert and Remove wait for the
+// compaction (not the file write) to finish.
 //
 // SaveSnapshot is the portable export path; it does not interact with a
 // durable database's own snapshot/WAL directory — use Checkpoint for
 // that.
 func (d *Database) SaveSnapshot(path string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	st := d.state.Load()
-	next, _, err := d.compactDurable(st)
+	_, v, err := d.compactAll(false, true)
 	if err != nil {
 		return err
 	}
-	if next != st {
-		d.state.Store(next)
-		st = next
+	entries, ids := flatten(v)
+	// The per-shard seed indexes are partition-local, so the export
+	// merges them into one global index over the flattened order (and
+	// reopening partitions it back) — neither direction re-tokenizes a
+	// single sequence.
+	var ix *index.Index
+	if d.cfg.seedK > 0 {
+		globalIdx := make(map[uint64]int, len(ids))
+		for i, id := range ids {
+			globalIdx[id] = i
+		}
+		parts := make([]*index.Index, len(v.states))
+		for s, st := range v.states {
+			parts[s] = st.idx
+		}
+		if ix, err = index.Merge(parts, len(entries), func(sh, local int) int {
+			return globalIdx[v.states[sh].ids[local]]
+		}); err != nil {
+			return err
+		}
 	}
-	return store.WriteFile(path, d.snapshotPayload(st))
+	return store.WriteFile(path, &store.Snapshot{
+		Options:       d.storeOptions(),
+		Shard:         0,
+		ShardCount:    1,
+		Version:       v.version,
+		GlobalVersion: v.version,
+		NextID:        d.nextID.Load(),
+		IDs:           ids,
+		Entries:       entries,
+		Index:         ix,
+	})
 }
 
-// snapshotPayload assembles the serializable form of one compacted
-// state.  Caller holds d.mu (nextID) and guarantees st is dense; the
-// returned struct shares st's immutable slices, so it stays valid for
-// writing after the lock is released.
-func (d *Database) snapshotPayload(st *dbstate) *store.Snapshot {
-	return &store.Snapshot{
-		Options: store.Options{
-			Library:    d.cfg.library.Name,
-			Matrix:     d.cfg.matrix,
-			GateRegion: d.cfg.gateRegion,
-			OneHot:     d.cfg.oneHot,
-			SeedK:      d.cfg.seedK,
-			Threshold:  d.cfg.threshold,
-			TopK:       d.cfg.topK,
-			Workers:    d.cfg.workers,
-		},
-		Version: st.snap.Version(),
-		NextID:  d.nextID,
-		IDs:     st.ids,
-		Entries: st.snap.Entries(),
-		Index:   st.idx,
+// storeOptions is the construction fingerprint serialized with every
+// snapshot (shard files and portable exports alike).  The shard count
+// is deliberately not part of it: partitioning never changes a report,
+// so a snapshot may reopen under any count.
+func (d *Database) storeOptions() store.Options {
+	return store.Options{
+		Library:    d.cfg.library.Name,
+		Matrix:     d.cfg.matrix,
+		GateRegion: d.cfg.gateRegion,
+		OneHot:     d.cfg.oneHot,
+		SeedK:      d.cfg.seedK,
+		Threshold:  d.cfg.threshold,
+		TopK:       d.cfg.topK,
+		Workers:    d.cfg.workers,
 	}
 }
 
@@ -81,26 +101,18 @@ func configFromStoreOptions(o store.Options) (*config, error) {
 		compaction:   DefaultCompactionPolicy,
 		snapInterval: DefaultSnapshotInterval,
 		snapEvery:    DefaultSnapshotEvery,
+		segBytes:     DefaultWALSegmentBytes,
 	}, nil
-}
-
-// openStored turns a deserialized snapshot into a Database under cfg.
-func openStored(cfg *config, s *store.Snapshot, path string) (*Database, error) {
-	if s.Index != nil && s.Index.K() != cfg.seedK {
-		return nil, fmt.Errorf("%s: snapshot index has k=%d but the fingerprint says %d", path, s.Index.K(), cfg.seedK)
-	}
-	d, err := assembleDatabase(cfg, s.Entries, s.IDs, s.NextID, s.Version, s.Index)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return d, nil
 }
 
 // OpenSnapshot loads a database saved by SaveSnapshot.  The engine
 // options, per-search defaults, entries, stable IDs, mutation version,
 // and seed index all come from the file — no options are passed here,
-// so a snapshot always reopens exactly as it was saved.  The checksum
-// and structural invariants are verified before anything is built.
+// so a snapshot always reopens exactly as it was saved (the stored
+// global index is partitioned across the shards instead of re-built
+// from the sequences, and the partition count defaults to GOMAXPROCS —
+// partitioning never changes a report).  The checksum and structural
+// invariants are verified before anything is built.
 //
 // The result is memory-only: mutations are not journaled.  For a
 // crash-safe database use Open on a directory instead.
@@ -109,9 +121,20 @@ func OpenSnapshot(path string) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.ShardCount != 1 {
+		return nil, fmt.Errorf("racelogic: %s is shard %d of a %d-shard layout, not a portable snapshot; use Open on its directory",
+			path, s.Shard, s.ShardCount)
+	}
 	cfg, err := configFromStoreOptions(s.Options)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return openStored(cfg, s, path)
+	if s.Index != nil && s.Index.K() != cfg.seedK {
+		return nil, fmt.Errorf("%s: snapshot index has k=%d but the fingerprint says %d", path, s.Index.K(), cfg.seedK)
+	}
+	d, err := assembleDatabase(cfg, s.Entries, s.IDs, s.NextID, s.GlobalVersion, s.Index)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
 }
