@@ -354,6 +354,35 @@ func BenchmarkSearchOneShot10k(b *testing.B) {
 	}
 }
 
+// BenchmarkBackendFullScan races an identical warm full-scan workload
+// on each simulation backend.  The sub-benchmark pair is the input to
+// scripts/benchcompare.sh, the CI guard that fails when the event
+// backend stops being faster than the cycle-accurate reference.
+func BenchmarkBackendFullScan(b *testing.B) {
+	gen := seqgen.NewDNA(77)
+	query := gen.Random(24)
+	entries := gen.Database(400, 24)
+	for _, backend := range []Backend{BackendCycle, BackendEvent} {
+		b.Run(backend.String(), func(b *testing.B) {
+			d, err := NewDatabase(entries, WithBackend(backend))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Search(query); err != nil { // warm the pools
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := d.Search(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.TotalCycles), "cycles")
+			}
+		})
+	}
+}
+
 // BenchmarkSystolicCompare measures the baseline's comparison pipeline.
 func BenchmarkSystolicCompare(b *testing.B) {
 	arr, err := systolic.New(20, DNAAlphabet)

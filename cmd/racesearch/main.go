@@ -17,7 +17,7 @@
 //
 //	racesearch [-db FILE | -snapshot FILE] [-lib AMIS|OSU] [-threshold T]
 //	           [-top K] [-workers N] [-matrix BLOSUM62|PAM250] [-gate m]
-//	           [-seedk K] [-shards N] QUERY [FILE]
+//	           [-seedk K] [-shards N] [-backend cycle|event] QUERY [FILE]
 //
 // Examples:
 //
@@ -49,7 +49,13 @@ func main() {
 	gate := flag.Int("gate", 0, "Section 4.3 clock-gating region size (0 = ungated; DNA only)")
 	seedK := flag.Int("seedk", 0, "k-mer seed index length (0 = race every entry)")
 	shards := flag.Int("shards", 0, "database shard count (0 = GOMAXPROCS)")
+	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference) or event (fast)")
 	flag.Parse()
+	backend, err := racelogic.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racesearch:", err)
+		os.Exit(2)
+	}
 	if flag.NArg() < 1 || flag.NArg() > 2 || (*dbFile != "" && flag.NArg() == 2) {
 		fmt.Fprintln(os.Stderr, "usage: racesearch [flags] QUERY [FILE]   (FILE and -db are exclusive)")
 		flag.PrintDefaults()
@@ -58,7 +64,7 @@ func main() {
 	// The loaders uppercase database sequences; treat the query alike.
 	query := strings.ToUpper(flag.Arg(0))
 
-	db, err := resolveDatabase(*snapshot, *dbFile, flag.Args(), *lib, *matrix, *gate, *seedK, *shards)
+	db, err := resolveDatabase(*snapshot, *dbFile, flag.Args(), *lib, *matrix, *gate, *seedK, *shards, backend)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racesearch:", err)
 		os.Exit(1)
@@ -71,11 +77,12 @@ func main() {
 
 // resolveDatabase produces the Database to race: an existing snapshot
 // wins (it carries its own engine options — shaping flags the user set
-// explicitly alongside it are rejected as contradictory); otherwise the
-// entries are loaded, a database built, and, when -snapshot names a
+// explicitly alongside it are rejected as contradictory, except
+// -backend, the one runtime choice a snapshot does not fix); otherwise
+// the entries are loaded, a database built, and, when -snapshot names a
 // fresh path, saved there for the next run.
 func resolveDatabase(snapshot, dbFile string, args []string,
-	lib, matrix string, gate, seedK, shards int) (*racelogic.Database, error) {
+	lib, matrix string, gate, seedK, shards int, backend racelogic.Backend) (*racelogic.Database, error) {
 
 	if snapshot != "" {
 		if _, err := os.Stat(snapshot); err == nil {
@@ -93,7 +100,7 @@ func resolveDatabase(snapshot, dbFile string, args []string,
 				return nil, fmt.Errorf("snapshot %s already fixes the database and engine options; drop %s",
 					snapshot, strings.Join(conflict, ", "))
 			}
-			return racelogic.OpenSnapshot(snapshot)
+			return racelogic.OpenSnapshot(snapshot, racelogic.WithBackend(backend))
 		} else if !os.IsNotExist(err) {
 			return nil, err
 		}
@@ -102,7 +109,7 @@ func resolveDatabase(snapshot, dbFile string, args []string,
 	if err != nil {
 		return nil, err
 	}
-	db, err := buildDatabase(entries, lib, matrix, gate, seedK, shards)
+	db, err := buildDatabase(entries, lib, matrix, gate, seedK, shards, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -126,8 +133,8 @@ func loadDB(dbFile string, args []string) ([]string, error) {
 }
 
 // buildDatabase maps the engine-shaping flags onto a Database.
-func buildDatabase(entries []string, lib, matrix string, gate, seedK, shards int) (*racelogic.Database, error) {
-	opts := []racelogic.Option{racelogic.WithLibrary(lib)}
+func buildDatabase(entries []string, lib, matrix string, gate, seedK, shards int, backend racelogic.Backend) (*racelogic.Database, error) {
+	opts := []racelogic.Option{racelogic.WithLibrary(lib), racelogic.WithBackend(backend)}
 	if matrix != "" {
 		opts = append(opts, racelogic.WithMatrix(matrix))
 	}
@@ -148,7 +155,7 @@ func buildDatabase(entries []string, lib, matrix string, gate, seedK, shards int
 func run(w io.Writer, query string, entries []string, lib string, threshold int64,
 	top, workers int, matrix string, gate, seedK int) error {
 
-	db, err := buildDatabase(entries, lib, matrix, gate, seedK, 0)
+	db, err := buildDatabase(entries, lib, matrix, gate, seedK, 0, racelogic.BackendCycle)
 	if err != nil {
 		return err
 	}

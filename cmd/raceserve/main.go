@@ -33,6 +33,11 @@
 //	                     own snapshot, seed index, and WAL segment chain
 //	-cache N             LRU report-cache capacity (0 = off)
 //	-top K               default top-K when a request omits top_k
+//	-backend NAME        simulation engine: cycle (the cycle-accurate
+//	                     reference) or event (the event-driven fast path;
+//	                     identical reports, fewer wall-clock seconds).
+//	                     A runtime choice — valid with -wal and -snapshot
+//	                     state from either backend
 //	-wal DIR             durable state directory: recover from it if it
 //	                     holds a database (ignoring -db/-gen and the
 //	                     engine-shaping flags, which the state carries),
@@ -103,6 +108,7 @@ type options struct {
 	shards       int
 	cache        int
 	top          int
+	backend      racelogic.Backend
 	snapshot     string
 	walDir       string
 	snapInterval time.Duration
@@ -125,6 +131,7 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 0, "database shard count (0 = GOMAXPROCS); with -wal, reshards a recovered directory in place")
 	flag.IntVar(&o.cache, "cache", 128, "LRU report-cache capacity (0 = off)")
 	flag.IntVar(&o.top, "top", 10, "default top-K when a request omits top_k")
+	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference) or event (fast)")
 	flag.StringVar(&o.snapshot, "snapshot", "", "legacy snapshot file: load it if present, save on SIGTERM/SIGINT only")
 	flag.StringVar(&o.walDir, "wal", "", "durable state directory: write-ahead log + background snapshots, crash-safe")
 	flag.DurationVar(&o.snapInterval, "snapshot-interval", racelogic.DefaultSnapshotInterval,
@@ -135,6 +142,12 @@ func main() {
 	flag.Int64Var(&o.segBytes, "wal-segment-bytes", racelogic.DefaultWALSegmentBytes,
 		"seal a shard's journal segment past this size and fold it into the next snapshot (0 = never rotate)")
 	flag.Parse()
+	backend, err := racelogic.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raceserve:", err)
+		os.Exit(2)
+	}
+	o.backend = backend
 
 	srv, db, err := buildServer(o)
 	if err != nil {
@@ -232,7 +245,7 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 		// below only on ErrNoDatabase.  Corruption must fail loudly,
 		// never fall back to a cold load that would shadow the real
 		// state.
-		openOpts := durabilityOptions(o)
+		openOpts := append(durabilityOptions(o), racelogic.WithBackend(o.backend))
 		if o.shards > 0 {
 			openOpts = append(openOpts, racelogic.WithShards(o.shards))
 		}
@@ -247,7 +260,7 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 	}
 	if o.snapshot != "" {
 		if _, err := os.Stat(o.snapshot); err == nil {
-			db, err := racelogic.OpenSnapshot(o.snapshot)
+			db, err := racelogic.OpenSnapshot(o.snapshot, racelogic.WithBackend(o.backend))
 			if err != nil {
 				return nil, err
 			}
@@ -269,7 +282,7 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 		return nil, fmt.Errorf("%w (a database is required: -db FILE, -gen N, or a -wal/-snapshot state that exists)", err)
 	}
 
-	opts := []racelogic.Option{racelogic.WithLibrary(o.lib)}
+	opts := []racelogic.Option{racelogic.WithLibrary(o.lib), racelogic.WithBackend(o.backend)}
 	if o.matrix != "" {
 		opts = append(opts, racelogic.WithMatrix(o.matrix))
 	}

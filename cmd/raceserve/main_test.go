@@ -7,8 +7,10 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
+	"racelogic"
 	"racelogic/internal/server"
 )
 
@@ -239,5 +241,105 @@ func TestWALFlagConflicts(t *testing.T) {
 	}
 	if _, _, err := buildServer(options{gen: 5, genLen: 8, lib: "AMIS", walDir: bad}); err == nil {
 		t.Error("corrupt -wal state must error, not fall back to -gen")
+	}
+}
+
+// TestBackendFlag pins the -backend plumbing end to end: the gauge in
+// GET /stats names the engine the database runs on, and a server on the
+// event backend answers /search byte-for-byte like the cycle reference
+// (modulo the per-request timing fields).
+func TestBackendFlag(t *testing.T) {
+	base := options{gen: 15, genLen: 8, seed: 11, lib: "AMIS", cache: 0, top: 5}
+
+	responses := map[racelogic.Backend]server.SearchResponse{}
+	for _, backend := range []racelogic.Backend{racelogic.BackendCycle, racelogic.BackendEvent} {
+		o := base
+		o.backend = backend
+		srv, db, err := buildServer(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.Backend() != backend {
+			t.Fatalf("database backend %v, want %v", db.Backend(), backend)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats server.StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if stats.Backend != backend.String() {
+			t.Fatalf("/stats backend %q, want %q", stats.Backend, backend)
+		}
+
+		resp, err = http.Post(ts.URL+"/search", "application/json",
+			bytes.NewBufferString(`{"query":"ACGTACGT","top_k":5}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search status %d, want 200", resp.StatusCode)
+		}
+		var sr server.SearchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		sr.ElapsedUS, sr.Cached, sr.EnginesBuilt = 0, false, 0
+		responses[backend] = sr
+	}
+	if !reflect.DeepEqual(responses[racelogic.BackendCycle], responses[racelogic.BackendEvent]) {
+		t.Fatalf("backends answered differently:\ncycle: %+v\nevent: %+v",
+			responses[racelogic.BackendCycle], responses[racelogic.BackendEvent])
+	}
+}
+
+// TestBackendWithWarmStarts pins that -backend composes with both warm
+// paths: a legacy snapshot file and a durable -wal directory, each
+// written by the cycle backend and reopened on the event one.
+func TestBackendWithWarmStarts(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "db.snap")
+	cold := options{gen: 10, genLen: 8, seed: 13, lib: "AMIS", top: 5, snapshot: snap}
+	_, db, err := buildServer(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	warm := cold
+	warm.backend = racelogic.BackendEvent
+	_, wdb, err := buildServer(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wdb.Backend() != racelogic.BackendEvent || wdb.Len() != db.Len() {
+		t.Fatalf("snapshot warm start: backend %v len %d, want event and %d", wdb.Backend(), wdb.Len(), db.Len())
+	}
+
+	walDir := filepath.Join(t.TempDir(), "state")
+	durable := options{gen: 10, genLen: 8, seed: 13, lib: "AMIS", top: 5, walDir: walDir}
+	_, ddb, err := buildServer(durable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ddb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := durable
+	reopened.backend = racelogic.BackendEvent
+	_, rdb, err := buildServer(reopened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb.Close()
+	if rdb.Backend() != racelogic.BackendEvent || rdb.Len() != ddb.Len() {
+		t.Fatalf("wal warm start: backend %v len %d, want event and %d", rdb.Backend(), rdb.Len(), ddb.Len())
 	}
 }

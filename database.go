@@ -963,6 +963,10 @@ func (d *Database) IDs() []uint64 {
 // without WithSeedIndex.
 func (d *Database) SeedK() int { return d.cfg.seedK }
 
+// Backend returns the simulation engine the database's races run on,
+// fixed at construction by WithBackend (default BackendCycle).
+func (d *Database) Backend() Backend { return d.cfg.backend }
+
 // EnginesBuilt returns the number of arrays compiled over the database's
 // lifetime, across all searches, shapes, and shards — the quantity
 // engine pooling amortizes (all shards share one pool set).

@@ -120,8 +120,10 @@ func (p CompactionPolicy) due(dead, live int) bool {
 // durabilityConfig layers durability options over base and rejects
 // anything else: callers of Persist and Open configure the journals and
 // snapshotter here, never the engines (a snapshot fixes those).  Open
-// additionally accepts WithShards, the reshard-in-place request.
-func durabilityConfig(base *config, opts []Option, allowShards bool) (*config, error) {
+// (reopen=true) additionally accepts WithShards — the reshard-in-place
+// request — and WithBackend, the runtime simulation-engine choice that
+// is deliberately outside the snapshot fingerprint.
+func durabilityConfig(base *config, opts []Option, reopen bool) (*config, error) {
 	cfg := *base
 	cfg.applied = nil
 	for _, o := range opts {
@@ -130,8 +132,8 @@ func durabilityConfig(base *config, opts []Option, allowShards bool) (*config, e
 		}
 	}
 	allowed := durabilityOptions
-	if allowShards {
-		allowed = append(append([]string(nil), durabilityOptions...), "WithShards")
+	if reopen {
+		allowed = append(append([]string(nil), durabilityOptions...), "WithShards", "WithBackend")
 	}
 	for _, name := range cfg.applied {
 		ok := false
@@ -316,7 +318,9 @@ func (d *Database) attachDurability(dir string, cfg *config, v *dbview, savedAt 
 // The engine options come from the snapshot fingerprints; only
 // durability options may be passed (WithSync, WithSnapshotInterval,
 // WithSnapshotEvery, WithCompactionPolicy, WithWALSegmentBytes), plus
-// WithShards to reshard the directory in place.
+// WithShards to reshard the directory in place and WithBackend to pick
+// the simulation engine — both runtime choices a snapshot deliberately
+// does not fix, because neither changes a report.
 //
 // The database resumes journaling and background snapshotting in dir.
 // Call Close to shut it down cleanly.

@@ -45,12 +45,14 @@ func NewDNAEngine(n, m int, opts ...Option) (*DNAEngine, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.gated.SetBackend(cfg.backend)
 		e.area = cfg.library.AreaUM2(e.gated.Netlist())
 	} else {
 		e.plain, err = race.NewArray(n, m)
 		if err != nil {
 			return nil, err
 		}
+		e.plain.SetBackend(cfg.backend)
 		e.area = cfg.library.AreaUM2(e.plain.Netlist())
 	}
 	return e, nil
@@ -150,6 +152,7 @@ func NewProteinEngine(n, m int, matrixName string, opts ...Option) (*ProteinEngi
 	if err != nil {
 		return nil, err
 	}
+	arr.SetBackend(cfg.backend)
 	return &ProteinEngine{
 		cfg:    cfg,
 		arr:    arr,

@@ -1,0 +1,150 @@
+package racelogic_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"racelogic"
+	"racelogic/internal/seqgen"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// goldenCompare marshals got, then either rewrites the golden file
+// (-update) or requires a byte-identical match with it.  Every golden
+// test runs its workload under both backends against the same file, so
+// the corpus pins cycle-accurate behavior AND proves the event backend
+// reproduces it — a regression in either shows up as a diff.
+func goldenCompare(t *testing.T, name string, got any) {
+	t.Helper()
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", "golden", name+".json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGolden -update` to create golden files)", err)
+	}
+	if !bytes.Equal(want, data) {
+		t.Fatalf("%s does not match golden file; diff the file against this output or rerun with -update if the change is intended:\n%s", path, data)
+	}
+}
+
+// goldenEntries is the fixed corpus every golden search runs against.
+func goldenEntries() []string {
+	gen := seqgen.NewDNA(400)
+	entries := make([]string, 0, 12)
+	for _, n := range []int{4, 6, 6, 8, 8, 8, 10, 10, 12, 5, 7, 9} {
+		entries = append(entries, gen.Random(n))
+	}
+	return entries
+}
+
+// TestGoldenSearchReports pins the full SearchReport — ranking, scores,
+// stable IDs, scan counters, cycle totals, energy — for a deterministic
+// database under each engine configuration, and checks both backends
+// against the same files.
+func TestGoldenSearchReports(t *testing.T) {
+	entries := goldenEntries()
+	queries := []string{"ACGTACGT", "TTTTTT", "GATTACA"}
+	variants := []struct {
+		name string
+		opts []racelogic.Option
+	}{
+		{"plain", nil},
+		{"gated", []racelogic.Option{racelogic.WithClockGating(2)}},
+		{"threshold_topk", []racelogic.Option{racelogic.WithThreshold(7), racelogic.WithTopK(3)}},
+		{"seeded", []racelogic.Option{racelogic.WithSeedIndex(3)}},
+	}
+	for _, v := range variants {
+		for _, backend := range []racelogic.Backend{racelogic.BackendCycle, racelogic.BackendEvent} {
+			if *update && backend != racelogic.BackendCycle {
+				continue // golden files are written from the reference backend
+			}
+			opts := append([]racelogic.Option{
+				racelogic.WithBackend(backend),
+				racelogic.WithWorkers(1),
+			}, v.opts...)
+			d, err := racelogic.NewDatabase(entries, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", v.name, err)
+			}
+			reports := make([]*racelogic.SearchReport, 0, len(queries))
+			for _, q := range queries {
+				rep, err := d.Search(q)
+				if err != nil {
+					t.Fatalf("%s (%v) %q: %v", v.name, backend, q, err)
+				}
+				rep.EnginesBuilt = 0 // pool-timing dependent, excluded from the pin
+				reports = append(reports, rep)
+			}
+			goldenCompare(t, "search_"+v.name, reports)
+		}
+	}
+}
+
+// TestGoldenAlignments pins single-pair alignments — score, traceback
+// rows, the full timing matrix, and metrics — for the DNA and protein
+// engines under both backends.
+func TestGoldenAlignments(t *testing.T) {
+	type alignmentCase struct {
+		Name      string
+		P, Q      string
+		Alignment *racelogic.Alignment
+	}
+
+	dna := []struct{ p, q string }{
+		{"GATTACA", "GCATGCA"},
+		{"ACGT", "ACGT"},
+		{"AAAA", "TTTTTT"},
+	}
+	prot := []struct{ p, q string }{
+		{"ARND", "ARNE"},
+		{"WYV", "WYV"},
+	}
+
+	for _, backend := range []racelogic.Backend{racelogic.BackendCycle, racelogic.BackendEvent} {
+		if *update && backend != racelogic.BackendCycle {
+			continue
+		}
+		var cases []alignmentCase
+		for _, c := range dna {
+			e, err := racelogic.NewDNAEngine(len(c.p), len(c.q), racelogic.WithBackend(backend))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := e.Align(c.p, c.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases = append(cases, alignmentCase{"dna", c.p, c.q, a})
+		}
+		for _, c := range prot {
+			e, err := racelogic.NewProteinEngine(len(c.p), len(c.q), "BLOSUM62", racelogic.WithBackend(backend))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := e.Align(c.p, c.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cases = append(cases, alignmentCase{"protein", c.p, c.q, a})
+		}
+		goldenCompare(t, "alignments", cases)
+	}
+}

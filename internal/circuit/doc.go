@@ -15,4 +15,16 @@
 // The builder half of the package (Netlist) is write-once: gates and nets
 // are appended, then Compile levelizes the combinational logic (detecting
 // combinational loops) and returns an immutable Simulator.
+//
+// Simulation is abstracted behind the Backend interface, which two
+// engines implement: the Simulator in this package — the cycle-accurate
+// reference, settling the whole netlist every clock edge exactly as the
+// paper's Verilog/Modelsim loop did — and the event-driven engine in
+// the circuit/event subpackage, which propagates only actual net
+// changes and fast-forwards over quiescent stretches.  The two are
+// contractually byte-identical in every observable (values, arrival
+// times, toggle counts, clocked-cycle counts, the Activity report); the
+// differential harness in internal/oracle enforces that contract with
+// property tests and fuzzing, keeping this Simulator as the oracle and
+// the event engine as the fast path.
 package circuit

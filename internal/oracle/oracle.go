@@ -1,0 +1,266 @@
+// Package oracle is the differential-testing harness that licenses the
+// event-driven simulation backend: the cycle-accurate simulator is the
+// oracle, and every observable — per-net values, first-arrival times,
+// toggle counts, cycle counters, and the full Activity report — must be
+// identical between the two backends after every operation, on every
+// netlist, under every stimulus.
+//
+// The harness has two generator halves sharing one decoder:
+//
+//   - property tests drive the decoder from a seeded math/rand source,
+//     sweeping thousands of random netlists and stimulus scripts per
+//     test run;
+//   - FuzzEventBackendEquivalence drives the same decoder from raw
+//     fuzzer bytes, so coverage-guided mutation explores netlist and
+//     schedule shapes no seed thought of.
+//
+// Higher layers get their own differential coverage in oracle_test.go:
+// the three race arrays (plain, clock-gated, generalized) and whole
+// Databases across shard counts are raced under both backends and the
+// resulting AlignResults/SearchReports compared field by field.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"racelogic/internal/circuit"
+	"racelogic/internal/circuit/event"
+)
+
+// Source is the decision stream a generator consumes: Next(n) yields a
+// value in [0, n).  Wrapping math/rand gives the property tests;
+// wrapping a fuzzer's byte slice gives the fuzz target.  The two halves
+// generate from the same code, so every shape the fuzzer can reach the
+// property tests can reproduce from a seed, and vice versa.
+type Source interface {
+	Next(n int) int
+}
+
+// randSource adapts a seeded math/rand stream.
+type randSource struct{ rng *rand.Rand }
+
+// NewRandSource wraps a seeded PRNG as a Source.
+func NewRandSource(rng *rand.Rand) Source { return randSource{rng} }
+
+func (s randSource) Next(n int) int { return s.rng.Intn(n) }
+
+// ByteSource consumes fuzzer data one byte per decision, ending the
+// stream (always answering 0) when the data runs out — which steers the
+// decoder toward "stop" choices and keeps every input terminating.
+type ByteSource struct {
+	data []byte
+	i    int
+}
+
+// NewByteSource wraps raw fuzz input as a Source.
+func NewByteSource(data []byte) *ByteSource { return &ByteSource{data: data} }
+
+func (s *ByteSource) Next(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if s.i >= len(s.data) {
+		return 0
+	}
+	v := int(s.data[s.i]) % n
+	s.i++
+	return v
+}
+
+// maxGates bounds generated netlists: big enough to exercise deep
+// levelization, macro feedback, and gated regions, small enough that a
+// fuzz iteration stays fast.
+const maxGates = 96
+
+// GenerateNetlist decodes a random acyclic netlist from src.  The
+// construction draws from the same builder vocabulary the real arrays
+// use — primitive gates, plain and enabled flip-flops, delay chains,
+// sticky latches, saturating counters — including the post-hoc D-input
+// and enable patching that makes FF feedback legal.  It returns the
+// netlist and its input pins (at least one).
+func GenerateNetlist(src Source) (*circuit.Netlist, []circuit.Net) {
+	nl := circuit.New()
+	nIn := 1 + src.Next(4)
+	inputs := make([]circuit.Net, nIn)
+	pool := []circuit.Net{circuit.Zero, circuit.One}
+	for i := range inputs {
+		inputs[i] = nl.Input(fmt.Sprintf("in%d", i))
+		pool = append(pool, inputs[i])
+	}
+	pick := func() circuit.Net { return pool[src.Next(len(pool))] }
+	steps := src.Next(48)
+	for s := 0; s < steps && nl.NumGates() < maxGates; s++ {
+		switch src.Next(12) {
+		case 0:
+			pool = append(pool, nl.Not(pick()))
+		case 1:
+			pool = append(pool, nl.And(pick(), pick()))
+		case 2:
+			pool = append(pool, nl.Or(pick(), pick(), pick()))
+		case 3:
+			pool = append(pool, nl.Xor(pick(), pick()))
+		case 4:
+			pool = append(pool, nl.Xnor(pick(), pick()))
+		case 5:
+			pool = append(pool, nl.Mux2(pick(), pick(), pick()))
+		case 6:
+			pool = append(pool, nl.Buf(pick()))
+		case 7:
+			pool = append(pool, nl.DFF(pick()))
+		case 8:
+			pool = append(pool, nl.DFFE(pick(), pick()))
+		case 9:
+			pool = append(pool, nl.DelayChain(pick(), 1+src.Next(4)))
+		case 10:
+			latched, immediate := nl.StickyLatch(pick())
+			pool = append(pool, latched, immediate)
+		default:
+			pool = append(pool, nl.SatCounter(1+src.Next(3), pick())...)
+		}
+	}
+	return nl, inputs
+}
+
+// Op is one stimulus action of a Script.
+type Op struct {
+	// Kind selects the action: 0 = SetInput, 1 = Step, 2 = Run, 3 = Reset.
+	Kind int
+	// Input indexes the netlist's input pins (SetInput only).
+	Input int
+	// Value is the driven level (SetInput only).
+	Value bool
+	// K is the cycle count (Run only).
+	K int
+}
+
+// GenerateScript decodes a stimulus schedule for nIn input pins.
+func GenerateScript(src Source, nIn int) []Op {
+	ops := make([]Op, 0, 32)
+	n := src.Next(40)
+	for i := 0; i < n; i++ {
+		switch src.Next(8) {
+		case 0, 1, 2:
+			ops = append(ops, Op{Kind: 0, Input: src.Next(nIn), Value: src.Next(2) == 1})
+		case 3, 4:
+			ops = append(ops, Op{Kind: 1})
+		case 5, 6:
+			ops = append(ops, Op{Kind: 2, K: src.Next(6)})
+		default:
+			ops = append(ops, Op{Kind: 3})
+		}
+	}
+	// Always finish with a burst long enough to drain every delay chain,
+	// so scripts that never stepped still exercise the clock.
+	return append(ops, Op{Kind: 0, Input: 0, Value: true}, Op{Kind: 2, K: 12})
+}
+
+// Diverged describes the first observable difference between the two
+// backends — the failure artifact a property test or fuzz crash prints.
+type Diverged struct {
+	Op    int // index into the script, -1 for the post-compile state
+	What  string
+	Net   circuit.Net
+	Cycle bool
+}
+
+func (d *Diverged) Error() string {
+	if d.Op < 0 {
+		return fmt.Sprintf("oracle: backends diverge after compile: %s (net %d)", d.What, d.Net)
+	}
+	return fmt.Sprintf("oracle: backends diverge after op %d: %s (net %d)", d.Op, d.What, d.Net)
+}
+
+// compareState asserts every per-net observable plus the cycle counter
+// and Activity report agree between the reference and the candidate.
+func compareState(nl *circuit.Netlist, ref, ev circuit.Backend, op int) error {
+	if ref.Cycle() != ev.Cycle() {
+		return &Diverged{Op: op, What: fmt.Sprintf("cycle %d vs %d", ref.Cycle(), ev.Cycle()), Cycle: true}
+	}
+	for i := 0; i < nl.NumNets(); i++ {
+		net := circuit.Net(i)
+		if rv, cv := ref.Value(net), ev.Value(net); rv != cv {
+			return &Diverged{Op: op, What: fmt.Sprintf("value %v vs %v", rv, cv), Net: net}
+		}
+		if ra, ca := ref.Arrival(net), ev.Arrival(net); ra != ca {
+			return &Diverged{Op: op, What: fmt.Sprintf("arrival %v vs %v", ra, ca), Net: net}
+		}
+		if rt, ct := ref.Toggles(net), ev.Toggles(net); rt != ct {
+			return &Diverged{Op: op, What: fmt.Sprintf("toggles %d vs %d", rt, ct), Net: net}
+		}
+	}
+	ra, ca := ref.Activity(), ev.Activity()
+	if ra.FFClockedCycles != ca.FFClockedCycles {
+		return &Diverged{Op: op, What: fmt.Sprintf("ffClockedCycles %d vs %d", ra.FFClockedCycles, ca.FFClockedCycles)}
+	}
+	for _, k := range circuit.Kinds() {
+		if ra.NetToggles[k] != ca.NetToggles[k] {
+			return &Diverged{Op: op, What: fmt.Sprintf("NetToggles[%v] %d vs %d", k, ra.NetToggles[k], ca.NetToggles[k])}
+		}
+		if ra.LoadToggles[k] != ca.LoadToggles[k] {
+			return &Diverged{Op: op, What: fmt.Sprintf("LoadToggles[%v] %d vs %d", k, ra.LoadToggles[k], ca.LoadToggles[k])}
+		}
+	}
+	return nil
+}
+
+// CheckEquivalence compiles nl under both backends, applies the script
+// to each in lockstep, and returns the first divergence (nil when the
+// backends agree everywhere).  Both compiles must agree on success; a
+// combinational loop (possible for decoded netlists only through
+// builder misuse, not this package's generators) must be rejected by
+// both.
+func CheckEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []Op) error {
+	ref, rerr := nl.Compile()
+	ev, everr := event.Compile(nl)
+	if (rerr == nil) != (everr == nil) {
+		return fmt.Errorf("oracle: compile disagreement: reference %v, event %v", rerr, everr)
+	}
+	if rerr != nil {
+		return nil // both rejected: agreement
+	}
+	if err := compareState(nl, ref, ev, -1); err != nil {
+		return err
+	}
+	for i, op := range script {
+		switch op.Kind {
+		case 0:
+			net := inputs[op.Input%len(inputs)]
+			ref.SetInput(net, op.Value)
+			ev.SetInput(net, op.Value)
+		case 1:
+			ref.Step()
+			ev.Step()
+		case 2:
+			ref.Run(op.K)
+			ev.Run(op.K)
+		default:
+			ref.Reset()
+			ev.Reset()
+		}
+		if err := compareState(nl, ref, ev, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckBytes is the fuzz entry point: decode a netlist and script from
+// raw bytes and check equivalence.  Inputs too small to mean anything
+// decode into tiny-but-valid cases, so there are no rejected inputs.
+func CheckBytes(data []byte) error {
+	src := NewByteSource(data)
+	nl, inputs := GenerateNetlist(src)
+	script := GenerateScript(src, len(inputs))
+	return CheckEquivalence(nl, inputs, script)
+}
+
+// CheckSeed is the property-test entry point: the same decoder driven
+// by a seeded PRNG.
+func CheckSeed(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	src := NewRandSource(rng)
+	nl, inputs := GenerateNetlist(src)
+	script := GenerateScript(src, len(inputs))
+	return CheckEquivalence(nl, inputs, script)
+}

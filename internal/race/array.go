@@ -39,7 +39,8 @@ type Array struct {
 	qBits     [][2]circuit.Net
 	out       [][]circuit.Net // OR output of every node (i,j)
 	ffPerCell int
-	sim       *circuit.Simulator // compiled once, Reset between races
+	backend   Backend
+	sim       circuit.Backend // compiled once, Reset between races
 }
 
 // dnaCode returns the 2-bit encoding of a DNA symbol.
@@ -191,29 +192,24 @@ func (a *Array) align(p, q string, maxCycles int) (*AlignResult, error) {
 	return a.result(sim), nil
 }
 
-// reuseSimulator is the shared compile-once protocol of all three array
-// types: compile nl into *sim on first use, reset it to power-on state
-// on every later one.
-func reuseSimulator(nl *circuit.Netlist, sim **circuit.Simulator) (*circuit.Simulator, error) {
-	if *sim == nil {
-		s, err := nl.Compile()
-		if err != nil {
-			return nil, err
-		}
-		*sim = s
-		return s, nil
+// SetBackend selects the simulation engine for this array's races
+// (default BackendCycle).  Switching after a race drops the compiled
+// engine, so the next Align pays one recompile.
+func (a *Array) SetBackend(b Backend) {
+	if a.backend == b {
+		return
 	}
-	(*sim).Reset()
-	return *sim, nil
+	a.backend = b
+	a.sim = nil
 }
 
 // simulator returns the array's compiled simulator, building it on first
 // use and resetting it to power-on state on every later one.
-func (a *Array) simulator() (*circuit.Simulator, error) {
-	return reuseSimulator(a.netlist, &a.sim)
+func (a *Array) simulator() (circuit.Backend, error) {
+	return reuseBackend(a.netlist, &a.sim, a.backend)
 }
 
-func (a *Array) loadSymbols(sim *circuit.Simulator, p, q string) error {
+func (a *Array) loadSymbols(sim circuit.Backend, p, q string) error {
 	for i := 0; i < len(p); i++ {
 		c, err := dnaCode(p[i])
 		if err != nil {
@@ -233,7 +229,7 @@ func (a *Array) loadSymbols(sim *circuit.Simulator, p, q string) error {
 	return nil
 }
 
-func (a *Array) result(sim *circuit.Simulator) *AlignResult {
+func (a *Array) result(sim circuit.Backend) *AlignResult {
 	res := &AlignResult{
 		Score:    sim.Arrival(a.out[a.n][a.m]),
 		Cycles:   sim.Cycle(),

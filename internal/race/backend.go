@@ -1,0 +1,80 @@
+package race
+
+import (
+	"fmt"
+
+	"racelogic/internal/circuit"
+	"racelogic/internal/circuit/event"
+)
+
+// Backend selects the gate-level simulation engine an array races on.
+// Both backends implement circuit.Backend and are arrival-, toggle- and
+// clock-accounting-identical — the internal/oracle differential suite
+// enforces that — so the choice changes wall-clock speed only, never a
+// score, a timing matrix, or an energy figure.
+type Backend int
+
+const (
+	// BackendCycle is the cycle-accurate reference simulator: every
+	// combinational gate settles and every net is scanned once per clock
+	// cycle.  It is the oracle the fast path is tested against.
+	BackendCycle Backend = iota
+	// BackendEvent is the event-driven engine in circuit/event: only
+	// gates whose inputs changed are re-evaluated, only armed flip-flops
+	// are clocked, and quiescent stretches fast-forward to the horizon.
+	BackendEvent
+)
+
+// String names the backend the way the -backend CLI flags spell it.
+func (b Backend) String() string {
+	switch b {
+	case BackendCycle:
+		return "cycle"
+	case BackendEvent:
+		return "event"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// Validate rejects values outside the defined enum.
+func (b Backend) Validate() error {
+	if b != BackendCycle && b != BackendEvent {
+		return fmt.Errorf("race: unknown backend %d (have cycle, event)", int(b))
+	}
+	return nil
+}
+
+// ParseBackend maps a CLI spelling to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "cycle":
+		return BackendCycle, nil
+	case "event":
+		return BackendEvent, nil
+	}
+	return 0, fmt.Errorf("race: unknown backend %q (have cycle, event)", s)
+}
+
+// compileBackend compiles nl under the selected engine.
+func compileBackend(nl *circuit.Netlist, b Backend) (circuit.Backend, error) {
+	if b == BackendEvent {
+		return event.Compile(nl)
+	}
+	return nl.Compile()
+}
+
+// reuseBackend is the shared compile-once protocol of all three array
+// types: compile nl into *sim under the selected backend on first use,
+// reset it to power-on state on every later one.
+func reuseBackend(nl *circuit.Netlist, sim *circuit.Backend, b Backend) (circuit.Backend, error) {
+	if *sim == nil {
+		s, err := compileBackend(nl, b)
+		if err != nil {
+			return nil, err
+		}
+		*sim = s
+		return s, nil
+	}
+	(*sim).Reset()
+	return *sim, nil
+}

@@ -36,6 +36,7 @@ type Solver struct {
 	gateType GateType
 	graph    *dag.Graph
 	netlist  *circuit.Netlist
+	backend  Backend
 	inputs   map[dag.NodeID]circuit.Net // input pin per source node
 	nodeNet  []circuit.Net              // output net of each node's gate
 	bound    int                        // safe cycle bound for RunUntil
@@ -100,6 +101,9 @@ func FromDAG(g *dag.Graph, gateType GateType) (*Solver, error) {
 // Netlist exposes the compiled circuit for area/energy accounting.
 func (s *Solver) Netlist() *circuit.Netlist { return s.netlist }
 
+// SetBackend selects the simulation engine future Solve calls run on.
+func (s *Solver) SetBackend(b Backend) { s.backend = b }
+
 // Result holds the outcome of one race.
 type Result struct {
 	// Arrival[v] is the cycle at which node v's gate fired, or
@@ -116,7 +120,7 @@ type Result struct {
 // per-node arrival times.  With no watch list it runs until the graph's
 // sinks fire.
 func (s *Solver) Solve(watch ...dag.NodeID) (*Result, error) {
-	sim, err := s.netlist.Compile()
+	sim, err := compileBackend(s.netlist, s.backend)
 	if err != nil {
 		return nil, fmt.Errorf("race: %w", err)
 	}

@@ -35,7 +35,8 @@ type GatedArray struct {
 	qBits      [][2]circuit.Net
 	out        [][]circuit.Net
 	regions    int
-	sim        *circuit.Simulator
+	backend    Backend
+	sim        circuit.Backend
 }
 
 // NewGatedArray builds an n×m edit-graph array gated in
@@ -182,6 +183,17 @@ func (a *GatedArray) Regions() int { return a.regions }
 // RegionSize returns the gating granularity m.
 func (a *GatedArray) RegionSize() int { return a.regionSize }
 
+// SetBackend selects the simulation engine for this array's races
+// (default BackendCycle).  Switching after a race drops the compiled
+// engine, so the next Align pays one recompile.
+func (a *GatedArray) SetBackend(b Backend) {
+	if a.backend == b {
+		return
+	}
+	a.backend = b
+	a.sim = nil
+}
+
 // Align races p and q through the gated array.  The arrival times are
 // identical to the ungated Array's; only the clock activity differs.
 func (a *GatedArray) Align(p, q string) (*AlignResult, error) {
@@ -209,7 +221,7 @@ func (a *GatedArray) align(p, q string, maxCycles int) (*AlignResult, error) {
 	if len(p) != a.n || len(q) != a.m {
 		return nil, fmt.Errorf("race: array is %d×%d but strings are %d×%d", a.n, a.m, len(p), len(q))
 	}
-	sim, err := reuseSimulator(a.netlist, &a.sim)
+	sim, err := reuseBackend(a.netlist, &a.sim, a.backend)
 	if err != nil {
 		return nil, err
 	}

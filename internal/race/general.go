@@ -46,7 +46,8 @@ type GeneralArray struct {
 	qBits    [][]circuit.Net
 	out      [][]circuit.Net
 	bound    int
-	sim      *circuit.Simulator
+	backend  Backend
+	sim      circuit.Backend
 }
 
 // Encoding selects the delay realization inside the generalized cell.
@@ -280,6 +281,17 @@ func (a *GeneralArray) Matrix() *score.Matrix { return a.matrix }
 // Encoding returns the delay encoding the array was compiled with.
 func (a *GeneralArray) EncodingUsed() Encoding { return a.encoding }
 
+// SetBackend selects the simulation engine for this array's races
+// (default BackendCycle).  Switching after a race drops the compiled
+// engine, so the next Align pays one recompile.
+func (a *GeneralArray) SetBackend(b Backend) {
+	if a.backend == b {
+		return
+	}
+	a.backend = b
+	a.sim = nil
+}
+
 // Align races p and q through the generalized array.
 func (a *GeneralArray) Align(p, q string) (*AlignResult, error) {
 	return a.align(p, q, a.bound)
@@ -303,7 +315,7 @@ func (a *GeneralArray) align(p, q string, maxCycles int) (*AlignResult, error) {
 	if len(p) != a.n || len(q) != a.m {
 		return nil, fmt.Errorf("race: array is %d×%d but strings are %d×%d", a.n, a.m, len(p), len(q))
 	}
-	sim, err := reuseSimulator(a.netlist, &a.sim)
+	sim, err := reuseBackend(a.netlist, &a.sim, a.backend)
 	if err != nil {
 		return nil, err
 	}

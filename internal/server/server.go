@@ -555,23 +555,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // StatsResponse is the GET /stats reply: database shape, durability
 // state, per-shard gauges, and cumulative service counters.
 type StatsResponse struct {
-	Entries       int   `json:"entries"`
-	Version       int64 `json:"version"`
-	Tombstones    int   `json:"tombstones"`
-	Buckets       int   `json:"buckets"`
-	SeedK         int   `json:"seed_k"`
-	ShardCount    int   `json:"shard_count"`
-	Searches      int64 `json:"searches"`
-	Mutations     int64 `json:"mutations"`
-	Compactions   int64 `json:"compactions"`
-	EnginesBuilt  int64 `json:"engines_built"`
-	PooledEngines int   `json:"pooled_engines"`
-	Requests      int64 `json:"requests"`
-	Failures      int64 `json:"failures"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheEntries  int   `json:"cache_entries"`
-	CacheCapacity int   `json:"cache_capacity"`
-	UptimeSeconds int64 `json:"uptime_seconds"`
+	Entries    int   `json:"entries"`
+	Version    int64 `json:"version"`
+	Tombstones int   `json:"tombstones"`
+	Buckets    int   `json:"buckets"`
+	SeedK      int   `json:"seed_k"`
+	ShardCount int   `json:"shard_count"`
+	// Backend names the simulation engine the database races on:
+	// "cycle" (the reference simulator) or "event" (the event-driven
+	// fast path).
+	Backend       string `json:"backend"`
+	Searches      int64  `json:"searches"`
+	Mutations     int64  `json:"mutations"`
+	Compactions   int64  `json:"compactions"`
+	EnginesBuilt  int64  `json:"engines_built"`
+	PooledEngines int    `json:"pooled_engines"`
+	Requests      int64  `json:"requests"`
+	Failures      int64  `json:"failures"`
+	CacheHits     int64  `json:"cache_hits"`
+	CacheEntries  int    `json:"cache_entries"`
+	CacheCapacity int    `json:"cache_capacity"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
 	// Durable reports whether mutations are journaled to a write-ahead
 	// log; the WAL and snapshot fields below are zero when it is false.
 	Durable bool `json:"durable"`
@@ -610,6 +614,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Buckets:            s.db.Buckets(),
 		SeedK:              s.db.SeedK(),
 		ShardCount:         s.db.Shards(),
+		Backend:            s.db.Backend().String(),
 		Searches:           s.db.Searches(),
 		Mutations:          s.mutations.Load(),
 		Compactions:        s.db.Compactions(),

@@ -92,8 +92,9 @@ type Alignment struct {
 
 type config struct {
 	library    *tech.Library
-	gateRegion int   // 0 = ungated
-	threshold  int64 // <0 = none
+	backend    Backend // simulation engine; BackendCycle = reference
+	gateRegion int     // 0 = ungated
+	threshold  int64   // <0 = none
 	oneHot     bool
 	topK       int    // search only; ≤0 = all matches
 	workers    int    // search only; ≤0 = NumCPU
@@ -145,7 +146,7 @@ var searchOnlyOptions = []string{
 // call.
 var databaseFixedOptions = []string{
 	"WithLibrary", "WithMatrix", "WithClockGating", "WithOneHotEncoding", "WithSeedIndex",
-	"WithShards", "WithCompactionPolicy", "WithSync", "WithSnapshotInterval",
+	"WithShards", "WithBackend", "WithCompactionPolicy", "WithSync", "WithSnapshotInterval",
 	"WithSnapshotEvery", "WithWALSegmentBytes",
 }
 
@@ -156,6 +157,44 @@ var databaseFixedOptions = []string{
 var durabilityOptions = []string{
 	"WithSync", "WithSnapshotInterval", "WithSnapshotEvery", "WithCompactionPolicy",
 	"WithWALSegmentBytes",
+}
+
+// Backend selects the gate-level simulation engine the races run on.
+// Both backends produce byte-identical scores, timing matrices, and
+// energy reports — the internal/oracle differential suite holds them to
+// that — so the choice trades nothing but wall-clock speed.
+type Backend = race.Backend
+
+const (
+	// BackendCycle is the cycle-accurate reference simulator (default):
+	// every gate settles and every net is scanned once per clock cycle.
+	BackendCycle = race.BackendCycle
+	// BackendEvent is the event-driven engine: only gates whose inputs
+	// changed re-evaluate, only flip-flops about to change are clocked,
+	// and quiescent stretches fast-forward — several times faster on the
+	// full-scan search workload, with identical results.
+	BackendEvent = race.BackendEvent
+)
+
+// ParseBackend maps a CLI spelling ("cycle", "event") to a Backend.
+func ParseBackend(s string) (Backend, error) { return race.ParseBackend(s) }
+
+// WithBackend selects the simulation engine (default BackendCycle).
+// It is accepted by the engine constructors, NewDatabase, Open, and
+// OpenSnapshot.  On a Database it shapes the pooled engines and is
+// therefore fixed at construction — Search rejects it — but it is a
+// pure runtime choice, never part of a snapshot's options fingerprint:
+// a database persisted under one backend may reopen under the other and
+// still report byte-identical results.
+func WithBackend(b Backend) Option {
+	return func(c *config) error {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		c.backend = b
+		c.applied = append(c.applied, "WithBackend")
+		return nil
+	}
 }
 
 // WithLibrary selects the standard-cell library model: "AMIS" (default)

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# benchcompare.sh — backend speed regression guard.
+#
+# Runs the BenchmarkBackendFullScan pair (the same warm full-scan
+# workload on the cycle-accurate and event-driven backends) and fails
+# if the event backend is not at least MIN_SPEEDUP times faster.  The
+# differential suite proves the backends agree bit for bit; this script
+# guards the reason the event backend exists at all.
+#
+# Usage: scripts/benchcompare.sh [benchtime]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
+
+out="$(go test -run=NONE -bench 'BenchmarkBackendFullScan' -benchtime="$BENCHTIME" .)"
+echo "$out"
+
+cycle_ns="$(echo "$out" | awk '$1 ~ /BenchmarkBackendFullScan\/cycle/ {print $3}')"
+event_ns="$(echo "$out" | awk '$1 ~ /BenchmarkBackendFullScan\/event/ {print $3}')"
+
+if [[ -z "$cycle_ns" || -z "$event_ns" ]]; then
+    echo "benchcompare: could not parse benchmark output" >&2
+    exit 1
+fi
+
+speedup="$(awk -v c="$cycle_ns" -v e="$event_ns" 'BEGIN {printf "%.2f", c / e}')"
+echo "benchcompare: event backend speedup ${speedup}x (cycle ${cycle_ns} ns/op, event ${event_ns} ns/op)"
+
+ok="$(awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN {print (s >= m) ? 1 : 0}')"
+if [[ "$ok" != 1 ]]; then
+    echo "benchcompare: FAIL — event backend is only ${speedup}x the cycle backend (minimum ${MIN_SPEEDUP}x)" >&2
+    exit 1
+fi

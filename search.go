@@ -116,15 +116,30 @@ func searchFactory(cfg *config) (pipeline.Factory, error) {
 			return nil, err
 		}
 		return func(n, m int) (pipeline.Engine, error) {
-			return race.NewGeneralArray(n, m, prepared, enc)
+			a, err := race.NewGeneralArray(n, m, prepared, enc)
+			if err != nil {
+				return nil, err
+			}
+			a.SetBackend(cfg.backend)
+			return a, nil
 		}, nil
 	}
 	if cfg.gateRegion > 0 {
 		return func(n, m int) (pipeline.Engine, error) {
-			return race.NewGatedArray(n, m, cfg.gateRegion)
+			a, err := race.NewGatedArray(n, m, cfg.gateRegion)
+			if err != nil {
+				return nil, err
+			}
+			a.SetBackend(cfg.backend)
+			return a, nil
 		}, nil
 	}
 	return func(n, m int) (pipeline.Engine, error) {
-		return race.NewArray(n, m)
+		a, err := race.NewArray(n, m)
+		if err != nil {
+			return nil, err
+		}
+		a.SetBackend(cfg.backend)
+		return a, nil
 	}, nil
 }

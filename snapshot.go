@@ -107,16 +107,20 @@ func configFromStoreOptions(o store.Options) (*config, error) {
 
 // OpenSnapshot loads a database saved by SaveSnapshot.  The engine
 // options, per-search defaults, entries, stable IDs, mutation version,
-// and seed index all come from the file — no options are passed here,
-// so a snapshot always reopens exactly as it was saved (the stored
-// global index is partitioned across the shards instead of re-built
-// from the sequences, and the partition count defaults to GOMAXPROCS —
-// partitioning never changes a report).  The checksum and structural
-// invariants are verified before anything is built.
+// and seed index all come from the file, so a snapshot always reopens
+// exactly as it was saved (the stored global index is partitioned
+// across the shards instead of re-built from the sequences, and the
+// partition count defaults to GOMAXPROCS — partitioning never changes a
+// report).  The checksum and structural invariants are verified before
+// anything is built.
+//
+// The one accepted option is WithBackend: the simulation engine is a
+// runtime choice, deliberately outside the snapshot fingerprint, and
+// either backend reproduces the saved database's reports byte for byte.
 //
 // The result is memory-only: mutations are not journaled.  For a
 // crash-safe database use Open on a directory instead.
-func OpenSnapshot(path string) (*Database, error) {
+func OpenSnapshot(path string, opts ...Option) (*Database, error) {
 	s, err := store.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -128,6 +132,16 @@ func OpenSnapshot(path string) (*Database, error) {
 	cfg, err := configFromStoreOptions(s.Options)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, o := range opts {
+		if err := o(cfg); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range cfg.applied {
+		if name != "WithBackend" {
+			return nil, fmt.Errorf("racelogic: %s cannot be set here; a snapshot fixes every option except WithBackend", name)
+		}
 	}
 	if s.Index != nil && s.Index.K() != cfg.seedK {
 		return nil, fmt.Errorf("%s: snapshot index has k=%d but the fingerprint says %d", path, s.Index.K(), cfg.seedK)
