@@ -54,10 +54,20 @@
 //	-snapshot FILE       legacy durable state: load FILE if it exists and
 //	                     save back on SIGTERM/SIGINT only — a crash in
 //	                     between loses mutations; prefer -wal
+//	-debug-addr ADDR     serve net/http/pprof and /metrics on a second
+//	                     listener (empty = off); keep it off public
+//	                     interfaces
+//	-slow-latency D      log uncached searches slower than D to /slowlog
+//	                     and the process log (0 = off)
+//	-slow-energy J       log uncached searches spending ≥ J joules —
+//	                     the hardware-native slow threshold (0 = off)
+//	-slow-log N          slow-query ring size (default 128)
 //
 // Endpoints:
 //
-//	POST   /search        {"query":"ACGTACGT","top_k":5,"threshold":12}
+//	POST   /search        {"query":"ACGTACGT","top_k":5,"threshold":12};
+//	                      append ?trace=1 for the per-shard span
+//	                      breakdown (bypasses the report cache)
 //	POST   /entries       {"entries":["ACGTAACC"]} — live insert
 //	POST   /entries/bulk  streaming import: FASTA/plain body, or NDJSON
 //	                      (one JSON string per line) with
@@ -66,7 +76,12 @@
 //	POST   /compact       manual dense rebuild; returns the slot remap
 //	GET    /healthz       liveness probe
 //	GET    /stats         service counters (version, journal tail,
-//	                      snapshot age, compactions, cache, …)
+//	                      snapshot age, compactions, cache, …) — one
+//	                      consistent database view per reply
+//	GET    /metrics       Prometheus text format: search latency/cycles/
+//	                      energy histograms, WAL and snapshot counters,
+//	                      per-shard gauges, build info
+//	GET    /slowlog       the slow-query ring, oldest first
 //
 // Example:
 //
@@ -85,6 +100,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -115,6 +131,9 @@ type options struct {
 	snapEvery    int
 	fsync        bool
 	segBytes     int64
+	slowLatency  time.Duration
+	slowEnergy   float64
+	slowLogSize  int
 }
 
 func main() {
@@ -141,6 +160,14 @@ func main() {
 	flag.BoolVar(&o.fsync, "fsync", false, "fsync the journals before acknowledging mutations (group-committed)")
 	flag.Int64Var(&o.segBytes, "wal-segment-bytes", racelogic.DefaultWALSegmentBytes,
 		"seal a shard's journal segment past this size and fold it into the next snapshot (0 = never rotate)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof and /metrics on this separate address (empty = off); keep it off public interfaces")
+	flag.DurationVar(&o.slowLatency, "slow-latency", 0,
+		"log uncached searches slower than this to /slowlog and the process log (0 = off)")
+	flag.Float64Var(&o.slowEnergy, "slow-energy", 0,
+		"log uncached searches spending at least this many joules (0 = off)")
+	flag.IntVar(&o.slowLogSize, "slow-log", server.DefaultSlowLogSize,
+		"slow-query ring size served by GET /slowlog")
 	flag.Parse()
 	backend, err := racelogic.ParseBackend(*backendName)
 	if err != nil {
@@ -156,6 +183,9 @@ func main() {
 	}
 	log.Printf("raceserve: serving %d sequences on %s (version %d, %d shards, seed index k=%d, cache %d, durable %v)",
 		db.Len(), *addr, db.Version(), db.Shards(), db.SeedK(), o.cache, db.Durable())
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, srv)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -207,6 +237,23 @@ func main() {
 	}
 }
 
+// serveDebug runs the opt-in profiling listener: net/http/pprof on its
+// own mux (never the service mux, so profiling exposure is an explicit
+// -debug-addr decision) plus a /metrics convenience mount.
+func serveDebug(addr string, srv *server.Server) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", srv.MetricsHandler())
+	log.Printf("raceserve: debug listener (pprof + /metrics) on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("raceserve: debug listener: %v", err)
+	}
+}
+
 // buildServer loads or recovers the database and assembles the HTTP
 // service — everything main does short of listening.
 func buildServer(o options) (*server.Server, *racelogic.Database, error) {
@@ -214,7 +261,14 @@ func buildServer(o options) (*server.Server, *racelogic.Database, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	srv, err := server.New(server.Config{DB: db, CacheSize: o.cache, DefaultTopK: o.top})
+	srv, err := server.New(server.Config{
+		DB:               db,
+		CacheSize:        o.cache,
+		DefaultTopK:      o.top,
+		SlowQueryLatency: o.slowLatency,
+		SlowQueryEnergyJ: o.slowEnergy,
+		SlowLogSize:      o.slowLogSize,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

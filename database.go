@@ -1,6 +1,7 @@
 package racelogic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"racelogic/internal/index"
+	"racelogic/internal/obs"
 	"racelogic/internal/pipeline"
 	"racelogic/internal/score"
 	"racelogic/internal/store"
@@ -77,6 +79,13 @@ type Database struct {
 	snapFailures atomic.Int64
 	snapVersion  atomic.Int64 // view version the newest durable snapshot set covers
 	lastSnap     atomic.Int64 // unix nanos of the newest durable snapshot set
+	walReplayed  atomic.Int64 // journal records replayed over snapshots at open
+
+	// metrics is the database's instrument set (see obs.go) and idxStats
+	// the seed-lookup counter sink shared by every shard's index lineage.
+	// Both are set once in assembleShards, before the database is shared.
+	metrics  *dbMetrics
+	idxStats *index.Stats
 
 	// Durability.  All zero on a memory-only database; set once by
 	// Persist or Open under lmu, then read by the mutation path and the
@@ -105,11 +114,12 @@ type Database struct {
 // the writer-side ID table, and the shard's journal.  mu serializes
 // every mutation that touches the shard; searches never take it.
 type shard struct {
-	id   int
-	mu   sync.Mutex
-	p    *pipeline.DB
-	byID map[uint64]int // ID → local slot; writers only, under mu
-	jrnl *store.Journal // nil on a memory-only database; set under mu
+	id       int
+	mu       sync.Mutex
+	p        *pipeline.DB
+	byID     map[uint64]int // ID → local slot; writers only, under mu
+	jrnl     *store.Journal // nil on a memory-only database; set under mu
+	idxStats *index.Stats   // re-attached to every index a compaction rebuilds
 
 	snapSeq  atomic.Int64 // shard sequence the newest durable shard snapshot covers
 	lastSnap atomic.Int64 // unix nanos of this shard's newest durable snapshot
@@ -288,6 +298,7 @@ func assembleShards(cfg *config, parts []shardPart, nextID uint64, version int64
 		pools:      pools,
 		shards:     make([]*shard, len(parts)),
 		compaction: cfg.compaction,
+		idxStats:   &index.Stats{},
 	}
 	states := make([]*shardstate, len(parts))
 	for s, part := range parts {
@@ -304,7 +315,10 @@ func assembleShards(cfg *config, parts []shardPart, nextID uint64, version int64
 				return nil, err
 			}
 		}
-		sh := &shard{id: s, p: p, byID: make(map[uint64]int, len(part.ids))}
+		if idx != nil {
+			idx.SetStats(d.idxStats)
+		}
+		sh := &shard{id: s, p: p, byID: make(map[uint64]int, len(part.ids)), idxStats: d.idxStats}
 		for slot, id := range part.ids {
 			sh.byID[id] = slot
 		}
@@ -316,6 +330,7 @@ func assembleShards(cfg *config, parts []shardPart, nextID uint64, version int64
 	d.nextID.Store(nextID)
 	d.ticket.Store(version)
 	d.view.Store(&dbview{version: version, states: states})
+	d.initObs()
 	return d, nil
 }
 
@@ -463,6 +478,9 @@ func (sh *shard) applyCompact(cur *shardstate) (*shardstate, error) {
 		if idx, err = index.New(snap.Entries(), idx.K()); err != nil {
 			return nil, err
 		}
+		// A from-scratch rebuild loses the counter sink Grow/Partition
+		// would have propagated; re-attach it before the state publishes.
+		idx.SetStats(sh.idxStats)
 	}
 	sorted := append([]uint64(nil), ids...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
@@ -991,6 +1009,14 @@ func (d *Database) Searches() int64 { return d.searches.Load() }
 // WithClockGating, WithOneHotEncoding, WithSeedIndex, WithShards) are
 // fixed at construction and rejected here.
 func (d *Database) Search(query string, opts ...Option) (*SearchReport, error) {
+	return d.SearchContext(context.Background(), query, opts...)
+}
+
+// SearchContext is Search with a context.  A trace attached via
+// obs.WithTrace is carried through the scatter-gather pipeline and
+// filled with per-shard span timings and hardware-native dimensions;
+// an untraced context costs one nil check per layer.
+func (d *Database) SearchContext(ctx context.Context, query string, opts ...Option) (*SearchReport, error) {
 	cfg := *d.cfg
 	cfg.applied = nil
 	for _, o := range opts {
@@ -1001,19 +1027,22 @@ func (d *Database) Search(query string, opts ...Option) (*SearchReport, error) {
 	if name := cfg.firstApplied(databaseFixedOptions...); name != "" {
 		return nil, fmt.Errorf("racelogic: %s is fixed when the database is built; pass it to NewDatabase instead", name)
 	}
-	return d.search(query, &cfg)
+	return d.search(ctx, query, &cfg)
 }
 
 // search runs one query under a fully resolved config, against the
 // view loaded once here: per-shard seed-index candidate scans scatter
 // over the shared worker pool, and the shard outcomes gather under the
 // global (Score, ID) ranking.
-func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
+func (d *Database) search(ctx context.Context, query string, cfg *config) (*SearchReport, error) {
+	tr := obs.TraceFrom(ctx)
+	begin := time.Now()
 	v := d.view.Load()
 	// A query shorter than k carries no seeds, so the index cannot
 	// filter: skip the lookups entirely rather than materialize identity
 	// candidate slices.  The condition is uniform across shards (one k).
 	filtered := cfg.seedK > 0 && !cfg.fullScan && len(query) >= cfg.seedK
+	endSeed := tr.StartSpan("seed")
 	scans := make([]pipeline.ShardScan, len(d.shards))
 	for s, st := range v.states {
 		sc := pipeline.ShardScan{DB: d.shards[s].p, Snap: st.snap, IDs: st.ids}
@@ -1029,6 +1058,7 @@ func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
 				}
 			}
 			cands = cands[:n]
+			tr.SetShardSkipped(s, st.snap.Len()-len(cands))
 			if len(cands) == st.snap.Len() {
 				// Full shard coverage: fall back to the nil "scan
 				// everything" convention so the pipeline reuses the
@@ -1039,10 +1069,12 @@ func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
 		}
 		scans[s] = sc
 	}
+	endSeed()
 	rep, err := pipeline.MultiSearch(scans, query, pipeline.Request{
 		Threshold: cfg.threshold,
 		Workers:   cfg.workers,
 		TopK:      cfg.topK,
+		Trace:     tr,
 	})
 	if err != nil {
 		return nil, err
@@ -1080,5 +1112,6 @@ func (d *Database) search(query string, cfg *config) (*SearchReport, error) {
 			},
 		}
 	}
+	d.metrics.observeSearch(time.Since(begin), out)
 	return out, nil
 }

@@ -278,6 +278,7 @@ func (d *Database) openShardJournals(dir string, cfg *config, fresh bool) ([][]s
 			srecs = nil
 		}
 		recs[s] = srecs
+		j.SetTimings(d.walTimings())
 		sh.jrnl = j
 	}
 	return recs, nil
@@ -471,6 +472,7 @@ func (d *Database) replayShardJournals(recs [][]store.Record, snaps []*store.Sna
 			if err != nil {
 				return fmt.Errorf("racelogic: replaying shard %d journal: %w", s, err)
 			}
+			d.walReplayed.Add(1)
 			if rec.Global > globalVersion {
 				globalVersion = rec.Global
 			}
@@ -1008,7 +1010,13 @@ type ShardStat struct {
 
 // ShardStats returns per-shard gauges, one entry per partition.
 func (d *Database) ShardStats() []ShardStat {
-	v := d.view.Load()
+	return d.shardStatsAt(d.view.Load())
+}
+
+// shardStatsAt computes the per-shard gauges against one already-loaded
+// view, so Database.Stats can report shard rows consistent with the
+// global numbers it took from the same view.
+func (d *Database) shardStatsAt(v *dbview) []ShardStat {
 	durable := d.Durable()
 	out := make([]ShardStat, len(d.shards))
 	for s, sh := range d.shards {

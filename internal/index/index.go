@@ -5,7 +5,22 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 )
+
+// Stats is a shared sink of seed-lookup counters.  One Stats may be
+// attached to many indexes (every shard of one database, every Grow
+// generation), so the totals describe the database's seed index as a
+// whole across copy-on-write versions.
+type Stats struct {
+	// Lookups counts Candidates calls.
+	Lookups atomic.Int64
+	// Candidates counts the total candidate slots those calls returned.
+	Candidates atomic.Int64
+	// FullCover counts the lookups that could not rule anything out
+	// (query shorter than the seed length).
+	FullCover atomic.Int64
+}
 
 // Index is an inverted k-mer index over a sequence database: for every
 // length-k substring, the ascending list of entries containing it.  An
@@ -18,7 +33,16 @@ type Index struct {
 	// always holds the entries shorter than k: they carry no k-mer, so
 	// seed lookup can never rule them out.
 	always []int
+	// stats, when attached, receives lookup counters.  Grow and
+	// Partition propagate the pointer, so one sink spans a database's
+	// whole index lineage.
+	stats *Stats
 }
+
+// SetStats attaches a counter sink.  Attach before the index is shared
+// between goroutines — the derived indexes Grow and Partition produce
+// inherit the sink automatically.
+func (ix *Index) SetStats(s *Stats) { ix.stats = s }
 
 // New builds the index over entries with seed length k ≥ 1.  Entries are
 // identified by their slice position, matching pipeline candidate
@@ -63,6 +87,7 @@ func (ix *Index) Grow(entries []string) *Index {
 		n:        ix.n + len(entries),
 		postings: make(map[string][]int, len(ix.postings)),
 		always:   ix.always,
+		stats:    ix.stats,
 	}
 	for kmer, post := range ix.postings {
 		nx.postings[kmer] = post
@@ -103,7 +128,7 @@ func (ix *Index) Partition(n int, shardOf func(slot int) int) []*Index {
 	}
 	parts := make([]*Index, n)
 	for i := range parts {
-		parts[i] = &Index{k: ix.k, n: counts[i], postings: make(map[string][]int)}
+		parts[i] = &Index{k: ix.k, n: counts[i], postings: make(map[string][]int), stats: ix.stats}
 	}
 	for _, s := range ix.always {
 		p := parts[shard[s]]
@@ -167,10 +192,17 @@ func (ix *Index) Kmers() int { return len(ix.postings) }
 // empty slice, distinct from the nil "scan everything" convention of
 // pipeline.Request.
 func (ix *Index) Candidates(query string) []int {
+	if ix.stats != nil {
+		ix.stats.Lookups.Add(1)
+	}
 	if len(query) < ix.k {
 		all := make([]int, ix.n)
 		for i := range all {
 			all[i] = i
+		}
+		if ix.stats != nil {
+			ix.stats.FullCover.Add(1)
+			ix.stats.Candidates.Add(int64(len(all)))
 		}
 		return all
 	}
@@ -194,6 +226,9 @@ func (ix *Index) Candidates(query string) []int {
 		if hit {
 			cands = append(cands, i)
 		}
+	}
+	if ix.stats != nil {
+		ix.stats.Candidates.Add(int64(len(cands)))
 	}
 	return cands
 }

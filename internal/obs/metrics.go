@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name="value" pair attached to a metric series
+// at registration.  Labels distinguish series within one family — the
+// backend a histogram measures, the shard a gauge reads — and are fixed
+// for the series' lifetime.
+type Label struct {
+	Name, Value string
+}
+
+// Registry owns a set of metric families and renders them in the
+// Prometheus text exposition format.  All methods are safe for
+// concurrent use.  Registering the same family name with the same
+// label set returns the existing instrument, so independent layers can
+// name a shared metric without coordinating.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help, typ string
+	buckets         []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series // keyed by rendered label set
+}
+
+// series is one labeled instrument of a family.
+type series struct {
+	labels string // pre-rendered {a="b",…}, "" for unlabeled
+
+	// Counters and gauges store their value as float64 bits; funcs are
+	// read at scrape time instead.
+	bits atomic.Uint64
+	fn   func() float64
+
+	// Histogram state: one cumulative-at-render count per bucket plus
+	// the +Inf overflow, a float64-bits sum, and a total count.
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// validName matches the Prometheus metric and label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels serializes a label set in the given (registration)
+// order.  Values are escaped per the text-format rules.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		v := strings.ReplaceAll(l.Value, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup finds or creates the family and series for one registration.
+// A name reused with a different type or help is a programming error
+// and panics: the text format allows one TYPE line per name.
+func (r *Registry) lookup(name, help, typ string, buckets []float64, labels []Label) (*family, *series) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Name) || strings.HasPrefix(l.Name, "__") {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l.Name, name))
+		}
+	}
+	r.mu.Lock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: make(map[string]*series)}
+		r.fams[name] = f
+	}
+	r.mu.Unlock()
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		if typ == "histogram" {
+			s.counts = make([]atomic.Uint64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return f, s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	_, s := r.lookup(name, help, "counter", nil, labels)
+	return &Counter{s: s}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v; negative deltas are ignored —
+// counters only go up.
+func (c *Counter) Add(v float64) {
+	if v <= 0 {
+		return
+	}
+	addFloat(&c.s.bits, v)
+}
+
+// Value returns the counter's current value.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.s.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Gauge registers (or finds) a settable gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	_, s := r.lookup(name, help, "gauge", nil, labels)
+	return &Gauge{s: s}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by v (which may be negative).
+func (g *Gauge) Add(v float64) { addFloat(&g.s.bits, v) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// GaugeFunc registers a gauge whose value is read by calling fn at
+// scrape time — the natural shape for state the database already
+// tracks (entry counts, journal sizes, snapshot ages).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	_, s := r.lookup(name, help, "gauge", nil, labels)
+	s.fn = fn
+}
+
+// CounterFunc registers a counter whose value is read by calling fn at
+// scrape time.  fn must be monotonic over the life of the process
+// (modulo the resets Prometheus counters permit).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	_, s := r.lookup(name, help, "counter", nil, labels)
+	s.fn = fn
+}
+
+// Histogram counts observations into fixed buckets.  Buckets are set
+// when the family is first registered and shared by every series of it.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Histogram registers (or finds) a histogram series over the given
+// ascending bucket upper bounds (the +Inf bucket is implicit).  Every
+// series of one family must pass identical buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending at %d", name, i))
+		}
+	}
+	f, s := r.lookup(name, help, "histogram", buckets, labels)
+	if len(f.buckets) != len(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+	}
+	return &Histogram{f: f, s: s}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.f.buckets, v)
+	h.s.counts[i].Add(1)
+	addFloat(&h.s.sum, v)
+	h.s.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.s.count.Load() }
+
+// ExpBuckets returns n ascending bucket bounds growing geometrically
+// from start by factor — the fixed exponential ladder every histogram
+// here uses, so instrument memory is constant no matter the traffic.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// addFloat atomically adds v to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// formatFloat renders a sample value.  Integral values print without an
+// exponent so counters read naturally.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format: families sorted by name, one HELP and TYPE line
+// each, series sorted by label set, histograms as cumulative _bucket
+// samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+func (f *family) write(w io.Writer) {
+	f.mu.Lock()
+	all := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		all = append(all, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(all, func(a, b int) bool { return all[a].labels < all[b].labels })
+
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range all {
+		if f.typ == "histogram" {
+			cum := uint64(0)
+			for i, bound := range f.buckets {
+				cum += s.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, formatFloat(bound)), cum)
+			}
+			cum += s.counts[len(f.buckets)].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(math.Float64frombits(s.sum.Load())))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.count.Load())
+			continue
+		}
+		v := math.Float64frombits(s.bits.Load())
+		if s.fn != nil {
+			v = s.fn()
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(v))
+	}
+}
+
+// withLE appends the le bucket label to an existing rendered label set.
+func withLE(labels, bound string) string {
+	le := `le="` + bound + `"`
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
+}
+
+// Handler serves the given registries concatenated at GET /metrics in
+// the text exposition format.  Registries must not share family names.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range regs {
+			reg.WritePrometheus(w)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-4) // ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestSameNameSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "x", Label{"backend", "event"})
+	b := r.Counter("shared_total", "x", Label{"backend", "event"})
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Fatalf("same name+labels should share state, got %v and %v", a.Value(), b.Value())
+	}
+	other := r.Counter("shared_total", "x", Label{"backend", "cycle"})
+	if other.Value() != 0 {
+		t.Fatalf("distinct labels should be a fresh series, got %v", other.Value())
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter/gauge name conflict")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("conflicted", "x")
+	r.Gauge("conflicted", "x")
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 2, 5)
+	want := []float64{0.001, 0.002, 0.004, 0.008, 0.016}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	if !sort.Float64sAreSorted(b) {
+		t.Fatal("buckets not ascending")
+	}
+}
+
+func TestHistogramObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.01"} 1`,
+		`test_latency_seconds_bucket{le="0.1"} 2`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="+Inf"} 4`,
+		`test_latency_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryValueIsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "x", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: le="1" includes it
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `edge_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("observation on bucket bound not counted in that bucket:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "x")
+	h := r.Histogram("conc_seconds", "x", ExpBuckets(0.001, 4, 6))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestFuncInstrumentsReadAtScrape(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("live_gauge", "x", func() float64 { return v })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "live_gauge 1\n") {
+		t.Fatalf("missing initial value:\n%s", sb.String())
+	}
+	v = 42
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "live_gauge 42\n") {
+		t.Fatalf("func gauge not re-read at scrape:\n%s", sb.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "x", Label{"path", `a"b\c` + "\n"}).Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `esc_total{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("label not escaped:\n%s", sb.String())
+	}
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	db := NewRegistry()
+	db.Counter("a_total", "a").Inc()
+	srv := NewRegistry()
+	srv.Gauge("b_gauge", "b").Set(3)
+	rec := httptest.NewRecorder()
+	Handler(db, srv).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "a_total 1") || !strings.Contains(body, "b_gauge 3") {
+		t.Fatalf("missing series:\n%s", body)
+	}
+	if err := ValidatePrometheusText(body); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(db).ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rec.Code)
+	}
+}
+
+func TestWriteOutputDeterministicAndValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "z").Add(5)
+	r.Gauge("a_gauge", "a", Label{"shard", "1"}).Set(2)
+	r.Gauge("a_gauge", "a", Label{"shard", "0"}).Set(1)
+	r.Histogram("m_seconds", "m", []float64{0.5, 1}, Label{"backend", "event"}).Observe(0.7)
+	var one, two strings.Builder
+	r.WritePrometheus(&one)
+	r.WritePrometheus(&two)
+	if one.String() != two.String() {
+		t.Fatal("output not deterministic across renders")
+	}
+	if err := ValidatePrometheusText(one.String()); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, one.String())
+	}
+	// Families sorted by name, series by label set.
+	iA := strings.Index(one.String(), "a_gauge")
+	iZ := strings.Index(one.String(), "z_total")
+	if iA > iZ {
+		t.Fatal("families not sorted by name")
+	}
+	s0 := strings.Index(one.String(), `a_gauge{shard="0"}`)
+	s1 := strings.Index(one.String(), `a_gauge{shard="1"}`)
+	if s0 < 0 || s1 < 0 || s0 > s1 {
+		t.Fatal("series not sorted by label set")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_type_declared 1\n",
+		"# TYPE h histogram\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"1\"} 4\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 4\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"# TYPE c counter\n# TYPE c counter\nc 1\n",
+	}
+	for i, body := range bad {
+		if err := ValidatePrometheusText(body); err == nil {
+			t.Errorf("case %d: expected validation error for:\n%s", i, body)
+		}
+	}
+	good := "# HELP c ok\n# TYPE c counter\nc 1\n" +
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1.5\nh_count 2\n"
+	if err := ValidatePrometheusText(good); err != nil {
+		t.Errorf("valid body rejected: %v", err)
+	}
+}

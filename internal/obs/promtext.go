@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheusText is a strict structural check of the text
+// exposition format, shared by this package's tests and the server's
+// httptest suite: TYPE lines precede their samples and never repeat,
+// every sample belongs to a declared family, histogram le bounds
+// ascend with nondecreasing cumulative counts, and each histogram's
+// +Inf bucket equals its _count.
+func ValidatePrometheusText(body string) error {
+	types := map[string]string{}
+	hists := map[string]*histCheck{} // keyed by family name + base label set
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			parts := strings.Fields(text)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", line, parts[2])
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q", line, parts[3])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			return fmt.Errorf("line %d: unknown comment %q", line, text)
+		}
+		sp := strings.LastIndexByte(text, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: no value", line)
+		}
+		id, val := text[:sp], text[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("line %d: bad value %q", line, val)
+		}
+		name, labels := id, ""
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			name, labels = id[:i], id[i:]
+			if !strings.HasSuffix(labels, "}") {
+				return fmt.Errorf("line %d: unterminated labels", line)
+			}
+		}
+		fam, typ := familyOf(name, types)
+		if typ == "" {
+			return fmt.Errorf("line %d: sample %s has no TYPE declaration", line, name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, base, err := splitLE(labels)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+			h := histFor(hists, fam+base)
+			cum, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bucket count %q not an integer", line, val)
+			}
+			if cum < h.lastCum {
+				return fmt.Errorf("line %d: cumulative bucket counts decreased (%d after %d)", line, cum, h.lastCum)
+			}
+			if le == "+Inf" {
+				h.sawInf = true
+				h.infCum = cum
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q", line, le)
+				}
+				if h.sawInf {
+					return fmt.Errorf("line %d: finite bucket after +Inf", line)
+				}
+				if h.seenBound && bound <= h.lastLE {
+					return fmt.Errorf("line %d: le %v not ascending after %v", line, bound, h.lastLE)
+				}
+				h.seenBound = true
+				h.lastLE = bound
+			}
+			h.lastCum = cum
+		case strings.HasSuffix(name, "_count"):
+			h := histFor(hists, fam+labels)
+			c, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: _count %q not an integer", line, val)
+			}
+			h.sawCount = true
+			h.count = c
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, h := range hists {
+		if !h.sawInf || !h.sawCount {
+			return fmt.Errorf("histogram %s missing +Inf bucket or _count", key)
+		}
+		if h.infCum != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", key, h.infCum, h.count)
+		}
+	}
+	return nil
+}
+
+type histCheck struct {
+	lastLE    float64
+	seenBound bool
+	lastCum   uint64
+	infCum    uint64
+	count     uint64
+	sawInf    bool
+	sawCount  bool
+}
+
+func histFor(m map[string]*histCheck, key string) *histCheck {
+	h, ok := m[key]
+	if !ok {
+		h = &histCheck{}
+		m[key] = h
+	}
+	return h
+}
+
+// familyOf maps a sample name to its declared family, resolving the
+// histogram _bucket/_sum/_count suffixes.
+func familyOf(name string, types map[string]string) (string, string) {
+	if t, ok := types[name]; ok {
+		return name, t
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && t == "histogram" {
+				return base, t
+			}
+		}
+	}
+	return "", ""
+}
+
+// splitLE extracts the le value from a rendered label set, returning
+// the remaining base labels re-rendered for use as a series key.
+func splitLE(labels string) (le, base string, err error) {
+	if labels == "" {
+		return "", "", fmt.Errorf("_bucket sample without le label")
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, pair := range splitLabelPairs(inner) {
+		if strings.HasPrefix(pair, `le="`) {
+			le = strings.TrimSuffix(strings.TrimPrefix(pair, `le="`), `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("_bucket sample missing le in %q", labels)
+	}
+	if len(kept) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", nil
+}
+
+// splitLabelPairs splits a rendered label body on commas outside
+// quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

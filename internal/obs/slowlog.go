@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one structured slow-query record: what ran, what it
+// cost in every dimension the engine measures, and (when the query was
+// traced) the full per-shard breakdown.
+type SlowQuery struct {
+	Time         time.Time    `json:"time"`
+	Query        string       `json:"query"`
+	ElapsedUS    int64        `json:"elapsed_us"`
+	Version      int64        `json:"version"`
+	Scanned      int          `json:"scanned"`
+	Skipped      int          `json:"skipped"`
+	Matched      int          `json:"matched"`
+	TotalCycles  int          `json:"total_cycles"`
+	TotalEnergyJ float64      `json:"total_energy_j"`
+	Trace        *TraceReport `json:"trace,omitempty"`
+}
+
+// SlowLog is a bounded ring of the newest SlowQuery entries, so a burst
+// of slow queries can never grow memory.
+type SlowLog struct {
+	mu   sync.Mutex
+	ring []SlowQuery
+	next int // insertion index
+	full bool
+}
+
+// NewSlowLog returns a log retaining the newest size entries.  size < 1
+// is treated as 1.
+func NewSlowLog(size int) *SlowLog {
+	if size < 1 {
+		size = 1
+	}
+	return &SlowLog{ring: make([]SlowQuery, size)}
+}
+
+// Add appends one record, evicting the oldest when the ring is full.
+func (l *SlowLog) Add(q SlowQuery) {
+	l.mu.Lock()
+	l.ring[l.next] = q
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Entries returns the retained records oldest-first.
+func (l *SlowLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]SlowQuery(nil), l.ring[:l.next]...)
+	}
+	out := make([]SlowQuery, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Len reports how many records are retained.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return len(l.ring)
+	}
+	return l.next
+}

@@ -50,8 +50,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"racelogic/internal/circuit"
+	"racelogic/internal/obs"
 	"racelogic/internal/race"
 	"racelogic/internal/tech"
 	"racelogic/internal/temporal"
@@ -86,6 +88,9 @@ type Request struct {
 	// candidates per shard instead (ShardScan.Candidates) and ignores
 	// this field.
 	Candidates []int
+	// Trace, when non-nil, receives this query's phase spans and
+	// per-shard race dimensions.  Untraced queries pay one nil check.
+	Trace *obs.Trace
 }
 
 // Result is one database entry that survived the race (and, when a
@@ -181,6 +186,22 @@ type Pools struct {
 	built   atomic.Int64 // engines constructed over the Pools' lifetime
 	idle    atomic.Int64 // engines currently parked across all pools
 	maxIdle atomic.Int64 // park limit; excess released engines are dropped
+
+	checkoutObs atomic.Pointer[CheckoutObserver]
+}
+
+// CheckoutObserver sees every engine checkout: how long the worker
+// waited (including any compile) and whether a fresh engine was built.
+type CheckoutObserver func(wait time.Duration, built bool)
+
+// SetCheckoutObserver installs fn on every future checkout; nil removes
+// it.  The database layer uses this to feed its wait histogram.
+func (p *Pools) SetCheckoutObserver(fn CheckoutObserver) {
+	if fn == nil {
+		p.checkoutObs.Store(nil)
+		return
+	}
+	p.checkoutObs.Store(&fn)
 }
 
 // NewPools builds an engine-pool set.  Factory is required; a nil
@@ -269,6 +290,26 @@ func (p *Pools) acquire(key poolKey) (eng Engine, area float64, built bool, err 
 	}
 	ep.mu.Unlock()
 	return eng, area, true, nil
+}
+
+// acquireObserved wraps acquire with the wall-clock the worker spent
+// waiting for (or compiling) an engine, feeding the pool observer and
+// the query trace when either is present.
+func (p *Pools) acquireObserved(key poolKey, shard int, tr *obs.Trace) (Engine, float64, bool, error) {
+	fn := p.checkoutObs.Load()
+	if fn == nil && tr == nil {
+		return p.acquire(key)
+	}
+	begin := time.Now()
+	eng, area, built, err := p.acquire(key)
+	if err == nil {
+		wait := time.Since(begin)
+		if fn != nil {
+			(*fn)(wait, built)
+		}
+		tr.AddEngineCheckout(shard, wait, built)
+	}
+	return eng, area, built, err
 }
 
 // release parks an engine back into its shape pool for the next chunk,
@@ -730,7 +771,9 @@ func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error)
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	tr := req.Trace
 
+	endSpan := tr.StartSpan("plan")
 	plans := make([]*scanPlan, len(shards))
 	raced := 0
 	lengthSet := make(map[int]bool)
@@ -747,6 +790,7 @@ func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error)
 	}
 	report := &Report{Scanned: raced, Buckets: len(lengthSet)}
 	if raced == 0 {
+		endSpan()
 		report.Results = []Result{}
 		return report, nil
 	}
@@ -759,6 +803,7 @@ func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error)
 	for si, plan := range plans {
 		chunks = plan.appendChunks(chunks, si, target)
 	}
+	endSpan()
 
 	slots := make([]*entrySlots, len(shards))
 	for si, plan := range plans {
@@ -767,7 +812,8 @@ func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error)
 	chunkErrs := make([]error, len(chunks))   // indexed by chunk
 	chunkErrID := make([]uint64, len(chunks)) // rank key an error hit
 	var builds atomic.Int64                   // engines built for this search
-	jobs := make(chan int)                    // chunk indices
+	endSpan = tr.StartSpan("race")
+	jobs := make(chan int) // chunk indices
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -776,7 +822,7 @@ func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error)
 			for ci := range jobs {
 				c := chunks[ci]
 				sc := &shards[c.shard]
-				err, errSlot := sc.DB.pools.runChunk(sc.Snap, query, c, plans[c.shard].scan, req.Threshold, slots[c.shard], &builds)
+				err, errSlot := sc.DB.pools.runChunk(sc.Snap, query, c, plans[c.shard].scan, req.Threshold, slots[c.shard], &builds, tr)
 				if err != nil {
 					chunkErrs[ci] = err
 					chunkErrID[ci] = sc.slotID(errSlot)
@@ -789,6 +835,7 @@ func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error)
 	}
 	close(jobs)
 	wg.Wait()
+	endSpan()
 	report.EnginesBuilt = int(builds.Load())
 
 	// Errors are reported by lowest rank key (the lowest database index
@@ -824,6 +871,7 @@ func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error)
 	}
 	sort.Slice(refs, func(a, b int) bool { return refs[a].id < refs[b].id })
 
+	endSpan = tr.StartSpan("merge")
 	var all []Result
 	for _, ref := range refs {
 		sl := slots[ref.shard]
@@ -851,6 +899,27 @@ func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error)
 		all = []Result{}
 	}
 	report.Results = all
+	endSpan()
+
+	if tr != nil {
+		// Re-walk the scanned entries to fill each shard's deterministic
+		// dimensions — count fields only, so two traced runs of the same
+		// query over the same corpus report identical values.
+		perChunks := make([]int, len(shards))
+		for _, c := range chunks {
+			perChunks[c.shard]++
+		}
+		perCycles := make([]int, len(shards))
+		perEnergy := make([]float64, len(shards))
+		for _, ref := range refs {
+			sl := slots[ref.shard]
+			perCycles[ref.shard] += sl.cycles[ref.si]
+			perEnergy[ref.shard] += sl.energyJ[ref.si]
+		}
+		for si, plan := range plans {
+			tr.RecordShardScan(si, plan.raced, perChunks[si], perCycles[si], perEnergy[si])
+		}
+	}
 	return report, nil
 }
 
@@ -859,10 +928,10 @@ func MultiSearch(shards []ShardScan, query string, req Request) (*Report, error)
 // A nil scan means chunk indices are snapshot slots directly.  It
 // returns the first error and the snapshot slot it occurred at.
 func (p *Pools) runChunk(s *Snapshot, query string, c chunk, scan []int, threshold int64,
-	slots *entrySlots, builds *atomic.Int64) (error, int) {
+	slots *entrySlots, builds *atomic.Int64, tr *obs.Trace) (error, int) {
 
 	key := poolKey{n: len(query), m: c.m}
-	eng, area, built, err := p.acquire(key)
+	eng, area, built, err := p.acquireObserved(key, c.shard, tr)
 	if err != nil {
 		first := c.indices[0]
 		if scan != nil {
@@ -874,6 +943,10 @@ func (p *Pools) runChunk(s *Snapshot, query string, c chunk, scan []int, thresho
 		builds.Add(1)
 	}
 	defer p.release(key, eng)
+	if tr != nil {
+		raceBegin := time.Now()
+		defer func() { tr.AddRace(c.shard, time.Since(raceBegin)) }()
+	}
 	for _, si := range c.indices {
 		i := si
 		if scan != nil {

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"time"
+
+	"racelogic"
+	"racelogic/internal/obs"
+)
+
+// initObs builds the server-side registry: the HTTP-layer counters and
+// cache gauges that complement the database's own registry under the
+// shared GET /metrics endpoint.
+func (s *Server) initObs() {
+	r := obs.NewRegistry()
+	r.CounterFunc("racelogic_http_requests_total",
+		"Service requests received (search, mutation, compact).",
+		func() float64 { return float64(s.requests.Load()) })
+	r.CounterFunc("racelogic_http_failures_total",
+		"Requests answered with an error status.",
+		func() float64 { return float64(s.failures.Load()) })
+	r.CounterFunc("racelogic_http_mutations_total",
+		"Successful inserts, bulk batches, and removes.",
+		func() float64 { return float64(s.mutations.Load()) })
+	r.CounterFunc("racelogic_cache_hits_total",
+		"Searches served from the response cache.",
+		func() float64 { return float64(s.cacheHits.Load()) })
+	r.CounterFunc("racelogic_slow_queries_total",
+		"Searches that crossed a slow-query threshold.",
+		func() float64 { return float64(s.slowQueries.Load()) })
+	r.GaugeFunc("racelogic_cache_entries",
+		"Responses currently held by the cache.",
+		func() float64 { return float64(s.cache.len()) })
+	r.GaugeFunc("racelogic_cache_capacity",
+		"Response-cache bound; 0 when caching is disabled.",
+		func() float64 { return float64(s.cache.capacity()) })
+	r.GaugeFunc("racelogic_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg = r
+}
+
+// MetricsHandler returns the GET /metrics handler — the database's
+// registry merged with the server's — for mounting on a separate debug
+// listener in addition to the service mux.
+func (s *Server) MetricsHandler() http.Handler {
+	return obs.Handler(s.db.Metrics(), s.reg)
+}
+
+// noteSlow records one uncached search against the slow-query
+// thresholds: a crossing lands in the bounded ring (with the trace
+// breakdown when the request carried one) and on the process log as a
+// single JSON line.
+func (s *Server) noteSlow(query string, elapsed time.Duration, rep *racelogic.SearchReport, tr *obs.TraceReport) {
+	overLatency := s.slowLatency > 0 && elapsed >= s.slowLatency
+	overEnergy := s.slowEnergy > 0 && rep.TotalEnergyJ >= s.slowEnergy
+	if !overLatency && !overEnergy {
+		return
+	}
+	s.slowQueries.Add(1)
+	sq := obs.SlowQuery{
+		Time:         time.Now().UTC(),
+		Query:        query,
+		ElapsedUS:    elapsed.Microseconds(),
+		Version:      rep.Version,
+		Scanned:      rep.Scanned,
+		Skipped:      rep.Skipped,
+		Matched:      rep.Matched,
+		TotalCycles:  rep.TotalCycles,
+		TotalEnergyJ: rep.TotalEnergyJ,
+		Trace:        tr,
+	}
+	s.slow.Add(sq)
+	if line, err := json.Marshal(sq); err == nil {
+		log.Printf("slow query: %s", line)
+	}
+}
+
+// SlowLogResponse is the GET /slowlog reply: the retained slow-query
+// records, oldest first.
+type SlowLogResponse struct {
+	// Count is the number of retained records; Total every slow query
+	// since start (the ring may have evicted the difference).
+	Count   int             `json:"count"`
+	Total   int64           `json:"total"`
+	Queries []obs.SlowQuery `json:"queries"`
+}
+
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	qs := s.slow.Entries()
+	writeJSON(w, http.StatusOK, SlowLogResponse{
+		Count:   len(qs),
+		Total:   s.slowQueries.Load(),
+		Queries: qs,
+	})
+}

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"racelogic"
+	"racelogic/internal/obs"
 	"racelogic/internal/seqgen"
 )
 
@@ -30,7 +32,22 @@ type Config struct {
 	// query is a denial-of-service lever on a public endpoint.  ≤ 0
 	// selects DefaultMaxQueryLen.
 	MaxQueryLen int
+	// SlowQueryLatency logs any uncached search slower than this to the
+	// bounded slow-query log and the process log; ≤ 0 disables the
+	// latency trigger.
+	SlowQueryLatency time.Duration
+	// SlowQueryEnergyJ logs any uncached search spending at least this
+	// many joules — the hardware-native analogue of a latency threshold;
+	// ≤ 0 disables the energy trigger.
+	SlowQueryEnergyJ float64
+	// SlowLogSize bounds the slow-query ring served by GET /slowlog;
+	// ≤ 0 selects DefaultSlowLogSize.
+	SlowLogSize int
 }
+
+// DefaultSlowLogSize bounds the slow-query ring when Config.SlowLogSize
+// is unset.
+const DefaultSlowLogSize = 128
 
 // DefaultMaxQueryLen bounds /search queries when Config.MaxQueryLen is
 // unset.
@@ -50,10 +67,18 @@ type Server struct {
 	start       time.Time
 	mux         *http.ServeMux
 
-	requests  atomic.Int64 // /search requests received
-	cacheHits atomic.Int64
-	failures  atomic.Int64 // requests answered with an error
-	mutations atomic.Int64 // successful inserts + removes
+	// reg is the server-side metric registry (request counters, cache
+	// gauges, uptime); GET /metrics merges it with the database's own.
+	reg         *obs.Registry
+	slow        *obs.SlowLog
+	slowLatency time.Duration
+	slowEnergy  float64
+
+	requests    atomic.Int64 // /search requests received
+	cacheHits   atomic.Int64
+	failures    atomic.Int64 // requests answered with an error
+	mutations   atomic.Int64 // successful inserts + removes
+	slowQueries atomic.Int64
 }
 
 // New builds the service around a loaded database.
@@ -65,6 +90,10 @@ func New(cfg Config) (*Server, error) {
 	if maxQueryLen <= 0 {
 		maxQueryLen = DefaultMaxQueryLen
 	}
+	slowLogSize := cfg.SlowLogSize
+	if slowLogSize <= 0 {
+		slowLogSize = DefaultSlowLogSize
+	}
 	s := &Server{
 		db:          cfg.DB,
 		cache:       newLRU(cfg.CacheSize),
@@ -72,10 +101,16 @@ func New(cfg Config) (*Server, error) {
 		maxQueryLen: maxQueryLen,
 		start:       time.Now(),
 		mux:         http.NewServeMux(),
+		slow:        obs.NewSlowLog(slowLogSize),
+		slowLatency: cfg.SlowQueryLatency,
+		slowEnergy:  cfg.SlowQueryEnergyJ,
 	}
+	s.initObs()
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/slowlog", s.handleSlowLog)
+	s.mux.Handle("/metrics", obs.Handler(s.db.Metrics(), s.reg))
 	s.mux.HandleFunc("POST /entries", s.handleInsert)
 	s.mux.HandleFunc("POST /entries/bulk", s.handleBulkInsert)
 	s.mux.HandleFunc("DELETE /entries/{id}", s.handleRemove)
@@ -140,6 +175,9 @@ type SearchResponse struct {
 	// ElapsedUS is this request's wall-clock service time either way.
 	Cached    bool  `json:"cached"`
 	ElapsedUS int64 `json:"elapsed_us"`
+	// Trace is the per-shard span breakdown, present only on ?trace=1
+	// requests (which always race — never served or stored by the cache).
+	Trace *obs.TraceReport `json:"trace,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx reply.
@@ -201,20 +239,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		topK = s.defaultTopK
 	}
 
+	// A traced request exists to measure the real pipeline, so it
+	// bypasses the cache in both directions: a hit would trace nothing,
+	// and storing the traced response would replay a stale breakdown.
+	traced := r.URL.Query().Get("trace") == "1"
+
 	// The key carries the database version read *before* the search, so
 	// every mutation implicitly invalidates the whole cache: a stale
 	// report can only be found under a version no future request asks
 	// for.  (A search racing a mutation may be cached under the older
 	// version's key — harmless for the same reason.)
 	key := cacheKey(s.db.Version(), req.Query, topK, req.Threshold, req.FullScan)
-	if cached, ok := s.cache.get(key); ok {
-		// get hands back a private copy, so stamping these per-request
-		// fields cannot corrupt the cached response other callers share.
-		s.cacheHits.Add(1)
-		cached.Cached = true
-		cached.ElapsedUS = time.Since(started).Microseconds()
-		writeJSON(w, http.StatusOK, cached)
-		return
+	if !traced {
+		if cached, ok := s.cache.get(key); ok {
+			// get hands back a private copy, so stamping these per-request
+			// fields cannot corrupt the cached response other callers share.
+			s.cacheHits.Add(1)
+			cached.Cached = true
+			cached.ElapsedUS = time.Since(started).Microseconds()
+			writeJSON(w, http.StatusOK, cached)
+			return
+		}
 	}
 
 	var opts []racelogic.Option
@@ -229,16 +274,28 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.FullScan {
 		opts = append(opts, racelogic.WithFullScan())
 	}
-	rep, err := s.db.Search(req.Query, opts...)
+	ctx := r.Context()
+	var tr *obs.Trace
+	if traced {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	rep, err := s.db.SearchContext(ctx, req.Query, opts...)
 	if err != nil {
 		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	resp := toResponse(rep)
-	s.cache.add(key, resp)
+	if traced {
+		resp.Trace = tr.Report()
+	} else {
+		s.cache.add(key, resp)
+	}
 	out := *resp
-	out.ElapsedUS = time.Since(started).Microseconds()
+	elapsed := time.Since(started)
+	out.ElapsedUS = elapsed.Microseconds()
+	s.noteSlow(req.Query, elapsed, rep, out.Trace)
 	writeJSON(w, http.StatusOK, &out)
 }
 
@@ -553,7 +610,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsResponse is the GET /stats reply: database shape, durability
-// state, per-shard gauges, and cumulative service counters.
+// state, per-shard gauges, and cumulative service counters.  The shape
+// fields — Entries, Version, Tombstones, Buckets, and the Shards rows —
+// are one consistent cut: they all come from the same atomically loaded
+// database view, so Entries always sums the shard rows and Version is
+// the view those counts belong to, even under concurrent mutation.
 type StatsResponse struct {
 	Entries    int   `json:"entries"`
 	Version    int64 `json:"version"`
@@ -561,6 +622,8 @@ type StatsResponse struct {
 	Buckets    int   `json:"buckets"`
 	SeedK      int   `json:"seed_k"`
 	ShardCount int   `json:"shard_count"`
+	// GoVersion is the toolchain the serving binary was built with.
+	GoVersion string `json:"go_version"`
 	// Backend names the simulation engine the database races on:
 	// "cycle" (the reference simulator) or "event" (the event-driven
 	// fast path).
@@ -575,6 +638,7 @@ type StatsResponse struct {
 	CacheHits     int64  `json:"cache_hits"`
 	CacheEntries  int    `json:"cache_entries"`
 	CacheCapacity int    `json:"cache_capacity"`
+	SlowQueries   int64  `json:"slow_queries"`
 	UptimeSeconds int64  `json:"uptime_seconds"`
 	// Durable reports whether mutations are journaled to a write-ahead
 	// log; the WAL and snapshot fields below are zero when it is false.
@@ -607,13 +671,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.db.Durable() {
 		age = s.db.SnapshotAge().Seconds()
 	}
+	// One Stats() call pins one view: reading Len, Version, Tombstones,
+	// and the shard rows through separate calls lets a concurrent
+	// mutation land between them, tearing the reply (an entry count from
+	// one version reported against another's shard rows).
+	dbs := s.db.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Entries:            s.db.Len(),
-		Version:            s.db.Version(),
-		Tombstones:         s.db.Tombstones(),
-		Buckets:            s.db.Buckets(),
+		Entries:            dbs.Entries,
+		Version:            dbs.Version,
+		Tombstones:         dbs.Tombstones,
+		Buckets:            dbs.Buckets,
 		SeedK:              s.db.SeedK(),
 		ShardCount:         s.db.Shards(),
+		GoVersion:          runtime.Version(),
 		Backend:            s.db.Backend().String(),
 		Searches:           s.db.Searches(),
 		Mutations:          s.mutations.Load(),
@@ -625,6 +695,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:          s.cacheHits.Load(),
 		CacheEntries:       s.cache.len(),
 		CacheCapacity:      s.cache.capacity(),
+		SlowQueries:        s.slowQueries.Load(),
 		UptimeSeconds:      int64(time.Since(s.start).Seconds()),
 		Durable:            s.db.Durable(),
 		WALRecords:         s.db.WALRecords(),
@@ -633,6 +704,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SnapshotFailures:   s.db.SnapshotFailures(),
 		SnapshotAgeSeconds: age,
 		WALSegments:        s.db.WALSegments(),
-		Shards:             s.db.ShardStats(),
+		Shards:             dbs.Shards,
 	})
 }

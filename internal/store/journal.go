@@ -35,7 +35,8 @@ type Journal struct {
 	active   *WAL
 	sealed   []sealedSegment
 	nextSeq  int
-	segBytes int64 // rotation threshold; ≤ 0 disables rotation
+	segBytes int64   // rotation threshold; ≤ 0 disables rotation
+	timings  Timings // re-applied to every segment rotation opens
 }
 
 // sealedSegment is one closed, fully-replayable segment file.
@@ -178,6 +179,7 @@ func (j *Journal) RotateIfOversized() (bool, error) {
 		fresh.Close()
 		return false, fmt.Errorf("store: fresh journal segment %s was not empty", activePath)
 	}
+	fresh.SetTimings(j.timings)
 	j.active = fresh
 	return true, nil
 }

@@ -1,0 +1,27 @@
+package store
+
+// Timings carries optional wall-clock observers for the journal hot
+// path: Append sees every record append (frame, write, unwind) and
+// Sync every group-commit fsync the leader issues.  Nil fields cost
+// nothing; durations are reported in seconds to land directly in a
+// metrics histogram.
+type Timings struct {
+	Append func(seconds float64)
+	Sync   func(seconds float64)
+}
+
+// SetTimings installs observers on the active segment and every
+// segment a future rotation opens.  Call it before concurrent traffic.
+func (j *Journal) SetTimings(t Timings) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.timings = t
+	j.active.SetTimings(t)
+}
+
+// SetTimings installs observers on this segment.
+func (w *WAL) SetTimings(t Timings) {
+	w.mu.Lock()
+	w.timings = t
+	w.mu.Unlock()
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // walMagic opens every WAL segment.
@@ -214,6 +215,7 @@ type WAL struct {
 	lastSize int64 // size before the most recent append (DropLast window)
 	records  int64
 	buf      bytes.Buffer
+	timings  Timings
 
 	// Group-commit state.  synced is the prefix length known durable;
 	// a single leader flushes at a time while followers wait, so N
@@ -373,6 +375,10 @@ func (w *WAL) append(encode func(*encoder)) error {
 	if w.f == nil {
 		return fmt.Errorf("store: WAL is closed")
 	}
+	if w.timings.Append != nil {
+		begin := time.Now()
+		defer func() { w.timings.Append(time.Since(begin).Seconds()) }()
+	}
 	// After a flush failure the kernel may have dropped dirty pages while
 	// marking them clean (the classic fsync-error trap), so nothing past
 	// the synced watermark can be trusted and nothing new may be
@@ -518,6 +524,10 @@ func (w *WAL) GroupSync() error {
 		var err error
 		if w.f == nil {
 			err = fmt.Errorf("store: WAL is closed")
+		} else if w.timings.Sync != nil {
+			begin := time.Now()
+			err = w.f.Sync()
+			w.timings.Sync(time.Since(begin).Seconds())
 		} else {
 			err = w.f.Sync()
 		}

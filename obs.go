@@ -1,0 +1,223 @@
+package racelogic
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"racelogic/internal/obs"
+	"racelogic/internal/store"
+)
+
+// dbMetrics is the database's instrument set: the hot-path histograms
+// and counters searches and journal appends feed directly, over a
+// registry that also reads the existing lifetime atomics at scrape
+// time.  Everything carries the backend label where the cycle and
+// event engines are worth comparing side by side.
+type dbMetrics struct {
+	reg *obs.Registry
+
+	searchLatency *obs.Histogram
+	searchCycles  *obs.Histogram
+	searchEnergy  *obs.Histogram
+	checkoutWait  *obs.Histogram
+	walAppend     *obs.Histogram
+	walFsync      *obs.Histogram
+
+	scanned  *obs.Counter
+	skipped  *obs.Counter
+	rejected *obs.Counter
+}
+
+// initObs builds the registry and threads the observers into the hot
+// layers: the engine pools' checkout observer, the shard journals'
+// append/fsync timings (installed when the journals open), and the
+// seed index's lookup counters (one Stats sink shared by every shard's
+// index lineage).  Called once from assembleShards, before the
+// database is shared.
+func (d *Database) initObs() {
+	r := obs.NewRegistry()
+	backend := obs.Label{Name: "backend", Value: d.cfg.backend.String()}
+	m := &dbMetrics{reg: r}
+
+	m.searchLatency = r.Histogram("racelogic_search_latency_seconds",
+		"Wall-clock per Database.Search call.",
+		obs.ExpBuckets(0.0001, 2, 18), backend)
+	m.searchCycles = r.Histogram("racelogic_search_cycles",
+		"Race-logic cycles summed over one search's races.",
+		obs.ExpBuckets(1, 4, 14), backend)
+	m.searchEnergy = r.Histogram("racelogic_search_energy_joules",
+		"Dynamic energy summed over one search's races.",
+		obs.ExpBuckets(1e-12, 10, 14), backend)
+	m.checkoutWait = r.Histogram("racelogic_engine_checkout_wait_seconds",
+		"Wall-clock a worker spent acquiring (or compiling) an engine.",
+		obs.ExpBuckets(1e-7, 4, 14))
+	m.walAppend = r.Histogram("racelogic_wal_append_seconds",
+		"Wall-clock per write-ahead-log record append.",
+		obs.ExpBuckets(1e-6, 4, 12))
+	m.walFsync = r.Histogram("racelogic_wal_fsync_seconds",
+		"Wall-clock per group-commit fsync (the leader's).",
+		obs.ExpBuckets(1e-5, 4, 12))
+
+	m.scanned = r.Counter("racelogic_search_entries_scanned_total",
+		"Database entries raced across all searches.", backend)
+	m.skipped = r.Counter("racelogic_search_entries_skipped_total",
+		"Entries the seed index let searches skip.", backend)
+	m.rejected = r.Counter("racelogic_search_entries_rejected_total",
+		"Entries abandoned by the similarity-threshold pre-filter.", backend)
+
+	r.CounterFunc("racelogic_searches_total",
+		"Search calls served.",
+		func() float64 { return float64(d.searches.Load()) }, backend)
+	r.CounterFunc("racelogic_compactions_total",
+		"Dense rebuilds (automatic, manual, and save-time).",
+		func() float64 { return float64(d.compactions.Load()) })
+	r.CounterFunc("racelogic_snapshot_saves_total",
+		"Durable snapshot-set saves.",
+		func() float64 { return float64(d.snapSaves.Load()) })
+	r.CounterFunc("racelogic_snapshot_failures_total",
+		"Background snapshot or compaction attempts that errored.",
+		func() float64 { return float64(d.snapFailures.Load()) })
+	r.CounterFunc("racelogic_engines_built_total",
+		"Arrays compiled over the database's lifetime.",
+		func() float64 { return float64(d.pools.EnginesBuilt()) })
+	r.CounterFunc("racelogic_wal_replayed_records_total",
+		"Journal records replayed over snapshots at open.",
+		func() float64 { return float64(d.walReplayed.Load()) })
+	r.CounterFunc("racelogic_wal_group_syncs_total",
+		"Fsyncs issued on the group-commit path, across shards.",
+		func() float64 {
+			total := int64(0)
+			for _, sh := range d.shards {
+				sh.mu.Lock()
+				if sh.jrnl != nil {
+					total += sh.jrnl.Syncs()
+				}
+				sh.mu.Unlock()
+			}
+			return float64(total)
+		})
+	r.CounterFunc("racelogic_seed_lookups_total",
+		"Seed-index candidate lookups.",
+		func() float64 { return float64(d.idxStats.Lookups.Load()) })
+	r.CounterFunc("racelogic_seed_candidates_total",
+		"Candidate slots those lookups returned.",
+		func() float64 { return float64(d.idxStats.Candidates.Load()) })
+	r.CounterFunc("racelogic_seed_full_cover_lookups_total",
+		"Lookups that could not rule anything out (query shorter than k).",
+		func() float64 { return float64(d.idxStats.FullCover.Load()) })
+
+	r.GaugeFunc("racelogic_entries",
+		"Live database entries.",
+		func() float64 { return float64(d.view.Load().live()) })
+	r.GaugeFunc("racelogic_tombstones",
+		"Removed-but-uncompacted slots.",
+		func() float64 { return float64(d.view.Load().dead()) })
+	r.GaugeFunc("racelogic_version",
+		"Mutation counter of the published view.",
+		func() float64 { return float64(d.view.Load().version) })
+	r.GaugeFunc("racelogic_pooled_engines",
+		"Idle compiled engines parked in the shape pools.",
+		func() float64 { return float64(d.pools.PooledEngines()) })
+	r.GaugeFunc("racelogic_wal_records",
+		"Journaled mutations not yet folded into snapshots.",
+		func() float64 { return float64(d.WALRecords()) })
+	r.GaugeFunc("racelogic_wal_bytes",
+		"Journal bytes across active and sealed segments.",
+		func() float64 { return float64(d.WALBytes()) })
+	r.GaugeFunc("racelogic_wal_sealed_segments",
+		"Sealed journal segments awaiting a checkpoint.",
+		func() float64 { return float64(d.WALSegments()) })
+	r.GaugeFunc("racelogic_snapshot_age_seconds",
+		"Age of the newest durable snapshot set; -1 when memory-only.",
+		func() float64 { return d.SnapshotAge().Seconds() })
+
+	for s := range d.shards {
+		s := s
+		shardLabel := obs.Label{Name: "shard", Value: fmt.Sprintf("%d", s)}
+		r.GaugeFunc("racelogic_shard_entries",
+			"Live entries per partition.",
+			func() float64 { return float64(d.view.Load().states[s].snap.Len()) }, shardLabel)
+		r.GaugeFunc("racelogic_shard_tombstones",
+			"Tombstoned slots per partition.",
+			func() float64 { return float64(d.view.Load().states[s].snap.Dead()) }, shardLabel)
+		r.GaugeFunc("racelogic_shard_wal_records",
+			"Journal-tail records per partition.",
+			func() float64 {
+				sh := d.shards[s]
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				if sh.jrnl == nil {
+					return 0
+				}
+				return float64(sh.jrnl.Records())
+			}, shardLabel)
+	}
+
+	r.Gauge("racelogic_build_info",
+		"Constant 1; the labels carry the build identity.",
+		obs.Label{Name: "go_version", Value: runtime.Version()},
+		backend,
+		obs.Label{Name: "shards", Value: fmt.Sprintf("%d", len(d.shards))},
+	).Set(1)
+
+	d.metrics = m
+	d.pools.SetCheckoutObserver(func(wait time.Duration, built bool) {
+		m.checkoutWait.Observe(wait.Seconds())
+	})
+}
+
+// walTimings is the observer set each shard journal runs under.
+func (d *Database) walTimings() store.Timings {
+	return store.Timings{
+		Append: d.metrics.walAppend.Observe,
+		Sync:   d.metrics.walFsync.Observe,
+	}
+}
+
+// observeSearch feeds one finished search into the histograms and scan
+// counters.
+func (m *dbMetrics) observeSearch(elapsed time.Duration, rep *SearchReport) {
+	m.searchLatency.Observe(elapsed.Seconds())
+	m.searchCycles.Observe(float64(rep.TotalCycles))
+	m.searchEnergy.Observe(rep.TotalEnergyJ)
+	m.scanned.Add(float64(rep.Scanned))
+	m.skipped.Add(float64(rep.Skipped))
+	m.rejected.Add(float64(rep.Rejected))
+}
+
+// Metrics returns the database's metric registry, ready to serve under
+// obs.Handler alongside any caller-side registries.
+func (d *Database) Metrics() *obs.Registry { return d.metrics.reg }
+
+// DatabaseStats is one consistent cut of the database's gauges: every
+// field is computed from a single atomically loaded view, so Entries,
+// Version, Tombstones, Buckets, and the per-shard rows always describe
+// the same instant even under concurrent mutation.
+type DatabaseStats struct {
+	Entries    int
+	Version    int64
+	Tombstones int
+	Buckets    int
+	Shards     []ShardStat
+}
+
+// Stats captures one consistent view of the database's gauges.  Use it
+// instead of calling Len/Version/Tombstones separately when the
+// numbers must agree with each other (the /stats endpoint).
+func (d *Database) Stats() DatabaseStats {
+	v := d.view.Load()
+	set := make(map[int]bool)
+	for _, st := range v.states {
+		for _, m := range st.snap.Lengths() {
+			set[m] = true
+		}
+	}
+	return DatabaseStats{
+		Entries:    v.live(),
+		Version:    v.version,
+		Tombstones: v.dead(),
+		Buckets:    len(set),
+		Shards:     d.shardStatsAt(v),
+	}
+}

@@ -86,6 +86,20 @@ WAL_RECS=$(echo "$SHARD_ARR" | grep -o '"wal_records":[0-9]*' | cut -d: -f2 | aw
 curl -sf -XPOST "http://$ADDR/search" -d '{"query":"ACGTACGTACGT","top_k":3}' |
     grep -q '"ACGTACGTACGT"' || { echo "recovered database lost the inserted entry" >&2; exit 1; }
 
+# The recovery must be visible on /metrics: the WAL-replay counter
+# counts the journal records the restart folded back in, and the build
+# info series identifies the serving binary.
+METRICS=$(curl -sf "http://$ADDR/metrics")
+REPLAYED=$(echo "$METRICS" | awk '/^racelogic_wal_replayed_records_total/ {print $2}')
+if ! [ "${REPLAYED:-0}" -gt 0 ] 2>/dev/null; then
+    echo "racelogic_wal_replayed_records_total = '$REPLAYED' after WAL-only recovery, want > 0" >&2
+    exit 1
+fi
+echo "$METRICS" | grep -q '^racelogic_build_info{' ||
+    { echo "/metrics is missing racelogic_build_info" >&2; exit 1; }
+echo "$METRICS" | grep -q '^racelogic_shard_entries{shard="3"}' ||
+    { echo "/metrics is missing the per-shard entry gauges" >&2; exit 1; }
+
 kill "$PID" 2>/dev/null || true
 wait "$PID" 2>/dev/null || true
 echo "crashtest: OK — $PRE entries survived kill -9 across $SHARDS shards"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# profile.sh — capture pprof profiles from a running raceserve.
+#
+# The server must be started with -debug-addr (the profiling listener is
+# opt-in and separate from the service address):
+#
+#   raceserve -gen 10000 -seedk 6 -debug-addr 127.0.0.1:8472 &
+#   ./scripts/profile.sh                   # 10s CPU + heap from :8472
+#   ./scripts/profile.sh 127.0.0.1:8472 30 # 30s CPU profile
+#
+# Profiles land in ./profiles/<timestamp>/ alongside a /metrics scrape,
+# so a profile is always paired with the counters that contextualize it.
+# Inspect with: go tool pprof profiles/<timestamp>/cpu.pprof
+set -euo pipefail
+
+ADDR="${1:-127.0.0.1:8472}"
+SECONDS_CPU="${2:-10}"
+OUT="profiles/$(date +%Y%m%d-%H%M%S)"
+
+if ! curl -sf "http://$ADDR/debug/pprof/" >/dev/null; then
+    echo "profile.sh: no pprof listener on $ADDR — start raceserve with -debug-addr $ADDR" >&2
+    exit 1
+fi
+
+mkdir -p "$OUT"
+echo "capturing ${SECONDS_CPU}s CPU profile from $ADDR ..."
+curl -sf "http://$ADDR/debug/pprof/profile?seconds=$SECONDS_CPU" -o "$OUT/cpu.pprof"
+echo "capturing heap, goroutine, mutex, and block profiles ..."
+curl -sf "http://$ADDR/debug/pprof/heap" -o "$OUT/heap.pprof"
+curl -sf "http://$ADDR/debug/pprof/goroutine" -o "$OUT/goroutine.pprof"
+curl -sf "http://$ADDR/debug/pprof/mutex" -o "$OUT/mutex.pprof"
+curl -sf "http://$ADDR/debug/pprof/block" -o "$OUT/block.pprof"
+curl -sf "http://$ADDR/metrics" -o "$OUT/metrics.prom"
+
+echo "profiles written to $OUT:"
+ls -l "$OUT"
+echo "inspect with: go tool pprof $OUT/cpu.pprof"

@@ -1,6 +1,7 @@
 package racelogic
 
 import (
+	"context"
 	"fmt"
 
 	"racelogic/internal/pipeline"
@@ -102,7 +103,7 @@ func Search(query string, db []string, opts ...Option) (*SearchReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.search(query, d.cfg)
+	return d.search(context.Background(), query, d.cfg)
 }
 
 // searchFactory maps the engine options onto a per-bucket array builder.
