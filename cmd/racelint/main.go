@@ -1,0 +1,252 @@
+// Command racelint runs the repository's invariant analyzers (see
+// racelogic/internal/analysis) over Go packages.
+//
+// Standalone mode loads, type-checks, and analyzes package patterns
+// directly:
+//
+//	racelint ./...
+//
+// It prints one "file:line:col: racelint/<name>: message" line per
+// finding and exits 2 when there are any, 1 on operational failure, 0
+// on a clean run.
+//
+// The binary also speaks `go vet`'s vettool protocol (-V=full, -flags,
+// and the .cfg unit files), so the same checks run under the build
+// cache:
+//
+//	go vet -vettool=$(command -v racelint) ./...
+//
+// In vettool mode the //racelint:* directive marks of each package are
+// serialized to the unit's .vetx fact file and merged back from the
+// dependencies' fact files, giving cross-package directive visibility
+// equivalent to standalone mode's module-wide collection.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"racelogic/internal/analysis"
+	"racelogic/internal/analysis/load"
+	"racelogic/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			fmt.Printf("racelint version %s\n", selfID())
+			return 0
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(args[0])
+		}
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return runStandalone(patterns)
+}
+
+// selfID fingerprints the binary so `go vet`'s action cache is
+// invalidated when the analyzers change.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum64())
+}
+
+// runStandalone analyzes the patterns rooted at the current directory.
+func runStandalone(patterns []string) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racelint:", err)
+		return 1
+	}
+	entries, err := suite.Lint(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racelint:", err)
+		return 1
+	}
+	for _, e := range entries {
+		fmt.Println(e)
+	}
+	if len(entries) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the unit description `go vet` hands a vettool, one JSON
+// file per package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one `go vet` unit.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racelint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "racelint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	files, err := load.ParseDirFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racelint:", err)
+		return 1
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, info, err := load.Check(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, analysis.NewMarks())
+		}
+		fmt.Fprintln(os.Stderr, "racelint:", err)
+		return 1
+	}
+
+	// Facts: dependency marks in, this package's marks out.
+	marks := analysis.NewMarks()
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for _, path := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, path)
+	}
+	sort.Strings(vetxPaths)
+	for _, path := range vetxPaths {
+		if err := mergeVetx(path, marks); err != nil {
+			fmt.Fprintln(os.Stderr, "racelint:", err)
+			return 1
+		}
+	}
+	own, err := analysis.CollectMarks(cfg.ImportPath, files)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "racelint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	marks.Merge(own)
+	if code := writeVetx(cfg.VetxOutput, marks); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := analysis.Run(suite.All(), fset, files, pkg, info, marks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "racelint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	return reportUnit(fset, files, diags)
+}
+
+// mergeVetx folds one dependency fact file into marks.  Fact files
+// written by other tools (or empty placeholder files) are skipped.
+func mergeVetx(path string, marks *analysis.Marks) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	var m analysis.Marks
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil // not a racelint fact file
+	}
+	marks.Merge(&m)
+	return nil
+}
+
+// writeVetx serializes the unit's marks for dependents.
+func writeVetx(path string, marks *analysis.Marks) int {
+	if path == "" {
+		return 0
+	}
+	data, err := json.Marshal(marks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racelint:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "racelint:", err)
+		return 1
+	}
+	return 0
+}
+
+// reportUnit prints diagnostics the way `go vet` expects: plain
+// file:line:col lines on stderr, exit status 2 when there are any.
+// Findings inside _test.go files are dropped to match standalone mode,
+// which analyzes only non-test sources — tests exercise invariants,
+// they do not publish state.
+func reportUnit(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: racelint/%s: %s\n", pos, d.Analyzer, d.Message)
+		n++
+	}
+	if n > 0 {
+		return 2
+	}
+	return 0
+}

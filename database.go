@@ -64,6 +64,8 @@ type Database struct {
 	// view is the consistent snapshot set searches read.  Writers
 	// replace it whole (CAS, retried only against writers of disjoint
 	// shards) while holding the locks of every shard they changed.
+	//
+	//racelint:published
 	view atomic.Pointer[dbview]
 
 	// ticket numbers logical mutations; in any sequential history it
@@ -131,6 +133,8 @@ type shard struct {
 // their stale ID until compaction), and sorted holds the same resident
 // IDs in ascending order — the order-statistics table global ranks are
 // computed from.
+//
+//racelint:cow
 type shardstate struct {
 	snap   *pipeline.Snapshot
 	idx    *index.Index
@@ -142,6 +146,8 @@ type shardstate struct {
 // global version.  A multi-shard mutation swaps every state it changed
 // in one CAS, which is what makes cross-shard mutations atomic to
 // searches.
+//
+//racelint:cow
 type dbview struct {
 	version int64
 	states  []*shardstate
@@ -284,6 +290,8 @@ type shardPart struct {
 
 // assembleShards builds the Database from per-shard parts — the shared
 // tail of every constructor, including the per-shard recovery path.
+//
+//racelint:publisher
 func assembleShards(cfg *config, parts []shardPart, nextID uint64, version int64) (*Database, error) {
 	factory, err := searchFactory(cfg)
 	if err != nil {
@@ -380,6 +388,8 @@ func (d *Database) lockShards(touched []int) func() {
 // with a fresh unique version.  The caller holds every touched shard's
 // lock, so the CAS retries only against concurrent writers of disjoint
 // shards and the per-shard states can never regress.
+//
+//racelint:publisher
 func (d *Database) publish(touched []int, states map[int]*shardstate, ticket int64) *dbview {
 	for {
 		cur := d.view.Load()
@@ -503,6 +513,8 @@ type pendingCommit struct {
 // journalShards appends one record per touched shard, rolling all of
 // them back on the first failure so a failed mutation leaves neither
 // memory nor disk changed.
+//
+//racelint:journal
 func (d *Database) journalShards(touched []int, appendRec func(sh *shard) (store.Commit, error)) ([]pendingCommit, error) {
 	var commits []pendingCommit
 	for _, s := range touched {

@@ -272,7 +272,7 @@ func (d *Database) openShardJournals(dir string, cfg *config, fresh bool) ([][]s
 		}
 		if fresh && (len(srecs) > 0 || j.SealedSegments() > 0) {
 			if err := j.Reset(); err != nil {
-				j.Close()
+				_ = j.Close()
 				return nil, err
 			}
 			srecs = nil
@@ -434,6 +434,8 @@ func openSharded(dir string, opts []Option) (*Database, error) {
 // journal from some other history, and loading it would serve wrong
 // data.  The global version and ID counters advance to the maximum the
 // records carry.
+//
+//racelint:publisher
 func (d *Database) replayShardJournals(recs [][]store.Record, snaps []*store.Snapshot) error {
 	globalVersion := d.view.Load().version
 	nextID := d.nextID.Load()
@@ -494,7 +496,7 @@ func (d *Database) closeShardJournals() {
 	for _, sh := range d.shards {
 		sh.mu.Lock()
 		if sh.jrnl != nil {
-			sh.jrnl.Close()
+			_ = sh.jrnl.Close()
 			sh.jrnl = nil
 		}
 		sh.mu.Unlock()
@@ -556,6 +558,7 @@ func (d *Database) replayV1(recs []store.Record, snapVersion int64) error {
 		if rec.Version <= snapVersion {
 			continue
 		}
+		//lint:ignore racelint/singlecut replay reloads on purpose to watch the version advance record by record
 		cur := d.view.Load().version
 		if rec.Version != cur+1 {
 			return fmt.Errorf("journal gap: record version %d after database version %d", rec.Version, cur)
@@ -570,10 +573,12 @@ func (d *Database) replayV1(recs []store.Record, snapVersion int64) error {
 				return err
 			}
 		case store.OpCompact:
+			//lint:ignore racelint/singlecut comparing versions across the compaction is the point
 			before := d.view.Load().version
 			if _, _, err := d.compactAll(false, false); err != nil {
 				return err
 			}
+			//lint:ignore racelint/singlecut comparing versions across the compaction is the point
 			if d.view.Load().version == before {
 				return fmt.Errorf("journaled compaction at version %d found nothing to reclaim", rec.Version)
 			}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check: a name (the suffix of the
+// "racelint/<name>" diagnostic category and ignore key), user-facing
+// documentation, and the Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer; it must be a valid identifier, is
+	// unique within the suite, and is what //lint:ignore comments name
+	// as "racelint/<Name>".
+	Name string
+	// Doc is the analyzer's documentation: one summary line, then the
+	// invariant it enforces.
+	Doc string
+	// Run reports diagnostics for one package via pass.Reportf.  A
+	// non-nil error aborts the whole run (it means the analyzer itself
+	// failed, not that the code is in violation).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax, types, and the module-wide mark
+// table to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg and Info are the result of type-checking Files.
+	Pkg  *types.Package
+	Info *types.Info
+	// Marks is the directive table: marks collected from every package
+	// in the module (standalone driver), from the fixture itself
+	// (analysistest), or from the package plus its dependencies' fact
+	// files (vettool mode).
+	Marks *Marks
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, anchored at the offending expression.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to one package and returns the surviving
+// diagnostics in position order — findings suppressed by a valid
+// //lint:ignore comment are dropped.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, marks *Marks) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			Marks:    marks,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if !Suppressed(fset, files, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// Named returns the named type under t, unwrapping one level of
+// pointer, or nil.  Instantiated generics resolve to their origin.
+func Named(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Origin()
+	}
+	return nil
+}
+
+// Callee resolves the function or method a call statically invokes, or
+// nil for calls through function values and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// MethodOn reports whether fn is the named method on the named type
+// from the given package path (receiver pointer-ness ignored), e.g.
+// MethodOn(fn, "sync", "Mutex", "Lock").
+func MethodOn(fn *types.Func, pkgPath, typeName, method string) bool {
+	if fn == nil || fn.Name() != method {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := Named(sig.Recv().Type())
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == typeName
+}

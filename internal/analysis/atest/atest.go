@@ -1,0 +1,185 @@
+// Package atest is the suite's analysistest: it runs one analyzer
+// over a fixture package under testdata/ and matches the diagnostics
+// against `// want "regexp"` expectations inline in the fixture.
+//
+// A want comment names every diagnostic expected on its line; a
+// diagnostic with no matching want, or a want with no matching
+// diagnostic, fails the test.  Suppression via //lint:ignore runs
+// before matching, so fixtures also assert the escape hatch.
+package atest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"racelogic/internal/analysis"
+	"racelogic/internal/analysis/load"
+)
+
+// wantRe extracts the quoted patterns of one want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one want pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the fixture package rooted at dir (relative to the test
+// package) with the analyzer and checks the want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	diags, fset, files := Analyze(t, []*analysis.Analyzer{a}, dir)
+	expectations := collectWants(t, fset, files)
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, exp := range expectations {
+			if exp.matched || exp.file != pos.Filename || exp.line != pos.Line {
+				continue
+			}
+			if exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, exp := range expectations {
+		if !exp.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", exp.file, exp.line, exp.re)
+		}
+	}
+}
+
+// Analyze loads and type-checks the fixture package in dir, collects
+// its //racelint:* marks, and runs the analyzers over it, returning the
+// surviving diagnostics.  Suite-level tests use it directly to assert
+// that injected violations are caught.
+func Analyze(t *testing.T, analyzers []*analysis.Analyzer, dir string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := load.ParseDirFiles(fset, dir, names)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("bad import in fixture: %v", err)
+			}
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	sort.Strings(imports)
+	imp, err := load.StdImporter(fset, dir, imports)
+	if err != nil {
+		t.Fatalf("building fixture importer: %v", err)
+	}
+	pkgPath := "fixture/" + filepath.Base(dir)
+	pkg, info, err := load.Check(fset, pkgPath, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	marks, err := analysis.CollectMarks(pkgPath, files)
+	if err != nil {
+		t.Fatalf("collecting fixture marks: %v", err)
+	}
+	diags, err := analysis.Run(analyzers, fset, files, pkg, info, marks)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	return diags, fset, files
+}
+
+// collectWants parses the fixtures' want comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pattern := range splitQuoted(t, pos.String(), m[1]) {
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pattern, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the double- or back-quoted strings of a want
+// comment's tail.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := strings.Index(s[1:], `"`)
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			q, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, s, err)
+			}
+			out = append(out, q)
+			s = strings.TrimSpace(s[end+2:])
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted: %s", pos, s)
+		}
+	}
+	return out
+}

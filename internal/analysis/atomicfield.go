@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicFieldCall matches a call of the form x.field.Method(...) where
+// field is a struct field of a sync/atomic type (Pointer, Value,
+// Int64, ...).  It returns the mark-table key of the field and the
+// method name.  The journalfirst and singlecut analyzers use it to
+// find operations on //racelint:published view fields.
+func AtomicFieldCall(info *types.Info, call *ast.CallExpr) (fieldKey, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", "", false
+	}
+	base, isBase := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isBase {
+		return "", "", false
+	}
+	fieldSel, isField := info.Selections[base]
+	if !isField || fieldSel.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	owner := Named(fieldSel.Recv())
+	if owner == nil {
+		return "", "", false
+	}
+	return FieldKey(owner, base.Sel.Name), fn.Name(), true
+}
+
+// EnclosingFuncs pairs each function declaration in the files with its
+// types object, skipping bodiless declarations.
+func EnclosingFuncs(pass *Pass) []FuncInfo {
+	var out []FuncInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fn.Name].(*types.Func)
+			out = append(out, FuncInfo{Decl: fn, Obj: obj})
+		}
+	}
+	return out
+}
+
+// FuncInfo is one function declaration with its resolved object.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}

@@ -1,0 +1,12 @@
+package cowalias_test
+
+import (
+	"testing"
+
+	"racelogic/internal/analysis/atest"
+	"racelogic/internal/analysis/cowalias"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, cowalias.Analyzer, "testdata/fix")
+}

@@ -1,0 +1,88 @@
+// Package fix exercises cowalias: in-place writes through //racelint:cow
+// types outside //racelint:cowsafe functions are flagged.
+package fix
+
+// Snapshot is a published copy-on-write value.
+//
+//racelint:cow
+type Snapshot struct {
+	version  int
+	entries  []string
+	postings map[string][]int
+	lengths  []int
+}
+
+// plain is an ordinary mutable type: writes through it are fine.
+type plain struct {
+	entries []string
+}
+
+// NewSnapshot constructs a snapshot: designated, legal.
+//
+//racelint:cowsafe
+func NewSnapshot(n int) *Snapshot {
+	s := &Snapshot{}
+	s.version = 1
+	s.entries = make([]string, 0, n)
+	s.postings = make(map[string][]int)
+	return s
+}
+
+// Grow is a designated COW helper: legal.
+//
+//racelint:cowsafe
+func (s *Snapshot) Grow(e string) *Snapshot {
+	nx := &Snapshot{version: s.version + 1}
+	nx.entries = append(append([]string{}, s.entries...), e)
+	nx.postings = s.postings
+	return nx
+}
+
+// bumpVersion mutates a published field in place: flagged.
+func bumpVersion(s *Snapshot) {
+	s.version++ // want `assignment to field version of copy-on-write type Snapshot`
+}
+
+// patchEntry writes an element through a COW slice field: flagged.
+func patchEntry(s *Snapshot, i int, e string) {
+	s.entries[i] = e // want `element write through field entries of copy-on-write type Snapshot`
+}
+
+// patchPosting writes through two levels of indexing: flagged.
+func patchPosting(s *Snapshot, k string, i, v int) {
+	s.postings[k][i] = v // want `element write through field postings of copy-on-write type Snapshot`
+}
+
+// dropPosting deletes from a COW map field: flagged.
+func dropPosting(s *Snapshot, k string) {
+	delete(s.postings, k) // want `delete mutates field postings of copy-on-write type Snapshot`
+}
+
+// overwrite copies into a COW slice field: flagged.
+func overwrite(s *Snapshot, src []int) {
+	copy(s.lengths, src) // want `copy mutates field lengths of copy-on-write type Snapshot`
+}
+
+// appendPast extends past the published length: the documented COW
+// append idiom, legal.
+func appendPast(s *Snapshot, e string) []string {
+	nids := s.entries
+	nids = append(nids, e)
+	return nids
+}
+
+// readOnly only reads: legal.
+func readOnly(s *Snapshot) int {
+	return len(s.entries) + s.version
+}
+
+// mutatePlain writes through an unmarked type: legal.
+func mutatePlain(p *plain, e string) {
+	p.entries[0] = e
+}
+
+// migrate documents an intended pre-publication fixup: suppressed.
+func migrate(s *Snapshot) {
+	//lint:ignore racelint/cowalias snapshot not yet published during migration
+	s.version = 0
+}

@@ -1,0 +1,12 @@
+package detmapiter_test
+
+import (
+	"testing"
+
+	"racelogic/internal/analysis/atest"
+	"racelogic/internal/analysis/detmapiter"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, detmapiter.Analyzer, "testdata/fix")
+}

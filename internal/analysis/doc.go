@@ -1,0 +1,58 @@
+// Package analysis is a dependency-free re-implementation of the core
+// of golang.org/x/tools/go/analysis, sized for this repository: an
+// Analyzer runs over one type-checked package and reports Diagnostics
+// at token positions.  The racelint suite (the subpackages, registered
+// in racelogic/internal/analysis/suite and driven by cmd/racelint) is
+// built on it because the module vendors no external dependencies —
+// the framework keeps the same shape as x/tools so the analyzers could
+// be ported to a stock multichecker by swapping this import.
+//
+// # The suite
+//
+// Each analyzer mechanically enforces one invariant the repository's
+// correctness argument depends on but the compiler cannot see:
+//
+//   - detmapiter: no range over a map may have order-dependent
+//     effects.  The engine promises bit-identical reports across
+//     worker counts, shard counts, and backends; Go's randomized map
+//     iteration order is the canonical way to silently break that.
+//   - cowalias: values of //racelint:cow types are copy-on-write once
+//     published; writes through their fields are legal only inside
+//     //racelint:cowsafe constructors and helpers.
+//   - lockbalance: every Lock/RLock is balanced by a deferred or
+//     every-path unlock of the same receiver and kind.
+//   - journalfirst: reader-visible state (//racelint:published atomic
+//     fields) is stored only by //racelint:publisher functions, and a
+//     function that both journals and publishes must append to the WAL
+//     (//racelint:journal) before it publishes — append-then-apply.
+//   - singlecut: a non-publisher function Loads a published field at
+//     most once, deriving everything from that single consistent cut.
+//   - storeerr: no error returned on an append/fsync/rename/close
+//     durability path is discarded by a bare call statement.
+//
+// # Directives and facts
+//
+// Marks (marks.go) are the suite's fact system.  Declarations opt into
+// invariant roles with //racelint:* directive comments — cow, cowsafe,
+// journal, publisher, published — and every analyzer receives the
+// module-wide mark table, including marks declared in packages other
+// than the one under analysis.  An unknown role is a hard error so a
+// typo cannot silently grant nothing.
+//
+// # Suppression
+//
+// Suppression (ignore.go) implements the staticcheck-style escape
+// hatch:
+//
+//	//lint:ignore racelint/<name> reason
+//
+// on the flagged line or the line above drops the diagnostic.  The
+// reason is mandatory; a reason-less ignore does not suppress.
+//
+// # Running
+//
+// scripts/lint.sh builds cmd/racelint and runs the suite over ./...;
+// CI runs the same script plus each analyzer's fixture tests.  The
+// binary also speaks the `go vet -vettool` unitchecker protocol, so
+// `go vet -vettool=$(command -v racelint) ./...` works too.
+package analysis

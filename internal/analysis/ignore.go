@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressed reports whether a valid //lint:ignore comment covers the
+// diagnostic: "//lint:ignore racelint/<name>[,racelint/<other>] reason"
+// on the flagged line or the line immediately above it, with a
+// non-empty reason.  A reason-less ignore does not suppress — the
+// escape hatch exists to document intended exceptions, not to silence
+// them.
+func Suppressed(fset *token.FileSet, files []*ast.File, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, f := range files {
+		if fset.Position(f.Pos()).Filename != pos.Filename {
+			continue
+		}
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				line := fset.Position(c.Pos()).Line
+				if line != pos.Line && line != pos.Line-1 {
+					continue
+				}
+				if ignoreCovers(c.Text, d.Analyzer) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// ignoreCovers parses one comment's text as a lint:ignore directive and
+// reports whether it names the analyzer and carries a reason.
+func ignoreCovers(comment, analyzer string) bool {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "lint:ignore ") {
+		return false
+	}
+	rest := strings.TrimPrefix(text, "lint:ignore ")
+	checks, reason, ok := strings.Cut(strings.TrimSpace(rest), " ")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return false
+	}
+	for _, check := range strings.Split(checks, ",") {
+		if check == "racelint/"+analyzer || check == analyzer {
+			return true
+		}
+	}
+	return false
+}

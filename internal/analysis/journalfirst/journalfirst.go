@@ -1,0 +1,96 @@
+// Package journalfirst enforces the append-then-apply contract on the
+// database mutation path: a mutation must reach the write-ahead log
+// before the state it produces is published to readers.
+//
+// Roles come from directives:
+//
+//   - //racelint:published marks the atomic field holding the
+//     reader-visible state (Database.view);
+//   - //racelint:publisher marks the functions allowed to Store /
+//     CompareAndSwap that field directly — the designated publication
+//     point plus construction and recovery paths;
+//   - //racelint:journal marks the functions that append to the WAL
+//     (journalShards, the store Append* methods).
+//
+// The analyzer reports (1) any direct Store/CompareAndSwap/Swap on a
+// published field outside a publisher, and (2) within any function
+// that both journals and publishes, a publisher call that is not
+// preceded by a journal append — the exact ordering whose inversion
+// would acknowledge mutations a crash can lose.
+package journalfirst
+
+import (
+	"go/ast"
+	"go/token"
+
+	"racelogic/internal/analysis"
+)
+
+// Analyzer enforces WAL-append-before-publication.
+var Analyzer = &analysis.Analyzer{
+	Name: "journalfirst",
+	Doc:  "flags state publication not dominated by the corresponding WAL append",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range analysis.EnclosingFuncs(pass) {
+		isPublisher := fn.Obj != nil && pass.Marks.HasObj(fn.Obj, analysis.RolePublisher)
+
+		// Pass 1: direct writes to the published field belong only in
+		// publishers, and journal/publisher calls are gathered in
+		// source order.
+		var journalPositions []token.Pos
+		type pubCall struct {
+			pos  token.Pos
+			name string
+		}
+		var publisherCalls []pubCall
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fieldKey, method, ok := analysis.AtomicFieldCall(pass.Info, call); ok &&
+				pass.Marks.Has(fieldKey, analysis.RolePublished) {
+				switch method {
+				case "Store", "CompareAndSwap", "Swap":
+					if !isPublisher {
+						pass.Reportf(call.Pos(), "direct %s on published field %s outside a //racelint:publisher function; publish through the designated publisher so the append-then-apply order is checkable", method, fieldKey)
+					}
+				}
+				return true
+			}
+			callee := analysis.Callee(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			if pass.Marks.HasObj(callee, analysis.RoleJournal) {
+				journalPositions = append(journalPositions, call.Pos())
+			}
+			if pass.Marks.HasObj(callee, analysis.RolePublisher) {
+				publisherCalls = append(publisherCalls, pubCall{pos: call.Pos(), name: callee.Name()})
+			}
+			return true
+		})
+
+		// Pass 2: in a function that does both, every publication must
+		// be dominated (here: textually preceded) by a journal append.
+		if len(journalPositions) == 0 || len(publisherCalls) == 0 {
+			continue
+		}
+		for _, pub := range publisherCalls {
+			dominated := false
+			for _, jp := range journalPositions {
+				if jp < pub.pos {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				pass.Reportf(pub.pos, "%s publishes state before any WAL append in this function; journal the mutation first (append-then-apply)", pub.name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package journalfirst_test
+
+import (
+	"testing"
+
+	"racelogic/internal/analysis/atest"
+	"racelogic/internal/analysis/journalfirst"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, journalfirst.Analyzer, "testdata/fix")
+}

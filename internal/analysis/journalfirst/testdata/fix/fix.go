@@ -1,0 +1,97 @@
+// Package fix exercises journalfirst: publication of the
+// //racelint:published view must go through //racelint:publisher
+// functions, and a function that both journals and publishes must
+// journal first.
+package fix
+
+import "sync/atomic"
+
+type view struct {
+	version int
+}
+
+type wal struct {
+	records []string
+}
+
+// appendRecord is the WAL append.
+//
+//racelint:journal
+func (w *wal) appendRecord(r string) {
+	w.records = append(w.records, r)
+}
+
+type db struct {
+	// view is the reader-visible state.
+	//
+	//racelint:published
+	view atomic.Pointer[view]
+	wal  wal
+}
+
+// publish is the designated publication point.
+//
+//racelint:publisher
+func (d *db) publish(v *view) {
+	for {
+		old := d.view.Load()
+		if old != nil && old.version >= v.version {
+			return
+		}
+		if d.view.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// insert journals, then publishes: the contract, legal.
+func (d *db) insert(r string) {
+	d.wal.appendRecord(r)
+	d.publish(&view{version: 1})
+}
+
+// insertBackwards publishes before the append: flagged.
+func (d *db) insertBackwards(r string) {
+	d.publish(&view{version: 2}) // want `publishes state before any WAL append`
+	d.wal.appendRecord(r)
+}
+
+// rogueStore stores the view directly outside a publisher: flagged.
+func (d *db) rogueStore(v *view) {
+	d.view.Store(v) // want `direct Store on published field`
+}
+
+// rogueCAS does the same with CompareAndSwap: flagged.
+func (d *db) rogueCAS(old, v *view) {
+	d.view.CompareAndSwap(old, v) // want `direct CompareAndSwap on published field`
+}
+
+// readOnly only Loads: loads are not publication, legal here.
+func (d *db) readOnly() int {
+	v := d.view.Load()
+	if v == nil {
+		return 0
+	}
+	return v.version
+}
+
+// publishOnly calls the publisher without journaling in the same
+// function: the caller journals, legal.
+func (d *db) publishOnly(v *view) {
+	d.publish(v)
+}
+
+// recover rebuilds the view from the log at startup: a designated
+// publisher, so the direct Store is legal.
+//
+//racelint:publisher
+func (d *db) recover() {
+	d.view.Store(&view{version: len(d.wal.records)})
+}
+
+// bootstrap documents an intended pre-journal publication: suppressed.
+func (d *db) bootstrap(r string) {
+	//lint:ignore racelint/journalfirst the empty view precedes any log
+	d.publish(&view{version: 0})
+	d.wal.appendRecord(r)
+}

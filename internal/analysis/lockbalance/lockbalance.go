@@ -1,0 +1,302 @@
+// Package lockbalance flags unbalanced sync.Mutex / sync.RWMutex usage:
+// a Lock or RLock with no matching unlock anywhere in the function, a
+// lock whose only unlocks are of the wrong kind (Lock paired with
+// RUnlock), a return reachable while the lock is still held when the
+// unlock is not deferred, a deferred unlock of one receiver while a
+// different receiver was locked (the copy-paste bug), and `defer
+// mu.Lock()`.
+//
+// Matching is type-driven — only methods of sync.Mutex and
+// sync.RWMutex (including promoted embeds) count — and receivers are
+// compared by their canonical expression, so d.shards[s].mu and d.mu
+// are distinct locks.  An unlock inside a nested function literal
+// balances the enclosing lock (the handoff idiom: lockShards returns
+// the closure that unlocks), and `defer func() { mu.Unlock() }()`
+// counts as a deferred unlock.  Hand-off patterns the analyzer cannot
+// prove carry "//lint:ignore racelint/lockbalance reason".
+package lockbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"racelogic/internal/analysis"
+)
+
+// Analyzer flags unbalanced or mismatched mutex lock/unlock pairs.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc:  "flags Lock/RLock calls without a matching deferred or every-path unlock, and mismatched receivers",
+	Run:  run,
+}
+
+// lockKind distinguishes the write and read sides of an RWMutex.
+type lockKind int
+
+const (
+	kindWrite lockKind = iota // Lock / Unlock
+	kindRead                  // RLock / RUnlock
+)
+
+// event is one lock-relevant call.
+type event struct {
+	recv     string // canonical receiver expression
+	kind     lockKind
+	acquire  bool
+	deferred bool
+	pos      token.Pos
+}
+
+// scope is one function body's events; nested literals are child
+// scopes except deferred ones, which merge into the parent.
+type scope struct {
+	events   []event
+	returns  []token.Pos
+	children []*scope
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			s := &scope{}
+			collect(pass, fn.Body, s, false)
+			check(pass, s)
+			return true
+		})
+	}
+	return nil
+}
+
+// lockEvent resolves a call to a sync mutex method, or ok=false.
+func lockEvent(pass *analysis.Pass, call *ast.CallExpr, deferred bool) (event, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return event{}, false
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return event{}, false
+	}
+	var kind lockKind
+	var acquire bool
+	switch {
+	case analysis.MethodOn(fn, "sync", "Mutex", "Lock"), analysis.MethodOn(fn, "sync", "RWMutex", "Lock"):
+		kind, acquire = kindWrite, true
+	case analysis.MethodOn(fn, "sync", "Mutex", "Unlock"), analysis.MethodOn(fn, "sync", "RWMutex", "Unlock"):
+		kind, acquire = kindWrite, false
+	case analysis.MethodOn(fn, "sync", "RWMutex", "RLock"):
+		kind, acquire = kindRead, true
+	case analysis.MethodOn(fn, "sync", "RWMutex", "RUnlock"):
+		kind, acquire = kindRead, false
+	default:
+		return event{}, false
+	}
+	return event{
+		recv:     types.ExprString(sel.X),
+		kind:     kind,
+		acquire:  acquire,
+		deferred: deferred,
+		pos:      call.Pos(),
+	}, true
+}
+
+// collect walks one body, recording events into s.  deferred marks a
+// body that runs at function exit (a deferred function literal).
+func collect(pass *analysis.Pass, body *ast.BlockStmt, s *scope, deferred bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := lockEvent(pass, n.Call, true); ok {
+				s.events = append(s.events, ev)
+				return false
+			}
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				// defer func() { ... }() runs at exit: its unlocks are
+				// deferred unlocks of this scope.
+				collect(pass, lit.Body, s, true)
+				return false
+			}
+			return false
+		case *ast.FuncLit:
+			child := &scope{}
+			collect(pass, n.Body, child, false)
+			s.children = append(s.children, child)
+			return false
+		case *ast.CallExpr:
+			if ev, ok := lockEvent(pass, n, deferred); ok {
+				s.events = append(s.events, ev)
+			}
+		case *ast.ReturnStmt:
+			if !deferred {
+				s.returns = append(s.returns, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// anyEvent reports whether the scope or any descendant holds an event
+// matching pred.
+func anyEvent(s *scope, pred func(event) bool) bool {
+	for _, ev := range s.events {
+		if pred(ev) {
+			return true
+		}
+	}
+	for _, c := range s.children {
+		if anyEvent(c, pred) {
+			return true
+		}
+	}
+	return false
+}
+
+func check(pass *analysis.Pass, s *scope) {
+	for _, c := range s.children {
+		check(pass, c)
+	}
+	sort.Slice(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
+
+	// Group by receiver+kind.
+	type lockID struct {
+		recv string
+		kind lockKind
+	}
+	locked := map[lockID][]event{}
+	for _, ev := range s.events {
+		id := lockID{ev.recv, ev.kind}
+		locked[id] = append(locked[id], ev)
+	}
+
+	var ids []lockID
+	for id := range locked {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].recv != ids[j].recv {
+			return ids[i].recv < ids[j].recv
+		}
+		return ids[i].kind < ids[j].kind
+	})
+
+	for _, id := range ids {
+		events := locked[id]
+		var acquires []event
+		hasDeferredUnlock, hasManualUnlock := false, false
+		for _, ev := range events {
+			switch {
+			case ev.acquire && ev.deferred:
+				pass.Reportf(ev.pos, "defer %s.%s acquires the lock at function exit; deferring the unlock was almost certainly intended", id.recv, lockName(id.kind, true))
+			case ev.acquire:
+				acquires = append(acquires, ev)
+			case ev.deferred:
+				hasDeferredUnlock = true
+			default:
+				hasManualUnlock = true
+			}
+		}
+		if len(acquires) == 0 {
+			continue
+		}
+		unlockInChild := anyEvent(&scope{children: s.children}, func(ev event) bool {
+			return ev.recv == id.recv && ev.kind == id.kind && !ev.acquire
+		})
+		if !hasDeferredUnlock && !hasManualUnlock && !unlockInChild {
+			// No matching unlock anywhere: either the kinds are crossed
+			// or the unlock is missing altogether.
+			if anyEvent(s, func(ev event) bool {
+				return ev.recv == id.recv && ev.kind != id.kind && !ev.acquire
+			}) {
+				pass.Reportf(acquires[0].pos, "%s.%s is released with the wrong method (%s vs %s); match Lock with Unlock and RLock with RUnlock",
+					id.recv, lockName(id.kind, true), lockName(otherKind(id.kind), false), lockName(id.kind, false))
+				continue
+			}
+			crossed := crossedDefer(s, id.recv, id.kind)
+			if crossed != token.NoPos {
+				pass.Reportf(crossed, "deferred unlock releases a different receiver than the one locked (%s); mismatched lock/unlock receivers", id.recv)
+				continue
+			}
+			pass.Reportf(acquires[0].pos, "%s.%s has no matching %s in this function; defer the unlock or release it on every path",
+				id.recv, lockName(id.kind, true), lockName(id.kind, false))
+			continue
+		}
+		if hasDeferredUnlock {
+			continue // balanced at exit on every path
+		}
+		if unlockInChild && !hasManualUnlock {
+			continue // handoff: a closure owns the release (lockShards idiom)
+		}
+		// Manual unlocks only: simulate the event sequence positionally
+		// and flag returns that occur while the balance is positive.
+		balance := 0
+		evi := 0
+		var points []token.Pos
+		for _, r := range s.returns {
+			points = append(points, r)
+		}
+		sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+		for _, r := range points {
+			for evi < len(events) && events[evi].pos < r {
+				ev := events[evi]
+				if !ev.deferred {
+					if ev.acquire {
+						balance++
+					} else if balance > 0 {
+						balance--
+					}
+				}
+				evi++
+			}
+			if balance > 0 {
+				pass.Reportf(r, "return while %s may still be held (%s not released on this path); defer the unlock",
+					id.recv, lockName(id.kind, false))
+				balance = 0 // report each leak once per receiver chain
+			}
+		}
+	}
+}
+
+// crossedDefer finds a deferred unlock whose receiver differs from
+// recv but has no acquire of its own — the copy-paste signature.
+func crossedDefer(s *scope, recv string, kind lockKind) token.Pos {
+	for _, ev := range s.events {
+		if ev.deferred && !ev.acquire && ev.kind == kind && ev.recv != recv {
+			acquired := false
+			for _, other := range s.events {
+				if other.acquire && other.recv == ev.recv && other.kind == ev.kind {
+					acquired = true
+				}
+			}
+			if !acquired {
+				return ev.pos
+			}
+		}
+	}
+	return token.NoPos
+}
+
+func otherKind(k lockKind) lockKind {
+	if k == kindWrite {
+		return kindRead
+	}
+	return kindWrite
+}
+
+func lockName(k lockKind, acquire bool) string {
+	switch {
+	case k == kindWrite && acquire:
+		return "Lock"
+	case k == kindWrite:
+		return "Unlock"
+	case acquire:
+		return "RLock"
+	default:
+		return "RUnlock"
+	}
+}

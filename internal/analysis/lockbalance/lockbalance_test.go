@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"racelogic/internal/analysis/atest"
+	"racelogic/internal/analysis/lockbalance"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, lockbalance.Analyzer, "testdata/fix")
+}

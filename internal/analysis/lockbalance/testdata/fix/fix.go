@@ -1,0 +1,124 @@
+// Package fix exercises lockbalance: unbalanced and mismatched mutex
+// usage is flagged; deferred, every-path, and handoff releases are not.
+package fix
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	tag string
+}
+
+type pair struct {
+	a box
+	b box
+}
+
+// deferred is the canonical shape: legal.
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// everyPath releases manually on each return path: legal.
+func (b *box) everyPath(fast bool) int {
+	b.mu.Lock()
+	if fast {
+		n := b.n
+		b.mu.Unlock()
+		return n
+	}
+	n := b.n * 2
+	b.mu.Unlock()
+	return n
+}
+
+// missingUnlock never releases: flagged.
+func (b *box) missingUnlock() int {
+	b.mu.Lock() // want `b.mu.Lock has no matching Unlock in this function`
+	return b.n
+}
+
+// earlyReturn leaks the lock on one path: flagged.
+func (b *box) earlyReturn(fast bool) int {
+	b.mu.Lock()
+	if fast {
+		return b.n // want `return while b.mu may still be held`
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// crossedKind pairs RLock with Unlock: flagged.
+func (b *box) crossedKind() int {
+	b.rw.RLock() // want `released with the wrong method`
+	defer b.rw.Unlock()
+	return b.n
+}
+
+// crossedRecv locks one receiver and defers the other: flagged.
+func (p *pair) crossedRecv() int {
+	p.a.mu.Lock()
+	defer p.b.mu.Unlock() // want `deferred unlock releases a different receiver`
+	return p.a.n
+}
+
+// deferLock defers the acquire: flagged.
+func (b *box) deferLock() {
+	defer b.mu.Lock() // want `acquires the lock at function exit`
+	b.n++
+}
+
+// readPath balances the read side: legal.
+func (b *box) readPath() string {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.tag
+}
+
+// bothSides uses both sides of the RWMutex, each balanced: legal.
+func (b *box) bothSides() {
+	b.rw.Lock()
+	b.tag = "w"
+	b.rw.Unlock()
+	b.rw.RLock()
+	_ = b.tag
+	b.rw.RUnlock()
+}
+
+// deferredClosure unlocks inside a deferred literal: legal.
+func (b *box) deferredClosure() int {
+	b.mu.Lock()
+	defer func() {
+		b.mu.Unlock()
+	}()
+	return b.n
+}
+
+// handoff returns the closure that releases: the lockShards idiom,
+// legal.
+func (b *box) handoff() func() {
+	b.mu.Lock()
+	return func() {
+		b.mu.Unlock()
+	}
+}
+
+// distinctLocks treats different receivers independently: the leak of
+// one is flagged even though the other is balanced.
+func (p *pair) distinctLocks() {
+	p.a.mu.Lock() // want `p.a.mu.Lock has no matching Unlock in this function`
+	p.b.mu.Lock()
+	p.b.mu.Unlock()
+}
+
+// condHandoff documents a release the analyzer cannot see: suppressed.
+func (b *box) condHandoff(release chan<- *sync.Mutex) {
+	//lint:ignore racelint/lockbalance ownership transfers through the channel
+	b.mu.Lock()
+	release <- &b.mu
+}

@@ -1,0 +1,69 @@
+// Package singlecut enforces the one-Load rule on published atomic
+// state: a function deriving one result must read the
+// //racelint:published view exactly once and compute everything from
+// that single consistent cut.  Two Loads in one function are the torn
+// read the PR-7 /stats fix removed — each Load may observe a different
+// version, and values derived from both mix two states.
+//
+// Function literals are separate scopes (a set of metric gauge
+// closures each loading once is fine), and //racelint:publisher
+// functions are exempt — a CompareAndSwap retry loop reloads by
+// design.  Deliberate cross-version comparisons (waiting for a version
+// change) carry "//lint:ignore racelint/singlecut reason".
+package singlecut
+
+import (
+	"go/ast"
+	"go/token"
+
+	"racelogic/internal/analysis"
+)
+
+// Analyzer flags repeated Loads of published state in one function.
+var Analyzer = &analysis.Analyzer{
+	Name: "singlecut",
+	Doc:  "flags functions that Load a //racelint:published field more than once while deriving one result",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range analysis.EnclosingFuncs(pass) {
+		if fn.Obj != nil && pass.Marks.HasObj(fn.Obj, analysis.RolePublisher) {
+			continue
+		}
+		checkScope(pass, fn.Decl.Body)
+	}
+	return nil
+}
+
+// checkScope counts Loads per published field within one function
+// scope, descending into nested literals as fresh scopes.  Loads are
+// gathered in source order so the second and later ones report.
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	type load struct {
+		fieldKey string
+		pos      token.Pos
+	}
+	var loads []load
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkScope(pass, n.Body)
+			return false
+		case *ast.CallExpr:
+			fieldKey, method, ok := analysis.AtomicFieldCall(pass.Info, n)
+			if ok && method == "Load" && pass.Marks.Has(fieldKey, analysis.RolePublished) {
+				loads = append(loads, load{fieldKey: fieldKey, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	seen := make(map[string]bool)
+	for _, l := range loads {
+		if seen[l.fieldKey] {
+			pass.Reportf(l.pos, "second Load of published field %s in one function reads a possibly different version (torn cut); Load once and derive everything from that view", l.fieldKey)
+			continue
+		}
+		seen[l.fieldKey] = true
+	}
+}

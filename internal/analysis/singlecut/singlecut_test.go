@@ -1,0 +1,12 @@
+package singlecut_test
+
+import (
+	"testing"
+
+	"racelogic/internal/analysis/atest"
+	"racelogic/internal/analysis/singlecut"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, singlecut.Analyzer, "testdata/fix")
+}

@@ -1,0 +1,81 @@
+// Package fix exercises singlecut: a non-publisher function Loads the
+// //racelint:published view at most once.
+package fix
+
+import "sync/atomic"
+
+type view struct {
+	n       int
+	version int
+}
+
+type db struct {
+	// view is the reader-visible state.
+	//
+	//racelint:published
+	view atomic.Pointer[view]
+	// aux is atomic but unmarked: not subject to the rule.
+	aux atomic.Pointer[view]
+}
+
+// oneCut loads once and derives everything from it: legal.
+func (d *db) oneCut() (int, int) {
+	v := d.view.Load()
+	return v.n, v.version
+}
+
+// tornRead loads twice while deriving one result: flagged.
+func (d *db) tornRead() (int, int) {
+	n := d.view.Load().n
+	version := d.view.Load().version // want `second Load of published field`
+	return n, version
+}
+
+// tripleRead reports each extra load.
+func (d *db) tripleRead() int {
+	a := d.view.Load().n
+	b := d.view.Load().n // want `second Load of published field`
+	c := d.view.Load().n // want `second Load of published field`
+	return a + b + c
+}
+
+// unmarked loads an unmarked atomic twice: legal.
+func (d *db) unmarked() int {
+	return d.aux.Load().n + d.aux.Load().n
+}
+
+// closures are separate scopes, one load each: legal (the metric
+// gauge idiom).
+func (d *db) closures() []func() int {
+	return []func() int{
+		func() int { return d.view.Load().n },
+		func() int { return d.view.Load().version },
+	}
+}
+
+// publish reloads inside a CAS retry loop: publishers are exempt.
+//
+//racelint:publisher
+func (d *db) publish(v *view) {
+	for {
+		old := d.view.Load()
+		if old != nil && old.version >= v.version {
+			return
+		}
+		cur := d.view.Load()
+		if d.view.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// waitForChange compares across versions on purpose: suppressed.
+func (d *db) waitForChange() {
+	start := d.view.Load().version
+	for {
+		//lint:ignore racelint/singlecut deliberately observing a version change
+		if d.view.Load().version != start {
+			return
+		}
+	}
+}

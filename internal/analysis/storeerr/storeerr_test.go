@@ -1,0 +1,12 @@
+package storeerr_test
+
+import (
+	"testing"
+
+	"racelogic/internal/analysis/atest"
+	"racelogic/internal/analysis/storeerr"
+)
+
+func TestAnalyzer(t *testing.T) {
+	atest.Run(t, storeerr.Analyzer, "testdata/fix")
+}

@@ -1,0 +1,61 @@
+package suite
+
+import (
+	"fmt"
+	"go/token"
+
+	"racelogic/internal/analysis"
+	"racelogic/internal/analysis/load"
+)
+
+// Entry is one diagnostic resolved to a file position.
+type Entry struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the entry in the canonical file:line:col form.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s: racelint/%s: %s", e.Position, e.Analyzer, e.Message)
+}
+
+// Lint is the standalone driver: it loads every package matching the
+// patterns (rooted at dir), collects the module-wide //racelint:* mark
+// table from all of them, then runs the full suite over each package.
+// Marks are collected globally first so a directive in one package
+// (say, //racelint:journal on a store method) is visible while
+// analyzing another — the same cross-package fact flow the vettool
+// mode gets from .vetx files.
+func Lint(dir string, patterns ...string) ([]Entry, error) {
+	fset := token.NewFileSet()
+	pkgs, err := load.Packages(fset, dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	marks := analysis.NewMarks()
+	for _, pkg := range pkgs {
+		m, err := analysis.CollectMarks(pkg.Path, pkg.Files)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.Path, err)
+		}
+		marks.Merge(m)
+	}
+
+	var out []Entry
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(All(), fset, pkg.Files, pkg.Types, pkg.Info, marks)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.Path, err)
+		}
+		for _, d := range diags {
+			out = append(out, Entry{
+				Position: fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	return out, nil
+}

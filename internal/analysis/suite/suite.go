@@ -1,0 +1,26 @@
+// Package suite registers the racelint analyzers.  cmd/racelint and
+// the repo-wide smoke test both consume this list, so an analyzer
+// added here is automatically enforced everywhere.
+package suite
+
+import (
+	"racelogic/internal/analysis"
+	"racelogic/internal/analysis/cowalias"
+	"racelogic/internal/analysis/detmapiter"
+	"racelogic/internal/analysis/journalfirst"
+	"racelogic/internal/analysis/lockbalance"
+	"racelogic/internal/analysis/singlecut"
+	"racelogic/internal/analysis/storeerr"
+)
+
+// All returns the racelint analyzers in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detmapiter.Analyzer,
+		cowalias.Analyzer,
+		lockbalance.Analyzer,
+		journalfirst.Analyzer,
+		singlecut.Analyzer,
+		storeerr.Analyzer,
+	}
+}

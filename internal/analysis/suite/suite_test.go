@@ -1,0 +1,43 @@
+package suite_test
+
+import (
+	"testing"
+
+	"racelogic/internal/analysis/atest"
+	"racelogic/internal/analysis/load"
+	"racelogic/internal/analysis/suite"
+)
+
+// TestRepoClean runs the full suite over every package in the module:
+// the tree must carry zero diagnostics.  A new violation anywhere in
+// the repo fails this test with the offending position.
+func TestRepoClean(t *testing.T) {
+	root, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := suite.Lint(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("%s", e)
+	}
+}
+
+// TestInjectedViolationsCaught runs the suite over a scratch package
+// with one deliberate violation per analyzer and asserts each one
+// fires.  Disabling any analyzer, or breaking its mark wiring, fails
+// this test.
+func TestInjectedViolationsCaught(t *testing.T) {
+	diags, _, _ := atest.Analyze(t, suite.All(), "testdata/violating")
+	fired := make(map[string]bool)
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+	}
+	for _, a := range suite.All() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s did not fire on the violating fixture", a.Name)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package violating is a scratch package holding one deliberate
+// violation per analyzer.  The suite smoke test asserts every analyzer
+// fires on it — if a check is disabled or its wiring breaks, the test
+// fails.
+package violating
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot is copy-on-write.
+//
+//racelint:cow
+type Snapshot struct {
+	entries []string
+}
+
+type state struct {
+	n int
+}
+
+type db struct {
+	mu sync.Mutex
+	// view is the published state.
+	//
+	//racelint:published
+	view atomic.Pointer[state]
+	log  []string
+}
+
+//racelint:journal
+func (d *db) journal(r string) error {
+	d.log = append(d.log, r)
+	return nil
+}
+
+//racelint:publisher
+func (d *db) publish(s *state) {
+	d.view.Store(s)
+}
+
+// nondeterministicWalk emits in map order: detmapiter.
+func nondeterministicWalk(m map[string]int, sink func(string)) {
+	for k := range m {
+		sink(k)
+	}
+}
+
+// inPlaceWrite mutates a published snapshot: cowalias.
+func inPlaceWrite(s *Snapshot) {
+	s.entries[0] = "mutated"
+}
+
+// leakyLock never unlocks: lockbalance.
+func (d *db) leakyLock() int {
+	d.mu.Lock()
+	return len(d.log)
+}
+
+// applyBeforeAppend publishes before journaling: journalfirst.
+func (d *db) applyBeforeAppend(r string) error {
+	d.publish(&state{n: 1})
+	return d.journal(r)
+}
+
+// tornRead loads the view twice: singlecut.
+func (d *db) tornRead() int {
+	return d.view.Load().n + d.view.Load().n
+}
+
+// droppedSync discards an fsync error: storeerr.
+func droppedSync(f *os.File) {
+	f.Sync()
+}

@@ -26,6 +26,8 @@ type Stats struct {
 // length-k substring, the ascending list of entries containing it.  An
 // Index is immutable after construction and safe for concurrent use;
 // Grow derives an extended Index copy-on-write instead of mutating.
+//
+//racelint:cow
 type Index struct {
 	k        int
 	n        int
@@ -42,11 +44,15 @@ type Index struct {
 // SetStats attaches a counter sink.  Attach before the index is shared
 // between goroutines — the derived indexes Grow and Partition produce
 // inherit the sink automatically.
+//
+//racelint:cowsafe
 func (ix *Index) SetStats(s *Stats) { ix.stats = s }
 
 // New builds the index over entries with seed length k ≥ 1.  Entries are
 // identified by their slice position, matching pipeline candidate
 // indices.
+//
+//racelint:cowsafe
 func New(entries []string, k int) (*Index, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("index: seed length %d must be ≥ 1", k)
@@ -81,6 +87,8 @@ func New(entries []string, k int) (*Index, error) {
 // argument requires growth to be linear — derive each Grow from the
 // most recently derived Index (one serialized writer), never fork two
 // children off one parent.
+//
+//racelint:cowsafe
 func (ix *Index) Grow(entries []string) *Index {
 	nx := &Index{
 		k:        ix.k,
@@ -116,6 +124,8 @@ func (ix *Index) Grow(entries []string) *Index {
 // so each part's postings stay ascending.  Splitting walks the
 // existing postings instead of re-tokenizing every sequence, which is
 // what makes reloading a stored index cheaper than rebuilding it.
+//
+//racelint:cowsafe
 func (ix *Index) Partition(n int, shardOf func(slot int) int) []*Index {
 	shard := make([]int, ix.n)
 	local := make([]int, ix.n)
@@ -149,6 +159,8 @@ func (ix *Index) Partition(n int, shardOf func(slot int) int) []*Index {
 // postings — no sequence is re-tokenized — which is what makes a
 // portable export of a sharded database cheap.  Global slots must be
 // unique across parts; every part must share one k.
+//
+//racelint:cowsafe
 func Merge(parts []*Index, n int, globalOf func(shard, local int) int) (*Index, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("index: merge of zero parts")
@@ -275,6 +287,8 @@ func (ix *Index) Encode(w io.Writer) error {
 // Decode reads an Encode-format index back.  It validates structure —
 // slot ranges, ascending postings, k-mer lengths — so a corrupted or
 // hand-rolled stream fails here rather than misrouting searches later.
+//
+//racelint:cowsafe
 func Decode(r Source) (*Index, error) {
 	u := func() (int, error) {
 		v, err := binary.ReadUvarint(r)

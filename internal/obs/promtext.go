@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -114,7 +115,13 @@ func ValidatePrometheusText(body string) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	for key, h := range hists {
+	keys := make([]string, 0, len(hists))
+	for key := range hists {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		h := hists[key]
 		if !h.sawInf || !h.sawCount {
 			return fmt.Errorf("histogram %s missing +Inf bucket or _count", key)
 		}

@@ -235,6 +235,7 @@ func (p *Pools) PooledEngines() int {
 	p.mu.Lock()
 	pools := make([]*enginePool, 0, len(p.pools))
 	for _, ep := range p.pools {
+		//lint:ignore racelint/detmapiter the integer sum below is order-independent
 		pools = append(pools, ep)
 	}
 	p.mu.Unlock()
@@ -333,6 +334,8 @@ func (p *Pools) release(key poolKey, eng Engine) {
 // a slot is assigned at insert and keeps its entry until a Remove
 // tombstones it and a later Compact reclaims it (renumbering the
 // survivors).
+//
+//racelint:cow
 type Snapshot struct {
 	version int64
 	entries []string // slot -> entry; tombstoned slots keep stale strings
@@ -409,6 +412,8 @@ func NewDB(entries []string, factory Factory, lib *tech.Library) (*DB, error) {
 // NewDBWith builds a DB over a shared engine-pool set — the partition
 // constructor: every shard of one database passes the same Pools so
 // compiled engines are reused across shards.
+//
+//racelint:cowsafe
 func NewDBWith(entries []string, pools *Pools) (*DB, error) {
 	if pools == nil {
 		return nil, fmt.Errorf("pipeline: engine pools are required")
@@ -448,6 +453,8 @@ func (d *DB) Version() int64 { return d.snap.Load().version }
 // SetVersion republishes the current snapshot stamped with version v —
 // the restore path for a database deserialized from disk, which must
 // resume its persisted mutation counter rather than restart at zero.
+//
+//racelint:cowsafe
 func (d *DB) SetVersion(v int64) {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()
@@ -462,6 +469,8 @@ func (d *DB) SetVersion(v int64) {
 // bucket map is copied by header, and slices are only appended past
 // every older snapshot's length, so concurrent SearchAt callers keep an
 // intact view.  Empty entries are rejected before anything is published.
+//
+//racelint:cowsafe
 func (d *DB) Insert(entries []string) (start int, snap *Snapshot, err error) {
 	for i, entry := range entries {
 		if len(entry) == 0 {
@@ -562,6 +571,8 @@ func (d *DB) Remove(slots []int) (*Snapshot, error) {
 // snapshot; when there is nothing to reclaim it returns a nil remap and
 // the current snapshot unchanged.  Callers holding slot-derived state (a
 // seed index, an ID table) must rebuild it through the remap.
+//
+//racelint:cowsafe
 func (d *DB) Compact() (remap []int, snap *Snapshot) {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()

@@ -2,6 +2,7 @@ package race
 
 import (
 	"fmt"
+	"sort"
 
 	"racelogic/internal/circuit"
 	"racelogic/internal/dag"
@@ -124,8 +125,13 @@ func (s *Solver) Solve(watch ...dag.NodeID) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("race: %w", err)
 	}
-	for _, pin := range s.inputs {
-		sim.SetInput(pin, true)
+	sources := make([]dag.NodeID, 0, len(s.inputs))
+	for v := range s.inputs {
+		sources = append(sources, v)
+	}
+	sort.Slice(sources, func(a, b int) bool { return sources[a] < sources[b] })
+	for _, v := range sources {
+		sim.SetInput(s.inputs[v], true)
 	}
 	if len(watch) == 0 {
 		watch = s.graph.Sinks()

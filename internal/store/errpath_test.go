@@ -1,0 +1,111 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failWriter errors once its budget of bytes is spent, simulating a
+// full or failing disk partway through a snapshot write.
+type failWriter struct {
+	budget int
+	err    error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, w.err
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// TestWriteErrorPropagation pins the error-path audit: a write failure
+// anywhere in the snapshot encoding must surface to the caller, never
+// be swallowed.  The snapshot here is written through writers that fail
+// at every possible byte offset of the full encoding.
+func TestWriteErrorPropagation(t *testing.T) {
+	s := testSnapshot(t)
+	var whole strings.Builder
+	if err := Write(&whole, s); err != nil {
+		t.Fatal(err)
+	}
+	total := whole.Len()
+	sentinel := errors.New("disk gone")
+	// The encoder buffers internally, so not every byte offset yields a
+	// distinct Write call — but every offset must still return an error.
+	step := total/97 + 1
+	for budget := 0; budget < total; budget += step {
+		if err := Write(&failWriter{budget: budget, err: sentinel}, s); !errors.Is(err, sentinel) {
+			t.Fatalf("Write with %d/%d bytes of budget returned %v, want the writer's error", budget, total, err)
+		}
+	}
+}
+
+// TestWriteFileErrorPropagation exercises WriteFile's failure paths:
+// a missing parent directory (CreateTemp fails) and a target that is
+// itself a directory (the final rename fails after write+sync+close
+// succeeded).  Both must report the error, and the failed rename must
+// not leave its temporary sibling behind.
+func TestWriteFileErrorPropagation(t *testing.T) {
+	s := testSnapshot(t)
+
+	if err := WriteFile(filepath.Join(t.TempDir(), "no-such-dir", "snap"), s); err == nil {
+		t.Fatal("WriteFile into a missing directory reported success")
+	}
+
+	dir := t.TempDir()
+	target := filepath.Join(dir, "snap")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(target, s); err == nil {
+		t.Fatal("WriteFile over a directory reported success")
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("failed WriteFile left temporary file %q behind", e.Name())
+		}
+	}
+}
+
+// TestManifestWriteErrorPropagation is the same audit for the layout
+// manifest, whose presence is the commit point of a sharded directory:
+// a failed write must error out and must not half-commit.
+func TestManifestWriteErrorPropagation(t *testing.T) {
+	m := Manifest{Shards: 4, Gen: 2}
+
+	if err := WriteManifestFile(filepath.Join(t.TempDir(), "gone", "db.manifest"), m); err == nil {
+		t.Fatal("WriteManifestFile into a missing directory reported success")
+	}
+
+	dir := t.TempDir()
+	target := filepath.Join(dir, "db.manifest")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteManifestFile(target, m); err == nil {
+		t.Fatal("WriteManifestFile over a directory reported success")
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("failed WriteManifestFile left temporary file %q behind", e.Name())
+		}
+	}
+	if _, err := ReadManifestFile(target); err == nil {
+		t.Fatal("a failed manifest write still produced a readable manifest")
+	}
+}

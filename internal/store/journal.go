@@ -107,6 +107,8 @@ func OpenJournal(dir, base string, segBytes int64) (*Journal, []Record, error) {
 }
 
 // AppendInsert journals a batch insert; see WAL.AppendInsert.
+//
+//racelint:journal
 func (j *Journal) AppendInsert(version, g int64, ids []uint64, entries []string) (Commit, error) {
 	j.mu.Lock()
 	w := j.active
@@ -118,6 +120,8 @@ func (j *Journal) AppendInsert(version, g int64, ids []uint64, entries []string)
 }
 
 // AppendRemove journals a batch remove; see WAL.AppendRemove.
+//
+//racelint:journal
 func (j *Journal) AppendRemove(version, g int64, ids []uint64) (Commit, error) {
 	j.mu.Lock()
 	w := j.active
@@ -129,6 +133,8 @@ func (j *Journal) AppendRemove(version, g int64, ids []uint64) (Commit, error) {
 }
 
 // AppendCompact journals a dense rebuild; see WAL.AppendCompact.
+//
+//racelint:journal
 func (j *Journal) AppendCompact(version, g int64) (Commit, error) {
 	j.mu.Lock()
 	w := j.active
@@ -176,7 +182,7 @@ func (j *Journal) RotateIfOversized() (bool, error) {
 		return false, err
 	}
 	if len(recs) != 0 {
-		fresh.Close()
+		_ = fresh.Close()
 		return false, fmt.Errorf("store: fresh journal segment %s was not empty", activePath)
 	}
 	fresh.SetTimings(j.timings)

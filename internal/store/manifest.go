@@ -53,11 +53,11 @@ func WriteManifestFile(path string, m Manifest) error {
 	tmp := f.Name()
 	defer os.Remove(tmp)
 	if _, err := f.Write(payload); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {

@@ -364,11 +364,11 @@ func WriteFile(path string, s *Snapshot) error {
 	tmp := f.Name()
 	defer os.Remove(tmp) // no-op after a successful rename
 	if err := Write(f, s); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {

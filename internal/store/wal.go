@@ -248,25 +248,25 @@ func OpenWAL(path string) (*WAL, []Record, error) {
 		// New (or torn-at-birth, or older-format-but-empty) segment:
 		// start it over with a current-format header.
 		if err := w.rewriteHeader(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 	} else {
 		if format, ferr := segmentFormat(path); ferr != nil || format != WALFormatVersion {
 			// A populated older-format segment cannot take current-format
 			// appends; the migration path replays it read-only instead.
-			f.Close()
+			_ = f.Close()
 			if ferr != nil {
 				return nil, nil, ferr
 			}
 			return nil, nil, fmt.Errorf("store: WAL %s holds format-%d records; migrate it before appending", path, format)
 		}
 		if err := f.Truncate(clean); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		if _, err := f.Seek(clean, io.SeekStart); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 		w.size = clean
@@ -325,6 +325,8 @@ func (w *WAL) rewriteHeader() error {
 // AppendInsert journals a batch insert producing the given shard
 // sequence under global mutation g: ids[i] is the stable ID assigned to
 // entries[i].
+//
+//racelint:journal
 func (w *WAL) AppendInsert(version, g int64, ids []uint64, entries []string) error {
 	if len(ids) != len(entries) {
 		return fmt.Errorf("store: %d IDs for %d inserted entries", len(ids), len(entries))
@@ -343,6 +345,8 @@ func (w *WAL) AppendInsert(version, g int64, ids []uint64, entries []string) err
 
 // AppendRemove journals a batch remove producing the given shard
 // sequence under global mutation g.
+//
+//racelint:journal
 func (w *WAL) AppendRemove(version, g int64, ids []uint64) error {
 	return w.append(func(e *encoder) {
 		e.raw([]byte{byte(OpRemove)})
@@ -357,6 +361,8 @@ func (w *WAL) AppendRemove(version, g int64, ids []uint64) error {
 
 // AppendCompact journals a dense rebuild producing the given shard
 // sequence under global mutation g.
+//
+//racelint:journal
 func (w *WAL) AppendCompact(version, g int64) error {
 	return w.append(func(e *encoder) {
 		e.raw([]byte{byte(OpCompact)})

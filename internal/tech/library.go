@@ -2,6 +2,7 @@ package tech
 
 import (
 	"fmt"
+	"sort"
 
 	"racelogic/internal/circuit"
 )
@@ -109,9 +110,15 @@ func ByName(name string) (*Library, error) {
 
 // AreaUM2 returns the total placed cell area of a netlist in µm².
 func (l *Library) AreaUM2(n *circuit.Netlist) float64 {
+	counts := n.CountByKind()
+	kinds := make([]circuit.Kind, 0, len(counts))
+	for kind := range counts {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(a, b int) bool { return kinds[a] < kinds[b] })
 	var a float64
-	for kind, count := range n.CountByKind() {
-		a += l.Cells[kind].Area * float64(count)
+	for _, kind := range kinds {
+		a += l.Cells[kind].Area * float64(counts[kind])
 	}
 	return a
 }
