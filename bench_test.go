@@ -355,14 +355,15 @@ func BenchmarkSearchOneShot10k(b *testing.B) {
 }
 
 // BenchmarkBackendFullScan races an identical warm full-scan workload
-// on each simulation backend.  The sub-benchmark pair is the input to
-// scripts/benchcompare.sh, the CI guard that fails when the event
-// backend stops being faster than the cycle-accurate reference.
+// on each simulation backend.  The sub-benchmark trio is the input to
+// scripts/benchcompare.sh, the CI guard that fails when the event or
+// lanes backend stops clearing its speedup floor over the
+// cycle-accurate reference.
 func BenchmarkBackendFullScan(b *testing.B) {
 	gen := seqgen.NewDNA(77)
 	query := gen.Random(24)
 	entries := gen.Database(400, 24)
-	for _, backend := range []Backend{BackendCycle, BackendEvent} {
+	for _, backend := range []Backend{BackendCycle, BackendEvent, BackendLanes} {
 		b.Run(backend.String(), func(b *testing.B) {
 			d, err := NewDatabase(entries, WithBackend(backend))
 			if err != nil {

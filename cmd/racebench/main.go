@@ -6,14 +6,19 @@
 // Usage:
 //
 //	racebench -fig 5a|5b|5c|eq5|6|9a|9b|9c|eq7|encoding|threshold|headline|all
-//	          [-lib AMIS|OSU|both] [-ns 5,10,20,...] [-csv]
+//	          [-lib AMIS|OSU|both] [-ns 5,10,20,...] [-csv|-json]
+//	          [-backend cycle|event|lanes]
 //
-// Output is a text table per figure (or CSV with -csv), printing the same
-// series the paper plots; EXPERIMENTS.md records how each compares to the
-// published curves.
+// Output is a text table per figure (CSV with -csv, JSON with -json),
+// printing the same series the paper plots; EXPERIMENTS.md records how
+// each compares to the published curves.  -backend selects the
+// simulation engine the sweeps run on — the oracle suite proves the
+// engines bit-identical, so the figures never change, only how long a
+// long N sweep takes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"racelogic"
 	"racelogic/internal/eval"
 	"racelogic/internal/tech"
 )
@@ -30,9 +36,21 @@ func main() {
 	libName := flag.String("lib", "AMIS", "standard-cell library: AMIS, OSU or both")
 	nsFlag := flag.String("ns", "", "comma-separated N sweep (default: the paper's 5..100 grid)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables")
+	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference), event (fast), or lanes (batched)")
 	n9c := flag.Int("n9c", 30, "string length for the Fig. 9c scatter")
 	flag.Parse()
 
+	if *csv && *jsonOut {
+		fatal(fmt.Errorf("-csv and -json are mutually exclusive"))
+	}
+	backend, err := racelogic.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	if err := eval.SetBackend(backend); err != nil {
+		fatal(err)
+	}
 	ns := eval.DefaultNs
 	if *nsFlag != "" {
 		parsed, err := parseNs(*nsFlag)
@@ -45,8 +63,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	format := formatTable
+	switch {
+	case *csv:
+		format = formatCSV
+	case *jsonOut:
+		format = formatJSON
+	}
 	for _, lib := range libs {
-		if err := run(os.Stdout, *figID, lib, ns, *csv, *n9c); err != nil {
+		if err := run(os.Stdout, *figID, lib, ns, format, *n9c); err != nil {
 			fatal(err)
 		}
 	}
@@ -80,13 +105,25 @@ func pickLibs(name string) ([]*tech.Library, error) {
 	return []*tech.Library{l}, nil
 }
 
-func run(w io.Writer, figID string, lib *tech.Library, ns []int, csv bool, n9c int) error {
+// format selects one of the Figure renderers.
+type format int
+
+const (
+	formatTable format = iota
+	formatCSV
+	formatJSON
+)
+
+func run(w io.Writer, figID string, lib *tech.Library, ns []int, fm format, n9c int) error {
 	emit := func(f *eval.Figure, err error) error {
 		if err != nil {
 			return err
 		}
-		if csv {
+		switch fm {
+		case formatCSV:
 			return f.WriteCSV(w)
+		case formatJSON:
+			return f.WriteJSON(w)
 		}
 		return f.WriteTable(w)
 	}
@@ -100,7 +137,7 @@ func run(w io.Writer, figID string, lib *tech.Library, ns []int, csv bool, n9c i
 	case "eq5":
 		return emit(eval.Eq5Fit(lib, ns))
 	case "6", "wavefront":
-		return writeFig6(w, 16)
+		return writeFig6(w, 16, fm)
 	case "9a", "throughput":
 		return emit(eval.Fig9Throughput(lib, ns))
 	case "9b", "powerdensity":
@@ -118,7 +155,7 @@ func run(w io.Writer, figID string, lib *tech.Library, ns []int, csv bool, n9c i
 	case "all":
 		for _, id := range []string{"5a", "5b", "5c", "eq5", "6", "9a", "9b", "9c",
 			"eq7", "encoding", "threshold", "headline"} {
-			if err := run(w, id, lib, ns, csv, n9c); err != nil {
+			if err := run(w, id, lib, ns, fm, n9c); err != nil {
 				return fmt.Errorf("fig %s: %w", id, err)
 			}
 		}
@@ -128,10 +165,19 @@ func run(w io.Writer, figID string, lib *tech.Library, ns []int, csv bool, n9c i
 	}
 }
 
-func writeFig6(w io.Writer, n int) error {
+func writeFig6(w io.Writer, n int, fm format) error {
 	worst, best, err := eval.Fig6(n)
 	if err != nil {
 		return err
+	}
+	if fm == formatJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			ID          string   `json:"ID"`
+			N           int      `json:"N"`
+			Worst, Best []string // one frame per cycle
+		}{"fig6", n, worst, best})
 	}
 	fmt.Fprintf(w, "== fig6: wavefront propagation at N = %d ==\n", n)
 	fmt.Fprintf(w, "-- (a) worst case: %d frames; selected frames --\n", len(worst))

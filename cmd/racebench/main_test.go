@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"racelogic"
+	"racelogic/internal/eval"
 	"racelogic/internal/tech"
 )
 
@@ -40,7 +43,7 @@ func TestRunEachFigure(t *testing.T) {
 	for _, id := range []string{"5a", "5b", "5c", "eq5", "6", "9a", "9b", "9c",
 		"eq7", "encoding", "threshold", "headline"} {
 		var b strings.Builder
-		if err := run(&b, id, lib, ns, false, 8); err != nil {
+		if err := run(&b, id, lib, ns, formatTable, 8); err != nil {
 			t.Fatalf("fig %s: %v", id, err)
 		}
 		if b.Len() == 0 {
@@ -51,7 +54,7 @@ func TestRunEachFigure(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "5a", tech.OSU(), []int{5, 8}, true, 8); err != nil {
+	if err := run(&b, "5a", tech.OSU(), []int{5, 8}, formatCSV, 8); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(b.String(), "N,") {
@@ -59,9 +62,54 @@ func TestRunCSVMode(t *testing.T) {
 	}
 }
 
+func TestRunJSONMode(t *testing.T) {
+	for _, id := range []string{"5a", "6"} {
+		var b strings.Builder
+		if err := run(&b, id, tech.OSU(), []int{5, 8}, formatJSON, 8); err != nil {
+			t.Fatal(err)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+			t.Fatalf("fig %s: output is not one JSON object: %v\n%s", id, err, b.String())
+		}
+		if decoded["ID"] == "" || decoded["ID"] == nil {
+			t.Errorf("fig %s: JSON output missing ID", id)
+		}
+	}
+}
+
+// TestRunBackendsAgree pins the -backend contract: a sweep regenerated
+// on the fast engines is byte-identical to the reference run.
+func TestRunBackendsAgree(t *testing.T) {
+	lib := tech.AMIS()
+	render := func() string {
+		var b strings.Builder
+		if err := run(&b, "5c", lib, []int{5, 8}, formatCSV, 8); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	want := render()
+	for _, name := range []string{"event", "lanes"} {
+		backend, err := racelogic.ParseBackend(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eval.SetBackend(backend); err != nil {
+			t.Fatal(err)
+		}
+		if got := render(); got != want {
+			t.Errorf("backend %s: figure differs from reference:\n%s\nvs\n%s", name, got, want)
+		}
+	}
+	if err := eval.SetBackend(racelogic.BackendCycle); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunUnknownFigure(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "42z", tech.AMIS(), []int{5}, false, 5); err == nil {
+	if err := run(&b, "42z", tech.AMIS(), []int{5}, formatTable, 5); err == nil {
 		t.Error("unknown figure must error")
 	}
 }
@@ -70,7 +118,7 @@ func TestRunAliases(t *testing.T) {
 	var b strings.Builder
 	for _, id := range []string{"area", "latency", "energy", "throughput",
 		"powerdensity", "energydelay", "gating", "wavefront"} {
-		if err := run(&b, id, tech.AMIS(), []int{5}, false, 5); err != nil {
+		if err := run(&b, id, tech.AMIS(), []int{5}, formatTable, 5); err != nil {
 			t.Fatalf("alias %s: %v", id, err)
 		}
 	}

@@ -17,7 +17,7 @@
 //
 //	racesearch [-db FILE | -snapshot FILE] [-lib AMIS|OSU] [-threshold T]
 //	           [-top K] [-workers N] [-matrix BLOSUM62|PAM250] [-gate m]
-//	           [-seedk K] [-shards N] [-backend cycle|event] QUERY [FILE]
+//	           [-seedk K] [-shards N] [-backend cycle|event|lanes] QUERY [FILE]
 //
 // Examples:
 //
@@ -49,7 +49,7 @@ func main() {
 	gate := flag.Int("gate", 0, "Section 4.3 clock-gating region size (0 = ungated; DNA only)")
 	seedK := flag.Int("seedk", 0, "k-mer seed index length (0 = race every entry)")
 	shards := flag.Int("shards", 0, "database shard count (0 = GOMAXPROCS)")
-	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference) or event (fast)")
+	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference), event (fast), or lanes (batched)")
 	flag.Parse()
 	backend, err := racelogic.ParseBackend(*backendName)
 	if err != nil {

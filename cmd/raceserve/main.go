@@ -150,7 +150,7 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 0, "database shard count (0 = GOMAXPROCS); with -wal, reshards a recovered directory in place")
 	flag.IntVar(&o.cache, "cache", 128, "LRU report-cache capacity (0 = off)")
 	flag.IntVar(&o.top, "top", 10, "default top-K when a request omits top_k")
-	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference) or event (fast)")
+	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference), event (fast), or lanes (batched)")
 	flag.StringVar(&o.snapshot, "snapshot", "", "legacy snapshot file: load it if present, save on SIGTERM/SIGINT only")
 	flag.StringVar(&o.walDir, "wal", "", "durable state directory: write-ahead log + background snapshots, crash-safe")
 	flag.DurationVar(&o.snapInterval, "snapshot-interval", racelogic.DefaultSnapshotInterval,

@@ -16,9 +16,9 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/gol
 
 // goldenCompare marshals got, then either rewrites the golden file
 // (-update) or requires a byte-identical match with it.  Every golden
-// test runs its workload under both backends against the same file, so
-// the corpus pins cycle-accurate behavior AND proves the event backend
-// reproduces it — a regression in either shows up as a diff.
+// test runs its workload under every backend against the same file, so
+// the corpus pins cycle-accurate behavior AND proves the fast backends
+// reproduce it — a regression in any engine shows up as a diff.
 func goldenCompare(t *testing.T, name string, got any) {
 	t.Helper()
 	data, err := json.MarshalIndent(got, "", "  ")
@@ -72,7 +72,7 @@ func TestGoldenSearchReports(t *testing.T) {
 		{"seeded", []racelogic.Option{racelogic.WithSeedIndex(3)}},
 	}
 	for _, v := range variants {
-		for _, backend := range []racelogic.Backend{racelogic.BackendCycle, racelogic.BackendEvent} {
+		for _, backend := range []racelogic.Backend{racelogic.BackendCycle, racelogic.BackendEvent, racelogic.BackendLanes} {
 			if *update && backend != racelogic.BackendCycle {
 				continue // golden files are written from the reference backend
 			}
@@ -118,7 +118,7 @@ func TestGoldenAlignments(t *testing.T) {
 		{"WYV", "WYV"},
 	}
 
-	for _, backend := range []racelogic.Backend{racelogic.BackendCycle, racelogic.BackendEvent} {
+	for _, backend := range []racelogic.Backend{racelogic.BackendCycle, racelogic.BackendEvent, racelogic.BackendLanes} {
 		if *update && backend != racelogic.BackendCycle {
 			continue
 		}

@@ -59,6 +59,14 @@ type Sim struct {
 	ffInit []bool
 	plain  uint64 // flip-flops clocked every cycle (no enable pin)
 
+	// chainFree marks flip-flops whose D and enable pins are not driven
+	// directly by another flip-flop's Q.  For them the clock edge cannot
+	// move their inputs, so a post-flip re-arm is provably a disarm and
+	// Step skips the recompute.  In the edit-graph arrays this is every
+	// interior cell — only the border cells, where a one-input OR
+	// collapses to a Q→D wire, sit on chains.
+	chainFree []bool
+
 	// Dynamic state.
 	vals            []bool
 	ffState         []bool
@@ -130,6 +138,18 @@ func Compile(nl *circuit.Netlist) (*Sim, error) {
 		}
 	}
 	s.ffState = append([]bool(nil), s.ffInit...)
+	isFFNet := func(net circuit.Net) bool {
+		j := int(net) - 2
+		return j >= 0 && s.kinds[j] == circuit.KindDFF
+	}
+	s.chainFree = make([]bool, len(s.ffGate))
+	for slot, gi := range s.ffGate {
+		free := !isFFNet(s.ins[gi][0])
+		if en := s.ffEn[slot]; en >= 0 && isFFNet(en) {
+			free = false
+		}
+		s.chainFree[slot] = free
+	}
 
 	// Levelize the combinational gates (Kahn over comb→comb edges,
 	// longest-path levels) and index each net's comb fan-out.
@@ -412,13 +432,23 @@ func (s *Sim) Step() {
 	if len(s.armedList) == 0 {
 		return
 	}
-	s.scratch = append(s.scratch[:0], s.armedList...)
+	// Swap the edge set out instead of copying it and batch-clear the
+	// armed flags: every edge flip empties a slot's membership unless a
+	// chain can re-fill it, so only chain slots pay the per-slot re-arm
+	// recompute below (setNet's D/enable listeners handle every other
+	// re-arming as the flips and the wave land).
+	s.scratch, s.armedList = s.armedList, s.scratch[:0]
+	for _, slot := range s.scratch {
+		s.armed[slot] = false
+	}
 	for _, slot := range s.scratch {
 		// Armed means Q will flip to ¬Q: the pre-edge D differs from Q,
 		// and D nets cannot move between edges (waves settle fully).
 		v := !s.ffState[slot]
 		s.ffState[slot] = v
-		s.rearm(slot)
+		if !s.chainFree[slot] {
+			s.rearm(slot)
+		}
 		s.setNet(circuit.Net(int(s.ffGate[slot])+2), v)
 	}
 	s.settleWave()

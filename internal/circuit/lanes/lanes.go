@@ -1,0 +1,709 @@
+// Package lanes is the bit-parallel simulation backend for compiled
+// Race Logic netlists: one Sim races up to 64 independent candidate
+// streams ("lanes") through a single compiled netlist at once.
+//
+// Every net's state is a uint64 word whose bit i is the net's value in
+// lane i, so one combinational settle wave evaluates AND/OR/XOR/MUX
+// word-wise for all lanes simultaneously — the software analogue of
+// tiling 64 copies of the paper's edit-graph array and clocking them
+// off one wavefront.  The event-wheel structure is the same as
+// circuit/event (level-bucketed settle waves within a cycle, an armed
+// flip-flop set across cycles), but a wave visit costs one word
+// operation instead of one boolean per lane, so the per-candidate price
+// of gate evaluation, wave bookkeeping, and clocking divides by the
+// pack width.
+//
+// Accounting stays exact per lane, not per word: when a net's word
+// changes, the XOR against its previous word yields the per-lane
+// transition mask, and TrailingZeros-style bit extraction attributes
+// each toggle to its lane's per-kind counters and first-arrival table.
+// A lane can therefore be frozen independently (its race finished or
+// hit the threshold bound) by masking it out of the accounting while
+// the shared word simulation keeps stepping for the others — exactly
+// reproducing what a solo scalar race would have recorded at its own
+// stop cycle.  LaneActivity and LaneArrival rebuild the full
+// circuit.Backend observables per lane, byte-identical to the
+// cycle-accurate reference; the internal/oracle differential suite
+// enforces that contract, with all 64 lanes driven in lockstep through
+// the scalar Backend interface.  Keep it green when touching this file.
+package lanes
+
+import (
+	"fmt"
+	"math/bits"
+
+	"racelogic/internal/circuit"
+	"racelogic/internal/temporal"
+)
+
+// Width is the lane-pack capacity: one bit of a uint64 word per
+// candidate.
+const Width = 64
+
+// numKinds sizes the per-kind × per-lane accounting tables.
+//
+//racelint:published set once at init, read-only afterwards
+var numKinds = len(circuit.Kinds())
+
+// readerPair is one (cell kind, pin count) load on a net, precomputed
+// at Compile so per-toggle LoadToggles attribution is a short slice
+// walk instead of a gate scan.
+type readerPair struct {
+	kind  circuit.Kind
+	count uint32
+}
+
+// Sim is the bit-parallel backend.  Like the other backends it is not
+// safe for concurrent use; compile one per goroutine (the pipeline's
+// engine pools do exactly that).
+type Sim struct {
+	nl *circuit.Netlist
+
+	// Static structure, gathered once at Compile.
+	kinds []circuit.Kind
+	ins   [][]circuit.Net
+	level []int32 // comb gate → settle level; -1 for inputs and DFFs
+
+	comb [][]int32 // net → comb gates reading it
+	dOf  [][]int32 // net → FF slots whose D pin is this net
+	eOf  [][]int32 // net → DFFE slots whose enable pin is this net
+
+	ffGate  []int32       // slot → gate index
+	ffEn    []circuit.Net // slot → enable net, or -1 for a plain DFF
+	ffInitW []uint64      // slot → power-on Q word (0 or all-ones)
+	plain   uint64        // flip-flops clocked every cycle (no enable pin)
+
+	drivKind []circuit.Kind // net → kind of the driving cell
+	readers  [][]readerPair // net → per-kind input-pin loads
+
+	// Dynamic per-lane state.  vals and ffState are words (bit = lane);
+	// the accounting tables are per (kind, lane) or per (net, lane).
+	vals       []uint64
+	ffState    []uint64
+	arrived    []uint64        // net → lanes whose first 1 came after the reset settle
+	firstOneAt []int32         // (net<<6)|lane → that arrival cycle; valid iff arrived bit set
+	toggles0   []uint64        // net → lane-0 toggles, the scalar Toggles contract
+	netTog     [][Width]uint64 // kind → per-lane toggles of nets driven by that kind
+	loadTog    [][Width]uint64 // kind → per-lane toggles seen by that kind's input pins
+	ffClocked  [Width]uint64   // lane → Σ enabled flip-flops per stepped cycle
+	enabledE   [Width]uint64   // lane → DFFEs whose enable currently carries 1
+	laneCycle  [Width]int      // lane → cycle its RaceUntil stopped at
+	inputs     map[circuit.Net]uint64
+	cycle      int
+
+	// account masks the lanes whose transitions are recorded: all lanes
+	// under the scalar Backend interface, the active pack during a lane
+	// race, shrinking as lanes finish and freeze.
+	account uint64
+
+	// The armed set: flip-flops the next clock edge will change in at
+	// least one lane (some lane enabled with D ≠ Q), maintained
+	// incrementally as nets move.
+	armed     []bool
+	armedAt   []int32
+	armedList []int32
+	// Edge-time snapshot: the armed slots and their per-lane flip masks,
+	// captured before any flip lands so sampling stays synchronous even
+	// along direct Q→D chains.
+	scratchSlots []int32
+	scratchFlips []uint64
+
+	// The settle wave: pending comb gates bucketed by level.
+	buckets [][]int32
+	queued  []bool
+	pending int
+
+	// Power-on settled baseline, so Reset is a copy instead of a
+	// re-settle.  Baseline words are homogeneous (inputs are 0 in every
+	// lane), so baseVals doubles as the cycle-0 arrival mask.
+	baseVals     []uint64
+	baseArmed    []int32
+	baseEnabledE uint64
+}
+
+// Compile levelizes the netlist and returns a ready-to-run bit-parallel
+// engine with all flip-flops at their power-on values and all inputs at
+// 0 in every lane.  It fails with circuit.ErrCombLoop if the
+// combinational gates form a cycle, exactly like the reference Compile.
+func Compile(nl *circuit.Netlist) (*Sim, error) {
+	ng := nl.NumGates()
+	nn := nl.NumNets()
+	s := &Sim{
+		nl:         nl,
+		kinds:      make([]circuit.Kind, ng),
+		ins:        make([][]circuit.Net, ng),
+		level:      make([]int32, ng),
+		comb:       make([][]int32, nn),
+		dOf:        make([][]int32, nn),
+		eOf:        make([][]int32, nn),
+		drivKind:   make([]circuit.Kind, nn),
+		readers:    make([][]readerPair, nn),
+		vals:       make([]uint64, nn),
+		arrived:    make([]uint64, nn),
+		firstOneAt: make([]int32, nn*Width),
+		toggles0:   make([]uint64, nn),
+		netTog:     make([][Width]uint64, numKinds),
+		loadTog:    make([][Width]uint64, numKinds),
+		inputs:     make(map[circuit.Net]uint64),
+		queued:     make([]bool, ng),
+		account:    ^uint64(0),
+	}
+	isComb := func(k circuit.Kind) bool { return k != circuit.KindDFF && k != circuit.KindInput }
+	s.drivKind[circuit.Zero] = circuit.KindConst
+	s.drivKind[circuit.One] = circuit.KindConst
+	// readerCount[net*numKinds+kind] tallies pins during the structure
+	// scan; it is compacted into the readers slices below and dropped.
+	readerCount := make([]uint32, nn*numKinds)
+	for i := 0; i < ng; i++ {
+		g := nl.Gate(i)
+		s.kinds[i] = g.Kind
+		s.ins[i] = g.In
+		s.level[i] = -1
+		s.drivKind[i+2] = g.Kind
+		for _, in := range g.In {
+			readerCount[int(in)*numKinds+int(g.Kind)]++
+		}
+		if g.Kind == circuit.KindDFF {
+			slot := len(s.ffGate)
+			s.ffGate = append(s.ffGate, int32(i))
+			if g.Init {
+				s.ffInitW = append(s.ffInitW, ^uint64(0))
+			} else {
+				s.ffInitW = append(s.ffInitW, 0)
+			}
+			s.dOf[g.In[0]] = append(s.dOf[g.In[0]], int32(slot))
+			if len(g.In) == 2 {
+				s.ffEn = append(s.ffEn, g.In[1])
+				s.eOf[g.In[1]] = append(s.eOf[g.In[1]], int32(slot))
+			} else {
+				s.ffEn = append(s.ffEn, -1)
+				s.plain++
+			}
+		}
+	}
+	for net := 0; net < nn; net++ {
+		for k := 0; k < numKinds; k++ {
+			if c := readerCount[net*numKinds+k]; c != 0 {
+				s.readers[net] = append(s.readers[net], readerPair{kind: circuit.Kind(k), count: c})
+			}
+		}
+	}
+	s.ffState = append([]uint64(nil), s.ffInitW...)
+
+	// Levelize the combinational gates (Kahn over comb→comb edges,
+	// longest-path levels) and index each net's comb fan-out.
+	indeg := make([]int32, ng)
+	combCount := 0
+	for i := 0; i < ng; i++ {
+		if !isComb(s.kinds[i]) {
+			continue
+		}
+		combCount++
+		for _, in := range s.ins[i] {
+			s.comb[in] = append(s.comb[in], int32(i))
+			if j := int(in) - 2; j >= 0 && isComb(s.kinds[j]) {
+				indeg[i]++
+			}
+		}
+	}
+	frontier := make([]int32, 0, combCount)
+	for i := 0; i < ng; i++ {
+		if isComb(s.kinds[i]) && indeg[i] == 0 {
+			s.level[i] = 0
+			frontier = append(frontier, int32(i))
+		}
+	}
+	processed := 0
+	for len(frontier) > 0 {
+		u := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		processed++
+		for _, v := range s.comb[int(u)+2] {
+			if s.level[u]+1 > s.level[v] {
+				s.level[v] = s.level[u] + 1
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	if processed != combCount {
+		return nil, circuit.ErrCombLoop
+	}
+	maxLvl := int32(0)
+	for i := 0; i < ng; i++ {
+		if s.level[i] > maxLvl {
+			maxLvl = s.level[i]
+		}
+	}
+	s.buckets = make([][]int32, maxLvl+1)
+
+	// Power-on settle: one full word pass in level order, then latch the
+	// settled state as the Reset baseline.  Like the reference Compile,
+	// the initial settle records arrivals but counts no toggles.
+	s.vals[circuit.One] = ^uint64(0)
+	for slot, gi := range s.ffGate {
+		s.vals[int(gi)+2] = s.ffInitW[slot]
+	}
+	byLevel := make([][]int32, maxLvl+1)
+	for i := 0; i < ng; i++ {
+		if isComb(s.kinds[i]) {
+			byLevel[s.level[i]] = append(byLevel[s.level[i]], int32(i))
+		}
+	}
+	for _, bucket := range byLevel {
+		for _, gi := range bucket {
+			s.vals[int(gi)+2] = s.eval(gi)
+		}
+	}
+	for _, en := range s.ffEn {
+		if en >= 0 && s.vals[en] != 0 {
+			s.baseEnabledE++
+		}
+	}
+	for l := range s.enabledE {
+		s.enabledE[l] = s.baseEnabledE
+	}
+	s.armed = make([]bool, len(s.ffGate))
+	s.armedAt = make([]int32, len(s.ffGate))
+	for slot := range s.ffGate {
+		s.rearm(int32(slot))
+	}
+
+	s.baseVals = append([]uint64(nil), s.vals...)
+	s.baseArmed = append([]int32(nil), s.armedList...)
+	return s, nil
+}
+
+// Reset returns the engine to its power-on settled state without
+// re-levelizing: the baseline captured at Compile is copied back, the
+// accounting cleared, and every lane re-activated for the scalar
+// Backend contract.  Call SetActiveLanes afterwards to start a pack.
+func (s *Sim) Reset() {
+	copy(s.vals, s.baseVals)
+	for i := range s.arrived {
+		s.arrived[i] = 0
+	}
+	for i := range s.toggles0 {
+		s.toggles0[i] = 0
+	}
+	for k := range s.netTog {
+		s.netTog[k] = [Width]uint64{}
+		s.loadTog[k] = [Width]uint64{}
+	}
+	s.ffClocked = [Width]uint64{}
+	s.laneCycle = [Width]int{}
+	copy(s.ffState, s.ffInitW)
+	clear(s.inputs)
+	s.cycle = 0
+	s.account = ^uint64(0)
+	for l := range s.enabledE {
+		s.enabledE[l] = s.baseEnabledE
+	}
+	for _, slot := range s.armedList {
+		s.armed[slot] = false
+	}
+	s.armedList = s.armedList[:0]
+	for _, slot := range s.baseArmed {
+		s.armed[slot] = true
+		s.armedAt[slot] = int32(len(s.armedList))
+		s.armedList = append(s.armedList, slot)
+	}
+}
+
+// eval computes a combinational gate's output word from current net
+// words — bitwise boolean algebra evaluates all 64 lanes at once.
+func (s *Sim) eval(gi int32) uint64 {
+	in := s.ins[gi]
+	switch s.kinds[gi] {
+	case circuit.KindBuf:
+		return s.vals[in[0]]
+	case circuit.KindNot:
+		return ^s.vals[in[0]]
+	case circuit.KindAnd:
+		w := ^uint64(0)
+		for _, x := range in {
+			w &= s.vals[x]
+		}
+		return w
+	case circuit.KindOr:
+		var w uint64
+		for _, x := range in {
+			w |= s.vals[x]
+		}
+		return w
+	case circuit.KindXor:
+		return s.vals[in[0]] ^ s.vals[in[1]]
+	case circuit.KindXnor:
+		return ^(s.vals[in[0]] ^ s.vals[in[1]])
+	case circuit.KindMux2:
+		sel := s.vals[in[0]]
+		return (sel & s.vals[in[2]]) | (^sel & s.vals[in[1]])
+	default:
+		panic(fmt.Sprintf("lanes: unexpected combinational kind %v", s.kinds[gi]))
+	}
+}
+
+// enWord returns a flip-flop's per-lane enable mask: all-ones for a
+// plain DFF, the enable net's word for a DFFE.
+func (s *Sim) enWord(slot int32) uint64 {
+	if en := s.ffEn[slot]; en >= 0 {
+		return s.vals[en]
+	}
+	return ^uint64(0)
+}
+
+// rearm recomputes one flip-flop's membership in the armed set: armed
+// when any lane is enabled with D ≠ Q.
+func (s *Sim) rearm(slot int32) {
+	d := s.ins[s.ffGate[slot]][0]
+	want := s.enWord(slot)&(s.vals[d]^s.ffState[slot]) != 0
+	if want == s.armed[slot] {
+		return
+	}
+	if want {
+		s.armed[slot] = true
+		s.armedAt[slot] = int32(len(s.armedList))
+		s.armedList = append(s.armedList, slot)
+		return
+	}
+	s.armed[slot] = false
+	i := s.armedAt[slot]
+	last := s.armedList[len(s.armedList)-1]
+	s.armedList[i] = last
+	s.armedAt[last] = i
+	s.armedList = s.armedList[:len(s.armedList)-1]
+}
+
+// setWord commits a changed net word: per-lane accounting first, then
+// the comb fan-out is enqueued on the wave and flip-flops listening on
+// the net (as D or enable) are re-armed.
+func (s *Sim) setWord(net circuit.Net, w uint64) {
+	old := s.vals[net]
+	s.vals[net] = w
+	diff := old ^ w
+	if acc := diff & s.account; acc != 0 {
+		s.accountWord(net, w, acc)
+	}
+	for _, gi := range s.comb[net] {
+		if !s.queued[gi] {
+			s.queued[gi] = true
+			s.buckets[s.level[gi]] = append(s.buckets[s.level[gi]], gi)
+			s.pending++
+		}
+	}
+	for _, slot := range s.dOf[net] {
+		s.rearm(slot)
+	}
+	if e := s.eOf[net]; len(e) > 0 {
+		// Track every lane's true enable population, frozen or not — the
+		// per-lane clock accounting reads it only for accounted lanes.
+		ne := uint64(len(e))
+		for m := diff & w; m != 0; m &= m - 1 {
+			s.enabledE[bits.TrailingZeros64(m)] += ne
+		}
+		for m := diff &^ w; m != 0; m &= m - 1 {
+			s.enabledE[bits.TrailingZeros64(m)] -= ne
+		}
+		for _, slot := range e {
+			s.rearm(slot)
+		}
+	}
+}
+
+// accountWord attributes one net's transition mask to the per-lane
+// toggle, load, and arrival tables — the popcount-of-XOR step that
+// keeps lane accounting byte-identical to a solo scalar race.
+func (s *Sim) accountWord(net circuit.Net, w, acc uint64) {
+	tog := &s.netTog[s.drivKind[net]]
+	for m := acc; m != 0; m &= m - 1 {
+		tog[bits.TrailingZeros64(m)]++
+	}
+	if acc&1 != 0 {
+		s.toggles0[net]++
+	}
+	for _, rp := range s.readers[net] {
+		lt := &s.loadTog[rp.kind]
+		c := uint64(rp.count)
+		for m := acc; m != 0; m &= m - 1 {
+			lt[bits.TrailingZeros64(m)] += c
+		}
+	}
+	if rise := w & acc &^ s.baseVals[net] &^ s.arrived[net]; rise != 0 {
+		s.arrived[net] |= rise
+		base := int(net) << 6
+		c := int32(s.cycle)
+		for m := rise; m != 0; m &= m - 1 {
+			s.firstOneAt[base+bits.TrailingZeros64(m)] = c
+		}
+	}
+}
+
+// settleWave drains the pending comb gates in level order.  A gate only
+// ever enqueues gates at strictly higher levels, so each gate is
+// evaluated at most once per wave; because bit positions never
+// interact, the single word pass settles every lane exactly as its own
+// scalar topological pass would.
+func (s *Sim) settleWave() {
+	for lvl := 0; s.pending > 0 && lvl < len(s.buckets); lvl++ {
+		b := s.buckets[lvl]
+		if len(b) == 0 {
+			continue
+		}
+		s.buckets[lvl] = b[:0]
+		for _, gi := range b {
+			s.queued[gi] = false
+			s.pending--
+			out := circuit.Net(int(gi) + 2)
+			if w := s.eval(gi); w != s.vals[out] {
+				s.setWord(out, w)
+			}
+		}
+	}
+}
+
+// SetActiveLanes restricts accounting (and input broadcast) to the
+// given lane mask — the start of a pack race.  Call it immediately
+// after Reset, before driving any input; lanes outside the mask stay at
+// the quiescent power-on baseline and record nothing.
+func (s *Sim) SetActiveLanes(mask uint64) {
+	s.account = mask
+}
+
+// SetInputWord drives an external input pin with a per-lane word; bits
+// outside the active mask are ignored.  The change settles immediately
+// in the current cycle, with each changed lane accounted exactly as a
+// scalar SetInput would have been.
+func (s *Sim) SetInputWord(net circuit.Net, w uint64) {
+	gi := int(net) - 2
+	if gi < 0 || gi >= len(s.kinds) || s.kinds[gi] != circuit.KindInput {
+		panic(fmt.Sprintf("lanes: SetInput on non-input net %d", net))
+	}
+	w &= s.account
+	if s.inputs[net] == w {
+		return
+	}
+	s.inputs[net] = w
+	if s.vals[net] != w {
+		s.setWord(net, w)
+		s.settleWave()
+	}
+}
+
+// SetInput drives an input pin in every active lane — the scalar
+// Backend contract, under which all 64 lanes run in lockstep.
+func (s *Sim) SetInput(net circuit.Net, v bool) {
+	var w uint64
+	if v {
+		w = ^uint64(0)
+	}
+	s.SetInputWord(net, w)
+}
+
+// SetInputName drives an input pin by name.
+func (s *Sim) SetInputName(name string, v bool) error {
+	net, err := s.nl.InputNet(name)
+	if err != nil {
+		return err
+	}
+	s.SetInput(net, v)
+	return nil
+}
+
+// step advances one clock cycle.  The edge first snapshots every armed
+// slot's per-lane flip mask (enable ∧ D≠Q) from pre-edge values — the
+// snapshot makes the sampling synchronous even along direct Q→D chains
+// — then applies the flips and settles the triggered wave.  Clock
+// accounting covers every enabled flip-flop of every accounted lane,
+// armed or not, exactly like the reference.
+func (s *Sim) step() {
+	for m := s.account; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		s.ffClocked[l] += s.plain + s.enabledE[l]
+	}
+	s.cycle++
+	if len(s.armedList) == 0 {
+		return
+	}
+	s.scratchSlots = s.scratchSlots[:0]
+	s.scratchFlips = s.scratchFlips[:0]
+	for _, slot := range s.armedList {
+		d := s.ins[s.ffGate[slot]][0]
+		flip := s.enWord(slot) & (s.vals[d] ^ s.ffState[slot])
+		s.scratchSlots = append(s.scratchSlots, slot)
+		s.scratchFlips = append(s.scratchFlips, flip)
+	}
+	for i, slot := range s.scratchSlots {
+		q := s.ffState[slot] ^ s.scratchFlips[i]
+		s.ffState[slot] = q
+		s.rearm(slot)
+		s.setWord(circuit.Net(int(s.ffGate[slot])+2), q)
+	}
+	s.settleWave()
+}
+
+// Step advances the simulation by one clock cycle.
+func (s *Sim) Step() { s.step() }
+
+// Run advances k cycles, fast-forwarding through quiescence: with no
+// armed flip-flop nothing can change until an input does, so the
+// remaining cycles collapse into per-lane clock accounting.
+func (s *Sim) Run(k int) {
+	for i := 0; i < k; i++ {
+		if len(s.armedList) == 0 {
+			s.forward(k - i)
+			return
+		}
+		s.step()
+	}
+}
+
+// forward advances k quiescent cycles: clock accounting only, for every
+// accounted lane.
+func (s *Sim) forward(k int) {
+	for m := s.account; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		s.ffClocked[l] += uint64(k) * (s.plain + s.enabledE[l])
+	}
+	s.cycle += k
+}
+
+// RunUntil steps until net first carries a 1 in lane 0 and returns the
+// arrival time, or temporal.Never if it has not arrived after
+// maxCycles — the scalar Backend contract.  A quiescent circuit
+// advances straight to the horizon.
+func (s *Sim) RunUntil(net circuit.Net, maxCycles int) temporal.Time {
+	for !s.laneArrived(net, 0) && s.cycle < maxCycles {
+		if len(s.armedList) == 0 {
+			s.forward(maxCycles - s.cycle)
+			break
+		}
+		s.step()
+	}
+	return s.LaneArrival(net, 0)
+}
+
+// laneArrived reports whether net has carried a 1 in the given lane.
+func (s *Sim) laneArrived(net circuit.Net, lane int) bool {
+	return (s.baseVals[net]|s.arrived[net])>>uint(lane)&1 != 0
+}
+
+// RaceUntil runs the pack race: it steps until every active lane's copy
+// of net has fired or maxCycles is reached, freezing each lane at its
+// own stop cycle — the cycle its scalar RunUntil would have returned
+// at.  A frozen lane stops accumulating toggles, arrivals, and clock
+// cycles while the shared word simulation keeps stepping for the rest.
+// LaneCycle, LaneArrival, and LaneActivity read the per-lane outcomes
+// afterwards.
+func (s *Sim) RaceUntil(net circuit.Net, maxCycles int) {
+	racing := s.account
+	if arr := (s.baseVals[net] | s.arrived[net]) & racing; arr != 0 {
+		racing = s.freeze(racing, arr)
+	}
+	for racing != 0 && s.cycle < maxCycles {
+		if len(s.armedList) == 0 {
+			// Quiescent in every lane: no remaining output can ever fire,
+			// so the unfinished lanes coast to the bound on clock
+			// accounting alone.
+			k := maxCycles - s.cycle
+			for m := racing; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				s.ffClocked[l] += uint64(k) * (s.plain + s.enabledE[l])
+			}
+			s.cycle = maxCycles
+			break
+		}
+		s.step()
+		if arr := s.arrived[net] & racing; arr != 0 {
+			racing = s.freeze(racing, arr)
+		}
+	}
+	// Lanes that never fired stop at the bound, like a scalar RunUntil
+	// returning Never at maxCycles.
+	for m := racing; m != 0; m &= m - 1 {
+		s.laneCycle[bits.TrailingZeros64(m)] = s.cycle
+	}
+	s.account &^= racing
+}
+
+// freeze retires the given lanes at the current cycle and masks them
+// out of all further accounting.
+func (s *Sim) freeze(racing, arr uint64) uint64 {
+	for m := arr; m != 0; m &= m - 1 {
+		s.laneCycle[bits.TrailingZeros64(m)] = s.cycle
+	}
+	s.account &^= arr
+	return racing &^ arr
+}
+
+// Cycle returns the number of Steps taken so far (fast-forwarded
+// quiescent cycles included).
+func (s *Sim) Cycle() int { return s.cycle }
+
+// LaneCycle returns the cycle the given lane's RaceUntil stopped at.
+func (s *Sim) LaneCycle(lane int) int { return s.laneCycle[lane] }
+
+// Value returns the current settled value of a net in lane 0.
+func (s *Sim) Value(net circuit.Net) bool { return s.vals[net]&1 != 0 }
+
+// LaneValue returns the current settled value of a net in the given lane.
+func (s *Sim) LaneValue(net circuit.Net, lane int) bool {
+	return s.vals[net]>>uint(lane)&1 != 0
+}
+
+// Arrival returns the cycle at which the net first carried a 1 in lane
+// 0, or temporal.Never.
+func (s *Sim) Arrival(net circuit.Net) temporal.Time { return s.LaneArrival(net, 0) }
+
+// LaneArrival returns the cycle at which the net first carried a 1 in
+// the given lane, or temporal.Never if it had not fired when the lane
+// froze.
+func (s *Sim) LaneArrival(net circuit.Net, lane int) temporal.Time {
+	bit := uint64(1) << uint(lane)
+	if s.baseVals[net]&bit != 0 {
+		return 0
+	}
+	if s.arrived[net]&bit != 0 {
+		return temporal.Time(s.firstOneAt[int(net)<<6|lane])
+	}
+	return temporal.Never
+}
+
+// Toggles returns the cumulative toggle count of a net in lane 0.
+func (s *Sim) Toggles(net circuit.Net) uint64 { return s.toggles0[net] }
+
+// Activity summarizes lane 0 of the simulation so far — the scalar
+// Backend contract, using the shared cycle counter.
+func (s *Sim) Activity() circuit.Activity { return s.activity(0, s.cycle) }
+
+// LaneActivity summarizes one lane of a finished pack race, as of the
+// cycle the lane froze at.  It is byte-identical to the Activity a solo
+// scalar race of that lane's candidate would have reported.
+func (s *Sim) LaneActivity(lane int) circuit.Activity {
+	return s.activity(lane, s.laneCycle[lane])
+}
+
+func (s *Sim) activity(lane, cycles int) circuit.Activity {
+	a := circuit.Activity{
+		Cycles:          cycles,
+		GateCount:       s.nl.CountByKind(),
+		FanInCount:      s.nl.FanIn(),
+		NetToggles:      make(map[circuit.Kind]uint64),
+		LoadToggles:     make(map[circuit.Kind]uint64),
+		FFClockedCycles: s.ffClocked[lane],
+		NumDFFs:         s.nl.NumDFFs(),
+	}
+	for _, k := range circuit.Kinds() {
+		if t := s.netTog[k][lane]; t != 0 {
+			a.NetToggles[k] = t
+		}
+		if t := s.loadTog[k][lane]; t != 0 {
+			a.LoadToggles[k] = t
+		}
+	}
+	return a
+}
+
+// The bit-parallel engine satisfies the shared backend contract.
+var _ circuit.Backend = (*Sim)(nil)

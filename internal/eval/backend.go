@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"racelogic/internal/race"
+	"racelogic/internal/score"
+)
+
+// simBackend is the simulation engine every measurement compiles its
+// arrays onto.  The oracle suite proves the backends bit-identical, so
+// switching it never changes a regenerated figure — only how long the
+// sweeps take to produce it.
+//
+//racelint:published set once from the CLI before any sweep runs
+var simBackend = race.BackendCycle
+
+// SetBackend selects the simulation backend for all subsequent
+// measurements.  Call it before starting a sweep; the setting is not
+// synchronized against concurrent measurements.
+func SetBackend(b race.Backend) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	simBackend = b
+	return nil
+}
+
+// newArray builds a Fig. 4 DNA array on the selected backend.
+func newArray(n, m int) (*race.Array, error) {
+	a, err := race.NewArray(n, m)
+	if err != nil {
+		return nil, err
+	}
+	a.SetBackend(simBackend)
+	return a, nil
+}
+
+// newGatedArray builds a clock-gated array on the selected backend.
+func newGatedArray(n, m, regionSize int) (*race.GatedArray, error) {
+	a, err := race.NewGatedArray(n, m, regionSize)
+	if err != nil {
+		return nil, err
+	}
+	a.SetBackend(simBackend)
+	return a, nil
+}
+
+// newGeneralArray builds a Section 5 generalized array on the selected
+// backend.
+func newGeneralArray(n, m int, mtx *score.Matrix, enc race.Encoding) (*race.GeneralArray, error) {
+	a, err := race.NewGeneralArray(n, m, mtx, enc)
+	if err != nil {
+		return nil, err
+	}
+	a.SetBackend(simBackend)
+	return a, nil
+}

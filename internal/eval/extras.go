@@ -18,7 +18,7 @@ func Fig6(n int) (worst, best []string, err error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("eval: invalid N %d", n)
 	}
-	arr, err := race.NewArray(n, n)
+	arr, err := newArray(n, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -114,11 +114,11 @@ func EncodingAblation(lib *tech.Library, n int) (*Figure, error) {
 		},
 	}
 	for _, m := range mats {
-		oh, err := race.NewGeneralArray(n, n, m, race.OneHot)
+		oh, err := newGeneralArray(n, n, m, race.OneHot)
 		if err != nil {
 			return nil, err
 		}
-		bin, err := race.NewGeneralArray(n, n, m, race.BinaryCounter)
+		bin, err := newGeneralArray(n, n, m, race.BinaryCounter)
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +147,7 @@ func ThresholdStudy(lib *tech.Library, n, dbSize int, threshold int64) (*Figure,
 	if threshold < 0 {
 		return nil, fmt.Errorf("eval: negative threshold")
 	}
-	arr, err := race.NewArray(n, n)
+	arr, err := newArray(n, n)
 	if err != nil {
 		return nil, err
 	}

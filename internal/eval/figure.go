@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -93,6 +94,15 @@ func (f *Figure) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSON renders the figure as one indented JSON object — the
+// machine-readable counterpart of WriteCSV, for downstream tooling that
+// plots or diffs regenerated artifacts.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
 }
 
 func formatNum(v float64) string {

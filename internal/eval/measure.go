@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"racelogic/internal/race"
 	"racelogic/internal/seqgen"
 	"racelogic/internal/systolic"
 	"racelogic/internal/tech"
@@ -27,7 +26,7 @@ type RaceMeasurement struct {
 // MeasureRace builds the N×N Fig. 4 array and races the canonical best
 // case (identical strings) and worst case (fully mismatched strings).
 func MeasureRace(lib *tech.Library, n int) (*RaceMeasurement, error) {
-	arr, err := race.NewArray(n, n)
+	arr, err := newArray(n, n)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +77,7 @@ func MeasureGated(lib *tech.Library, n, m int) (*GatedMeasurement, error) {
 			m = 1
 		}
 	}
-	arr, err := race.NewGatedArray(n, n, m)
+	arr, err := newGatedArray(n, n, m)
 	if err != nil {
 		return nil, err
 	}

@@ -1,22 +1,29 @@
 // Package oracle is the differential-testing harness that licenses the
-// event-driven simulation backend: the cycle-accurate simulator is the
-// oracle, and every observable — per-net values, first-arrival times,
-// toggle counts, cycle counters, and the full Activity report — must be
-// identical between the two backends after every operation, on every
-// netlist, under every stimulus.
+// fast simulation backends: the cycle-accurate simulator is the oracle,
+// and every observable — per-net values, first-arrival times, toggle
+// counts, cycle counters, and the full Activity report — must be
+// identical between it and each candidate backend (the event-driven
+// engine and the bit-parallel lanes engine) after every operation, on
+// every netlist, under every stimulus.
 //
 // The harness has two generator halves sharing one decoder:
 //
 //   - property tests drive the decoder from a seeded math/rand source,
 //     sweeping thousands of random netlists and stimulus scripts per
 //     test run;
-//   - FuzzEventBackendEquivalence drives the same decoder from raw
-//     fuzzer bytes, so coverage-guided mutation explores netlist and
-//     schedule shapes no seed thought of.
+//   - FuzzEventBackendEquivalence and FuzzLanesBackendEquivalence drive
+//     the same decoders from raw fuzzer bytes, so coverage-guided
+//     mutation explores netlist and schedule shapes no seed thought of.
+//
+// The lanes engine gets a second, word-parallel check on top of the
+// lockstep one: CheckLaneEquivalence decodes a per-lane stimulus
+// schedule, runs it through one lanes simulation carrying several
+// divergent candidates at once, and compares every lane against its own
+// dedicated cycle-accurate simulation.
 //
 // Higher layers get their own differential coverage in oracle_test.go:
 // the three race arrays (plain, clock-gated, generalized) and whole
-// Databases across shard counts are raced under both backends and the
+// Databases across shard counts are raced under every backend and the
 // resulting AlignResults/SearchReports compared field by field.
 package oracle
 
@@ -26,6 +33,7 @@ import (
 
 	"racelogic/internal/circuit"
 	"racelogic/internal/circuit/event"
+	"racelogic/internal/circuit/lanes"
 )
 
 // Source is the decision stream a generator consumes: Next(n) yields a
@@ -155,71 +163,91 @@ func GenerateScript(src Source, nIn int) []Op {
 	return append(ops, Op{Kind: 0, Input: 0, Value: true}, Op{Kind: 2, K: 12})
 }
 
-// Diverged describes the first observable difference between the two
-// backends — the failure artifact a property test or fuzz crash prints.
+// Diverged describes the first observable difference between the
+// reference and a candidate backend — the failure artifact a property
+// test or fuzz crash prints.
 type Diverged struct {
-	Op    int // index into the script, -1 for the post-compile state
-	What  string
-	Net   circuit.Net
-	Cycle bool
+	Backend string // which candidate disagreed ("event", "lanes", "lanes[k]")
+	Op      int    // index into the script, -1 for the post-compile state
+	What    string
+	Net     circuit.Net
+	Cycle   bool
 }
 
 func (d *Diverged) Error() string {
 	if d.Op < 0 {
-		return fmt.Sprintf("oracle: backends diverge after compile: %s (net %d)", d.What, d.Net)
+		return fmt.Sprintf("oracle: %s diverges after compile: %s (net %d)", d.Backend, d.What, d.Net)
 	}
-	return fmt.Sprintf("oracle: backends diverge after op %d: %s (net %d)", d.Op, d.What, d.Net)
+	return fmt.Sprintf("oracle: %s diverges after op %d: %s (net %d)", d.Backend, d.Op, d.What, d.Net)
 }
 
 // compareState asserts every per-net observable plus the cycle counter
 // and Activity report agree between the reference and the candidate.
-func compareState(nl *circuit.Netlist, ref, ev circuit.Backend, op int) error {
-	if ref.Cycle() != ev.Cycle() {
-		return &Diverged{Op: op, What: fmt.Sprintf("cycle %d vs %d", ref.Cycle(), ev.Cycle()), Cycle: true}
+func compareState(nl *circuit.Netlist, ref, cand circuit.Backend, name string, op int) error {
+	if ref.Cycle() != cand.Cycle() {
+		return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("cycle %d vs %d", ref.Cycle(), cand.Cycle()), Cycle: true}
 	}
 	for i := 0; i < nl.NumNets(); i++ {
 		net := circuit.Net(i)
-		if rv, cv := ref.Value(net), ev.Value(net); rv != cv {
-			return &Diverged{Op: op, What: fmt.Sprintf("value %v vs %v", rv, cv), Net: net}
+		if rv, cv := ref.Value(net), cand.Value(net); rv != cv {
+			return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("value %v vs %v", rv, cv), Net: net}
 		}
-		if ra, ca := ref.Arrival(net), ev.Arrival(net); ra != ca {
-			return &Diverged{Op: op, What: fmt.Sprintf("arrival %v vs %v", ra, ca), Net: net}
+		if ra, ca := ref.Arrival(net), cand.Arrival(net); ra != ca {
+			return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("arrival %v vs %v", ra, ca), Net: net}
 		}
-		if rt, ct := ref.Toggles(net), ev.Toggles(net); rt != ct {
-			return &Diverged{Op: op, What: fmt.Sprintf("toggles %d vs %d", rt, ct), Net: net}
+		if rt, ct := ref.Toggles(net), cand.Toggles(net); rt != ct {
+			return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("toggles %d vs %d", rt, ct), Net: net}
 		}
 	}
-	ra, ca := ref.Activity(), ev.Activity()
+	return compareActivity(ref.Activity(), cand.Activity(), name, op)
+}
+
+// compareActivity asserts the dynamic halves of two Activity reports
+// agree (the static gate/fan-in censuses come from the shared netlist).
+func compareActivity(ra, ca circuit.Activity, name string, op int) error {
 	if ra.FFClockedCycles != ca.FFClockedCycles {
-		return &Diverged{Op: op, What: fmt.Sprintf("ffClockedCycles %d vs %d", ra.FFClockedCycles, ca.FFClockedCycles)}
+		return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("ffClockedCycles %d vs %d", ra.FFClockedCycles, ca.FFClockedCycles)}
 	}
 	for _, k := range circuit.Kinds() {
 		if ra.NetToggles[k] != ca.NetToggles[k] {
-			return &Diverged{Op: op, What: fmt.Sprintf("NetToggles[%v] %d vs %d", k, ra.NetToggles[k], ca.NetToggles[k])}
+			return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("NetToggles[%v] %d vs %d", k, ra.NetToggles[k], ca.NetToggles[k])}
 		}
 		if ra.LoadToggles[k] != ca.LoadToggles[k] {
-			return &Diverged{Op: op, What: fmt.Sprintf("LoadToggles[%v] %d vs %d", k, ra.LoadToggles[k], ca.LoadToggles[k])}
+			return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("LoadToggles[%v] %d vs %d", k, ra.LoadToggles[k], ca.LoadToggles[k])}
 		}
 	}
 	return nil
 }
 
-// CheckEquivalence compiles nl under both backends, applies the script
-// to each in lockstep, and returns the first divergence (nil when the
-// backends agree everywhere).  Both compiles must agree on success; a
-// combinational loop (possible for decoded netlists only through
-// builder misuse, not this package's generators) must be rejected by
-// both.
+// CheckEquivalence compiles nl under all three backends, applies the
+// script to each in lockstep, and returns the first divergence (nil
+// when the backends agree everywhere).  All compiles must agree on
+// success; a combinational loop (possible for decoded netlists only
+// through builder misuse, not this package's generators) must be
+// rejected by every backend.
 func CheckEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []Op) error {
 	ref, rerr := nl.Compile()
 	ev, everr := event.Compile(nl)
-	if (rerr == nil) != (everr == nil) {
-		return fmt.Errorf("oracle: compile disagreement: reference %v, event %v", rerr, everr)
+	ln, lnerr := lanes.Compile(nl)
+	if (rerr == nil) != (everr == nil) || (rerr == nil) != (lnerr == nil) {
+		return fmt.Errorf("oracle: compile disagreement: reference %v, event %v, lanes %v", rerr, everr, lnerr)
 	}
 	if rerr != nil {
-		return nil // both rejected: agreement
+		return nil // all rejected: agreement
 	}
-	if err := compareState(nl, ref, ev, -1); err != nil {
+	cands := []struct {
+		name string
+		sim  circuit.Backend
+	}{{"event", ev}, {"lanes", ln}}
+	compare := func(op int) error {
+		for _, c := range cands {
+			if err := compareState(nl, ref, c.sim, c.name, op); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := compare(-1); err != nil {
 		return err
 	}
 	for i, op := range script {
@@ -227,18 +255,26 @@ func CheckEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []Op) er
 		case 0:
 			net := inputs[op.Input%len(inputs)]
 			ref.SetInput(net, op.Value)
-			ev.SetInput(net, op.Value)
+			for _, c := range cands {
+				c.sim.SetInput(net, op.Value)
+			}
 		case 1:
 			ref.Step()
-			ev.Step()
+			for _, c := range cands {
+				c.sim.Step()
+			}
 		case 2:
 			ref.Run(op.K)
-			ev.Run(op.K)
+			for _, c := range cands {
+				c.sim.Run(op.K)
+			}
 		default:
 			ref.Reset()
-			ev.Reset()
+			for _, c := range cands {
+				c.sim.Reset()
+			}
 		}
-		if err := compareState(nl, ref, ev, i); err != nil {
+		if err := compare(i); err != nil {
 			return err
 		}
 	}
@@ -263,4 +299,166 @@ func CheckSeed(seed int64) error {
 	nl, inputs := GenerateNetlist(src)
 	script := GenerateScript(src, len(inputs))
 	return CheckEquivalence(nl, inputs, script)
+}
+
+// LaneOp is one stimulus action of a per-lane script: like Op, but a
+// SetInput drives each lane with its own bit of Word, so the lanes
+// diverge the way a real candidate pack does.
+type LaneOp struct {
+	// Kind selects the action: 0 = SetInputWord, 1 = Step, 2 = Run, 3 = Reset.
+	Kind int
+	// Input indexes the netlist's input pins (SetInputWord only).
+	Input int
+	// Word carries the driven level of every lane (SetInputWord only).
+	Word uint64
+	// K is the cycle count (Run only).
+	K int
+}
+
+// maxCheckLanes bounds the word-parallel check's pack width: wide
+// enough that lane masks, per-lane accounting, and cross-lane isolation
+// are all exercised, narrow enough that the per-lane reference
+// simulations stay cheap.
+const maxCheckLanes = 8
+
+// GenerateLaneScript decodes a per-lane stimulus schedule for nIn input
+// pins and the given pack width.
+func GenerateLaneScript(src Source, nIn, width int) []LaneOp {
+	ops := make([]LaneOp, 0, 32)
+	word := func() uint64 {
+		var w uint64
+		for l := 0; l < width; l++ {
+			if src.Next(2) == 1 {
+				w |= 1 << uint(l)
+			}
+		}
+		return w
+	}
+	n := src.Next(40)
+	for i := 0; i < n; i++ {
+		switch src.Next(8) {
+		case 0, 1, 2, 3:
+			ops = append(ops, LaneOp{Kind: 0, Input: src.Next(nIn), Word: word()})
+		case 4:
+			ops = append(ops, LaneOp{Kind: 1})
+		case 5, 6:
+			ops = append(ops, LaneOp{Kind: 2, K: src.Next(6)})
+		default:
+			ops = append(ops, LaneOp{Kind: 3})
+		}
+	}
+	// Finish with a divergent burst so every lane's delay chains drain
+	// from distinct frontiers.
+	return append(ops,
+		LaneOp{Kind: 0, Input: 0, Word: 0x5555555555555555},
+		LaneOp{Kind: 2, K: 12})
+}
+
+// CheckLaneEquivalence runs one lanes simulation carrying width
+// divergent candidates and width solo cycle-accurate simulations in
+// lockstep, and requires every per-lane observable — values, arrivals,
+// the per-kind toggle tallies, and the flip-flop clock accounting — to
+// match each lane's own reference exactly.  Lane 0 additionally checks
+// the per-net toggle counters.
+func CheckLaneEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []LaneOp, width int) error {
+	ln, lnerr := lanes.Compile(nl)
+	ref0, rerr := nl.Compile()
+	if (rerr == nil) != (lnerr == nil) {
+		return fmt.Errorf("oracle: compile disagreement: reference %v, lanes %v", rerr, lnerr)
+	}
+	if rerr != nil {
+		return nil // both rejected: agreement
+	}
+	refs := make([]circuit.Backend, width)
+	refs[0] = ref0
+	for l := 1; l < width; l++ {
+		r, err := nl.Compile()
+		if err != nil {
+			return fmt.Errorf("oracle: reference recompile failed: %v", err)
+		}
+		refs[l] = r
+	}
+	mask := uint64(1)<<uint(width) - 1
+	ln.SetActiveLanes(mask)
+	compare := func(op int) error {
+		for l, ref := range refs {
+			name := fmt.Sprintf("lanes[%d]", l)
+			if ref.Cycle() != ln.Cycle() {
+				return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("cycle %d vs %d", ref.Cycle(), ln.Cycle()), Cycle: true}
+			}
+			for i := 0; i < nl.NumNets(); i++ {
+				net := circuit.Net(i)
+				if rv, cv := ref.Value(net), ln.LaneValue(net, l); rv != cv {
+					return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("value %v vs %v", rv, cv), Net: net}
+				}
+				if ra, ca := ref.Arrival(net), ln.LaneArrival(net, l); ra != ca {
+					return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("arrival %v vs %v", ra, ca), Net: net}
+				}
+				if l == 0 {
+					if rt, ct := ref.Toggles(net), ln.Toggles(net); rt != ct {
+						return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("toggles %d vs %d", rt, ct), Net: net}
+					}
+				}
+			}
+			if err := compareActivity(ref.Activity(), ln.LaneActivity(l), name, op); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := compare(-1); err != nil {
+		return err
+	}
+	for i, op := range script {
+		switch op.Kind {
+		case 0:
+			net := inputs[op.Input%len(inputs)]
+			ln.SetInputWord(net, op.Word)
+			for l, ref := range refs {
+				ref.SetInput(net, op.Word>>uint(l)&1 != 0)
+			}
+		case 1:
+			ln.Step()
+			for _, ref := range refs {
+				ref.Step()
+			}
+		case 2:
+			ln.Run(op.K)
+			for _, ref := range refs {
+				ref.Run(op.K)
+			}
+		default:
+			ln.Reset()
+			ln.SetActiveLanes(mask)
+			for _, ref := range refs {
+				ref.Reset()
+			}
+		}
+		if err := compare(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckLanesBytes is the lanes fuzz entry point: decode a netlist, a
+// pack width, and a per-lane script from raw bytes and check the
+// word-parallel engine lane by lane against the reference.
+func CheckLanesBytes(data []byte) error {
+	src := NewByteSource(data)
+	nl, inputs := GenerateNetlist(src)
+	width := 2 + src.Next(maxCheckLanes-1)
+	script := GenerateLaneScript(src, len(inputs), width)
+	return CheckLaneEquivalence(nl, inputs, script, width)
+}
+
+// CheckLanesSeed is the lanes property-test entry point: the same
+// decoder driven by a seeded PRNG.
+func CheckLanesSeed(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	src := NewRandSource(rng)
+	nl, inputs := GenerateNetlist(src)
+	width := 2 + src.Next(maxCheckLanes-1)
+	script := GenerateLaneScript(src, len(inputs), width)
+	return CheckLaneEquivalence(nl, inputs, script, width)
 }

@@ -1,6 +1,7 @@
 package oracle_test
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -14,8 +15,8 @@ import (
 )
 
 // TestNetlistEquivalence is the core property suite: random netlists
-// under random stimulus, both backends compared observable-by-observable
-// after every operation.
+// under random stimulus, every backend compared against the reference
+// observable-by-observable after every operation.
 func TestNetlistEquivalence(t *testing.T) {
 	trials := 400
 	if testing.Short() {
@@ -23,6 +24,21 @@ func TestNetlistEquivalence(t *testing.T) {
 	}
 	for seed := int64(0); seed < int64(trials); seed++ {
 		if err := oracle.CheckSeed(seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestLaneNetlistEquivalence is the word-parallel property suite: one
+// lanes simulation carrying several divergent candidates, checked lane
+// by lane against dedicated cycle-accurate simulations.
+func TestLaneNetlistEquivalence(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 50
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		if err := oracle.CheckLanesSeed(seed); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
@@ -93,42 +109,50 @@ func runCases(t *testing.T, name string, cases []alignCase,
 	}
 }
 
-// TestArrayEquivalence races the plain DNA array under both backends on
+// fastBackends are the candidate engines the array-level differential
+// suites run against the cycle-accurate reference.
+var fastBackends = []race.Backend{race.BackendEvent, race.BackendLanes}
+
+// TestArrayEquivalence races the plain DNA array under every backend on
 // a mixed workload and requires bit-identical results, reusing each
 // array across races exactly like the search pipeline does.
 func TestArrayEquivalence(t *testing.T) {
 	gen := seqgen.NewDNA(11)
 	shapes := [][2]int{{1, 1}, {3, 5}, {8, 8}, {12, 7}}
 	for _, s := range shapes {
-		ref, err := race.NewArray(s[0], s[1])
-		if err != nil {
-			t.Fatal(err)
+		for _, backend := range fastBackends {
+			ref, err := race.NewArray(s[0], s[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := race.NewArray(s[0], s[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast.SetBackend(backend)
+			runCases(t, "array/"+backend.String(), alignCases(t, gen, s[0], s[1]), ref, fast)
 		}
-		fast, err := race.NewArray(s[0], s[1])
-		if err != nil {
-			t.Fatal(err)
-		}
-		fast.SetBackend(race.BackendEvent)
-		runCases(t, "array", alignCases(t, gen, s[0], s[1]), ref, fast)
 	}
 }
 
 // TestGatedArrayEquivalence covers the clock-gated fabric, where the
-// event backend must track enable nets and the per-region DFFE clock
+// fast backends must track enable nets and the per-region DFFE clock
 // accounting exactly.
 func TestGatedArrayEquivalence(t *testing.T) {
 	gen := seqgen.NewDNA(12)
 	for _, region := range []int{1, 2, 4} {
-		ref, err := race.NewGatedArray(6, 9, region)
-		if err != nil {
-			t.Fatal(err)
+		for _, backend := range fastBackends {
+			ref, err := race.NewGatedArray(6, 9, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := race.NewGatedArray(6, 9, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast.SetBackend(backend)
+			runCases(t, "gated/"+backend.String(), alignCases(t, gen, 6, 9), ref, fast)
 		}
-		fast, err := race.NewGatedArray(6, 9, region)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fast.SetBackend(race.BackendEvent)
-		runCases(t, "gated", alignCases(t, gen, 6, 9), ref, fast)
 	}
 }
 
@@ -146,24 +170,118 @@ func TestGeneralArrayEquivalence(t *testing.T) {
 		n, m = 2, 3
 	}
 	for _, enc := range []race.Encoding{race.BinaryCounter, race.OneHot} {
-		ref, err := race.NewGeneralArray(n, m, prepared, enc)
+		for _, backend := range fastBackends {
+			ref, err := race.NewGeneralArray(n, m, prepared, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := race.NewGeneralArray(n, m, prepared, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast.SetBackend(backend)
+			p, q := gen.RandomPair(n)
+			if m != n {
+				q = gen.Random(m)
+			}
+			runCases(t, "general/"+enc.String()+"/"+backend.String(), []alignCase{
+				{p, q, -1},
+				{p, q, 20},
+				{p, gen.Random(m), -1},
+			}, ref, fast)
+		}
+	}
+}
+
+// TestAlignLanesEquivalence drives the production pack path: AlignLanes
+// races up to 64 candidates through one lanes array, and every lane's
+// AlignResult — score, cycles, full arrival matrix, activity — must be
+// byte-identical to a solo cycle-accurate Align of that candidate.
+func TestAlignLanesEquivalence(t *testing.T) {
+	gen := seqgen.NewDNA(16)
+	for _, tc := range []struct {
+		n, m, pack int
+		threshold  int64
+	}{
+		{4, 6, 1, -1},   // singleton pack
+		{4, 6, 3, -1},   // partial pack
+		{5, 5, 64, -1},  // full pack
+		{4, 6, 7, 5},    // thresholded pack: some lanes reject
+		{1, 1, 2, -1},   // minimal array
+		{12, 7, 17, 9},  // wide array, odd pack, tight bound
+		{3, 5, 64, 100}, // threshold looser than the race bound
+	} {
+		lanesArr, err := race.NewArray(tc.n, tc.m)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fast, err := race.NewGeneralArray(n, m, prepared, enc)
+		lanesArr.SetBackend(race.BackendLanes)
+		ref, err := race.NewArray(tc.n, tc.m)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fast.SetBackend(race.BackendEvent)
-		p, q := gen.RandomPair(n)
-		if m != n {
-			q = gen.Random(m)
+		p := gen.Random(tc.n)
+		qs := make([]string, tc.pack)
+		for i := range qs {
+			qs[i] = gen.Random(tc.m)
 		}
-		runCases(t, "general/"+enc.String(), []alignCase{
-			{p, q, -1},
-			{p, q, 20},
-			{p, gen.Random(m), -1},
-		}, ref, fast)
+		got, err := lanesArr.AlignLanes(p, qs, temporal.Time(tc.threshold))
+		if err != nil {
+			t.Fatalf("AlignLanes(%d,%d,pack %d): %v", tc.n, tc.m, tc.pack, err)
+		}
+		if len(got) != tc.pack {
+			t.Fatalf("AlignLanes returned %d results, want %d", len(got), tc.pack)
+		}
+		for i, q := range qs {
+			var want *race.AlignResult
+			if tc.threshold < 0 {
+				want, err = ref.Align(p, q)
+			} else {
+				want, err = ref.AlignThreshold(p, q, temporal.Time(tc.threshold))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got[i]) {
+				t.Fatalf("shape %dx%d pack %d lane %d (%q vs %q, thr %d): results differ\ncycle: %+v\nlanes: %+v",
+					tc.n, tc.m, tc.pack, i, p, q, tc.threshold, want, got[i])
+			}
+		}
+	}
+}
+
+// TestAlignLanesErrors pins the pack path's error contract: a bad
+// symbol in lane k surfaces as a LaneError carrying k and the same
+// underlying error a scalar Align would return, before any engine state
+// is touched.
+func TestAlignLanesErrors(t *testing.T) {
+	arr, err := race.NewArray(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.SetBackend(race.BackendLanes)
+	if _, err := arr.AlignLanes("ACG", []string{"ACGT", "ACXT", "TTTT"}, -1); err == nil {
+		t.Fatal("bad lane-1 symbol: want error")
+	} else {
+		var le *race.LaneError
+		if !errors.As(err, &le) {
+			t.Fatalf("want *race.LaneError, got %T: %v", err, err)
+		} else if le.Lane != 1 {
+			t.Fatalf("LaneError.Lane = %d, want 1", le.Lane)
+		}
+	}
+	if _, err := arr.AlignLanes("ACG", nil, -1); err == nil {
+		t.Fatal("empty pack: want error")
+	}
+	if _, err := arr.AlignLanes("ACG", make([]string, 65), -1); err == nil {
+		t.Fatal("oversized pack: want error")
+	}
+	scalar, err := race.NewArray(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scalar.AlignLanes("ACG", []string{"ACGT"}, -1); err == nil {
+		t.Fatal("AlignLanes on non-lanes backend: want error")
 	}
 }
 
@@ -247,7 +365,7 @@ func normalizeReport(r *racelogic.SearchReport) *racelogic.SearchReport {
 }
 
 // TestDatabaseEquivalence is the end-to-end oracle: whole databases
-// under {cycle, event} × {1, 3 shards} × {plain, gated, seeded,
+// under {cycle, event, lanes} × {1, 3 shards} × {plain, gated, seeded,
 // protein} configurations must produce byte-identical SearchReports
 // modulo EnginesBuilt.
 func TestDatabaseEquivalence(t *testing.T) {
@@ -281,7 +399,7 @@ func TestDatabaseEquivalence(t *testing.T) {
 		// it query for query.
 		var want []*racelogic.SearchReport
 		for _, shards := range shardCounts {
-			for _, backend := range []racelogic.Backend{racelogic.BackendCycle, racelogic.BackendEvent} {
+			for _, backend := range []racelogic.Backend{racelogic.BackendCycle, racelogic.BackendEvent, racelogic.BackendLanes} {
 				opts := append([]racelogic.Option{
 					racelogic.WithShards(shards),
 					racelogic.WithBackend(backend),
@@ -335,6 +453,30 @@ func FuzzEventBackendEquivalence(f *testing.F) {
 			data = data[:512]
 		}
 		if err := oracle.CheckBytes(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzLanesBackendEquivalence feeds raw bytes through the word-parallel
+// decoder: every fuzz case packs divergent candidates into one lanes
+// simulation and checks each lane against its own cycle-accurate
+// reference.
+func FuzzLanesBackendEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 30, 7, 0, 8, 1, 9, 2, 3, 0, 0, 170, 85, 4, 2, 5, 7, 0, 255})
+	f.Add([]byte("pack sixty-four candidates into one settle wave"))
+	for seed := int64(100); seed < 108; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]byte, 96)
+		rng.Read(b)
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		if err := oracle.CheckLanesBytes(data); err != nil {
 			t.Fatal(err)
 		}
 	})

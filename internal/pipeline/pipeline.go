@@ -45,6 +45,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -66,6 +67,18 @@ type Engine interface {
 	Align(p, q string) (*race.AlignResult, error)
 	AlignThreshold(p, q string, threshold temporal.Time) (*race.AlignResult, error)
 	Netlist() *circuit.Netlist
+}
+
+// LaneEngine is an Engine that can race a pack of same-shape candidates
+// through one pass of its netlist — race.Array under the bit-parallel
+// lanes backend.  LaneWidth reports the pack capacity (1 means scalar:
+// the pipeline falls back to the per-entry loop); AlignLanes races up
+// to LaneWidth candidates at once, byte-identical to scoring them one
+// by one, with a negative threshold disabling the Section 6 cut-off.
+type LaneEngine interface {
+	Engine
+	LaneWidth() int
+	AlignLanes(p string, qs []string, threshold temporal.Time) ([]*race.AlignResult, error)
 }
 
 // Factory builds a fresh engine for a query of length n against entries
@@ -188,6 +201,7 @@ type Pools struct {
 	maxIdle atomic.Int64 // park limit; excess released engines are dropped
 
 	checkoutObs atomic.Pointer[CheckoutObserver]
+	laneObs     atomic.Pointer[LaneObserver]
 }
 
 // CheckoutObserver sees every engine checkout: how long the worker
@@ -202,6 +216,22 @@ func (p *Pools) SetCheckoutObserver(fn CheckoutObserver) {
 		return
 	}
 	p.checkoutObs.Store(&fn)
+}
+
+// LaneObserver sees every lane-pack race: how many candidates filled
+// the pack against the engine's lane width.  Partial packs (the tail of
+// a chunk, or a bucket smaller than the width) report filled < width.
+type LaneObserver func(filled, width int)
+
+// SetLaneObserver installs fn on every future lane-pack race; nil
+// removes it.  The database layer uses this to feed its lane-fill-ratio
+// histogram.
+func (p *Pools) SetLaneObserver(fn LaneObserver) {
+	if fn == nil {
+		p.laneObs.Store(nil)
+		return
+	}
+	p.laneObs.Store(&fn)
 }
 
 // NewPools builds an engine-pool set.  Factory is required; a nil
@@ -958,6 +988,11 @@ func (p *Pools) runChunk(s *Snapshot, query string, c chunk, scan []int, thresho
 		raceBegin := time.Now()
 		defer func() { tr.AddRace(c.shard, time.Since(raceBegin)) }()
 	}
+	if le, ok := eng.(LaneEngine); ok {
+		if w := le.LaneWidth(); w > 1 {
+			return p.runChunkLanes(s, query, c, scan, threshold, slots, le, w, area)
+		}
+	}
 	for _, si := range c.indices {
 		i := si
 		if scan != nil {
@@ -972,23 +1007,83 @@ func (p *Pools) runChunk(s *Snapshot, query string, c chunk, scan []int, thresho
 		if err != nil {
 			return err, i
 		}
-		energy := p.lib.Energy(res.Activity).TotalJ()
-		slots.cycles[si] = res.Cycles
-		slots.energyJ[si] = energy
-		if res.Score == temporal.Never {
-			slots.rejected[si] = true
-			continue
+		p.fillSlot(slots, si, i, s, res, area)
+	}
+	return nil, -1
+}
+
+// runChunkLanes is the batched body of runChunk: the chunk's entries —
+// all the same length by construction — race through the checked-out
+// engine in lane packs of at most width candidates.  Outcomes, errors,
+// and the slot an error is attributed to are byte-identical to the
+// per-entry loop; only the number of netlist passes changes.
+func (p *Pools) runChunkLanes(s *Snapshot, query string, c chunk, scan []int, threshold int64,
+	slots *entrySlots, eng LaneEngine, width int, area float64) (error, int) {
+
+	obsFn := p.laneObs.Load()
+	qs := make([]string, 0, width)
+	for start := 0; start < len(c.indices); start += width {
+		end := start + width
+		if end > len(c.indices) {
+			end = len(c.indices)
 		}
-		slots.results[si] = &Result{
-			Index:            i,
-			Sequence:         s.entries[i],
-			Score:            int64(res.Score),
-			Cycles:           res.Cycles,
-			LatencyNS:        p.lib.LatencyNS(res.Cycles),
-			EnergyJ:          energy,
-			AreaUM2:          area,
-			PowerDensityWCM2: p.lib.Power(res.Activity) / (area / 1e8),
+		pack := c.indices[start:end]
+		qs = qs[:0]
+		for _, si := range pack {
+			i := si
+			if scan != nil {
+				i = scan[si]
+			}
+			qs = append(qs, s.entries[i])
+		}
+		results, err := eng.AlignLanes(query, qs, temporal.Time(threshold))
+		if err != nil {
+			// A lane-attributed failure maps back to the entry the scalar
+			// loop would have stopped at, with the same underlying error.
+			lane := 0
+			var le *race.LaneError
+			if errors.As(err, &le) {
+				lane = le.Lane
+				err = le.Err
+			}
+			i := pack[lane]
+			if scan != nil {
+				i = scan[i]
+			}
+			return err, i
+		}
+		if obsFn != nil {
+			(*obsFn)(len(pack), width)
+		}
+		for k, si := range pack {
+			i := si
+			if scan != nil {
+				i = scan[si]
+			}
+			p.fillSlot(slots, si, i, s, results[k], area)
 		}
 	}
 	return nil, -1
+}
+
+// fillSlot writes one finished race into its collector slot — the
+// shared tail of the scalar and lane-pack chunk bodies.
+func (p *Pools) fillSlot(slots *entrySlots, si, i int, s *Snapshot, res *race.AlignResult, area float64) {
+	energy := p.lib.Energy(res.Activity).TotalJ()
+	slots.cycles[si] = res.Cycles
+	slots.energyJ[si] = energy
+	if res.Score == temporal.Never {
+		slots.rejected[si] = true
+		return
+	}
+	slots.results[si] = &Result{
+		Index:            i,
+		Sequence:         s.entries[i],
+		Score:            int64(res.Score),
+		Cycles:           res.Cycles,
+		LatencyNS:        p.lib.LatencyNS(res.Cycles),
+		EnergyJ:          energy,
+		AreaUM2:          area,
+		PowerDensityWCM2: p.lib.Power(res.Activity) / (area / 1e8),
+	}
 }

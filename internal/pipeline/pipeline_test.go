@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"racelogic/internal/race"
@@ -618,5 +619,131 @@ func TestMultiSearchMatchesSingle(t *testing.T) {
 					parts, i, r.ID, r.Score, r.Sequence, w.ID, w.Score, w.Sequence)
 			}
 		}
+	}
+}
+
+// lanesFactory builds lane-pack engines: the same DNA arrays as
+// dnaFactory, switched onto the bit-parallel backend so runChunk takes
+// the batched path.
+func lanesFactory(n, m int) (Engine, error) {
+	a, err := race.NewArray(n, m)
+	if err != nil {
+		return nil, err
+	}
+	a.SetBackend(race.BackendLanes)
+	return a, nil
+}
+
+// lanesDB is a mixed-shape corpus built to exercise every pack shape in
+// one search: a 70-entry bucket (one full 64-wide pack plus a 6-wide
+// tail), a 5-entry bucket (one partial pack), and a singleton bucket.
+func lanesDB(g *seqgen.Generator) []string {
+	var db []string
+	for i := 0; i < 70; i++ {
+		db = append(db, g.Random(8))
+	}
+	for i := 0; i < 5; i++ {
+		db = append(db, g.Random(5))
+	}
+	return append(db, g.Random(11))
+}
+
+// TestLanesSearchMatchesCycle pins the batched scan against the scalar
+// reference pipeline: partial packs, full packs, and mixed engine
+// shapes must produce reports byte-identical modulo EnginesBuilt, under
+// unbounded, thresholded, top-k, and multi-worker requests.
+func TestLanesSearchMatchesCycle(t *testing.T) {
+	db := lanesDB(seqgen.NewDNA(33))
+	query := seqgen.NewDNA(34).Random(7)
+	lanesD, err := NewDB(db, lanesFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refD, err := NewDB(db, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []Request{
+		{Threshold: -1, Workers: 1},
+		{Threshold: 6, Workers: 1},
+		{Threshold: 6, TopK: 4, Workers: 2},
+		{Threshold: -1, Workers: 4},
+	} {
+		want, err := refD.Search(query, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lanesD.Search(query, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.EnginesBuilt, got.EnginesBuilt = 0, 0
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("req %+v: lanes report differs\ncycle: %+v\nlanes: %+v", req, want, got)
+		}
+	}
+}
+
+// TestLanesPackFill pins the pack carving itself via the lane observer:
+// one worker scans the mixed corpus as one chunk per bucket, so the
+// packs must come out exactly (64, 6, 5, 1) against a 64-lane engine.
+func TestLanesPackFill(t *testing.T) {
+	pools, err := NewPools(lanesFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fills [][2]int
+	var mu sync.Mutex
+	pools.SetLaneObserver(func(filled, width int) {
+		mu.Lock()
+		fills = append(fills, [2]int{filled, width})
+		mu.Unlock()
+	})
+	d, err := NewDBWith(lanesDB(seqgen.NewDNA(33)), pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Search("ACGTACG", Request{Threshold: -1, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{64, 64}, {6, 64}, {5, 64}, {1, 64}}
+	if !reflect.DeepEqual(fills, want) {
+		t.Fatalf("lane packs = %v, want %v", fills, want)
+	}
+	// A scalar-backend pool must never report packs.
+	pools.SetLaneObserver(func(filled, width int) {
+		t.Errorf("observer fired on scalar pools: (%d, %d)", filled, width)
+	})
+	scalar, err := NewDB([]string{"ACGT", "TTTT"}, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scalar.Search("ACGT", Request{Threshold: -1, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLanesErrorAttribution pins the batched path's error contract: a
+// corrupt entry anywhere in a pack must surface the same error and slot
+// attribution the scalar scan reports.
+func TestLanesErrorAttribution(t *testing.T) {
+	g := seqgen.NewDNA(35)
+	db := g.Database(10, 6)
+	db[7] = "ACGTXA" // decode failure mid-pack
+	query := g.Random(6)
+	want, werr := oneShot(query, db, Request{Threshold: -1, Workers: 1})
+	lanesD, err := NewDB(db, lanesFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gerr := lanesD.Search(query, Request{Threshold: -1, Workers: 1})
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("error disagreement: cycle %v, lanes %v", werr, gerr)
+	}
+	if werr == nil {
+		t.Fatalf("corrupt entry must fail the search (got %+v / %+v)", want, got)
+	}
+	if werr.Error() != gerr.Error() {
+		t.Fatalf("error text differs:\ncycle: %v\nlanes: %v", werr, gerr)
 	}
 }

@@ -5,10 +5,11 @@ import (
 
 	"racelogic/internal/circuit"
 	"racelogic/internal/circuit/event"
+	"racelogic/internal/circuit/lanes"
 )
 
 // Backend selects the gate-level simulation engine an array races on.
-// Both backends implement circuit.Backend and are arrival-, toggle- and
+// All backends implement circuit.Backend and are arrival-, toggle- and
 // clock-accounting-identical — the internal/oracle differential suite
 // enforces that — so the choice changes wall-clock speed only, never a
 // score, a timing matrix, or an energy figure.
@@ -17,12 +18,19 @@ type Backend int
 const (
 	// BackendCycle is the cycle-accurate reference simulator: every
 	// combinational gate settles and every net is scanned once per clock
-	// cycle.  It is the oracle the fast path is tested against.
+	// cycle.  It is the oracle the fast paths are tested against.
 	BackendCycle Backend = iota
 	// BackendEvent is the event-driven engine in circuit/event: only
 	// gates whose inputs changed are re-evaluated, only armed flip-flops
 	// are clocked, and quiescent stretches fast-forward to the horizon.
 	BackendEvent
+	// BackendLanes is the bit-parallel engine in circuit/lanes: every
+	// net's state is a uint64 word whose bit i is the value in lane i,
+	// so one settle wave races up to 64 same-shape candidates at once.
+	// Plain arrays batch candidates through AlignLanes; the other array
+	// types (and the scalar circuit.Backend contract) run it one lane at
+	// a time.
+	BackendLanes
 )
 
 // String names the backend the way the -backend CLI flags spell it.
@@ -32,16 +40,19 @@ func (b Backend) String() string {
 		return "cycle"
 	case BackendEvent:
 		return "event"
+	case BackendLanes:
+		return "lanes"
 	}
 	return fmt.Sprintf("backend(%d)", int(b))
 }
 
 // Validate rejects values outside the defined enum.
 func (b Backend) Validate() error {
-	if b != BackendCycle && b != BackendEvent {
-		return fmt.Errorf("race: unknown backend %d (have cycle, event)", int(b))
+	switch b {
+	case BackendCycle, BackendEvent, BackendLanes:
+		return nil
 	}
-	return nil
+	return fmt.Errorf("race: unknown backend %d (have cycle, event, lanes)", int(b))
 }
 
 // ParseBackend maps a CLI spelling to a Backend.
@@ -51,14 +62,19 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendCycle, nil
 	case "event":
 		return BackendEvent, nil
+	case "lanes":
+		return BackendLanes, nil
 	}
-	return 0, fmt.Errorf("race: unknown backend %q (have cycle, event)", s)
+	return 0, fmt.Errorf("race: unknown backend %q (have cycle, event, lanes)", s)
 }
 
 // compileBackend compiles nl under the selected engine.
 func compileBackend(nl *circuit.Netlist, b Backend) (circuit.Backend, error) {
-	if b == BackendEvent {
+	switch b {
+	case BackendEvent:
 		return event.Compile(nl)
+	case BackendLanes:
+		return lanes.Compile(nl)
 	}
 	return nl.Compile()
 }

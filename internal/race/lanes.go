@@ -1,0 +1,147 @@
+package race
+
+import (
+	"fmt"
+
+	"racelogic/internal/circuit/lanes"
+	"racelogic/internal/temporal"
+)
+
+// LaneError attributes a per-candidate failure inside a lane pack to
+// the lane it occurred on, so a batched scan reports exactly the error
+// (and the entry) a one-candidate-at-a-time scan would have.
+type LaneError struct {
+	// Lane is the index into the qs slice AlignLanes was given.
+	Lane int
+	// Err is the underlying error, verbatim from the scalar path.
+	Err error
+}
+
+func (e *LaneError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the scalar error for errors.Is/As.
+func (e *LaneError) Unwrap() error { return e.Err }
+
+// LaneWidth reports how many candidates one race can score at once: 64
+// under BackendLanes, 1 otherwise.  The pipeline uses it to decide
+// whether to batch a chunk into lane packs.
+func (a *Array) LaneWidth() int {
+	if a.backend == BackendLanes {
+		return lanes.Width
+	}
+	return 1
+}
+
+// AlignLanes races query p against up to 64 candidate strings in one
+// pass of the compiled netlist — every candidate gets a bit lane of the
+// word-parallel engine, all racing the same wavefront.  A negative
+// threshold runs the full race; otherwise the Section 6 cut-off applies
+// to every lane exactly as AlignThreshold applies it to one.  The
+// returned results are index-aligned with qs and byte-identical to what
+// Align/AlignThreshold would have produced candidate by candidate.
+// Candidate-specific failures are reported as *LaneError.
+func (a *Array) AlignLanes(p string, qs []string, threshold temporal.Time) ([]*AlignResult, error) {
+	if a.backend != BackendLanes {
+		return nil, fmt.Errorf("race: AlignLanes requires BackendLanes, array uses %v", a.backend)
+	}
+	if len(qs) == 0 || len(qs) > lanes.Width {
+		return nil, fmt.Errorf("race: lane pack holds 1..%d candidates, got %d", lanes.Width, len(qs))
+	}
+	if len(p) != a.n {
+		return nil, fmt.Errorf("race: array is %d×%d but strings are %d×%d", a.n, a.m, len(p), len(qs[0]))
+	}
+	used := ^uint64(0)
+	if len(qs) < lanes.Width {
+		used = uint64(1)<<uint(len(qs)) - 1
+	}
+
+	// Decode every symbol before touching the engine, attributing the
+	// first failure to its lane — the same entry a scalar scan would
+	// have stopped at.
+	pc := make([]uint8, a.n)
+	for i := 0; i < a.n; i++ {
+		c, err := dnaCode(p[i])
+		if err != nil {
+			return nil, &LaneError{Lane: 0, Err: err}
+		}
+		pc[i] = c
+	}
+	qw := make([][2]uint64, a.m)
+	for k, q := range qs {
+		if len(q) != a.m {
+			return nil, &LaneError{Lane: k, Err: fmt.Errorf("race: array is %d×%d but strings are %d×%d", a.n, a.m, len(p), len(q))}
+		}
+		bit := uint64(1) << uint(k)
+		for j := 0; j < a.m; j++ {
+			c, err := dnaCode(q[j])
+			if err != nil {
+				return nil, &LaneError{Lane: k, Err: err}
+			}
+			if c&1 == 1 {
+				qw[j][0] |= bit
+			}
+			if c&2 == 2 {
+				qw[j][1] |= bit
+			}
+		}
+	}
+
+	sim, err := a.simulator()
+	if err != nil {
+		return nil, err
+	}
+	ls, ok := sim.(*lanes.Sim)
+	if !ok {
+		return nil, fmt.Errorf("race: lanes backend compiled unexpected engine %T", sim)
+	}
+	ls.SetActiveLanes(used)
+
+	// Drive the pins in the exact order the scalar loadSymbols does, so
+	// every lane's settle/account sequence — and therefore its toggle
+	// counts — matches its solo race bit for bit.
+	broadcast := func(on bool) uint64 {
+		if on {
+			return used
+		}
+		return 0
+	}
+	for i := 0; i < a.n; i++ {
+		ls.SetInputWord(a.pBits[i][0], broadcast(pc[i]&1 == 1))
+		ls.SetInputWord(a.pBits[i][1], broadcast(pc[i]&2 == 2))
+	}
+	for j := 0; j < a.m; j++ {
+		ls.SetInputWord(a.qBits[j][0], qw[j][0])
+		ls.SetInputWord(a.qBits[j][1], qw[j][1])
+	}
+	ls.SetInputWord(a.root, used)
+
+	bound := a.n + a.m + 2
+	if threshold >= 0 {
+		if b := int(threshold) + 1; b < bound {
+			bound = b
+		}
+	}
+	out := a.out[a.n][a.m]
+	ls.RaceUntil(out, bound)
+
+	results := make([]*AlignResult, len(qs))
+	for k := range qs {
+		res := &AlignResult{
+			Score:    ls.LaneArrival(out, k),
+			Cycles:   ls.LaneCycle(k),
+			Arrivals: make([][]temporal.Time, a.n+1),
+			Activity: ls.LaneActivity(k),
+		}
+		for i := range res.Arrivals {
+			res.Arrivals[i] = make([]temporal.Time, a.m+1)
+			for j := range res.Arrivals[i] {
+				res.Arrivals[i][j] = ls.LaneArrival(a.out[i][j], k)
+			}
+		}
+		if threshold >= 0 {
+			res = applyThreshold(res, threshold)
+		}
+		results[k] = res
+	}
+	return results, nil
+}

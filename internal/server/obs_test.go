@@ -74,6 +74,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"racelogic_search_cycles_sum{backend=\"cycle\"}",
 		"racelogic_search_energy_joules_count{backend=\"cycle\"}",
 		"racelogic_searches_total{backend=\"cycle\"}",
+		"racelogic_lane_fill_ratio_count{backend=\"cycle\"}",
 		"racelogic_seed_lookups_total",
 		"racelogic_shard_entries{shard=\"0\"}",
 		"racelogic_build_info{",
@@ -95,6 +96,37 @@ func TestMetricsEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /metrics: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestMetricsLanesBackend asserts a lanes-backed database exports the
+// lane-fill-ratio histogram and relabels the shared backend-labeled
+// families, and that searches actually feed the fill observer.
+func TestMetricsLanesBackend(t *testing.T) {
+	ts, db, _ := newTestServer(t, racelogic.WithBackend(racelogic.BackendLanes))
+	if _, err := db.Search("ACGTACGT"); err != nil {
+		t.Fatal(err)
+	}
+	body := scrapeMetrics(t, ts.URL)
+	if err := obs.ValidatePrometheusText(body); err != nil {
+		t.Fatalf("scrape is not valid Prometheus text: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"racelogic_lane_fill_ratio_bucket{backend=\"lanes\",le=\"",
+		"racelogic_lane_fill_ratio_sum{backend=\"lanes\"}",
+		"racelogic_search_latency_seconds_bucket{backend=\"lanes\",le=\"",
+		"racelogic_search_cycles_sum{backend=\"lanes\"}",
+		"racelogic_searches_total{backend=\"lanes\"}",
+		"backend=\"lanes\"",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+	// Every raced pack observes one fill sample; the seed corpus has
+	// several length buckets, so at least one partial pack was recorded.
+	if v := metricValue(t, body, "racelogic_lane_fill_ratio_count{backend=\"lanes\"}"); v < 1 {
+		t.Errorf("racelogic_lane_fill_ratio_count = %v, want >= 1", v)
 	}
 }
 

@@ -21,6 +21,7 @@ type dbMetrics struct {
 	searchCycles  *obs.Histogram
 	searchEnergy  *obs.Histogram
 	checkoutWait  *obs.Histogram
+	laneFill      *obs.Histogram
 	walAppend     *obs.Histogram
 	walFsync      *obs.Histogram
 
@@ -52,6 +53,9 @@ func (d *Database) initObs() {
 	m.checkoutWait = r.Histogram("racelogic_engine_checkout_wait_seconds",
 		"Wall-clock a worker spent acquiring (or compiling) an engine.",
 		obs.ExpBuckets(1e-7, 4, 14))
+	m.laneFill = r.Histogram("racelogic_lane_fill_ratio",
+		"Candidates per lane pack over the engine's lane width (lanes backend).",
+		[]float64{0.015625, 0.03125, 0.0625, 0.125, 0.25, 0.5, 0.75, 0.875, 1}, backend)
 	m.walAppend = r.Histogram("racelogic_wal_append_seconds",
 		"Wall-clock per write-ahead-log record append.",
 		obs.ExpBuckets(1e-6, 4, 12))
@@ -164,6 +168,9 @@ func (d *Database) initObs() {
 	d.metrics = m
 	d.pools.SetCheckoutObserver(func(wait time.Duration, built bool) {
 		m.checkoutWait.Observe(wait.Seconds())
+	})
+	d.pools.SetLaneObserver(func(filled, width int) {
+		m.laneFill.Observe(float64(filled) / float64(width))
 	})
 }
 

@@ -160,7 +160,7 @@ var durabilityOptions = []string{
 }
 
 // Backend selects the gate-level simulation engine the races run on.
-// Both backends produce byte-identical scores, timing matrices, and
+// Every backend produces byte-identical scores, timing matrices, and
 // energy reports — the internal/oracle differential suite holds them to
 // that — so the choice trades nothing but wall-clock speed.
 type Backend = race.Backend
@@ -174,9 +174,17 @@ const (
 	// and quiescent stretches fast-forward — several times faster on the
 	// full-scan search workload, with identical results.
 	BackendEvent = race.BackendEvent
+	// BackendLanes is the bit-parallel engine: every net's state is a
+	// uint64 word whose bit i is that net's value in lane i, so one
+	// netlist pass races up to 64 same-shape database entries at once.
+	// Full scans batch candidates into lane packs automatically; the
+	// amortized per-candidate cost is the lowest of the three backends,
+	// with identical results.
+	BackendLanes = race.BackendLanes
 )
 
-// ParseBackend maps a CLI spelling ("cycle", "event") to a Backend.
+// ParseBackend maps a CLI spelling ("cycle", "event", "lanes") to a
+// Backend.
 func ParseBackend(s string) (Backend, error) { return race.ParseBackend(s) }
 
 // WithBackend selects the simulation engine (default BackendCycle).

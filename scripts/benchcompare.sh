@@ -1,35 +1,64 @@
 #!/usr/bin/env bash
 # benchcompare.sh — backend speed regression guard.
 #
-# Runs the BenchmarkBackendFullScan pair (the same warm full-scan
-# workload on the cycle-accurate and event-driven backends) and fails
-# if the event backend is not at least MIN_SPEEDUP times faster.  The
+# Runs the BenchmarkBackendFullScan trio (the same warm full-scan
+# workload on the cycle-accurate, event-driven, and bit-parallel lanes
+# backends), emits a machine-readable BENCH_backends.json with each
+# backend's ns/op and speedup over the reference, and fails if a fast
+# backend drops below its floor: the event backend must be at least
+# MIN_SPEEDUP_EVENT (default 1.5) times faster than cycle, the lanes
+# backend at least MIN_SPEEDUP_LANES (default 8) times.  The
 # differential suite proves the backends agree bit for bit; this script
-# guards the reason the event backend exists at all.
+# guards the reason the fast backends exist at all.
 #
 # Usage: scripts/benchcompare.sh [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-3x}"
-MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
+MIN_SPEEDUP_EVENT="${MIN_SPEEDUP_EVENT:-${MIN_SPEEDUP:-1.5}}"
+MIN_SPEEDUP_LANES="${MIN_SPEEDUP_LANES:-8}"
+JSON_OUT="${JSON_OUT:-BENCH_backends.json}"
 
 out="$(go test -run=NONE -bench 'BenchmarkBackendFullScan' -benchtime="$BENCHTIME" .)"
 echo "$out"
 
 cycle_ns="$(echo "$out" | awk '$1 ~ /BenchmarkBackendFullScan\/cycle/ {print $3}')"
 event_ns="$(echo "$out" | awk '$1 ~ /BenchmarkBackendFullScan\/event/ {print $3}')"
+lanes_ns="$(echo "$out" | awk '$1 ~ /BenchmarkBackendFullScan\/lanes/ {print $3}')"
 
-if [[ -z "$cycle_ns" || -z "$event_ns" ]]; then
+if [[ -z "$cycle_ns" || -z "$event_ns" || -z "$lanes_ns" ]]; then
     echo "benchcompare: could not parse benchmark output" >&2
     exit 1
 fi
 
-speedup="$(awk -v c="$cycle_ns" -v e="$event_ns" 'BEGIN {printf "%.2f", c / e}')"
-echo "benchcompare: event backend speedup ${speedup}x (cycle ${cycle_ns} ns/op, event ${event_ns} ns/op)"
+event_speedup="$(awk -v c="$cycle_ns" -v e="$event_ns" 'BEGIN {printf "%.2f", c / e}')"
+lanes_speedup="$(awk -v c="$cycle_ns" -v l="$lanes_ns" 'BEGIN {printf "%.2f", c / l}')"
 
-ok="$(awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN {print (s >= m) ? 1 : 0}')"
+cat > "$JSON_OUT" <<EOF
+{
+  "benchmark": "BenchmarkBackendFullScan",
+  "benchtime": "$BENCHTIME",
+  "backends": {
+    "cycle": {"ns_per_op": $cycle_ns, "speedup": 1.00},
+    "event": {"ns_per_op": $event_ns, "speedup": $event_speedup},
+    "lanes": {"ns_per_op": $lanes_ns, "speedup": $lanes_speedup}
+  },
+  "floors": {"event": $MIN_SPEEDUP_EVENT, "lanes": $MIN_SPEEDUP_LANES}
+}
+EOF
+echo "benchcompare: wrote $JSON_OUT"
+echo "benchcompare: event ${event_speedup}x, lanes ${lanes_speedup}x over cycle (${cycle_ns} ns/op)"
+
+fail=0
+ok="$(awk -v s="$event_speedup" -v m="$MIN_SPEEDUP_EVENT" 'BEGIN {print (s >= m) ? 1 : 0}')"
 if [[ "$ok" != 1 ]]; then
-    echo "benchcompare: FAIL — event backend is only ${speedup}x the cycle backend (minimum ${MIN_SPEEDUP}x)" >&2
-    exit 1
+    echo "benchcompare: FAIL — event backend is only ${event_speedup}x the cycle backend (minimum ${MIN_SPEEDUP_EVENT}x)" >&2
+    fail=1
 fi
+ok="$(awk -v s="$lanes_speedup" -v m="$MIN_SPEEDUP_LANES" 'BEGIN {print (s >= m) ? 1 : 0}')"
+if [[ "$ok" != 1 ]]; then
+    echo "benchcompare: FAIL — lanes backend is only ${lanes_speedup}x the cycle backend (minimum ${MIN_SPEEDUP_LANES}x)" >&2
+    fail=1
+fi
+exit "$fail"
