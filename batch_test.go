@@ -1,0 +1,143 @@
+package racelogic_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"racelogic"
+	"racelogic/internal/seqgen"
+)
+
+// TestSearchBatchMatchesSequential pins the public batch contract:
+// every report of a Database.SearchBatch must be byte-identical to the
+// sequential Search call for the same query — across backends, lane
+// widths, shard counts, and the seeded path — except EnginesBuilt,
+// which counts the whole batch's builds.
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	g := seqgen.NewDNA(61)
+	var db []string
+	for _, n := range []int{7, 9, 11} {
+		db = append(db, g.Database(25, n)...)
+	}
+	queries := []string{g.Random(9), g.Random(7), g.Random(9), g.Random(11)}
+	configs := []struct {
+		name string
+		opts []racelogic.Option
+	}{
+		{"cycle", []racelogic.Option{racelogic.WithBackend(racelogic.BackendCycle)}},
+		{"lanes64", []racelogic.Option{racelogic.WithBackend(racelogic.BackendLanes)}},
+		{"lanes256", []racelogic.Option{
+			racelogic.WithBackend(racelogic.BackendLanes), racelogic.WithLaneWidth(256)}},
+		{"lanes128-sharded-seeded", []racelogic.Option{
+			racelogic.WithBackend(racelogic.BackendLanes), racelogic.WithLaneWidth(128),
+			racelogic.WithShards(3), racelogic.WithSeedIndex(4)}},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := racelogic.NewDatabase(db, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			searchOpts := []racelogic.Option{
+				racelogic.WithThreshold(18), racelogic.WithTopK(6), racelogic.WithWorkers(2)}
+			batch, err := d.SearchBatch(queries, searchOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) != len(queries) {
+				t.Fatalf("%d reports for %d queries", len(batch), len(queries))
+			}
+			for qi, q := range queries {
+				want, err := d.Search(q, searchOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := batch[qi]
+				want.EnginesBuilt, got.EnginesBuilt = 0, 0
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("query %d: batch report differs\nsequential: %+v\nbatch:      %+v",
+						qi, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSearchBatchOneShot pins the package-level convenience wrapper.
+func TestSearchBatchOneShot(t *testing.T) {
+	g := seqgen.NewDNA(62)
+	db := g.Database(12, 8)
+	queries := []string{g.Random(8), g.Random(8)}
+	batch, err := racelogic.SearchBatch(queries, db,
+		racelogic.WithBackend(racelogic.BackendLanes), racelogic.WithLaneWidth(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("%d reports, want 2", len(batch))
+	}
+	for qi, q := range queries {
+		want, err := racelogic.Search(q, db,
+			racelogic.WithBackend(racelogic.BackendLanes), racelogic.WithLaneWidth(128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch[qi]
+		want.EnginesBuilt, got.EnginesBuilt = 0, 0
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("query %d: one-shot batch report differs", qi)
+		}
+	}
+}
+
+// TestSearchBatchErrors pins the batch failure contract: bad queries
+// surface as a *BatchError naming the zero-based query at fault, fixed
+// options are rejected exactly like SearchContext does, and an empty
+// batch succeeds with an empty report slice.
+func TestSearchBatchErrors(t *testing.T) {
+	g := seqgen.NewDNA(63)
+	d, err := racelogic.NewDatabase(g.Database(6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, err := d.SearchBatch([]string{g.Random(8), ""}); err == nil {
+		t.Error("empty query in batch must fail")
+	} else {
+		var be *racelogic.BatchError
+		if !errors.As(err, &be) {
+			t.Errorf("error %v (%T) is not a *BatchError", err, err)
+		} else if be.Query != 1 {
+			t.Errorf("error attributed to query %d, want 1", be.Query)
+		}
+	}
+
+	if _, err := d.SearchBatch([]string{g.Random(8), "ACGTX"}); err == nil {
+		t.Error("undecodable query in batch must fail")
+	} else {
+		var be *racelogic.BatchError
+		if !errors.As(err, &be) {
+			t.Errorf("error %v (%T) is not a *BatchError", err, err)
+		} else if be.Query != 1 {
+			t.Errorf("error attributed to query %d, want 1", be.Query)
+		}
+	}
+
+	if _, err := d.SearchBatch([]string{g.Random(8)}, racelogic.WithShards(2)); err == nil {
+		t.Error("fixed option at batch-search time must be rejected")
+	} else if !strings.Contains(err.Error(), "fixed when the database is built") {
+		t.Errorf("fixed-option error = %v", err)
+	}
+
+	reps, err := d.SearchBatch(nil)
+	if err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if len(reps) != 0 {
+		t.Fatalf("empty batch returned %d reports", len(reps))
+	}
+}

@@ -8,6 +8,7 @@ package racelogic
 // `go test -bench . -benchmem` prints the same numbers the tables hold.
 
 import (
+	"fmt"
 	"testing"
 
 	"racelogic/internal/align"
@@ -355,30 +356,84 @@ func BenchmarkSearchOneShot10k(b *testing.B) {
 }
 
 // BenchmarkBackendFullScan races an identical warm full-scan workload
-// on each simulation backend.  The sub-benchmark trio is the input to
-// scripts/benchcompare.sh, the CI guard that fails when the event or
-// lanes backend stops clearing its speedup floor over the
-// cycle-accurate reference.
+// on each simulation backend, then on the lanes backend again at the
+// wider 128- and 256-lane pack widths.  The sub-benchmarks are the
+// input to scripts/benchcompare.sh, the CI guard that fails when the
+// event or lanes backend stops clearing its speedup floor over the
+// cycle-accurate reference, or when a wider pack gets slower per
+// candidate than the 64-lane default.
 func BenchmarkBackendFullScan(b *testing.B) {
 	gen := seqgen.NewDNA(77)
 	query := gen.Random(24)
 	entries := gen.Database(400, 24)
-	for _, backend := range []Backend{BackendCycle, BackendEvent, BackendLanes} {
-		b.Run(backend.String(), func(b *testing.B) {
-			d, err := NewDatabase(entries, WithBackend(backend))
+	scan := func(b *testing.B, opts ...Option) {
+		d, err := NewDatabase(entries, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Search(query); err != nil { // warm the pools
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := d.Search(query)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := d.Search(query); err != nil { // warm the pools
-				b.Fatal(err)
-			}
-			b.ResetTimer()
+			b.ReportMetric(float64(rep.TotalCycles), "cycles")
+		}
+	}
+	for _, backend := range []Backend{BackendCycle, BackendEvent, BackendLanes} {
+		b.Run(backend.String(), func(b *testing.B) {
+			scan(b, WithBackend(backend))
+		})
+	}
+	for _, width := range []int{128, 256} {
+		b.Run(fmt.Sprintf("lanes%d", width), func(b *testing.B) {
+			scan(b, WithBackend(BackendLanes), WithLaneWidth(width))
+		})
+	}
+}
+
+// BenchmarkMultiQueryBatch races 16 queries as one SearchBatch call
+// versus the same 16 as sequential Search calls, per lane width.  The
+// corpus spans three length buckets each too small to fill a wide pack
+// from one query, so cross-query coalescing is what reaches the pack
+// width; the batch/sequential gap is the payoff of the batch API.
+func BenchmarkMultiQueryBatch(b *testing.B) {
+	gen := seqgen.NewDNA(78)
+	var entries []string
+	for _, m := range []int{23, 24, 25} {
+		for i := 0; i < 40; i++ {
+			entries = append(entries, gen.Random(m))
+		}
+	}
+	queries := make([]string, 16)
+	for i := range queries {
+		queries[i] = gen.Random(24)
+	}
+	for _, width := range []int{64, 256} {
+		d, err := NewDatabase(entries, WithBackend(BackendLanes), WithLaneWidth(width))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.SearchBatch(queries); err != nil { // warm the pools
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("batch%d", width), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := d.Search(query)
-				if err != nil {
+				if _, err := d.SearchBatch(queries); err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(float64(rep.TotalCycles), "cycles")
+			}
+		})
+		b.Run(fmt.Sprintf("sequential%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := d.Search(q); err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
 		})
 	}

@@ -5,16 +5,19 @@
 //
 // Usage:
 //
-//	racebench -fig 5a|5b|5c|eq5|6|9a|9b|9c|eq7|encoding|threshold|headline|all
+//	racebench -fig 5a|5b|5c|eq5|6|9a|9b|9c|eq7|encoding|threshold|headline|lanefill|all
 //	          [-lib AMIS|OSU|both] [-ns 5,10,20,...] [-csv|-json]
-//	          [-backend cycle|event|lanes]
+//	          [-backend cycle|event|lanes] [-lanewidth 64|128|256|512]
 //
 // Output is a text table per figure (CSV with -csv, JSON with -json),
 // printing the same series the paper plots; EXPERIMENTS.md records how
 // each compares to the published curves.  -backend selects the
 // simulation engine the sweeps run on — the oracle suite proves the
 // engines bit-identical, so the figures never change, only how long a
-// long N sweep takes.
+// long N sweep takes.  -lanewidth sets the lanes backend's pack width
+// (64–512 candidates per race); the lanefill figure measures the
+// resulting pack occupancy and records the configured width and mean
+// fill ratio in its -json output.
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables")
 	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference), event (fast), or lanes (batched)")
+	laneWidth := flag.Int("lanewidth", 0, "lanes backend pack width: 64, 128, 256, or 512 (0 = default 64)")
 	n9c := flag.Int("n9c", 30, "string length for the Fig. 9c scatter")
 	flag.Parse()
 
@@ -49,6 +53,9 @@ func main() {
 		fatal(err)
 	}
 	if err := eval.SetBackend(backend); err != nil {
+		fatal(err)
+	}
+	if err := eval.SetLaneWidth(*laneWidth); err != nil {
 		fatal(err)
 	}
 	ns := eval.DefaultNs
@@ -152,9 +159,15 @@ func run(w io.Writer, figID string, lib *tech.Library, ns []int, fm format, n9c 
 		return emit(eval.ThresholdStudy(lib, 24, 16, 30))
 	case "headline":
 		return emit(eval.Headline(lib, 20))
+	case "lanefill":
+		return emit(eval.LaneFill(lib, 24, 400))
 	case "all":
-		for _, id := range []string{"5a", "5b", "5c", "eq5", "6", "9a", "9b", "9c",
-			"eq7", "encoding", "threshold", "headline"} {
+		ids := []string{"5a", "5b", "5c", "eq5", "6", "9a", "9b", "9c",
+			"eq7", "encoding", "threshold", "headline"}
+		if eval.Backend() == racelogic.BackendLanes {
+			ids = append(ids, "lanefill")
+		}
+		for _, id := range ids {
 			if err := run(w, id, lib, ns, fm, n9c); err != nil {
 				return fmt.Errorf("fig %s: %w", id, err)
 			}

@@ -17,7 +17,8 @@
 //
 //	racesearch [-db FILE | -snapshot FILE] [-lib AMIS|OSU] [-threshold T]
 //	           [-top K] [-workers N] [-matrix BLOSUM62|PAM250] [-gate m]
-//	           [-seedk K] [-shards N] [-backend cycle|event|lanes] QUERY [FILE]
+//	           [-seedk K] [-shards N] [-backend cycle|event|lanes]
+//	           [-lanewidth 64|128|256|512] QUERY [FILE]
 //
 // Examples:
 //
@@ -50,6 +51,7 @@ func main() {
 	seedK := flag.Int("seedk", 0, "k-mer seed index length (0 = race every entry)")
 	shards := flag.Int("shards", 0, "database shard count (0 = GOMAXPROCS)")
 	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference), event (fast), or lanes (batched)")
+	laneWidth := flag.Int("lanewidth", 0, "lanes backend pack width: 64, 128, 256, or 512 (0 = default 64)")
 	flag.Parse()
 	backend, err := racelogic.ParseBackend(*backendName)
 	if err != nil {
@@ -64,7 +66,7 @@ func main() {
 	// The loaders uppercase database sequences; treat the query alike.
 	query := strings.ToUpper(flag.Arg(0))
 
-	db, err := resolveDatabase(*snapshot, *dbFile, flag.Args(), *lib, *matrix, *gate, *seedK, *shards, backend)
+	db, err := resolveDatabase(*snapshot, *dbFile, flag.Args(), *lib, *matrix, *gate, *seedK, *shards, backend, *laneWidth)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racesearch:", err)
 		os.Exit(1)
@@ -78,11 +80,11 @@ func main() {
 // resolveDatabase produces the Database to race: an existing snapshot
 // wins (it carries its own engine options — shaping flags the user set
 // explicitly alongside it are rejected as contradictory, except
-// -backend, the one runtime choice a snapshot does not fix); otherwise
-// the entries are loaded, a database built, and, when -snapshot names a
-// fresh path, saved there for the next run.
+// -backend and -lanewidth, the runtime choices a snapshot does not
+// fix); otherwise the entries are loaded, a database built, and, when
+// -snapshot names a fresh path, saved there for the next run.
 func resolveDatabase(snapshot, dbFile string, args []string,
-	lib, matrix string, gate, seedK, shards int, backend racelogic.Backend) (*racelogic.Database, error) {
+	lib, matrix string, gate, seedK, shards int, backend racelogic.Backend, laneWidth int) (*racelogic.Database, error) {
 
 	if snapshot != "" {
 		if _, err := os.Stat(snapshot); err == nil {
@@ -100,7 +102,11 @@ func resolveDatabase(snapshot, dbFile string, args []string,
 				return nil, fmt.Errorf("snapshot %s already fixes the database and engine options; drop %s",
 					snapshot, strings.Join(conflict, ", "))
 			}
-			return racelogic.OpenSnapshot(snapshot, racelogic.WithBackend(backend))
+			opts := []racelogic.Option{racelogic.WithBackend(backend)}
+			if laneWidth > 0 {
+				opts = append(opts, racelogic.WithLaneWidth(laneWidth))
+			}
+			return racelogic.OpenSnapshot(snapshot, opts...)
 		} else if !os.IsNotExist(err) {
 			return nil, err
 		}
@@ -109,7 +115,7 @@ func resolveDatabase(snapshot, dbFile string, args []string,
 	if err != nil {
 		return nil, err
 	}
-	db, err := buildDatabase(entries, lib, matrix, gate, seedK, shards, backend)
+	db, err := buildDatabase(entries, lib, matrix, gate, seedK, shards, backend, laneWidth)
 	if err != nil {
 		return nil, err
 	}
@@ -133,8 +139,11 @@ func loadDB(dbFile string, args []string) ([]string, error) {
 }
 
 // buildDatabase maps the engine-shaping flags onto a Database.
-func buildDatabase(entries []string, lib, matrix string, gate, seedK, shards int, backend racelogic.Backend) (*racelogic.Database, error) {
+func buildDatabase(entries []string, lib, matrix string, gate, seedK, shards int, backend racelogic.Backend, laneWidth int) (*racelogic.Database, error) {
 	opts := []racelogic.Option{racelogic.WithLibrary(lib), racelogic.WithBackend(backend)}
+	if laneWidth > 0 {
+		opts = append(opts, racelogic.WithLaneWidth(laneWidth))
+	}
 	if matrix != "" {
 		opts = append(opts, racelogic.WithMatrix(matrix))
 	}
@@ -155,7 +164,7 @@ func buildDatabase(entries []string, lib, matrix string, gate, seedK, shards int
 func run(w io.Writer, query string, entries []string, lib string, threshold int64,
 	top, workers int, matrix string, gate, seedK int) error {
 
-	db, err := buildDatabase(entries, lib, matrix, gate, seedK, 0, racelogic.BackendCycle)
+	db, err := buildDatabase(entries, lib, matrix, gate, seedK, 0, racelogic.BackendCycle, 0)
 	if err != nil {
 		return err
 	}

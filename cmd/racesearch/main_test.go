@@ -154,14 +154,14 @@ func TestResolveDatabaseSnapshot(t *testing.T) {
 	}
 	snap := filepath.Join(dir, "db.snap")
 
-	built, err := resolveDatabase(snap, fasta, nil, "AMIS", "", 0, 4, 0, racelogic.BackendCycle)
+	built, err := resolveDatabase(snap, fasta, nil, "AMIS", "", 0, 4, 0, racelogic.BackendCycle, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(snap); err != nil {
 		t.Fatalf("snapshot was not saved: %v", err)
 	}
-	opened, err := resolveDatabase(snap, "", nil, "AMIS", "", 0, 0, 0, racelogic.BackendEvent)
+	opened, err := resolveDatabase(snap, "", nil, "AMIS", "", 0, 0, 0, racelogic.BackendEvent, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestResolveDatabaseSnapshotRejectsPositionalFile(t *testing.T) {
 	if err := db.SaveSnapshot(snap); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := resolveDatabase(snap, "", []string{"QUERY", "other.txt"}, "AMIS", "", 0, 0, 0, racelogic.BackendCycle); err == nil {
+	if _, err := resolveDatabase(snap, "", []string{"QUERY", "other.txt"}, "AMIS", "", 0, 0, 0, racelogic.BackendCycle, 0); err == nil {
 		t.Error("snapshot + positional FILE must error, not silently ignore the file")
 	}
 }

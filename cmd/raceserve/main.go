@@ -34,10 +34,14 @@
 //	-cache N             LRU report-cache capacity (0 = off)
 //	-top K               default top-K when a request omits top_k
 //	-backend NAME        simulation engine: cycle (the cycle-accurate
-//	                     reference) or event (the event-driven fast path;
-//	                     identical reports, fewer wall-clock seconds).
+//	                     reference), event (the event-driven fast path),
+//	                     or lanes (bit-parallel candidate packing);
+//	                     identical reports, fewer wall-clock seconds.
 //	                     A runtime choice — valid with -wal and -snapshot
-//	                     state from either backend
+//	                     state from any backend
+//	-lanewidth W         lanes backend pack width: 64, 128, 256, or 512
+//	                     candidates per race (0 = default 64).  A runtime
+//	                     choice like -backend
 //	-wal DIR             durable state directory: recover from it if it
 //	                     holds a database (ignoring -db/-gen and the
 //	                     engine-shaping flags, which the state carries),
@@ -67,7 +71,11 @@
 //
 //	POST   /search        {"query":"ACGTACGT","top_k":5,"threshold":12};
 //	                      append ?trace=1 for the per-shard span
-//	                      breakdown (bypasses the report cache)
+//	                      breakdown (bypasses the report cache); a JSON
+//	                      array of such objects races as one batch and
+//	                      answers with an array of reports in order
+//	                      (queries sharing options pack into shared
+//	                      lanes under -backend lanes)
 //	POST   /entries       {"entries":["ACGTAACC"]} — live insert
 //	POST   /entries/bulk  streaming import: FASTA/plain body, or NDJSON
 //	                      (one JSON string per line) with
@@ -125,6 +133,7 @@ type options struct {
 	cache        int
 	top          int
 	backend      racelogic.Backend
+	laneWidth    int
 	snapshot     string
 	walDir       string
 	snapInterval time.Duration
@@ -151,6 +160,7 @@ func main() {
 	flag.IntVar(&o.cache, "cache", 128, "LRU report-cache capacity (0 = off)")
 	flag.IntVar(&o.top, "top", 10, "default top-K when a request omits top_k")
 	backendName := flag.String("backend", "cycle", "simulation engine: cycle (reference), event (fast), or lanes (batched)")
+	flag.IntVar(&o.laneWidth, "lanewidth", 0, "lanes backend pack width: 64, 128, 256, or 512 (0 = default 64)")
 	flag.StringVar(&o.snapshot, "snapshot", "", "legacy snapshot file: load it if present, save on SIGTERM/SIGINT only")
 	flag.StringVar(&o.walDir, "wal", "", "durable state directory: write-ahead log + background snapshots, crash-safe")
 	flag.DurationVar(&o.snapInterval, "snapshot-interval", racelogic.DefaultSnapshotInterval,
@@ -275,6 +285,16 @@ func buildServer(o options) (*server.Server, *racelogic.Database, error) {
 	return srv, db, nil
 }
 
+// engineOptions maps the runtime engine flags — the choices no stored
+// state fixes, valid on every load path.
+func engineOptions(o options) []racelogic.Option {
+	opts := []racelogic.Option{racelogic.WithBackend(o.backend)}
+	if o.laneWidth > 0 {
+		opts = append(opts, racelogic.WithLaneWidth(o.laneWidth))
+	}
+	return opts
+}
+
 // durabilityOptions maps the -wal companion flags.
 func durabilityOptions(o options) []racelogic.Option {
 	return []racelogic.Option{
@@ -299,7 +319,7 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 		// below only on ErrNoDatabase.  Corruption must fail loudly,
 		// never fall back to a cold load that would shadow the real
 		// state.
-		openOpts := append(durabilityOptions(o), racelogic.WithBackend(o.backend))
+		openOpts := append(durabilityOptions(o), engineOptions(o)...)
 		if o.shards > 0 {
 			openOpts = append(openOpts, racelogic.WithShards(o.shards))
 		}
@@ -314,7 +334,7 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 	}
 	if o.snapshot != "" {
 		if _, err := os.Stat(o.snapshot); err == nil {
-			db, err := racelogic.OpenSnapshot(o.snapshot, racelogic.WithBackend(o.backend))
+			db, err := racelogic.OpenSnapshot(o.snapshot, engineOptions(o)...)
 			if err != nil {
 				return nil, err
 			}
@@ -336,7 +356,7 @@ func loadDatabase(o options) (*racelogic.Database, error) {
 		return nil, fmt.Errorf("%w (a database is required: -db FILE, -gen N, or a -wal/-snapshot state that exists)", err)
 	}
 
-	opts := []racelogic.Option{racelogic.WithLibrary(o.lib), racelogic.WithBackend(o.backend)}
+	opts := append([]racelogic.Option{racelogic.WithLibrary(o.lib)}, engineOptions(o)...)
 	if o.matrix != "" {
 		opts = append(opts, racelogic.WithMatrix(o.matrix))
 	}

@@ -1042,19 +1042,21 @@ func (d *Database) SearchContext(ctx context.Context, query string, opts ...Opti
 	return d.search(ctx, query, &cfg)
 }
 
-// search runs one query under a fully resolved config, against the
-// view loaded once here: per-shard seed-index candidate scans scatter
-// over the shared worker pool, and the shard outcomes gather under the
-// global (Score, ID) ranking.
-func (d *Database) search(ctx context.Context, query string, cfg *config) (*SearchReport, error) {
-	tr := obs.TraceFrom(ctx)
-	begin := time.Now()
-	v := d.view.Load()
-	// A query shorter than k carries no seeds, so the index cannot
-	// filter: skip the lookups entirely rather than materialize identity
-	// candidate slices.  The condition is uniform across shards (one k).
-	filtered := cfg.seedK > 0 && !cfg.fullScan && len(query) >= cfg.seedK
-	endSeed := tr.StartSpan("seed")
+// seedFiltered reports whether the seed index can narrow a scan for
+// query under cfg.  A query shorter than k carries no seeds, so the
+// index cannot filter: skip the lookups entirely rather than
+// materialize identity candidate slices.  The condition is uniform
+// across shards (one k).
+func seedFiltered(query string, cfg *config) bool {
+	return cfg.seedK > 0 && !cfg.fullScan && len(query) >= cfg.seedK
+}
+
+// shardScans builds one query's per-shard candidate scans against v:
+// the seed-index lookup, tombstone filtering, and the nil
+// "scan everything" fallback, shared by the single-query and batch
+// search paths.  tr may be the nil trace.
+func (d *Database) shardScans(v *dbview, query string, cfg *config, tr *obs.Trace) []pipeline.ShardScan {
+	filtered := seedFiltered(query, cfg)
 	scans := make([]pipeline.ShardScan, len(d.shards))
 	for s, st := range v.states {
 		sc := pipeline.ShardScan{DB: d.shards[s].p, Snap: st.snap, IDs: st.ids}
@@ -1081,19 +1083,16 @@ func (d *Database) search(ctx context.Context, query string, cfg *config) (*Sear
 		}
 		scans[s] = sc
 	}
-	endSeed()
-	rep, err := pipeline.MultiSearch(scans, query, pipeline.Request{
-		Threshold: cfg.threshold,
-		Workers:   cfg.workers,
-		TopK:      cfg.topK,
-		Trace:     tr,
-	})
-	if err != nil {
-		return nil, err
-	}
-	d.searches.Add(1)
+	return scans
+}
+
+// reportFrom converts one pipeline report into the public SearchReport
+// against the view the search ran over: Skipped is derived from the
+// live count when the seed index filtered, and Index from the global
+// stable-ID ranking.
+func (d *Database) reportFrom(v *dbview, query string, cfg *config, rep *pipeline.Report) *SearchReport {
 	skipped := 0
-	if filtered {
+	if seedFiltered(query, cfg) {
 		skipped = v.live() - rep.Scanned
 	}
 	out := &SearchReport{
@@ -1124,6 +1123,105 @@ func (d *Database) search(ctx context.Context, query string, cfg *config) (*Sear
 			},
 		}
 	}
+	return out
+}
+
+// search runs one query under a fully resolved config, against the
+// view loaded once here: per-shard seed-index candidate scans scatter
+// over the shared worker pool, and the shard outcomes gather under the
+// global (Score, ID) ranking.
+func (d *Database) search(ctx context.Context, query string, cfg *config) (*SearchReport, error) {
+	tr := obs.TraceFrom(ctx)
+	begin := time.Now()
+	v := d.view.Load()
+	endSeed := tr.StartSpan("seed")
+	scans := d.shardScans(v, query, cfg, tr)
+	endSeed()
+	rep, err := pipeline.MultiSearch(scans, query, pipeline.Request{
+		Threshold: cfg.threshold,
+		Workers:   cfg.workers,
+		TopK:      cfg.topK,
+		Trace:     tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.searches.Add(1)
+	out := d.reportFrom(v, query, cfg, rep)
 	d.metrics.observeSearch(time.Since(begin), out)
+	return out, nil
+}
+
+// SearchBatch scores every query in one pipeline pass and returns one
+// report per query, in input order.  Each report is byte-identical to
+// what Search would return for its query against the same view —
+// results, scores, scan counts, cycles, energy — except EnginesBuilt,
+// which (like a re-sharded snapshot's) reflects the batch's shared
+// engine pool rather than a per-query count.
+//
+// The point of batching is lane fill: under BackendLanes, candidate
+// pairs from different queries that share an edit-graph shape are
+// packed into the same wide lane slab, so a batch of short queries can
+// fill 64–512 lanes per race where sequential calls would leave most
+// lanes idle.  Engine checkouts, scan planning, and worker fan-out are
+// likewise paid once per batch.
+//
+// SearchBatch accepts the same per-search options as Search, resolved
+// once for the whole batch.  An empty batch returns an empty slice.
+// If any query fails, the whole batch fails with a *BatchError naming
+// the lowest-numbered failing query.
+func (d *Database) SearchBatch(queries []string, opts ...Option) ([]*SearchReport, error) {
+	return d.SearchBatchContext(context.Background(), queries, opts...)
+}
+
+// SearchBatchContext is SearchBatch with a context.  Per-query tracing
+// is not supported on the batch path: a trace attached to ctx is
+// ignored, because its spans and shard dimensions describe exactly one
+// query.  Trace individual Search calls instead.
+func (d *Database) SearchBatchContext(ctx context.Context, queries []string, opts ...Option) ([]*SearchReport, error) {
+	cfg := *d.cfg
+	cfg.applied = nil
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if name := cfg.firstApplied(databaseFixedOptions...); name != "" {
+		return nil, fmt.Errorf("racelogic: %s is fixed when the database is built; pass it to NewDatabase instead", name)
+	}
+	return d.searchBatch(ctx, queries, &cfg)
+}
+
+// searchBatch runs the whole batch against one view loaded here, so
+// every report carries the same Version even under concurrent
+// mutation.
+func (d *Database) searchBatch(_ context.Context, queries []string, cfg *config) ([]*SearchReport, error) {
+	begin := time.Now()
+	v := d.view.Load()
+	scanSets := make([][]pipeline.ShardScan, len(queries))
+	for qi, query := range queries {
+		if len(query) == 0 {
+			return nil, &BatchError{Query: qi, Err: fmt.Errorf("racelogic: empty query")}
+		}
+		scanSets[qi] = d.shardScans(v, query, cfg, nil)
+	}
+	reps, err := pipeline.MultiSearchBatch(scanSets, queries, pipeline.Request{
+		Threshold: cfg.threshold,
+		Workers:   cfg.workers,
+		TopK:      cfg.topK,
+	})
+	if err != nil {
+		var qe *pipeline.QueryError
+		if errors.As(err, &qe) {
+			return nil, &BatchError{Query: qe.Query, Err: qe.Err}
+		}
+		return nil, err
+	}
+	d.searches.Add(int64(len(queries)))
+	out := make([]*SearchReport, len(reps))
+	for qi, rep := range reps {
+		out[qi] = d.reportFrom(v, queries[qi], cfg, rep)
+	}
+	d.metrics.observeSearchBatch(time.Since(begin), out)
 	return out, nil
 }

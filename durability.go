@@ -121,8 +121,9 @@ func (p CompactionPolicy) due(dead, live int) bool {
 // anything else: callers of Persist and Open configure the journals and
 // snapshotter here, never the engines (a snapshot fixes those).  Open
 // (reopen=true) additionally accepts WithShards — the reshard-in-place
-// request — and WithBackend, the runtime simulation-engine choice that
-// is deliberately outside the snapshot fingerprint.
+// request — plus WithBackend and WithLaneWidth, the runtime
+// simulation-engine choices that are deliberately outside the snapshot
+// fingerprint.
 func durabilityConfig(base *config, opts []Option, reopen bool) (*config, error) {
 	cfg := *base
 	cfg.applied = nil
@@ -133,7 +134,7 @@ func durabilityConfig(base *config, opts []Option, reopen bool) (*config, error)
 	}
 	allowed := durabilityOptions
 	if reopen {
-		allowed = append(append([]string(nil), durabilityOptions...), "WithShards", "WithBackend")
+		allowed = append(append([]string(nil), durabilityOptions...), "WithShards", "WithBackend", "WithLaneWidth")
 	}
 	for _, name := range cfg.applied {
 		ok := false
@@ -319,9 +320,10 @@ func (d *Database) attachDurability(dir string, cfg *config, v *dbview, savedAt 
 // The engine options come from the snapshot fingerprints; only
 // durability options may be passed (WithSync, WithSnapshotInterval,
 // WithSnapshotEvery, WithCompactionPolicy, WithWALSegmentBytes), plus
-// WithShards to reshard the directory in place and WithBackend to pick
-// the simulation engine — both runtime choices a snapshot deliberately
-// does not fix, because neither changes a report.
+// WithShards to reshard the directory in place and WithBackend /
+// WithLaneWidth to pick the simulation engine and its pack width — all
+// runtime choices a snapshot deliberately does not fix, because none of
+// them changes a report.
 //
 // The database resumes journaling and background snapshotting in dir.
 // Call Close to shut it down cleanly.

@@ -86,6 +86,15 @@ type Netlist struct {
 	names map[string]Net
 	numIn int
 	numFF int
+	// kindCount and fanInCount cache the per-kind tallies behind
+	// CountByKind and FanIn.  The accounting hot paths ask for them once
+	// per candidate (once per lane per pack on the lanes backend), and
+	// re-walking every gate there costs more than the race itself on
+	// small arrays.  A gate's kind and input arity never change after
+	// add — later rewiring only swaps nets inside existing in slots —
+	// so the caches are invalidated only when a gate is appended.
+	kindCount  map[Kind]int
+	fanInCount map[Kind]int
 }
 
 // New returns an empty netlist containing only the constant nets.
@@ -107,28 +116,46 @@ func (n *Netlist) NumInputs() int { return n.numIn }
 func (n *Netlist) NumDFFs() int { return n.numFF }
 
 // CountByKind returns the number of gates of each kind; the tech package
-// turns this into area and capacitance totals.
+// turns this into area and capacitance totals.  The result is the
+// caller's to mutate: it is a fresh copy of a tally cached on the
+// netlist, so repeated calls cost O(kinds), not O(gates).
 func (n *Netlist) CountByKind() map[Kind]int {
-	m := make(map[Kind]int, numKinds)
-	for _, g := range n.gates {
-		m[g.kind]++
+	if n.kindCount == nil {
+		m := make(map[Kind]int, numKinds)
+		for _, g := range n.gates {
+			m[g.kind]++
+		}
+		n.kindCount = m
 	}
-	return m
+	return copyKindMap(n.kindCount)
 }
 
 // FanIn returns the fan-in count of each gate kind summed over the whole
 // netlist; used by the capacitance model (each input pin contributes its
-// gate capacitance to the net driving it).
+// gate capacitance to the net driving it).  Cached and copied like
+// CountByKind.
 func (n *Netlist) FanIn() map[Kind]int {
-	m := make(map[Kind]int, numKinds)
-	for _, g := range n.gates {
-		m[g.kind] += len(g.in)
+	if n.fanInCount == nil {
+		m := make(map[Kind]int, numKinds)
+		for _, g := range n.gates {
+			m[g.kind] += len(g.in)
+		}
+		n.fanInCount = m
 	}
-	return m
+	return copyKindMap(n.fanInCount)
+}
+
+func copyKindMap(src map[Kind]int) map[Kind]int {
+	dst := make(map[Kind]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
 }
 
 func (n *Netlist) add(g gate) Net {
 	n.gates = append(n.gates, g)
+	n.kindCount, n.fanInCount = nil, nil
 	return Net(len(n.gates) + 1) // +2 offset, -1 for newly appended index
 }
 

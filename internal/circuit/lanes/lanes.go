@@ -1,31 +1,34 @@
 // Package lanes is the bit-parallel simulation backend for compiled
-// Race Logic netlists: one Sim races up to 64 independent candidate
+// Race Logic netlists: one Sim races up to 512 independent candidate
 // streams ("lanes") through a single compiled netlist at once.
 //
-// Every net's state is a uint64 word whose bit i is the net's value in
-// lane i, so one combinational settle wave evaluates AND/OR/XOR/MUX
-// word-wise for all lanes simultaneously — the software analogue of
-// tiling 64 copies of the paper's edit-graph array and clocking them
-// off one wavefront.  The event-wheel structure is the same as
-// circuit/event (level-bucketed settle waves within a cycle, an armed
-// flip-flop set across cycles), but a wave visit costs one word
-// operation instead of one boolean per lane, so the per-candidate price
-// of gate evaluation, wave bookkeeping, and clocking divides by the
-// pack width.
+// Every net's state is a slab of W uint64 words (W ∈ {1, 2, 4, 8},
+// chosen at CompileWords), laid out net-major: lane l of net n lives in
+// word n*W + l/64, bit l%64.  One combinational settle wave evaluates
+// AND/OR/XOR/MUX word-slice-wise for all W·64 lanes simultaneously —
+// the software analogue of tiling W·64 copies of the paper's edit-graph
+// array and clocking them off one wavefront.  The event-wheel structure
+// is the same as circuit/event (level-bucketed settle waves within a
+// cycle, an armed flip-flop set across cycles), but a wave visit costs
+// W word operations instead of one boolean per lane, so the
+// per-candidate price of gate evaluation, wave bookkeeping, and
+// clocking divides by the pack width.
 //
 // Accounting stays exact per lane, not per word: when a net's word
 // changes, the XOR against its previous word yields the per-lane
 // transition mask, and TrailingZeros-style bit extraction attributes
 // each toggle to its lane's per-kind counters and first-arrival table.
 // A lane can therefore be frozen independently (its race finished or
-// hit the threshold bound) by masking it out of the accounting while
-// the shared word simulation keeps stepping for the others — exactly
-// reproducing what a solo scalar race would have recorded at its own
-// stop cycle.  LaneActivity and LaneArrival rebuild the full
+// hit the threshold bound) by masking it out of the per-word accounting
+// masks while the shared word simulation keeps stepping for the others
+// — exactly reproducing what a solo scalar race would have recorded at
+// its own stop cycle.  LaneActivity and LaneArrival rebuild the full
 // circuit.Backend observables per lane, byte-identical to the
 // cycle-accurate reference; the internal/oracle differential suite
-// enforces that contract, with all 64 lanes driven in lockstep through
-// the scalar Backend interface.  Keep it green when touching this file.
+// enforces that contract at several widths, with all lanes driven in
+// lockstep through the scalar Backend interface and divergent lanes
+// scattered across words through the word-parallel check.  Keep it
+// green when touching this file.
 package lanes
 
 import (
@@ -36,9 +39,11 @@ import (
 	"racelogic/internal/temporal"
 )
 
-// Width is the lane-pack capacity: one bit of a uint64 word per
-// candidate.
-const Width = 64
+// WordBits is the lane capacity of one uint64 word.
+const WordBits = 64
+
+// MaxWords bounds the slab width: up to 8 words = 512 lanes per pack.
+const MaxWords = 8
 
 // numKinds sizes the per-kind × per-lane accounting tables.
 //
@@ -57,7 +62,9 @@ type readerPair struct {
 // safe for concurrent use; compile one per goroutine (the pipeline's
 // engine pools do exactly that).
 type Sim struct {
-	nl *circuit.Netlist
+	nl    *circuit.Netlist
+	words int // W: words per net slab
+	width int // words * WordBits: lanes per pack
 
 	// Static structure, gathered once at Compile.
 	kinds []circuit.Kind
@@ -70,31 +77,31 @@ type Sim struct {
 
 	ffGate  []int32       // slot → gate index
 	ffEn    []circuit.Net // slot → enable net, or -1 for a plain DFF
-	ffInitW []uint64      // slot → power-on Q word (0 or all-ones)
+	ffInitW []uint64      // slot → power-on Q word pattern (0 or all-ones)
 	plain   uint64        // flip-flops clocked every cycle (no enable pin)
 
 	drivKind []circuit.Kind // net → kind of the driving cell
 	readers  [][]readerPair // net → per-kind input-pin loads
 
-	// Dynamic per-lane state.  vals and ffState are words (bit = lane);
-	// the accounting tables are per (kind, lane) or per (net, lane).
+	// Dynamic per-lane state.  vals, ffState, and arrived are W-word
+	// slabs (net*W+w, bit = lane within word w); the accounting tables
+	// are per (kind, lane) or per (net, lane).
 	vals       []uint64
-	ffState    []uint64
-	arrived    []uint64        // net → lanes whose first 1 came after the reset settle
-	firstOneAt []int32         // (net<<6)|lane → that arrival cycle; valid iff arrived bit set
-	toggles0   []uint64        // net → lane-0 toggles, the scalar Toggles contract
-	netTog     [][Width]uint64 // kind → per-lane toggles of nets driven by that kind
-	loadTog    [][Width]uint64 // kind → per-lane toggles seen by that kind's input pins
-	ffClocked  [Width]uint64   // lane → Σ enabled flip-flops per stepped cycle
-	enabledE   [Width]uint64   // lane → DFFEs whose enable currently carries 1
-	laneCycle  [Width]int      // lane → cycle its RaceUntil stopped at
-	inputs     map[circuit.Net]uint64
+	ffState    []uint64   // slot*W+w
+	arrived    []uint64   // net*W+w → lanes whose first 1 came after the reset settle
+	firstOneAt []int32    // net*width+lane → that arrival cycle; valid iff arrived bit set
+	toggles0   []uint64   // net → lane-0 toggles, the scalar Toggles contract
+	netTog     [][]uint64 // kind → per-lane toggles of nets driven by that kind
+	loadTog    [][]uint64 // kind → per-lane toggles seen by that kind's input pins
+	ffClocked  []uint64   // lane → Σ enabled flip-flops per stepped cycle
+	enabledE   []uint64   // lane → DFFEs whose enable currently carries 1
+	laneCycle  []int      // lane → cycle its RaceUntil stopped at
 	cycle      int
 
-	// account masks the lanes whose transitions are recorded: all lanes
-	// under the scalar Backend interface, the active pack during a lane
-	// race, shrinking as lanes finish and freeze.
-	account uint64
+	// account masks, word by word, the lanes whose transitions are
+	// recorded: all lanes under the scalar Backend interface, the active
+	// pack during a lane race, shrinking as lanes finish and freeze.
+	account []uint64
 
 	// The armed set: flip-flops the next clock edge will change in at
 	// least one lane (some lane enabled with D ≠ Q), maintained
@@ -102,9 +109,9 @@ type Sim struct {
 	armed     []bool
 	armedAt   []int32
 	armedList []int32
-	// Edge-time snapshot: the armed slots and their per-lane flip masks,
-	// captured before any flip lands so sampling stays synchronous even
-	// along direct Q→D chains.
+	// Edge-time snapshot: the armed slots and their per-lane flip masks
+	// (W words per slot), captured before any flip lands so sampling
+	// stays synchronous even along direct Q→D chains.
 	scratchSlots []int32
 	scratchFlips []uint64
 
@@ -112,6 +119,15 @@ type Sim struct {
 	buckets [][]int32
 	queued  []bool
 	pending int
+
+	// W-word scratch slabs, reused across calls to keep the hot paths
+	// allocation-free.
+	evalBuf   []uint64  // settle-wave gate output
+	qBuf      []uint64  // step's flip application
+	inBuf     []uint64  // SetInputWords masking
+	bcastBuf  []uint64  // SetInput broadcast
+	racingBuf []uint64  // RaceUntil lane mask
+	oneBuf    [1]uint64 // SetInputWord word-0 convenience
 
 	// Power-on settled baseline, so Reset is a copy instead of a
 	// re-settle.  Baseline words are homogeneous (inputs are 0 in every
@@ -121,15 +137,29 @@ type Sim struct {
 	baseEnabledE uint64
 }
 
-// Compile levelizes the netlist and returns a ready-to-run bit-parallel
-// engine with all flip-flops at their power-on values and all inputs at
-// 0 in every lane.  It fails with circuit.ErrCombLoop if the
-// combinational gates form a cycle, exactly like the reference Compile.
-func Compile(nl *circuit.Netlist) (*Sim, error) {
+// Compile builds a single-word (64-lane) engine — the scalar
+// circuit.Backend entry point, equivalent to CompileWords(nl, 1).
+func Compile(nl *circuit.Netlist) (*Sim, error) { return CompileWords(nl, 1) }
+
+// CompileWords levelizes the netlist and returns a ready-to-run
+// bit-parallel engine whose per-net state is a slab of the given number
+// of words (1, 2, 4, or 8 → 64, 128, 256, or 512 lanes), with all
+// flip-flops at their power-on values and all inputs at 0 in every
+// lane.  It fails with circuit.ErrCombLoop if the combinational gates
+// form a cycle, exactly like the reference Compile.
+func CompileWords(nl *circuit.Netlist, words int) (*Sim, error) {
+	switch words {
+	case 1, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("lanes: slab width %d words is not one of 1, 2, 4, 8", words)
+	}
 	ng := nl.NumGates()
 	nn := nl.NumNets()
+	width := words * WordBits
 	s := &Sim{
 		nl:         nl,
+		words:      words,
+		width:      width,
 		kinds:      make([]circuit.Kind, ng),
 		ins:        make([][]circuit.Net, ng),
 		level:      make([]int32, ng),
@@ -138,15 +168,29 @@ func Compile(nl *circuit.Netlist) (*Sim, error) {
 		eOf:        make([][]int32, nn),
 		drivKind:   make([]circuit.Kind, nn),
 		readers:    make([][]readerPair, nn),
-		vals:       make([]uint64, nn),
-		arrived:    make([]uint64, nn),
-		firstOneAt: make([]int32, nn*Width),
+		vals:       make([]uint64, nn*words),
+		arrived:    make([]uint64, nn*words),
+		firstOneAt: make([]int32, nn*width),
 		toggles0:   make([]uint64, nn),
-		netTog:     make([][Width]uint64, numKinds),
-		loadTog:    make([][Width]uint64, numKinds),
-		inputs:     make(map[circuit.Net]uint64),
+		netTog:     make([][]uint64, numKinds),
+		loadTog:    make([][]uint64, numKinds),
+		ffClocked:  make([]uint64, width),
+		enabledE:   make([]uint64, width),
+		laneCycle:  make([]int, width),
+		account:    make([]uint64, words),
 		queued:     make([]bool, ng),
-		account:    ^uint64(0),
+		evalBuf:    make([]uint64, words),
+		qBuf:       make([]uint64, words),
+		inBuf:      make([]uint64, words),
+		bcastBuf:   make([]uint64, words),
+		racingBuf:  make([]uint64, words),
+	}
+	for k := range s.netTog {
+		s.netTog[k] = make([]uint64, width)
+		s.loadTog[k] = make([]uint64, width)
+	}
+	for w := range s.account {
+		s.account[w] = ^uint64(0)
 	}
 	isComb := func(k circuit.Kind) bool { return k != circuit.KindDFF && k != circuit.KindInput }
 	s.drivKind[circuit.Zero] = circuit.KindConst
@@ -188,7 +232,12 @@ func Compile(nl *circuit.Netlist) (*Sim, error) {
 			}
 		}
 	}
-	s.ffState = append([]uint64(nil), s.ffInitW...)
+	s.ffState = make([]uint64, len(s.ffGate)*words)
+	for slot, init := range s.ffInitW {
+		for w := 0; w < words; w++ {
+			s.ffState[slot*words+w] = init
+		}
+	}
 
 	// Levelize the combinational gates (Kahn over comb→comb edges,
 	// longest-path levels) and index each net's comb fan-out.
@@ -239,12 +288,17 @@ func Compile(nl *circuit.Netlist) (*Sim, error) {
 	}
 	s.buckets = make([][]int32, maxLvl+1)
 
-	// Power-on settle: one full word pass in level order, then latch the
+	// Power-on settle: one full slab pass in level order, then latch the
 	// settled state as the Reset baseline.  Like the reference Compile,
 	// the initial settle records arrivals but counts no toggles.
-	s.vals[circuit.One] = ^uint64(0)
+	for w := 0; w < words; w++ {
+		s.vals[int(circuit.One)*words+w] = ^uint64(0)
+	}
 	for slot, gi := range s.ffGate {
-		s.vals[int(gi)+2] = s.ffInitW[slot]
+		base := (int(gi) + 2) * words
+		for w := 0; w < words; w++ {
+			s.vals[base+w] = s.ffInitW[slot]
+		}
 	}
 	byLevel := make([][]int32, maxLvl+1)
 	for i := 0; i < ng; i++ {
@@ -254,11 +308,12 @@ func Compile(nl *circuit.Netlist) (*Sim, error) {
 	}
 	for _, bucket := range byLevel {
 		for _, gi := range bucket {
-			s.vals[int(gi)+2] = s.eval(gi)
+			base := (int(gi) + 2) * words
+			s.eval(gi, s.vals[base:base+words])
 		}
 	}
 	for _, en := range s.ffEn {
-		if en >= 0 && s.vals[en] != 0 {
+		if en >= 0 && s.vals[int(en)*words] != 0 {
 			s.baseEnabledE++
 		}
 	}
@@ -276,6 +331,12 @@ func Compile(nl *circuit.Netlist) (*Sim, error) {
 	return s, nil
 }
 
+// Words returns the slab width W fixed at CompileWords.
+func (s *Sim) Words() int { return s.words }
+
+// Width returns the lane-pack capacity: Words() × 64.
+func (s *Sim) Width() int { return s.width }
+
 // Reset returns the engine to its power-on settled state without
 // re-levelizing: the baseline captured at Compile is copied back, the
 // accounting cleared, and every lane re-activated for the scalar
@@ -289,17 +350,25 @@ func (s *Sim) Reset() {
 		s.toggles0[i] = 0
 	}
 	for k := range s.netTog {
-		s.netTog[k] = [Width]uint64{}
-		s.loadTog[k] = [Width]uint64{}
+		nt, lt := s.netTog[k], s.loadTog[k]
+		for l := range nt {
+			nt[l] = 0
+			lt[l] = 0
+		}
 	}
-	s.ffClocked = [Width]uint64{}
-	s.laneCycle = [Width]int{}
-	copy(s.ffState, s.ffInitW)
-	clear(s.inputs)
-	s.cycle = 0
-	s.account = ^uint64(0)
-	for l := range s.enabledE {
+	for l := 0; l < s.width; l++ {
+		s.ffClocked[l] = 0
+		s.laneCycle[l] = 0
 		s.enabledE[l] = s.baseEnabledE
+	}
+	for slot, init := range s.ffInitW {
+		for w := 0; w < s.words; w++ {
+			s.ffState[slot*s.words+w] = init
+		}
+	}
+	s.cycle = 0
+	for w := range s.account {
+		s.account[w] = ^uint64(0)
 	}
 	for _, slot := range s.armedList {
 		s.armed[slot] = false
@@ -312,53 +381,93 @@ func (s *Sim) Reset() {
 	}
 }
 
-// eval computes a combinational gate's output word from current net
-// words — bitwise boolean algebra evaluates all 64 lanes at once.
-func (s *Sim) eval(gi int32) uint64 {
+// eval computes a combinational gate's output slab into out (W words)
+// from current net slabs — bitwise boolean algebra evaluates all lanes
+// of a word at once, and the word loop covers the slab.
+func (s *Sim) eval(gi int32, out []uint64) {
 	in := s.ins[gi]
+	W := s.words
+	vals := s.vals
 	switch s.kinds[gi] {
 	case circuit.KindBuf:
-		return s.vals[in[0]]
+		b := int(in[0]) * W
+		copy(out, vals[b:b+W])
 	case circuit.KindNot:
-		return ^s.vals[in[0]]
+		b := int(in[0]) * W
+		src := vals[b : b+W : b+W]
+		for w := range out {
+			out[w] = ^src[w]
+		}
 	case circuit.KindAnd:
-		w := ^uint64(0)
-		for _, x := range in {
-			w &= s.vals[x]
+		b := int(in[0]) * W
+		copy(out, vals[b:b+W])
+		for _, x := range in[1:] {
+			b := int(x) * W
+			src := vals[b : b+W : b+W]
+			for w := range out {
+				out[w] &= src[w]
+			}
 		}
-		return w
 	case circuit.KindOr:
-		var w uint64
-		for _, x := range in {
-			w |= s.vals[x]
+		b := int(in[0]) * W
+		copy(out, vals[b:b+W])
+		for _, x := range in[1:] {
+			b := int(x) * W
+			src := vals[b : b+W : b+W]
+			for w := range out {
+				out[w] |= src[w]
+			}
 		}
-		return w
 	case circuit.KindXor:
-		return s.vals[in[0]] ^ s.vals[in[1]]
+		a, b := int(in[0])*W, int(in[1])*W
+		sa := vals[a : a+W : a+W]
+		sb := vals[b : b+W : b+W]
+		for w := range out {
+			out[w] = sa[w] ^ sb[w]
+		}
 	case circuit.KindXnor:
-		return ^(s.vals[in[0]] ^ s.vals[in[1]])
+		a, b := int(in[0])*W, int(in[1])*W
+		sa := vals[a : a+W : a+W]
+		sb := vals[b : b+W : b+W]
+		for w := range out {
+			out[w] = ^(sa[w] ^ sb[w])
+		}
 	case circuit.KindMux2:
-		sel := s.vals[in[0]]
-		return (sel & s.vals[in[2]]) | (^sel & s.vals[in[1]])
+		sl, a, b := int(in[0])*W, int(in[1])*W, int(in[2])*W
+		ss := vals[sl : sl+W : sl+W]
+		sa := vals[a : a+W : a+W]
+		sb := vals[b : b+W : b+W]
+		for w := range out {
+			out[w] = (ss[w] & sb[w]) | (^ss[w] & sa[w])
+		}
 	default:
 		panic(fmt.Sprintf("lanes: unexpected combinational kind %v", s.kinds[gi]))
 	}
 }
 
-// enWord returns a flip-flop's per-lane enable mask: all-ones for a
-// plain DFF, the enable net's word for a DFFE.
-func (s *Sim) enWord(slot int32) uint64 {
-	if en := s.ffEn[slot]; en >= 0 {
-		return s.vals[en]
-	}
-	return ^uint64(0)
-}
-
 // rearm recomputes one flip-flop's membership in the armed set: armed
-// when any lane is enabled with D ≠ Q.
+// when any lane of any word is enabled with D ≠ Q.
 func (s *Sim) rearm(slot int32) {
-	d := s.ins[s.ffGate[slot]][0]
-	want := s.enWord(slot)&(s.vals[d]^s.ffState[slot]) != 0
+	W := s.words
+	d := int(s.ins[s.ffGate[slot]][0]) * W
+	fb := int(slot) * W
+	want := false
+	if en := s.ffEn[slot]; en >= 0 {
+		eb := int(en) * W
+		for w := 0; w < W; w++ {
+			if s.vals[eb+w]&(s.vals[d+w]^s.ffState[fb+w]) != 0 {
+				want = true
+				break
+			}
+		}
+	} else {
+		for w := 0; w < W; w++ {
+			if s.vals[d+w]^s.ffState[fb+w] != 0 {
+				want = true
+				break
+			}
+		}
+	}
 	if want == s.armed[slot] {
 		return
 	}
@@ -376,15 +485,39 @@ func (s *Sim) rearm(slot int32) {
 	s.armedList = s.armedList[:len(s.armedList)-1]
 }
 
-// setWord commits a changed net word: per-lane accounting first, then
-// the comb fan-out is enqueued on the wave and flip-flops listening on
-// the net (as D or enable) are re-armed.
-func (s *Sim) setWord(net circuit.Net, w uint64) {
-	old := s.vals[net]
-	s.vals[net] = w
-	diff := old ^ w
-	if acc := diff & s.account; acc != 0 {
-		s.accountWord(net, w, acc)
+// setWords commits a changed net slab: per-lane accounting word by
+// word, then the comb fan-out is enqueued on the wave and flip-flops
+// listening on the net (as D or enable) are re-armed.  neww must hold W
+// words and must differ from the current slab in at least one of them.
+func (s *Sim) setWords(net circuit.Net, neww []uint64) {
+	W := s.words
+	base := int(net) * W
+	cur := s.vals[base : base+W : base+W]
+	e := s.eOf[net]
+	ne := uint64(len(e))
+	for w := 0; w < W; w++ {
+		old := cur[w]
+		nw := neww[w]
+		diff := old ^ nw
+		if diff == 0 {
+			continue
+		}
+		cur[w] = nw
+		if acc := diff & s.account[w]; acc != 0 {
+			s.accountWord(net, w, nw, acc)
+		}
+		if ne != 0 {
+			// Track every lane's true enable population, frozen or not —
+			// the per-lane clock accounting reads it only for accounted
+			// lanes.
+			wl := w << 6
+			for m := diff & nw; m != 0; m &= m - 1 {
+				s.enabledE[wl+bits.TrailingZeros64(m)] += ne
+			}
+			for m := diff &^ nw; m != 0; m &= m - 1 {
+				s.enabledE[wl+bits.TrailingZeros64(m)] -= ne
+			}
+		}
 	}
 	for _, gi := range s.comb[net] {
 		if !s.queued[gi] {
@@ -396,46 +529,37 @@ func (s *Sim) setWord(net circuit.Net, w uint64) {
 	for _, slot := range s.dOf[net] {
 		s.rearm(slot)
 	}
-	if e := s.eOf[net]; len(e) > 0 {
-		// Track every lane's true enable population, frozen or not — the
-		// per-lane clock accounting reads it only for accounted lanes.
-		ne := uint64(len(e))
-		for m := diff & w; m != 0; m &= m - 1 {
-			s.enabledE[bits.TrailingZeros64(m)] += ne
-		}
-		for m := diff &^ w; m != 0; m &= m - 1 {
-			s.enabledE[bits.TrailingZeros64(m)] -= ne
-		}
-		for _, slot := range e {
-			s.rearm(slot)
-		}
+	for _, slot := range e {
+		s.rearm(slot)
 	}
 }
 
-// accountWord attributes one net's transition mask to the per-lane
+// accountWord attributes one word's transition mask to the per-lane
 // toggle, load, and arrival tables — the popcount-of-XOR step that
 // keeps lane accounting byte-identical to a solo scalar race.
-func (s *Sim) accountWord(net circuit.Net, w, acc uint64) {
-	tog := &s.netTog[s.drivKind[net]]
+func (s *Sim) accountWord(net circuit.Net, w int, nw, acc uint64) {
+	wl := w << 6
+	tog := s.netTog[s.drivKind[net]]
 	for m := acc; m != 0; m &= m - 1 {
-		tog[bits.TrailingZeros64(m)]++
+		tog[wl+bits.TrailingZeros64(m)]++
 	}
-	if acc&1 != 0 {
+	if w == 0 && acc&1 != 0 {
 		s.toggles0[net]++
 	}
 	for _, rp := range s.readers[net] {
-		lt := &s.loadTog[rp.kind]
+		lt := s.loadTog[rp.kind]
 		c := uint64(rp.count)
 		for m := acc; m != 0; m &= m - 1 {
-			lt[bits.TrailingZeros64(m)] += c
+			lt[wl+bits.TrailingZeros64(m)] += c
 		}
 	}
-	if rise := w & acc &^ s.baseVals[net] &^ s.arrived[net]; rise != 0 {
-		s.arrived[net] |= rise
-		base := int(net) << 6
+	slab := int(net)*s.words + w
+	if rise := nw & acc &^ s.baseVals[slab] &^ s.arrived[slab]; rise != 0 {
+		s.arrived[slab] |= rise
+		fb := slab << 6
 		c := int32(s.cycle)
 		for m := rise; m != 0; m &= m - 1 {
-			s.firstOneAt[base+bits.TrailingZeros64(m)] = c
+			s.firstOneAt[fb+bits.TrailingZeros64(m)] = c
 		}
 	}
 }
@@ -443,9 +567,11 @@ func (s *Sim) accountWord(net circuit.Net, w, acc uint64) {
 // settleWave drains the pending comb gates in level order.  A gate only
 // ever enqueues gates at strictly higher levels, so each gate is
 // evaluated at most once per wave; because bit positions never
-// interact, the single word pass settles every lane exactly as its own
+// interact, the word-slice pass settles every lane exactly as its own
 // scalar topological pass would.
 func (s *Sim) settleWave() {
+	W := s.words
+	out := s.evalBuf
 	for lvl := 0; s.pending > 0 && lvl < len(s.buckets); lvl++ {
 		b := s.buckets[lvl]
 		if len(b) == 0 {
@@ -455,50 +581,85 @@ func (s *Sim) settleWave() {
 		for _, gi := range b {
 			s.queued[gi] = false
 			s.pending--
-			out := circuit.Net(int(gi) + 2)
-			if w := s.eval(gi); w != s.vals[out] {
-				s.setWord(out, w)
+			s.eval(gi, out)
+			net := circuit.Net(int(gi) + 2)
+			base := int(net) * W
+			cur := s.vals[base : base+W : base+W]
+			for w := range out {
+				if out[w] != cur[w] {
+					s.setWords(net, out)
+					break
+				}
 			}
 		}
 	}
 }
 
 // SetActiveLanes restricts accounting (and input broadcast) to the
-// given lane mask — the start of a pack race.  Call it immediately
-// after Reset, before driving any input; lanes outside the mask stay at
-// the quiescent power-on baseline and record nothing.
-func (s *Sim) SetActiveLanes(mask uint64) {
-	s.account = mask
+// given per-word lane masks — the start of a pack race.  Call it
+// immediately after Reset, before driving any input; lanes outside the
+// mask stay at the quiescent power-on baseline and record nothing.
+// Words beyond len(mask) are cleared.
+func (s *Sim) SetActiveLanes(mask []uint64) {
+	for w := range s.account {
+		if w < len(mask) {
+			s.account[w] = mask[w]
+		} else {
+			s.account[w] = 0
+		}
+	}
 }
 
-// SetInputWord drives an external input pin with a per-lane word; bits
-// outside the active mask are ignored.  The change settles immediately
-// in the current cycle, with each changed lane accounted exactly as a
-// scalar SetInput would have been.
-func (s *Sim) SetInputWord(net circuit.Net, w uint64) {
+// SetInputWords drives an external input pin with a per-lane slab; bits
+// outside the active mask are ignored and words beyond len(ws) are
+// driven to 0.  The change settles immediately in the current cycle,
+// with each changed lane accounted exactly as a scalar SetInput would
+// have been.
+func (s *Sim) SetInputWords(net circuit.Net, ws []uint64) {
 	gi := int(net) - 2
 	if gi < 0 || gi >= len(s.kinds) || s.kinds[gi] != circuit.KindInput {
 		panic(fmt.Sprintf("lanes: SetInput on non-input net %d", net))
 	}
-	w &= s.account
-	if s.inputs[net] == w {
-		return
+	W := s.words
+	buf := s.inBuf
+	for w := 0; w < W; w++ {
+		var v uint64
+		if w < len(ws) {
+			v = ws[w]
+		}
+		buf[w] = v & s.account[w]
 	}
-	s.inputs[net] = w
-	if s.vals[net] != w {
-		s.setWord(net, w)
-		s.settleWave()
+	base := int(net) * W
+	cur := s.vals[base : base+W : base+W]
+	for w := range buf {
+		if cur[w] != buf[w] {
+			s.setWords(net, buf)
+			s.settleWave()
+			return
+		}
 	}
 }
 
+// SetInputWord drives word 0 of an input pin (lanes 0–63) and clears
+// any higher words — the single-word convenience the oracle's per-lane
+// scripts use.
+func (s *Sim) SetInputWord(net circuit.Net, w uint64) {
+	s.oneBuf[0] = w
+	s.SetInputWords(net, s.oneBuf[:1])
+}
+
 // SetInput drives an input pin in every active lane — the scalar
-// Backend contract, under which all 64 lanes run in lockstep.
+// Backend contract, under which all lanes run in lockstep.
 func (s *Sim) SetInput(net circuit.Net, v bool) {
-	var w uint64
+	var word uint64
 	if v {
-		w = ^uint64(0)
+		word = ^uint64(0)
 	}
-	s.SetInputWord(net, w)
+	buf := s.bcastBuf
+	for w := range buf {
+		buf[w] = word
+	}
+	s.SetInputWords(net, buf)
 }
 
 // SetInputName drives an input pin by name.
@@ -512,15 +673,19 @@ func (s *Sim) SetInputName(name string, v bool) error {
 }
 
 // step advances one clock cycle.  The edge first snapshots every armed
-// slot's per-lane flip mask (enable ∧ D≠Q) from pre-edge values — the
+// slot's per-lane flip slab (enable ∧ D≠Q) from pre-edge values — the
 // snapshot makes the sampling synchronous even along direct Q→D chains
 // — then applies the flips and settles the triggered wave.  Clock
 // accounting covers every enabled flip-flop of every accounted lane,
 // armed or not, exactly like the reference.
 func (s *Sim) step() {
-	for m := s.account; m != 0; m &= m - 1 {
-		l := bits.TrailingZeros64(m)
-		s.ffClocked[l] += s.plain + s.enabledE[l]
+	W := s.words
+	for w := 0; w < W; w++ {
+		wl := w << 6
+		for m := s.account[w]; m != 0; m &= m - 1 {
+			l := wl + bits.TrailingZeros64(m)
+			s.ffClocked[l] += s.plain + s.enabledE[l]
+		}
 	}
 	s.cycle++
 	if len(s.armedList) == 0 {
@@ -529,16 +694,30 @@ func (s *Sim) step() {
 	s.scratchSlots = s.scratchSlots[:0]
 	s.scratchFlips = s.scratchFlips[:0]
 	for _, slot := range s.armedList {
-		d := s.ins[s.ffGate[slot]][0]
-		flip := s.enWord(slot) & (s.vals[d] ^ s.ffState[slot])
+		d := int(s.ins[s.ffGate[slot]][0]) * W
+		fb := int(slot) * W
 		s.scratchSlots = append(s.scratchSlots, slot)
-		s.scratchFlips = append(s.scratchFlips, flip)
+		if en := s.ffEn[slot]; en >= 0 {
+			eb := int(en) * W
+			for w := 0; w < W; w++ {
+				s.scratchFlips = append(s.scratchFlips, s.vals[eb+w]&(s.vals[d+w]^s.ffState[fb+w]))
+			}
+		} else {
+			for w := 0; w < W; w++ {
+				s.scratchFlips = append(s.scratchFlips, s.vals[d+w]^s.ffState[fb+w])
+			}
+		}
 	}
+	q := s.qBuf
 	for i, slot := range s.scratchSlots {
-		q := s.ffState[slot] ^ s.scratchFlips[i]
-		s.ffState[slot] = q
+		fb := int(slot) * W
+		flips := s.scratchFlips[i*W : i*W+W]
+		for w := 0; w < W; w++ {
+			q[w] = s.ffState[fb+w] ^ flips[w]
+			s.ffState[fb+w] = q[w]
+		}
 		s.rearm(slot)
-		s.setWord(circuit.Net(int(s.ffGate[slot])+2), q)
+		s.setWords(circuit.Net(int(s.ffGate[slot])+2), q)
 	}
 	s.settleWave()
 }
@@ -562,9 +741,12 @@ func (s *Sim) Run(k int) {
 // forward advances k quiescent cycles: clock accounting only, for every
 // accounted lane.
 func (s *Sim) forward(k int) {
-	for m := s.account; m != 0; m &= m - 1 {
-		l := bits.TrailingZeros64(m)
-		s.ffClocked[l] += uint64(k) * (s.plain + s.enabledE[l])
+	for w := 0; w < s.words; w++ {
+		wl := w << 6
+		for m := s.account[w]; m != 0; m &= m - 1 {
+			l := wl + bits.TrailingZeros64(m)
+			s.ffClocked[l] += uint64(k) * (s.plain + s.enabledE[l])
+		}
 	}
 	s.cycle += k
 }
@@ -586,7 +768,8 @@ func (s *Sim) RunUntil(net circuit.Net, maxCycles int) temporal.Time {
 
 // laneArrived reports whether net has carried a 1 in the given lane.
 func (s *Sim) laneArrived(net circuit.Net, lane int) bool {
-	return (s.baseVals[net]|s.arrived[net])>>uint(lane)&1 != 0
+	slab := int(net)*s.words + lane>>6
+	return (s.baseVals[slab]|s.arrived[slab])>>uint(lane&63)&1 != 0
 }
 
 // RaceUntil runs the pack race: it steps until every active lane's copy
@@ -597,44 +780,63 @@ func (s *Sim) laneArrived(net circuit.Net, lane int) bool {
 // LaneCycle, LaneArrival, and LaneActivity read the per-lane outcomes
 // afterwards.
 func (s *Sim) RaceUntil(net circuit.Net, maxCycles int) {
-	racing := s.account
-	if arr := (s.baseVals[net] | s.arrived[net]) & racing; arr != 0 {
-		racing = s.freeze(racing, arr)
+	W := s.words
+	racing := s.racingBuf
+	copy(racing, s.account)
+	nb := int(net) * W
+	remaining := uint64(0)
+	for w := 0; w < W; w++ {
+		if arr := (s.baseVals[nb+w] | s.arrived[nb+w]) & racing[w]; arr != 0 {
+			s.freezeWord(w, arr)
+			racing[w] &^= arr
+		}
+		remaining |= racing[w]
 	}
-	for racing != 0 && s.cycle < maxCycles {
+	for remaining != 0 && s.cycle < maxCycles {
 		if len(s.armedList) == 0 {
 			// Quiescent in every lane: no remaining output can ever fire,
 			// so the unfinished lanes coast to the bound on clock
 			// accounting alone.
 			k := maxCycles - s.cycle
-			for m := racing; m != 0; m &= m - 1 {
-				l := bits.TrailingZeros64(m)
-				s.ffClocked[l] += uint64(k) * (s.plain + s.enabledE[l])
+			for w := 0; w < W; w++ {
+				wl := w << 6
+				for m := racing[w]; m != 0; m &= m - 1 {
+					l := wl + bits.TrailingZeros64(m)
+					s.ffClocked[l] += uint64(k) * (s.plain + s.enabledE[l])
+				}
 			}
 			s.cycle = maxCycles
 			break
 		}
 		s.step()
-		if arr := s.arrived[net] & racing; arr != 0 {
-			racing = s.freeze(racing, arr)
+		remaining = 0
+		for w := 0; w < W; w++ {
+			if arr := s.arrived[nb+w] & racing[w]; arr != 0 {
+				s.freezeWord(w, arr)
+				racing[w] &^= arr
+			}
+			remaining |= racing[w]
 		}
 	}
 	// Lanes that never fired stop at the bound, like a scalar RunUntil
 	// returning Never at maxCycles.
-	for m := racing; m != 0; m &= m - 1 {
-		s.laneCycle[bits.TrailingZeros64(m)] = s.cycle
+	for w := 0; w < W; w++ {
+		wl := w << 6
+		for m := racing[w]; m != 0; m &= m - 1 {
+			s.laneCycle[wl+bits.TrailingZeros64(m)] = s.cycle
+		}
+		s.account[w] &^= racing[w]
 	}
-	s.account &^= racing
 }
 
-// freeze retires the given lanes at the current cycle and masks them
-// out of all further accounting.
-func (s *Sim) freeze(racing, arr uint64) uint64 {
+// freezeWord retires the given lanes of one word at the current cycle
+// and masks them out of all further accounting.
+func (s *Sim) freezeWord(w int, arr uint64) {
+	wl := w << 6
 	for m := arr; m != 0; m &= m - 1 {
-		s.laneCycle[bits.TrailingZeros64(m)] = s.cycle
+		s.laneCycle[wl+bits.TrailingZeros64(m)] = s.cycle
 	}
-	s.account &^= arr
-	return racing &^ arr
+	s.account[w] &^= arr
 }
 
 // Cycle returns the number of Steps taken so far (fast-forwarded
@@ -645,11 +847,11 @@ func (s *Sim) Cycle() int { return s.cycle }
 func (s *Sim) LaneCycle(lane int) int { return s.laneCycle[lane] }
 
 // Value returns the current settled value of a net in lane 0.
-func (s *Sim) Value(net circuit.Net) bool { return s.vals[net]&1 != 0 }
+func (s *Sim) Value(net circuit.Net) bool { return s.vals[int(net)*s.words]&1 != 0 }
 
 // LaneValue returns the current settled value of a net in the given lane.
 func (s *Sim) LaneValue(net circuit.Net, lane int) bool {
-	return s.vals[net]>>uint(lane)&1 != 0
+	return s.vals[int(net)*s.words+lane>>6]>>uint(lane&63)&1 != 0
 }
 
 // Arrival returns the cycle at which the net first carried a 1 in lane
@@ -660,12 +862,13 @@ func (s *Sim) Arrival(net circuit.Net) temporal.Time { return s.LaneArrival(net,
 // the given lane, or temporal.Never if it had not fired when the lane
 // froze.
 func (s *Sim) LaneArrival(net circuit.Net, lane int) temporal.Time {
-	bit := uint64(1) << uint(lane)
-	if s.baseVals[net]&bit != 0 {
+	slab := int(net)*s.words + lane>>6
+	bit := uint64(1) << uint(lane&63)
+	if s.baseVals[slab]&bit != 0 {
 		return 0
 	}
-	if s.arrived[net]&bit != 0 {
-		return temporal.Time(s.firstOneAt[int(net)<<6|lane])
+	if s.arrived[slab]&bit != 0 {
+		return temporal.Time(s.firstOneAt[int(net)*s.width+lane])
 	}
 	return temporal.Never
 }

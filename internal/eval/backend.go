@@ -24,6 +24,42 @@ func SetBackend(b race.Backend) error {
 	return nil
 }
 
+// Backend returns the selected simulation backend.
+func Backend() race.Backend { return simBackend }
+
+// simLaneWidth is the lanes backend's pack width for all measurements;
+// 0 keeps the engine default (64).
+//
+//racelint:published set once from the CLI before any sweep runs
+var simLaneWidth = 0
+
+// SetLaneWidth selects the lanes backend's pack width (64, 128, 256,
+// or 512 candidates per race) for all subsequent measurements; 0
+// restores the engine default.  Like SetBackend, call it before a
+// sweep starts.
+func SetLaneWidth(w int) error {
+	if w != 0 {
+		// Reuse the engine's own validation rather than duplicate it.
+		a, err := race.NewArray(1, 1)
+		if err != nil {
+			return err
+		}
+		if err := a.SetLaneWidth(w); err != nil {
+			return err
+		}
+	}
+	simLaneWidth = w
+	return nil
+}
+
+// LaneWidth returns the effective lanes-backend pack width.
+func LaneWidth() int {
+	if simLaneWidth > 0 {
+		return simLaneWidth
+	}
+	return 64
+}
+
 // newArray builds a Fig. 4 DNA array on the selected backend.
 func newArray(n, m int) (*race.Array, error) {
 	a, err := race.NewArray(n, m)
@@ -31,6 +67,11 @@ func newArray(n, m int) (*race.Array, error) {
 		return nil, err
 	}
 	a.SetBackend(simBackend)
+	if simLaneWidth > 0 {
+		if err := a.SetLaneWidth(simLaneWidth); err != nil {
+			return nil, err
+		}
+	}
 	return a, nil
 }
 

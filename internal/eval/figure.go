@@ -31,6 +31,13 @@ type Figure struct {
 	Series []Series
 	// Notes carries free-form caveats printed under the table.
 	Notes []string
+	// LaneWidth and LaneFillRatio describe the lane packing a figure
+	// was measured under on the lanes backend: the configured pack
+	// width (candidates per race) and the measured mean occupancy
+	// (candidates per pack over width).  Zero on figures that did not
+	// race lane packs, and omitted from the JSON artifact then.
+	LaneWidth     int     `json:",omitempty"`
+	LaneFillRatio float64 `json:",omitempty"`
 }
 
 // WriteTable renders the figure as an aligned text table, one row per X

@@ -354,14 +354,22 @@ func GenerateLaneScript(src Source, nIn, width int) []LaneOp {
 		LaneOp{Kind: 2, K: 12})
 }
 
-// CheckLaneEquivalence runs one lanes simulation carrying width
-// divergent candidates and width solo cycle-accurate simulations in
-// lockstep, and requires every per-lane observable — values, arrivals,
-// the per-kind toggle tallies, and the flip-flop clock accounting — to
-// match each lane's own reference exactly.  Lane 0 additionally checks
-// the per-net toggle counters.
-func CheckLaneEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []LaneOp, width int) error {
-	ln, lnerr := lanes.Compile(nl)
+// laneWordChoices are the slab widths the lanes fuzz/property decoders
+// draw from — every CompileWords configuration (64 to 512 lanes).
+var laneWordChoices = [...]int{1, 2, 4, 8}
+
+// CheckLaneEquivalence runs one lanes simulation compiled with the
+// given slab width (words uint64 per net → words·64 lanes) carrying
+// width divergent candidates, and width solo cycle-accurate simulations
+// in lockstep, and requires every per-lane observable — values,
+// arrivals, the per-kind toggle tallies, and the flip-flop clock
+// accounting — to match each candidate's own reference exactly.  The
+// candidates are scattered across the slab (candidate 0 at lane 0, the
+// rest at stride ends up to lane words·64−1) so cross-word masking and
+// accounting are exercised without words·64 reference simulations.
+// Candidate 0 additionally checks the per-net toggle counters.
+func CheckLaneEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []LaneOp, width, words int) error {
+	ln, lnerr := lanes.CompileWords(nl, words)
 	ref0, rerr := nl.Compile()
 	if (rerr == nil) != (lnerr == nil) {
 		return fmt.Errorf("oracle: compile disagreement: reference %v, lanes %v", rerr, lnerr)
@@ -378,20 +386,28 @@ func CheckLaneEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []La
 		}
 		refs[l] = r
 	}
-	mask := uint64(1)<<uint(width) - 1
+	stride := words * lanes.WordBits / width
+	pos := make([]int, width)
+	mask := make([]uint64, words)
+	for l := range pos {
+		if l > 0 {
+			pos[l] = (l+1)*stride - 1
+		}
+		mask[pos[l]>>6] |= uint64(1) << uint(pos[l]&63)
+	}
 	ln.SetActiveLanes(mask)
 	compare := func(op int) error {
 		for l, ref := range refs {
-			name := fmt.Sprintf("lanes[%d]", l)
+			name := fmt.Sprintf("lanes[%d@%d]", l, pos[l])
 			if ref.Cycle() != ln.Cycle() {
 				return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("cycle %d vs %d", ref.Cycle(), ln.Cycle()), Cycle: true}
 			}
 			for i := 0; i < nl.NumNets(); i++ {
 				net := circuit.Net(i)
-				if rv, cv := ref.Value(net), ln.LaneValue(net, l); rv != cv {
+				if rv, cv := ref.Value(net), ln.LaneValue(net, pos[l]); rv != cv {
 					return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("value %v vs %v", rv, cv), Net: net}
 				}
-				if ra, ca := ref.Arrival(net), ln.LaneArrival(net, l); ra != ca {
+				if ra, ca := ref.Arrival(net), ln.LaneArrival(net, pos[l]); ra != ca {
 					return &Diverged{Backend: name, Op: op, What: fmt.Sprintf("arrival %v vs %v", ra, ca), Net: net}
 				}
 				if l == 0 {
@@ -400,7 +416,7 @@ func CheckLaneEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []La
 					}
 				}
 			}
-			if err := compareActivity(ref.Activity(), ln.LaneActivity(l), name, op); err != nil {
+			if err := compareActivity(ref.Activity(), ln.LaneActivity(pos[l]), name, op); err != nil {
 				return err
 			}
 		}
@@ -409,11 +425,20 @@ func CheckLaneEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []La
 	if err := compare(-1); err != nil {
 		return err
 	}
+	ws := make([]uint64, words)
 	for i, op := range script {
 		switch op.Kind {
 		case 0:
 			net := inputs[op.Input%len(inputs)]
-			ln.SetInputWord(net, op.Word)
+			for w := range ws {
+				ws[w] = 0
+			}
+			for l := range refs {
+				if op.Word>>uint(l)&1 != 0 {
+					ws[pos[l]>>6] |= uint64(1) << uint(pos[l]&63)
+				}
+			}
+			ln.SetInputWords(net, ws)
 			for l, ref := range refs {
 				ref.SetInput(net, op.Word>>uint(l)&1 != 0)
 			}
@@ -442,14 +467,15 @@ func CheckLaneEquivalence(nl *circuit.Netlist, inputs []circuit.Net, script []La
 }
 
 // CheckLanesBytes is the lanes fuzz entry point: decode a netlist, a
-// pack width, and a per-lane script from raw bytes and check the
-// word-parallel engine lane by lane against the reference.
+// slab width, a pack width, and a per-lane script from raw bytes and
+// check the word-parallel engine lane by lane against the reference.
 func CheckLanesBytes(data []byte) error {
 	src := NewByteSource(data)
 	nl, inputs := GenerateNetlist(src)
+	words := laneWordChoices[src.Next(len(laneWordChoices))]
 	width := 2 + src.Next(maxCheckLanes-1)
 	script := GenerateLaneScript(src, len(inputs), width)
-	return CheckLaneEquivalence(nl, inputs, script, width)
+	return CheckLaneEquivalence(nl, inputs, script, width, words)
 }
 
 // CheckLanesSeed is the lanes property-test entry point: the same
@@ -458,7 +484,8 @@ func CheckLanesSeed(seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	src := NewRandSource(rng)
 	nl, inputs := GenerateNetlist(src)
+	words := laneWordChoices[src.Next(len(laneWordChoices))]
 	width := 2 + src.Next(maxCheckLanes-1)
 	script := GenerateLaneScript(src, len(inputs), width)
-	return CheckLaneEquivalence(nl, inputs, script, width)
+	return CheckLaneEquivalence(nl, inputs, script, width, words)
 }

@@ -73,12 +73,16 @@ type Engine interface {
 // through one pass of its netlist — race.Array under the bit-parallel
 // lanes backend.  LaneWidth reports the pack capacity (1 means scalar:
 // the pipeline falls back to the per-entry loop); AlignLanes races up
-// to LaneWidth candidates at once, byte-identical to scoring them one
-// by one, with a negative threshold disabling the Section 6 cut-off.
+// to LaneWidth candidates of one query at once, and AlignLanesMulti
+// races a mixed pack where lane k pairs query ps[k] with candidate
+// qs[k] — the cross-query coalescing MultiSearchBatch uses.  Both are
+// byte-identical to scoring lane by lane, with a negative threshold
+// disabling the Section 6 cut-off.
 type LaneEngine interface {
 	Engine
 	LaneWidth() int
 	AlignLanes(p string, qs []string, threshold temporal.Time) ([]*race.AlignResult, error)
+	AlignLanesMulti(ps, qs []string, threshold temporal.Time) ([]*race.AlignResult, error)
 }
 
 // Factory builds a fresh engine for a query of length n against entries
@@ -1086,4 +1090,334 @@ func (p *Pools) fillSlot(slots *entrySlots, si, i int, s *Snapshot, res *race.Al
 		AreaUM2:          area,
 		PowerDensityWCM2: p.lib.Power(res.Activity) / (area / 1e8),
 	}
+}
+
+// QueryError attributes a batch failure to the query it struck, so a
+// multi-query search reports exactly the (query, entry) pair a
+// sequential scan would have stopped at.
+type QueryError struct {
+	// Query indexes the queries slice MultiSearchBatch was given.
+	Query int
+	// Err is the underlying error, verbatim from the single-query path.
+	Err error
+}
+
+func (e *QueryError) Error() string { return fmt.Sprintf("query %d: %v", e.Query, e.Err) }
+
+// Unwrap exposes the single-query error for errors.Is/As.
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// batchPair is one (query, entry) pair of a batch: the query index, the
+// shard holding the entry, and the entry's scan position there.
+type batchPair struct {
+	query int
+	shard int
+	si    int
+}
+
+// pairChunk is one unit of batch work: a run of same-shape (query,
+// entry) pairs — every query of length n, every entry of length m —
+// scored on a single checked-out engine.  Under a lane engine the run
+// is cut into packs that may span query boundaries, which is how a
+// multi-query batch fills wider packs than any one query could.
+type pairChunk struct {
+	n, m  int
+	pairs []batchPair
+}
+
+// MultiSearchBatch scores query qi against its own shard scans
+// (shardSets[qi] — same partition layout for every query, but each
+// query may carry its own seed-index candidate subsets) with one shared
+// worker pool and returns one report per query, index-aligned with
+// queries.  Same-shape (query, entry) pairs are coalesced across
+// queries: each worker checks out one engine per chunk and, under the
+// lanes backend, fills each lane pack with pairs of several in-flight
+// queries via AlignLanesMulti — so a batch of small scans reaches the
+// pack width (and the per-pass amortization) that each query alone
+// could not.  Every report is byte-identical to the corresponding
+// sequential MultiSearch call except EnginesBuilt, which counts the
+// whole batch's builds (engines are shared across queries, so a
+// per-query attribution would be scheduling-dependent).  A failure
+// anywhere fails the whole batch with a *QueryError naming the lowest
+// (query, rank-key) pair, exactly as sequential calls would first hit
+// it.  All shards of every query must share one Pools (the racelogic
+// layer guarantees this); Request.Trace is ignored — trace single
+// queries instead.
+func MultiSearchBatch(shardSets [][]ShardScan, queries []string, req Request) ([]*Report, error) {
+	if len(shardSets) != len(queries) {
+		return nil, fmt.Errorf("pipeline: %d shard sets for %d queries", len(shardSets), len(queries))
+	}
+	for qi, q := range queries {
+		if len(q) == 0 {
+			return nil, &QueryError{Query: qi, Err: fmt.Errorf("pipeline: empty query")}
+		}
+	}
+	if len(queries) == 0 {
+		return []*Report{}, nil
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	// Plan every query's scan set up front, exactly as its own
+	// MultiSearch would.
+	plans := make([][]*scanPlan, len(queries))
+	raced := make([]int, len(queries))
+	reports := make([]*Report, len(queries))
+	totalPairs := 0
+	for qi := range queries {
+		plans[qi] = make([]*scanPlan, len(shardSets[qi]))
+		lengthSet := make(map[int]bool)
+		for si, sc := range shardSets[qi] {
+			plan, err := resolveScan(sc.Snap, sc.Candidates)
+			if err != nil {
+				return nil, &QueryError{Query: qi, Err: err}
+			}
+			plans[qi][si] = plan
+			raced[qi] += plan.raced
+			for _, m := range plan.lengths {
+				lengthSet[m] = true
+			}
+		}
+		reports[qi] = &Report{Scanned: raced[qi], Buckets: len(lengthSet)}
+		totalPairs += raced[qi]
+	}
+	if totalPairs == 0 {
+		for _, r := range reports {
+			r.Results = []Result{}
+		}
+		return reports, nil
+	}
+
+	// Build the per-shape pair streams in deterministic order — query
+	// ascending, then shard, then the shard's bucket order — and cut them
+	// into chunks against the whole batch's target size.  Consecutive
+	// pairs of one stream land in the same packs regardless of which
+	// query they belong to.
+	streams := make(map[poolKey][]batchPair)
+	var shapeOrder []poolKey
+	for qi, q := range queries {
+		n := len(q)
+		for si, plan := range plans[qi] {
+			for _, m := range plan.lengths {
+				key := poolKey{n: n, m: m}
+				if _, ok := streams[key]; !ok {
+					shapeOrder = append(shapeOrder, key)
+				}
+				for _, pos := range plan.buckets[m] {
+					streams[key] = append(streams[key], batchPair{query: qi, shard: si, si: pos})
+				}
+			}
+		}
+	}
+	target := (totalPairs + workers - 1) / workers
+	var chunks []pairChunk
+	for _, key := range shapeOrder {
+		pairs := streams[key]
+		for len(pairs) > target {
+			chunks = append(chunks, pairChunk{n: key.n, m: key.m, pairs: pairs[:target]})
+			pairs = pairs[target:]
+		}
+		chunks = append(chunks, pairChunk{n: key.n, m: key.m, pairs: pairs})
+	}
+
+	// Collector state: one slot set per (query, shard).  Every pair is
+	// owned by exactly one chunk, so workers write disjoint slots.
+	slots := make([][]*entrySlots, len(queries))
+	for qi := range slots {
+		slots[qi] = make([]*entrySlots, len(plans[qi]))
+		for si, plan := range plans[qi] {
+			slots[qi][si] = newEntrySlots(plan.slotSpan)
+		}
+	}
+	chunkErrs := make([]error, len(chunks))
+	chunkErrQuery := make([]int, len(chunks))
+	chunkErrID := make([]uint64, len(chunks))
+	var builds atomic.Int64
+	pools := shardSets[0][0].DB.pools
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				c := chunks[ci]
+				err, errQuery, errID := pools.runPairChunk(shardSets, plans, queries, c, req.Threshold, slots, &builds)
+				if err != nil {
+					chunkErrs[ci] = err
+					chunkErrQuery[ci] = errQuery
+					chunkErrID[ci] = errID
+				}
+			}
+		}()
+	}
+	for ci := range chunks {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Errors are reported by lowest (query, rank key) — the first pair a
+	// sequential query-by-query scan would have failed on.
+	var firstErr error
+	var firstQuery int
+	var firstID uint64
+	for ci, err := range chunkErrs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || chunkErrQuery[ci] < firstQuery ||
+			(chunkErrQuery[ci] == firstQuery && chunkErrID[ci] < firstID) {
+			firstErr, firstQuery, firstID = err, chunkErrQuery[ci], chunkErrID[ci]
+		}
+	}
+	if firstErr != nil {
+		return nil, &QueryError{Query: firstQuery, Err: firstErr}
+	}
+
+	// Fold each query exactly as MultiSearch does, over its own
+	// ascending-global-ID ref walk.
+	enginesBuilt := int(builds.Load())
+	refs := make([]slotRef, 0, totalPairs)
+	for qi, report := range reports {
+		report.EnginesBuilt = enginesBuilt
+		refs = refs[:0]
+		for si, sc := range shardSets[qi] {
+			plan := plans[qi][si]
+			if plan.scan != nil {
+				for pos, slot := range plan.scan {
+					refs = append(refs, slotRef{shard: si, si: pos, slot: slot, id: sc.slotID(slot)})
+				}
+				continue
+			}
+			for slot := 0; slot < plan.slotSpan; slot++ {
+				if sc.Snap.Live(slot) {
+					refs = append(refs, slotRef{shard: si, si: slot, slot: slot, id: sc.slotID(slot)})
+				}
+			}
+		}
+		sort.Slice(refs, func(a, b int) bool { return refs[a].id < refs[b].id })
+		var all []Result
+		for _, ref := range refs {
+			sl := slots[qi][ref.shard]
+			report.TotalCycles += sl.cycles[ref.si]
+			report.TotalEnergyJ += sl.energyJ[ref.si]
+			if sl.rejected[ref.si] {
+				report.Rejected++
+			}
+			if r := sl.results[ref.si]; r != nil {
+				r.ID = ref.id
+				all = append(all, *r)
+			}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Score != all[j].Score {
+				return all[i].Score < all[j].Score
+			}
+			return all[i].ID < all[j].ID
+		})
+		report.Matched = len(all)
+		if req.TopK > 0 && len(all) > req.TopK {
+			all = all[:req.TopK]
+		}
+		if all == nil {
+			all = []Result{}
+		}
+		report.Results = all
+	}
+	return reports, nil
+}
+
+// runPairChunk checks one engine out of the chunk's shape pool and
+// races every (query, entry) pair of the chunk on it.  On failure it
+// returns the error plus the query index and global rank key it is
+// attributed to.
+func (p *Pools) runPairChunk(shardSets [][]ShardScan, plans [][]*scanPlan, queries []string, c pairChunk,
+	threshold int64, slots [][]*entrySlots, builds *atomic.Int64) (error, int, uint64) {
+
+	// resolve maps a pair to its snapshot slot (the entry index).
+	resolve := func(pr batchPair) int {
+		if scan := plans[pr.query][pr.shard].scan; scan != nil {
+			return scan[pr.si]
+		}
+		return pr.si
+	}
+	key := poolKey{n: c.n, m: c.m}
+	eng, area, built, err := p.acquireObserved(key, 0, nil)
+	if err != nil {
+		pr := c.pairs[0]
+		return err, pr.query, shardSets[pr.query][pr.shard].slotID(resolve(pr))
+	}
+	if built {
+		builds.Add(1)
+	}
+	defer p.release(key, eng)
+	if le, ok := eng.(LaneEngine); ok {
+		if width := le.LaneWidth(); width > 1 {
+			return p.runPairChunkLanes(shardSets, queries, c, resolve, threshold, slots, le, width, area)
+		}
+	}
+	for _, pr := range c.pairs {
+		i := resolve(pr)
+		sc := &shardSets[pr.query][pr.shard]
+		var res *race.AlignResult
+		if threshold >= 0 {
+			res, err = eng.AlignThreshold(queries[pr.query], sc.Snap.entries[i], temporal.Time(threshold))
+		} else {
+			res, err = eng.Align(queries[pr.query], sc.Snap.entries[i])
+		}
+		if err != nil {
+			return err, pr.query, sc.slotID(i)
+		}
+		p.fillSlot(slots[pr.query][pr.shard], pr.si, i, sc.Snap, res, area)
+	}
+	return nil, 0, 0
+}
+
+// runPairChunkLanes is the batched body of runPairChunk: the chunk's
+// pairs race through the checked-out engine in mixed-query lane packs
+// of at most width lanes.  Outcomes, errors, and the (query, entry)
+// pair an error is attributed to are byte-identical to the per-pair
+// loop; only the number of netlist passes changes.
+func (p *Pools) runPairChunkLanes(shardSets [][]ShardScan, queries []string, c pairChunk, resolve func(batchPair) int,
+	threshold int64, slots [][]*entrySlots, eng LaneEngine, width int, area float64) (error, int, uint64) {
+
+	obsFn := p.laneObs.Load()
+	ps := make([]string, 0, width)
+	qs := make([]string, 0, width)
+	for start := 0; start < len(c.pairs); start += width {
+		end := start + width
+		if end > len(c.pairs) {
+			end = len(c.pairs)
+		}
+		pack := c.pairs[start:end]
+		ps, qs = ps[:0], qs[:0]
+		for _, pr := range pack {
+			ps = append(ps, queries[pr.query])
+			qs = append(qs, shardSets[pr.query][pr.shard].Snap.entries[resolve(pr)])
+		}
+		results, err := eng.AlignLanesMulti(ps, qs, temporal.Time(threshold))
+		if err != nil {
+			// A lane-attributed failure maps back to the (query, entry)
+			// pair the sequential scan would have stopped at, with the same
+			// underlying error.
+			lane := 0
+			var le *race.LaneError
+			if errors.As(err, &le) {
+				lane = le.Lane
+				err = le.Err
+			}
+			pr := pack[lane]
+			return err, pr.query, shardSets[pr.query][pr.shard].slotID(resolve(pr))
+		}
+		if obsFn != nil {
+			(*obsFn)(len(pack), width)
+		}
+		for k, pr := range pack {
+			p.fillSlot(slots[pr.query][pr.shard], pr.si, resolve(pr), shardSets[pr.query][pr.shard].Snap, results[k], area)
+		}
+	}
+	return nil, 0, 0
 }

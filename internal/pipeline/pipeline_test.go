@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -745,5 +746,221 @@ func TestLanesErrorAttribution(t *testing.T) {
 	}
 	if werr.Error() != gerr.Error() {
 		t.Fatalf("error text differs:\ncycle: %v\nlanes: %v", werr, gerr)
+	}
+}
+
+// widthFactory builds lane-pack engines at a fixed multi-word width.
+func widthFactory(width int) Factory {
+	return func(n, m int) (Engine, error) {
+		a, err := race.NewArray(n, m)
+		if err != nil {
+			return nil, err
+		}
+		a.SetBackend(race.BackendLanes)
+		if err := a.SetLaneWidth(width); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}
+}
+
+// TestLanesPackCarvingWidths pins the pack carving at multi-word
+// widths: a 130-entry bucket must come out as one full pack plus a
+// partial tail at width 128 and as a single partial pack at 256, with
+// the small buckets always one partial pack each.
+func TestLanesPackCarvingWidths(t *testing.T) {
+	g := seqgen.NewDNA(36)
+	var db []string
+	for i := 0; i < 130; i++ {
+		db = append(db, g.Random(8))
+	}
+	for i := 0; i < 5; i++ {
+		db = append(db, g.Random(5))
+	}
+	db = append(db, g.Random(11))
+	want := map[int][][2]int{
+		128: {{128, 128}, {2, 128}, {5, 128}, {1, 128}},
+		256: {{130, 256}, {5, 256}, {1, 256}},
+	}
+	for _, width := range []int{128, 256} {
+		pools, err := NewPools(widthFactory(width), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fills [][2]int
+		var mu sync.Mutex
+		pools.SetLaneObserver(func(filled, w int) {
+			mu.Lock()
+			fills = append(fills, [2]int{filled, w})
+			mu.Unlock()
+		})
+		d, err := NewDBWith(db, pools)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Search("ACGTACGT", Request{Threshold: -1, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fills, want[width]) {
+			t.Fatalf("width %d: lane packs = %v, want %v", width, fills, want[width])
+		}
+	}
+}
+
+// TestLanesSearchMatchesCycleWidths extends the byte-identity pin to
+// multi-word packs: at widths 128 and 256 the mixed-shape corpus —
+// full packs, partial tails, and singleton buckets that race with one
+// live lane — must reproduce the scalar reference report exactly.
+func TestLanesSearchMatchesCycleWidths(t *testing.T) {
+	db := lanesDB(seqgen.NewDNA(33))
+	query := seqgen.NewDNA(34).Random(7)
+	refD, err := NewDB(db, dnaFactory, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{128, 256} {
+		lanesD, err := NewDB(db, widthFactory(width), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, req := range []Request{
+			{Threshold: -1, Workers: 1},
+			{Threshold: 6, TopK: 4, Workers: 2},
+		} {
+			want, err := refD.Search(query, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := lanesD.Search(query, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want.EnginesBuilt, got.EnginesBuilt = 0, 0
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("width %d req %+v: report differs\ncycle: %+v\nlanes: %+v",
+					width, req, want, got)
+			}
+		}
+	}
+}
+
+// batchShards partitions db into parts shards sharing one Pools and
+// returns the scan set (full coverage, global IDs = corpus positions).
+func batchShards(t *testing.T, db []string, parts int, pools *Pools) []ShardScan {
+	t.Helper()
+	shardEntries := make([][]string, parts)
+	shardIDs := make([][]uint64, parts)
+	for i, e := range db {
+		s := i % parts
+		shardEntries[s] = append(shardEntries[s], e)
+		shardIDs[s] = append(shardIDs[s], uint64(i))
+	}
+	scans := make([]ShardScan, parts)
+	for s := 0; s < parts; s++ {
+		d, err := NewDBWith(shardEntries[s], pools)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scans[s] = ShardScan{DB: d, Snap: d.Snapshot(), IDs: shardIDs[s]}
+	}
+	return scans
+}
+
+// TestMultiSearchBatchMatchesSequential pins the cross-query contract:
+// every report of a batch must be byte-identical to the sequential
+// MultiSearch call for that query — across lane widths, shard counts,
+// and worker counts — except EnginesBuilt, which counts the batch.
+func TestMultiSearchBatchMatchesSequential(t *testing.T) {
+	g := seqgen.NewDNA(37)
+	var db []string
+	for _, n := range []int{6, 8, 10} {
+		db = append(db, g.Database(20, n)...)
+	}
+	queries := []string{g.Random(8), g.Random(6), g.Random(8), g.Random(10)}
+	for _, width := range []int{64, 128} {
+		for _, parts := range []int{1, 3} {
+			for _, workers := range []int{1, 3} {
+				pools, err := NewPools(widthFactory(width), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scans := batchShards(t, db, parts, pools)
+				req := Request{Threshold: 16, TopK: 7, Workers: workers}
+				sets := make([][]ShardScan, len(queries))
+				for qi := range queries {
+					sets[qi] = scans
+				}
+				got, err := MultiSearchBatch(sets, queries, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(queries) {
+					t.Fatalf("%d reports for %d queries", len(got), len(queries))
+				}
+				for qi, q := range queries {
+					want, err := MultiSearch(scans, q, req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want.EnginesBuilt, got[qi].EnginesBuilt = 0, 0
+					if !reflect.DeepEqual(want, got[qi]) {
+						t.Fatalf("width %d parts %d workers %d query %d: batch report differs\nsequential: %+v\nbatch:      %+v",
+							width, parts, workers, qi, want, got[qi])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiSearchBatchErrorAttribution pins the batch error contract at
+// a multi-word width: a corrupt entry raced by only one query must
+// surface as a *QueryError naming that query with the scalar path's
+// error text, and when several queries race it, the lowest query index
+// wins — exactly where sequential calls would first stop.
+func TestMultiSearchBatchErrorAttribution(t *testing.T) {
+	g := seqgen.NewDNA(38)
+	db := g.Database(10, 6)
+	db[7] = "ACGTXA" // decode failure mid-pack
+	queries := []string{g.Random(6), g.Random(6), g.Random(6)}
+	// Candidate subsets: query 0 skips the corrupt slot, queries 1 and 2
+	// both race it.
+	clean := make([]int, 0, len(db)-1)
+	for i := range db {
+		if i != 7 {
+			clean = append(clean, i)
+		}
+	}
+	pools, err := NewPools(widthFactory(128), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDBWith(db, pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	sets := [][]ShardScan{
+		{{DB: d, Snap: snap, Candidates: clean}},
+		{{DB: d, Snap: snap}},
+		{{DB: d, Snap: snap}},
+	}
+	_, err = MultiSearchBatch(sets, queries, Request{Threshold: -1, Workers: 1})
+	if err == nil {
+		t.Fatal("corrupt entry must fail the batch")
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error %v (%T) is not a *QueryError", err, err)
+	}
+	if qe.Query != 1 {
+		t.Fatalf("error attributed to query %d, want 1 (the lowest query racing the corrupt entry)", qe.Query)
+	}
+	_, werr := oneShot(queries[1], db, Request{Threshold: -1, Workers: 1})
+	if werr == nil {
+		t.Fatal("scalar reference did not fail")
+	}
+	if qe.Err.Error() != werr.Error() {
+		t.Fatalf("error text differs:\nscalar: %v\nbatch:  %v", werr, qe.Err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"racelogic/internal/circuit"
+	"racelogic/internal/circuit/lanes"
 	"racelogic/internal/score"
 	"racelogic/internal/temporal"
 )
@@ -40,6 +41,7 @@ type Array struct {
 	out       [][]circuit.Net // OR output of every node (i,j)
 	ffPerCell int
 	backend   Backend
+	laneWords int             // uint64 words per net slab under BackendLanes
 	sim       circuit.Backend // compiled once, Reset between races
 }
 
@@ -58,7 +60,7 @@ func NewArray(n, m int) (*Array, error) {
 		return nil, fmt.Errorf("race: array dimensions %d×%d must be ≥ 1", n, m)
 	}
 	nl := circuit.New()
-	a := &Array{n: n, m: m, netlist: nl}
+	a := &Array{n: n, m: m, netlist: nl, laneWords: 1}
 	a.root = nl.Input("root")
 	a.pBits = make([][2]circuit.Net, n)
 	for i := range a.pBits {
@@ -203,10 +205,32 @@ func (a *Array) SetBackend(b Backend) {
 	a.sim = nil
 }
 
+// SetLaneWidth sizes the lane pack raced per netlist pass under
+// BackendLanes: 64, 128, 256, or 512 candidates (1–8 uint64 words per
+// net, default 64).  The other backends ignore it.  Switching after a
+// race drops the compiled engine, so the next Align pays one recompile.
+func (a *Array) SetLaneWidth(width int) error {
+	if width%lanes.WordBits != 0 {
+		return fmt.Errorf("race: lane width %d is not a multiple of %d", width, lanes.WordBits)
+	}
+	words := width / lanes.WordBits
+	switch words {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("race: lane width %d is not one of 64, 128, 256, 512", width)
+	}
+	if a.laneWords == words {
+		return nil
+	}
+	a.laneWords = words
+	a.sim = nil
+	return nil
+}
+
 // simulator returns the array's compiled simulator, building it on first
 // use and resetting it to power-on state on every later one.
 func (a *Array) simulator() (circuit.Backend, error) {
-	return reuseBackend(a.netlist, &a.sim, a.backend)
+	return reuseBackend(a.netlist, &a.sim, a.backend, a.laneWords)
 }
 
 func (a *Array) loadSymbols(sim circuit.Backend, p, q string) error {

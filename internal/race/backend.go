@@ -25,11 +25,12 @@ const (
 	// are clocked, and quiescent stretches fast-forward to the horizon.
 	BackendEvent
 	// BackendLanes is the bit-parallel engine in circuit/lanes: every
-	// net's state is a uint64 word whose bit i is the value in lane i,
-	// so one settle wave races up to 64 same-shape candidates at once.
-	// Plain arrays batch candidates through AlignLanes; the other array
-	// types (and the scalar circuit.Backend contract) run it one lane at
-	// a time.
+	// net's state is a slab of 1–8 uint64 words (SetLaneWidth, default
+	// one word) whose bit l of word w is the value in lane w·64+l, so
+	// one settle wave races up to 64–512 same-shape candidates at once.
+	// Plain arrays batch candidates through AlignLanes/AlignLanesMulti;
+	// the other array types (and the scalar circuit.Backend contract)
+	// run it one lane at a time.
 	BackendLanes
 )
 
@@ -68,13 +69,15 @@ func ParseBackend(s string) (Backend, error) {
 	return 0, fmt.Errorf("race: unknown backend %q (have cycle, event, lanes)", s)
 }
 
-// compileBackend compiles nl under the selected engine.
-func compileBackend(nl *circuit.Netlist, b Backend) (circuit.Backend, error) {
+// compileBackend compiles nl under the selected engine.  words sizes
+// the lanes backend's per-net slab (1, 2, 4, or 8 uint64 words → 64 to
+// 512 lanes) and is ignored by the scalar backends.
+func compileBackend(nl *circuit.Netlist, b Backend, words int) (circuit.Backend, error) {
 	switch b {
 	case BackendEvent:
 		return event.Compile(nl)
 	case BackendLanes:
-		return lanes.Compile(nl)
+		return lanes.CompileWords(nl, words)
 	}
 	return nl.Compile()
 }
@@ -82,9 +85,9 @@ func compileBackend(nl *circuit.Netlist, b Backend) (circuit.Backend, error) {
 // reuseBackend is the shared compile-once protocol of all three array
 // types: compile nl into *sim under the selected backend on first use,
 // reset it to power-on state on every later one.
-func reuseBackend(nl *circuit.Netlist, sim *circuit.Backend, b Backend) (circuit.Backend, error) {
+func reuseBackend(nl *circuit.Netlist, sim *circuit.Backend, b Backend, words int) (circuit.Backend, error) {
 	if *sim == nil {
-		s, err := compileBackend(nl, b)
+		s, err := compileBackend(nl, b, words)
 		if err != nil {
 			return nil, err
 		}

@@ -121,7 +121,7 @@ type Result struct {
 // per-node arrival times.  With no watch list it runs until the graph's
 // sinks fire.
 func (s *Solver) Solve(watch ...dag.NodeID) (*Result, error) {
-	sim, err := compileBackend(s.netlist, s.backend)
+	sim, err := compileBackend(s.netlist, s.backend, 1)
 	if err != nil {
 		return nil, fmt.Errorf("race: %w", err)
 	}

@@ -221,7 +221,7 @@ func (a *GatedArray) align(p, q string, maxCycles int) (*AlignResult, error) {
 	if len(p) != a.n || len(q) != a.m {
 		return nil, fmt.Errorf("race: array is %d×%d but strings are %d×%d", a.n, a.m, len(p), len(q))
 	}
-	sim, err := reuseBackend(a.netlist, &a.sim, a.backend)
+	sim, err := reuseBackend(a.netlist, &a.sim, a.backend, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,12 @@ func (s *Server) initObs() {
 	r.CounterFunc("racelogic_http_mutations_total",
 		"Successful inserts, bulk batches, and removes.",
 		func() float64 { return float64(s.mutations.Load()) })
+	r.CounterFunc("racelogic_http_search_batches_total",
+		"Array-form /search requests served.",
+		func() float64 { return float64(s.batches.Load()) })
+	r.CounterFunc("racelogic_http_search_batch_queries_total",
+		"Queries carried by array-form /search requests.",
+		func() float64 { return float64(s.batchQueries.Load()) })
 	r.CounterFunc("racelogic_cache_hits_total",
 		"Searches served from the response cache.",
 		func() float64 { return float64(s.cacheHits.Load()) })

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,11 +75,13 @@ type Server struct {
 	slowLatency time.Duration
 	slowEnergy  float64
 
-	requests    atomic.Int64 // /search requests received
-	cacheHits   atomic.Int64
-	failures    atomic.Int64 // requests answered with an error
-	mutations   atomic.Int64 // successful inserts + removes
-	slowQueries atomic.Int64
+	requests     atomic.Int64 // /search requests received
+	cacheHits    atomic.Int64
+	failures     atomic.Int64 // requests answered with an error
+	mutations    atomic.Int64 // successful inserts + removes
+	slowQueries  atomic.Int64
+	batches      atomic.Int64 // array-form /search requests
+	batchQueries atomic.Int64 // queries carried by those batches
 }
 
 // New builds the service around a loaded database.
@@ -121,7 +124,11 @@ func New(cfg Config) (*Server, error) {
 // ServeHTTP dispatches to the service endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// SearchRequest is the POST /search body.
+// SearchRequest is the POST /search body.  The endpoint also accepts a
+// JSON array of these: the array form answers with an array of
+// SearchResponse in the same order, and queries that share options race
+// as one batch, packing same-shape candidate pairs from different
+// queries into the same wide lanes under the lanes backend.
 type SearchRequest struct {
 	// Query is the sequence to rank the database against.  Required.
 	Query string `json:"query"`
@@ -212,8 +219,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	// The body is buffered (it is already capped at maxBodyBytes) so the
+	// first non-whitespace byte can dispatch between the single-object
+	// and array forms before either decoder runs.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if jsonArrayBody(body) {
+		s.handleSearchBatch(w, r, started, body)
+		return
+	}
 	var req SearchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.failures.Add(1)
@@ -297,6 +317,136 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	out.ElapsedUS = elapsed.Microseconds()
 	s.noteSlow(req.Query, elapsed, rep, out.Trace)
 	writeJSON(w, http.StatusOK, &out)
+}
+
+// jsonArrayBody reports whether the body's first non-whitespace byte
+// opens a JSON array — the batch form of POST /search.
+func jsonArrayBody(body []byte) bool {
+	for _, b := range body {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		default:
+			return b == '['
+		}
+	}
+	return false
+}
+
+// batchKey groups batch items that resolved to the same search options:
+// each group becomes one Database.SearchBatch call, since lane packs
+// only coalesce queries racing under the same threshold and ranking.
+func batchKey(topK int, threshold *int64, fullScan bool) string {
+	t := "off"
+	if threshold != nil {
+		t = fmt.Sprint(*threshold)
+	}
+	return fmt.Sprintf("%d\x00%s\x00%v", topK, t, fullScan)
+}
+
+// handleSearchBatch answers the array form of POST /search: one
+// SearchResponse per request item, in order.  Cache hits are peeled off
+// per item; the misses regroup by options and race as shared batches.
+// Any invalid item fails the whole request with its index named —
+// nothing is raced or cached on a 4xx.  ?trace=1 is ignored here: a
+// trace describes exactly one query's pipeline.  ElapsedUS on every
+// item is the whole request's service time.
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request, started time.Time, body []byte) {
+	var reqs []SearchRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reqs); err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(reqs) == 0 {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch contains no queries"})
+		return
+	}
+	topKs := make([]int, len(reqs))
+	for i := range reqs {
+		if reqs[i].Query == "" {
+			s.failures.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("query %d: query is required", i)})
+			return
+		}
+		if len(reqs[i].Query) > s.maxQueryLen {
+			s.failures.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("query %d: length %d exceeds the %d-symbol limit", i, len(reqs[i].Query), s.maxQueryLen)})
+			return
+		}
+		reqs[i].Query = strings.ToUpper(reqs[i].Query)
+		topKs[i] = reqs[i].TopK
+		if topKs[i] == 0 {
+			topKs[i] = s.defaultTopK
+		}
+	}
+	s.batches.Add(1)
+	s.batchQueries.Add(int64(len(reqs)))
+
+	version := s.db.Version()
+	out := make([]*SearchResponse, len(reqs))
+	groups := make(map[string][]int)
+	var order []string
+	for i := range reqs {
+		key := cacheKey(version, reqs[i].Query, topKs[i], reqs[i].Threshold, reqs[i].FullScan)
+		if cached, ok := s.cache.get(key); ok {
+			s.cacheHits.Add(1)
+			cached.Cached = true
+			out[i] = cached
+			continue
+		}
+		gk := batchKey(topKs[i], reqs[i].Threshold, reqs[i].FullScan)
+		if _, seen := groups[gk]; !seen {
+			order = append(order, gk)
+		}
+		groups[gk] = append(groups[gk], i)
+	}
+	for _, gk := range order {
+		idxs := groups[gk]
+		first := reqs[idxs[0]]
+		var opts []racelogic.Option
+		if topKs[idxs[0]] != 0 {
+			opts = append(opts, racelogic.WithTopK(topKs[idxs[0]]))
+		}
+		if first.Threshold != nil {
+			opts = append(opts, racelogic.WithThreshold(*first.Threshold))
+		}
+		if first.FullScan {
+			opts = append(opts, racelogic.WithFullScan())
+		}
+		queries := make([]string, len(idxs))
+		for j, i := range idxs {
+			queries[j] = reqs[i].Query
+		}
+		reps, err := s.db.SearchBatchContext(r.Context(), queries, opts...)
+		if err != nil {
+			s.failures.Add(1)
+			var be *racelogic.BatchError
+			if errors.As(err, &be) {
+				// Name the failing item by its position in the request
+				// array, not its slot within this option group.
+				err = fmt.Errorf("query %d: %w", idxs[be.Query], be.Err)
+			}
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		for j, i := range idxs {
+			resp := toResponse(reps[j])
+			s.cache.add(cacheKey(version, reqs[i].Query, topKs[i], reqs[i].Threshold, reqs[i].FullScan), resp)
+			out[i] = resp
+		}
+	}
+	elapsed := time.Since(started).Microseconds()
+	final := make([]SearchResponse, len(out))
+	for i, resp := range out {
+		final[i] = *resp
+		final[i].ElapsedUS = elapsed
+	}
+	writeJSON(w, http.StatusOK, final)
 }
 
 // cacheKey encodes a request's full identity, prefixed by the database
@@ -634,12 +784,16 @@ type StatsResponse struct {
 	EnginesBuilt  int64  `json:"engines_built"`
 	PooledEngines int    `json:"pooled_engines"`
 	Requests      int64  `json:"requests"`
-	Failures      int64  `json:"failures"`
-	CacheHits     int64  `json:"cache_hits"`
-	CacheEntries  int    `json:"cache_entries"`
-	CacheCapacity int    `json:"cache_capacity"`
-	SlowQueries   int64  `json:"slow_queries"`
-	UptimeSeconds int64  `json:"uptime_seconds"`
+	// Batches counts the array-form /search requests served;
+	// BatchQueries the queries they carried between them.
+	Batches       int64 `json:"batches"`
+	BatchQueries  int64 `json:"batch_queries"`
+	Failures      int64 `json:"failures"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheEntries  int   `json:"cache_entries"`
+	CacheCapacity int   `json:"cache_capacity"`
+	SlowQueries   int64 `json:"slow_queries"`
+	UptimeSeconds int64 `json:"uptime_seconds"`
 	// Durable reports whether mutations are journaled to a write-ahead
 	// log; the WAL and snapshot fields below are zero when it is false.
 	Durable bool `json:"durable"`
@@ -691,6 +845,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		EnginesBuilt:       s.db.EnginesBuilt(),
 		PooledEngines:      s.db.PooledEngines(),
 		Requests:           s.requests.Load(),
+		Batches:            s.batches.Load(),
+		BatchQueries:       s.batchQueries.Load(),
 		Failures:           s.failures.Load(),
 		CacheHits:          s.cacheHits.Load(),
 		CacheEntries:       s.cache.len(),

@@ -720,3 +720,131 @@ func TestStatsDurability(t *testing.T) {
 		t.Errorf("per-shard wal_records sum to %d, global says %d", recs, st.WALRecords)
 	}
 }
+
+// postBatch POSTs an array-form /search body and decodes the array reply.
+func postBatch(t *testing.T, url string, body string) (*http.Response, []SearchResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/search", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var out []SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestSearchBatchEndpoint pins the array-form /search contract: one
+// response per request in order, each byte-identical to the solo reply
+// for the same query modulo the whole-batch EnginesBuilt count and the
+// shared wall-clock stamp.
+func TestSearchBatchEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, racelogic.WithBackend(racelogic.BackendLanes), racelogic.WithLaneWidth(128))
+	// Solo replies come from a second identical server: on ts itself the
+	// batch seeds the cache, so a follow-up solo request would just echo
+	// the batch's own reply back.
+	solos, _, _ := newTestServer(t, racelogic.WithBackend(racelogic.BackendLanes), racelogic.WithLaneWidth(128))
+	queries := []string{"ACGTACGT", "acgtac", "TTTTTTTT"}
+	var items []string
+	for _, q := range queries {
+		items = append(items, fmt.Sprintf(`{"query":%q,"top_k":3,"threshold":14}`, q))
+	}
+	resp, batch := postBatch(t, ts.URL, "["+strings.Join(items, ",")+"]")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("%d responses for %d queries", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		_, solo := postSearch(t, solos.URL, fmt.Sprintf(`{"query":%q,"top_k":3,"threshold":14}`, q))
+		got, want := batch[i], *solo
+		got.ElapsedUS, want.ElapsedUS = 0, 0
+		got.EnginesBuilt, want.EnginesBuilt = 0, 0
+		a, _ := json.Marshal(got)
+		b, _ := json.Marshal(want)
+		if !bytes.Equal(a, b) {
+			t.Errorf("query %d: batch reply differs from solo:\nbatch: %s\nsolo:  %s", i, a, b)
+		}
+	}
+
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Batches != 1 {
+		t.Errorf("batches = %d, want 1", stats.Batches)
+	}
+	if stats.BatchQueries != int64(len(queries)) {
+		t.Errorf("batch_queries = %d, want %d", stats.BatchQueries, len(queries))
+	}
+}
+
+// TestSearchBatchCache pins the per-item cache interplay: batch items
+// seed the same cache solo requests use, and a repeated batch is served
+// entirely from it.
+func TestSearchBatchCache(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	body := `[{"query":"ACGTACGT","top_k":3},{"query":"ACGTAC","top_k":3}]`
+	_, first := postBatch(t, ts.URL, body)
+	for i, r := range first {
+		if r.Cached {
+			t.Errorf("first batch item %d claims cached", i)
+		}
+	}
+	_, second := postBatch(t, ts.URL, body)
+	for i, r := range second {
+		if !r.Cached {
+			t.Errorf("repeat batch item %d missed the cache", i)
+		}
+	}
+	// A solo request for one of the items hits the batch-seeded entry.
+	_, solo := postSearch(t, ts.URL, `{"query":"ACGTAC","top_k":3}`)
+	if !solo.Cached {
+		t.Error("solo request missed the cache the batch seeded")
+	}
+	// A mixed batch races only the cold item.
+	_, mixed := postBatch(t, ts.URL, `[{"query":"ACGTACGT","top_k":3},{"query":"TTTTTTTT","top_k":3}]`)
+	if !mixed[0].Cached {
+		t.Error("warm item of mixed batch missed the cache")
+	}
+	if mixed[1].Cached {
+		t.Error("cold item of mixed batch claims cached")
+	}
+}
+
+// TestSearchBatchErrors pins the array-form failure modes: empty
+// batches, invalid items, and engine-level failures must all name the
+// zero-based index of the query at fault.
+func TestSearchBatchErrors(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	cases := []struct {
+		body, wantErr string
+	}{
+		{`[]`, "batch contains no queries"},
+		{`[{"query":"ACGT"},{"query":""}]`, "query 1: query is required"},
+		{`[{"query":"ACGT"},{"query":"` + strings.Repeat("A", 65) + `"}]`, "query 1: length 65 exceeds the 64-symbol limit"},
+		{`[{"query":"ACGT"},{"query":"ACGTX"}]`, "query 1: "},
+		{`[{"query":"ACGT","bogus":1}]`, "unknown"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewBufferString(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&e); derr != nil {
+			t.Fatal(derr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", tc.body, resp.StatusCode)
+		}
+		if !strings.Contains(e.Error, tc.wantErr) {
+			t.Errorf("body %s: error %q does not contain %q", tc.body, e.Error, tc.wantErr)
+		}
+	}
+}

@@ -20,6 +20,8 @@ type dbMetrics struct {
 	searchLatency *obs.Histogram
 	searchCycles  *obs.Histogram
 	searchEnergy  *obs.Histogram
+	batchLatency  *obs.Histogram
+	batchQueries  *obs.Histogram
 	checkoutWait  *obs.Histogram
 	laneFill      *obs.Histogram
 	walAppend     *obs.Histogram
@@ -50,6 +52,13 @@ func (d *Database) initObs() {
 	m.searchEnergy = r.Histogram("racelogic_search_energy_joules",
 		"Dynamic energy summed over one search's races.",
 		obs.ExpBuckets(1e-12, 10, 14), backend)
+	batchMode := obs.Label{Name: "mode", Value: "batch"}
+	m.batchLatency = r.Histogram("racelogic_search_batch_latency_seconds",
+		"Wall-clock per Database.SearchBatch call, whole batch.",
+		obs.ExpBuckets(0.0001, 2, 18), backend, batchMode)
+	m.batchQueries = r.Histogram("racelogic_search_batch_queries",
+		"Queries coalesced per Database.SearchBatch call.",
+		obs.ExpBuckets(1, 2, 10), backend, batchMode)
 	m.checkoutWait = r.Histogram("racelogic_engine_checkout_wait_seconds",
 		"Wall-clock a worker spent acquiring (or compiling) an engine.",
 		obs.ExpBuckets(1e-7, 4, 14))
@@ -158,10 +167,15 @@ func (d *Database) initObs() {
 			}, shardLabel)
 	}
 
+	laneWidth := d.cfg.laneWidth
+	if laneWidth == 0 {
+		laneWidth = 64
+	}
 	r.Gauge("racelogic_build_info",
 		"Constant 1; the labels carry the build identity.",
 		obs.Label{Name: "go_version", Value: runtime.Version()},
 		backend,
+		obs.Label{Name: "lane_width", Value: fmt.Sprintf("%d", laneWidth)},
 		obs.Label{Name: "shards", Value: fmt.Sprintf("%d", len(d.shards))},
 	).Set(1)
 
@@ -191,6 +205,22 @@ func (m *dbMetrics) observeSearch(elapsed time.Duration, rep *SearchReport) {
 	m.scanned.Add(float64(rep.Scanned))
 	m.skipped.Add(float64(rep.Skipped))
 	m.rejected.Add(float64(rep.Rejected))
+}
+
+// observeSearchBatch feeds one finished multi-query batch: whole-batch
+// wall clock and size under the batch-labeled series, plus each query's
+// cycles/energy/scan numbers into the same per-query series sequential
+// searches feed, so corpus-wide rates stay comparable across modes.
+func (m *dbMetrics) observeSearchBatch(elapsed time.Duration, reps []*SearchReport) {
+	m.batchLatency.Observe(elapsed.Seconds())
+	m.batchQueries.Observe(float64(len(reps)))
+	for _, rep := range reps {
+		m.searchCycles.Observe(float64(rep.TotalCycles))
+		m.searchEnergy.Observe(rep.TotalEnergyJ)
+		m.scanned.Add(float64(rep.Scanned))
+		m.skipped.Add(float64(rep.Skipped))
+		m.rejected.Add(float64(rep.Rejected))
+	}
 }
 
 // Metrics returns the database's metric registry, ready to serve under

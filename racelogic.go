@@ -93,6 +93,7 @@ type Alignment struct {
 type config struct {
 	library    *tech.Library
 	backend    Backend // simulation engine; BackendCycle = reference
+	laneWidth  int     // BackendLanes pack width; 0 = default 64
 	gateRegion int     // 0 = ungated
 	threshold  int64   // <0 = none
 	oneHot     bool
@@ -146,8 +147,8 @@ var searchOnlyOptions = []string{
 // call.
 var databaseFixedOptions = []string{
 	"WithLibrary", "WithMatrix", "WithClockGating", "WithOneHotEncoding", "WithSeedIndex",
-	"WithShards", "WithBackend", "WithCompactionPolicy", "WithSync", "WithSnapshotInterval",
-	"WithSnapshotEvery", "WithWALSegmentBytes",
+	"WithShards", "WithBackend", "WithLaneWidth", "WithCompactionPolicy", "WithSync",
+	"WithSnapshotInterval", "WithSnapshotEvery", "WithWALSegmentBytes",
 }
 
 // durabilityOptions configure the write-ahead log and background
@@ -175,11 +176,13 @@ const (
 	// full-scan search workload, with identical results.
 	BackendEvent = race.BackendEvent
 	// BackendLanes is the bit-parallel engine: every net's state is a
-	// uint64 word whose bit i is that net's value in lane i, so one
-	// netlist pass races up to 64 same-shape database entries at once.
-	// Full scans batch candidates into lane packs automatically; the
-	// amortized per-candidate cost is the lowest of the three backends,
-	// with identical results.
+	// slab of uint64 words whose bit l of word w is that net's value in
+	// lane w·64+l, so one netlist pass races up to 64 (default) through
+	// 512 (WithLaneWidth) same-shape database entries at once.  Full
+	// scans batch candidates into lane packs automatically — and
+	// SearchBatch additionally packs candidates of different in-flight
+	// queries into the same pass; the amortized per-candidate cost is
+	// the lowest of the three backends, with identical results.
 	BackendLanes = race.BackendLanes
 )
 
@@ -201,6 +204,28 @@ func WithBackend(b Backend) Option {
 		}
 		c.backend = b
 		c.applied = append(c.applied, "WithBackend")
+		return nil
+	}
+}
+
+// WithLaneWidth sets how many candidates BackendLanes races per netlist
+// pass: 64 (default), 128, 256, or 512.  Wider packs amortize the
+// per-pass settle cost over more candidates when enough same-shape
+// candidates are in flight — large full scans, or SearchBatch coalescing
+// several queries — at the price of proportionally more state per pooled
+// engine.  The other backends ignore it.  Like WithBackend it is a pure
+// runtime choice: fixed at construction on a Database (Search rejects
+// it) but never part of a snapshot's options fingerprint, so any
+// database may reopen at any width with byte-identical results.
+func WithLaneWidth(n int) Option {
+	return func(c *config) error {
+		switch n {
+		case 64, 128, 256, 512:
+		default:
+			return fmt.Errorf("racelogic: lane width %d is not one of 64, 128, 256, 512", n)
+		}
+		c.laneWidth = n
+		c.applied = append(c.applied, "WithLaneWidth")
 		return nil
 	}
 }

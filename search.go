@@ -106,6 +106,33 @@ func Search(query string, db []string, opts ...Option) (*SearchReport, error) {
 	return d.search(context.Background(), query, d.cfg)
 }
 
+// BatchError reports which query of a batch failed.  Query is the
+// index into the queries slice passed to SearchBatch; Err is the
+// underlying failure, reachable through errors.Is/As.
+type BatchError struct {
+	Query int
+	Err   error
+}
+
+func (e *BatchError) Error() string { return fmt.Sprintf("query %d: %v", e.Query, e.Err) }
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// SearchBatch scores every query against db in one pipeline pass and
+// returns one report per query, in input order.  It is the batch
+// counterpart of the one-shot Search: the database is built once and
+// shared by the whole batch, and under BackendLanes same-shape
+// candidate pairs from different queries share lane packs.  Each
+// report matches what Search would return for its query alone, except
+// EnginesBuilt, which counts the batch's shared engine pool.
+func SearchBatch(queries []string, db []string, opts ...Option) ([]*SearchReport, error) {
+	d, err := NewDatabase(db, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return d.searchBatch(context.Background(), queries, d.cfg)
+}
+
 // searchFactory maps the engine options onto a per-bucket array builder.
 func searchFactory(cfg *config) (pipeline.Factory, error) {
 	if cfg.matrix != "" {
@@ -141,6 +168,11 @@ func searchFactory(cfg *config) (pipeline.Factory, error) {
 			return nil, err
 		}
 		a.SetBackend(cfg.backend)
+		if cfg.laneWidth > 0 {
+			if err := a.SetLaneWidth(cfg.laneWidth); err != nil {
+				return nil, err
+			}
+		}
 		return a, nil
 	}, nil
 }

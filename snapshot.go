@@ -114,9 +114,10 @@ func configFromStoreOptions(o store.Options) (*config, error) {
 // report).  The checksum and structural invariants are verified before
 // anything is built.
 //
-// The one accepted option is WithBackend: the simulation engine is a
-// runtime choice, deliberately outside the snapshot fingerprint, and
-// either backend reproduces the saved database's reports byte for byte.
+// The accepted options are WithBackend and WithLaneWidth: the
+// simulation engine and its lane-pack width are runtime choices,
+// deliberately outside the snapshot fingerprint, and every combination
+// reproduces the saved database's reports byte for byte.
 //
 // The result is memory-only: mutations are not journaled.  For a
 // crash-safe database use Open on a directory instead.
@@ -139,8 +140,8 @@ func OpenSnapshot(path string, opts ...Option) (*Database, error) {
 		}
 	}
 	for _, name := range cfg.applied {
-		if name != "WithBackend" {
-			return nil, fmt.Errorf("racelogic: %s cannot be set here; a snapshot fixes every option except WithBackend", name)
+		if name != "WithBackend" && name != "WithLaneWidth" {
+			return nil, fmt.Errorf("racelogic: %s cannot be set here; a snapshot fixes every option except WithBackend and WithLaneWidth", name)
 		}
 	}
 	if s.Index != nil && s.Index.K() != cfg.seedK {
